@@ -1,0 +1,45 @@
+"""Regression tracking — frozen simulated-time records.
+
+The simulated tables are deterministic functions of (dataset, scale,
+seed), so any drift between runs is a real behavioral change in the
+library.  This bench freezes a record per dataset under
+``benchmarks/records/`` on first execution and compares every subsequent
+run against it with zero tolerance for the simulated columns.
+
+Delete the records to re-baseline after an intentional cost-model change.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench.record import diff_records, load_record, save_record
+from repro.bench.runner import run_comparison
+
+from conftest import BENCH_SCALES
+
+RECORDS = Path(__file__).parent / "records"
+
+
+@pytest.mark.parametrize("name", sorted(BENCH_SCALES))
+def test_simulated_times_frozen(name, comparison):
+    r = comparison(name)
+    RECORDS.mkdir(exist_ok=True)
+    path = RECORDS / f"{name}_scale{BENCH_SCALES[name]}.json"
+    if not path.exists():
+        save_record(path, r)
+        pytest.skip(f"baseline recorded at {path.name}; rerun to compare")
+    drifts = diff_records(load_record(path), r, rel_tol=1e-9)
+    assert not drifts, "\n".join(drifts)
+
+
+def test_quality_frozen(comparison):
+    """Clustering quality (ARI) is part of the frozen record too."""
+    for name in sorted(BENCH_SCALES):
+        r = comparison(name)
+        path = RECORDS / f"{name}_scale{BENCH_SCALES[name]}.json"
+        if not path.exists():
+            pytest.skip("baselines not yet recorded")
+        old = load_record(path)
+        for col, ari in old.get("quality", {}).items():
+            assert r.quality[col] == pytest.approx(ari, abs=1e-12), (name, col)

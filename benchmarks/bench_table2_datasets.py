@@ -1,0 +1,43 @@
+"""Table II — dataset statistics.
+
+Regenerates the dataset inventory: for each Table II workload, the scaled
+instance actually benchmarked plus the paper-scale statistics the
+generators are matched against.  The pytest-benchmark timings measure the
+generators themselves.
+"""
+
+import pytest
+
+from repro.datasets.registry import PAPER_STATS, load_dataset
+
+from conftest import BENCH_SCALES
+
+
+def _row(name, ds):
+    p = PAPER_STATS[name]
+    return (
+        f"{name:<8}{ds.n:>9}{ds.n_edges:>10}{ds.n_clusters:>7}"
+        f"{p['nodes']:>10}{p['edges']:>10}{p['clusters']:>9}"
+    )
+
+
+def test_table2_report(write_table):
+    lines = [
+        "Table II — datasets (scaled instance | paper scale)",
+        f"{'name':<8}{'nodes':>9}{'edges':>10}{'k':>7}"
+        f"{'p.nodes':>10}{'p.edges':>10}{'p.k':>9}",
+        "-" * 63,
+    ]
+    for name, scale in BENCH_SCALES.items():
+        ds = load_dataset(name, scale=scale, seed=0)
+        lines.append(_row(name, ds))
+    write_table("table2_datasets", "\n".join(lines))
+
+
+@pytest.mark.parametrize("name", ["fb", "syn200"])
+def test_bench_graph_generation(benchmark, name):
+    benchmark(load_dataset, name, scale=BENCH_SCALES[name], seed=0)
+
+
+def test_bench_dti_generation(benchmark):
+    benchmark(load_dataset, "dti", scale=BENCH_SCALES["dti"], seed=0)

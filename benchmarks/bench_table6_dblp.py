@@ -1,0 +1,49 @@
+"""Table VI / Figure 6 — spectral clustering on the DBLP graph (k=500).
+
+The large-scale, large-k regime: "Both Matlab and Python implementations
+perform poorly for such a problem size" — the k-means speedup exceeds
+400x and even the CPU-bound eigensolver gains ~3x."""
+
+import pytest
+
+from repro.bench.report import format_comparison, format_paper_check
+from repro.core.pipeline import SpectralClustering
+from repro.datasets.registry import load_dataset
+
+from conftest import BENCH_SCALES
+
+
+def test_table6_report(comparison, write_table):
+    r = comparison("dblp")
+    write_table(
+        "table6_dblp", format_comparison(r) + "\n\n" + format_paper_check(r)
+    )
+    for stage, cols in r.projection.items():
+        assert cols["cuda"] <= cols["matlab"], stage
+        assert cols["cuda"] <= cols["python"], stage
+
+
+def test_kmeans_speedup_dominates(comparison):
+    """Paper: 1012.9/1.79 = 566x over Matlab, 719.7/1.79 = 401x over
+    Python at k=500."""
+    r = comparison("dblp")
+    km = r.projection["kmeans"]
+    assert km["matlab"] / km["cuda"] > 200
+    assert km["python"] / km["cuda"] > 100
+
+
+def test_python_eigensolver_worst(comparison):
+    """Table VI ordering: python (9338) > matlab (1885) > cuda (683)."""
+    r = comparison("dblp")
+    eig = r.projection["eigensolver"]
+    assert eig["python"] > eig["matlab"] > eig["cuda"]
+
+
+@pytest.fixture(scope="module")
+def dblp_ds():
+    return load_dataset("dblp", scale=BENCH_SCALES["dblp"], seed=0)
+
+
+def test_bench_full_pipeline(benchmark, dblp_ds):
+    sc = SpectralClustering(n_clusters=dblp_ds.n_clusters, eig_tol=1e-8, seed=0)
+    benchmark.pedantic(sc.fit, kwargs=dict(graph=dblp_ds.graph), rounds=1, iterations=1)

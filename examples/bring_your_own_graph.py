@@ -1,0 +1,70 @@
+"""Clustering a graph from a SNAP-format edge-list file.
+
+The paper's FB and DBLP datasets ship from snap.stanford.edu as plain
+edge-list text files; this example writes a small file in that exact
+format (so it runs offline), loads it through the SNAP reader, clusters
+it under both cut objectives, and saves/reloads the problem as an NPZ
+bundle.  Point the path at a real ``facebook_combined.txt`` /
+``com-dblp.ungraph.txt`` download and everything below works unchanged.
+
+Run:  python examples/bring_your_own_graph.py
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import SpectralClustering
+from repro.datasets import (
+    graph_from_snap,
+    load_problem,
+    save_problem,
+    stochastic_block_model,
+)
+from repro.datasets.registry import Dataset
+from repro.metrics import modularity, ncut, ratio_cut
+
+
+def write_sample_snap(path: Path) -> None:
+    """Emit an SBM graph in SNAP text format (comments + 'u v' lines)."""
+    edges, _ = stochastic_block_model(
+        [80] * 5, p_in=0.25, p_out=0.01, rng=np.random.default_rng(11)
+    )
+    lines = ["# Undirected graph (sample, SBM 5x80)",
+             f"# Nodes: 400 Edges: {edges.shape[0]}"]
+    lines += [f"{u} {v}" for u, v in edges]
+    path.write_text("\n".join(lines) + "\n")
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        snap_path = Path(tmp) / "sample.ungraph.txt"
+        write_sample_snap(snap_path)
+
+        # --- load exactly like a SNAP download --------------------------
+        W = graph_from_snap(snap_path)
+        print(f"loaded {snap_path.name}: {W.shape[0]} nodes, {W.nnz // 2} edges")
+
+        # --- cluster under both cut objectives --------------------------
+        for objective in ("ncut", "ratiocut"):
+            res = SpectralClustering(
+                n_clusters=5, objective=objective, seed=0
+            ).fit(graph=W)
+            print(
+                f"{objective:>9}: NCut={ncut(W, res.labels):.4f}  "
+                f"RatioCut={ratio_cut(W, res.labels):.4f}  "
+                f"modularity={modularity(W, res.labels):.3f}  "
+                f"(sim {res.timings.total_simulated() * 1e3:.2f} ms)"
+            )
+
+        # --- bundle the problem for a reproducible rerun ----------------
+        npz = Path(tmp) / "problem.npz"
+        save_problem(npz, Dataset(name="sample", n_clusters=5, graph=W))
+        back = load_problem(npz)
+        print(f"round-tripped problem bundle: {back.name!r}, "
+              f"n={back.graph.shape[0]}, k={back.n_clusters}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""What-if hardware studies with the cost model.
+
+Because the simulated device is parameterized by a
+:class:`~repro.hw.spec.GPUSpec` / :class:`~repro.hw.spec.PCIeSpec`, the
+same pipeline can be "re-run" on hypothetical platforms: a K40-class card,
+a PCIe Gen3 link, or a bandwidth-doubled future part.  This example sweeps
+the platform and reports how the paper's eigensolver stage would respond —
+the kind of projection the cost model makes cheap.
+
+Run:  python examples/custom_hardware.py
+"""
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.cuda import Device
+from repro.cusparse import coo_to_device
+from repro.core import hybrid_eigensolver
+from repro.datasets import stochastic_block_model
+from repro.graph import device_sym_normalize
+from repro.hw.spec import K20C, PCIE_X16_GEN2
+from repro.sparse import from_edge_list
+
+PLATFORMS = {
+    "K20c + Gen2 (paper)": (K20C, PCIE_X16_GEN2),
+    "K40-class (+30% bw)": (
+        replace(K20C, name="K40-ish", mem_bandwidth_gbs=288.0,
+                peak_gflops_dp=1430.0, sm_count=15),
+        PCIE_X16_GEN2,
+    ),
+    "K20c + Gen3 link": (
+        K20C,
+        replace(PCIE_X16_GEN2, name="PCIe x16 Gen3", peak_gbs=16.0),
+    ),
+    "2x memory bandwidth": (
+        replace(K20C, name="K20c-2xbw", mem_bandwidth_gbs=416.0),
+        PCIE_X16_GEN2,
+    ),
+}
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    edges, _ = stochastic_block_model([100] * 10, p_in=0.3, p_out=0.01, rng=rng)
+    W = from_edge_list(edges, n_nodes=1000)
+    k = 10
+
+    print(f"workload: n={W.shape[0]}, nnz={W.nnz}, k={k}\n")
+    print(f"{'platform':<24}{'eig sim t/s':>14}{'comm/s':>10}{'comm%':>8}")
+    print("-" * 56)
+    base = None
+    for name, (gpu, pcie) in PLATFORMS.items():
+        device = Device(spec=gpu, pcie=pcie)
+        dcsr = device_sym_normalize(coo_to_device(device, W.sorted_by_row()))
+        t0 = device.elapsed
+        hybrid_eigensolver(device, dcsr, k=k, tol=1e-8, seed=0)
+        total = device.elapsed - t0
+        comm = device.timeline.communication_time(tag="eigensolver")
+        if base is None:
+            base = total
+        print(
+            f"{name:<24}{total:>14.5f}{comm:>10.5f}"
+            f"{100 * comm / total:>7.1f}%   ({base / total:.2f}x vs paper HW)"
+        )
+
+    print(
+        "\nNote: the numerics are identical on every platform — only the"
+        "\nsimulated clock responds to the specs, which is the point."
+    )
+
+
+if __name__ == "__main__":
+    main()

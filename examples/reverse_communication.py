@@ -1,0 +1,81 @@
+"""Using the reverse communication interface directly — the paper's
+Algorithm 3 written out by hand.
+
+The RCI is what lets the eigensolver's *driver* run in one place while the
+matrix-vector products run anywhere else: here we drive it against (a) a
+plain host operator and (b) the simulated GPU with explicit PCIe
+transfers, and show the two agree while the device timeline records the
+hybrid run's transfer traffic.
+
+Run:  python examples/reverse_communication.py
+"""
+
+import numpy as np
+
+from repro.cuda import Device
+from repro.cusparse import coo_to_device, csrmv
+from repro.datasets import stochastic_block_model
+from repro.graph import device_sym_normalize, sym_normalized_adjacency
+from repro.linalg import SymEigProblem
+from repro.sparse import from_edge_list
+
+K = 8
+
+
+def host_driver(S, k: int):
+    """Algorithm 3 with a host SpMV (what Matlab/Python effectively do)."""
+    prob = SymEigProblem(n=S.shape[0], k=k, which="LA", tol=1e-10, seed=0)
+    while not prob.converged():
+        prob.take_step()
+        if prob.needs_matvec():
+            x = prob.get_vector()
+            prob.put_vector(S.matvec(x))
+    return prob.find_eigenvectors(), prob.result
+
+
+def hybrid_driver(device: Device, W, k: int):
+    """Algorithm 3 verbatim: CPU driver, GPU SpMV, PCIe in between."""
+    dcoo = coo_to_device(device, W.sorted_by_row())
+    A = device_sym_normalize(dcoo)  # Algorithm 2 on the device
+    n = A.shape[0]
+    dx = device.empty(n)
+    dy = device.empty(n)
+
+    prob = SymEigProblem(n=n, k=k, which="LA", tol=1e-10, seed=0)
+    while not prob.converged():
+        prob.take_step()  # CPU: implicitly restarted Lanczos bookkeeping
+        if prob.needs_matvec():
+            dx.copy_from_host(prob.get_vector())  # H2D
+            csrmv(A, dx, dy)                      # cusparseDcsrmv
+            prob.put_vector(dy.copy_to_host())    # D2H
+    return prob.find_eigenvectors(), prob.result
+
+
+def main() -> None:
+    rng = np.random.default_rng(3)
+    edges, _ = stochastic_block_model([60] * K, p_in=0.4, p_out=0.01, rng=rng)
+    W = from_edge_list(edges, n_nodes=60 * K)
+    S = sym_normalized_adjacency(W)
+
+    (w_host, _), res_host = host_driver(S, K)
+    device = Device()
+    (w_gpu, _), res_gpu = hybrid_driver(device, W, K)
+
+    print(f"top-{K} eigenvalues (host driver):   {np.round(w_host[::-1], 6)}")
+    print(f"top-{K} eigenvalues (hybrid driver): {np.round(w_gpu[::-1], 6)}")
+    print(f"max difference: {np.max(np.abs(w_host - w_gpu)):.2e}")
+    print()
+    print(
+        f"hybrid run: {res_gpu.n_op} operator applications, "
+        f"{res_gpu.n_restarts} implicit restarts"
+    )
+    print(
+        f"device timeline: {device.timeline.count('h2d')} H2D / "
+        f"{device.timeline.count('d2h')} D2H transfers, "
+        f"{device.timeline.communication_time() * 1e3:.3f} ms on PCIe vs "
+        f"{device.timeline.computation_time() * 1e3:.3f} ms computing"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,30 @@
+"""Benchmark harness: experiment runner, paper data, reporting.
+
+Every table and figure of the paper's evaluation (§V) has a bench in
+``benchmarks/`` built from these pieces:
+
+* :mod:`repro.bench.paperdata` — the published numbers, transcribed;
+* :mod:`repro.bench.runner` — runs one Table II workload through the
+  hybrid pipeline and both baselines, collecting simulated/modeled times,
+  and projects them to paper scale;
+* :mod:`repro.bench.report` — fixed-width tables comparing measured
+  against published values (who wins / by what factor).
+"""
+
+from repro.bench.paperdata import PAPER_TABLES
+from repro.bench.record import diff_records, load_record, save_record
+from repro.bench.runner import ComparisonResult, project_paper_scale, run_comparison
+from repro.bench.report import format_comparison, format_paper_check, speedup
+
+__all__ = [
+    "PAPER_TABLES",
+    "diff_records",
+    "load_record",
+    "save_record",
+    "ComparisonResult",
+    "run_comparison",
+    "project_paper_scale",
+    "format_comparison",
+    "format_paper_check",
+    "speedup",
+]

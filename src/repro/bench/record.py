@@ -1,0 +1,83 @@
+"""Experiment records: JSON persistence and regression comparison.
+
+A :class:`~repro.bench.runner.ComparisonResult` can be frozen to JSON so a
+later run can be compared against it — the mechanism for tracking whether
+a code change moved the simulated tables (which are deterministic given
+seed and scale, so any drift is a real behavioral change).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+
+from repro.bench.runner import ComparisonResult
+from repro.errors import BenchmarkError
+
+#: bump when the record layout changes incompatibly
+SCHEMA_VERSION = 1
+
+
+def record_to_dict(r: ComparisonResult) -> dict:
+    """Flatten a comparison result into JSON-serializable primitives."""
+    d = dataclasses.asdict(r)
+    d["schema_version"] = SCHEMA_VERSION
+    return d
+
+
+def save_record(path: str | os.PathLike, r: ComparisonResult) -> None:
+    """Write one comparison result as JSON."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(record_to_dict(r), fh, indent=2, sort_keys=True)
+
+
+def load_record(path: str | os.PathLike) -> dict:
+    """Load a record written by :func:`save_record`."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            d = json.load(fh)
+    except FileNotFoundError:
+        raise BenchmarkError(f"no such record: {path}") from None
+    except json.JSONDecodeError as exc:
+        raise BenchmarkError(f"corrupt record {path}: {exc}") from None
+    if d.get("schema_version") != SCHEMA_VERSION:
+        raise BenchmarkError(
+            f"record schema {d.get('schema_version')} != {SCHEMA_VERSION}"
+        )
+    return d
+
+
+def diff_records(
+    old: dict, new: ComparisonResult | dict, rel_tol: float = 0.05
+) -> list[str]:
+    """Compare stage times between a stored record and a new result.
+
+    Returns human-readable drift lines for every (stage, column) whose
+    simulated/modeled time moved by more than ``rel_tol`` relatively —
+    empty list means no drift.
+    """
+    new_d = new if isinstance(new, dict) else record_to_dict(new)
+    if old.get("dataset") != new_d.get("dataset"):
+        raise BenchmarkError(
+            f"records compare different datasets: "
+            f"{old.get('dataset')!r} vs {new_d.get('dataset')!r}"
+        )
+    drifts: list[str] = []
+    for stage, cols in old.get("stages", {}).items():
+        for col, old_v in cols.items():
+            new_v = new_d.get("stages", {}).get(stage, {}).get(col)
+            if new_v is None:
+                drifts.append(f"{stage}/{col}: missing in new run")
+                continue
+            if old_v == 0:
+                if new_v != 0:
+                    drifts.append(f"{stage}/{col}: 0 -> {new_v:.6g}")
+                continue
+            rel = abs(new_v - old_v) / abs(old_v)
+            if rel > rel_tol:
+                drifts.append(
+                    f"{stage}/{col}: {old_v:.6g} -> {new_v:.6g} "
+                    f"({100 * rel:.1f}% drift)"
+                )
+    return drifts

@@ -1,0 +1,100 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``run``
+    Cluster one Table II workload with the hybrid pipeline and print the
+    stage timings + quality.
+``compare``
+    The three-column CUDA/Matlab/Python comparison (Tables III-VI layout)
+    with the paper-scale projection.
+``datasets``
+    List the registered workloads with paper-scale statistics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_datasets(_args) -> int:
+    from repro.datasets.registry import DATASETS, PAPER_STATS
+
+    print(f"{'name':<10}{'paper nodes':>12}{'paper edges':>12}{'clusters':>10}")
+    print("-" * 44)
+    for name in sorted(DATASETS):
+        s = PAPER_STATS[name]
+        print(f"{name:<10}{s['nodes']:>12}{s['edges']:>12}{s['clusters']:>10}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from repro.core.pipeline import SpectralClustering
+    from repro.datasets.registry import load_dataset
+    from repro.metrics.external import adjusted_rand_index
+
+    ds = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    k = args.clusters if args.clusters else ds.n_clusters
+    sc = SpectralClustering(n_clusters=k, eig_tol=args.tol, seed=args.seed)
+    if ds.points is not None:
+        res = sc.fit(X=ds.points, edges=ds.edges)
+    else:
+        res = sc.fit(graph=ds.graph)
+    print(res.summary())
+    if ds.labels is not None and k == ds.n_clusters:
+        print(f"ARI vs ground truth: {adjusted_rand_index(res.labels, ds.labels):.3f}")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    from repro.bench.report import format_comparison, format_paper_check
+    from repro.bench.runner import run_comparison
+
+    r = run_comparison(
+        args.dataset, scale=args.scale, seed=args.seed, eig_tol=args.tol
+    )
+    print(format_comparison(r))
+    print()
+    print(format_paper_check(r))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="fastsc-py: hybrid CPU-GPU spectral clustering (simulated)",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list Table II workloads").set_defaults(
+        fn=_cmd_datasets
+    )
+
+    def common(sp):
+        sp.add_argument("dataset", choices=["dti", "fb", "dblp", "syn200"])
+        sp.add_argument("--scale", type=float, default=0.05,
+                        help="workload size relative to the paper (default 0.05)")
+        sp.add_argument("--seed", type=int, default=0)
+        sp.add_argument("--tol", type=float, default=1e-8,
+                        help="eigensolver tolerance")
+
+    run_p = sub.add_parser("run", help="cluster one workload")
+    common(run_p)
+    run_p.add_argument("--clusters", type=int, default=0,
+                       help="override the dataset's cluster count")
+    run_p.set_defaults(fn=_cmd_run)
+
+    cmp_p = sub.add_parser("compare", help="CUDA vs Matlab vs Python columns")
+    common(cmp_p)
+    cmp_p.set_defaults(fn=_cmd_compare)
+    return p
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,22 @@
+"""The paper's primary contribution: the hybrid CPU-GPU spectral clustering
+pipeline (Figure 2).
+
+:class:`~repro.core.pipeline.SpectralClustering` is the public estimator;
+:mod:`repro.core.workflow` contains the hybrid stage runners (Algorithm 1 →
+Algorithm 2 → Algorithm 3 → Algorithm 4) with the CPU/GPU/PCIe time
+accounting; :mod:`repro.core.result` defines the result records.
+"""
+
+from repro.core.embedding import spectral_embedding
+from repro.core.pipeline import SpectralClustering
+from repro.core.result import ClusteringResult, StageTimings
+from repro.core.workflow import hybrid_eigensolver, EigStats
+
+__all__ = [
+    "SpectralClustering",
+    "spectral_embedding",
+    "ClusteringResult",
+    "StageTimings",
+    "hybrid_eigensolver",
+    "EigStats",
+]

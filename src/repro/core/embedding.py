@@ -1,0 +1,65 @@
+"""Standalone spectral embedding (steps 1-3 of the pipeline).
+
+Useful when the downstream consumer is not k-means — visualization,
+a different clusterer, or embedding reuse across several k-means runs
+(the seeding ablation does exactly that).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.workflow import hybrid_eigensolver
+from repro.cuda.device import Device
+from repro.cusparse.matrices import coo_to_device
+from repro.errors import ClusteringError
+from repro.graph.components import remove_isolated
+from repro.graph.laplacian import device_sym_normalize
+from repro.linalg.utils import normalize_rows as _normalize_rows
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csr import CSRMatrix
+
+
+def spectral_embedding(
+    graph: COOMatrix | CSRMatrix,
+    n_components: int,
+    m: int | None = None,
+    eig_tol: float = 0.0,
+    normalize_rows: bool = False,
+    seed: int | None = 0,
+    device: Device | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Compute the k-dimensional spectral embedding of a similarity graph
+    on the hybrid platform.
+
+    Returns
+    -------
+    (embedding, eigenvalues, kept):
+        ``(n_kept, k)`` embedding rows (eigenvectors of ``D⁻¹W`` scaled
+        from the symmetric operator), the corresponding eigenvalues
+        (descending), and the original indices of non-isolated nodes.
+    """
+    if n_components < 1:
+        raise ClusteringError(f"n_components must be >= 1, got {n_components}")
+    csr = graph if isinstance(graph, CSRMatrix) else graph.to_csr()
+    W_sub, kept = remove_isolated(csr)
+    n = W_sub.shape[0]
+    if n <= n_components:
+        raise ClusteringError(
+            f"only {n} non-isolated nodes for {n_components} components"
+        )
+    device = device if device is not None else Device()
+    dcoo = coo_to_device(device, W_sub.to_coo().sorted_by_row())
+    deg = np.bincount(dcoo.row.data, weights=dcoo.val.data, minlength=n)
+    dcsr = device_sym_normalize(dcoo)
+    theta, U, _ = hybrid_eigensolver(
+        device, dcsr, k=n_components, m=m, tol=eig_tol, seed=seed
+    )
+    order = np.argsort(theta)[::-1]
+    theta = theta[order]
+    U = U[:, order]
+    inv_sqrt = 1.0 / np.sqrt(np.where(deg > 0, deg, 1.0))
+    U = U * inv_sqrt[:, None]
+    if normalize_rows:
+        U = _normalize_rows(U)
+    return U, theta, kept

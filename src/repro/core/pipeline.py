@@ -1,0 +1,274 @@
+"""The public estimator: :class:`SpectralClustering`.
+
+Implements the complete Figure 2 workflow on the simulated CPU-GPU
+platform:
+
+1. **Preprocessing** (point input only, Algorithm 1): transfer data and
+   ε-edge list, build the COO similarity matrix on the device;
+2. **Laplacian** (Algorithm 2): degree vector by SpMV, ``ScaleElements``,
+   ``coo2csr``;
+3. **Eigensolver** (Algorithm 3): ARPACK-style reverse communication on
+   the CPU with ``cusparseDcsrmv`` on the GPU;
+4. **k-means** (Algorithms 4-5) on the rows of the eigenvector matrix.
+
+Graph input (FB/DBLP/Syn200-style) enters directly at step 2, exactly as
+§II notes.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.result import ClusteringResult, StageTimings
+from repro.core.workflow import hybrid_eigensolver
+from repro.cuda.device import Device
+from repro.cuda.profiler import Profiler
+from repro.cusparse.matrices import coo_to_device
+from repro.errors import ClusteringError
+from repro.graph.build import build_similarity_device
+from repro.graph.components import remove_isolated
+from repro.graph.laplacian import (
+    device_rw_normalize,
+    device_shifted_laplacian,
+    device_sym_normalize,
+)
+from repro.kmeans.gpu import kmeans_device
+from repro.linalg.utils import normalize_rows
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csr import CSRMatrix
+
+
+class SpectralClustering:
+    """Hybrid CPU-GPU spectral clustering (normalized cut).
+
+    Parameters
+    ----------
+    n_clusters:
+        Number of clusters k.
+    similarity:
+        Measure for the point-input path: 'crosscorr' (paper's DTI
+        choice), 'cosine' or 'expdecay'.
+    sigma:
+        Bandwidth for 'expdecay'.
+    operator:
+        'sym' (default) iterates with the symmetric ``D^{-1/2}WD^{-1/2}``
+        and maps eigenvectors back through ``D^{-1/2}`` — the numerically
+        sound realization of the paper's ``D⁻¹W`` largest-eigenvector
+        formulation (identical spectrum, and exactly the generalized
+        eigenvectors of ``Lx = λDx``).  'rw' feeds ``D⁻¹W`` to the
+        symmetric Lanczos machinery verbatim, as the paper describes;
+        offered for ablation.
+    objective:
+        'ncut' (default): the paper's normalized-cut relaxation via
+        ``operator``.  'ratiocut': the Eq. 3 relaxation — smallest
+        eigenvectors of the *unnormalized* ``L = D - W``, computed on the
+        device through a Gershgorin shift (``operator`` is then ignored);
+        ``result.eigenvalues`` holds λ(L) ascending in that mode.
+    m:
+        Lanczos basis size (default ``min(n, max(2k+1, 20))``, the paper's
+        ``m = 2k`` rule).
+    eig_tol:
+        Eigensolver relative tolerance (0 = machine eps).
+    eig_maxiter:
+        Restart cap.
+    kmeans_init:
+        'k-means++' (paper's choice) or 'random'.
+    kmeans_max_iter:
+        Lloyd iteration cap.
+    normalize_rows:
+        Scale embedding rows to unit norm before k-means (the
+        Ng-Jordan-Weiss variant; the paper does not, so default False).
+    handle_isolated:
+        'remove' (default) drops zero-degree nodes and labels them ``-1``;
+        'error' raises (the paper's stated assumption is ``D_ii > 0``).
+    seed:
+        Seeds the eigensolver start vector and the k-means initialization.
+    device:
+        Supply a :class:`~repro.cuda.device.Device` to share/inspect the
+        timeline; a fresh K20c is created per fit otherwise.
+    """
+
+    def __init__(
+        self,
+        n_clusters: int,
+        similarity: str = "crosscorr",
+        sigma: float = 1.0,
+        operator: str = "sym",
+        objective: str = "ncut",
+        m: int | None = None,
+        eig_tol: float = 0.0,
+        eig_maxiter: int | None = None,
+        kmeans_init: str = "k-means++",
+        kmeans_max_iter: int = 300,
+        normalize_rows: bool = False,
+        handle_isolated: str = "remove",
+        seed: int | None = 0,
+        device: Device | None = None,
+    ) -> None:
+        if n_clusters < 2:
+            raise ClusteringError(f"n_clusters must be >= 2, got {n_clusters}")
+        if operator not in ("sym", "rw"):
+            raise ClusteringError(f"operator must be 'sym' or 'rw', got {operator!r}")
+        if objective not in ("ncut", "ratiocut"):
+            raise ClusteringError(
+                f"objective must be 'ncut' or 'ratiocut', got {objective!r}"
+            )
+        if handle_isolated not in ("remove", "error"):
+            raise ClusteringError(
+                f"handle_isolated must be 'remove' or 'error', got {handle_isolated!r}"
+            )
+        self.n_clusters = n_clusters
+        self.similarity = similarity
+        self.sigma = sigma
+        self.operator = operator
+        self.objective = objective
+        self.m = m
+        self.eig_tol = eig_tol
+        self.eig_maxiter = eig_maxiter
+        self.kmeans_init = kmeans_init
+        self.kmeans_max_iter = kmeans_max_iter
+        self.normalize_rows = normalize_rows
+        self.handle_isolated = handle_isolated
+        self.seed = seed
+        self.device = device
+
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        X: np.ndarray | None = None,
+        edges: np.ndarray | None = None,
+        graph: COOMatrix | CSRMatrix | None = None,
+    ) -> ClusteringResult:
+        """Cluster point data (``X`` + ``edges``) or a prebuilt ``graph``.
+
+        Exactly one input form must be provided.  Returns a
+        :class:`~repro.core.result.ClusteringResult`.
+        """
+        point_input = X is not None
+        if point_input == (graph is not None):
+            raise ClusteringError(
+                "provide either (X, edges) for the point path or graph= for "
+                "the graph path, not both"
+            )
+        if point_input and edges is None:
+            raise ClusteringError("point input requires the ε-neighborhood edges")
+
+        device = self.device if self.device is not None else Device()
+        prof = Profiler(device)
+        prof.start()
+        timings = StageTimings()
+
+        # ---- stage 1: similarity matrix ---------------------------------
+        t0 = time.perf_counter()
+        sim_start = device.elapsed
+        if point_input:
+            n_total = np.asarray(X).shape[0]
+            dcoo = build_similarity_device(
+                device, np.asarray(X), np.asarray(edges),
+                measure=self.similarity, sigma=self.sigma,
+            )
+            # isolated-node check on the host mirror of the device graph
+            deg = np.bincount(dcoo.row.data, weights=dcoo.val.data, minlength=n_total)
+            kept = np.flatnonzero(deg > 0)
+            if kept.size < n_total:
+                if self.handle_isolated == "error":
+                    raise ClusteringError(
+                        f"{n_total - kept.size} isolated nodes; the paper "
+                        "requires D_ii > 0 (use handle_isolated='remove')"
+                    )
+                host_coo = COOMatrix(
+                    dcoo.row.data, dcoo.col.data, dcoo.val.data,
+                    dcoo.shape, check=False,
+                )
+                W_sub, kept = remove_isolated(host_coo)
+                dcoo.free()
+                with device.stage("similarity"):
+                    dcoo = coo_to_device(device, W_sub.to_coo().sorted_by_row())
+        else:
+            assert graph is not None
+            n_total = graph.shape[0]
+            csr = graph if isinstance(graph, CSRMatrix) else graph.to_csr()
+            W_sub, kept = remove_isolated(csr)
+            if self.handle_isolated == "error" and kept.size < n_total:
+                raise ClusteringError(
+                    f"{n_total - kept.size} isolated nodes; the paper "
+                    "requires D_ii > 0 (use handle_isolated='remove')"
+                )
+            with device.stage("similarity"):
+                dcoo = coo_to_device(device, W_sub.to_coo().sorted_by_row())
+        n = dcoo.shape[0]
+        timings.wall["similarity"] = time.perf_counter() - t0
+        timings.simulated["similarity"] = device.elapsed - sim_start
+
+        if n <= self.n_clusters:
+            raise ClusteringError(
+                f"only {n} non-isolated nodes for k={self.n_clusters} clusters"
+            )
+
+        # ---- stage 2: normalized operator (Algorithm 2) ------------------
+        t0 = time.perf_counter()
+        lap_start = device.elapsed
+        # keep degrees for the sym->rw eigenvector back-mapping
+        deg_kept = np.bincount(
+            dcoo.row.data, weights=dcoo.val.data, minlength=dcoo.shape[0]
+        )
+        shift = 0.0
+        if self.objective == "ratiocut":
+            dcsr, shift = device_shifted_laplacian(dcoo)
+        elif self.operator == "sym":
+            dcsr = device_sym_normalize(dcoo)
+        else:
+            dcsr = device_rw_normalize(dcoo)
+        timings.wall["laplacian"] = time.perf_counter() - t0
+        timings.simulated["laplacian"] = device.elapsed - lap_start
+
+        # ---- stage 3: eigensolver (Algorithm 3) --------------------------
+        t0 = time.perf_counter()
+        eig_start = device.elapsed
+        theta, U, stats = hybrid_eigensolver(
+            device, dcsr, k=self.n_clusters, m=self.m,
+            tol=self.eig_tol, maxiter=self.eig_maxiter, seed=self.seed,
+        )
+        if self.objective == "ratiocut":
+            # top of cI - L == bottom of L: report λ(L) ascending
+            order = np.argsort(theta)[::-1]
+            theta = shift - theta[order]
+            U = U[:, order]
+        else:
+            # largest k eigenvalues of D^{-1}W == smallest of L_n (§IV.B)
+            order = np.argsort(theta)[::-1]
+            theta = theta[order]
+            U = U[:, order]
+            if self.operator == "sym":
+                # map eigenvectors of D^{-1/2}WD^{-1/2} to those of D^{-1}W
+                inv_sqrt = 1.0 / np.sqrt(np.where(deg_kept > 0, deg_kept, 1.0))
+                U = U * inv_sqrt[:, None]
+        embedding = normalize_rows(U) if self.normalize_rows else U
+        timings.wall["eigensolver"] = time.perf_counter() - t0
+        timings.simulated["eigensolver"] = device.elapsed - eig_start
+
+        # ---- stage 4: k-means (Algorithms 4-5) ---------------------------
+        t0 = time.perf_counter()
+        km_start = device.elapsed
+        km = kmeans_device(
+            device, embedding, self.n_clusters,
+            init=self.kmeans_init, max_iter=self.kmeans_max_iter, seed=self.seed,
+        )
+        timings.wall["kmeans"] = time.perf_counter() - t0
+        timings.simulated["kmeans"] = device.elapsed - km_start
+
+        labels_full = np.full(n_total, -1, dtype=np.int64)
+        labels_full[kept] = km.labels
+        report = prof.stop()
+        return ClusteringResult(
+            labels=labels_full,
+            eigenvalues=theta,
+            embedding=embedding,
+            kmeans=km,
+            timings=timings,
+            profile=report,
+            eig_stats=stats.as_dict(),
+            kept=kept,
+        )

@@ -1,0 +1,99 @@
+"""Result records for the spectral clustering pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cuda.profiler import ProfileReport
+from repro.kmeans.utils import KMeansResult
+
+
+@dataclass
+class StageTimings:
+    """Per-stage timing on both axes.
+
+    ``simulated`` — seconds on the modeled Table I platform (the
+    paper-comparable axis); ``wall`` — actual Python execution seconds of
+    this process (regression-tracking axis; not comparable to the paper).
+    """
+
+    simulated: dict[str, float] = field(default_factory=dict)
+    wall: dict[str, float] = field(default_factory=dict)
+
+    def total_simulated(self) -> float:
+        return sum(self.simulated.values())
+
+    def total_wall(self) -> float:
+        return sum(self.wall.values())
+
+    def format_table(self) -> str:
+        stages = sorted(set(self.simulated) | set(self.wall))
+        lines = [f"{'stage':<16}{'simulated/s':>14}{'wall/s':>12}", "-" * 42]
+        for s in stages:
+            lines.append(
+                f"{s:<16}{self.simulated.get(s, 0.0):>14.4f}"
+                f"{self.wall.get(s, 0.0):>12.4f}"
+            )
+        lines.append("-" * 42)
+        lines.append(
+            f"{'total':<16}{self.total_simulated():>14.4f}{self.total_wall():>12.4f}"
+        )
+        return "\n".join(lines)
+
+
+@dataclass
+class ClusteringResult:
+    """Everything a pipeline run produces.
+
+    Attributes
+    ----------
+    labels:
+        ``(n,)`` cluster assignment on the *original* node indexing;
+        isolated nodes removed before clustering carry label ``-1``.
+    eigenvalues:
+        The k leading eigenvalues of the normalized adjacency (descending
+        closeness to 1 indicates cluster structure).
+    embedding:
+        ``(n_kept, k)`` spectral embedding rows fed to k-means.
+    kmeans:
+        The full k-means sub-result.
+    timings:
+        Per-stage simulated + wall times.
+    profile:
+        Device profile (communication vs computation, Table VII).
+    eig_stats:
+        Eigensolver counters (ops, restarts, PCIe round trips).
+    kept:
+        Original indices of non-isolated nodes that were clustered.
+    """
+
+    labels: np.ndarray
+    eigenvalues: np.ndarray
+    embedding: np.ndarray
+    kmeans: KMeansResult
+    timings: StageTimings
+    profile: ProfileReport
+    eig_stats: dict
+    kept: np.ndarray
+
+    @property
+    def n_clusters(self) -> int:
+        return self.kmeans.k
+
+    def summary(self) -> str:
+        """Human-readable one-stop report."""
+        lines = [
+            f"spectral clustering: n={self.labels.size} "
+            f"(kept {self.kept.size}), k={self.n_clusters}",
+            f"eigensolver: {self.eig_stats.get('n_op', '?')} SpMVs, "
+            f"{self.eig_stats.get('n_restarts', '?')} restarts, "
+            f"converged={self.eig_stats.get('converged', '?')}",
+            f"k-means: {self.kmeans.n_iter} iterations, "
+            f"inertia={self.kmeans.inertia:.6g}",
+            self.timings.format_table(),
+            f"communication {self.profile.communication:.4f}s vs "
+            f"computation {self.profile.computation:.4f}s (simulated)",
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,47 @@
+"""Simulated CUDA runtime.
+
+The subpackage reproduces the slice of the CUDA runtime the paper relies on:
+
+* :class:`~repro.cuda.device.Device` — a GPU context with a device-memory
+  allocator, a simulated timeline, and cost models built from a
+  :class:`~repro.hw.spec.GPUSpec`;
+* :class:`~repro.cuda.memory.DeviceArray` — device-resident ndarray handles;
+  moving data on/off the device charges PCIe time to the timeline;
+* :class:`~repro.cuda.kernel.Kernel` and
+  :func:`~repro.cuda.kernel.launch` — kernel objects executed over a grid of
+  thread blocks; the *numerics* run vectorized on the host while the *cost*
+  is charged from the roofline model;
+* :class:`~repro.cuda.stream.Stream` / :class:`~repro.cuda.stream.Event` —
+  enough of the stream API for timing regions;
+* :class:`~repro.cuda.profiler.Profiler` — nvprof-style per-category
+  aggregation (communication vs computation, Table VII).
+
+All numerics executed through this layer are real; only time is simulated.
+"""
+
+from repro.cuda.device import Device, get_default_device, set_default_device, default_device
+from repro.cuda.memory import DeviceArray
+from repro.cuda.kernel import Kernel, launch, LaunchConfig
+from repro.cuda.launch import grid_1d, occupancy
+from repro.cuda.stream import Stream, Event
+from repro.cuda.profiler import Profiler, ProfileReport
+from repro.cuda.trace import export_chrome_trace, timeline_to_trace_events
+
+__all__ = [
+    "Device",
+    "get_default_device",
+    "set_default_device",
+    "default_device",
+    "DeviceArray",
+    "Kernel",
+    "launch",
+    "LaunchConfig",
+    "grid_1d",
+    "occupancy",
+    "Stream",
+    "Event",
+    "Profiler",
+    "ProfileReport",
+    "export_chrome_trace",
+    "timeline_to_trace_events",
+]

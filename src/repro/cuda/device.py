@@ -1,0 +1,185 @@
+"""The simulated CUDA device: context, allocator, timeline and cost models.
+
+A :class:`Device` plays the role of a CUDA context bound to one GPU.  It owns
+
+* an :class:`~repro.cuda.memory.Allocator` sized to the device memory,
+* a :class:`~repro.hw.timeline.Timeline` that accumulates simulated time,
+* the GPU and PCIe cost models derived from its :class:`~repro.hw.spec`.
+
+A module-level *default device* mirrors the CUDA notion of the current
+context; library code (cuBLAS/cuSPARSE/Thrust wrappers, kernels) operates on
+whatever device owns its operands.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.cuda.memory import Allocator, DeviceArray
+from repro.hw.costmodel import GPUCostModel, TransferCostModel
+from repro.hw.spec import GPUSpec, K20C, PCIE_X16_GEN2, PCIeSpec
+from repro.hw.timeline import Timeline
+
+
+class Device:
+    """A simulated GPU device / CUDA context.
+
+    Parameters
+    ----------
+    spec:
+        Hardware description; defaults to the paper's Tesla K20c.
+    pcie:
+        Link description; defaults to PCIe x16 Gen2 (Table I).
+    timeline:
+        Optionally share a timeline with other components (e.g. so CPU
+        phases and GPU phases interleave on one clock).
+    """
+
+    def __init__(
+        self,
+        spec: GPUSpec = K20C,
+        pcie: PCIeSpec = PCIE_X16_GEN2,
+        timeline: Timeline | None = None,
+    ) -> None:
+        self.spec = spec
+        self.pcie = pcie
+        self.allocator = Allocator(spec.memory_bytes)
+        self.timeline = timeline if timeline is not None else Timeline()
+        self.cost = GPUCostModel(spec)
+        self.transfer_cost = TransferCostModel(pcie)
+        #: cumulative simulated seconds by high-level class, convenience view
+        self.kernel_launches = 0
+
+    # ------------------------------------------------------------------
+    # allocation + movement
+    # ------------------------------------------------------------------
+    def _new_array(self, data: np.ndarray) -> DeviceArray:
+        self.allocator.allocate(data.nbytes)
+        return DeviceArray(data, self)
+
+    def _release(self, nbytes: int) -> None:
+        self.allocator.release(nbytes)
+
+    def empty(self, shape: int | Sequence[int], dtype=np.float64) -> DeviceArray:
+        """``cudaMalloc`` without initialization."""
+        return self._new_array(np.empty(shape, dtype=dtype))
+
+    def zeros(self, shape: int | Sequence[int], dtype=np.float64) -> DeviceArray:
+        """Allocate and ``cudaMemset`` to zero (charges a streaming kernel)."""
+        arr = self._new_array(np.zeros(shape, dtype=dtype))
+        self.charge_kernel("cudaMemset", flops=0, bytes_moved=arr.nbytes)
+        return arr
+
+    def full(
+        self, shape: int | Sequence[int], fill_value: float, dtype=np.float64
+    ) -> DeviceArray:
+        """Allocate and fill with a constant (Thrust ``fill``)."""
+        arr = self._new_array(np.full(shape, fill_value, dtype=dtype))
+        self.charge_kernel("thrust::fill", flops=0, bytes_moved=arr.nbytes)
+        return arr
+
+    def to_device(self, host: np.ndarray, dtype=None) -> DeviceArray:
+        """Allocate on the device and copy a host array over PCIe."""
+        host = np.ascontiguousarray(host, dtype=dtype)
+        arr = self._new_array(host.copy())
+        self._record_h2d(host.nbytes)
+        return arr
+
+    # ------------------------------------------------------------------
+    # time accounting
+    # ------------------------------------------------------------------
+    def _record_h2d(self, nbytes: int) -> None:
+        self.timeline.record(
+            f"memcpyH2D[{nbytes}B]", "h2d", self.transfer_cost.h2d_time(nbytes)
+        )
+
+    def _record_d2h(self, nbytes: int) -> None:
+        self.timeline.record(
+            f"memcpyD2H[{nbytes}B]", "d2h", self.transfer_cost.d2h_time(nbytes)
+        )
+
+    def charge_kernel(
+        self,
+        name: str,
+        flops: float,
+        bytes_moved: float,
+        kind: str = "stream",
+        itemsize: int = 8,
+    ) -> float:
+        """Charge one kernel launch to the timeline; returns its duration."""
+        dt = self.cost.kernel_time(flops, bytes_moved, kind=kind, itemsize=itemsize)
+        self.timeline.record(name, "kernel", dt)
+        self.kernel_launches += 1
+        return dt
+
+    def charge_cpu(self, name: str, seconds: float) -> float:
+        """Charge a host-side phase (modeled CPU work) to the shared timeline."""
+        self.timeline.record(name, "cpu", seconds)
+        return seconds
+
+    @contextlib.contextmanager
+    def stage(self, tag: str) -> Iterator[None]:
+        """Tag all events recorded inside the block with a stage label."""
+        prev = self.timeline._tag
+        self.timeline.set_tag(tag)
+        try:
+            yield
+        finally:
+            self.timeline.set_tag(prev)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def elapsed(self) -> float:
+        """Total simulated seconds on this device's timeline."""
+        return self.timeline.clock.now
+
+    def memory_info(self) -> tuple[int, int]:
+        """(free, total) device memory in bytes, like ``cudaMemGetInfo``."""
+        return self.allocator.free_bytes, self.allocator.capacity_bytes
+
+    def reset(self) -> None:
+        """Clear the timeline and allocation statistics (new context)."""
+        self.timeline.clear()
+        self.allocator = Allocator(self.spec.memory_bytes)
+        self.kernel_launches = 0
+
+    def __repr__(self) -> str:
+        used = self.allocator.used_bytes
+        return (
+            f"<Device {self.spec.name!r} mem={used}/{self.spec.memory_bytes}B "
+            f"t={self.elapsed:.6f}s>"
+        )
+
+
+_default_device: Device | None = None
+
+
+def get_default_device() -> Device:
+    """Return the process-wide default device, creating a K20c on first use."""
+    global _default_device
+    if _default_device is None:
+        _default_device = Device()
+    return _default_device
+
+
+def set_default_device(device: Device | None) -> None:
+    """Replace the process-wide default device (None resets to lazy K20c)."""
+    global _default_device
+    _default_device = device
+
+
+@contextlib.contextmanager
+def default_device(device: Device) -> Iterator[Device]:
+    """Temporarily install ``device`` as the default (scoped context)."""
+    global _default_device
+    prev = _default_device
+    _default_device = device
+    try:
+        yield device
+    finally:
+        _default_device = prev

@@ -1,0 +1,106 @@
+"""nvprof-style profiling over the simulated timeline.
+
+The :class:`Profiler` wraps a device and produces :class:`ProfileReport`
+objects: per-stage and per-category simulated-time aggregations.  Table VII
+of the paper ("Comparison Between Data Communication Time and Computation
+Time") is exactly ``report.communication`` vs ``report.computation``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cuda.device import Device
+from repro.hw.timeline import COMMUNICATION_CATEGORIES
+
+
+@dataclass(frozen=True)
+class ProfileReport:
+    """Aggregated simulated times for one profiled region."""
+
+    #: total simulated seconds spent in H2D+D2H transfers
+    communication: float
+    #: total simulated seconds spent in kernels + modeled CPU phases
+    computation: float
+    #: seconds per event category ("kernel", "h2d", "d2h", "cpu", "overhead")
+    by_category: dict[str, float] = field(default_factory=dict)
+    #: seconds per stage tag ("similarity", "eigensolver", "kmeans", ...)
+    by_stage: dict[str, float] = field(default_factory=dict)
+    #: number of kernel launches observed
+    kernel_launches: int = 0
+
+    @property
+    def total(self) -> float:
+        return self.communication + self.computation
+
+    def communication_fraction(self) -> float:
+        """Fraction of total simulated time spent on the PCIe bus."""
+        t = self.total
+        return self.communication / t if t > 0 else 0.0
+
+    def format_table(self) -> str:
+        """Render the report as a fixed-width text table."""
+        lines = [
+            f"{'category':<12}{'seconds':>14}",
+            "-" * 26,
+        ]
+        for cat, secs in sorted(self.by_category.items()):
+            lines.append(f"{cat:<12}{secs:>14.6f}")
+        lines.append("-" * 26)
+        lines.append(f"{'comm':<12}{self.communication:>14.6f}")
+        lines.append(f"{'compute':<12}{self.computation:>14.6f}")
+        return "\n".join(lines)
+
+
+class Profiler:
+    """Collects a :class:`ProfileReport` from a device timeline.
+
+    Usage::
+
+        prof = Profiler(device)
+        prof.start()
+        ...  # run simulated work
+        report = prof.stop()
+    """
+
+    def __init__(self, device: Device) -> None:
+        self.device = device
+        self._start_index: int | None = None
+
+    def start(self) -> None:
+        self._start_index = len(self.device.timeline)
+
+    def stop(self) -> ProfileReport:
+        if self._start_index is None:
+            raise RuntimeError("Profiler.stop() called before start()")
+        events = self.device.timeline.events[self._start_index :]
+        self._start_index = None
+        return _aggregate(events)
+
+    def snapshot(self) -> ProfileReport:
+        """Report over the device's entire timeline (no start/stop needed)."""
+        return _aggregate(self.device.timeline.events)
+
+
+def _aggregate(events) -> ProfileReport:
+    comm = 0.0
+    comp = 0.0
+    by_cat: dict[str, float] = {}
+    by_stage: dict[str, float] = {}
+    kernels = 0
+    for ev in events:
+        by_cat[ev.category] = by_cat.get(ev.category, 0.0) + ev.duration
+        by_stage[ev.tag] = by_stage.get(ev.tag, 0.0) + ev.duration
+        if ev.category in COMMUNICATION_CATEGORIES:
+            comm += ev.duration
+        else:
+            comp += ev.duration
+        if ev.category == "kernel":
+            kernels += 1
+    return ProfileReport(
+        communication=comm,
+        computation=comp,
+        by_category=by_cat,
+        by_stage=by_stage,
+        kernel_launches=kernels,
+    )

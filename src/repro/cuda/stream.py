@@ -1,0 +1,59 @@
+"""Streams and events on the simulated timeline.
+
+The paper's pipeline is serialized on the default stream (each eigensolver
+iteration must round-trip the PCIe bus), so the stream model here is simple:
+a stream is a view onto the device timeline, and events capture simulated
+timestamps.  ``Event.elapsed_time`` reproduces ``cudaEventElapsedTime``
+semantics (milliseconds).
+"""
+
+from __future__ import annotations
+
+from repro.cuda.device import Device, get_default_device
+from repro.errors import StreamError
+
+
+class Event:
+    """A timestamp marker on a device timeline (``cudaEvent_t``)."""
+
+    def __init__(self, device: Device | None = None) -> None:
+        self.device = device if device is not None else get_default_device()
+        self._time: float | None = None
+
+    def record(self, stream: "Stream | None" = None) -> "Event":
+        if stream is not None and stream.device is not self.device:
+            raise StreamError("event and stream belong to different devices")
+        self._time = self.device.elapsed
+        return self
+
+    @property
+    def is_recorded(self) -> bool:
+        return self._time is not None
+
+    @property
+    def time(self) -> float:
+        if self._time is None:
+            raise StreamError("event has not been recorded")
+        return self._time
+
+    def elapsed_time(self, end: "Event") -> float:
+        """Milliseconds between this event and ``end`` (CUDA convention)."""
+        if self.device is not end.device:
+            raise StreamError("events recorded on different devices")
+        return (end.time - self.time) * 1e3
+
+
+class Stream:
+    """An in-order work queue (the simulation executes synchronously)."""
+
+    def __init__(self, device: Device | None = None) -> None:
+        self.device = device if device is not None else get_default_device()
+
+    def synchronize(self) -> None:
+        """No-op: the simulated device completes work eagerly."""
+
+    def record_event(self) -> Event:
+        return Event(self.device).record(self)
+
+    def __repr__(self) -> str:
+        return f"<Stream on {self.device.spec.name!r}>"

@@ -1,0 +1,26 @@
+"""Simulated cuSPARSE: device-resident sparse matrices and kernels.
+
+Provides the calls Algorithm 2 and 3 of the paper make:
+
+* ``cusparseDcsrmv``  → :func:`~repro.cusparse.spmv.csrmv`
+* ``cusparseXcoo2csr`` → :func:`~repro.cusparse.conversions.coo2csr`
+* plus ``coomv``, ``csr2csc``, ``csrmm`` and host↔device sparse movement.
+"""
+
+from repro.cusparse.matrices import DeviceCOO, DeviceCSR, coo_to_device, csr_to_device
+from repro.cusparse.conversions import coo2csr, csr2csc, csr2coo
+from repro.cusparse.spmv import coomv, csrmv
+from repro.cusparse.spmm import csrmm
+
+__all__ = [
+    "DeviceCOO",
+    "DeviceCSR",
+    "coo_to_device",
+    "csr_to_device",
+    "coo2csr",
+    "csr2csc",
+    "csr2coo",
+    "coomv",
+    "csrmv",
+    "csrmm",
+]

@@ -1,0 +1,122 @@
+"""Device-resident sparse matrix handles.
+
+Thin records of :class:`~repro.cuda.memory.DeviceArray` components plus the
+matrix shape — the same three-array layouts the host formats use, but living
+in (simulated) device memory.  Moving a host matrix to the device charges
+one H2D transfer per component array, exactly what ``cudaMemcpy`` of the
+three COO/CSR arrays costs on real hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cuda.device import Device
+from repro.cuda.memory import DeviceArray
+from repro.errors import SparseFormatError
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csr import CSRMatrix
+
+
+@dataclass
+class DeviceCOO:
+    """COO matrix on the device: three parallel nnz-length arrays."""
+
+    row: DeviceArray
+    col: DeviceArray
+    val: DeviceArray
+    shape: tuple[int, int]
+
+    def __post_init__(self) -> None:
+        if not (self.row.size == self.col.size == self.val.size):
+            raise SparseFormatError(
+                f"device COO arrays disagree on nnz: {self.row.size}/"
+                f"{self.col.size}/{self.val.size}"
+            )
+
+    @property
+    def nnz(self) -> int:
+        return self.val.size
+
+    @property
+    def device(self) -> Device:
+        return self.val.device
+
+    def to_host(self) -> COOMatrix:
+        """Copy back to a host COOMatrix (three D2H transfers)."""
+        return COOMatrix(
+            self.row.copy_to_host(),
+            self.col.copy_to_host(),
+            self.val.copy_to_host(),
+            self.shape,
+            check=False,
+        )
+
+    def free(self) -> None:
+        self.row.free()
+        self.col.free()
+        self.val.free()
+
+
+@dataclass
+class DeviceCSR:
+    """CSR matrix on the device."""
+
+    indptr: DeviceArray
+    indices: DeviceArray
+    val: DeviceArray
+    shape: tuple[int, int]
+
+    def __post_init__(self) -> None:
+        if self.indptr.size != self.shape[0] + 1:
+            raise SparseFormatError(
+                f"device CSR indptr length {self.indptr.size} != "
+                f"n_rows+1 = {self.shape[0] + 1}"
+            )
+        if self.indices.size != self.val.size:
+            raise SparseFormatError(
+                f"device CSR indices/val mismatch: {self.indices.size} vs {self.val.size}"
+            )
+
+    @property
+    def nnz(self) -> int:
+        return self.val.size
+
+    @property
+    def device(self) -> Device:
+        return self.val.device
+
+    def to_host(self) -> CSRMatrix:
+        """Copy back to a host CSRMatrix (three D2H transfers)."""
+        return CSRMatrix(
+            self.indptr.copy_to_host(),
+            self.indices.copy_to_host(),
+            self.val.copy_to_host(),
+            self.shape,
+            check=False,
+        )
+
+    def free(self) -> None:
+        self.indptr.free()
+        self.indices.free()
+        self.val.free()
+
+
+def coo_to_device(device: Device, coo: COOMatrix) -> DeviceCOO:
+    """Upload a host COO matrix (three H2D transfers)."""
+    return DeviceCOO(
+        row=device.to_device(coo.row),
+        col=device.to_device(coo.col),
+        val=device.to_device(coo.data),
+        shape=coo.shape,
+    )
+
+
+def csr_to_device(device: Device, csr: CSRMatrix) -> DeviceCSR:
+    """Upload a host CSR matrix (three H2D transfers)."""
+    return DeviceCSR(
+        indptr=device.to_device(csr.indptr),
+        indices=device.to_device(csr.indices),
+        val=device.to_device(csr.data),
+        shape=csr.shape,
+    )

@@ -1,0 +1,45 @@
+"""Dataset generators reproducing Table II's workloads.
+
+The paper evaluates on DTI (brain voxels with 90-dim connectivity
+profiles), two SNAP graphs (FB, DBLP) and an SBM synthetic (Syn200).  The
+real DTI volume and the SNAP downloads are unavailable offline; each
+generator synthesizes a workload matched on the statistics that drive the
+timings — node count, edge count, cluster count, and community structure —
+as documented per-module and in DESIGN.md.
+
+:mod:`repro.datasets.registry` names the four datasets with both
+paper-scale parameters and scaled-down defaults for CI-speed benches.
+"""
+
+from repro.datasets.sbm import stochastic_block_model
+from repro.datasets.dti import make_dti_volume, DTIVolume
+from repro.datasets.social import make_social_graph
+from repro.datasets.dblp import make_coauthor_graph
+from repro.datasets.registry import (
+    Dataset,
+    DATASETS,
+    PAPER_STATS,
+    load_dataset,
+)
+from repro.datasets.io import (
+    graph_from_snap,
+    load_problem,
+    read_snap_edges,
+    save_problem,
+)
+
+__all__ = [
+    "graph_from_snap",
+    "load_problem",
+    "read_snap_edges",
+    "save_problem",
+    "stochastic_block_model",
+    "make_dti_volume",
+    "DTIVolume",
+    "make_social_graph",
+    "make_coauthor_graph",
+    "Dataset",
+    "DATASETS",
+    "PAPER_STATS",
+    "load_dataset",
+]

@@ -1,0 +1,79 @@
+"""Exception hierarchy for fastsc-py.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause, mirroring
+how CUDA error codes all funnel through ``cudaError_t``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class CudaError(ReproError):
+    """Base class for simulated CUDA runtime errors."""
+
+
+class DeviceMemoryError(CudaError):
+    """Raised when a device allocation exceeds the simulated device memory.
+
+    The analogue of ``cudaErrorMemoryAllocation`` from ``cudaMalloc``.
+    """
+
+
+class InvalidKernelLaunch(CudaError):
+    """Raised for malformed launch configurations (zero/negative or
+    over-limit grid/block dimensions), the analogue of
+    ``cudaErrorInvalidConfiguration``.
+    """
+
+
+class DeviceArrayError(CudaError):
+    """Raised when a device array is used incorrectly (freed handle,
+    dtype/shape mismatch, or host/device confusion)."""
+
+
+class StreamError(CudaError):
+    """Raised on invalid stream/event operations."""
+
+
+class SparseFormatError(ReproError):
+    """Raised for malformed sparse matrix data (index out of range,
+    non-monotonic indptr, shape mismatch)."""
+
+
+class SparseValueError(SparseFormatError):
+    """Raised when a sparse operation receives incompatible operands."""
+
+
+class ConvergenceError(ReproError):
+    """Raised when an iterative solver fails to converge within the
+    permitted number of iterations/restarts."""
+
+
+class EigensolverError(ReproError):
+    """Raised for invalid eigensolver configuration (k out of range,
+    non-square operator, bad basis size)."""
+
+
+class ReverseCommunicationError(EigensolverError):
+    """Raised when the reverse-communication protocol is violated, e.g.
+    ``put_vector`` called before ``take_step`` asked for a product."""
+
+
+class GraphConstructionError(ReproError):
+    """Raised for invalid similarity-graph construction inputs."""
+
+
+class ClusteringError(ReproError):
+    """Raised for invalid clustering configuration (k > n, empty input)."""
+
+
+class DatasetError(ReproError):
+    """Raised by dataset generators for invalid parameters."""
+
+
+class BenchmarkError(ReproError):
+    """Raised by the benchmark harness for malformed experiment specs."""

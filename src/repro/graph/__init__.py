@@ -1,0 +1,63 @@
+"""Similarity-graph construction (paper §IV.A) and Laplacian operators (§IV.B).
+
+* :mod:`repro.graph.similarity` — the three similarity measures of Eqs. 6-8
+  (cosine, cross-correlation, exponential decay);
+* :mod:`repro.graph.neighbors` — ε-distance and k-nearest-neighbor edge
+  enumeration (uniform-grid spatial index for volumetric data, blockwise
+  brute force in general dimension);
+* :mod:`repro.graph.build` — Algorithm 1: the GPU similarity-matrix
+  builder producing a COO graph, plus the host reference path;
+* :mod:`repro.graph.laplacian` — Algorithm 2: degree computation and
+  ``D⁻¹W`` / ``D^{-1/2} W D^{-1/2}`` scaling on device and host;
+* :mod:`repro.graph.components` — connected components / isolated-node
+  handling (the paper removes isolated nodes before the eigensolver).
+"""
+
+from repro.graph.similarity import (
+    cosine_similarity,
+    cross_correlation,
+    exp_decay,
+    pairwise_similarity,
+)
+from repro.graph.neighbors import (
+    epsilon_neighbors,
+    epsilon_neighbors_grid,
+    knn_neighbors,
+)
+from repro.graph.build import (
+    build_similarity_graph,
+    build_similarity_device,
+    threshold_graph,
+)
+from repro.graph.laplacian import (
+    degrees,
+    device_rw_normalize,
+    device_shifted_laplacian,
+    device_sym_normalize,
+    laplacian,
+    rw_normalized_adjacency,
+    sym_normalized_adjacency,
+)
+from repro.graph.components import connected_components, remove_isolated
+
+__all__ = [
+    "cosine_similarity",
+    "cross_correlation",
+    "exp_decay",
+    "pairwise_similarity",
+    "epsilon_neighbors",
+    "epsilon_neighbors_grid",
+    "knn_neighbors",
+    "build_similarity_graph",
+    "build_similarity_device",
+    "threshold_graph",
+    "degrees",
+    "device_rw_normalize",
+    "device_shifted_laplacian",
+    "device_sym_normalize",
+    "laplacian",
+    "rw_normalized_adjacency",
+    "sym_normalized_adjacency",
+    "connected_components",
+    "remove_isolated",
+]

@@ -1,0 +1,215 @@
+"""Graph Laplacians and Algorithm 2: parallel computation of ``D⁻¹W``.
+
+The eigenvectors for the smallest k eigenvalues of the normalized
+Laplacian ``L_n = I - D⁻¹W`` are exactly the eigenvectors for the
+*largest* k eigenvalues of ``D⁻¹W`` (paper §IV.B), so the device path
+prepares ``D⁻¹W`` in CSR:
+
+1. a ones-vector is multiplied through the similarity matrix to get the
+   degree vector (one ``cusparse`` SpMV);
+2. the ``ScaleElements`` kernel divides each COO value by the degree of its
+   row;
+3. ``cusparseXcoo2csr`` compresses the row indices.
+
+Because ``D⁻¹W`` is not symmetric, while the Lanczos machinery requires a
+symmetric operator, the pipeline by default works with the *symmetrically*
+normalized ``D^{-1/2} W D^{-1/2}`` — similar to ``D⁻¹W`` (identical
+eigenvalues; eigenvectors map through ``D^{-1/2}``), and exactly the
+generalized eigenvectors of ``L x = λ D x`` that minimize NCut.  Both
+scalings are provided.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cuda.device import Device
+from repro.cuda.kernel import Kernel, launch
+from repro.cuda.launch import grid_1d
+from repro.cusparse.conversions import coo2csr
+from repro.cusparse.matrices import DeviceCOO, DeviceCSR
+from repro.cusparse.spmv import coomv
+from repro.errors import GraphConstructionError
+from repro.sparse import ops as sparse_ops
+from repro.sparse.construct import diags
+from repro.sparse.csr import CSRMatrix
+
+# ---------------------------------------------------------------------------
+# host path
+# ---------------------------------------------------------------------------
+
+
+def degrees(W) -> np.ndarray:
+    """Degree vector ``D_ii = sum_j W_ij`` for any sparse format."""
+    return sparse_ops.row_sums(W)
+
+
+def _check_degrees(d: np.ndarray, allow_isolated: bool) -> None:
+    if np.any(d < 0):
+        raise GraphConstructionError(
+            "negative degrees: similarity matrix must be non-negative"
+        )
+    if not allow_isolated and np.any(d == 0):
+        isolated = int(np.count_nonzero(d == 0))
+        raise GraphConstructionError(
+            f"{isolated} isolated nodes (zero degree); remove them first "
+            "(repro.graph.remove_isolated) — the paper assumes all D_ii > 0"
+        )
+
+
+def rw_normalized_adjacency(W, allow_isolated: bool = False) -> CSRMatrix:
+    """``P = D⁻¹ W`` (random-walk normalization), host reference of Alg. 2."""
+    d = degrees(W)
+    _check_degrees(d, allow_isolated)
+    inv = np.where(d > 0, 1.0 / np.where(d > 0, d, 1.0), 0.0)
+    csr = W.to_csr() if not isinstance(W, CSRMatrix) else W
+    return csr.scale_rows(inv)
+
+
+def sym_normalized_adjacency(W, allow_isolated: bool = False) -> CSRMatrix:
+    """``Ŵ = D^{-1/2} W D^{-1/2}`` — the symmetric twin of ``D⁻¹W``."""
+    d = degrees(W)
+    _check_degrees(d, allow_isolated)
+    inv_sqrt = np.where(d > 0, 1.0 / np.sqrt(np.where(d > 0, d, 1.0)), 0.0)
+    csr = W.to_csr() if not isinstance(W, CSRMatrix) else W
+    return csr.scale_rows(inv_sqrt).scale_cols(inv_sqrt)
+
+
+def laplacian(W, normalized: bool = False, allow_isolated: bool = True) -> CSRMatrix:
+    """``L = D - W`` or the random-walk normalized ``L_n = I - D⁻¹W``."""
+    d = degrees(W)
+    _check_degrees(d, allow_isolated or not normalized)
+    csr = W.to_csr() if not isinstance(W, CSRMatrix) else W
+    if not normalized:
+        return diags(d).add(csr.scaled(-1.0))
+    inv = np.where(d > 0, 1.0 / np.where(d > 0, d, 1.0), 0.0)
+    n = csr.shape[0]
+    return diags(np.ones(n)).add(csr.scale_rows(inv).scaled(-1.0))
+
+
+# ---------------------------------------------------------------------------
+# device path (Algorithm 2)
+# ---------------------------------------------------------------------------
+
+def _scale_elements_body(tid, row, val, inv_deg):
+    val[tid] *= inv_deg[row[tid]]
+
+scale_elements = Kernel(
+    name="ScaleElements",
+    body=_scale_elements_body,
+    cost=lambda nt, row, val, inv_deg: (nt, nt * 24.0),
+    kind="gather",
+)
+
+def _scale_elements_sym_body(tid, row, col, val, inv_sqrt):
+    val[tid] *= inv_sqrt[row[tid]] * inv_sqrt[col[tid]]
+
+scale_elements_sym = Kernel(
+    name="ScaleElementsSym",
+    body=_scale_elements_sym_body,
+    cost=lambda nt, row, col, val, inv_sqrt: (2.0 * nt, nt * 32.0),
+    kind="gather",
+)
+
+
+def _device_degrees(W: DeviceCOO) -> "np.ndarray":
+    """Steps 1-2 of Algorithm 2: y = W @ 1 on the device; returns the
+    device vector of degrees."""
+    dev = W.device
+    n = W.shape[0]
+    ones = dev.full(n, 1.0)
+    y = coomv(W, ones)
+    ones.free()
+    return y
+
+
+def device_rw_normalize(W: DeviceCOO, allow_isolated: bool = False) -> DeviceCSR:
+    """Algorithm 2 verbatim: ``D⁻¹W`` in CSR on the device."""
+    dev = W.device
+    with dev.stage("laplacian"):
+        y = _device_degrees(W)
+        d = y.data
+        _check_degrees(d, allow_isolated)
+        inv = dev.empty(d.size, dtype=np.float64)
+        inv.data[...] = np.where(d > 0, 1.0 / np.where(d > 0, d, 1.0), 0.0)
+        dev.charge_kernel("reciprocal", flops=d.size, bytes_moved=2 * d.size * 8)
+        # step 3: scale each COO item by the inverse degree of its row
+        launch(
+            scale_elements, grid_1d(W.nnz, 256), W.row, W.val, inv,
+            n_threads=W.nnz,
+        )
+        # steps 4-5: compress row indices
+        csr = coo2csr(W)
+        y.free()
+        inv.free()
+    return csr
+
+
+def device_shifted_laplacian(
+    W: DeviceCOO, allow_isolated: bool = True
+) -> tuple[DeviceCSR, float]:
+    """Build ``cI - L = cI - D + W`` on the device, with ``c = 2·max(d)``.
+
+    The RatioCut relaxation needs the *smallest* eigenvectors of the
+    unnormalized ``L = D - W``; Lanczos converges far better to extremal
+    *largest* eigenvalues, so the pipeline iterates with the spectrum
+    flipped by a Gershgorin-safe shift: eigenvalues of ``L`` lie in
+    ``[0, 2·max(d)]``, hence ``cI - L`` is PSD with the wanted vectors on
+    top.  Returns the device CSR and the shift ``c`` (so callers can map
+    Ritz values back via ``λ(L) = c - θ``).
+    """
+    dev = W.device
+    with dev.stage("laplacian"):
+        y = _device_degrees(W)
+        d = y.data
+        _check_degrees(d, allow_isolated)
+        c = 2.0 * float(d.max()) if d.size else 0.0
+        dev._record_d2h(8)
+        n = W.shape[0]
+        # append the diagonal (c - d_i) to the off-diagonal +W entries
+        row = np.concatenate([W.row.data, np.arange(n, dtype=np.int64)])
+        col = np.concatenate([W.col.data, np.arange(n, dtype=np.int64)])
+        val = np.concatenate([W.val.data, c - d])
+        order = np.argsort(row * n + col, kind="stable")
+        drow = dev.empty(row.size, dtype=np.int64)
+        drow.data[...] = row[order]
+        dcol = dev.empty(col.size, dtype=np.int64)
+        dcol.data[...] = col[order]
+        dval = dev.empty(val.size, dtype=np.float64)
+        dval.data[...] = val[order]
+        dev.timeline.record(
+            "thrust::sort_by_key[shifted_laplacian]", "kernel",
+            dev.cost.sort_time(row.size),
+        )
+        shifted = DeviceCOO(row=drow, col=dcol, val=dval, shape=W.shape)
+        csr = coo2csr(shifted)
+        y.free()
+    return csr, c
+
+
+def device_sym_normalize(W: DeviceCOO, allow_isolated: bool = False) -> DeviceCSR:
+    """Algorithm 2 with symmetric scaling: ``D^{-1/2} W D^{-1/2}`` in CSR.
+
+    Returns the operator the hybrid eigensolver iterates with by default;
+    ``d^{-1/2}`` is recoverable from the degrees for the back-mapping of
+    eigenvectors (done host-side in the pipeline).
+    """
+    dev = W.device
+    with dev.stage("laplacian"):
+        y = _device_degrees(W)
+        d = y.data
+        _check_degrees(d, allow_isolated)
+        inv_sqrt = dev.empty(d.size, dtype=np.float64)
+        inv_sqrt.data[...] = np.where(
+            d > 0, 1.0 / np.sqrt(np.where(d > 0, d, 1.0)), 0.0
+        )
+        dev.charge_kernel("rsqrt", flops=2.0 * d.size, bytes_moved=2 * d.size * 8)
+        launch(
+            scale_elements_sym, grid_1d(W.nnz, 256),
+            W.row, W.col, W.val, inv_sqrt,
+            n_threads=W.nnz,
+        )
+        csr = coo2csr(W)
+        y.free()
+        inv_sqrt.free()
+    return csr

@@ -1,0 +1,103 @@
+"""Similarity measures between data points (paper Eqs. 6-8).
+
+Host reference implementations, vectorized over an edge list: given
+``X (n, d)`` and pairs ``(i, j)``, each function returns the per-pair
+similarity.  The device path (Algorithm 1) lives in
+:mod:`repro.graph.build` and must agree with these to rounding error —
+a property test enforces it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphConstructionError
+
+#: available similarity measures, name -> callable(X, pairs, **kw)
+MEASURES = {}
+
+
+def _register(name):
+    def deco(fn):
+        MEASURES[name] = fn
+        return fn
+
+    return deco
+
+
+def _check(X: np.ndarray, pairs: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    X = np.asarray(X, dtype=np.float64)
+    pairs = np.asarray(pairs, dtype=np.int64)
+    if X.ndim != 2:
+        raise GraphConstructionError(f"X must be 2-D (n, d), got {X.shape}")
+    if pairs.ndim != 2 or pairs.shape[1] != 2:
+        raise GraphConstructionError(f"pairs must be (nnz, 2), got {pairs.shape}")
+    if pairs.size and (pairs.min() < 0 or pairs.max() >= X.shape[0]):
+        raise GraphConstructionError(
+            f"pair index out of range [0, {X.shape[0]})"
+        )
+    return X, pairs
+
+
+@_register("cosine")
+def cosine_similarity(X: np.ndarray, pairs: np.ndarray) -> np.ndarray:
+    """Eq. 6: ``<x_i, x_j> / (||x_i|| ||x_j||)`` per pair.
+
+    Pairs touching an all-zero row get similarity 0 (no direction defined).
+    """
+    X, pairs = _check(X, pairs)
+    norms = np.linalg.norm(X, axis=1)
+    i, j = pairs[:, 0], pairs[:, 1]
+    dots = np.einsum("ed,ed->e", X[i], X[j])
+    denom = norms[i] * norms[j]
+    out = np.zeros(pairs.shape[0])
+    ok = denom > 0
+    out[ok] = dots[ok] / denom[ok]
+    return out
+
+
+@_register("crosscorr")
+def cross_correlation(X: np.ndarray, pairs: np.ndarray) -> np.ndarray:
+    """Eq. 7: the Pearson correlation of the mean-centered rows.
+
+    This is the measure the DTI experiment uses.  Pairs touching a
+    constant row (zero variance) get similarity 0.
+    """
+    X, pairs = _check(X, pairs)
+    Xc = X - X.mean(axis=1, keepdims=True)
+    norms = np.linalg.norm(Xc, axis=1)
+    i, j = pairs[:, 0], pairs[:, 1]
+    dots = np.einsum("ed,ed->e", Xc[i], Xc[j])
+    denom = norms[i] * norms[j]
+    out = np.zeros(pairs.shape[0])
+    ok = denom > 0
+    out[ok] = dots[ok] / denom[ok]
+    return out
+
+
+@_register("expdecay")
+def exp_decay(X: np.ndarray, pairs: np.ndarray, sigma: float = 1.0) -> np.ndarray:
+    """Eq. 8: the Gaussian kernel ``exp(-||x_i - x_j||² / (2σ²))``.
+
+    (The paper's Eq. 8 omits the minus sign — an obvious typo; a decaying
+    similarity requires it, and the standard RBF kernel is reproduced here.)
+    """
+    if sigma <= 0:
+        raise GraphConstructionError(f"sigma must be positive, got {sigma}")
+    X, pairs = _check(X, pairs)
+    diff = X[pairs[:, 0]] - X[pairs[:, 1]]
+    sq = np.einsum("ed,ed->e", diff, diff)
+    return np.exp(-sq / (2.0 * sigma * sigma))
+
+
+def pairwise_similarity(
+    X: np.ndarray, pairs: np.ndarray, measure: str = "crosscorr", **kwargs
+) -> np.ndarray:
+    """Dispatch on a named measure (the host reference path)."""
+    try:
+        fn = MEASURES[measure]
+    except KeyError:
+        raise GraphConstructionError(
+            f"unknown measure {measure!r}; expected one of {sorted(MEASURES)}"
+        ) from None
+    return fn(X, pairs, **kwargs)

@@ -1,0 +1,45 @@
+"""Hardware specifications and analytic cost models.
+
+This subpackage is the root of the *simulated time* axis: every simulated
+CUDA kernel, PCIe transfer and modeled CPU phase converts work (flops, bytes,
+iterations) into seconds through the models defined here, and charges the
+result to a :class:`~repro.hw.timeline.SimClock`.
+"""
+
+from repro.hw.spec import (
+    CPUSpec,
+    GPUSpec,
+    PCIeSpec,
+    PlatformSpec,
+    K20C,
+    XEON_E5_2690,
+    PCIE_X16_GEN2,
+    PAPER_PLATFORM,
+)
+from repro.hw.costmodel import (
+    CostModel,
+    GPUCostModel,
+    CPUCostModel,
+    TransferCostModel,
+    roofline_time,
+)
+from repro.hw.timeline import SimClock, TimelineEvent, Timeline
+
+__all__ = [
+    "CPUSpec",
+    "GPUSpec",
+    "PCIeSpec",
+    "PlatformSpec",
+    "K20C",
+    "XEON_E5_2690",
+    "PCIE_X16_GEN2",
+    "PAPER_PLATFORM",
+    "CostModel",
+    "GPUCostModel",
+    "CPUCostModel",
+    "TransferCostModel",
+    "roofline_time",
+    "SimClock",
+    "TimelineEvent",
+    "Timeline",
+]

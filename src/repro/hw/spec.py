@@ -1,0 +1,182 @@
+"""Hardware specification dataclasses and the paper's platform presets.
+
+Table I of the paper fixes the evaluation platform:
+
+====================  =========================
+CPU Model             Intel Xeon E5-2690
+CPU Cores             8
+DRAM Size             128 GB
+GPU Model             Tesla K20c
+Device Memory Size    5 GB GDDR5
+SMs and SPs           13 and 192
+Compute Capability    3.5
+CUDA SDK              7.5
+PCIe Bus              PCIe x16 Gen2
+====================  =========================
+
+The presets below encode those specs together with the public peak numbers
+for each part (K20c: 1.17 TFLOP/s double precision, 208 GB/s GDDR5;
+E5-2690: 8 cores x 2.9 GHz x 8 DP flops/cycle; PCIe x16 Gen2: 8 GB/s
+theoretical, ~6 GB/s achievable).  Efficiency factors - the fraction of peak
+a real BLAS kernel reaches - are part of the spec so cost models stay pure
+functions of (work, spec).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Specification of a (simulated) CUDA device.
+
+    Attributes mirror the properties ``cudaGetDeviceProperties`` would
+    report, plus efficiency factors used by the cost model.
+    """
+
+    name: str
+    sm_count: int
+    sp_per_sm: int
+    clock_ghz: float
+    memory_bytes: int
+    mem_bandwidth_gbs: float
+    #: double-precision peak, GFLOP/s
+    peak_gflops_dp: float
+    #: single-precision peak, GFLOP/s
+    peak_gflops_sp: float
+    compute_capability: tuple[int, int] = (3, 5)
+    max_threads_per_block: int = 1024
+    max_grid_dim_x: int = 2**31 - 1
+    warp_size: int = 32
+    #: fixed kernel launch overhead, seconds (driver + dispatch)
+    kernel_launch_overhead_s: float = 8.0e-6
+    #: fraction of peak flops a tuned dense kernel (gemm) achieves
+    gemm_efficiency: float = 0.80
+    #: fraction of peak bandwidth a streaming kernel achieves
+    stream_efficiency: float = 0.75
+    #: fraction of peak bandwidth an irregular (gather/scatter) kernel achieves
+    gather_efficiency: float = 0.25
+    #: effective sort throughput, keys/second (radix sort on Kepler)
+    sort_keys_per_s: float = 6.0e8
+
+    @property
+    def core_count(self) -> int:
+        """Total streaming processors (CUDA cores) on the device."""
+        return self.sm_count * self.sp_per_sm
+
+    @property
+    def mem_bandwidth_bytes_s(self) -> float:
+        return self.mem_bandwidth_gbs * 1e9
+
+    def peak_flops(self, dtype_itemsize: int = 8) -> float:
+        """Peak FLOP/s for the given element width (8 = double, 4 = single)."""
+        gf = self.peak_gflops_dp if dtype_itemsize >= 8 else self.peak_gflops_sp
+        return gf * 1e9
+
+
+@dataclass(frozen=True)
+class CPUSpec:
+    """Specification of the host CPU used for modeled CPU phases."""
+
+    name: str
+    cores: int
+    clock_ghz: float
+    #: double-precision flops per core per cycle (AVX FMA width)
+    flops_per_cycle_dp: float
+    dram_bytes: int
+    mem_bandwidth_gbs: float
+    #: fraction of peak a tuned multithreaded BLAS-3 kernel achieves
+    blas3_efficiency: float = 0.85
+    #: fraction of peak a BLAS-1/2 (memory bound) kernel achieves, of bandwidth
+    blas1_efficiency: float = 0.60
+    #: seconds per iteration of an *interpreted* (Matlab/Python 2.7) scalar loop
+    interp_loop_overhead_s: float = 5.5e-5
+
+    @property
+    def peak_flops_dp(self) -> float:
+        """Multithreaded double-precision peak, FLOP/s."""
+        return self.cores * self.clock_ghz * 1e9 * self.flops_per_cycle_dp
+
+    @property
+    def peak_flops_single_thread(self) -> float:
+        return self.clock_ghz * 1e9 * self.flops_per_cycle_dp
+
+    @property
+    def mem_bandwidth_bytes_s(self) -> float:
+        return self.mem_bandwidth_gbs * 1e9
+
+
+@dataclass(frozen=True)
+class PCIeSpec:
+    """PCIe link model: per-transfer latency plus bandwidth term."""
+
+    name: str
+    #: theoretical peak, GB/s (the paper quotes 8 GB/s for x16 Gen2)
+    peak_gbs: float
+    #: achievable fraction of peak for large pinned transfers
+    efficiency: float = 0.75
+    #: fixed per-transfer latency, seconds (driver + DMA setup)
+    latency_s: float = 1.0e-5
+
+    @property
+    def effective_bytes_s(self) -> float:
+        return self.peak_gbs * 1e9 * self.efficiency
+
+    def transfer_time(self, nbytes: int) -> float:
+        """Seconds to move ``nbytes`` across the link (one direction)."""
+        if nbytes < 0:
+            raise ValueError(f"negative transfer size: {nbytes}")
+        if nbytes == 0:
+            return 0.0
+        return self.latency_s + nbytes / self.effective_bytes_s
+
+
+@dataclass(frozen=True)
+class PlatformSpec:
+    """A complete heterogeneous platform: host CPU + device GPU + link."""
+
+    cpu: CPUSpec
+    gpu: GPUSpec
+    pcie: PCIeSpec
+    name: str = "cpu-gpu-platform"
+
+    def with_gpu(self, **kwargs) -> "PlatformSpec":
+        """Return a copy with selected GPU fields replaced."""
+        return replace(self, gpu=replace(self.gpu, **kwargs))
+
+    def with_cpu(self, **kwargs) -> "PlatformSpec":
+        """Return a copy with selected CPU fields replaced."""
+        return replace(self, cpu=replace(self.cpu, **kwargs))
+
+
+#: NVIDIA Tesla K20c as in Table I. 13 SMs x 192 SPs, 5 GB GDDR5.
+K20C = GPUSpec(
+    name="Tesla K20c",
+    sm_count=13,
+    sp_per_sm=192,
+    clock_ghz=0.706,
+    memory_bytes=5 * 1024**3,
+    mem_bandwidth_gbs=208.0,
+    peak_gflops_dp=1170.0,
+    peak_gflops_sp=3520.0,
+    compute_capability=(3, 5),
+)
+
+#: Intel Xeon E5-2690 (Sandy Bridge EP): 8 cores, 2.9 GHz, AVX (8 DP flop/cyc).
+XEON_E5_2690 = CPUSpec(
+    name="Intel Xeon E5-2690",
+    cores=8,
+    clock_ghz=2.9,
+    flops_per_cycle_dp=8.0,
+    dram_bytes=128 * 1024**3,
+    mem_bandwidth_gbs=51.2,
+)
+
+#: PCIe x16 Gen2 as in Table I ("theoretical peak bandwidth is 8 GB/s").
+PCIE_X16_GEN2 = PCIeSpec(name="PCIe x16 Gen2", peak_gbs=8.0)
+
+#: The full Table I platform.
+PAPER_PLATFORM = PlatformSpec(
+    cpu=XEON_E5_2690, gpu=K20C, pcie=PCIE_X16_GEN2, name="paper-table1"
+)

@@ -1,0 +1,164 @@
+"""Simulated clock and event timeline.
+
+Every simulated operation (kernel, transfer, CPU phase) appends a
+:class:`TimelineEvent` to a :class:`Timeline` and advances the owning
+:class:`SimClock`.  The timeline is the source of truth for all
+paper-comparable timing tables; Table VII's communication-vs-computation
+split is a two-bucket aggregation over event categories.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+#: Event categories. ``h2d``/``d2h`` are *communication*; everything else is
+#: *computation* for the purpose of Table VII.
+CATEGORIES = ("kernel", "h2d", "d2h", "cpu", "overhead")
+COMMUNICATION_CATEGORIES = frozenset({"h2d", "d2h"})
+
+
+@dataclass(frozen=True)
+class TimelineEvent:
+    """One completed simulated operation.
+
+    Attributes
+    ----------
+    name:
+        Human-readable operation name (kernel name, transfer description).
+    category:
+        One of :data:`CATEGORIES`.
+    start, duration:
+        Simulated start time and duration, seconds.
+    tag:
+        Free-form grouping label, used to attribute events to pipeline
+        stages ("similarity", "eigensolver", "kmeans").
+    """
+
+    name: str
+    category: str
+    start: float
+    duration: float
+    tag: str = ""
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+class SimClock:
+    """A monotonically advancing simulated clock (seconds)."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, dt: float) -> float:
+        """Advance by ``dt`` seconds and return the new time."""
+        if dt < 0:
+            raise ValueError(f"cannot advance clock by negative dt={dt}")
+        self._now += dt
+        return self._now
+
+    def reset(self) -> None:
+        self._now = 0.0
+
+
+class Timeline:
+    """An append-only record of simulated events with aggregation helpers."""
+
+    def __init__(self, clock: SimClock | None = None) -> None:
+        self.clock = clock if clock is not None else SimClock()
+        self._events: list[TimelineEvent] = []
+        #: current stage tag applied to newly recorded events
+        self._tag = ""
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TimelineEvent]:
+        return iter(self._events)
+
+    @property
+    def events(self) -> tuple[TimelineEvent, ...]:
+        return tuple(self._events)
+
+    def set_tag(self, tag: str) -> None:
+        """Set the stage tag stamped on subsequent events."""
+        self._tag = tag
+
+    def record(self, name: str, category: str, duration: float) -> TimelineEvent:
+        """Record an event of ``duration`` seconds and advance the clock."""
+        if category not in CATEGORIES:
+            raise ValueError(
+                f"unknown category {category!r}; expected one of {CATEGORIES}"
+            )
+        if duration < 0:
+            raise ValueError(f"negative duration: {duration}")
+        ev = TimelineEvent(
+            name=name,
+            category=category,
+            start=self.clock.now,
+            duration=duration,
+            tag=self._tag,
+        )
+        self.clock.advance(duration)
+        self._events.append(ev)
+        return ev
+
+    def clear(self) -> None:
+        self._events.clear()
+        self.clock.reset()
+
+    # ------------------------------------------------------------------
+    # aggregation
+    # ------------------------------------------------------------------
+    def total(self, category: str | None = None, tag: str | None = None) -> float:
+        """Total simulated seconds, optionally filtered."""
+        return sum(ev.duration for ev in self._select(category, tag))
+
+    def count(self, category: str | None = None, tag: str | None = None) -> int:
+        return sum(1 for _ in self._select(category, tag))
+
+    def _select(
+        self, category: str | None, tag: str | None
+    ) -> Iterable[TimelineEvent]:
+        for ev in self._events:
+            if category is not None and ev.category != category:
+                continue
+            if tag is not None and ev.tag != tag:
+                continue
+            yield ev
+
+    def communication_time(self, tag: str | None = None) -> float:
+        """Total time in H2D + D2H transfers (Table VII 'Communication')."""
+        return sum(
+            ev.duration
+            for ev in self._select(None, tag)
+            if ev.category in COMMUNICATION_CATEGORIES
+        )
+
+    def computation_time(self, tag: str | None = None) -> float:
+        """Total non-transfer time (Table VII 'Computation')."""
+        return sum(
+            ev.duration
+            for ev in self._select(None, tag)
+            if ev.category not in COMMUNICATION_CATEGORIES
+        )
+
+    def by_tag(self) -> dict[str, float]:
+        """Total simulated seconds per stage tag."""
+        out: dict[str, float] = {}
+        for ev in self._events:
+            out[ev.tag] = out.get(ev.tag, 0.0) + ev.duration
+        return out
+
+    def by_category(self, tag: str | None = None) -> dict[str, float]:
+        """Total simulated seconds per event category."""
+        out: dict[str, float] = {}
+        for ev in self._select(None, tag):
+            out[ev.category] = out.get(ev.category, 0.0) + ev.duration
+        return out

@@ -1,0 +1,259 @@
+"""Algorithm 4: parallel k-means on the (simulated) GPU.
+
+The three phases of each Lloyd iteration map to device primitives exactly
+as in the paper:
+
+* **distances** — ``S`` is initialized to ``||v_i||² + ||c_j||²`` by a
+  streaming kernel (Eq. 15) and completed with one cuBLAS gemm,
+  ``S -= 2 V Cᵀ`` (Eq. 16).  This BLAS-3 reformulation is where the
+  100-400× speedups over the loop-based baselines come from;
+* **labels** — a row-argmin kernel; a device reduction counts label
+  changes for the convergence test;
+* **centroids** — the data points are sorted by their new label
+  (``thrust::sort_by_key``) so members of each cluster are contiguous,
+  then summed with a segmented reduction (``thrust::reduce_by_key``), as
+  described in §IV.C.
+
+Empty clusters are repaired with the same deterministic relocation rule as
+the host implementation, keeping the two paths bit-comparable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import cublas, thrust
+from repro.cuda.device import Device
+from repro.cuda.kernel import Kernel, launch
+from repro.cuda.launch import grid_1d
+from repro.cuda.memory import DeviceArray
+from repro.errors import ClusteringError
+from repro.kmeans.init import kmeans_plus_plus_device, random_init
+from repro.kmeans.utils import (
+    KMeansResult,
+    inertia as _inertia,
+    relabel_empty_clusters,
+    validate_inputs,
+)
+
+# ---------------------------------------------------------------------------
+# kernels
+# ---------------------------------------------------------------------------
+
+compute_norms = Kernel(
+    name="compute_norms",
+    body=lambda tid, V, out: out.__setitem__(
+        tid, np.einsum("nd,nd->n", V[tid], V[tid])
+    ),
+    cost=lambda nt, V, out: (2.0 * V[:nt].size, V[:nt].nbytes + out.nbytes),
+    kind="stream",
+)
+
+init_distances = Kernel(
+    name="init_distances",
+    body=lambda tid, S, Vnorm, Cnorm: S.__setitem__(
+        tid, Vnorm[tid, None] + Cnorm[None, :]
+    ),
+    cost=lambda nt, S, Vnorm, Cnorm: (
+        float(nt) * Cnorm.size,
+        float(nt) * Cnorm.size * 8 + Vnorm.nbytes + Cnorm.nbytes,
+    ),
+    kind="stream",
+)
+
+argmin_rows = Kernel(
+    name="argmin_rows",
+    body=lambda tid, S, labels: labels.__setitem__(tid, np.argmin(S[tid], axis=1)),
+    cost=lambda nt, S, labels: (
+        float(nt) * S.shape[1],
+        float(nt) * S.shape[1] * 8 + labels.nbytes,
+    ),
+    kind="stream",
+)
+
+
+def _direct_distances_body(tid, V, C, S):
+    diff = V[tid][:, None, :] - C[None, :, :]
+    S[tid] = np.einsum("tkd,tkd->tk", diff, diff)
+
+#: the naive distance kernel: thread i re-streams all k centroids against
+#: its point — 3·n·k·d flops but, critically, n·k·d element reads instead
+#: of the gemm's O(n·d + k·d) (plus cache-blocked reuse).  This is the
+#: formulation Algorithm 4 *replaces* with Eqs. 12-16; the distance
+#: ablation bench quantifies the win.
+direct_distances = Kernel(
+    name="direct_distances",
+    body=_direct_distances_body,
+    cost=lambda nt, V, C, S: (
+        3.0 * nt * C.shape[0] * C.shape[1],
+        float(nt) * C.shape[0] * C.shape[1] * 8 + float(nt) * C.shape[0] * 8,
+    ),
+    kind="stream",
+)
+
+
+def kmeans_device(
+    device: Device,
+    V: np.ndarray | DeviceArray,
+    k: int,
+    init: str = "k-means++",
+    max_iter: int = 300,
+    seed: int | None = 0,
+    initial_centroids: np.ndarray | None = None,
+    block: int = 256,
+    tile_rows: int | None = None,
+    distance_method: str = "gemm",
+) -> KMeansResult:
+    """Run Algorithm 4 on ``device``; returns a host-side result.
+
+    Parameters
+    ----------
+    V:
+        Host ``(n, d)`` data (transferred, step 1 of Algorithm 4) or an
+        already device-resident array.
+    k:
+        Number of clusters.
+    init:
+        'k-means++' (Algorithm 5 on the device) or 'random'.
+    initial_centroids:
+        Explicit seeds; bypasses ``init`` (used for CPU/GPU parity tests).
+    tile_rows:
+        Rows of the distance matrix materialized at once.  ``None`` sizes
+        the tile automatically: the full ``n × k`` matrix when it fits in
+        a quarter of free device memory, otherwise the largest tile that
+        does — which is what lets the pipeline run problems whose distance
+        matrix alone exceeds the K20c's 5 GB ("extremely large input
+        sizes", paper §I).  Tiling changes memory traffic, never results.
+    distance_method:
+        'gemm' (default) — the paper's BLAS-3 expansion, Eqs. 12-16;
+        'direct' — the naive per-pair distance kernel it replaces.
+        Identical results; the ablation bench compares their costs.
+    """
+    if distance_method not in ("gemm", "direct"):
+        raise ClusteringError(
+            f"distance_method must be 'gemm' or 'direct', got {distance_method!r}"
+        )
+    rng = np.random.default_rng(seed)
+    with device.stage("kmeans"):
+        if isinstance(V, DeviceArray):
+            dV = V
+            V_host = dV.data  # simulation substrate view, no transfer
+        else:
+            V_host = validate_inputs(V, k)
+            dV = device.to_device(V_host)
+        n, d = dV.shape
+        if not 0 < k <= n:
+            raise ClusteringError(f"need 0 < k <= n, got k={k}, n={n}")
+
+        # ---- seeding ---------------------------------------------------
+        if initial_centroids is not None:
+            C0 = np.asarray(initial_centroids, dtype=np.float64)
+            if C0.shape != (k, d):
+                raise ClusteringError(
+                    f"initial centroids have shape {C0.shape}, expected {(k, d)}"
+                )
+            dC = device.to_device(C0)
+        elif init == "k-means++":
+            dC = kmeans_plus_plus_device(dV, k, rng)
+        elif init == "random":
+            dC = device.to_device(random_init(dV.data, k, rng))
+        else:
+            raise ClusteringError(f"unknown init {init!r}")
+
+        # ---- persistent buffers -----------------------------------------
+        dVnorm = device.empty(n, dtype=np.float64)
+        launch(compute_norms, grid_1d(n, block), dV, dVnorm, n_threads=n)
+        dCnorm = device.empty(k, dtype=np.float64)
+        if tile_rows is None:
+            budget = device.allocator.free_bytes // 4
+            tile_rows = max(1, min(n, budget // max(1, k * 8)))
+        elif tile_rows < 1:
+            raise ClusteringError(f"tile_rows must be positive, got {tile_rows}")
+        tile_rows = min(tile_rows, n)
+        dS = device.empty((tile_rows, k), dtype=np.float64)
+        dlabels = device.full(n, -1, dtype=np.int64)
+
+        history: list[float] = []
+        converged = False
+        it = 0
+        for it in range(1, max_iter + 1):
+            # centroid norms + Eq. 15 init + Eq. 16 gemm, row tiles of S
+            launch(compute_norms, grid_1d(k, block), dC, dCnorm, n_threads=k)
+            old = dlabels.data.copy()
+            for lo in range(0, n, tile_rows):
+                hi = min(n, lo + tile_rows)
+                t = hi - lo
+                dS_t = dS.view_rows(0, t)
+                dVnorm_t = dVnorm.view_rows(lo, hi)
+                dV_t = dV.view_rows(lo, hi)
+                dlabels_t = dlabels.view_rows(lo, hi)
+                if distance_method == "gemm":
+                    launch(
+                        init_distances, grid_1d(t, block),
+                        dS_t, dVnorm_t, dCnorm, n_threads=t,
+                    )
+                    cublas.gemm(dV_t, dC, dS_t, alpha=-2.0, beta=1.0, transb=True)
+                else:
+                    launch(
+                        direct_distances, grid_1d(t, block),
+                        dV_t, dC, dS_t, n_threads=t,
+                    )
+                launch(argmin_rows, grid_1d(t, block), dS_t, dlabels_t, n_threads=t)
+            changes = int(np.count_nonzero(dlabels.data != old))
+            device.charge_kernel(
+                "count_changes", flops=n, bytes_moved=2 * n * 8
+            )
+            device._record_d2h(8)
+
+            # ---- centroid update: sort by label + segmented reduction ----
+            dkeys = dlabels.copy()
+            dvals = dV.copy()
+            thrust.sort_by_key(dkeys, dvals)
+            uniq, sums = thrust.reduce_by_key(dkeys, dvals)
+            ones = device.full(dkeys.size, 1.0)
+            uniq2, counts_arr = thrust.reduce_by_key(dkeys, ones)
+
+            counts = np.zeros(k, dtype=np.int64)
+            counts[uniq.data] = counts_arr.data.astype(np.int64)
+            new_C = dC.data.copy()
+            present = uniq.data
+            new_C[present] = sums.data / counts[present, None]
+            device.charge_kernel(
+                "divide_centroids", flops=k * d, bytes_moved=3 * k * d * 8
+            )
+
+            # empty-cluster repair (host rule, same as the CPU path)
+            new_C, labels_fixed, counts = relabel_empty_clusters(
+                V_host if not isinstance(V, DeviceArray) else dV.data,
+                new_C,
+                dlabels.data,
+                counts,
+            )
+            if labels_fixed is not dlabels.data:
+                dlabels.data[...] = labels_fixed
+            dC.data[...] = new_C
+
+            for buf in (dkeys, dvals, uniq, uniq2, sums, ones, counts_arr):
+                buf.free()
+
+            history.append(_inertia(dV.data, dC.data, dlabels.data))
+            if changes == 0:
+                converged = True
+                break
+
+        # step 4: transfer the labeling result from GPU to CPU
+        labels_host = dlabels.copy_to_host()
+        centroids_host = dC.copy_to_host()
+        for buf in (dVnorm, dCnorm, dS, dlabels, dC):
+            buf.free()
+        if not isinstance(V, DeviceArray):
+            dV.free()
+
+    return KMeansResult(
+        labels=labels_host,
+        centroids=centroids_host,
+        inertia=history[-1] if history else 0.0,
+        n_iter=it,
+        converged=converged,
+        inertia_history=history,
+    )

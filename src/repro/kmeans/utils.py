@@ -1,0 +1,115 @@
+"""Shared k-means helpers: results record, inertia, empty-cluster repair."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ClusteringError
+
+
+@dataclass
+class KMeansResult:
+    """Outcome of a k-means run.
+
+    Attributes
+    ----------
+    labels:
+        ``(n,)`` cluster assignment.
+    centroids:
+        ``(k, d)`` final centers.
+    inertia:
+        Sum of squared distances of points to their assigned centers.
+    n_iter:
+        Lloyd iterations executed.
+    converged:
+        True when no label changed on the final iteration (as opposed to
+        hitting ``max_iter``).
+    inertia_history:
+        Inertia after each iteration — tests assert monotone descent.
+    """
+
+    labels: np.ndarray
+    centroids: np.ndarray
+    inertia: float
+    n_iter: int
+    converged: bool
+    inertia_history: list[float] = field(default_factory=list)
+
+    @property
+    def k(self) -> int:
+        return self.centroids.shape[0]
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Assign new points to the fitted centroids (nearest-center rule)."""
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2 or X.shape[1] != self.centroids.shape[1]:
+            raise ClusteringError(
+                f"predict expects (m, {self.centroids.shape[1]}) points, "
+                f"got {X.shape}"
+            )
+        return exact_labels(X, self.centroids)
+
+
+def validate_inputs(V: np.ndarray, k: int) -> np.ndarray:
+    """Common argument validation for all k-means front ends."""
+    V = np.ascontiguousarray(V, dtype=np.float64)
+    if V.ndim != 2:
+        raise ClusteringError(f"data must be 2-D (n, d), got shape {V.shape}")
+    n = V.shape[0]
+    if not 0 < k <= n:
+        raise ClusteringError(f"need 0 < k <= n, got k={k}, n={n}")
+    return V
+
+
+def inertia(V: np.ndarray, centroids: np.ndarray, labels: np.ndarray) -> float:
+    """Sum of squared point-to-assigned-center distances."""
+    diff = V - centroids[labels]
+    return float(np.einsum("nd,nd->", diff, diff))
+
+
+def exact_labels(V: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+    """Argmin labels from exact (non-expanded) distances — the test oracle
+    for the BLAS-expansion path."""
+    d2 = ((V[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)
+    return np.argmin(d2, axis=1)
+
+
+def relabel_empty_clusters(
+    V: np.ndarray,
+    centroids: np.ndarray,
+    labels: np.ndarray,
+    counts: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Repair clusters that lost all members.
+
+    Standard strategy: each empty cluster steals the point currently
+    farthest from its assigned centroid (ties broken by index), mirroring
+    sklearn's relocation rule.  Deterministic.
+
+    Returns updated ``(centroids, labels, counts)``.
+    """
+    empty = np.flatnonzero(counts == 0)
+    if empty.size == 0:
+        return centroids, labels, counts
+    labels = labels.copy()
+    counts = counts.copy()
+    centroids = centroids.copy()
+    diff = V - centroids[labels]
+    dist = np.einsum("nd,nd->n", diff, diff)
+    order = np.argsort(dist)[::-1]
+    cursor = 0
+    for c in empty:
+        # skip candidates whose own cluster would become empty
+        while cursor < order.size and counts[labels[order[cursor]]] <= 1:
+            cursor += 1
+        if cursor >= order.size:
+            break
+        p = order[cursor]
+        cursor += 1
+        counts[labels[p]] -= 1
+        labels[p] = c
+        counts[c] = 1
+        centroids[c] = V[p]
+    return centroids, labels, counts

@@ -1,0 +1,51 @@
+"""Large-scale symmetric eigensolver, written from scratch.
+
+This subpackage is the stand-in for ARPACK/ARPACK++ (paper §III.C, §IV.B):
+
+* :mod:`repro.linalg.tridiag` — symmetric tridiagonal eigensolver
+  (implicit QL with Wilkinson shifts, an EISPACK ``tql2``-style routine);
+* :mod:`repro.linalg.qr` — Householder QR and Givens rotations;
+* :mod:`repro.linalg.lanczos` — the m-step Lanczos factorization with
+  full (DGKS) reorthogonalization;
+* :mod:`repro.linalg.iram` — the implicitly restarted Lanczos method with
+  exact-shift polynomial filtering (the symmetric IRAM of Sorensen);
+* :mod:`repro.linalg.rci` — the reverse communication interface: the solver
+  suspends whenever it needs ``OP @ x`` and the caller supplies the product,
+  which is how the paper splits the eigensolver between CPU (driver) and GPU
+  (SpMV);
+* :mod:`repro.linalg.eigsolver` — :class:`SymEigProblem`, the "Prob" object
+  of the paper's Algorithm 3, plus a one-call :func:`eigsh` driver.
+
+Like ARPACK itself (which defers small dense eigenproblems to LAPACK), the
+inner m×m dense operations default to LAPACK via ``numpy.linalg``; the
+from-scratch QL/QR routines are selectable and cross-validated in the test
+suite.
+"""
+
+from repro.linalg.tridiag import eigh_tridiagonal, eigh_tridiagonal_ql
+from repro.linalg.eigh import eigh, householder_tridiagonalize
+from repro.linalg.qr import givens, householder_qr
+from repro.linalg.utils import dgks_orthogonalize, normalize_columns
+from repro.linalg.lanczos import LanczosState
+from repro.linalg.iram import IRLMResult, irlm_generator
+from repro.linalg.rci import MatvecRequest, RCIStatus
+from repro.linalg.eigsolver import SymEigProblem, eigsh, eigsh_generalized_diag
+
+__all__ = [
+    "eigh_tridiagonal",
+    "eigh_tridiagonal_ql",
+    "eigh",
+    "householder_tridiagonalize",
+    "givens",
+    "householder_qr",
+    "dgks_orthogonalize",
+    "normalize_columns",
+    "LanczosState",
+    "IRLMResult",
+    "irlm_generator",
+    "MatvecRequest",
+    "RCIStatus",
+    "SymEigProblem",
+    "eigsh",
+    "eigsh_generalized_diag",
+]

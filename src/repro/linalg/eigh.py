@@ -1,0 +1,99 @@
+"""Dense symmetric eigendecomposition, from scratch.
+
+Completes the no-LAPACK path of the eigensolver stack: a dense symmetric
+matrix is reduced to tridiagonal form by Householder similarity
+transformations (the classic ``tred2`` reduction), then diagonalized by
+the implicit-QL routine in :mod:`repro.linalg.tridiag`.  Used when the
+IRLM is configured with ``dense_eig="ql"`` together with an arrowhead /
+dense projected matrix, and available standalone as :func:`eigh`.
+
+The LAPACK route (``numpy.linalg.eigh``) remains the default everywhere
+for speed — exactly as ARPACK defers its small dense problems to LAPACK —
+and the test suite cross-validates this implementation against it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.linalg.tridiag import eigh_tridiagonal_ql
+
+
+def householder_tridiagonalize(
+    A: np.ndarray, compute_q: bool = True
+) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
+    """Reduce a symmetric matrix to tridiagonal form: ``Qᵀ A Q = T``.
+
+    Parameters
+    ----------
+    A:
+        Symmetric ``(n, n)`` matrix (only assumed symmetric; not checked
+        beyond shape).
+    compute_q:
+        Accumulate the orthogonal transformation.
+
+    Returns
+    -------
+    (alpha, beta, Q):
+        Diagonal and subdiagonal of ``T``, and the orthogonal ``Q`` with
+        ``Q @ T @ Qᵀ = A`` (or None).
+    """
+    A = np.array(A, dtype=np.float64, copy=True)
+    n = A.shape[0]
+    if A.ndim != 2 or A.shape[1] != n:
+        raise ValueError(f"matrix must be square, got {A.shape}")
+    Q = np.eye(n) if compute_q else None
+
+    for k in range(n - 2):
+        x = A[k + 1 :, k]
+        normx = np.linalg.norm(x)
+        if normx == 0.0:
+            continue
+        alpha_h = -np.sign(x[0]) * normx if x[0] != 0 else -normx
+        v = x.copy()
+        v[0] -= alpha_h
+        vnorm = np.linalg.norm(v)
+        if vnorm == 0.0:
+            continue
+        v /= vnorm
+        # two-sided update of the trailing block: S <- H S H with
+        # H = I - 2 v vᵀ, via the symmetric rank-2 form
+        #   S <- S - 2 v qᵀ - 2 q vᵀ,  q = S v - (vᵀ S v) v
+        sub = A[k + 1 :, k + 1 :]
+        p = sub @ v
+        kappa = float(v @ p)
+        q = p - kappa * v
+        sub -= 2.0 * (np.outer(v, q) + np.outer(q, v))
+        A[k + 1 :, k] = 0.0
+        A[k, k + 1 :] = 0.0
+        A[k + 1, k] = alpha_h
+        A[k, k + 1] = alpha_h
+        if Q is not None:
+            Q[:, k + 1 :] -= 2.0 * np.outer(Q[:, k + 1 :] @ v, v)
+
+    alpha = np.diag(A).copy()
+    beta = np.diag(A, -1).copy()
+    return alpha, beta, Q
+
+
+def eigh(
+    A: np.ndarray, method: str = "lapack"
+) -> tuple[np.ndarray, np.ndarray]:
+    """Eigendecomposition of a dense symmetric matrix.
+
+    ``method="lapack"`` calls ``numpy.linalg.eigh``; ``method="ql"`` runs
+    the from-scratch Householder + implicit-QL stack.
+
+    Returns eigenvalues ascending and the orthonormal eigenvector columns.
+    """
+    A = np.asarray(A, dtype=np.float64)
+    if A.ndim != 2 or A.shape[0] != A.shape[1]:
+        raise ValueError(f"matrix must be square, got {A.shape}")
+    if method == "lapack":
+        return np.linalg.eigh(A)
+    if method != "ql":
+        raise ValueError(f"unknown method {method!r}; expected 'lapack' or 'ql'")
+    alpha, beta, Q = householder_tridiagonalize(A)
+    w, Z = eigh_tridiagonal_ql(alpha, beta)
+    assert Q is not None and Z is not None
+    return w, Q @ Z

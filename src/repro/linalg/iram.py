@@ -1,0 +1,217 @@
+"""The implicitly restarted Lanczos method (symmetric IRAM).
+
+Implements the restart scheme of Sorensen (1992) as used by ARPACK's
+``dsaupd``: build an m-step Lanczos factorization, compute the Ritz pairs of
+the projected tridiagonal, test convergence with the ARPACK bound
+``|beta_m * s_{m,i}| <= tol * |theta_i|``, and — while unconverged — apply
+the unwanted Ritz values as exact polynomial-filter shifts via explicit
+shifted QR steps on the tridiagonal, contract the factorization back to
+``k+`` steps, and extend again.
+
+The driver is a *generator*: every operator application suspends at a
+``yield``, making the CPU/GPU split of the paper's Algorithm 3 a pure
+call-protocol concern layered on top (see :mod:`repro.linalg.rci`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator
+
+import numpy as np
+
+from repro.errors import EigensolverError
+from repro.linalg.lanczos import LanczosState, extend_factorization
+from repro.linalg.qr import implicit_qr_sweep
+from repro.linalg.tridiag import eigh_tridiagonal
+
+_EPS = np.finfo(np.float64).eps
+
+
+@dataclass
+class IRLMResult:
+    """Outcome of an implicitly restarted Lanczos run.
+
+    Attributes
+    ----------
+    eigenvalues:
+        The ``k`` converged Ritz values, ascending.
+    eigenvectors:
+        ``(n, k)`` matrix of Ritz vectors (columns match ``eigenvalues``).
+    residual_norms:
+        ARPACK-style error bounds ``|beta_m * s_{m,i}|`` at exit.
+    n_op:
+        Operator applications performed (the number of SpMVs, and hence of
+        PCIe round-trips in the hybrid deployment).
+    n_restarts:
+        Implicit restarts performed.
+    n_reorth:
+        Lanczos steps that ran DGKS reorthogonalization.
+    converged:
+        Whether all ``k`` pairs met the tolerance.
+    breakdowns:
+        Exact Lanczos breakdowns recovered (invariant subspaces hit).
+    """
+
+    eigenvalues: np.ndarray
+    eigenvectors: np.ndarray
+    residual_norms: np.ndarray
+    n_op: int
+    n_restarts: int
+    n_reorth: int
+    converged: bool
+    breakdowns: int = 0
+
+
+def _select(theta: np.ndarray, k: int, which: str) -> tuple[np.ndarray, np.ndarray]:
+    """Partition Ritz value indices into (wanted, unwanted) for ``which``."""
+    if which == "LA":
+        order = np.argsort(theta)[::-1]
+    elif which == "SA":
+        order = np.argsort(theta)
+    elif which == "LM":
+        order = np.argsort(np.abs(theta))[::-1]
+    elif which == "SM":
+        order = np.argsort(np.abs(theta))
+    else:
+        raise EigensolverError(
+            f"unknown which={which!r}; expected 'LA', 'SA', 'LM' or 'SM'"
+        )
+    return order[:k], order[k:]
+
+
+def irlm_generator(
+    n: int,
+    k: int,
+    which: str = "LA",
+    m: int | None = None,
+    tol: float = 0.0,
+    maxiter: int | None = None,
+    v0: np.ndarray | None = None,
+    seed: int | None = 0,
+    dense_eig: str = "lapack",
+) -> Generator[np.ndarray, np.ndarray, IRLMResult]:
+    """Create the IRLM driver generator.
+
+    Yields the vector to multiply; receives ``OP @ x`` via ``send``; returns
+    an :class:`IRLMResult` (as ``StopIteration.value``).
+
+    Parameters
+    ----------
+    n:
+        Operator dimension.
+    k:
+        Number of eigenpairs wanted (``0 < k < n``).
+    which:
+        Spectrum end: 'LA' largest algebraic (the pipeline's choice for
+        D⁻¹W), 'SA', 'LM', 'SM'.
+    m:
+        Lanczos basis size; defaults to ``min(n, max(2k + 1, 20))`` — the
+        paper's ``m = 2k`` heuristic with a floor for tiny ``k``.
+    tol:
+        Relative accuracy; ``0`` means machine epsilon (ARPACK convention).
+    maxiter:
+        Maximum implicit restarts (default 300, ARPACK-like).
+    v0:
+        Start vector (default: seeded random).
+    dense_eig:
+        'lapack' or 'ql' — inner tridiagonal eigensolver selection.
+    """
+    if not 0 < k < n:
+        raise EigensolverError(f"need 0 < k < n, got k={k}, n={n}")
+    if m is None:
+        m = min(n, max(2 * k + 1, 20))
+    m = int(m)
+    if m <= k:
+        raise EigensolverError(f"basis size m={m} must exceed k={k}")
+    if m > n:
+        raise EigensolverError(f"basis size m={m} exceeds dimension n={n}")
+    if maxiter is None:
+        maxiter = 300
+    eff_tol = tol if tol > 0 else _EPS
+    rng = np.random.default_rng(seed)
+
+    state = LanczosState.allocate(n, m)
+    if v0 is not None:
+        v0 = np.asarray(v0, dtype=np.float64).ravel()
+        if v0.size != n:
+            raise EigensolverError(f"v0 has length {v0.size}, expected {n}")
+        state.f = v0.copy()
+    else:
+        state.f = rng.standard_normal(n)
+
+    n_op = 0
+    n_restarts = 0
+    exhausted = False
+
+    while True:
+        # ---- extend the factorization to m steps -----------------------
+        ext = extend_factorization(state, m, rng)
+        try:
+            x = next(ext)
+            while True:
+                y = yield x
+                n_op += 1
+                x = ext.send(y)
+        except StopIteration:
+            pass
+
+        # ---- Ritz decomposition of the projected tridiagonal -----------
+        alpha, beta = state.tridiagonal()
+        theta, S = eigh_tridiagonal(alpha, beta, method=dense_eig)
+        assert S is not None
+        beta_m = float(np.linalg.norm(state.f))
+        wanted, unwanted = _select(theta, k, which)
+        bounds = np.abs(beta_m * S[m - 1, wanted])
+        tol_scale = np.maximum(np.abs(theta[wanted]), _EPS ** (2.0 / 3.0))
+        conv_mask = bounds <= eff_tol * tol_scale
+        nconv = int(np.count_nonzero(conv_mask))
+
+        if nconv >= k or m >= n or n_restarts >= maxiter or exhausted:
+            # assemble Ritz vectors X = Vᵀ S_wanted, ascending eigenvalues
+            out_order = np.argsort(theta[wanted])
+            sel = wanted[out_order]
+            X = (S[:, sel].T @ state.basis()).T  # (n, k)
+            return IRLMResult(
+                eigenvalues=theta[sel].copy(),
+                eigenvectors=X,
+                residual_norms=np.abs(beta_m * S[m - 1, sel]),
+                n_op=n_op,
+                n_restarts=n_restarts,
+                n_reorth=state.reorth_passes,
+                converged=bool(nconv >= k or m >= n),
+                breakdowns=state.breakdowns,
+            )
+
+        # ---- implicit restart with exact shifts -------------------------
+        # ARPACK trick: roll converged pairs into the kept block so shifts
+        # concentrate on the live part of the spectrum.
+        kp = min(k + min(nconv, (m - k) // 2), m - 1)
+        shift_idx = _select(theta, kp, which)[1]
+        shifts = theta[shift_idx]
+
+        T = np.diag(alpha)
+        if m > 1:
+            idx = np.arange(m - 1)
+            T[idx, idx + 1] = beta
+            T[idx + 1, idx] = beta
+        Q = np.eye(m)
+        for mu in shifts:
+            implicit_qr_sweep(T, float(mu), Q)
+
+        new_alpha = np.diag(T).copy()
+        new_beta = np.diag(T, -1).copy()
+
+        Vm = state.basis()
+        # rows 0..kp of the rotated basis (kp+1 rows: kept block + link row)
+        VQ = Q[:, : kp + 1].T @ Vm
+        f_new = VQ[kp] * T[kp, kp - 1] + state.f * Q[m - 1, kp - 1]
+
+        state.V[:kp] = VQ[:kp]
+        state.alpha[:kp] = new_alpha[:kp]
+        state.beta[: kp - 1] = new_beta[: kp - 1]
+        state.j = kp
+        state.f = f_new
+        n_restarts += 1
+        if n_restarts >= maxiter:
+            exhausted = True

@@ -1,0 +1,157 @@
+"""QR factorizations from scratch: Givens rotations and Householder QR.
+
+These are the building blocks ARPACK's restart machinery is made of.  The
+restart path defaults to LAPACK (``numpy.linalg.qr``) for the small dense
+m×m problems — the same division of labor as real ARPACK — but these
+implementations are selectable (``Config.qr_impl``) and are validated
+against LAPACK in the test suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def givens(a: float, b: float) -> tuple[float, float, float]:
+    """Compute a Givens rotation ``(c, s, r)`` with::
+
+        [ c  s] [a]   [r]
+        [-s  c] [b] = [0]
+
+    Uses the hypot-stable formulation.
+    """
+    if b == 0.0:
+        return 1.0, 0.0, a
+    if a == 0.0:
+        return 0.0, 1.0, b
+    # scale by the larger magnitude so subnormal/overflowing inputs stay
+    # well-conditioned (LAPACK dlartg-style)
+    scale = max(abs(a), abs(b))
+    a1 = a / scale
+    b1 = b / scale
+    r1 = float(np.hypot(a1, b1))
+    return a1 / r1, b1 / r1, scale * r1
+
+
+def apply_givens_right(M: np.ndarray, i: int, j: int, c: float, s: float) -> None:
+    """In-place ``M <- M @ G(i, j, c, s)ᵀ`` — rotate columns ``i`` and ``j``."""
+    ci = M[:, i].copy()
+    cj = M[:, j]
+    M[:, i] = c * ci + s * cj
+    M[:, j] = -s * ci + c * cj
+
+
+def householder_qr(
+    A: np.ndarray, mode: str = "reduced"
+) -> tuple[np.ndarray, np.ndarray]:
+    """Householder QR factorization ``A = Q R``.
+
+    Parameters
+    ----------
+    A:
+        ``(m, n)`` real matrix.
+    mode:
+        ``"reduced"`` returns Q ``(m, min(m, n))``, R ``(min(m, n), n)``;
+        ``"complete"`` returns square Q ``(m, m)``, R ``(m, n)``.
+
+    The sign convention matches LAPACK's ``dgeqrf`` up to column signs; tests
+    compare ``Q @ R`` and orthogonality, not the factors elementwise.
+    """
+    A = np.array(A, dtype=np.float64, copy=True)
+    m, n = A.shape
+    t = min(m, n)
+    Q = np.eye(m)
+    for k in range(t):
+        x = A[k:, k]
+        normx = np.linalg.norm(x)
+        if normx == 0.0:
+            continue
+        alpha = -np.sign(x[0]) * normx if x[0] != 0 else -normx
+        v = x.copy()
+        v[0] -= alpha
+        vnorm = np.linalg.norm(v)
+        if vnorm == 0.0:
+            continue
+        v /= vnorm
+        # A[k:, k:] -= 2 v (vᵀ A[k:, k:]);  Q[:, k:] -= 2 (Q[:, k:] v) vᵀ
+        A[k:, k:] -= 2.0 * np.outer(v, v @ A[k:, k:])
+        Q[:, k:] -= 2.0 * np.outer(Q[:, k:] @ v, v)
+    # zero out the strictly-lower numerical noise
+    R = np.triu(A)
+    if mode == "reduced":
+        return Q[:, :t], R[:t, :]
+    if mode == "complete":
+        return Q, R
+    raise ValueError(f"unknown mode {mode!r}")
+
+
+def qr_shift_step(
+    T: np.ndarray, mu: float, use_lapack: bool = True
+) -> tuple[np.ndarray, np.ndarray]:
+    """One explicit shifted QR step: factor ``T - mu I = Q R`` and return
+    ``(T', Q)`` with ``T' = R Q + mu I = Qᵀ T Q``.
+
+    .. warning::
+        With *exact* shifts (Ritz values of ``T`` itself, as IRAM uses)
+        ``T - mu I`` is singular and the explicit step is forward unstable —
+        the restart machinery uses :func:`implicit_qr_sweep` instead.  This
+        routine is kept for testing and for well-separated shifts.
+    """
+    m = T.shape[0]
+    shifted = T - mu * np.eye(m)
+    if use_lapack:
+        Q, R = np.linalg.qr(shifted)
+    else:
+        Q, R = householder_qr(shifted, mode="complete")
+    T_new = R @ Q + mu * np.eye(m)
+    return T_new, Q
+
+
+def implicit_qr_sweep(T: np.ndarray, mu: float, Q: np.ndarray) -> None:
+    """One *implicit* shifted QR sweep on a symmetric tridiagonal matrix.
+
+    Performs, in place, the transformation ``T <- Pᵀ T P`` where ``P`` is
+    the orthogonal factor of the QR factorization of ``T - mu I``, without
+    ever forming the (possibly singular) shifted matrix: a Givens rotation
+    determined by the first column starts a bulge that subsequent rotations
+    chase off the band (Golub & Van Loan Alg. 8.3.2).  ``Q <- Q P`` is
+    accumulated in place.  Numerically stable for exact shifts, which is
+    what the IRAM polynomial filter applies.
+
+    Parameters
+    ----------
+    T:
+        Dense symmetric tridiagonal ``(m, m)`` array, modified in place.
+        Only the tridiagonal band is referenced and written (plus the
+        transient bulge).
+    mu:
+        The shift.
+    Q:
+        ``(m, m)`` accumulation matrix, updated in place.
+    """
+    m = T.shape[0]
+    if m < 2:
+        return
+    x = T[0, 0] - mu
+    z = T[1, 0]
+    for i in range(m - 1):
+        c, s, _ = givens(x, z)
+        # rows/cols touched by the plane rotation in (i, i+1)
+        lo = max(0, i - 1)
+        hi = min(m, i + 3)
+        G = np.array([[c, s], [-s, c]])
+        T[i : i + 2, lo:hi] = G @ T[i : i + 2, lo:hi]
+        T[lo:hi, i : i + 2] = T[lo:hi, i : i + 2] @ G.T
+        # accumulate Q <- Q @ Gᵀ (columns i, i+1)
+        qi = Q[:, i].copy()
+        qj = Q[:, i + 1]
+        Q[:, i] = c * qi + s * qj
+        Q[:, i + 1] = -s * qi + c * qj
+        if i < m - 2:
+            x = T[i + 1, i]
+            z = T[i + 2, i]
+    # scrub the transient bulge entries left by rounding
+    if m > 2:
+        idx = np.arange(m - 2)
+        T[idx + 2, idx] = 0.0
+        T[idx, idx + 2] = 0.0

@@ -1,0 +1,53 @@
+"""Reverse communication interface plumbing.
+
+ARPACK's calling convention asks the *user* to perform every operator
+application: ``dsaupd`` returns with ``ido = 1`` and pointers into its
+workspace; the caller multiplies, stores the result, and calls back in.
+The paper (Algorithm 3) exploits exactly this to run the multiplication on
+the GPU while ARPACK runs on the CPU.
+
+Here the same protocol is expressed over the IRLM generator: a
+:class:`MatvecRequest` corresponds to one ``ido = 1`` return, and
+:class:`RCIStatus` enumerates the driver states.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class RCIStatus(enum.Enum):
+    """State of the reverse-communication driver (the ``ido`` flag)."""
+
+    #: driver not yet started
+    INITIAL = "initial"
+    #: a matvec has been requested; caller must get_vector/put_vector
+    NEED_MATVEC = "need_matvec"
+    #: the requested product has been supplied; take_step may proceed
+    HAVE_RESULT = "have_result"
+    #: iteration finished (converged or iteration limit)
+    DONE = "done"
+
+
+@dataclass
+class MatvecRequest:
+    """One pending operator application.
+
+    Attributes
+    ----------
+    x:
+        The vector to multiply.  This is a *view into solver workspace*
+        (like ARPACK's ``workd(ipntr(1))``); callers must not mutate it.
+    index:
+        Running count of requests, 0-based.
+    """
+
+    x: np.ndarray
+    index: int
+
+    @property
+    def n(self) -> int:
+        return self.x.size

@@ -1,0 +1,29 @@
+"""Clustering quality metrics.
+
+* :mod:`repro.metrics.cuts` — the graph-cut objectives of paper Eqs. 1-4
+  (Cut, RatioCut, NCut);
+* :mod:`repro.metrics.external` — agreement with ground truth (ARI, NMI,
+  purity), used to validate recovery on the synthetic datasets;
+* :mod:`repro.metrics.internal` — label-free quality (modularity,
+  inertia).
+"""
+
+from repro.metrics.cuts import cut_value, ncut, ratio_cut
+from repro.metrics.external import (
+    adjusted_rand_index,
+    contingency_matrix,
+    normalized_mutual_info,
+    purity,
+)
+from repro.metrics.internal import modularity
+
+__all__ = [
+    "cut_value",
+    "ncut",
+    "ratio_cut",
+    "adjusted_rand_index",
+    "contingency_matrix",
+    "normalized_mutual_info",
+    "purity",
+    "modularity",
+]

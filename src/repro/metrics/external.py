@@ -1,0 +1,82 @@
+"""External (ground-truth) clustering agreement metrics, from scratch."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ClusteringError
+
+
+def contingency_matrix(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Dense contingency table: ``C[i, j]`` = points with a=i and b=j.
+
+    Labels are compacted to ``0..n_unique-1`` first, so arbitrary
+    non-negative label sets are accepted.
+    """
+    a = np.asarray(a).ravel()
+    b = np.asarray(b).ravel()
+    if a.size != b.size:
+        raise ClusteringError(f"label length mismatch: {a.size} vs {b.size}")
+    _, ai = np.unique(a, return_inverse=True)
+    _, bi = np.unique(b, return_inverse=True)
+    na = ai.max() + 1 if ai.size else 0
+    nb = bi.max() + 1 if bi.size else 0
+    C = np.zeros((na, nb), dtype=np.int64)
+    np.add.at(C, (ai, bi), 1)
+    return C
+
+
+def adjusted_rand_index(a: np.ndarray, b: np.ndarray) -> float:
+    """Adjusted Rand index (Hubert & Arabie): 1 = identical partitions,
+    ~0 = chance agreement."""
+    C = contingency_matrix(a, b)
+    n = C.sum()
+    if n == 0:
+        return 1.0
+
+    def comb2(x):
+        return x * (x - 1) / 2.0
+
+    sum_ij = comb2(C.astype(np.float64)).sum()
+    sum_a = comb2(C.sum(axis=1).astype(np.float64)).sum()
+    sum_b = comb2(C.sum(axis=0).astype(np.float64)).sum()
+    total = comb2(float(n))
+    expected = sum_a * sum_b / total if total > 0 else 0.0
+    max_index = (sum_a + sum_b) / 2.0
+    denom = max_index - expected
+    if denom == 0:
+        return 1.0
+    return float((sum_ij - expected) / denom)
+
+
+def normalized_mutual_info(a: np.ndarray, b: np.ndarray) -> float:
+    """NMI with arithmetic-mean normalization: ``2 I(a;b) / (H(a)+H(b))``."""
+    C = contingency_matrix(a, b).astype(np.float64)
+    n = C.sum()
+    if n == 0:
+        return 1.0
+    pij = C / n
+    pi = pij.sum(axis=1)
+    pj = pij.sum(axis=0)
+
+    nz = pij > 0
+    outer = np.outer(pi, pj)
+    mi = float((pij[nz] * np.log(pij[nz] / outer[nz])).sum())
+
+    def entropy(p):
+        p = p[p > 0]
+        return float(-(p * np.log(p)).sum())
+
+    ha, hb = entropy(pi), entropy(pj)
+    if ha + hb == 0:
+        return 1.0
+    return 2.0 * mi / (ha + hb)
+
+
+def purity(pred: np.ndarray, truth: np.ndarray) -> float:
+    """Fraction of points in their cluster's majority ground-truth class."""
+    C = contingency_matrix(pred, truth)
+    n = C.sum()
+    if n == 0:
+        return 1.0
+    return float(C.max(axis=1).sum() / n)

@@ -1,0 +1,31 @@
+"""Internal (label-free) clustering quality measures."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ClusteringError
+
+
+def modularity(W, labels: np.ndarray) -> float:
+    """Newman modularity ``Q = Σ_c (e_c/m - (vol_c / 2m)²)``.
+
+    ``e_c`` is the intra-cluster edge weight, ``vol_c`` the cluster degree
+    volume, ``2m`` the total degree.  Higher is better; community-structured
+    graphs clustered correctly land around 0.3-0.8.
+    """
+    labels = np.asarray(labels, dtype=np.int64).ravel()
+    if labels.size != W.shape[0]:
+        raise ClusteringError(
+            f"labels length {labels.size} != n nodes {W.shape[0]}"
+        )
+    coo = W if W.format == "coo" else W.to_coo()
+    two_m = float(coo.data.sum())
+    if two_m <= 0:
+        return 0.0
+    k = int(labels.max()) + 1 if labels.size else 0
+    intra = labels[coo.row] == labels[coo.col]
+    e_c = np.bincount(labels[coo.row[intra]], weights=coo.data[intra], minlength=k)
+    deg = np.bincount(coo.row, weights=coo.data, minlength=W.shape[0])
+    vol = np.bincount(labels, weights=deg, minlength=k)
+    return float((e_c / two_m).sum() - ((vol / two_m) ** 2).sum())

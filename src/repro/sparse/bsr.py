@@ -1,0 +1,176 @@
+"""Block Compressed Sparse Row (BSR) format.
+
+BSR tiles the matrix into dense ``b x b`` blocks and stores a CSR structure
+over the block grid.  Listed as supported in paper §IV.A; useful when the
+graph has clustered vertex numbering so nonzeros coalesce into blocks.
+Dimensions must be padded to a multiple of the block size by the caller
+(:meth:`BSRMatrix.from_csr` handles ragged edges by zero-padding).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.errors import SparseFormatError, SparseValueError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sparse.csr import CSRMatrix
+
+
+class BSRMatrix:
+    """A sparse matrix of dense blocks in block-CSR layout.
+
+    Parameters
+    ----------
+    indptr:
+        Length ``n_block_rows + 1`` prefix sums over block rows.
+    indices:
+        Block-column indices, length ``n_blocks``.
+    blocks:
+        Dense block values, shape ``(n_blocks, b, b)``.
+    shape:
+        Logical (unpadded) matrix shape.
+    """
+
+    format = "bsr"
+
+    def __init__(self, indptr, indices, blocks, shape: tuple[int, int], check: bool = True):
+        self.indptr = np.asarray(indptr, dtype=np.int64).ravel()
+        self.indices = np.asarray(indices, dtype=np.int64).ravel()
+        self.blocks = np.asarray(blocks, dtype=np.float64)
+        if self.blocks.ndim != 3 or self.blocks.shape[1] != self.blocks.shape[2]:
+            raise SparseFormatError(
+                f"blocks must be (n_blocks, b, b), got {self.blocks.shape}"
+            )
+        self.shape = (int(shape[0]), int(shape[1]))
+        if check:
+            self._validate()
+
+    def _validate(self) -> None:
+        b = self.block_size
+        n_brows = self.indptr.size - 1
+        n_bcols = -(-self.shape[1] // b)
+        if n_brows != -(-self.shape[0] // b):
+            raise SparseFormatError(
+                f"indptr implies {n_brows} block rows but shape {self.shape} "
+                f"with block size {b} needs {-(-self.shape[0] // b)}"
+            )
+        if self.indptr.size and self.indptr[0] != 0:
+            raise SparseFormatError("indptr[0] must be 0")
+        if np.any(np.diff(self.indptr) < 0):
+            raise SparseFormatError("indptr must be non-decreasing")
+        if self.indptr[-1] != self.indices.size:
+            raise SparseFormatError(
+                f"indptr[-1]={self.indptr[-1]} != n_blocks={self.indices.size}"
+            )
+        if self.indices.size != self.blocks.shape[0]:
+            raise SparseFormatError("indices/blocks count mismatch")
+        if self.indices.size:
+            cmin, cmax = self.indices.min(), self.indices.max()
+            if cmin < 0 or cmax >= n_bcols:
+                raise SparseFormatError(
+                    f"block col index out of range [0, {n_bcols}): "
+                    f"found [{cmin}, {cmax}]"
+                )
+
+    @property
+    def block_size(self) -> int:
+        return self.blocks.shape[1]
+
+    @property
+    def n_blocks(self) -> int:
+        return self.blocks.shape[0]
+
+    @property
+    def nnz(self) -> int:
+        """Stored scalar entries (including explicit zeros inside blocks)."""
+        return self.blocks.size
+
+    def __repr__(self) -> str:
+        return (
+            f"<BSRMatrix {self.shape[0]}x{self.shape[1]} "
+            f"blocks={self.n_blocks}x{self.block_size}²>"
+        )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_csr(cls, csr: "CSRMatrix", block_size: int) -> "BSRMatrix":
+        """Tile a CSR matrix into BSR (``cusparseDcsr2bsr``)."""
+        if block_size <= 0:
+            raise SparseValueError(f"block size must be positive, got {block_size}")
+        n, m = csr.shape
+        b = block_size
+        n_brows = -(-n // b)
+        coo = csr.to_coo()
+        brow = coo.row // b
+        bcol = coo.col // b
+        key = brow * (-(-m // b)) + bcol
+        order = np.argsort(key, kind="stable")
+        key_s = key[order]
+        if key_s.size:
+            starts = np.concatenate(([0], np.flatnonzero(np.diff(key_s)) + 1))
+            uniq = key_s[starts]
+        else:
+            starts = np.empty(0, dtype=np.int64)
+            uniq = np.empty(0, dtype=np.int64)
+        n_bcols = -(-m // b)
+        ubrow = uniq // n_bcols
+        ubcol = uniq % n_bcols
+        blocks = np.zeros((uniq.size, b, b))
+        # block id per nonzero = position of its key among unique keys
+        block_of = np.searchsorted(uniq, key_s)
+        r_in = coo.row[order] % b
+        c_in = coo.col[order] % b
+        np.add.at(blocks, (block_of, r_in, c_in), coo.data[order])
+        indptr = np.zeros(n_brows + 1, dtype=np.int64)
+        np.add.at(indptr, ubrow + 1, 1)
+        np.cumsum(indptr, out=indptr)
+        return cls(indptr, ubcol, blocks, csr.shape, check=False)
+
+    def to_csr(self) -> "CSRMatrix":
+        """Expand blocks back to scalar CSR, dropping stored zeros."""
+        from repro.sparse.coo import COOMatrix
+
+        b = self.block_size
+        n_brows = self.indptr.size - 1
+        brow = np.repeat(np.arange(n_brows, dtype=np.int64), np.diff(self.indptr))
+        # scalar coordinates for every block entry
+        shape3 = self.blocks.shape
+        rows = np.broadcast_to(
+            brow[:, None, None] * b + np.arange(b)[None, :, None], shape3
+        ).ravel()
+        cols = np.broadcast_to(
+            self.indices[:, None, None] * b + np.arange(b)[None, None, :], shape3
+        ).ravel()
+        vals = self.blocks.ravel()
+        mask = vals != 0
+        in_range = (rows < self.shape[0]) & (cols < self.shape[1])
+        keep = mask & in_range
+        coo = COOMatrix(rows[keep], cols[keep], vals[keep], self.shape, check=False)
+        return coo.to_csr()
+
+    def to_dense(self) -> np.ndarray:
+        return self.to_csr().to_dense()
+
+    # ------------------------------------------------------------------
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """``y = A @ x`` with block-level gather + batched matvec."""
+        x = np.asarray(x, dtype=np.float64).ravel()
+        if x.size != self.shape[1]:
+            raise SparseValueError(
+                f"matvec: matrix is {self.shape}, x has length {x.size}"
+            )
+        b = self.block_size
+        n_brows = self.indptr.size - 1
+        m_pad = (-(-self.shape[1] // b)) * b
+        x_pad = np.zeros(m_pad)
+        x_pad[: x.size] = x
+        xb = x_pad.reshape(-1, b)
+        # (n_blocks, b) = block @ x_block for every block at once
+        prod = np.einsum("nij,nj->ni", self.blocks, xb[self.indices])
+        brow = np.repeat(np.arange(n_brows, dtype=np.int64), np.diff(self.indptr))
+        yb = np.zeros((n_brows, b))
+        np.add.at(yb, brow, prod)
+        return yb.ravel()[: self.shape[0]]

@@ -1,0 +1,109 @@
+"""Sparse matrix constructors."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SparseFormatError, SparseValueError
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csr import CSRMatrix
+
+
+def from_edge_list(
+    edges: np.ndarray,
+    weights: np.ndarray | None = None,
+    n_nodes: int | None = None,
+    symmetrize: bool = True,
+) -> COOMatrix:
+    """Build an adjacency matrix from an ``(nnz, 2)`` edge list.
+
+    Parameters
+    ----------
+    edges:
+        Integer array of node index pairs.  Self-loops are dropped.
+    weights:
+        Optional per-edge weights (default 1.0).
+    n_nodes:
+        Number of nodes; inferred as ``edges.max() + 1`` when omitted.
+    symmetrize:
+        Mirror each edge so the graph is undirected (duplicate mirrored
+        pairs are summed).
+    """
+    edges = np.asarray(edges, dtype=np.int64)
+    if edges.ndim != 2 or edges.shape[1] != 2:
+        raise SparseValueError(f"edge list must be (nnz, 2), got {edges.shape}")
+    if weights is None:
+        weights = np.ones(edges.shape[0])
+    else:
+        weights = np.asarray(weights, dtype=np.float64).ravel()
+        if weights.size != edges.shape[0]:
+            raise SparseValueError(
+                f"{edges.shape[0]} edges but {weights.size} weights"
+            )
+    if n_nodes is None:
+        n_nodes = int(edges.max()) + 1 if edges.size else 0
+    keep = edges[:, 0] != edges[:, 1]
+    edges = edges[keep]
+    weights = weights[keep]
+    row, col = edges[:, 0], edges[:, 1]
+    if symmetrize:
+        row, col = np.concatenate([row, col]), np.concatenate([col, row])
+        weights = np.concatenate([weights, weights])
+    coo = COOMatrix(row, col, weights, (n_nodes, n_nodes))
+    return coo.sum_duplicates() if symmetrize else coo
+
+
+def diags(d: np.ndarray) -> CSRMatrix:
+    """Diagonal matrix from a vector, as CSR."""
+    d = np.asarray(d, dtype=np.float64).ravel()
+    n = d.size
+    indptr = np.arange(n + 1, dtype=np.int64)
+    indices = np.arange(n, dtype=np.int64)
+    return CSRMatrix(indptr, indices, d.copy(), (n, n), check=False)
+
+
+def identity(n: int) -> CSRMatrix:
+    """The n×n identity, as CSR."""
+    if n < 0:
+        raise SparseFormatError(f"negative size {n}")
+    return diags(np.ones(n))
+
+
+def random_sparse(
+    n: int,
+    m: int,
+    density: float,
+    rng: np.random.Generator | None = None,
+    symmetric: bool = False,
+) -> COOMatrix:
+    """A random sparse matrix with roughly ``density`` fill, values U(0, 1).
+
+    With ``symmetric=True`` (requires ``n == m``) the result is the
+    symmetrized upper triangle — a valid similarity matrix.
+    """
+    if not 0.0 <= density <= 1.0:
+        raise SparseValueError(f"density must be in [0, 1], got {density}")
+    if symmetric and n != m:
+        raise SparseValueError("symmetric matrix must be square")
+    rng = np.random.default_rng() if rng is None else rng
+    nnz = int(round(density * n * m))
+    if nnz == 0:
+        return COOMatrix(
+            np.empty(0, np.int64), np.empty(0, np.int64), np.empty(0), (n, m)
+        )
+    flat = rng.choice(n * m, size=min(nnz, n * m), replace=False)
+    row, col = flat // m, flat % m
+    data = rng.random(row.size)
+    coo = COOMatrix(row, col, data, (n, m), check=False)
+    if symmetric:
+        mask = row <= col
+        coo = COOMatrix(row[mask], col[mask], data[mask], (n, m), check=False)
+        mirrored = COOMatrix(
+            np.concatenate([coo.row, coo.col[coo.row != coo.col]]),
+            np.concatenate([coo.col, coo.row[coo.row != coo.col]]),
+            np.concatenate([coo.data, coo.data[coo.row != coo.col]]),
+            (n, m),
+            check=False,
+        )
+        return mirrored.sum_duplicates()
+    return coo.sum_duplicates()

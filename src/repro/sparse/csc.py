@@ -1,0 +1,152 @@
+"""Compressed Sparse Column (CSC) format.
+
+The column-major dual of CSR; ``indptr`` delimits columns and ``indices``
+holds row indices.  Supported because the paper lists it (§IV.A); the
+pipeline itself prefers CSR for SpMV.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.errors import SparseFormatError, SparseValueError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sparse.coo import COOMatrix
+    from repro.sparse.csr import CSRMatrix
+
+
+class CSCMatrix:
+    """A sparse matrix in compressed sparse column format."""
+
+    format = "csc"
+
+    def __init__(self, indptr, indices, data, shape: tuple[int, int], check: bool = True):
+        self.indptr = np.asarray(indptr, dtype=np.int64).ravel()
+        self.indices = np.asarray(indices, dtype=np.int64).ravel()
+        self.data = np.asarray(data, dtype=np.float64).ravel()
+        if len(shape) != 2 or shape[0] < 0 or shape[1] < 0:
+            raise SparseFormatError(f"invalid shape {shape!r}")
+        self.shape = (int(shape[0]), int(shape[1]))
+        self._col_expansion: np.ndarray | None = None
+        if check:
+            self._validate()
+
+    def _validate(self) -> None:
+        n, m = self.shape
+        if self.indptr.size != m + 1:
+            raise SparseFormatError(
+                f"indptr length {self.indptr.size} != n_cols+1 = {m + 1}"
+            )
+        if self.indptr.size and self.indptr[0] != 0:
+            raise SparseFormatError(f"indptr[0] must be 0, got {self.indptr[0]}")
+        if np.any(np.diff(self.indptr) < 0):
+            raise SparseFormatError("indptr must be non-decreasing")
+        if self.indptr[-1] != self.indices.size:
+            raise SparseFormatError(
+                f"indptr[-1]={self.indptr[-1]} != nnz={self.indices.size}"
+            )
+        if self.indices.size != self.data.size:
+            raise SparseFormatError(
+                f"indices/data length mismatch: {self.indices.size} vs {self.data.size}"
+            )
+        if self.indices.size:
+            rmin, rmax = self.indices.min(), self.indices.max()
+            if rmin < 0 or rmax >= n:
+                raise SparseFormatError(
+                    f"row index out of range [0, {n}): found [{rmin}, {rmax}]"
+                )
+
+    @property
+    def nnz(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.data.dtype
+
+    def __repr__(self) -> str:
+        return f"<CSCMatrix {self.shape[0]}x{self.shape[1]} nnz={self.nnz}>"
+
+    def copy(self) -> "CSCMatrix":
+        return CSCMatrix(
+            self.indptr.copy(), self.indices.copy(), self.data.copy(),
+            self.shape, check=False,
+        )
+
+    def col_lengths(self) -> np.ndarray:
+        return np.diff(self.indptr)
+
+    def _cols(self) -> np.ndarray:
+        if self._col_expansion is None or self._col_expansion.size != self.nnz:
+            self._col_expansion = np.repeat(
+                np.arange(self.shape[1], dtype=np.int64), self.col_lengths()
+            )
+        return self._col_expansion
+
+    # ------------------------------------------------------------------
+    def to_coo(self) -> "COOMatrix":
+        from repro.sparse.coo import COOMatrix
+
+        return COOMatrix(
+            self.indices.copy(), self._cols().copy(), self.data.copy(),
+            self.shape, check=False,
+        )
+
+    def to_csr(self) -> "CSRMatrix":
+        return self.to_coo().to_csr()
+
+    def to_csc(self) -> "CSCMatrix":
+        return self
+
+    def to_dense(self) -> np.ndarray:
+        out = np.zeros(self.shape)
+        np.add.at(out, (self.indices, self._cols()), self.data)
+        return out
+
+    def transpose(self) -> "CSCMatrix":
+        """Aᵀ as CSC — the CSR arrays of A reinterpreted column-wise."""
+        return self.to_coo().transpose().to_csc()
+
+    @property
+    def T(self) -> "CSCMatrix":
+        return self.transpose()
+
+    # ------------------------------------------------------------------
+    def matvec(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """``y = A @ x`` via column-scaled scatter into rows."""
+        x = np.asarray(x, dtype=np.float64).ravel()
+        if x.size != self.shape[1]:
+            raise SparseValueError(
+                f"matvec: matrix is {self.shape}, x has length {x.size}"
+            )
+        y = np.bincount(
+            self.indices, weights=self.data * x[self._cols()], minlength=self.shape[0]
+        )
+        if out is not None:
+            np.copyto(out, y)
+            return out
+        return y
+
+    def rmatvec(self, x: np.ndarray) -> np.ndarray:
+        """``y = Aᵀ @ x`` — a gather per column (reduceat-friendly layout)."""
+        x = np.asarray(x, dtype=np.float64).ravel()
+        if x.size != self.shape[0]:
+            raise SparseValueError(
+                f"rmatvec: matrix is {self.shape}, x has length {x.size}"
+            )
+        return np.bincount(
+            self._cols(), weights=self.data * x[self.indices], minlength=self.shape[1]
+        )
+
+    def col_sums(self) -> np.ndarray:
+        return np.bincount(self._cols(), weights=self.data, minlength=self.shape[1])
+
+    def getcol(self, j: int) -> tuple[np.ndarray, np.ndarray]:
+        """(row indices, values) of column ``j``."""
+        if not 0 <= j < self.shape[1]:
+            raise SparseValueError(f"col {j} out of range for {self.shape}")
+        lo, hi = self.indptr[j], self.indptr[j + 1]
+        return self.indices[lo:hi], self.data[lo:hi]

@@ -1,0 +1,47 @@
+"""Simulated Thrust: STL-like parallel primitives on device arrays.
+
+The paper's k-means (centroid update via sort + segmented reduction) and
+k-means++ seeding (prefix sums, weighted sampling) are built on these
+primitives, exactly as the reference CUDA implementation builds on the real
+Thrust library.
+"""
+
+from repro.thrust.algorithms import (
+    copy,
+    count,
+    exclusive_scan,
+    fill,
+    gather,
+    inclusive_scan,
+    lower_bound,
+    max_element,
+    min_element,
+    reduce,
+    reduce_by_key,
+    scatter,
+    sequence,
+    sort,
+    sort_by_key,
+    transform,
+    upper_bound,
+)
+
+__all__ = [
+    "copy",
+    "count",
+    "exclusive_scan",
+    "fill",
+    "gather",
+    "inclusive_scan",
+    "lower_bound",
+    "max_element",
+    "min_element",
+    "reduce",
+    "reduce_by_key",
+    "scatter",
+    "sequence",
+    "sort",
+    "sort_by_key",
+    "transform",
+    "upper_bound",
+]

@@ -1,0 +1,355 @@
+"""Thrust algorithm implementations over :class:`~repro.cuda.memory.DeviceArray`.
+
+Every algorithm
+
+* validates that its operands are device-resident and co-located,
+* executes the real computation vectorized on the backing buffers,
+* charges the owning device a cost appropriate to the primitive
+  (radix-sort throughput for sorts, streaming bandwidth for scans and
+  transforms, gather bandwidth for permutations).
+
+Binary ``transform`` functors are named strings (``"plus"``, ``"minus"``,
+``"multiplies"`` …) rather than arbitrary Python callables, mirroring how
+Thrust functors are compiled device code rather than host closures.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.cuda.device import Device
+from repro.cuda.memory import DeviceArray
+from repro.errors import DeviceArrayError
+
+_BINARY_OPS: dict[str, Callable[[np.ndarray, np.ndarray], np.ndarray]] = {
+    "plus": np.add,
+    "minus": np.subtract,
+    "multiplies": np.multiply,
+    "divides": np.divide,
+    "maximum": np.maximum,
+    "minimum": np.minimum,
+}
+
+_UNARY_OPS: dict[str, Callable[[np.ndarray], np.ndarray]] = {
+    "negate": np.negative,
+    "square": np.square,
+    "sqrt": np.sqrt,
+    "exp": np.exp,
+    "abs": np.abs,
+    "reciprocal": lambda x: 1.0 / x,
+    "identity": lambda x: x,
+}
+
+_REDUCE_OPS = {
+    "plus": np.sum,
+    "maximum": np.max,
+    "minimum": np.min,
+}
+
+
+def _device_of(*arrays: DeviceArray) -> Device:
+    dev = None
+    for a in arrays:
+        if not isinstance(a, DeviceArray):
+            raise DeviceArrayError(
+                f"thrust operand must be a DeviceArray, got {type(a).__name__}"
+            )
+        if dev is None:
+            dev = a.device
+        elif a.device is not dev:
+            raise DeviceArrayError("thrust operands on different devices")
+    assert dev is not None
+    return dev
+
+
+# ---------------------------------------------------------------------------
+# generation / movement
+# ---------------------------------------------------------------------------
+
+
+def sequence(device: Device, n: int, start: int = 0, dtype=np.int64) -> DeviceArray:
+    """``thrust::sequence`` — fill a new vector with start, start+1, …"""
+    out = device.empty(n, dtype=dtype)
+    out.data[:] = np.arange(start, start + n, dtype=dtype)
+    device.charge_kernel("thrust::sequence", flops=n, bytes_moved=out.nbytes)
+    return out
+
+
+def fill(arr: DeviceArray, value) -> DeviceArray:
+    """``thrust::fill`` — in-place constant fill."""
+    dev = _device_of(arr)
+    arr.data.fill(value)
+    dev.charge_kernel("thrust::fill", flops=0, bytes_moved=arr.nbytes)
+    return arr
+
+
+def copy(src: DeviceArray, dst: DeviceArray) -> DeviceArray:
+    """``thrust::copy`` — device-to-device element copy."""
+    dev = _device_of(src, dst)
+    if src.shape != dst.shape:
+        raise DeviceArrayError(f"copy shape mismatch {src.shape} vs {dst.shape}")
+    np.copyto(dst.data, src.data)
+    dev.charge_kernel("thrust::copy", flops=0, bytes_moved=2 * src.nbytes)
+    return dst
+
+
+def gather(index_map: DeviceArray, src: DeviceArray) -> DeviceArray:
+    """``thrust::gather`` — ``out[i] = src[map[i]]``."""
+    dev = _device_of(index_map, src)
+    out_shape = (index_map.size,) + src.shape[1:]
+    out = dev.empty(out_shape, dtype=src.dtype)
+    out.data[...] = src.data[index_map.data]
+    row_bytes = src.itemsize * int(np.prod(src.shape[1:], initial=1))
+    dev.charge_kernel(
+        "thrust::gather",
+        flops=0,
+        bytes_moved=index_map.size * (row_bytes * 2 + index_map.itemsize),
+        kind="gather",
+    )
+    return out
+
+
+def scatter(src: DeviceArray, index_map: DeviceArray, dst: DeviceArray) -> DeviceArray:
+    """``thrust::scatter`` — ``dst[map[i]] = src[i]``."""
+    dev = _device_of(src, index_map, dst)
+    if src.size != index_map.size:
+        raise DeviceArrayError("scatter: src and map size mismatch")
+    dst.data[index_map.data] = src.data
+    dev.charge_kernel(
+        "thrust::scatter",
+        flops=0,
+        bytes_moved=src.nbytes * 2 + index_map.nbytes,
+        kind="gather",
+    )
+    return dst
+
+
+# ---------------------------------------------------------------------------
+# transforms
+# ---------------------------------------------------------------------------
+
+
+def transform(
+    a: DeviceArray,
+    op: str,
+    b: DeviceArray | float | None = None,
+    out: DeviceArray | None = None,
+) -> DeviceArray:
+    """``thrust::transform`` with a named functor.
+
+    Unary form: ``transform(a, "sqrt")``.
+    Binary form: ``transform(a, "plus", b)`` where ``b`` is a device array
+    of matching shape or a scalar.
+    """
+    dev = _device_of(a)
+    if out is None:
+        out = dev.empty(a.shape, dtype=a.dtype)
+    else:
+        _device_of(a, out)
+
+    if b is None:
+        try:
+            fn = _UNARY_OPS[op]
+        except KeyError:
+            raise ValueError(
+                f"unknown unary functor {op!r}; expected one of {sorted(_UNARY_OPS)}"
+            ) from None
+        out.data[...] = fn(a.data)
+        moved = a.nbytes + out.nbytes
+    else:
+        try:
+            fn2 = _BINARY_OPS[op]
+        except KeyError:
+            raise ValueError(
+                f"unknown binary functor {op!r}; expected one of {sorted(_BINARY_OPS)}"
+            ) from None
+        if isinstance(b, DeviceArray):
+            _device_of(a, b)
+            out.data[...] = fn2(a.data, b.data)
+            moved = a.nbytes + b.nbytes + out.nbytes
+        else:
+            out.data[...] = fn2(a.data, b)
+            moved = a.nbytes + out.nbytes
+    dev.charge_kernel(f"thrust::transform[{op}]", flops=a.size, bytes_moved=moved)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# reductions / scans
+# ---------------------------------------------------------------------------
+
+
+def reduce(a: DeviceArray, op: str = "plus") -> float:
+    """``thrust::reduce`` — full reduction to a host scalar."""
+    dev = _device_of(a)
+    try:
+        fn = _REDUCE_OPS[op]
+    except KeyError:
+        raise ValueError(
+            f"unknown reduce op {op!r}; expected one of {sorted(_REDUCE_OPS)}"
+        ) from None
+    value = fn(a.data) if a.size else _reduce_identity(op, a.dtype)
+    dev.charge_kernel(f"thrust::reduce[{op}]", flops=a.size, bytes_moved=a.nbytes)
+    dev._record_d2h(a.itemsize)
+    return value
+
+
+def _reduce_identity(op: str, dtype) -> float:
+    if op == "plus":
+        return dtype.type(0)
+    raise ValueError(f"reduce of empty range has no identity for {op!r}")
+
+
+def min_element(a: DeviceArray) -> int:
+    """``thrust::min_element`` — index of the minimum (host int)."""
+    dev = _device_of(a)
+    if a.size == 0:
+        raise DeviceArrayError("min_element of empty range")
+    idx = int(np.argmin(a.data))
+    dev.charge_kernel("thrust::min_element", flops=a.size, bytes_moved=a.nbytes)
+    dev._record_d2h(8)
+    return idx
+
+
+def max_element(a: DeviceArray) -> int:
+    """``thrust::max_element`` — index of the maximum (host int)."""
+    dev = _device_of(a)
+    if a.size == 0:
+        raise DeviceArrayError("max_element of empty range")
+    idx = int(np.argmax(a.data))
+    dev.charge_kernel("thrust::max_element", flops=a.size, bytes_moved=a.nbytes)
+    dev._record_d2h(8)
+    return idx
+
+
+def count(a: DeviceArray, value) -> int:
+    """``thrust::count`` — occurrences of ``value`` (host int)."""
+    dev = _device_of(a)
+    c = int(np.count_nonzero(a.data == value))
+    dev.charge_kernel("thrust::count", flops=a.size, bytes_moved=a.nbytes)
+    dev._record_d2h(8)
+    return c
+
+
+def inclusive_scan(a: DeviceArray, out: DeviceArray | None = None) -> DeviceArray:
+    """``thrust::inclusive_scan`` — running prefix sums."""
+    dev = _device_of(a)
+    if out is None:
+        out = dev.empty(a.shape, dtype=a.dtype)
+    np.cumsum(a.data, out=out.data)
+    dev.charge_kernel(
+        "thrust::inclusive_scan", flops=2 * a.size, bytes_moved=a.nbytes + out.nbytes
+    )
+    return out
+
+
+def exclusive_scan(
+    a: DeviceArray, out: DeviceArray | None = None, init=0
+) -> DeviceArray:
+    """``thrust::exclusive_scan`` — shifted prefix sums starting at ``init``."""
+    dev = _device_of(a)
+    if out is None:
+        out = dev.empty(a.shape, dtype=a.dtype)
+    np.cumsum(a.data, out=out.data)
+    out.data[1:] = out.data[:-1]
+    out.data[0] = 0
+    if init:
+        np.add(out.data, init, out=out.data)
+    dev.charge_kernel(
+        "thrust::exclusive_scan", flops=2 * a.size, bytes_moved=a.nbytes + out.nbytes
+    )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# sorting / searching / keyed reduction
+# ---------------------------------------------------------------------------
+
+
+def sort(a: DeviceArray) -> DeviceArray:
+    """``thrust::sort`` — in-place ascending sort."""
+    dev = _device_of(a)
+    a.data.sort()
+    dev.timeline.record("thrust::sort", "kernel", dev.cost.sort_time(a.size))
+    return a
+
+
+def sort_by_key(keys: DeviceArray, values: DeviceArray) -> tuple[DeviceArray, DeviceArray]:
+    """``thrust::sort_by_key`` — stable in-place sort of (keys, values).
+
+    ``values`` may be 2-D (one row per key), matching the k-means use where
+    the payload is a d-dimensional point.
+    """
+    dev = _device_of(keys, values)
+    if keys.size != values.shape[0]:
+        raise DeviceArrayError(
+            f"sort_by_key: {keys.size} keys vs {values.shape[0]} values"
+        )
+    order = np.argsort(keys.data, kind="stable")
+    keys.data[...] = keys.data[order]
+    values.data[...] = values.data[order]
+    dev.timeline.record("thrust::sort_by_key", "kernel", dev.cost.sort_time(keys.size))
+    return keys, values
+
+
+def reduce_by_key(
+    keys: DeviceArray, values: DeviceArray
+) -> tuple[DeviceArray, DeviceArray]:
+    """``thrust::reduce_by_key`` with ``plus`` — segmented sums over *sorted* keys.
+
+    Returns (unique_keys, segment_sums).  2-D values reduce row-wise.
+    """
+    dev = _device_of(keys, values)
+    if keys.size != values.shape[0]:
+        raise DeviceArrayError(
+            f"reduce_by_key: {keys.size} keys vs {values.shape[0]} values"
+        )
+    if keys.size == 0:
+        return dev.empty(0, dtype=keys.dtype), dev.empty(
+            (0,) + values.shape[1:], dtype=values.dtype
+        )
+    kd = keys.data
+    boundaries = np.flatnonzero(np.diff(kd)) + 1
+    starts = np.concatenate(([0], boundaries))
+    uniq = kd[starts]
+    sums = np.add.reduceat(values.data, starts, axis=0)
+    out_keys = dev.empty(uniq.shape, dtype=keys.dtype)
+    out_keys.data[...] = uniq
+    out_vals = dev.empty(sums.shape, dtype=values.dtype)
+    out_vals.data[...] = sums
+    dev.charge_kernel(
+        "thrust::reduce_by_key",
+        flops=values.size,
+        bytes_moved=keys.nbytes + values.nbytes + out_vals.nbytes,
+    )
+    return out_keys, out_vals
+
+
+def lower_bound(sorted_arr: DeviceArray, queries: DeviceArray) -> DeviceArray:
+    """``thrust::lower_bound`` — first position not less than each query."""
+    dev = _device_of(sorted_arr, queries)
+    out = dev.empty(queries.shape, dtype=np.int64)
+    out.data[...] = np.searchsorted(sorted_arr.data, queries.data, side="left")
+    dev.charge_kernel(
+        "thrust::lower_bound",
+        flops=queries.size * max(1, int(np.log2(max(2, sorted_arr.size)))),
+        bytes_moved=queries.nbytes + out.nbytes,
+        kind="gather",
+    )
+    return out
+
+
+def upper_bound(sorted_arr: DeviceArray, queries: DeviceArray) -> DeviceArray:
+    """``thrust::upper_bound`` — first position greater than each query."""
+    dev = _device_of(sorted_arr, queries)
+    out = dev.empty(queries.shape, dtype=np.int64)
+    out.data[...] = np.searchsorted(sorted_arr.data, queries.data, side="right")
+    dev.charge_kernel(
+        "thrust::upper_bound",
+        flops=queries.size * max(1, int(np.log2(max(2, sorted_arr.size)))),
+        bytes_moved=queries.nbytes + out.nbytes,
+        kind="gather",
+    )
+    return out

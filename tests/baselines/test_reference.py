@@ -1,0 +1,59 @@
+"""Host reference pipeline: correctness and agreement with the hybrid path."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.reference import reference_spectral_clustering
+from repro.core.pipeline import SpectralClustering
+from repro.errors import ClusteringError
+from repro.metrics.external import adjusted_rand_index
+
+
+class TestReferencePipeline:
+    def test_recovers_sbm(self, sbm_graph):
+        W, truth = sbm_graph
+        ref = reference_spectral_clustering(graph=W, n_clusters=6, seed=0)
+        assert adjusted_rand_index(ref.labels, truth) > 0.95
+
+    def test_matches_hybrid_partition(self, sbm_graph):
+        """Same numerics, same seeds -> same partition as the CUDA path."""
+        W, _ = sbm_graph
+        ref = reference_spectral_clustering(graph=W, n_clusters=6, seed=0)
+        hyb = SpectralClustering(n_clusters=6, seed=0).fit(graph=W)
+        assert adjusted_rand_index(ref.labels, hyb.labels) > 0.99
+
+    def test_matches_hybrid_eigenvalues(self, sbm_graph):
+        W, _ = sbm_graph
+        ref = reference_spectral_clustering(graph=W, n_clusters=6, seed=0)
+        hyb = SpectralClustering(n_clusters=6, seed=0).fit(graph=W)
+        assert np.allclose(
+            np.sort(ref.eigenvalues), np.sort(hyb.eigenvalues), atol=1e-8
+        )
+
+    def test_eig_stats_populated(self, sbm_graph):
+        W, _ = sbm_graph
+        ref = reference_spectral_clustering(graph=W, n_clusters=4, seed=0)
+        assert ref.eig_stats["n_op"] > 0
+        assert ref.eig_stats["m"] >= 9
+        assert ref.eig_stats["converged"]
+
+    def test_wall_times_recorded(self, sbm_graph):
+        W, _ = sbm_graph
+        ref = reference_spectral_clustering(graph=W, n_clusters=4, seed=0)
+        assert set(ref.wall) == {"similarity", "laplacian", "eigensolver", "kmeans"}
+
+    def test_point_input(self):
+        from repro.datasets.dti import make_dti_volume
+
+        v = make_dti_volume(grid=(8, 8, 8), n_regions=4, noise=0.2, seed=0)
+        ref = reference_spectral_clustering(
+            X=v.profiles, edges=v.edges, n_clusters=4, seed=0
+        )
+        assert adjusted_rand_index(ref.labels, v.labels) > 0.6
+
+    def test_input_validation(self, sbm_graph, rng):
+        W, _ = sbm_graph
+        with pytest.raises(ClusteringError):
+            reference_spectral_clustering(n_clusters=3)
+        with pytest.raises(ClusteringError):
+            reference_spectral_clustering(X=rng.random((5, 2)), n_clusters=2)

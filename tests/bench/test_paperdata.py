@@ -1,0 +1,46 @@
+"""Transcription integrity of the paper's published numbers."""
+
+from repro.bench.paperdata import PAPER_TABLES, TABLE_OF_DATASET
+
+
+class TestPaperData:
+    def test_all_tables_present(self):
+        assert {
+            "table3_dti", "table4_fb", "table5_syn200", "table6_dblp",
+            "table7_comm", "dti_vectorized_similarity",
+        } <= set(PAPER_TABLES)
+
+    def test_cuda_wins_every_stage_in_tables_3_to_6(self):
+        """The paper's headline claim: CUDA fastest at each step."""
+        for key in ("table3_dti", "table4_fb", "table5_syn200", "table6_dblp"):
+            for stage, cols in PAPER_TABLES[key].items():
+                assert cols["cuda"] < cols["matlab"], (key, stage)
+                assert cols["cuda"] < cols["python"], (key, stage)
+
+    def test_table7_communication_always_smaller(self):
+        """§V.C: 'we expect the data communication time to be less than the
+        computational time'."""
+        for ds, row in PAPER_TABLES["table7_comm"].items():
+            assert row["communication"] < row["computation"], ds
+
+    def test_known_headline_numbers(self):
+        t3 = PAPER_TABLES["table3_dti"]
+        assert t3["similarity"]["cuda"] == 0.0331
+        assert t3["eigensolver"]["python"] == 3281.973
+        assert PAPER_TABLES["table6_dblp"]["kmeans"]["cuda"] == 1.79456
+
+    def test_dataset_table_mapping(self):
+        assert TABLE_OF_DATASET == {
+            "dti": "table3_dti",
+            "fb": "table4_fb",
+            "syn200": "table5_syn200",
+            "dblp": "table6_dblp",
+        }
+
+    def test_kmeans_speedups_match_prose(self):
+        """§V.C quotes >300x (DTI), ~4x (FB), >100x (Syn200), >400x (DBLP)."""
+        t = PAPER_TABLES
+        assert t["table3_dti"]["kmeans"]["matlab"] / t["table3_dti"]["kmeans"]["cuda"] > 300
+        assert 2 < t["table4_fb"]["kmeans"]["matlab"] / t["table4_fb"]["kmeans"]["cuda"] < 5
+        assert t["table5_syn200"]["kmeans"]["matlab"] / t["table5_syn200"]["kmeans"]["cuda"] > 100
+        assert t["table6_dblp"]["kmeans"]["matlab"] / t["table6_dblp"]["kmeans"]["cuda"] > 400

@@ -1,0 +1,84 @@
+"""Experiment record persistence and drift detection."""
+
+import json
+
+import pytest
+
+from repro.bench.record import (
+    SCHEMA_VERSION,
+    diff_records,
+    load_record,
+    record_to_dict,
+    save_record,
+)
+from repro.bench.runner import run_comparison
+from repro.errors import BenchmarkError
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_comparison("fb", scale=0.1, seed=0, eig_tol=1e-8, project=False)
+
+
+class TestRecordIO:
+    def test_round_trip(self, result, tmp_path):
+        p = tmp_path / "fb.json"
+        save_record(p, result)
+        back = load_record(p)
+        assert back["dataset"] == "fb"
+        assert back["schema_version"] == SCHEMA_VERSION
+        assert back["stages"]["eigensolver"]["cuda"] == pytest.approx(
+            result.stages["eigensolver"]["cuda"]
+        )
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(BenchmarkError, match="no such record"):
+            load_record(tmp_path / "nope.json")
+
+    def test_corrupt_file(self, tmp_path):
+        p = tmp_path / "bad.json"
+        p.write_text("{not json")
+        with pytest.raises(BenchmarkError, match="corrupt"):
+            load_record(p)
+
+    def test_schema_mismatch(self, tmp_path):
+        p = tmp_path / "old.json"
+        p.write_text(json.dumps({"schema_version": 999}))
+        with pytest.raises(BenchmarkError, match="schema"):
+            load_record(p)
+
+
+class TestDrift:
+    def test_identical_run_no_drift(self, result, tmp_path):
+        p = tmp_path / "fb.json"
+        save_record(p, result)
+        again = run_comparison("fb", scale=0.1, seed=0, eig_tol=1e-8,
+                               project=False)
+        assert diff_records(load_record(p), again) == []
+
+    def test_perturbation_detected(self, result):
+        old = record_to_dict(result)
+        new = record_to_dict(result)
+        new["stages"]["eigensolver"]["cuda"] *= 2.0
+        drifts = diff_records(old, new)
+        assert any("eigensolver/cuda" in d for d in drifts)
+
+    def test_small_noise_tolerated(self, result):
+        old = record_to_dict(result)
+        new = record_to_dict(result)
+        new["stages"]["eigensolver"]["cuda"] *= 1.01
+        assert diff_records(old, new, rel_tol=0.05) == []
+
+    def test_missing_stage_flagged(self, result):
+        old = record_to_dict(result)
+        new = record_to_dict(result)
+        del new["stages"]["kmeans"]["python"]
+        drifts = diff_records(old, new)
+        assert any("missing" in d for d in drifts)
+
+    def test_dataset_mismatch_rejected(self, result):
+        old = record_to_dict(result)
+        new = record_to_dict(result)
+        new["dataset"] = "dblp"
+        with pytest.raises(BenchmarkError):
+            diff_records(old, new)

@@ -1,0 +1,76 @@
+"""Report formatting edge cases."""
+
+import pytest
+
+from repro.bench.report import format_comparison, format_paper_check, speedup
+from repro.bench.runner import ComparisonResult
+
+
+def minimal_result(**kw) -> ComparisonResult:
+    base = dict(
+        dataset="fb",
+        scale=0.1,
+        n=100,
+        nnz_directed=500,
+        k=5,
+        stages={"eigensolver": {"cuda": 0.1, "matlab": 0.5, "python": 1.0}},
+        quality={"cuda": 0.9, "matlab": 0.8, "python": 0.9},
+        counters={},
+        comm=0.01,
+        comp=0.09,
+    )
+    base.update(kw)
+    return ComparisonResult(**base)
+
+
+class TestSpeedup:
+    def test_basic(self):
+        assert speedup(10.0, 2.0) == 5.0
+
+    def test_zero_denominator(self):
+        assert speedup(1.0, 0.0) == float("inf")
+
+
+class TestFormatComparison:
+    def test_contains_columns_and_quality(self):
+        text = format_comparison(minimal_result())
+        assert "CUDA(sim)/s" in text
+        assert "eigensolver" in text
+        assert "ARI" in text
+        assert "PCIe" in text
+
+    def test_no_quality_row_when_absent(self):
+        text = format_comparison(minimal_result(quality={}))
+        assert "ARI" not in text
+
+    def test_speedup_columns_rendered(self):
+        text = format_comparison(minimal_result())
+        assert "5.0x" in text  # matlab/cuda
+        assert "10.0x" in text  # python/cuda
+
+
+class TestFormatPaperCheck:
+    def test_without_projection(self):
+        text = format_paper_check(minimal_result())
+        assert "no projection" in text
+
+    def test_with_projection_and_paper(self):
+        r = minimal_result(
+            projection={
+                "eigensolver": {"cuda": 0.02, "matlab": 0.11, "python": 0.09}
+            },
+            paper={
+                "eigensolver": {"cuda": 0.0216, "matlab": 0.1027, "python": 0.0851}
+            },
+        )
+        text = format_paper_check(r)
+        assert "winner MATCHES" in text
+        assert "0.0216" in text
+
+    def test_winner_differs_reported(self):
+        r = minimal_result(
+            projection={"eigensolver": {"cuda": 1.0, "matlab": 0.1, "python": 2.0}},
+            paper={"eigensolver": {"cuda": 0.02, "matlab": 0.10, "python": 0.09}},
+        )
+        text = format_paper_check(r)
+        assert "DIFFERS" in text

@@ -1,0 +1,67 @@
+"""Standalone spectral embedding."""
+
+import numpy as np
+import pytest
+
+from repro.core.embedding import spectral_embedding
+from repro.core.pipeline import SpectralClustering
+from repro.cuda.device import Device
+from repro.errors import ClusteringError
+from repro.kmeans.cpu import kmeans_cpu
+from repro.metrics.external import adjusted_rand_index
+from repro.sparse.construct import from_edge_list
+
+
+class TestSpectralEmbedding:
+    def test_shapes(self, sbm_graph):
+        W, _ = sbm_graph
+        U, theta, kept = spectral_embedding(W, 6, seed=0)
+        assert U.shape == (W.shape[0], 6)
+        assert theta.shape == (6,)
+        assert kept.size == W.shape[0]
+
+    def test_eigenvalues_descending(self, sbm_graph):
+        W, _ = sbm_graph
+        _, theta, _ = spectral_embedding(W, 6, seed=0)
+        assert np.all(np.diff(theta) <= 1e-12)
+        assert theta[0] == pytest.approx(1.0, abs=1e-8)
+
+    def test_matches_pipeline_embedding(self, sbm_graph):
+        W, _ = sbm_graph
+        U, _, _ = spectral_embedding(W, 6, eig_tol=1e-10, seed=0)
+        res = SpectralClustering(n_clusters=6, eig_tol=1e-10, seed=0).fit(graph=W)
+        # columns may differ by sign only
+        for i in range(6):
+            s = np.sign(U[:, i] @ res.embedding[:, i]) or 1.0
+            assert np.allclose(U[:, i] * s, res.embedding[:, i], atol=1e-7)
+
+    def test_kmeans_on_embedding_recovers(self, sbm_graph):
+        W, truth = sbm_graph
+        U, _, _ = spectral_embedding(W, 6, seed=0)
+        km = kmeans_cpu(U, 6, seed=0)
+        assert adjusted_rand_index(km.labels, truth) > 0.95
+
+    def test_normalize_rows(self, sbm_graph):
+        W, _ = sbm_graph
+        U, _, _ = spectral_embedding(W, 6, normalize_rows=True, seed=0)
+        assert np.allclose(np.linalg.norm(U, axis=1), 1.0)
+
+    def test_isolated_nodes_dropped(self):
+        W = from_edge_list(
+            np.array([[0, 1], [1, 2], [2, 0], [3, 4], [4, 5], [5, 3]]),
+            n_nodes=8,
+        )
+        U, _, kept = spectral_embedding(W, 2, seed=0)
+        assert kept.tolist() == [0, 1, 2, 3, 4, 5]
+        assert U.shape == (6, 2)
+
+    def test_bad_n_components(self, sbm_graph):
+        W, _ = sbm_graph
+        with pytest.raises(ClusteringError):
+            spectral_embedding(W, 0)
+
+    def test_device_timeline_shared(self, sbm_graph):
+        W, _ = sbm_graph
+        dev = Device()
+        spectral_embedding(W, 4, seed=0, device=dev)
+        assert dev.timeline.total(tag="eigensolver") > 0

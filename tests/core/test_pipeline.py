@@ -1,0 +1,163 @@
+"""End-to-end SpectralClustering estimator."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import SpectralClustering
+from repro.cuda.device import Device
+from repro.errors import ClusteringError
+from repro.metrics.cuts import ncut
+from repro.metrics.external import adjusted_rand_index
+from repro.sparse.construct import from_edge_list
+
+
+class TestGraphInput:
+    def test_recovers_sbm_communities(self, sbm_graph):
+        W, truth = sbm_graph
+        res = SpectralClustering(n_clusters=6, seed=0).fit(graph=W)
+        assert adjusted_rand_index(res.labels, truth) > 0.95
+
+    def test_ncut_competitive_with_ground_truth(self, sbm_graph):
+        W, truth = sbm_graph
+        res = SpectralClustering(n_clusters=6, seed=0).fit(graph=W)
+        assert ncut(W, res.labels) <= ncut(W, truth) * 1.5 + 1e-6
+
+    def test_csr_input_accepted(self, sbm_graph):
+        W, truth = sbm_graph
+        res = SpectralClustering(n_clusters=6, seed=0).fit(graph=W.to_csr())
+        assert adjusted_rand_index(res.labels, truth) > 0.95
+
+    def test_result_fields(self, sbm_graph):
+        W, _ = sbm_graph
+        res = SpectralClustering(n_clusters=6, seed=0).fit(graph=W)
+        n = W.shape[0]
+        assert res.labels.shape == (n,)
+        assert res.eigenvalues.shape == (6,)
+        assert res.embedding.shape == (n, 6)
+        assert res.n_clusters == 6
+        assert set(res.timings.simulated) == {
+            "similarity", "laplacian", "eigensolver", "kmeans",
+        }
+        assert res.profile.total > 0
+        assert "n_op" in res.eig_stats
+
+    def test_eigenvalues_descending_topped_by_one(self, sbm_graph):
+        W, _ = sbm_graph
+        res = SpectralClustering(n_clusters=6, seed=0).fit(graph=W)
+        assert np.all(np.diff(res.eigenvalues) <= 1e-12)
+        assert res.eigenvalues[0] == pytest.approx(1.0, abs=1e-8)
+
+    def test_isolated_nodes_labeled_minus_one(self, sbm_graph):
+        W, _ = sbm_graph
+        n = W.shape[0]
+        # append two isolated nodes
+        coo = W
+        W2 = from_edge_list(
+            np.column_stack([coo.row, coo.col]), weights=coo.data,
+            n_nodes=n + 2, symmetrize=False,
+        )
+        res = SpectralClustering(n_clusters=6, seed=0).fit(graph=W2)
+        assert res.labels[n] == -1 and res.labels[n + 1] == -1
+        assert res.kept.size == n
+
+    def test_isolated_error_mode(self, sbm_graph):
+        W, _ = sbm_graph
+        coo = W
+        W2 = from_edge_list(
+            np.column_stack([coo.row, coo.col]), weights=coo.data,
+            n_nodes=W.shape[0] + 1, symmetrize=False,
+        )
+        sc = SpectralClustering(n_clusters=6, handle_isolated="error")
+        with pytest.raises(ClusteringError, match="isolated"):
+            sc.fit(graph=W2)
+
+    def test_rw_operator_gives_same_partition(self, sbm_graph):
+        W, truth = sbm_graph
+        res = SpectralClustering(n_clusters=6, operator="rw", seed=0).fit(graph=W)
+        assert adjusted_rand_index(res.labels, truth) > 0.9
+
+    def test_normalize_rows_variant(self, sbm_graph):
+        W, truth = sbm_graph
+        res = SpectralClustering(
+            n_clusters=6, normalize_rows=True, seed=0
+        ).fit(graph=W)
+        assert adjusted_rand_index(res.labels, truth) > 0.9
+        assert np.allclose(np.linalg.norm(res.embedding, axis=1), 1.0)
+
+
+class TestPointInput:
+    @pytest.fixture
+    def dti_like(self):
+        from repro.datasets.dti import make_dti_volume
+
+        return make_dti_volume(grid=(10, 10, 10), n_regions=5, noise=0.2, seed=0)
+
+    def test_dti_pipeline_recovers_regions(self, dti_like):
+        v = dti_like
+        res = SpectralClustering(n_clusters=5, seed=0).fit(
+            X=v.profiles, edges=v.edges
+        )
+        assert adjusted_rand_index(res.labels, v.labels) > 0.7
+
+    def test_similarity_stage_timed(self, dti_like):
+        v = dti_like
+        res = SpectralClustering(n_clusters=5, seed=0).fit(
+            X=v.profiles, edges=v.edges
+        )
+        assert res.timings.simulated["similarity"] > 0
+
+    def test_point_input_requires_edges(self, dti_like):
+        with pytest.raises(ClusteringError, match="edges"):
+            SpectralClustering(n_clusters=5).fit(X=dti_like.profiles)
+
+
+class TestValidation:
+    def test_both_inputs_rejected(self, sbm_graph, rng):
+        W, _ = sbm_graph
+        with pytest.raises(ClusteringError):
+            SpectralClustering(n_clusters=3).fit(
+                X=rng.random((10, 2)), edges=np.array([[0, 1]]), graph=W
+            )
+
+    def test_no_input_rejected(self):
+        with pytest.raises(ClusteringError):
+            SpectralClustering(n_clusters=3).fit()
+
+    def test_k_too_small(self):
+        with pytest.raises(ClusteringError):
+            SpectralClustering(n_clusters=1)
+
+    def test_bad_operator(self):
+        with pytest.raises(ClusteringError):
+            SpectralClustering(n_clusters=3, operator="lazy")
+
+    def test_bad_isolated_mode(self):
+        with pytest.raises(ClusteringError):
+            SpectralClustering(n_clusters=3, handle_isolated="ignore")
+
+    def test_k_exceeds_nodes(self):
+        W = from_edge_list(np.array([[0, 1], [1, 2]]), n_nodes=3)
+        with pytest.raises(ClusteringError, match="non-isolated"):
+            SpectralClustering(n_clusters=3).fit(graph=W)
+
+
+class TestDeviceSharing:
+    def test_external_device_accumulates_timeline(self, sbm_graph):
+        W, _ = sbm_graph
+        dev = Device()
+        SpectralClustering(n_clusters=6, seed=0, device=dev).fit(graph=W)
+        assert dev.elapsed > 0
+        stages = dev.timeline.by_tag()
+        assert "eigensolver" in stages and "kmeans" in stages
+
+    def test_determinism_given_seed(self, sbm_graph):
+        W, _ = sbm_graph
+        r1 = SpectralClustering(n_clusters=6, seed=42).fit(graph=W)
+        r2 = SpectralClustering(n_clusters=6, seed=42).fit(graph=W)
+        assert np.array_equal(r1.labels, r2.labels)
+
+    def test_summary_renders(self, sbm_graph):
+        W, _ = sbm_graph
+        res = SpectralClustering(n_clusters=6, seed=0).fit(graph=W)
+        text = res.summary()
+        assert "eigensolver" in text and "kmeans" in text

@@ -1,0 +1,24 @@
+"""Result record formatting."""
+
+import pytest
+
+from repro.core.result import StageTimings
+
+
+class TestStageTimings:
+    def test_totals(self):
+        t = StageTimings(
+            simulated={"a": 1.0, "b": 2.0}, wall={"a": 0.1, "b": 0.2}
+        )
+        assert t.total_simulated() == pytest.approx(3.0)
+        assert t.total_wall() == pytest.approx(0.3)
+
+    def test_format_table_includes_all_stages(self):
+        t = StageTimings(simulated={"eig": 1.0}, wall={"kmeans": 0.5})
+        text = t.format_table()
+        assert "eig" in text and "kmeans" in text and "total" in text
+
+    def test_empty(self):
+        t = StageTimings()
+        assert t.total_simulated() == 0.0
+        assert "total" in t.format_table()

@@ -1,0 +1,134 @@
+"""cuBLAS wrapper correctness against dense NumPy references."""
+
+import numpy as np
+import pytest
+
+from repro import cublas
+from repro.cuda.device import Device
+from repro.errors import DeviceArrayError
+
+
+class TestLevel1:
+    def test_scal(self, device, rng):
+        x = device.to_device(rng.random(10))
+        ref = 2.5 * x.data.copy()
+        cublas.scal(2.5, x)
+        assert np.allclose(x.data, ref)
+
+    def test_axpy(self, device, rng):
+        x = device.to_device(rng.random(10))
+        y = device.to_device(rng.random(10))
+        ref = 3.0 * x.data + y.data
+        cublas.axpy(3.0, x, y)
+        assert np.allclose(y.data, ref)
+
+    def test_axpy_shape_mismatch(self, device, rng):
+        with pytest.raises(DeviceArrayError):
+            cublas.axpy(1.0, device.zeros(3), device.zeros(4))
+
+    def test_dot(self, device, rng):
+        x = device.to_device(rng.random(64))
+        y = device.to_device(rng.random(64))
+        assert cublas.dot(x, y) == pytest.approx(float(x.data @ y.data))
+
+    def test_dot_charges_d2h_scalar(self, device, rng):
+        x = device.to_device(rng.random(8))
+        d2h0 = device.timeline.count("d2h")
+        cublas.dot(x, x)
+        assert device.timeline.count("d2h") == d2h0 + 1
+
+    def test_nrm2(self, device, rng):
+        x = device.to_device(rng.random(32))
+        assert cublas.nrm2(x) == pytest.approx(float(np.linalg.norm(x.data)))
+
+
+class TestLevel2:
+    def test_gemv(self, device, rng):
+        A = device.to_device(rng.random((5, 3)))
+        x = device.to_device(rng.random(3))
+        y = cublas.gemv(A, x)
+        assert np.allclose(y.data, A.data @ x.data)
+
+    def test_gemv_transposed(self, device, rng):
+        A = device.to_device(rng.random((5, 3)))
+        x = device.to_device(rng.random(5))
+        y = cublas.gemv(A, x, trans=True)
+        assert np.allclose(y.data, A.data.T @ x.data)
+
+    def test_gemv_accumulate(self, device, rng):
+        A = device.to_device(rng.random((4, 4)))
+        x = device.to_device(rng.random(4))
+        y = device.to_device(rng.random(4))
+        ref = 2.0 * (A.data @ x.data) + 0.5 * y.data
+        cublas.gemv(A, x, y, alpha=2.0, beta=0.5)
+        assert np.allclose(y.data, ref)
+
+    def test_gemv_dim_mismatch(self, device, rng):
+        with pytest.raises(DeviceArrayError):
+            cublas.gemv(device.zeros((3, 4)), device.zeros(3))
+
+    def test_ger(self, device, rng):
+        x = device.to_device(rng.random(4))
+        y = device.to_device(rng.random(3))
+        A = device.zeros((4, 3))
+        cublas.ger(1.5, x, y, A)
+        assert np.allclose(A.data, 1.5 * np.outer(x.data, y.data))
+
+
+class TestLevel3:
+    def test_gemm_basic(self, device, rng):
+        A = device.to_device(rng.random((4, 6)))
+        B = device.to_device(rng.random((6, 3)))
+        C = cublas.gemm(A, B)
+        assert np.allclose(C.data, A.data @ B.data)
+
+    @pytest.mark.parametrize("ta,tb", [(False, False), (True, False),
+                                       (False, True), (True, True)])
+    def test_gemm_transposes(self, device, rng, ta, tb):
+        A = device.to_device(rng.random((6, 4) if ta else (4, 6)))
+        B = device.to_device(rng.random((3, 6) if tb else (6, 3)))
+        C = cublas.gemm(A, B, transa=ta, transb=tb)
+        Aop = A.data.T if ta else A.data
+        Bop = B.data.T if tb else B.data
+        assert np.allclose(C.data, Aop @ Bop)
+
+    def test_gemm_kmeans_update_form(self, device, rng):
+        # S <- S - 2 V C^T, the Algorithm 4 distance completion
+        V = device.to_device(rng.random((10, 4)))
+        C = device.to_device(rng.random((3, 4)))
+        S = device.to_device(rng.random((10, 3)))
+        ref = S.data - 2.0 * V.data @ C.data.T
+        cublas.gemm(V, C, S, alpha=-2.0, beta=1.0, transb=True)
+        assert np.allclose(S.data, ref)
+
+    def test_gemm_inner_dim_mismatch(self, device, rng):
+        with pytest.raises(DeviceArrayError):
+            cublas.gemm(device.zeros((4, 5)), device.zeros((6, 3)))
+
+    def test_gemm_bad_c_shape(self, device, rng):
+        with pytest.raises(DeviceArrayError):
+            cublas.gemm(
+                device.zeros((4, 5)), device.zeros((5, 3)), device.zeros((4, 4))
+            )
+
+    def test_gemm_charges_dense_kernel(self, device, rng):
+        A = device.to_device(rng.random((64, 64)))
+        t0 = device.elapsed
+        cublas.gemm(A, A)
+        assert device.elapsed > t0
+
+    def test_syrk(self, device, rng):
+        A = device.to_device(rng.random((5, 3)))
+        C = cublas.syrk(A)
+        assert np.allclose(C.data, A.data @ A.data.T)
+
+    def test_syrk_trans(self, device, rng):
+        A = device.to_device(rng.random((5, 3)))
+        C = cublas.syrk(A, trans=True)
+        assert np.allclose(C.data, A.data.T @ A.data)
+
+    def test_cross_device_rejected(self, rng):
+        d1, d2 = Device(), Device()
+        with pytest.raises(DeviceArrayError):
+            cublas.gemm(d1.to_device(rng.random((2, 2))),
+                        d2.to_device(rng.random((2, 2))))

@@ -1,0 +1,104 @@
+"""Kernel launch semantics: validation, execution, cost charging."""
+
+import numpy as np
+import pytest
+
+from repro.cuda.kernel import Kernel, LaunchConfig, kernel, launch
+from repro.cuda.launch import grid_1d
+from repro.errors import InvalidKernelLaunch
+
+square = Kernel(
+    name="square",
+    body=lambda tid, x, out: out.__setitem__(tid, x[tid] ** 2),
+    cost=lambda nt, x, out: (nt, 2.0 * nt * 8),
+)
+
+
+class TestLaunchConfig:
+    def test_n_threads(self):
+        assert LaunchConfig(4, 256).n_threads == 1024
+
+    def test_rejects_nonpositive(self, device):
+        with pytest.raises(InvalidKernelLaunch):
+            LaunchConfig(0, 256).validate(device)
+        with pytest.raises(InvalidKernelLaunch):
+            LaunchConfig(1, 0).validate(device)
+
+    def test_rejects_oversized_block(self, device):
+        with pytest.raises(InvalidKernelLaunch):
+            LaunchConfig(1, 2048).validate(device)
+
+
+class TestLaunch:
+    def test_executes_body_over_all_threads(self, device, rng):
+        x = device.to_device(rng.random(100))
+        out = device.empty(100)
+        launch(square, grid_1d(100), x, out, n_threads=100)
+        assert np.allclose(out.data, x.data**2)
+
+    def test_charges_time_and_counts(self, device, rng):
+        x = device.to_device(rng.random(10))
+        out = device.empty(10)
+        t0 = device.elapsed
+        launches0 = device.kernel_launches
+        dt = launch(square, (1, 32), x, out, n_threads=10)
+        assert dt > 0
+        assert device.elapsed == pytest.approx(t0 + dt)
+        assert device.kernel_launches == launches0 + 1
+
+    def test_partial_tail_threads_masked(self, device, rng):
+        # grid covers 128 threads but only 100 are live
+        x = device.to_device(rng.random(100))
+        out = device.zeros(100)
+        launch(square, grid_1d(100, 64), x, out, n_threads=100)
+        assert np.allclose(out.data, x.data**2)
+
+    def test_n_threads_over_capacity_rejected(self, device, rng):
+        x = device.to_device(rng.random(10))
+        with pytest.raises(InvalidKernelLaunch):
+            launch(square, (1, 4), x, x, n_threads=10)
+
+    def test_requires_device_operand(self):
+        with pytest.raises(InvalidKernelLaunch):
+            launch(square, (1, 32), np.zeros(4), np.zeros(4))
+
+    def test_mixed_devices_rejected(self, rng):
+        from repro.cuda.device import Device
+
+        d1, d2 = Device(), Device()
+        a = d1.to_device(rng.random(4))
+        b = d2.to_device(rng.random(4))
+        with pytest.raises(InvalidKernelLaunch):
+            launch(square, (1, 32), a, b)
+
+    def test_decorator_form(self, device, rng):
+        @kernel("triple", cost=lambda nt, x, out: (nt, 2.0 * nt * 8))
+        def triple(tid, x, out):
+            out[tid] = 3.0 * x[tid]
+
+        x = device.to_device(rng.random(16))
+        out = device.empty(16)
+        launch(triple, (1, 16), x, out)
+        assert np.allclose(out.data, 3.0 * x.data)
+
+    def test_bad_kind_rejected_at_definition(self):
+        with pytest.raises(ValueError):
+            Kernel("k", lambda tid: None, lambda nt: (0, 0), kind="warp-magic")
+
+
+class TestGrid1d:
+    def test_covers_requested_threads(self):
+        g, b = grid_1d(1000, 256)
+        assert g * b >= 1000
+        assert g == 4
+
+    def test_exact_multiple(self):
+        assert grid_1d(512, 256) == (2, 256)
+
+    def test_zero_threads(self):
+        g, b = grid_1d(0)
+        assert g >= 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(InvalidKernelLaunch):
+            grid_1d(-1)

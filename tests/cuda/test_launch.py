@@ -1,0 +1,31 @@
+"""Occupancy model sanity."""
+
+import pytest
+
+from repro.cuda.launch import occupancy
+from repro.errors import InvalidKernelLaunch
+from repro.hw.spec import K20C
+
+
+class TestOccupancy:
+    def test_full_occupancy_at_256_threads(self):
+        assert occupancy(K20C, 256) == pytest.approx(1.0)
+
+    def test_small_blocks_limited_by_block_cap(self):
+        # 32-thread blocks: 16 resident blocks x 1 warp = 16/64 warps
+        assert occupancy(K20C, 32) == pytest.approx(0.25)
+
+    def test_register_pressure_reduces_occupancy(self):
+        light = occupancy(K20C, 256, registers_per_thread=32)
+        heavy = occupancy(K20C, 256, registers_per_thread=128)
+        assert heavy < light
+
+    def test_bounded_by_one(self):
+        for b in (32, 64, 128, 256, 512, 1024):
+            assert 0.0 <= occupancy(K20C, b) <= 1.0
+
+    def test_invalid_block_size_rejected(self):
+        with pytest.raises(InvalidKernelLaunch):
+            occupancy(K20C, 0)
+        with pytest.raises(InvalidKernelLaunch):
+            occupancy(K20C, 4096)

@@ -1,0 +1,67 @@
+"""Profiler aggregation: the Table VII communication/computation split."""
+
+import numpy as np
+import pytest
+
+from repro.cuda.profiler import Profiler
+
+
+class TestProfiler:
+    def test_start_stop_scopes_events(self, device, rng):
+        prof = Profiler(device)
+        device.charge_kernel("before", 1, 1)  # outside the window
+        prof.start()
+        device.to_device(rng.random(100))
+        device.charge_kernel("inside", 1e6, 1e6)
+        rep = prof.stop()
+        assert rep.kernel_launches == 1
+        assert rep.communication > 0
+
+    def test_stop_without_start_raises(self, device):
+        with pytest.raises(RuntimeError):
+            Profiler(device).stop()
+
+    def test_split_matches_timeline(self, device, rng):
+        prof = Profiler(device)
+        prof.start()
+        d = device.to_device(rng.random(1000))
+        device.charge_kernel("k", 1e6, 1e6)
+        device.charge_cpu("host", 0.25)
+        d.copy_to_host()
+        rep = prof.stop()
+        assert rep.communication == pytest.approx(
+            device.timeline.communication_time()
+        )
+        assert rep.computation == pytest.approx(device.timeline.computation_time())
+        assert rep.total == pytest.approx(rep.communication + rep.computation)
+
+    def test_fraction(self, device, rng):
+        prof = Profiler(device)
+        prof.start()
+        device.to_device(rng.random(10))
+        rep = prof.stop()
+        assert rep.communication_fraction() == pytest.approx(1.0)
+
+    def test_fraction_empty_report(self, device):
+        prof = Profiler(device)
+        prof.start()
+        rep = prof.stop()
+        assert rep.communication_fraction() == 0.0
+
+    def test_by_stage_aggregation(self, device):
+        prof = Profiler(device)
+        prof.start()
+        with device.stage("kmeans"):
+            device.charge_kernel("k", 1e6, 1e6)
+        rep = prof.stop()
+        assert "kmeans" in rep.by_stage
+
+    def test_snapshot_sees_all(self, device):
+        device.charge_kernel("k", 1, 1)
+        rep = Profiler(device).snapshot()
+        assert rep.kernel_launches == 1
+
+    def test_format_table_mentions_totals(self, device):
+        device.charge_kernel("k", 1e6, 1e6)
+        text = Profiler(device).snapshot().format_table()
+        assert "comm" in text and "compute" in text

@@ -1,0 +1,58 @@
+"""Stream and Event timing semantics."""
+
+import pytest
+
+from repro.cuda.device import Device
+from repro.cuda.stream import Event, Stream
+from repro.errors import StreamError
+
+
+class TestEvent:
+    def test_elapsed_time_in_milliseconds(self, device):
+        s = Stream(device)
+        e0 = s.record_event()
+        device.charge_kernel("k", flops=0, bytes_moved=2e9)  # ~17 ms
+        e1 = s.record_event()
+        ms = e0.elapsed_time(e1)
+        assert ms > 0
+        assert ms == pytest.approx((e1.time - e0.time) * 1e3)
+
+    def test_unrecorded_event_raises(self, device):
+        with pytest.raises(StreamError):
+            _ = Event(device).time
+
+    def test_cross_device_elapsed_rejected(self):
+        d1, d2 = Device(), Device()
+        e1 = Event(d1).record()
+        e2 = Event(d2).record()
+        with pytest.raises(StreamError):
+            e1.elapsed_time(e2)
+
+    def test_record_on_foreign_stream_rejected(self):
+        d1, d2 = Device(), Device()
+        with pytest.raises(StreamError):
+            Event(d1).record(Stream(d2))
+
+    def test_is_recorded_flag(self, device):
+        e = Event(device)
+        assert not e.is_recorded
+        e.record()
+        assert e.is_recorded
+
+
+class TestStream:
+    def test_synchronize_is_noop(self, device):
+        Stream(device).synchronize()
+
+    def test_default_device_binding(self):
+        from repro.cuda.device import set_default_device
+
+        d = Device()
+        set_default_device(d)
+        try:
+            assert Stream().device is d
+        finally:
+            set_default_device(None)
+
+    def test_repr(self, device):
+        assert "K20c" in repr(Stream(device))

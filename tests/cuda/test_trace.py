@@ -1,0 +1,61 @@
+"""Chrome trace export."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cuda.trace import export_chrome_trace, timeline_to_trace_events
+
+
+class TestTraceExport:
+    def test_events_carry_microsecond_times(self, device, rng):
+        device.to_device(rng.random(1000))
+        device.charge_kernel("k1", 1e6, 1e6)
+        events = timeline_to_trace_events(device.timeline)
+        dur = [e for e in events if e["ph"] == "X"]
+        assert len(dur) == 2
+        assert dur[0]["ts"] == pytest.approx(0.0)
+        assert dur[1]["ts"] == pytest.approx(dur[0]["dur"])
+
+    def test_tracks_separate_categories(self, device, rng):
+        d = device.to_device(rng.random(10))
+        device.charge_kernel("k", 1, 1)
+        device.charge_cpu("host", 0.1)
+        d.copy_to_host()
+        events = timeline_to_trace_events(device.timeline)
+        tids = {e["args"]["category"]: e["tid"] for e in events if e["ph"] == "X"}
+        assert len(set(tids.values())) == 4  # h2d, kernel, cpu, d2h
+
+    def test_stage_tags_exported(self, device):
+        with device.stage("kmeans"):
+            device.charge_kernel("k", 1, 1)
+        events = timeline_to_trace_events(device.timeline)
+        dur = [e for e in events if e["ph"] == "X"]
+        assert dur[0]["cat"] == "kmeans"
+
+    def test_file_round_trip(self, device, tmp_path, rng):
+        device.to_device(rng.random(100))
+        device.charge_kernel("k", 1e3, 1e3)
+        path = tmp_path / "trace.json"
+        n = export_chrome_trace(device.timeline, path)
+        assert n == 2
+        loaded = json.loads(path.read_text())
+        assert "traceEvents" in loaded
+        names = {e["name"] for e in loaded["traceEvents"]}
+        assert "k" in names
+
+    def test_pipeline_trace_is_complete(self, sbm_graph, tmp_path):
+        from repro.core.pipeline import SpectralClustering
+        from repro.cuda.device import Device
+
+        W, _ = sbm_graph
+        dev = Device()
+        SpectralClustering(n_clusters=6, seed=0, device=dev).fit(graph=W)
+        path = tmp_path / "pipeline.json"
+        n = export_chrome_trace(dev.timeline, path)
+        assert n == len(dev.timeline)
+        loaded = json.loads(path.read_text())
+        stages = {e["args"].get("stage") for e in loaded["traceEvents"]
+                  if e["ph"] == "X"}
+        assert {"similarity", "laplacian", "eigensolver", "kmeans"} <= stages

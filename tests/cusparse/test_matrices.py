@@ -1,0 +1,78 @@
+"""Device sparse matrix handles and host<->device movement."""
+
+import numpy as np
+import pytest
+
+from repro.cusparse.matrices import DeviceCOO, DeviceCSR, coo_to_device, csr_to_device
+from repro.errors import SparseFormatError
+from repro.sparse.construct import random_sparse
+
+
+@pytest.fixture
+def host_coo(rng):
+    return random_sparse(20, 20, 0.2, rng=rng, symmetric=True)
+
+
+class TestDeviceCOO:
+    def test_upload_charges_three_h2d(self, device, host_coo):
+        n0 = device.timeline.count("h2d")
+        d = coo_to_device(device, host_coo)
+        assert device.timeline.count("h2d") == n0 + 3
+        assert d.nnz == host_coo.nnz
+
+    def test_round_trip(self, device, host_coo):
+        d = coo_to_device(device, host_coo)
+        back = d.to_host()
+        assert np.array_equal(back.to_dense(), host_coo.to_dense())
+
+    def test_to_host_charges_d2h(self, device, host_coo):
+        d = coo_to_device(device, host_coo)
+        n0 = device.timeline.count("d2h")
+        d.to_host()
+        assert device.timeline.count("d2h") == n0 + 3
+
+    def test_mismatched_arrays_rejected(self, device):
+        with pytest.raises(SparseFormatError):
+            DeviceCOO(
+                row=device.zeros(3, dtype=np.int64),
+                col=device.zeros(2, dtype=np.int64),
+                val=device.zeros(3),
+                shape=(5, 5),
+            )
+
+    def test_free_releases(self, device, host_coo):
+        used0 = device.allocator.used_bytes
+        d = coo_to_device(device, host_coo)
+        d.free()
+        assert device.allocator.used_bytes == used0
+
+
+class TestDeviceCSR:
+    def test_round_trip(self, device, host_coo):
+        csr = host_coo.to_csr()
+        d = csr_to_device(device, csr)
+        assert np.array_equal(d.to_host().to_dense(), csr.to_dense())
+
+    def test_indptr_length_checked(self, device):
+        with pytest.raises(SparseFormatError):
+            DeviceCSR(
+                indptr=device.zeros(3, dtype=np.int64),
+                indices=device.zeros(0, dtype=np.int64),
+                val=device.zeros(0),
+                shape=(5, 5),
+            )
+
+    def test_indices_val_mismatch(self, device):
+        indptr = device.empty(6, dtype=np.int64)
+        indptr.data[...] = 0
+        with pytest.raises(SparseFormatError):
+            DeviceCSR(
+                indptr=indptr,
+                indices=device.zeros(2, dtype=np.int64),
+                val=device.zeros(3),
+                shape=(5, 5),
+            )
+
+    def test_device_property(self, device, host_coo):
+        d = csr_to_device(device, host_coo.to_csr())
+        assert d.device is device

@@ -1,0 +1,50 @@
+"""Device sparse x dense products (csrmm)."""
+
+import numpy as np
+import pytest
+
+from repro.cusparse.matrices import csr_to_device
+from repro.cusparse.spmm import csrmm
+from repro.errors import SparseValueError
+from repro.sparse.construct import random_sparse
+
+
+class TestCsrmm:
+    def test_matches_dense(self, device, rng):
+        host = random_sparse(20, 15, 0.3, rng=rng)
+        d = csr_to_device(device, host.to_csr())
+        B = rng.random((15, 4))
+        C = csrmm(d, device.to_device(B))
+        assert np.allclose(C.data, host.to_dense() @ B)
+
+    def test_alpha_beta(self, device, rng):
+        host = random_sparse(10, 10, 0.4, rng=rng)
+        d = csr_to_device(device, host.to_csr())
+        B = rng.random((10, 3))
+        C0 = rng.random((10, 3))
+        dC = device.to_device(C0)
+        csrmm(d, device.to_device(B), dC, alpha=-1.0, beta=2.0)
+        assert np.allclose(dC.data, -(host.to_dense() @ B) + 2.0 * C0)
+
+    def test_shape_mismatch(self, device, rng):
+        host = random_sparse(10, 10, 0.4, rng=rng)
+        d = csr_to_device(device, host.to_csr())
+        with pytest.raises(SparseValueError):
+            csrmm(d, device.zeros((11, 2)))
+
+    def test_c_shape_mismatch(self, device, rng):
+        host = random_sparse(10, 10, 0.4, rng=rng)
+        d = csr_to_device(device, host.to_csr())
+        with pytest.raises(SparseValueError):
+            csrmm(d, device.zeros((10, 2)), device.zeros((10, 3)))
+
+    def test_cost_scales_with_columns(self, device, rng):
+        host = random_sparse(50, 50, 0.2, rng=rng)
+        d = csr_to_device(device, host.to_csr())
+        t0 = device.elapsed
+        csrmm(d, device.zeros((50, 1)))
+        t1 = device.elapsed - t0
+        t0 = device.elapsed
+        csrmm(d, device.zeros((50, 8)))
+        t8 = device.elapsed - t0
+        assert t8 > 4 * t1

@@ -1,0 +1,87 @@
+"""Device SpMV (csrmv / coomv): correctness and cost semantics."""
+
+import numpy as np
+import pytest
+
+from repro.cusparse.conversions import coo2csr
+from repro.cusparse.matrices import coo_to_device, csr_to_device
+from repro.cusparse.spmv import coomv, csrmv
+from repro.errors import SparseValueError
+from repro.sparse.construct import random_sparse
+
+
+@pytest.fixture
+def setup(device, rng):
+    host = random_sparse(30, 30, 0.2, rng=rng, symmetric=True)
+    dcsr = csr_to_device(device, host.to_csr())
+    x = rng.random(30)
+    dx = device.to_device(x)
+    return host, dcsr, x, dx
+
+
+class TestCsrmv:
+    def test_matches_dense(self, device, setup):
+        host, dcsr, x, dx = setup
+        y = csrmv(dcsr, dx)
+        assert np.allclose(y.data, host.to_dense() @ x)
+
+    def test_alpha_beta(self, device, setup, rng):
+        host, dcsr, x, dx = setup
+        y0 = rng.random(30)
+        dy = device.to_device(y0)
+        csrmv(dcsr, dx, dy, alpha=2.0, beta=0.5)
+        assert np.allclose(dy.data, 2.0 * (host.to_dense() @ x) + 0.5 * y0)
+
+    def test_rows_cache_gives_same_answer(self, device, setup):
+        host, dcsr, x, dx = setup
+        cache = np.repeat(np.arange(30), np.diff(dcsr.indptr.data))
+        y1 = csrmv(dcsr, dx)
+        y2 = csrmv(dcsr, dx, rows_cache=cache)
+        assert np.allclose(y1.data, y2.data)
+
+    def test_dim_mismatch(self, device, setup):
+        _, dcsr, _, _ = setup
+        with pytest.raises(SparseValueError):
+            csrmv(dcsr, device.zeros(31))
+
+    def test_y_dim_mismatch(self, device, setup):
+        _, dcsr, _, dx = setup
+        with pytest.raises(SparseValueError):
+            csrmv(dcsr, dx, device.zeros(29))
+
+    def test_charges_one_kernel(self, device, setup):
+        _, dcsr, _, dx = setup
+        k0 = device.kernel_launches
+        csrmv(dcsr, dx, device.empty(30))
+        assert device.kernel_launches == k0 + 1
+
+
+class TestCoomv:
+    def test_matches_dense(self, device, rng):
+        host = random_sparse(25, 25, 0.2, rng=rng)
+        dcoo = coo_to_device(device, host)
+        x = rng.random(25)
+        y = coomv(dcoo, device.to_device(x))
+        assert np.allclose(y.data, host.to_dense() @ x)
+
+    def test_slower_than_csrmv(self, device, rng):
+        """The format ablation: COO atomics cost more than CSR (why the
+        pipeline converts before the eigensolver)."""
+        host = random_sparse(200, 200, 0.1, rng=rng)
+        dcoo = coo_to_device(device, host.sorted_by_row())
+        dcsr = coo2csr(dcoo)
+        x = device.to_device(rng.random(200))
+
+        t0 = device.elapsed
+        coomv(dcoo, x)
+        t_coo = device.elapsed - t0
+        t0 = device.elapsed
+        csrmv(dcsr, x)
+        t_csr = device.elapsed - t0
+        assert t_coo > t_csr
+
+    def test_dim_mismatch(self, device, rng):
+        host = random_sparse(5, 5, 0.5, rng=rng)
+        dcoo = coo_to_device(device, host)
+        with pytest.raises(SparseValueError):
+            coomv(dcoo, device.zeros(6))

@@ -1,0 +1,87 @@
+"""Synthetic DTI volume generator."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.dti import make_dti_volume
+from repro.errors import DatasetError
+
+
+@pytest.fixture(scope="module")
+def vol():
+    return make_dti_volume(grid=(12, 12, 12), n_regions=8, seed=0)
+
+
+class TestDTIVolume:
+    def test_profile_dimension_is_90(self, vol):
+        assert vol.d == 90
+
+    def test_voxels_inside_ellipsoid(self, vol):
+        # an ellipsoid mask keeps < the full box
+        assert vol.n < 12 * 12 * 12
+        assert vol.n > 0.3 * 12**3
+
+    def test_regions_spatially_contiguous(self, vol):
+        """Nearest-seed parcels: each voxel's label matches at least one
+        spatial neighbor (no salt-and-pepper labels)."""
+        from repro.graph.neighbors import epsilon_neighbors_grid
+
+        pairs = epsilon_neighbors_grid(vol.positions, 2.0)
+        agree = vol.labels[pairs[:, 0]] == vol.labels[pairs[:, 1]]
+        assert agree.mean() > 0.6
+
+    def test_edges_respect_radius(self, vol):
+        d = np.linalg.norm(
+            vol.positions[vol.edges[:, 0]] - vol.positions[vol.edges[:, 1]], axis=1
+        )
+        assert np.all(d <= 4.0 + 1e-9)
+
+    def test_profiles_cluster_by_region(self, vol):
+        """Same-region voxels correlate more than cross-region ones."""
+        rng = np.random.default_rng(0)
+        idx = rng.choice(vol.n, size=(200, 2))
+        same = vol.labels[idx[:, 0]] == vol.labels[idx[:, 1]]
+        X = vol.profiles - vol.profiles.mean(axis=1, keepdims=True)
+        X /= np.linalg.norm(X, axis=1, keepdims=True)
+        corr = np.einsum("ed,ed->e", X[idx[:, 0]], X[idx[:, 1]])
+        if same.any() and (~same).any():
+            assert corr[same].mean() > corr[~same].mean() + 0.05
+
+    def test_all_regions_used(self, vol):
+        assert np.unique(vol.labels).size == 8
+
+    def test_noise_controls_difficulty(self):
+        clean = make_dti_volume(grid=(8, 8, 8), n_regions=4, noise=0.01, seed=1)
+        noisy = make_dti_volume(grid=(8, 8, 8), n_regions=4, noise=2.0, seed=1)
+
+        def snr(v):
+            X = v.profiles - v.profiles.mean(axis=1, keepdims=True)
+            X /= np.linalg.norm(X, axis=1, keepdims=True) + 1e-30
+            pairs = v.edges[:500]
+            same = v.labels[pairs[:, 0]] == v.labels[pairs[:, 1]]
+            c = np.einsum("ed,ed->e", X[pairs[:, 0]], X[pairs[:, 1]])
+            return c[same].mean() - (c[~same].mean() if (~same).any() else 0)
+
+        assert snr(clean) > snr(noisy)
+
+    def test_grid_too_small_rejected(self):
+        with pytest.raises(DatasetError):
+            make_dti_volume(grid=(1, 8, 8), n_regions=2)
+
+    def test_too_many_regions_rejected(self):
+        with pytest.raises(DatasetError):
+            make_dti_volume(grid=(6, 6, 6), n_regions=10_000)
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(DatasetError):
+            make_dti_volume(n_regions=0)
+
+    def test_reproducible(self):
+        v1 = make_dti_volume(grid=(8, 8, 8), n_regions=4, seed=3)
+        v2 = make_dti_volume(grid=(8, 8, 8), n_regions=4, seed=3)
+        assert np.array_equal(v1.profiles, v2.profiles)
+        assert np.array_equal(v1.edges, v2.edges)
+
+    def test_positions_in_millimetres(self, vol):
+        # 2 mm spacing: coordinates are even
+        assert np.allclose(vol.positions % 2.0, 0.0)

@@ -1,0 +1,74 @@
+"""FB-like and DBLP-like graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.dblp import make_coauthor_graph
+from repro.datasets.social import make_social_graph
+from repro.errors import DatasetError
+
+
+class TestSocialGraph:
+    def test_target_sizes_hit(self):
+        edges, labels = make_social_graph(
+            n_nodes=1000, n_communities=10, target_edges=20000, seed=0
+        )
+        assert labels.size == 1000
+        assert abs(edges.shape[0] - 20000) < 0.15 * 20000
+
+    def test_ten_communities(self):
+        _, labels = make_social_graph(n_nodes=500, target_edges=5000, seed=1)
+        assert np.unique(labels).size == 10
+
+    def test_community_structure_dominates(self):
+        edges, labels = make_social_graph(
+            n_nodes=800, target_edges=16000, mix=0.03, seed=2
+        )
+        within = (labels[edges[:, 0]] == labels[edges[:, 1]]).mean()
+        assert within > 0.9
+
+    def test_heterogeneous_sizes(self):
+        _, labels = make_social_graph(n_nodes=1000, target_edges=10000, seed=0)
+        sizes = np.bincount(labels)
+        assert sizes.max() > 1.5 * sizes.min()
+
+    def test_bad_params(self):
+        with pytest.raises(DatasetError):
+            make_social_graph(n_nodes=5, n_communities=10)
+        with pytest.raises(DatasetError):
+            make_social_graph(mix=1.0)
+
+
+class TestCoauthorGraph:
+    def test_target_sizes_hit(self):
+        edges, labels = make_coauthor_graph(
+            n_nodes=5000, n_communities=100, target_edges=17000, seed=0
+        )
+        assert labels.size == 5000
+        assert abs(edges.shape[0] - 17000) < 0.25 * 17000
+
+    def test_community_sizes_heavy_tailed_min_two(self):
+        _, labels = make_coauthor_graph(
+            n_nodes=3000, n_communities=150, target_edges=10000, seed=1
+        )
+        sizes = np.bincount(labels)
+        assert sizes.min() >= 2
+        assert sizes.max() > 5 * np.median(sizes)
+
+    def test_sparse_like_dblp(self):
+        # mean degree ~ 2m/n ~ 6.6 at paper ratios
+        edges, labels = make_coauthor_graph(
+            n_nodes=6000, n_communities=120, target_edges=19866, seed=2
+        )
+        mean_deg = 2 * edges.shape[0] / 6000
+        assert 4 < mean_deg < 10
+
+    def test_exact_node_total(self):
+        _, labels = make_coauthor_graph(
+            n_nodes=2345, n_communities=77, target_edges=8000, seed=3
+        )
+        assert labels.size == 2345
+
+    def test_bad_params(self):
+        with pytest.raises(DatasetError):
+            make_coauthor_graph(n_nodes=10, n_communities=20)

@@ -1,0 +1,107 @@
+"""Dataset I/O: SNAP edge lists and NPZ round trips."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.datasets.io import (
+    graph_from_snap,
+    load_problem,
+    read_snap_edges,
+    save_problem,
+)
+from repro.datasets.registry import load_dataset
+from repro.errors import DatasetError
+
+SNAP_SAMPLE = """\
+# Undirected graph: example
+# Nodes: 5 Edges: 4
+0 1
+1\t2
+# a comment mid-file
+7 9
+9 0
+
+"""
+
+
+class TestReadSnap:
+    def test_parses_with_comments_and_tabs(self):
+        edges, ids = read_snap_edges(io.StringIO(SNAP_SAMPLE))
+        assert edges.shape == (4, 2)
+        assert ids is not None
+
+    def test_relabel_compacts_ids(self):
+        edges, ids = read_snap_edges(io.StringIO(SNAP_SAMPLE))
+        assert edges.max() == len(ids) - 1
+        assert ids.tolist() == [0, 1, 2, 7, 9]
+        # edge (7, 9) becomes (3, 4)
+        assert [3, 4] in edges.tolist()
+
+    def test_no_relabel_preserves_ids(self):
+        edges, ids = read_snap_edges(io.StringIO(SNAP_SAMPLE), relabel=False)
+        assert ids is None
+        assert [7, 9] in edges.tolist()
+
+    def test_empty_file(self):
+        edges, ids = read_snap_edges(io.StringIO("# nothing\n"))
+        assert edges.shape == (0, 2)
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(DatasetError, match="malformed"):
+            read_snap_edges(io.StringIO("0\n"))
+
+    def test_non_integer_rejected(self):
+        with pytest.raises(DatasetError, match="non-integer"):
+            read_snap_edges(io.StringIO("a b\n"))
+
+    def test_from_path(self, tmp_path):
+        p = tmp_path / "graph.txt"
+        p.write_text(SNAP_SAMPLE)
+        edges, _ = read_snap_edges(p)
+        assert edges.shape == (4, 2)
+
+    def test_graph_from_snap(self):
+        W = graph_from_snap(io.StringIO(SNAP_SAMPLE))
+        assert W.shape == (5, 5)
+        d = W.to_dense()
+        assert np.allclose(d, d.T)
+
+
+class TestProblemRoundTrip:
+    def test_graph_problem(self, tmp_path):
+        ds = load_dataset("fb", scale=0.1, seed=0)
+        p = tmp_path / "fb.npz"
+        save_problem(p, ds)
+        back = load_problem(p)
+        assert back.name == "fb"
+        assert back.n_clusters == ds.n_clusters
+        assert np.array_equal(back.graph.to_dense(), ds.graph.to_dense())
+        assert np.array_equal(back.labels, ds.labels)
+
+    def test_point_problem(self, tmp_path):
+        ds = load_dataset("dti", scale=0.005, seed=0)
+        p = tmp_path / "dti.npz"
+        save_problem(p, ds)
+        back = load_problem(p)
+        assert np.array_equal(back.points, ds.points)
+        assert np.array_equal(back.edges, ds.edges)
+        assert back.graph is None
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DatasetError):
+            load_problem(tmp_path / "nope.npz")
+
+    def test_loaded_problem_clusters(self, tmp_path):
+        from repro.core.pipeline import SpectralClustering
+        from repro.metrics.external import adjusted_rand_index
+
+        ds = load_dataset("syn200", scale=0.05, seed=1)
+        p = tmp_path / "syn.npz"
+        save_problem(p, ds)
+        back = load_problem(p)
+        res = SpectralClustering(n_clusters=back.n_clusters, seed=0).fit(
+            graph=back.graph
+        )
+        assert adjusted_rand_index(res.labels, back.labels) > 0.7

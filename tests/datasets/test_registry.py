@@ -1,0 +1,69 @@
+"""Dataset registry: Table II stats and scaling behavior."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.registry import DATASETS, PAPER_STATS, load_dataset
+from repro.errors import DatasetError
+
+
+class TestPaperStats:
+    def test_table2_verbatim(self):
+        assert PAPER_STATS["dti"]["nodes"] == 142541
+        assert PAPER_STATS["dti"]["edges"] == 3992290
+        assert PAPER_STATS["fb"] == {"nodes": 4039, "edges": 88234, "clusters": 10}
+        assert PAPER_STATS["dblp"]["nodes"] == 317080
+        assert PAPER_STATS["syn200"] == {
+            "nodes": 20000, "edges": 773388, "clusters": 200,
+        }
+
+    def test_all_datasets_registered(self):
+        assert set(DATASETS) == {"dti", "fb", "dblp", "syn200"}
+
+
+class TestLoading:
+    @pytest.mark.parametrize("name", ["fb", "syn200"])
+    def test_graph_datasets(self, name):
+        ds = load_dataset(name, scale=0.2, seed=0)
+        assert ds.graph is not None
+        assert ds.points is None
+        assert ds.labels is not None
+        assert ds.n > 0
+
+    def test_dti_is_point_input(self):
+        ds = load_dataset("dti", scale=0.01, seed=0)
+        assert ds.points is not None
+        assert ds.edges is not None
+        assert ds.points.shape[1] == 90
+
+    def test_scale_tracks_paper_node_count(self):
+        ds = load_dataset("syn200", scale=0.1, seed=0)
+        assert abs(ds.n - 2000) < 100
+
+    def test_dti_scale_tracks_paper(self):
+        ds = load_dataset("dti", scale=0.02, seed=0)
+        expect = 142541 * 0.02
+        assert 0.5 * expect < ds.n < 2.0 * expect
+
+    def test_unknown_name(self):
+        with pytest.raises(DatasetError):
+            load_dataset("imagenet")
+
+    def test_bad_scale(self):
+        with pytest.raises(DatasetError):
+            load_dataset("fb", scale=0.0)
+        with pytest.raises(DatasetError):
+            load_dataset("fb", scale=2.0)
+
+    def test_n_edges_property(self):
+        ds = load_dataset("fb", scale=0.1, seed=0)
+        assert ds.n_edges == ds.graph.nnz // 2
+
+    def test_seed_reproducibility(self):
+        a = load_dataset("syn200", scale=0.05, seed=4)
+        b = load_dataset("syn200", scale=0.05, seed=4)
+        assert np.array_equal(a.graph.to_dense(), b.graph.to_dense())
+
+    def test_paper_stats_attached(self):
+        ds = load_dataset("fb", scale=0.1)
+        assert ds.paper_stats["nodes"] == 4039

@@ -1,0 +1,77 @@
+"""Stochastic block model generator distributional checks."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.sbm import stochastic_block_model
+from repro.errors import DatasetError
+
+
+class TestSBM:
+    def test_edge_counts_near_expectation(self, rng):
+        sizes = [100, 100, 100]
+        edges, labels = stochastic_block_model(sizes, p_in=0.2, p_out=0.01, rng=rng)
+        within = labels[edges[:, 0]] == labels[edges[:, 1]]
+        exp_within = 3 * (100 * 99 / 2) * 0.2
+        exp_cross = 3 * (100 * 100) * 0.01
+        assert abs(within.sum() - exp_within) < 0.15 * exp_within
+        assert abs((~within).sum() - exp_cross) < 0.3 * exp_cross
+
+    def test_pairs_are_i_less_j_and_unique(self, rng):
+        edges, _ = stochastic_block_model([50, 50], p_in=0.3, p_out=0.05, rng=rng)
+        assert np.all(edges[:, 0] < edges[:, 1])
+        keys = edges[:, 0] * 100 + edges[:, 1]
+        assert np.unique(keys).size == keys.size
+
+    def test_labels_match_sizes(self, rng):
+        _, labels = stochastic_block_model([10, 20, 30], p_in=0.5, p_out=0.0, rng=rng)
+        assert np.bincount(labels).tolist() == [10, 20, 30]
+
+    def test_zero_cross_probability_is_block_diagonal(self, rng):
+        edges, labels = stochastic_block_model([30, 30], p_in=0.5, p_out=0.0, rng=rng)
+        assert np.all(labels[edges[:, 0]] == labels[edges[:, 1]])
+
+    def test_full_p_matrix(self, rng):
+        P = np.array([[0.5, 0.0], [0.0, 0.5]])
+        edges, labels = stochastic_block_model([20, 20], P=P, rng=rng)
+        assert np.all(labels[edges[:, 0]] == labels[edges[:, 1]])
+
+    def test_asymmetric_p_rejected(self, rng):
+        P = np.array([[0.5, 0.1], [0.2, 0.5]])
+        with pytest.raises(DatasetError, match="symmetric"):
+            stochastic_block_model([5, 5], P=P, rng=rng)
+
+    def test_p_out_of_range_rejected(self, rng):
+        with pytest.raises(DatasetError):
+            stochastic_block_model([5, 5], p_in=1.5, p_out=0.1, rng=rng)
+
+    def test_missing_params_rejected(self, rng):
+        with pytest.raises(DatasetError):
+            stochastic_block_model([5, 5], rng=rng)
+
+    def test_bad_sizes_rejected(self, rng):
+        with pytest.raises(DatasetError):
+            stochastic_block_model([5, 0], p_in=0.5, p_out=0.1, rng=rng)
+
+    def test_p_one_gives_cliques(self, rng):
+        edges, _ = stochastic_block_model([6], p_in=1.0, p_out=0.0, rng=rng)
+        assert edges.shape[0] == 15
+
+    def test_reproducible(self):
+        e1, _ = stochastic_block_model(
+            [30, 30], p_in=0.3, p_out=0.02, rng=np.random.default_rng(9)
+        )
+        e2, _ = stochastic_block_model(
+            [30, 30], p_in=0.3, p_out=0.02, rng=np.random.default_rng(9)
+        )
+        assert np.array_equal(e1, e2)
+
+    def test_singleton_blocks(self, rng):
+        edges, labels = stochastic_block_model([1, 1, 1], p_in=1.0, p_out=1.0, rng=rng)
+        assert edges.shape[0] == 3  # all cross pairs
+
+    def test_triangular_index_inversion_covers_all_pairs(self, rng):
+        # p=1 within one block must produce every (i, j) exactly once
+        edges, _ = stochastic_block_model([12], p_in=1.0, p_out=0.0, rng=rng)
+        expect = {(i, j) for i in range(12) for j in range(i + 1, 12)}
+        assert set(map(tuple, edges.tolist())) == expect

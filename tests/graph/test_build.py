@@ -1,0 +1,162 @@
+"""Algorithm 1: device builder vs host reference."""
+
+import numpy as np
+import pytest
+
+from repro.cuda.device import Device
+from repro.errors import GraphConstructionError
+from repro.graph.build import (
+    build_similarity_device,
+    build_similarity_graph,
+    threshold_graph,
+)
+from repro.graph.neighbors import epsilon_neighbors
+from repro.graph.similarity import pairwise_similarity
+
+
+@pytest.fixture
+def workload(rng):
+    X = rng.standard_normal((60, 20))
+    pos = rng.random((60, 3)) * 3.0
+    edges = epsilon_neighbors(pos, 0.9)
+    return X, edges
+
+
+class TestHostBuilder:
+    def test_symmetric_output(self, workload):
+        X, edges = workload
+        W = build_similarity_graph(X, edges)
+        d = W.to_dense()
+        assert np.allclose(d, d.T)
+
+    def test_values_match_measure(self, workload):
+        X, edges = workload
+        W = build_similarity_graph(X, edges, drop_nonpositive=False)
+        sims = pairwise_similarity(X, edges, "crosscorr")
+        d = W.to_dense()
+        for (i, j), s in zip(edges, sims):
+            assert d[i, j] == pytest.approx(s)
+
+    def test_nonpositive_dropped_by_default(self, workload):
+        X, edges = workload
+        W = build_similarity_graph(X, edges)
+        assert np.all(W.data > 0)
+
+    def test_expdecay_always_positive(self, workload):
+        X, edges = workload
+        W = build_similarity_graph(X, edges, measure="expdecay", sigma=2.0)
+        assert W.nnz == 2 * edges.shape[0]
+        assert np.all(W.data > 0)
+
+
+class TestDeviceBuilder:
+    @pytest.mark.parametrize("measure", ["crosscorr", "cosine", "expdecay"])
+    def test_matches_host(self, device, workload, measure):
+        X, edges = workload
+        host = build_similarity_graph(X, edges, measure=measure, sigma=1.5)
+        dcoo = build_similarity_device(device, X, edges, measure=measure, sigma=1.5)
+        got = dcoo.to_host().sum_duplicates()
+        assert np.allclose(got.to_dense(), host.to_dense())
+
+    def test_output_sorted_for_coo2csr(self, device, workload):
+        X, edges = workload
+        dcoo = build_similarity_device(device, X, edges)
+        keys = dcoo.row.data * dcoo.shape[1] + dcoo.col.data
+        assert np.all(np.diff(keys) >= 0)
+
+    def test_events_tagged_similarity(self, device, workload):
+        X, edges = workload
+        build_similarity_device(device, X, edges)
+        assert device.timeline.total(tag="similarity") > 0
+        assert device.timeline.total(tag="") == 0
+
+    def test_charges_input_transfers(self, device, workload):
+        X, edges = workload
+        h2d0 = device.timeline.count("h2d")
+        build_similarity_device(device, X, edges)
+        assert device.timeline.count("h2d") >= h2d0 + 3  # X + src + dst
+
+    def test_bad_edges_shape(self, device, workload):
+        X, _ = workload
+        with pytest.raises(GraphConstructionError):
+            build_similarity_device(device, X, np.zeros((4, 3), dtype=np.int64))
+
+    def test_edge_out_of_range(self, device, workload):
+        X, _ = workload
+        with pytest.raises(GraphConstructionError):
+            build_similarity_device(device, X, np.array([[0, 600]]))
+
+    def test_unknown_measure(self, device, workload):
+        X, edges = workload
+        with pytest.raises(GraphConstructionError):
+            build_similarity_device(device, X, edges, measure="jaccard")
+
+    @pytest.mark.parametrize("chunk", [1, 3, 17, 10_000])
+    def test_edge_chunking_invariant(self, workload, chunk):
+        """Chunked uploads produce the same matrix as the monolithic path."""
+        X, edges = workload
+        full = build_similarity_device(Device(), X, edges)
+        chunked = build_similarity_device(Device(), X, edges, edge_chunk=chunk)
+        assert np.array_equal(full.row.data, chunked.row.data)
+        assert np.allclose(full.val.data, chunked.val.data)
+
+    def test_auto_chunking_on_tiny_device(self, workload):
+        """A device too small for three whole edge arrays still builds the
+        graph by chunking automatically."""
+        from dataclasses import replace
+
+        from repro.hw.spec import K20C
+
+        X, edges = workload
+        # room for X + the final symmetric COO + slack, but not 4x the
+        # staged edge arrays
+        out_bytes = 2 * edges.shape[0] * 24
+        cap = X.nbytes + out_bytes + edges.shape[0] * 30
+        dev = Device(spec=replace(K20C, memory_bytes=int(cap)))
+        dcoo = build_similarity_device(dev, X, edges)
+        ref = build_similarity_device(Device(), X, edges)
+        assert np.allclose(dcoo.val.data, ref.val.data)
+
+    def test_bad_edge_chunk(self, device, workload):
+        X, edges = workload
+        with pytest.raises(GraphConstructionError):
+            build_similarity_device(device, X, edges, edge_chunk=0)
+
+    def test_dti_paper_shape_time(self, workload):
+        """Sanity on the simulated magnitude: a 4M-edge, d=90 build should
+        land within ~3x of the paper's 0.033 s."""
+        device = Device()
+        # charge the cost model directly at paper scale (no real 4M build)
+        from repro.hw.costmodel import GPUCostModel, TransferCostModel
+        from repro.hw.spec import K20C, PCIE_X16_GEN2
+
+        gpu = GPUCostModel(K20C)
+        pcie = TransferCostModel(PCIE_X16_GEN2)
+        n, d, nnz = 142541, 90, 3992290
+        t = pcie.h2d_time(n * d * 8) + pcie.h2d_time(nnz * 16)
+        t += gpu.kernel_time(n * d, n * d * 8)
+        t += gpu.kernel_time(3 * n * d, 2 * n * d * 8)
+        t += gpu.kernel_time(2 * nnz * d, 2 * nnz * d * 8)
+        assert 0.01 < t < 0.5
+
+
+class TestThresholdGraph:
+    def test_respects_lambda(self, rng):
+        X = rng.standard_normal((25, 8))
+        W = threshold_graph(X, lam=0.3)
+        assert np.all(W.data > 0.3)
+
+    def test_symmetric(self, rng):
+        X = rng.standard_normal((20, 5))
+        d = threshold_graph(X, lam=0.0).to_dense()
+        assert np.allclose(d, d.T)
+
+    def test_high_lambda_empty(self, rng):
+        X = rng.standard_normal((15, 5))
+        assert threshold_graph(X, lam=0.9999).nnz == 0
+
+    def test_blocking_invariant(self, rng):
+        X = rng.standard_normal((30, 6))
+        a = threshold_graph(X, 0.2, block=7).to_dense()
+        b = threshold_graph(X, 0.2, block=1024).to_dense()
+        assert np.allclose(a, b)

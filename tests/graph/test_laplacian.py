@@ -1,0 +1,118 @@
+"""Laplacian operators: host identities and the Algorithm 2 device path."""
+
+import numpy as np
+import pytest
+
+from repro.cusparse.matrices import coo_to_device
+from repro.errors import GraphConstructionError
+from repro.graph.laplacian import (
+    degrees,
+    device_rw_normalize,
+    device_sym_normalize,
+    laplacian,
+    rw_normalized_adjacency,
+    sym_normalized_adjacency,
+)
+from repro.sparse.construct import from_edge_list, random_sparse
+
+
+@pytest.fixture
+def W(rng):
+    # connected-ish random symmetric graph with no isolated nodes
+    while True:
+        W = random_sparse(25, 25, 0.3, rng=rng, symmetric=True)
+        if np.all(W.row_sums() > 0):
+            return W
+
+
+class TestHostLaplacians:
+    def test_degrees(self, W):
+        assert np.allclose(degrees(W), W.to_dense().sum(axis=1))
+
+    def test_rw_rows_sum_to_one(self, W):
+        P = rw_normalized_adjacency(W)
+        assert np.allclose(P.row_sums(), 1.0)
+
+    def test_rw_matches_dense_formula(self, W):
+        P = rw_normalized_adjacency(W)
+        D = np.diag(1.0 / W.to_dense().sum(axis=1))
+        assert np.allclose(P.to_dense(), D @ W.to_dense())
+
+    def test_sym_matches_dense_formula(self, W):
+        S = sym_normalized_adjacency(W)
+        d = W.to_dense().sum(axis=1)
+        Dh = np.diag(1.0 / np.sqrt(d))
+        assert np.allclose(S.to_dense(), Dh @ W.to_dense() @ Dh)
+
+    def test_sym_is_symmetric(self, W):
+        S = sym_normalized_adjacency(W).to_dense()
+        assert np.allclose(S, S.T)
+
+    def test_sym_and_rw_share_spectrum(self, W):
+        ws = np.linalg.eigvalsh(sym_normalized_adjacency(W).to_dense())
+        wr = np.linalg.eigvals(rw_normalized_adjacency(W).to_dense())
+        assert np.allclose(np.sort(ws), np.sort(wr.real), atol=1e-8)
+
+    def test_unnormalized_laplacian(self, W):
+        L = laplacian(W).to_dense()
+        d = W.to_dense().sum(axis=1)
+        assert np.allclose(L, np.diag(d) - W.to_dense())
+        # PSD with a zero eigenvalue per component
+        w = np.linalg.eigvalsh(L)
+        assert w[0] > -1e-10
+
+    def test_normalized_laplacian_eigenvalue_relation(self, W):
+        # eigenvalues of L_n = I - D^-1 W are 1 - eig(D^-1 W)
+        Ln = laplacian(W, normalized=True).to_dense()
+        P = rw_normalized_adjacency(W).to_dense()
+        assert np.allclose(
+            np.sort(np.linalg.eigvals(Ln).real),
+            np.sort(1.0 - np.linalg.eigvals(P).real),
+            atol=1e-8,
+        )
+
+    def test_isolated_nodes_rejected(self):
+        W = from_edge_list(np.array([[0, 1]]), n_nodes=3)
+        with pytest.raises(GraphConstructionError, match="isolated"):
+            rw_normalized_adjacency(W)
+        with pytest.raises(GraphConstructionError):
+            sym_normalized_adjacency(W)
+
+    def test_isolated_allowed_when_requested(self):
+        W = from_edge_list(np.array([[0, 1]]), n_nodes=3)
+        P = rw_normalized_adjacency(W, allow_isolated=True)
+        assert P.shape == (3, 3)
+
+    def test_negative_weights_rejected(self):
+        from repro.sparse.coo import COOMatrix
+
+        W = COOMatrix([0, 1], [1, 0], [-1.0, -1.0], (2, 2))
+        with pytest.raises(GraphConstructionError, match="non-negative"):
+            rw_normalized_adjacency(W)
+
+
+class TestDevicePath:
+    def test_rw_matches_host(self, device, W):
+        dcoo = coo_to_device(device, W.sorted_by_row())
+        dP = device_rw_normalize(dcoo)
+        assert np.allclose(
+            dP.to_host().to_dense(), rw_normalized_adjacency(W).to_dense()
+        )
+
+    def test_sym_matches_host(self, device, W):
+        dcoo = coo_to_device(device, W.sorted_by_row())
+        dS = device_sym_normalize(dcoo)
+        assert np.allclose(
+            dS.to_host().to_dense(), sym_normalized_adjacency(W).to_dense()
+        )
+
+    def test_events_tagged_laplacian(self, device, W):
+        dcoo = coo_to_device(device, W.sorted_by_row())
+        device_rw_normalize(dcoo)
+        assert device.timeline.total(tag="laplacian") > 0
+
+    def test_isolated_rejected_on_device(self, device):
+        W = from_edge_list(np.array([[0, 1]]), n_nodes=3)
+        dcoo = coo_to_device(device, W.sorted_by_row())
+        with pytest.raises(GraphConstructionError):
+            device_rw_normalize(dcoo)

@@ -1,0 +1,74 @@
+"""Hypothesis property tests for the Laplacian operators."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.graph.laplacian import (
+    degrees,
+    laplacian,
+    rw_normalized_adjacency,
+    sym_normalized_adjacency,
+)
+from repro.sparse.construct import random_sparse
+
+
+@st.composite
+def connected_weight_graphs(draw):
+    seed = draw(st.integers(0, 2**31 - 1))
+    n = draw(st.integers(4, 40))
+    density = draw(st.floats(0.15, 0.6))
+    rng = np.random.default_rng(seed)
+    W = random_sparse(n, n, density, rng=rng, symmetric=True)
+    assume(np.all(W.row_sums() > 0))
+    return W
+
+
+@given(connected_weight_graphs())
+@settings(max_examples=40, deadline=None)
+def test_rw_rows_sum_to_one(W):
+    P = rw_normalized_adjacency(W)
+    assert np.allclose(P.row_sums(), 1.0)
+
+
+@given(connected_weight_graphs())
+@settings(max_examples=40, deadline=None)
+def test_sym_spectrum_in_unit_interval(W):
+    S = sym_normalized_adjacency(W).to_dense()
+    w = np.linalg.eigvalsh(S)
+    assert w.max() <= 1.0 + 1e-9
+    assert w.min() >= -1.0 - 1e-9
+
+
+@given(connected_weight_graphs())
+@settings(max_examples=40, deadline=None)
+def test_laplacian_psd_with_constant_kernel(W):
+    L = laplacian(W).to_dense()
+    w = np.linalg.eigvalsh(L)
+    assert w.min() > -1e-8
+    # the constant vector is always in the kernel
+    assert np.allclose(L @ np.ones(W.shape[0]), 0.0, atol=1e-9)
+
+
+@given(connected_weight_graphs())
+@settings(max_examples=40, deadline=None)
+def test_sym_and_rw_isospectral(W):
+    ws = np.linalg.eigvalsh(sym_normalized_adjacency(W).to_dense())
+    wr = np.sort(np.linalg.eigvals(rw_normalized_adjacency(W).to_dense()).real)
+    assert np.allclose(ws, wr, atol=1e-7)
+
+
+@given(connected_weight_graphs())
+@settings(max_examples=40, deadline=None)
+def test_degree_scaling_linearity(W):
+    d1 = degrees(W)
+    from repro.sparse.coo import COOMatrix
+
+    W2 = COOMatrix(W.row, W.col, 3.0 * W.data, W.shape, check=False)
+    assert np.allclose(degrees(W2), 3.0 * d1)
+    # normalization is scale invariant
+    assert np.allclose(
+        rw_normalized_adjacency(W).to_dense(),
+        rw_normalized_adjacency(W2).to_dense(),
+    )

@@ -1,0 +1,124 @@
+"""Cost model properties: roofline behavior, monotonicity, sane magnitudes."""
+
+import pytest
+
+from repro.hw.costmodel import (
+    CPUCostModel,
+    GPUCostModel,
+    TransferCostModel,
+    roofline_time,
+)
+from repro.hw.spec import K20C, PCIE_X16_GEN2, XEON_E5_2690
+
+
+class TestRoofline:
+    def test_compute_bound(self):
+        # many flops, few bytes -> compute leg dominates
+        assert roofline_time(1e12, 1.0, 1e12, 1e11) == pytest.approx(1.0)
+
+    def test_memory_bound(self):
+        assert roofline_time(1.0, 1e11, 1e12, 1e11) == pytest.approx(1.0)
+
+    def test_zero_work_is_free(self):
+        assert roofline_time(0, 0, 1e12, 1e11) == 0.0
+
+    def test_negative_work_rejected(self):
+        with pytest.raises(ValueError):
+            roofline_time(-1, 0, 1e12, 1e11)
+
+
+class TestGPUCostModel:
+    @pytest.fixture
+    def gpu(self):
+        return GPUCostModel(K20C)
+
+    def test_kernel_has_launch_overhead_floor(self, gpu):
+        assert gpu.kernel_time(0, 0) == pytest.approx(K20C.kernel_launch_overhead_s)
+
+    def test_unknown_kind_rejected(self, gpu):
+        with pytest.raises(ValueError):
+            gpu.kernel_time(1, 1, kind="magic")
+
+    def test_gemm_time_scales_cubically(self, gpu):
+        t1 = gpu.gemm_time(512, 512, 512)
+        t2 = gpu.gemm_time(1024, 1024, 1024)
+        assert t2 / t1 == pytest.approx(8.0, rel=0.2)
+
+    def test_gemm_near_peak_for_large_sizes(self, gpu):
+        n = 4096
+        t = gpu.gemm_time(n, n, n)
+        achieved = 2.0 * n**3 / t
+        assert achieved >= 0.5 * K20C.peak_flops(8)
+
+    def test_spmv_is_bandwidth_bound(self, gpu):
+        # doubling nnz ~doubles time once out of the launch-overhead regime
+        t1 = gpu.spmv_time(10**6, 10**7)
+        t2 = gpu.spmv_time(10**6, 2 * 10**7)
+        assert 1.7 < (t2 - K20C.kernel_launch_overhead_s) / (
+            t1 - K20C.kernel_launch_overhead_s
+        ) < 2.3
+
+    def test_sp_faster_than_dp_gemm(self, gpu):
+        assert gpu.gemm_time(1024, 1024, 1024, itemsize=4) < gpu.gemm_time(
+            1024, 1024, 1024, itemsize=8
+        )
+
+    def test_sort_time_linear(self, gpu):
+        t1 = gpu.sort_time(10**6)
+        t2 = gpu.sort_time(2 * 10**6)
+        assert t2 > t1
+
+    def test_gather_slower_than_stream(self, gpu):
+        bytes_ = 1e9
+        assert gpu.kernel_time(0, bytes_, kind="gather") > gpu.kernel_time(
+            0, bytes_, kind="stream"
+        )
+
+
+class TestCPUCostModel:
+    @pytest.fixture
+    def cpu(self):
+        return CPUCostModel(XEON_E5_2690)
+
+    def test_blas3_scales_with_threads(self, cpu):
+        assert cpu.blas3_time(1e12, threads=1) == pytest.approx(
+            8 * cpu.blas3_time(1e12, threads=8)
+        )
+
+    def test_blas3_thread_clamp(self, cpu):
+        # more threads than cores gives core-count performance
+        assert cpu.blas3_time(1e12, threads=64) == cpu.blas3_time(1e12, threads=8)
+
+    def test_blas1_saturates_by_4_threads(self, cpu):
+        assert cpu.blas1_time(1e9, threads=4) == pytest.approx(
+            cpu.blas1_time(1e9, threads=8)
+        )
+        assert cpu.blas1_time(1e9, threads=1) > cpu.blas1_time(1e9, threads=4)
+
+    def test_interp_loop_dominated_by_dispatch(self, cpu):
+        # 4M iterations at ~55us each lands near the paper's 221s
+        t = CPUCostModel(XEON_E5_2690).interp_loop_time(3_992_290)
+        assert 150 < t < 300
+
+    def test_interp_loop_body_work_adds(self, cpu):
+        base = cpu.interp_loop_time(1000)
+        with_work = cpu.interp_loop_time(1000, work_per_iter_flops=1e6)
+        assert with_work > base
+
+    def test_spmv_threads_help(self, cpu):
+        assert cpu.spmv_time(10**5, 10**6, threads=4) < cpu.spmv_time(
+            10**5, 10**6, threads=1
+        )
+
+
+class TestTransferCostModel:
+    def test_h2d_d2h_symmetric(self):
+        m = TransferCostModel(PCIE_X16_GEN2)
+        assert m.h2d_time(10**6) == m.d2h_time(10**6)
+
+    def test_paper_magnitude_per_iteration(self):
+        # one eigensolver round trip on DTI: 2 x 142541 doubles ~ 0.8 ms,
+        # consistent with Table VII's 2.25 s over thousands of iterations
+        m = TransferCostModel(PCIE_X16_GEN2)
+        per_iter = m.h2d_time(142541 * 8) + m.d2h_time(142541 * 8)
+        assert 1e-4 < per_iter < 2e-3

@@ -1,0 +1,92 @@
+"""Hardware spec presets and derived quantities."""
+
+import pytest
+
+from repro.hw.spec import (
+    K20C,
+    PAPER_PLATFORM,
+    PCIE_X16_GEN2,
+    XEON_E5_2690,
+    GPUSpec,
+    PCIeSpec,
+)
+
+
+class TestK20C:
+    def test_table1_sm_sp(self):
+        assert K20C.sm_count == 13
+        assert K20C.sp_per_sm == 192
+        assert K20C.core_count == 2496
+
+    def test_table1_memory(self):
+        assert K20C.memory_bytes == 5 * 1024**3
+
+    def test_compute_capability(self):
+        assert K20C.compute_capability == (3, 5)
+
+    def test_peak_flops_selects_precision(self):
+        assert K20C.peak_flops(8) == pytest.approx(1170e9)
+        assert K20C.peak_flops(4) == pytest.approx(3520e9)
+
+    def test_bandwidth_in_bytes(self):
+        assert K20C.mem_bandwidth_bytes_s == pytest.approx(208e9)
+
+
+class TestXeon:
+    def test_core_count(self):
+        assert XEON_E5_2690.cores == 8
+
+    def test_dram_is_128gb(self):
+        assert XEON_E5_2690.dram_bytes == 128 * 1024**3
+
+    def test_multithreaded_peak_exceeds_single(self):
+        assert (
+            XEON_E5_2690.peak_flops_dp
+            == pytest.approx(8 * XEON_E5_2690.peak_flops_single_thread)
+        )
+
+
+class TestPCIe:
+    def test_theoretical_peak_8gbs(self):
+        assert PCIE_X16_GEN2.peak_gbs == 8.0
+
+    def test_transfer_time_has_latency_floor(self):
+        t1 = PCIE_X16_GEN2.transfer_time(1)
+        assert t1 >= PCIE_X16_GEN2.latency_s
+
+    def test_transfer_time_scales_linearly(self):
+        big = PCIE_X16_GEN2.transfer_time(10**9)
+        bigger = PCIE_X16_GEN2.transfer_time(2 * 10**9)
+        # latency is negligible at GB scale
+        assert bigger / big == pytest.approx(2.0, rel=1e-3)
+
+    def test_zero_bytes_is_free(self):
+        assert PCIE_X16_GEN2.transfer_time(0) == 0.0
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            PCIE_X16_GEN2.transfer_time(-1)
+
+    def test_effective_below_peak(self):
+        assert PCIE_X16_GEN2.effective_bytes_s < PCIE_X16_GEN2.peak_gbs * 1e9
+
+
+class TestPlatform:
+    def test_paper_platform_composition(self):
+        assert PAPER_PLATFORM.cpu is XEON_E5_2690
+        assert PAPER_PLATFORM.gpu is K20C
+        assert PAPER_PLATFORM.pcie is PCIE_X16_GEN2
+
+    def test_with_gpu_replaces_fields(self):
+        p2 = PAPER_PLATFORM.with_gpu(mem_bandwidth_gbs=416.0)
+        assert p2.gpu.mem_bandwidth_gbs == 416.0
+        assert PAPER_PLATFORM.gpu.mem_bandwidth_gbs == 208.0  # original intact
+
+    def test_with_cpu_replaces_fields(self):
+        p2 = PAPER_PLATFORM.with_cpu(cores=16)
+        assert p2.cpu.cores == 16
+        assert PAPER_PLATFORM.cpu.cores == 8
+
+    def test_specs_are_frozen(self):
+        with pytest.raises(AttributeError):
+            K20C.sm_count = 99  # type: ignore[misc]

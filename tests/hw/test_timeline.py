@@ -1,0 +1,103 @@
+"""SimClock and Timeline accounting semantics."""
+
+import pytest
+
+from repro.hw.timeline import SimClock, Timeline
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0.0
+
+    def test_advance_accumulates(self):
+        c = SimClock()
+        c.advance(1.5)
+        c.advance(0.5)
+        assert c.now == pytest.approx(2.0)
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-0.1)
+
+    def test_reset(self):
+        c = SimClock()
+        c.advance(3.0)
+        c.reset()
+        assert c.now == 0.0
+
+
+class TestTimeline:
+    def test_record_advances_clock(self):
+        tl = Timeline()
+        tl.record("k1", "kernel", 0.25)
+        assert tl.clock.now == pytest.approx(0.25)
+
+    def test_events_carry_start_and_end(self):
+        tl = Timeline()
+        tl.record("a", "kernel", 0.1)
+        ev = tl.record("b", "h2d", 0.2)
+        assert ev.start == pytest.approx(0.1)
+        assert ev.end == pytest.approx(0.3)
+
+    def test_unknown_category_rejected(self):
+        with pytest.raises(ValueError):
+            Timeline().record("x", "quantum", 0.1)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            Timeline().record("x", "kernel", -1.0)
+
+    def test_total_filters_by_category(self):
+        tl = Timeline()
+        tl.record("a", "kernel", 1.0)
+        tl.record("b", "h2d", 2.0)
+        assert tl.total("kernel") == pytest.approx(1.0)
+        assert tl.total() == pytest.approx(3.0)
+
+    def test_tagging_scopes_events(self):
+        tl = Timeline()
+        tl.set_tag("stage1")
+        tl.record("a", "kernel", 1.0)
+        tl.set_tag("stage2")
+        tl.record("b", "kernel", 2.0)
+        assert tl.total(tag="stage1") == pytest.approx(1.0)
+        assert tl.by_tag() == pytest.approx({"stage1": 1.0, "stage2": 2.0})
+
+    def test_communication_vs_computation_split(self):
+        tl = Timeline()
+        tl.record("up", "h2d", 0.5)
+        tl.record("k", "kernel", 1.0)
+        tl.record("cpu", "cpu", 2.0)
+        tl.record("down", "d2h", 0.25)
+        assert tl.communication_time() == pytest.approx(0.75)
+        assert tl.computation_time() == pytest.approx(3.0)
+
+    def test_count(self):
+        tl = Timeline()
+        tl.record("a", "kernel", 0.1)
+        tl.record("b", "kernel", 0.1)
+        tl.record("c", "d2h", 0.1)
+        assert tl.count("kernel") == 2
+        assert len(tl) == 3
+
+    def test_clear_resets_everything(self):
+        tl = Timeline()
+        tl.record("a", "kernel", 1.0)
+        tl.clear()
+        assert len(tl) == 0
+        assert tl.clock.now == 0.0
+
+    def test_by_category(self):
+        tl = Timeline()
+        tl.record("a", "kernel", 1.0)
+        tl.record("b", "kernel", 0.5)
+        tl.record("c", "h2d", 0.25)
+        cats = tl.by_category()
+        assert cats["kernel"] == pytest.approx(1.5)
+        assert cats["h2d"] == pytest.approx(0.25)
+
+    def test_iteration_order_is_insertion(self):
+        tl = Timeline()
+        tl.record("first", "kernel", 0.1)
+        tl.record("second", "kernel", 0.1)
+        assert [e.name for e in tl] == ["first", "second"]

@@ -1,0 +1,98 @@
+"""Host Lloyd iteration: invariants and recovery."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ClusteringError
+from repro.kmeans.cpu import kmeans_cpu
+from repro.kmeans.utils import exact_labels, inertia
+
+
+class TestInvariants:
+    def test_inertia_monotone_nonincreasing(self, blobs):
+        V, _, k = blobs
+        res = kmeans_cpu(V, k, seed=3)
+        h = res.inertia_history
+        assert all(h[i + 1] <= h[i] + 1e-9 for i in range(len(h) - 1))
+
+    def test_labels_are_exact_argmin_at_convergence(self, blobs):
+        V, _, k = blobs
+        res = kmeans_cpu(V, k, seed=3)
+        assert res.converged
+        assert np.array_equal(res.labels, exact_labels(V, res.centroids))
+
+    def test_centroids_are_cluster_means(self, blobs):
+        V, _, k = blobs
+        res = kmeans_cpu(V, k, seed=3)
+        for c in range(k):
+            members = V[res.labels == c]
+            if members.size:
+                assert np.allclose(res.centroids[c], members.mean(axis=0))
+
+    def test_reported_inertia_consistent(self, blobs):
+        V, _, k = blobs
+        res = kmeans_cpu(V, k, seed=0)
+        assert res.inertia == pytest.approx(
+            inertia(V, res.centroids, res.labels)
+        )
+
+    def test_no_empty_clusters(self, rng):
+        V = rng.random((40, 2))
+        res = kmeans_cpu(V, 15, seed=0)
+        assert np.all(np.bincount(res.labels, minlength=15) >= 1)
+
+
+class TestRecovery:
+    def test_recovers_separated_blobs(self, blobs):
+        from repro.metrics.external import adjusted_rand_index
+
+        V, truth, k = blobs
+        res = kmeans_cpu(V, k, seed=1)
+        assert adjusted_rand_index(res.labels, truth) > 0.98
+
+    def test_kmeanspp_beats_or_matches_random_inertia(self, rng):
+        centers = rng.standard_normal((8, 4)) * 12
+        V = centers[rng.integers(0, 8, 400)] + rng.standard_normal((400, 4))
+        pp = [kmeans_cpu(V, 8, init="k-means++", seed=s).inertia for s in range(5)]
+        rd = [kmeans_cpu(V, 8, init="random", seed=s).inertia for s in range(5)]
+        assert np.median(pp) <= np.median(rd) * 1.05
+
+
+class TestOptions:
+    def test_explicit_initial_centroids(self, blobs):
+        V, _, k = blobs
+        C0 = V[:k].copy()
+        r1 = kmeans_cpu(V, k, initial_centroids=C0)
+        r2 = kmeans_cpu(V, k, initial_centroids=C0)
+        assert np.array_equal(r1.labels, r2.labels)
+
+    def test_initial_centroid_shape_checked(self, blobs):
+        V, _, k = blobs
+        with pytest.raises(ClusteringError):
+            kmeans_cpu(V, k, initial_centroids=np.zeros((k, 99)))
+
+    def test_max_iter_respected(self, rng):
+        V = rng.random((200, 5))
+        res = kmeans_cpu(V, 20, max_iter=2, seed=0)
+        assert res.n_iter <= 2
+
+    def test_tol_early_stop(self, rng):
+        V = rng.random((300, 4))
+        loose = kmeans_cpu(V, 10, tol=0.5, seed=0)
+        tight = kmeans_cpu(V, 10, tol=0.0, seed=0)
+        assert loose.n_iter <= tight.n_iter
+
+    def test_unknown_init(self, rng):
+        with pytest.raises(ClusteringError):
+            kmeans_cpu(rng.random((10, 2)), 2, init="farthest")
+
+    def test_k_equals_n(self, rng):
+        V = rng.random((6, 2))
+        res = kmeans_cpu(V, 6, seed=0)
+        assert res.inertia == pytest.approx(0.0)
+
+    def test_single_cluster(self, rng):
+        V = rng.random((30, 3))
+        res = kmeans_cpu(V, 1, seed=0)
+        assert np.all(res.labels == 0)
+        assert np.allclose(res.centroids[0], V.mean(axis=0))

@@ -1,0 +1,136 @@
+"""Algorithm 4 on the device: exact parity with the host path + GPU-specific
+mechanics (sort-based update, BLAS-3 distances, timeline accounting)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cuda.device import Device
+from repro.errors import ClusteringError
+from repro.kmeans.cpu import kmeans_cpu
+from repro.kmeans.gpu import kmeans_device
+from repro.kmeans.init import kmeans_plus_plus
+from repro.kmeans.utils import exact_labels
+
+
+class TestParityWithCPU:
+    def test_identical_from_same_seeds(self, device, blobs):
+        """Sort-based centroid update == direct group-by update."""
+        V, _, k = blobs
+        C0 = kmeans_plus_plus(V, k, np.random.default_rng(9))
+        cpu = kmeans_cpu(V, k, initial_centroids=C0)
+        gpu = kmeans_device(device, V, k, initial_centroids=C0)
+        assert np.array_equal(cpu.labels, gpu.labels)
+        assert np.allclose(cpu.centroids, gpu.centroids)
+        assert cpu.n_iter == gpu.n_iter
+        assert cpu.inertia == pytest.approx(gpu.inertia)
+
+    @given(seed=st.integers(0, 50))
+    @settings(max_examples=15, deadline=None)
+    def test_parity_property(self, seed):
+        r = np.random.default_rng(seed)
+        V = r.random((60, 3))
+        k = int(r.integers(2, 8))
+        C0 = kmeans_plus_plus(V, k, np.random.default_rng(seed + 1))
+        cpu = kmeans_cpu(V, k, initial_centroids=C0, max_iter=50)
+        gpu = kmeans_device(Device(), V, k, initial_centroids=C0, max_iter=50)
+        assert np.array_equal(cpu.labels, gpu.labels)
+        assert np.allclose(cpu.centroids, gpu.centroids)
+
+
+class TestInvariants:
+    def test_inertia_monotone(self, device, blobs):
+        V, _, k = blobs
+        res = kmeans_device(device, V, k, seed=2)
+        h = res.inertia_history
+        assert all(h[i + 1] <= h[i] + 1e-9 for i in range(len(h) - 1))
+
+    def test_labels_exact_argmin(self, device, blobs):
+        V, _, k = blobs
+        res = kmeans_device(device, V, k, seed=2)
+        assert np.array_equal(res.labels, exact_labels(V, res.centroids))
+
+    def test_recovers_blobs(self, device, blobs):
+        from repro.metrics.external import adjusted_rand_index
+
+        V, truth, k = blobs
+        res = kmeans_device(device, V, k, seed=1)
+        assert adjusted_rand_index(res.labels, truth) > 0.98
+
+    def test_no_empty_clusters(self, device, rng):
+        V = rng.random((50, 2))
+        res = kmeans_device(device, V, 12, seed=0)
+        assert np.all(np.bincount(res.labels, minlength=12) >= 1)
+
+
+class TestDeviceMechanics:
+    def test_uses_gemm_and_sort(self, device, blobs):
+        V, _, k = blobs
+        kmeans_device(device, V, k, seed=0)
+        names = [e.name for e in device.timeline]
+        assert any("cublasDgemm" in n for n in names)
+        assert any("sort_by_key" in n for n in names)
+        assert any("reduce_by_key" in n for n in names)
+
+    def test_events_tagged_kmeans(self, device, blobs):
+        V, _, k = blobs
+        kmeans_device(device, V, k, seed=0)
+        assert device.timeline.total(tag="kmeans") > 0
+
+    def test_transfers_data_in_and_labels_out(self, device, blobs):
+        V, _, k = blobs
+        kmeans_device(device, V, k, seed=0)
+        assert device.timeline.count("h2d") >= 1
+        assert device.timeline.count("d2h") >= 1
+
+    def test_accepts_device_resident_input(self, device, blobs):
+        V, _, k = blobs
+        dV = device.to_device(V)
+        res = kmeans_device(device, dV, k, seed=0)
+        assert res.labels.size == V.shape[0]
+        assert dV.is_valid  # caller-owned buffer not freed
+
+    def test_frees_working_buffers(self, device, blobs):
+        V, _, k = blobs
+        used0 = device.allocator.used_bytes
+        kmeans_device(device, V, k, seed=0)
+        assert device.allocator.used_bytes == used0
+
+    def test_random_init_mode(self, device, blobs):
+        V, _, k = blobs
+        res = kmeans_device(device, V, k, init="random", seed=0)
+        assert res.converged
+
+    def test_bad_init_name(self, device, blobs):
+        V, _, k = blobs
+        with pytest.raises(ClusteringError):
+            kmeans_device(device, V, k, init="pca")
+
+    def test_bad_initial_centroid_shape(self, device, blobs):
+        V, _, k = blobs
+        with pytest.raises(ClusteringError):
+            kmeans_device(device, V, k, initial_centroids=np.zeros((k, 99)))
+
+    def test_max_iter_cap(self, device, rng):
+        V = rng.random((100, 4))
+        res = kmeans_device(device, V, 10, max_iter=3, seed=0)
+        assert res.n_iter <= 3
+
+    def test_direct_distance_method_identical(self, device, blobs):
+        """Eqs. 12-16 (gemm) vs the naive kernel: same clustering."""
+        V, _, k = blobs
+        C0 = np.asarray(V[:k])
+        from repro.cuda.device import Device
+
+        g = kmeans_device(Device(), V, k, initial_centroids=C0)
+        d = kmeans_device(
+            Device(), V, k, initial_centroids=C0, distance_method="direct"
+        )
+        assert np.array_equal(g.labels, d.labels)
+        assert np.allclose(g.centroids, d.centroids)
+
+    def test_unknown_distance_method(self, device, blobs):
+        V, _, k = blobs
+        with pytest.raises(ClusteringError):
+            kmeans_device(device, V, k, distance_method="manhattan")

@@ -1,0 +1,98 @@
+"""Seeding strategies: k-means++ host/device agreement and distribution
+properties (Algorithm 5)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ClusteringError
+from repro.kmeans.init import (
+    kmeans_plus_plus,
+    kmeans_plus_plus_device,
+    random_init,
+)
+
+
+class TestRandomInit:
+    def test_selects_distinct_points(self, rng):
+        V = rng.random((20, 3))
+        C = random_init(V, 5, rng)
+        assert C.shape == (5, 3)
+        # each centroid is an actual data point
+        for c in C:
+            assert np.any(np.all(np.isclose(V, c), axis=1))
+
+    def test_k_bounds(self, rng):
+        with pytest.raises(ClusteringError):
+            random_init(rng.random((4, 2)), 5, rng)
+
+
+class TestKMeansPlusPlusHost:
+    def test_seeds_are_data_points(self, rng):
+        V = rng.random((30, 4))
+        C = kmeans_plus_plus(V, 6, rng)
+        for c in C:
+            assert np.any(np.all(np.isclose(V, c), axis=1))
+
+    def test_spreads_over_separated_blobs(self, rng, blobs):
+        V, _, k = blobs
+        # with well-separated blobs, k-means++ picks one seed per blob
+        # almost surely; check over a few trials
+        hits = 0
+        for trial in range(5):
+            C = kmeans_plus_plus(V, k, np.random.default_rng(trial))
+            d2 = ((C[:, None, :] - C[None, :, :]) ** 2).sum(axis=2)
+            np.fill_diagonal(d2, np.inf)
+            if d2.min() > 1.0:  # no two seeds in the same blob
+                hits += 1
+        assert hits >= 4
+
+    def test_deterministic_given_rng(self, rng):
+        V = np.random.default_rng(0).random((25, 3))
+        C1 = kmeans_plus_plus(V, 4, np.random.default_rng(7))
+        C2 = kmeans_plus_plus(V, 4, np.random.default_rng(7))
+        assert np.array_equal(C1, C2)
+
+    def test_duplicate_points_fall_back_to_uniform(self, rng):
+        V = np.ones((10, 2))
+        C = kmeans_plus_plus(V, 3, rng)
+        assert C.shape == (3, 2)
+        assert np.all(C == 1.0)
+
+    def test_k_equals_n(self, rng):
+        V = rng.random((5, 2))
+        C = kmeans_plus_plus(V, 5, rng)
+        assert C.shape == (5, 2)
+
+
+class TestKMeansPlusPlusDevice:
+    def test_seeds_are_data_points(self, device, rng):
+        V = rng.random((40, 3))
+        dV = device.to_device(V)
+        dC = kmeans_plus_plus_device(dV, 5, rng)
+        for c in dC.data:
+            assert np.any(np.all(np.isclose(V, c), axis=1))
+
+    def test_spreads_over_separated_blobs(self, device, blobs):
+        V, _, k = blobs
+        dV = device.to_device(V)
+        dC = kmeans_plus_plus_device(dV, k, np.random.default_rng(1))
+        d2 = ((dC.data[:, None, :] - dC.data[None, :, :]) ** 2).sum(axis=2)
+        np.fill_diagonal(d2, np.inf)
+        assert d2.min() > 1.0
+
+    def test_uses_thrust_primitives(self, device, rng):
+        dV = device.to_device(rng.random((20, 2)))
+        kmeans_plus_plus_device(dV, 4, rng)
+        names = [e.name for e in device.timeline]
+        assert any("inclusive_scan" in n for n in names)
+        assert any("lower_bound" in n for n in names)
+
+    def test_k_bounds(self, device, rng):
+        dV = device.to_device(rng.random((4, 2)))
+        with pytest.raises(ClusteringError):
+            kmeans_plus_plus_device(dV, 9, rng)
+
+    def test_degenerate_all_identical(self, device, rng):
+        dV = device.to_device(np.ones((8, 2)))
+        dC = kmeans_plus_plus_device(dV, 3, rng)
+        assert np.all(dC.data == 1.0)

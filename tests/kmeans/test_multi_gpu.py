@@ -1,0 +1,122 @@
+"""Multi-GPU k-means: correctness parity and scaling behavior."""
+
+import numpy as np
+import pytest
+
+from repro.cuda.device import Device
+from repro.errors import ClusteringError
+from repro.kmeans.gpu import kmeans_device
+from repro.kmeans.init import kmeans_plus_plus
+from repro.kmeans.multi_gpu import kmeans_multi_device
+
+
+@pytest.fixture
+def big_blobs(rng):
+    k, per, d = 6, 300, 8
+    centers = rng.standard_normal((k, d)) * 10
+    truth = np.repeat(np.arange(k), per)
+    V = centers[truth] + 0.5 * rng.standard_normal((k * per, d))
+    return V, truth, k
+
+
+class TestParity:
+    @pytest.mark.parametrize("n_dev", [1, 2, 3, 4])
+    def test_matches_single_device(self, big_blobs, n_dev):
+        V, _, k = big_blobs
+        C0 = kmeans_plus_plus(V, k, np.random.default_rng(3))
+        single = kmeans_device(Device(), V, k, initial_centroids=C0)
+        multi, _ = kmeans_multi_device(
+            [Device() for _ in range(n_dev)], V, k, initial_centroids=C0
+        )
+        assert np.array_equal(single.labels, multi.labels)
+        assert np.allclose(single.centroids, multi.centroids)
+        assert single.n_iter == multi.n_iter
+
+    def test_inertia_monotone(self, big_blobs):
+        V, _, k = big_blobs
+        res, _ = kmeans_multi_device(
+            [Device(), Device()], V, k, seed=0
+        )
+        h = res.inertia_history
+        assert all(h[i + 1] <= h[i] + 1e-9 for i in range(len(h) - 1))
+
+    def test_recovers_blobs(self, big_blobs):
+        from repro.metrics.external import adjusted_rand_index
+
+        V, truth, k = big_blobs
+        res, _ = kmeans_multi_device([Device(), Device()], V, k, seed=0)
+        assert adjusted_rand_index(res.labels, truth) > 0.98
+
+
+class TestScaling:
+    def test_parallel_time_beats_single_device(self, rng):
+        # scaling shows only when per-shard work dominates the fixed
+        # kernel-launch overheads — use a large-n workload, few iterations
+        V = rng.random((120_000, 8))
+        k = 8
+        C0 = kmeans_plus_plus(V[:2000], k, np.random.default_rng(3))
+        d1 = Device()
+        kmeans_device(d1, V, k, initial_centroids=C0, max_iter=2)
+        t1 = d1.timeline.total(tag="kmeans")
+        _, timings = kmeans_multi_device(
+            [Device() for _ in range(4)], V, k,
+            initial_centroids=C0, max_iter=2,
+        )
+        # makespan clearly under the one-device time (launch overheads +
+        # host reduction keep it short of the ideal 4x)
+        assert timings.parallel_seconds < 0.7 * t1
+
+    def test_tiny_problem_launch_bound(self, big_blobs):
+        """The flip side (Amdahl on launch latency): at tiny sizes adding
+        devices buys almost nothing because each shard still pays the
+        full per-iteration launch sequence."""
+        V, _, k = big_blobs
+        C0 = kmeans_plus_plus(V, k, np.random.default_rng(3))
+        d1 = Device()
+        kmeans_device(d1, V, k, initial_centroids=C0)
+        t1 = d1.timeline.total(tag="kmeans")
+        _, timings = kmeans_multi_device(
+            [Device() for _ in range(4)], V, k, initial_centroids=C0
+        )
+        assert timings.parallel_seconds > 0.5 * t1
+
+    def test_per_device_times_balanced(self, big_blobs):
+        V, _, k = big_blobs
+        _, timings = kmeans_multi_device(
+            [Device(), Device()], V, k, seed=0
+        )
+        a, b = timings.per_device_seconds
+        assert abs(a - b) < 0.3 * max(a, b)
+
+    def test_host_reduce_counted(self, big_blobs):
+        V, _, k = big_blobs
+        _, timings = kmeans_multi_device([Device(), Device()], V, k, seed=0)
+        assert timings.host_reduce_seconds > 0
+        assert timings.parallel_seconds > timings.host_reduce_seconds
+
+
+class TestValidation:
+    def test_no_devices(self, big_blobs):
+        V, _, k = big_blobs
+        with pytest.raises(ClusteringError):
+            kmeans_multi_device([], V, k)
+
+    def test_more_devices_than_points(self, rng):
+        with pytest.raises(ClusteringError):
+            kmeans_multi_device(
+                [Device() for _ in range(5)], rng.random((3, 2)), 2
+            )
+
+    def test_bad_centroid_shape(self, big_blobs):
+        V, _, k = big_blobs
+        with pytest.raises(ClusteringError):
+            kmeans_multi_device(
+                [Device()], V, k, initial_centroids=np.zeros((k, 99))
+            )
+
+    def test_devices_memory_freed(self, big_blobs):
+        V, _, k = big_blobs
+        devs = [Device(), Device()]
+        kmeans_multi_device(devs, V, k, seed=0)
+        for d in devs:
+            assert d.allocator.used_bytes == 0

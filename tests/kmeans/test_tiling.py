@@ -1,0 +1,62 @@
+"""Distance-matrix tiling: identical results, bounded device memory."""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.cuda.device import Device
+from repro.errors import ClusteringError, DeviceMemoryError
+from repro.hw.spec import K20C
+from repro.kmeans.gpu import kmeans_device
+from repro.kmeans.init import kmeans_plus_plus
+
+
+class TestTiling:
+    def test_tiled_equals_untiled(self, blobs):
+        V, _, k = blobs
+        C0 = kmeans_plus_plus(V, k, np.random.default_rng(5))
+        full = kmeans_device(Device(), V, k, initial_centroids=C0)
+        for t in (1, 7, 64, 10_000):
+            tiled = kmeans_device(
+                Device(), V, k, initial_centroids=C0, tile_rows=t
+            )
+            assert np.array_equal(full.labels, tiled.labels), t
+            assert np.allclose(full.centroids, tiled.centroids), t
+            assert full.n_iter == tiled.n_iter, t
+
+    def test_auto_tiling_fits_tiny_device(self, blobs):
+        """A device too small for the full n x k matrix still works: the
+        auto tile size shrinks to fit."""
+        V, _, k = blobs
+        n = V.shape[0]
+        # room for the data + small buffers but NOT for n*k doubles * 4
+        cap = V.nbytes * 3 + n * k * 8 // 2
+        dev = Device(spec=replace(K20C, memory_bytes=cap))
+        C0 = kmeans_plus_plus(V, k, np.random.default_rng(5))
+        res = kmeans_device(dev, V, k, initial_centroids=C0)
+        full = kmeans_device(Device(), V, k, initial_centroids=C0)
+        assert np.array_equal(res.labels, full.labels)
+
+    def test_explicit_oversized_tile_raises_oom(self, blobs):
+        V, _, k = blobs
+        n = V.shape[0]
+        cap = V.nbytes * 2 + n * k * 8 // 4
+        dev = Device(spec=replace(K20C, memory_bytes=cap))
+        with pytest.raises(DeviceMemoryError):
+            kmeans_device(dev, V, k, seed=0, tile_rows=n)
+
+    def test_bad_tile_rows(self, device, blobs):
+        V, _, k = blobs
+        with pytest.raises(ClusteringError):
+            kmeans_device(device, V, k, tile_rows=0)
+
+    def test_tiling_charges_more_launches_same_flops_order(self, blobs):
+        V, _, k = blobs
+        C0 = kmeans_plus_plus(V, k, np.random.default_rng(5))
+        d1, d2 = Device(), Device()
+        kmeans_device(d1, V, k, initial_centroids=C0)
+        kmeans_device(d2, V, k, initial_centroids=C0, tile_rows=16)
+        assert d2.kernel_launches > d1.kernel_launches
+        # launch overheads make tiling slightly slower, not orders worse
+        assert d2.elapsed < 10 * d1.elapsed

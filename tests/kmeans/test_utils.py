@@ -1,0 +1,89 @@
+"""k-means shared helpers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ClusteringError
+from repro.kmeans.utils import (
+    exact_labels,
+    inertia,
+    relabel_empty_clusters,
+    validate_inputs,
+)
+
+
+class TestValidation:
+    def test_accepts_2d(self, rng):
+        V = validate_inputs(rng.random((10, 3)), 2)
+        assert V.flags["C_CONTIGUOUS"]
+
+    def test_rejects_1d(self, rng):
+        with pytest.raises(ClusteringError):
+            validate_inputs(rng.random(10), 2)
+
+    def test_rejects_bad_k(self, rng):
+        with pytest.raises(ClusteringError):
+            validate_inputs(rng.random((5, 2)), 0)
+        with pytest.raises(ClusteringError):
+            validate_inputs(rng.random((5, 2)), 6)
+
+
+class TestInertia:
+    def test_zero_for_points_on_centroids(self):
+        V = np.array([[0.0, 0.0], [1.0, 1.0]])
+        assert inertia(V, V.copy(), np.array([0, 1])) == 0.0
+
+    def test_known_value(self):
+        V = np.array([[0.0], [2.0]])
+        C = np.array([[1.0]])
+        assert inertia(V, C, np.array([0, 0])) == pytest.approx(2.0)
+
+
+class TestExactLabels:
+    def test_matches_brute_force(self, rng):
+        V = rng.random((50, 4))
+        C = rng.random((6, 4))
+        lab = exact_labels(V, C)
+        for i in range(50):
+            dists = np.linalg.norm(V[i] - C, axis=1)
+            assert dists[lab[i]] == pytest.approx(dists.min())
+
+
+class TestEmptyClusterRepair:
+    def test_noop_when_all_populated(self, rng):
+        V = rng.random((10, 2))
+        C = rng.random((2, 2))
+        labels = np.array([0, 1] * 5)
+        counts = np.array([5, 5])
+        C2, l2, c2 = relabel_empty_clusters(V, C, labels, counts)
+        assert np.array_equal(l2, labels)
+        assert np.array_equal(c2, counts)
+
+    def test_fills_empty_with_farthest_point(self):
+        V = np.array([[0.0], [0.1], [0.2], [10.0]])
+        C = np.array([[0.1], [99.0]])
+        labels = np.array([0, 0, 0, 0])
+        counts = np.array([4, 0])
+        C2, l2, c2 = relabel_empty_clusters(V, C, labels, counts)
+        assert c2.tolist() == [3, 1]
+        assert l2[3] == 1  # the farthest point moved
+        assert np.allclose(C2[1], [10.0])
+
+    def test_never_empties_a_singleton(self):
+        V = np.array([[0.0], [5.0]])
+        C = np.array([[0.0], [5.0], [99.0]])
+        labels = np.array([0, 1])
+        counts = np.array([1, 1, 0])
+        C2, l2, c2 = relabel_empty_clusters(V, C, labels, counts)
+        # can't steal: both donors are singletons; cluster 2 stays empty
+        assert c2[0] >= 1 and c2[1] >= 1
+
+    def test_multiple_empty_clusters(self, rng):
+        V = rng.random((20, 2)) * 10
+        C = rng.random((5, 2))
+        labels = np.zeros(20, dtype=np.int64)
+        counts = np.array([20, 0, 0, 0, 0])
+        C2, l2, c2 = relabel_empty_clusters(V, C, labels, counts)
+        assert np.all(c2 >= 1)
+        assert c2.sum() == 20
+        assert np.array_equal(np.bincount(l2, minlength=5), c2)

@@ -1,0 +1,87 @@
+"""Dense symmetric eigensolver (Householder + QL), from scratch."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.linalg.eigh import eigh, householder_tridiagonalize
+from repro.linalg.tridiag import tridiag_to_dense
+
+
+def random_sym(rng, n):
+    A = rng.standard_normal((n, n))
+    return (A + A.T) / 2
+
+
+class TestTridiagonalization:
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 20, 50])
+    def test_similarity_preserved(self, rng, n):
+        A = random_sym(rng, n)
+        a, b, Q = householder_tridiagonalize(A)
+        T = tridiag_to_dense(a, b)
+        assert np.allclose(Q @ T @ Q.T, A, atol=1e-10)
+        assert np.allclose(Q @ Q.T, np.eye(n), atol=1e-12)
+
+    def test_eigenvalues_preserved(self, rng):
+        A = random_sym(rng, 15)
+        a, b, _ = householder_tridiagonalize(A)
+        T = tridiag_to_dense(a, b)
+        assert np.allclose(
+            np.linalg.eigvalsh(T), np.linalg.eigvalsh(A), atol=1e-10
+        )
+
+    def test_already_tridiagonal_is_fixed_point(self, rng):
+        T0 = tridiag_to_dense(rng.standard_normal(6), rng.standard_normal(5))
+        a, b, Q = householder_tridiagonalize(T0)
+        # structure preserved up to subdiagonal signs
+        assert np.allclose(np.abs(a), np.abs(np.diag(T0)))
+        assert np.allclose(np.abs(b), np.abs(np.diag(T0, -1)))
+
+    def test_no_q_mode(self, rng):
+        A = random_sym(rng, 8)
+        a, b, Q = householder_tridiagonalize(A, compute_q=False)
+        assert Q is None
+        assert np.allclose(
+            np.sort(np.linalg.eigvalsh(tridiag_to_dense(a, b))),
+            np.sort(np.linalg.eigvalsh(A)),
+            atol=1e-10,
+        )
+
+    def test_nonsquare_rejected(self, rng):
+        with pytest.raises(ValueError):
+            householder_tridiagonalize(rng.standard_normal((3, 4)))
+
+
+class TestEigh:
+    @pytest.mark.parametrize("n", [1, 2, 4, 10, 30])
+    def test_ql_matches_lapack(self, rng, n):
+        A = random_sym(rng, n)
+        w1, Z1 = eigh(A, method="ql")
+        w2, _ = eigh(A, method="lapack")
+        assert np.allclose(w1, w2, atol=1e-9)
+        assert np.allclose(A @ Z1, Z1 * w1, atol=1e-8)
+        assert np.allclose(Z1.T @ Z1, np.eye(n), atol=1e-9)
+
+    def test_degenerate_spectrum(self, rng):
+        Q, _ = np.linalg.qr(rng.standard_normal((12, 12)))
+        d = np.array([1.0] * 4 + [2.0] * 4 + [5.0] * 4)
+        A = Q @ np.diag(d) @ Q.T
+        w, Z = eigh(A, method="ql")
+        assert np.allclose(np.sort(w), np.sort(d), atol=1e-9)
+        assert np.allclose(A @ Z, Z * w, atol=1e-8)
+
+    def test_unknown_method(self, rng):
+        with pytest.raises(ValueError):
+            eigh(random_sym(rng, 3), method="jacobi")
+
+    def test_nonsquare_rejected(self, rng):
+        with pytest.raises(ValueError):
+            eigh(rng.standard_normal((3, 4)))
+
+    @given(st.integers(0, 2**31 - 1), st.integers(2, 15))
+    @settings(max_examples=25, deadline=None)
+    def test_property_spectrum_matches(self, seed, n):
+        A = random_sym(np.random.default_rng(seed), n)
+        w, _ = eigh(A, method="ql")
+        assert np.allclose(w, np.linalg.eigvalsh(A), atol=1e-8)

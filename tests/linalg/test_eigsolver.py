@@ -1,0 +1,119 @@
+"""SymEigProblem reverse-communication protocol and eigsh driver."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.errors import EigensolverError, ReverseCommunicationError
+from repro.linalg.eigsolver import SymEigProblem, eigsh
+from repro.linalg.rci import RCIStatus
+from repro.sparse.construct import random_sparse
+
+
+def scipy_of(csr):
+    return sp.csr_matrix((csr.data, csr.indices, csr.indptr), shape=csr.shape)
+
+
+class TestProtocol:
+    @pytest.fixture
+    def A(self, rng):
+        return random_sparse(60, 60, 0.2, rng=rng, symmetric=True).to_csr()
+
+    def test_algorithm3_loop_shape(self, A):
+        """The exact loop of the paper's Algorithm 3."""
+        prob = SymEigProblem(60, 4, tol=1e-10)
+        while not prob.converged():
+            prob.take_step()
+            if prob.needs_matvec():
+                x = prob.get_vector()
+                prob.put_vector(A.matvec(x))
+        theta, U = prob.find_eigenvectors()
+        assert theta.size == 4
+        assert U.shape == (60, 4)
+
+    def test_status_transitions(self, A):
+        prob = SymEigProblem(60, 3)
+        assert prob.status is RCIStatus.INITIAL
+        prob.take_step()
+        assert prob.status is RCIStatus.NEED_MATVEC
+        prob.put_vector(A.matvec(prob.get_vector()))
+        assert prob.status is RCIStatus.HAVE_RESULT
+
+    def test_get_vector_before_take_step(self):
+        with pytest.raises(ReverseCommunicationError):
+            SymEigProblem(60, 3).get_vector()
+
+    def test_put_vector_without_request(self):
+        with pytest.raises(ReverseCommunicationError):
+            SymEigProblem(60, 3).put_vector(np.zeros(60))
+
+    def test_take_step_with_outstanding_request(self, A):
+        prob = SymEigProblem(60, 3)
+        prob.take_step()
+        with pytest.raises(ReverseCommunicationError):
+            prob.take_step()
+
+    def test_put_vector_wrong_length(self, A):
+        prob = SymEigProblem(60, 3)
+        prob.take_step()
+        with pytest.raises(ReverseCommunicationError):
+            prob.put_vector(np.zeros(61))
+
+    def test_find_eigenvectors_before_done(self):
+        with pytest.raises(ReverseCommunicationError):
+            SymEigProblem(60, 3).find_eigenvectors()
+
+    def test_result_before_done(self):
+        prob = SymEigProblem(60, 3)
+        with pytest.raises(ReverseCommunicationError):
+            _ = prob.result
+
+    def test_take_step_after_done_is_idempotent(self, A):
+        prob = SymEigProblem(60, 3, tol=1e-8)
+        while not prob.converged():
+            prob.take_step()
+            if prob.needs_matvec():
+                prob.put_vector(A.matvec(prob.get_vector()))
+        assert prob.take_step() is RCIStatus.DONE
+
+    def test_n_op_counts_round_trips(self, A):
+        prob = SymEigProblem(60, 3, tol=1e-8)
+        trips = 0
+        while not prob.converged():
+            prob.take_step()
+            if prob.needs_matvec():
+                prob.put_vector(A.matvec(prob.get_vector()))
+                trips += 1
+        assert prob.n_op == trips
+        assert prob.result.n_op == trips
+
+    def test_repr(self):
+        assert "SymEigProblem" in repr(SymEigProblem(60, 3))
+
+
+class TestEigshDriver:
+    def test_matrix_object(self, rng):
+        A = random_sparse(120, 120, 0.1, rng=rng, symmetric=True).to_csr()
+        w, U = eigsh(A, k=6, tol=1e-10)
+        ref = spla.eigsh(scipy_of(A), k=6, which="LA", return_eigenvectors=False)
+        ref.sort()
+        assert np.allclose(w, ref, atol=1e-8)
+
+    def test_bare_callable_requires_n(self, rng):
+        A = rng.standard_normal((30, 30))
+        A = (A + A.T) / 2
+        w, _ = eigsh(lambda x: A @ x, n=30, k=3, tol=1e-10)
+        assert np.allclose(w, np.linalg.eigvalsh(A)[-3:], atol=1e-8)
+        with pytest.raises(EigensolverError):
+            eigsh(lambda x: A @ x, k=3)
+
+    def test_nonsquare_rejected(self, rng):
+        A = random_sparse(10, 12, 0.3, rng=rng).to_csr()
+        with pytest.raises(EigensolverError):
+            eigsh(A, k=2)
+
+    def test_eigenvalues_ascending(self, rng):
+        A = random_sparse(80, 80, 0.15, rng=rng, symmetric=True).to_csr()
+        w, _ = eigsh(A, k=5, tol=1e-8)
+        assert np.all(np.diff(w) >= 0)

@@ -1,0 +1,82 @@
+"""Generalized eigenproblem Lx = λDx (paper §II) with diagonal D."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.errors import EigensolverError
+from repro.graph.laplacian import degrees, laplacian
+from repro.linalg.eigsolver import eigsh_generalized_diag
+from repro.sparse.construct import random_sparse
+
+
+@pytest.fixture
+def connected_graph(rng):
+    while True:
+        W = random_sparse(60, 60, 0.2, rng=rng, symmetric=True)
+        if np.all(W.row_sums() > 0):
+            return W
+
+
+class TestGeneralizedDiag:
+    def test_matches_scipy_generalized(self, connected_graph):
+        W = connected_graph
+        L = laplacian(W)
+        d = degrees(W)
+        w, X = eigsh_generalized_diag(L, d, k=5, which="SA", tol=1e-10)
+        Ls = sp.csr_matrix((L.data, L.indices, L.indptr), shape=L.shape)
+        Ds = sp.diags(d)
+        ref = spla.eigsh(Ls, k=5, M=Ds.tocsc(), which="SM",
+                         return_eigenvectors=False)
+        ref.sort()
+        assert np.allclose(w, ref, atol=1e-7)
+
+    def test_generalized_residual(self, connected_graph):
+        W = connected_graph
+        L = laplacian(W)
+        d = degrees(W)
+        w, X = eigsh_generalized_diag(L, d, k=4, which="SA", tol=1e-10)
+        for i in range(4):
+            r = L.matvec(X[:, i]) - w[i] * d * X[:, i]
+            assert np.linalg.norm(r) < 1e-7
+
+    def test_d_orthonormal(self, connected_graph):
+        W = connected_graph
+        L = laplacian(W)
+        d = degrees(W)
+        _, X = eigsh_generalized_diag(L, d, k=4, which="SA", tol=1e-10)
+        G = X.T @ (d[:, None] * X)
+        assert np.allclose(G, np.eye(4), atol=1e-8)
+
+    def test_smallest_eigenvalue_is_zero_for_connected(self, connected_graph):
+        """The generalized problem's smallest eigenvalue is 0 (constant
+        vector) for a connected graph — the spectral clustering anchor."""
+        from repro.graph.components import connected_components
+
+        W = connected_graph
+        if connected_components(W)[0] != 1:
+            pytest.skip("random graph disconnected for this seed")
+        L = laplacian(W)
+        w, X = eigsh_generalized_diag(L, degrees(W), k=3, which="SA", tol=1e-10)
+        assert abs(w[0]) < 1e-8
+        v0 = X[:, 0]
+        assert np.std(v0 / v0.mean()) < 1e-6  # constant direction
+
+    def test_identity_d_reduces_to_standard(self, rng):
+        A = random_sparse(40, 40, 0.3, rng=rng, symmetric=True).to_csr()
+        from repro.linalg.eigsolver import eigsh
+
+        w1, _ = eigsh_generalized_diag(A, np.ones(40), k=4, which="LA", tol=1e-10)
+        w2, _ = eigsh(A, k=4, which="LA", tol=1e-10)
+        assert np.allclose(w1, w2, atol=1e-9)
+
+    def test_nonpositive_d_rejected(self, connected_graph):
+        L = laplacian(connected_graph)
+        with pytest.raises(EigensolverError, match="positive"):
+            eigsh_generalized_diag(L, np.zeros(60), k=3)
+
+    def test_wrong_d_length(self, connected_graph):
+        L = laplacian(connected_graph)
+        with pytest.raises(EigensolverError, match="length"):
+            eigsh_generalized_diag(L, np.ones(10), k=3)

@@ -1,0 +1,120 @@
+"""Lanczos factorization invariants."""
+
+import numpy as np
+import pytest
+
+from repro.linalg.lanczos import LanczosState, extend_factorization
+from repro.linalg.tridiag import tridiag_to_dense
+
+
+def drive(state, to_steps, op, rng):
+    """Run the extension generator against a host operator."""
+    gen = extend_factorization(state, to_steps, rng)
+    try:
+        x = next(gen)
+        while True:
+            x = gen.send(op @ x)
+    except StopIteration:
+        pass
+
+
+@pytest.fixture
+def sym_op(rng):
+    A = rng.standard_normal((40, 40))
+    return (A + A.T) / 2
+
+
+class TestFactorization:
+    def test_invariant_av_vt_fe(self, rng, sym_op):
+        m = 15
+        st = LanczosState.allocate(40, m)
+        st.f = rng.standard_normal(40)
+        drive(st, m, sym_op, rng)
+        V = st.basis()
+        alpha, beta = st.tridiagonal()
+        T = tridiag_to_dense(alpha, beta)
+        R = sym_op @ V.T - V.T @ T
+        R[:, -1] -= st.f
+        assert np.max(np.abs(R)) < 1e-10
+
+    def test_basis_orthonormal(self, rng, sym_op):
+        st = LanczosState.allocate(40, 20)
+        st.f = rng.standard_normal(40)
+        drive(st, 20, sym_op, rng)
+        assert st.orthogonality_error() < 1e-12
+
+    def test_residual_orthogonal_to_basis(self, rng, sym_op):
+        st = LanczosState.allocate(40, 10)
+        st.f = rng.standard_normal(40)
+        drive(st, 10, sym_op, rng)
+        assert np.max(np.abs(st.basis() @ st.f)) < 1e-10
+
+    def test_incremental_extension_matches(self, rng, sym_op):
+        st = LanczosState.allocate(40, 12)
+        st.f = rng.standard_normal(40)
+        drive(st, 6, sym_op, rng)
+        drive(st, 12, sym_op, rng)
+        assert st.j == 12
+        assert st.orthogonality_error() < 1e-12
+
+    def test_full_dimension_exact_breakdown(self, rng):
+        # after n steps the Krylov space is everything; residual ~ 0
+        A = np.diag([1.0, 2.0, 3.0, 4.0])
+        st = LanczosState.allocate(4, 4)
+        st.f = rng.standard_normal(4)
+        drive(st, 4, A, rng)
+        alpha, beta = st.tridiagonal()
+        w = np.linalg.eigvalsh(tridiag_to_dense(alpha, beta))
+        assert np.allclose(w, [1, 2, 3, 4], atol=1e-9)
+
+    def test_breakdown_recovery_on_low_rank(self, rng):
+        # rank-1 operator: Krylov space exhausts after 2 steps, the
+        # factorization must recover via random restart vectors
+        u = rng.standard_normal(20)
+        A = np.outer(u, u)
+        st = LanczosState.allocate(20, 8)
+        st.f = u.copy()
+        drive(st, 8, A, rng)
+        assert st.j == 8
+        assert st.breakdowns >= 1
+        assert st.orthogonality_error() < 1e-10
+
+    def test_requires_start_vector(self, rng, sym_op):
+        st = LanczosState.allocate(40, 5)
+        gen = extend_factorization(st, 5, rng)
+        with pytest.raises(ValueError, match="start vector"):
+            next(gen)
+
+    def test_zero_start_vector_rejected(self, rng, sym_op):
+        st = LanczosState.allocate(40, 5)
+        st.f = np.zeros(40)
+        gen = extend_factorization(st, 5, rng)
+        with pytest.raises(ValueError, match="zero"):
+            next(gen)
+
+    def test_storage_limit_enforced(self, rng):
+        st = LanczosState.allocate(10, 4)
+        st.f = rng.standard_normal(10)
+        with pytest.raises(ValueError, match="storage"):
+            next(extend_factorization(st, 5, rng))
+
+    def test_wrong_product_length_rejected(self, rng, sym_op):
+        st = LanczosState.allocate(40, 3)
+        st.f = rng.standard_normal(40)
+        gen = extend_factorization(st, 3, rng)
+        next(gen)
+        with pytest.raises(ValueError, match="length"):
+            gen.send(np.zeros(39))
+
+    def test_eigenvalue_estimates_improve_with_m(self, rng, sym_op):
+        true_max = np.linalg.eigvalsh(sym_op)[-1]
+        errs = []
+        for m in (5, 15, 30):
+            st = LanczosState.allocate(40, m)
+            st.f = np.ones(40)
+            drive(st, m, sym_op, rng)
+            alpha, beta = st.tridiagonal()
+            ritz_max = np.linalg.eigvalsh(tridiag_to_dense(alpha, beta))[-1]
+            errs.append(abs(ritz_max - true_max))
+        assert errs[2] <= errs[0] + 1e-12
+        assert errs[2] < 1e-8

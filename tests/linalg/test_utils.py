@@ -1,0 +1,93 @@
+"""Orthogonalization utilities."""
+
+import numpy as np
+import pytest
+
+from repro.linalg.utils import (
+    dgks_orthogonalize,
+    normalize_columns,
+    normalize_rows,
+    random_unit_vector,
+)
+
+
+class TestDGKS:
+    def test_orthogonalizes_against_basis(self, rng):
+        V, _ = np.linalg.qr(rng.standard_normal((20, 5)))
+        V = V.T  # rows orthonormal
+        w = rng.standard_normal(20)
+        w_orth, h = dgks_orthogonalize(V, w)
+        assert np.max(np.abs(V @ w_orth)) < 1e-12
+
+    def test_coefficients_reconstruct(self, rng):
+        V, _ = np.linalg.qr(rng.standard_normal((10, 3)))
+        V = V.T
+        w = rng.standard_normal(10)
+        w_orth, h = dgks_orthogonalize(V, w)
+        assert np.allclose(w, w_orth + V.T @ h)
+
+    def test_empty_basis(self, rng):
+        w = rng.standard_normal(7)
+        w2, h = dgks_orthogonalize(np.zeros((0, 7)), w)
+        assert np.array_equal(w2, w)
+        assert h.size == 0
+
+    def test_nearly_parallel_input_needs_refinement(self, rng):
+        # w almost inside span(V): classical GS alone would leave junk
+        V, _ = np.linalg.qr(rng.standard_normal((50, 10)))
+        V = V.T
+        w = V.T @ rng.standard_normal(10) + 1e-10 * rng.standard_normal(50)
+        w_orth, _ = dgks_orthogonalize(V, w)
+        if np.linalg.norm(w_orth) > 0:
+            assert np.max(np.abs(V @ w_orth)) < 1e-13 * max(
+                1.0, np.linalg.norm(w_orth)
+            ) + 1e-15
+
+    def test_input_not_mutated(self, rng):
+        V, _ = np.linalg.qr(rng.standard_normal((10, 2)))
+        w = rng.standard_normal(10)
+        w0 = w.copy()
+        dgks_orthogonalize(V.T, w)
+        assert np.array_equal(w, w0)
+
+
+class TestNormalize:
+    def test_columns(self, rng):
+        X = rng.standard_normal((8, 4))
+        N = normalize_columns(X)
+        assert np.allclose(np.linalg.norm(N, axis=0), 1.0)
+
+    def test_zero_column_preserved(self):
+        X = np.zeros((4, 2))
+        X[:, 1] = [3, 0, 4, 0]
+        N = normalize_columns(X)
+        assert np.all(N[:, 0] == 0)
+        assert np.linalg.norm(N[:, 1]) == pytest.approx(1.0)
+
+    def test_rows(self, rng):
+        X = rng.standard_normal((5, 7))
+        N = normalize_rows(X)
+        assert np.allclose(np.linalg.norm(N, axis=1), 1.0)
+
+    def test_zero_row_preserved(self):
+        X = np.zeros((2, 3))
+        X[0] = [1, 2, 2]
+        N = normalize_rows(X)
+        assert np.all(N[1] == 0)
+
+
+class TestRandomUnitVector:
+    def test_unit_norm(self, rng):
+        v = random_unit_vector(10, rng)
+        assert np.linalg.norm(v) == pytest.approx(1.0)
+
+    def test_orthogonal_to_basis(self, rng):
+        V, _ = np.linalg.qr(rng.standard_normal((20, 6)))
+        v = random_unit_vector(20, rng, orthogonal_to=V.T)
+        assert np.max(np.abs(V.T @ v)) < 1e-10
+
+    def test_full_space_fails(self, rng):
+        # basis spans R^2 completely: no orthogonal direction exists
+        V = np.eye(2)
+        with pytest.raises(RuntimeError):
+            random_unit_vector(2, rng, orthogonal_to=V)

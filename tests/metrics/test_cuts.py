@@ -1,0 +1,100 @@
+"""Graph-cut objectives (Eqs. 1-4)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ClusteringError
+from repro.metrics.cuts import cut_value, ncut, ratio_cut
+from repro.sparse.construct import from_edge_list
+
+
+@pytest.fixture
+def two_triangles():
+    """Two triangles joined by one bridge edge; the natural partition cuts
+    exactly that bridge."""
+    edges = np.array(
+        [[0, 1], [1, 2], [0, 2], [3, 4], [4, 5], [3, 5], [2, 3]]
+    )
+    return from_edge_list(edges, n_nodes=6), np.array([0, 0, 0, 1, 1, 1])
+
+
+class TestCut:
+    def test_bridge_cut_value(self, two_triangles):
+        W, labels = two_triangles
+        assert cut_value(W, labels) == pytest.approx(1.0)
+
+    def test_all_one_cluster_zero(self, two_triangles):
+        W, _ = two_triangles
+        assert cut_value(W, np.zeros(6, dtype=int)) == 0.0
+
+    def test_singletons_cut_everything(self, two_triangles):
+        W, _ = two_triangles
+        total_weight = W.data.sum() / 2
+        assert cut_value(W, np.arange(6)) == pytest.approx(total_weight)
+
+    def test_weighted_edges(self):
+        W = from_edge_list(np.array([[0, 1]]), weights=np.array([3.5]), n_nodes=2)
+        assert cut_value(W, np.array([0, 1])) == pytest.approx(3.5)
+
+    def test_label_length_checked(self, two_triangles):
+        W, _ = two_triangles
+        with pytest.raises(ClusteringError):
+            cut_value(W, np.zeros(5, dtype=int))
+
+    def test_negative_labels_rejected(self, two_triangles):
+        W, _ = two_triangles
+        with pytest.raises(ClusteringError):
+            cut_value(W, np.array([0, 0, 0, 1, 1, -1]))
+
+
+class TestRatioCut:
+    def test_formula(self, two_triangles):
+        W, labels = two_triangles
+        # cut of 1 split over |A|=3, |Ā|=3: (1/3 + 1/3)/2... Eq 3 with the
+        # 1/2 factor: 0.5 * (1/3 + 1/3)
+        assert ratio_cut(W, labels) == pytest.approx(0.5 * (1 / 3 + 1 / 3))
+
+    def test_penalizes_unbalanced(self, two_triangles):
+        W, balanced = two_triangles
+        unbalanced = np.array([0, 1, 1, 1, 1, 1])
+        assert ratio_cut(W, balanced) < ratio_cut(W, unbalanced)
+
+
+class TestNCut:
+    def test_formula(self, two_triangles):
+        W, labels = two_triangles
+        vol = 2 * 3 + 1  # each triangle: 6 degree + bridge endpoint
+        assert ncut(W, labels) == pytest.approx(0.5 * (1 / vol + 1 / vol))
+
+    def test_natural_partition_minimizes_over_alternatives(self, two_triangles):
+        W, labels = two_triangles
+        best = ncut(W, labels)
+        rng = np.random.default_rng(0)
+        for _ in range(30):
+            alt = rng.integers(0, 2, 6)
+            if len(set(alt.tolist())) < 2:
+                continue
+            assert ncut(W, alt) >= best - 1e-12
+
+    def test_scale_invariance(self, two_triangles):
+        """NCut is invariant to uniform edge-weight scaling (RatioCut is
+        not) — exactly why the paper optimizes NCut."""
+        W, labels = two_triangles
+        W2 = from_edge_list(
+            np.column_stack([W.row, W.col]), weights=W.data * 10,
+            n_nodes=6, symmetrize=False,
+        )
+        assert ncut(W2, labels) == pytest.approx(ncut(W, labels))
+
+    def test_bounded_by_k(self, rng):
+        from repro.sparse.construct import random_sparse
+
+        W = random_sparse(30, 30, 0.3, rng=rng, symmetric=True)
+        labels = rng.integers(0, 4, 30)
+        assert 0.0 <= ncut(W, labels) <= 4.0
+
+    def test_empty_cluster_id_gap_ok(self, two_triangles):
+        W, _ = two_triangles
+        labels = np.array([0, 0, 0, 5, 5, 5])  # ids 1-4 unused
+        v = ncut(W, labels)
+        assert np.isfinite(v) and v > 0

@@ -1,0 +1,121 @@
+"""External agreement metrics vs their defining properties (and sklearn-free
+hand-checked values)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.errors import ClusteringError
+from repro.metrics.external import (
+    adjusted_rand_index,
+    contingency_matrix,
+    normalized_mutual_info,
+    purity,
+)
+
+labelings = hnp.arrays(np.int64, st.integers(2, 60), elements=st.integers(0, 5))
+
+
+class TestContingency:
+    def test_known_table(self):
+        a = np.array([0, 0, 1, 1])
+        b = np.array([0, 1, 1, 1])
+        C = contingency_matrix(a, b)
+        assert C.tolist() == [[1, 1], [0, 2]]
+
+    def test_sums_to_n(self, rng):
+        a = rng.integers(0, 4, 50)
+        b = rng.integers(0, 3, 50)
+        assert contingency_matrix(a, b).sum() == 50
+
+    def test_noncontiguous_labels_compacted(self):
+        C = contingency_matrix(np.array([10, 99]), np.array([5, 5]))
+        assert C.shape == (2, 1)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ClusteringError):
+            contingency_matrix(np.zeros(3), np.zeros(4))
+
+
+class TestARI:
+    def test_identical_is_one(self, rng):
+        a = rng.integers(0, 5, 40)
+        assert adjusted_rand_index(a, a) == pytest.approx(1.0)
+
+    def test_permutation_invariant(self, rng):
+        a = rng.integers(0, 4, 40)
+        remap = np.array([3, 0, 2, 1])
+        assert adjusted_rand_index(a, remap[a]) == pytest.approx(1.0)
+
+    def test_random_near_zero(self, rng):
+        vals = [
+            adjusted_rand_index(rng.integers(0, 4, 500), rng.integers(0, 4, 500))
+            for _ in range(10)
+        ]
+        assert abs(np.mean(vals)) < 0.05
+
+    def test_known_value(self):
+        # classic worked example
+        a = np.array([0, 0, 0, 1, 1, 1])
+        b = np.array([0, 0, 1, 1, 2, 2])
+        assert adjusted_rand_index(a, b) == pytest.approx(0.2424242, abs=1e-6)
+
+    @given(labelings)
+    @settings(max_examples=30, deadline=None)
+    def test_symmetric(self, a):
+        b = np.roll(a, 1)
+        assert adjusted_rand_index(a, b) == pytest.approx(
+            adjusted_rand_index(b, a)
+        )
+
+    @given(labelings)
+    @settings(max_examples=30, deadline=None)
+    def test_bounded_above_by_one(self, a):
+        b = np.roll(a, 1)
+        assert adjusted_rand_index(a, b) <= 1.0 + 1e-12
+
+
+class TestNMI:
+    def test_identical_is_one(self, rng):
+        a = rng.integers(0, 5, 40)
+        # guard against degenerate single-cluster draws
+        a[0], a[1] = 0, 1
+        assert normalized_mutual_info(a, a) == pytest.approx(1.0)
+
+    def test_independent_near_zero(self, rng):
+        a = rng.integers(0, 4, 2000)
+        b = rng.integers(0, 4, 2000)
+        assert normalized_mutual_info(a, b) < 0.02
+
+    def test_range(self, rng):
+        for _ in range(10):
+            a = rng.integers(0, 6, 30)
+            b = rng.integers(0, 3, 30)
+            v = normalized_mutual_info(a, b)
+            assert -1e-12 <= v <= 1.0 + 1e-12
+
+    def test_single_cluster_convention(self):
+        a = np.zeros(10, dtype=int)
+        assert normalized_mutual_info(a, a) == 1.0
+
+
+class TestPurity:
+    def test_perfect(self, rng):
+        a = rng.integers(0, 3, 30)
+        assert purity(a, a) == 1.0
+
+    def test_known_value(self):
+        pred = np.array([0, 0, 0, 1, 1, 1])
+        truth = np.array([0, 0, 1, 1, 1, 1])
+        # cluster 0 majority=0 (2), cluster 1 majority=1 (3) -> 5/6
+        assert purity(pred, truth) == pytest.approx(5 / 6)
+
+    def test_singleton_clusters_trivially_pure(self, rng):
+        truth = rng.integers(0, 3, 20)
+        assert purity(np.arange(20), truth) == 1.0
+
+    def test_one_cluster_gives_majority_fraction(self):
+        truth = np.array([0, 0, 0, 1])
+        assert purity(np.zeros(4, dtype=int), truth) == pytest.approx(0.75)

@@ -1,0 +1,49 @@
+"""Modularity."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ClusteringError
+from repro.metrics.internal import modularity
+from repro.sparse.construct import from_edge_list
+
+
+class TestModularity:
+    def test_matches_networkx(self, sbm_graph):
+        import networkx as nx
+
+        W, labels = sbm_graph
+        coo = W
+        G = nx.Graph()
+        G.add_nodes_from(range(W.shape[0]))
+        mask = coo.row < coo.col
+        G.add_weighted_edges_from(
+            zip(coo.row[mask].tolist(), coo.col[mask].tolist(), coo.data[mask])
+        )
+        comms = [set(np.flatnonzero(labels == c)) for c in np.unique(labels)]
+        ref = nx.algorithms.community.modularity(G, comms)
+        assert modularity(W, labels) == pytest.approx(ref, abs=1e-10)
+
+    def test_good_partition_beats_random(self, sbm_graph, rng):
+        W, labels = sbm_graph
+        good = modularity(W, labels)
+        bad = modularity(W, rng.permutation(labels))
+        assert good > bad + 0.2
+
+    def test_single_cluster_zero_ish(self, sbm_graph):
+        W, labels = sbm_graph
+        q = modularity(W, np.zeros(W.shape[0], dtype=int))
+        assert q == pytest.approx(0.0, abs=1e-9)
+
+    def test_empty_graph(self):
+        W = from_edge_list(np.empty((0, 2), dtype=np.int64), n_nodes=4)
+        assert modularity(W, np.zeros(4, dtype=int)) == 0.0
+
+    def test_label_length_checked(self, sbm_graph):
+        W, _ = sbm_graph
+        with pytest.raises(ClusteringError):
+            modularity(W, np.zeros(3, dtype=int))
+
+    def test_bounded(self, sbm_graph):
+        W, labels = sbm_graph
+        assert -1.0 <= modularity(W, labels) <= 1.0

@@ -1,0 +1,84 @@
+"""BSR format: tiling, ragged padding, block matvec."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SparseFormatError, SparseValueError
+from repro.sparse.bsr import BSRMatrix
+from repro.sparse.construct import random_sparse
+
+
+class TestFromCSR:
+    def test_round_trip_exact_blocks(self, rng):
+        A = random_sparse(12, 12, 0.2, rng=rng).to_csr()
+        B = BSRMatrix.from_csr(A, 4)
+        assert np.array_equal(B.to_dense(), A.to_dense())
+
+    def test_round_trip_ragged(self, rng):
+        # 10 is not a multiple of 4: blocks must pad without corrupting
+        A = random_sparse(10, 10, 0.25, rng=rng).to_csr()
+        B = BSRMatrix.from_csr(A, 4)
+        assert np.array_equal(B.to_dense(), A.to_dense())
+
+    def test_rectangular(self, rng):
+        A = random_sparse(9, 13, 0.2, rng=rng).to_csr()
+        B = BSRMatrix.from_csr(A, 3)
+        assert B.shape == (9, 13)
+        assert np.array_equal(B.to_dense(), A.to_dense())
+
+    def test_block_size_one_is_csr_equivalent(self, rng):
+        A = random_sparse(7, 7, 0.3, rng=rng).to_csr()
+        B = BSRMatrix.from_csr(A, 1)
+        assert B.block_size == 1
+        assert np.array_equal(B.to_dense(), A.to_dense())
+
+    def test_invalid_block_size(self, rng):
+        A = random_sparse(4, 4, 0.5, rng=rng).to_csr()
+        with pytest.raises(SparseValueError):
+            BSRMatrix.from_csr(A, 0)
+
+    def test_dense_blocks_merge_nonzeros(self):
+        from repro.sparse.csr import CSRMatrix
+
+        # two nonzeros in the same 2x2 tile -> one block
+        A = CSRMatrix([0, 2, 2], [0, 1], [1.0, 2.0], (2, 2))
+        B = BSRMatrix.from_csr(A, 2)
+        assert B.n_blocks == 1
+
+
+class TestValidation:
+    def test_blocks_must_be_square_3d(self):
+        with pytest.raises(SparseFormatError):
+            BSRMatrix([0, 1], [0], np.zeros((1, 2, 3)), (2, 2))
+
+    def test_indptr_mismatch(self):
+        with pytest.raises(SparseFormatError):
+            BSRMatrix([0, 1, 1], [0], np.zeros((1, 2, 2)), (2, 2))
+
+    def test_block_col_out_of_range(self):
+        with pytest.raises(SparseFormatError):
+            BSRMatrix([0, 1], [5], np.zeros((1, 2, 2)), (2, 2))
+
+
+class TestMatvec:
+    @pytest.mark.parametrize("n,b", [(12, 4), (10, 4), (9, 3), (17, 5)])
+    def test_matches_dense(self, rng, n, b):
+        A = random_sparse(n, n, 0.2, rng=rng).to_csr()
+        B = BSRMatrix.from_csr(A, b)
+        x = rng.random(n)
+        assert np.allclose(B.matvec(x), A.to_dense() @ x)
+
+    def test_wrong_length(self, rng):
+        A = random_sparse(8, 8, 0.3, rng=rng).to_csr()
+        B = BSRMatrix.from_csr(A, 2)
+        with pytest.raises(SparseValueError):
+            B.matvec(np.zeros(9))
+
+    def test_nnz_counts_block_storage(self, rng):
+        A = random_sparse(8, 8, 0.1, rng=rng).to_csr()
+        B = BSRMatrix.from_csr(A, 4)
+        assert B.nnz == B.n_blocks * 16
+
+    def test_repr(self, rng):
+        A = random_sparse(8, 8, 0.2, rng=rng).to_csr()
+        assert "blocks" in repr(BSRMatrix.from_csr(A, 2))

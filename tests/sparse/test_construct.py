@@ -1,0 +1,94 @@
+"""Sparse constructors: edge lists, diagonals, random matrices."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SparseFormatError, SparseValueError
+from repro.sparse.construct import diags, from_edge_list, identity, random_sparse
+
+
+class TestFromEdgeList:
+    def test_symmetrizes_by_default(self):
+        W = from_edge_list(np.array([[0, 1]]), n_nodes=3)
+        d = W.to_dense()
+        assert d[0, 1] == 1.0 and d[1, 0] == 1.0
+
+    def test_weights_carried(self):
+        W = from_edge_list(np.array([[0, 1]]), weights=np.array([2.5]), n_nodes=2)
+        assert W.to_dense()[0, 1] == 2.5
+
+    def test_self_loops_dropped(self):
+        W = from_edge_list(np.array([[0, 0], [0, 1]]), n_nodes=2)
+        assert W.to_dense()[0, 0] == 0.0
+
+    def test_duplicate_edges_summed(self):
+        W = from_edge_list(np.array([[0, 1], [0, 1]]), n_nodes=2)
+        assert W.to_dense()[0, 1] == 2.0
+
+    def test_directed_mode(self):
+        W = from_edge_list(np.array([[0, 1]]), n_nodes=2, symmetrize=False)
+        d = W.to_dense()
+        assert d[0, 1] == 1.0 and d[1, 0] == 0.0
+
+    def test_n_nodes_inferred(self):
+        W = from_edge_list(np.array([[0, 4]]))
+        assert W.shape == (5, 5)
+
+    def test_bad_shape(self):
+        with pytest.raises(SparseValueError):
+            from_edge_list(np.array([0, 1, 2]))
+
+    def test_weight_length_mismatch(self):
+        with pytest.raises(SparseValueError):
+            from_edge_list(np.array([[0, 1]]), weights=np.ones(2))
+
+
+class TestDiagsIdentity:
+    def test_diags(self, rng):
+        d = rng.random(5)
+        D = diags(d)
+        assert np.allclose(D.to_dense(), np.diag(d))
+
+    def test_identity(self):
+        I = identity(4)
+        assert np.array_equal(I.to_dense(), np.eye(4))
+
+    def test_identity_negative(self):
+        with pytest.raises(SparseFormatError):
+            identity(-1)
+
+    def test_diag_matvec(self, rng):
+        d = rng.random(6)
+        x = rng.random(6)
+        assert np.allclose(diags(d).matvec(x), d * x)
+
+
+class TestRandomSparse:
+    def test_density_approx(self, rng):
+        A = random_sparse(100, 100, 0.1, rng=rng)
+        assert 0.05 < A.nnz / 10000 <= 0.15
+
+    def test_symmetric(self, rng):
+        A = random_sparse(50, 50, 0.1, rng=rng, symmetric=True)
+        d = A.to_dense()
+        assert np.allclose(d, d.T)
+
+    def test_symmetric_requires_square(self, rng):
+        with pytest.raises(SparseValueError):
+            random_sparse(3, 4, 0.5, rng=rng, symmetric=True)
+
+    def test_density_bounds(self, rng):
+        with pytest.raises(SparseValueError):
+            random_sparse(3, 3, 1.5, rng=rng)
+
+    def test_zero_density(self, rng):
+        assert random_sparse(10, 10, 0.0, rng=rng).nnz == 0
+
+    def test_indices_in_range(self, rng):
+        A = random_sparse(20, 30, 0.2, rng=rng)
+        assert A.row.max() < 20 and A.col.max() < 30
+
+    def test_reproducible_with_seed(self):
+        A = random_sparse(20, 20, 0.2, rng=np.random.default_rng(5))
+        B = random_sparse(20, 20, 0.2, rng=np.random.default_rng(5))
+        assert np.array_equal(A.to_dense(), B.to_dense())

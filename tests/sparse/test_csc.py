@@ -1,0 +1,83 @@
+"""CSC format semantics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SparseFormatError, SparseValueError
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csc import CSCMatrix
+
+
+def simple_csc():
+    # column-compressed form of [[1, 2, 0], [0, 0, 3], [4, 0, 0]]
+    return CSCMatrix([0, 2, 3, 4], [0, 2, 0, 1], [1.0, 4.0, 2.0, 3.0], (3, 3))
+
+
+class TestValidation:
+    def test_indptr_length(self):
+        with pytest.raises(SparseFormatError):
+            CSCMatrix([0, 1], [0], [1.0], (3, 3))
+
+    def test_row_out_of_range(self):
+        with pytest.raises(SparseFormatError):
+            CSCMatrix([0, 1, 1, 1], [9], [1.0], (3, 3))
+
+    def test_monotone_indptr(self):
+        with pytest.raises(SparseFormatError):
+            CSCMatrix([0, 2, 1, 3], [0, 1, 2], [1.0] * 3, (3, 3))
+
+
+class TestOps:
+    def test_dense(self):
+        assert np.array_equal(
+            simple_csc().to_dense(), [[1, 2, 0], [0, 0, 3], [4, 0, 0]]
+        )
+
+    def test_matvec(self, rng):
+        A = simple_csc()
+        x = rng.random(3)
+        assert np.allclose(A.matvec(x), A.to_dense() @ x)
+
+    def test_matvec_wrong_len(self):
+        with pytest.raises(SparseValueError):
+            simple_csc().matvec(np.zeros(5))
+
+    def test_rmatvec(self, rng):
+        A = simple_csc()
+        x = rng.random(3)
+        assert np.allclose(A.rmatvec(x), A.to_dense().T @ x)
+
+    def test_col_sums(self):
+        assert np.allclose(simple_csc().col_sums(), [5.0, 2.0, 3.0])
+
+    def test_getcol(self):
+        rows, vals = simple_csc().getcol(0)
+        assert rows.tolist() == [0, 2]
+        assert vals.tolist() == [1.0, 4.0]
+
+    def test_getcol_out_of_range(self):
+        with pytest.raises(SparseValueError):
+            simple_csc().getcol(5)
+
+    def test_transpose(self):
+        A = simple_csc()
+        assert np.array_equal(A.T.to_dense(), A.to_dense().T)
+
+    def test_round_trips(self):
+        A = simple_csc()
+        assert np.array_equal(A.to_coo().to_dense(), A.to_dense())
+        assert np.array_equal(A.to_csr().to_dense(), A.to_dense())
+        assert np.array_equal(A.to_csr().to_csc().to_dense(), A.to_dense())
+
+    def test_copy_independent(self):
+        A = simple_csc()
+        B = A.copy()
+        B.data[0] = -1.0
+        assert A.data[0] == 1.0
+
+    def test_rectangular(self, rng):
+        coo = COOMatrix([0, 3], [1, 0], [2.0, 5.0], (4, 2))
+        A = coo.to_csc()
+        assert A.shape == (4, 2)
+        x = rng.random(2)
+        assert np.allclose(A.matvec(x), A.to_dense() @ x)

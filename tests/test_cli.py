@@ -1,0 +1,40 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestCLI:
+    def test_datasets_lists_table2(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        for name in ("dti", "fb", "dblp", "syn200"):
+            assert name in out
+        assert "142541" in out
+
+    def test_run_graph_dataset(self, capsys):
+        assert main(["run", "syn200", "--scale", "0.03"]) == 0
+        out = capsys.readouterr().out
+        assert "eigensolver" in out
+        assert "ARI" in out
+
+    def test_run_with_cluster_override(self, capsys):
+        assert main(["run", "fb", "--scale", "0.1", "--clusters", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "k=4" in out
+        assert "ARI" not in out  # override disables ground-truth scoring
+
+    def test_compare(self, capsys):
+        assert main(["compare", "fb", "--scale", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "Matlab" in out
+        assert "winner" in out
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "imagenet"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

@@ -1,0 +1,49 @@
+"""Exception hierarchy contract: everything catchable via ReproError."""
+
+import inspect
+
+import pytest
+
+from repro import errors
+
+
+def _all_error_classes():
+    return [
+        obj
+        for _, obj in inspect.getmembers(errors, inspect.isclass)
+        if issubclass(obj, Exception) and obj.__module__ == "repro.errors"
+    ]
+
+
+class TestHierarchy:
+    def test_everything_derives_from_repro_error(self):
+        for cls in _all_error_classes():
+            assert issubclass(cls, errors.ReproError), cls
+
+    def test_cuda_errors_grouped(self):
+        for cls in (
+            errors.DeviceMemoryError,
+            errors.InvalidKernelLaunch,
+            errors.DeviceArrayError,
+            errors.StreamError,
+        ):
+            assert issubclass(cls, errors.CudaError)
+
+    def test_sparse_value_error_is_format_error(self):
+        assert issubclass(errors.SparseValueError, errors.SparseFormatError)
+
+    def test_rci_error_is_eigensolver_error(self):
+        assert issubclass(
+            errors.ReverseCommunicationError, errors.EigensolverError
+        )
+
+    def test_single_catch_covers_library(self, rng):
+        """One except clause suffices for any library failure mode."""
+        from repro.sparse.coo import COOMatrix
+
+        with pytest.raises(errors.ReproError):
+            COOMatrix([99], [0], [1.0], (2, 2))
+
+    def test_all_documented(self):
+        for cls in _all_error_classes():
+            assert cls.__doc__, f"{cls.__name__} lacks a docstring"
