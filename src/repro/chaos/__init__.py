@@ -1,0 +1,39 @@
+"""``repro.chaos`` — deterministic fault injection and resilience policies.
+
+The simulated CUDA runtime consults the active :class:`FaultPlan` at every
+allocation, transfer, kernel-launch and library-call site; the pipeline's
+resilience layer (retry-with-backoff, OOM degradation, CPU fallback,
+eigensolver checkpoint/restart) turns those faults into recoveries instead
+of lost runs.  See ``docs/fault_injection.md`` for the full model.
+"""
+
+from repro.chaos.plan import (
+    FAULT_ERRORS,
+    FaultEvent,
+    FaultPlan,
+    FaultSpec,
+    KNOWN_SITES,
+)
+from repro.chaos.retry import (
+    DISABLED,
+    ResiliencePolicy,
+    TRANSIENT_ERRORS,
+    with_retry,
+)
+from repro.chaos.runtime import active_plan, chaos, chaos_check, install_plan
+
+__all__ = [
+    "FAULT_ERRORS",
+    "KNOWN_SITES",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultSpec",
+    "ResiliencePolicy",
+    "DISABLED",
+    "TRANSIENT_ERRORS",
+    "with_retry",
+    "active_plan",
+    "chaos",
+    "chaos_check",
+    "install_plan",
+]

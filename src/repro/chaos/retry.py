@@ -1,0 +1,92 @@
+"""Resilience policies: retry-with-backoff on the simulated clock.
+
+Backoff between attempts is *simulated* time: each scheduled retry records
+an ``overhead`` event on the device timeline, so a faulted-and-recovered
+run honestly costs more simulated seconds than a clean one — exactly as a
+real driver-level retry would stall the stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, TypeVar
+
+from repro.errors import TransferError, TransientKernelError
+
+#: the error classes a retry may recover from (the fault performed no work)
+TRANSIENT_ERRORS = (TransientKernelError, TransferError)
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """How the pipeline responds to device faults.
+
+    Attributes
+    ----------
+    enabled:
+        Master switch; a disabled policy lets every fault propagate.
+    max_attempts:
+        Total tries per operation (1 = no retries).
+    backoff, multiplier:
+        Simulated seconds charged before the first retry, growing
+        geometrically (exponential backoff).
+    oom_degrade:
+        On device OOM, shrink the stage's working-set knob
+        (``tile_rows`` / ``edge_chunk``) and try again.
+    cpu_fallback:
+        After GPU attempts are exhausted, rerun the stage on the host
+        (similarity/Laplacian reference builders, host SpMV in the
+        eigensolver, ``kmeans_cpu``), recorded per-stage in the result.
+    max_resumes:
+        Checkpoint resumes allowed in the eigensolver before falling back
+        or giving up.
+    """
+
+    enabled: bool = True
+    max_attempts: int = 3
+    backoff: float = 1e-3
+    multiplier: float = 2.0
+    oom_degrade: bool = True
+    cpu_fallback: bool = True
+    max_resumes: int = 3
+
+
+#: the policy used when resilience is switched off (CLI ``--no-resilience``)
+DISABLED = ResiliencePolicy(enabled=False)
+
+
+def with_retry(
+    fn: Callable[[], T],
+    device,
+    policy: ResiliencePolicy | None,
+    site: str = "op",
+    errors: tuple = TRANSIENT_ERRORS,
+    on_retry: Callable[[int], None] | None = None,
+) -> T:
+    """Run ``fn`` with retry-with-backoff under ``policy``.
+
+    Backoff is charged to ``device``'s timeline as ``overhead`` events.
+    ``on_retry`` (if given) is called with the 1-based attempt number that
+    just failed, before the retry is issued — callers use it to count
+    recoveries.  The last failure propagates unchanged.
+    """
+    if policy is None or not policy.enabled:
+        return fn()
+    delay = policy.backoff
+    attempt = 1
+    while True:
+        try:
+            return fn()
+        except errors:
+            if attempt >= policy.max_attempts:
+                raise
+            if on_retry is not None:
+                on_retry(attempt)
+            device.timeline.record(f"chaos::backoff[{site}]", "overhead", delay)
+            delay *= policy.multiplier
+            attempt += 1
+
+
+__all__ = ["ResiliencePolicy", "DISABLED", "TRANSIENT_ERRORS", "with_retry"]

@@ -1,0 +1,67 @@
+"""Plan installation and the site-side hook.
+
+The simulated runtime calls :func:`chaos_check` at every fault site; with
+no plan installed this is a near-free early return, so the chaos subsystem
+costs nothing when unused.  A plan is installed process-wide with
+:func:`install_plan` or, preferably, scoped with the :func:`chaos` context
+manager::
+
+    plan = FaultPlan([FaultSpec("cusparse.csrmv", "transient", nth=3)])
+    with chaos(plan):
+        result = SpectralClustering(k).fit(graph=W)
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator
+
+from repro.chaos.plan import FaultPlan
+
+_active: FaultPlan | None = None
+
+
+def install_plan(plan: FaultPlan | None) -> None:
+    """Install ``plan`` process-wide (``None`` disables injection)."""
+    global _active
+    _active = plan
+
+
+def active_plan() -> FaultPlan | None:
+    """The currently installed plan, if any."""
+    return _active
+
+
+@contextlib.contextmanager
+def chaos(plan: FaultPlan) -> Iterator[FaultPlan]:
+    """Install ``plan`` for the duration of the block (re-entrant)."""
+    global _active
+    prev = _active
+    _active = plan
+    try:
+        yield plan
+    finally:
+        _active = prev
+
+
+def chaos_check(site: str, device=None, nbytes: int = 0) -> None:
+    """Consult the active plan at one fault site (no-op without a plan).
+
+    Parameters
+    ----------
+    site:
+        Canonical site name (see :data:`~repro.chaos.plan.KNOWN_SITES`).
+    device:
+        The :class:`~repro.cuda.device.Device` at the site, used to read
+        the current pipeline-stage tag for stage-scoped fault rules.
+    nbytes:
+        Bytes moved/allocated by this call, feeding byte-threshold
+        triggers.
+    """
+    plan = _active
+    if plan is None:
+        return
+    stage = ""
+    if device is not None:
+        stage = device.timeline._tag
+    plan.check(site, stage=stage, nbytes=nbytes)

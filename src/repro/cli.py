@@ -29,14 +29,29 @@ def _cmd_datasets(_args) -> int:
     return 0
 
 
-def _cmd_run(args) -> int:
-    from repro.core.pipeline import SpectralClustering
+def _load_workload(args):
+    """Resolve the dataset argument: a registry name or an ``.npz`` path."""
+    if str(args.dataset).endswith(".npz"):
+        from repro.datasets.io import load_problem
+
+        return load_problem(args.dataset)
     from repro.datasets.registry import load_dataset
+
+    return load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+
+
+def _cmd_run(args) -> int:
+    from repro.chaos.retry import DISABLED
+    from repro.core.pipeline import SpectralClustering
     from repro.metrics.external import adjusted_rand_index
 
-    ds = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    ds = _load_workload(args)
     k = args.clusters if args.clusters else ds.n_clusters
-    sc = SpectralClustering(n_clusters=k, eig_tol=args.tol, seed=args.seed)
+    sc = SpectralClustering(
+        n_clusters=k, eig_tol=args.tol, seed=args.seed,
+        chaos=args.chaos,
+        resilience=DISABLED if args.no_resilience else None,
+    )
     if ds.points is not None:
         res = sc.fit(X=ds.points, edges=ds.edges)
     else:
@@ -72,7 +87,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     def common(sp):
-        sp.add_argument("dataset", choices=["dti", "fb", "dblp", "syn200"])
+        sp.add_argument(
+            "dataset",
+            help="a registered workload (dti, fb, dblp, syn200) or the "
+            "path of an .npz problem file written by save_problem",
+        )
         sp.add_argument("--scale", type=float, default=0.05,
                         help="workload size relative to the paper (default 0.05)")
         sp.add_argument("--seed", type=int, default=0)
@@ -83,6 +102,12 @@ def build_parser() -> argparse.ArgumentParser:
     common(run_p)
     run_p.add_argument("--clusters", type=int, default=0,
                        help="override the dataset's cluster count")
+    run_p.add_argument("--chaos", type=int, default=None, metavar="SEED",
+                       help="inject a deterministic fault schedule derived "
+                       "from SEED (see repro.chaos)")
+    run_p.add_argument("--no-resilience", action="store_true",
+                       help="let injected faults propagate instead of "
+                       "retrying/degrading/falling back")
     run_p.set_defaults(fn=_cmd_run)
 
     cmp_p = sub.add_parser("compare", help="CUDA vs Matlab vs Python columns")
@@ -93,7 +118,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    from repro.errors import ReproError
+
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -13,31 +13,95 @@ platform:
 
 Graph input (FB/DBLP/Syn200-style) enters directly at step 2, exactly as
 §II notes.
+
+Fault injection and resilience
+------------------------------
+``chaos=`` installs a :class:`~repro.chaos.plan.FaultPlan` (or builds one
+from an integer seed) for the duration of the fit, making the simulated
+runtime raise typed :class:`~repro.errors.CudaError`\\ s at planned sites.
+``resilience=`` selects the :class:`~repro.chaos.retry.ResiliencePolicy`
+response: transient faults retry with simulated-clock backoff, device OOM
+shrinks the stage's working-set knob (``edge_chunk`` / ``tile_rows``) and
+retries, the eigensolver resumes from its latest Lanczos checkpoint, and
+as a last resort each stage falls back to its host implementation.  Every
+recovery is recorded per-stage in ``result.resilience``.
 """
 
 from __future__ import annotations
 
+import contextlib
 import time
 
 import numpy as np
 
+from repro.chaos.plan import FaultPlan
+from repro.chaos.retry import ResiliencePolicy, TRANSIENT_ERRORS, with_retry
+from repro.chaos.runtime import chaos as _chaos_scope
 from repro.core.result import ClusteringResult, StageTimings
 from repro.core.workflow import hybrid_eigensolver
 from repro.cuda.device import Device
 from repro.cuda.profiler import Profiler
-from repro.cusparse.matrices import coo_to_device
-from repro.errors import ClusteringError
-from repro.graph.build import build_similarity_device
+from repro.cusparse.matrices import coo_to_device, csr_to_device
+from repro.errors import ChaosError, ClusteringError, CudaError, DeviceMemoryError
+from repro.graph.build import build_similarity_device, build_similarity_graph
 from repro.graph.components import remove_isolated
 from repro.graph.laplacian import (
+    degrees,
     device_rw_normalize,
     device_shifted_laplacian,
     device_sym_normalize,
+    rw_normalized_adjacency,
+    sym_normalized_adjacency,
 )
+from repro.kmeans.cpu import kmeans_cpu
 from repro.kmeans.gpu import kmeans_device
 from repro.linalg.utils import normalize_rows
+from repro.sparse.construct import diags
 from repro.sparse.coo import COOMatrix
 from repro.sparse.csr import CSRMatrix
+
+
+def _run_resilient(device, policy, stage, gpu_attempts, cpu_fn):
+    """Run one pipeline stage under a resilience policy.
+
+    ``gpu_attempts`` is the degrade ladder: zero-arg callables tried in
+    order, each internally retried for transient faults with backoff.  A
+    :class:`DeviceMemoryError` advances to the next (smaller working set)
+    rung; exhausted transients or any other device error drop to
+    ``cpu_fn`` (the host implementation) when the policy allows it.
+
+    Returns ``(value, record)`` where ``record`` tallies the recovery
+    actions taken (all zero/None on a clean first attempt).
+    """
+    rec = {"retries": 0, "degrade_steps": 0, "resumes": 0, "fallback": None}
+
+    def count(_attempt: int) -> None:
+        rec["retries"] += 1
+
+    if not policy.enabled:
+        return gpu_attempts[0](), rec
+
+    last_err: CudaError | None = None
+    for rung, attempt in enumerate(gpu_attempts):
+        try:
+            value = with_retry(
+                attempt, device, policy, site=f"stage.{stage}", on_retry=count
+            )
+            rec["degrade_steps"] = rung
+            return value, rec
+        except DeviceMemoryError as err:
+            last_err = err
+            if not policy.oom_degrade:
+                break
+            # fall through to the next rung with a smaller working set
+        except CudaError as err:
+            last_err = err
+            break
+    if cpu_fn is not None and policy.cpu_fallback:
+        rec["fallback"] = "cpu"
+        return cpu_fn(), rec
+    assert last_err is not None
+    raise last_err
 
 
 class SpectralClustering:
@@ -88,6 +152,14 @@ class SpectralClustering:
     device:
         Supply a :class:`~repro.cuda.device.Device` to share/inspect the
         timeline; a fresh K20c is created per fit otherwise.
+    chaos:
+        Fault injection: a :class:`~repro.chaos.plan.FaultPlan`, an int
+        seed (expanded with :meth:`FaultPlan.from_seed` at each fit, so
+        equal seeds give identical schedules), or None (no faults).
+    resilience:
+        A :class:`~repro.chaos.retry.ResiliencePolicy`; None selects the
+        default enabled policy.  Pass
+        :data:`~repro.chaos.retry.DISABLED` to let faults propagate.
     """
 
     def __init__(
@@ -106,6 +178,8 @@ class SpectralClustering:
         handle_isolated: str = "remove",
         seed: int | None = 0,
         device: Device | None = None,
+        chaos: FaultPlan | int | None = None,
+        resilience: ResiliencePolicy | None = None,
     ) -> None:
         if n_clusters < 2:
             raise ClusteringError(f"n_clusters must be >= 2, got {n_clusters}")
@@ -118,6 +192,11 @@ class SpectralClustering:
         if handle_isolated not in ("remove", "error"):
             raise ClusteringError(
                 f"handle_isolated must be 'remove' or 'error', got {handle_isolated!r}"
+            )
+        if chaos is not None and not isinstance(chaos, (int, FaultPlan)):
+            raise ChaosError(
+                f"chaos must be a FaultPlan, an int seed or None, "
+                f"got {type(chaos).__name__}"
             )
         self.n_clusters = n_clusters
         self.similarity = similarity
@@ -133,6 +212,21 @@ class SpectralClustering:
         self.handle_isolated = handle_isolated
         self.seed = seed
         self.device = device
+        self.chaos = chaos
+        self.resilience = resilience
+
+    # ------------------------------------------------------------------
+    def _fault_plan(self) -> FaultPlan | None:
+        if self.chaos is None:
+            return None
+        if isinstance(self.chaos, FaultPlan):
+            return self.chaos
+        return FaultPlan.from_seed(self.chaos)
+
+    def _policy(self) -> ResiliencePolicy:
+        if self.resilience is None:
+            return ResiliencePolicy()
+        return self.resilience
 
     # ------------------------------------------------------------------
     def fit(
@@ -156,24 +250,78 @@ class SpectralClustering:
             raise ClusteringError("point input requires the ε-neighborhood edges")
 
         device = self.device if self.device is not None else Device()
+        policy = self._policy()
+        plan = self._fault_plan()
+        scope = _chaos_scope(plan) if plan is not None else contextlib.nullcontext()
+        with scope:
+            return self._fit_under_plan(device, policy, plan, X, edges, graph)
+
+    # ------------------------------------------------------------------
+    def _fit_under_plan(
+        self, device, policy, plan, X, edges, graph
+    ) -> ClusteringResult:
         prof = Profiler(device)
         prof.start()
         timings = StageTimings()
+        resilience: dict[str, dict] = {}
+
+        def note(stage: str, rec: dict) -> None:
+            if any(bool(v) for v in rec.values()):
+                resilience[stage] = rec
+
+        def fresh_rec() -> dict:
+            return {"retries": 0, "degrade_steps": 0, "resumes": 0,
+                    "fallback": None}
+
+        def upload(fn, stage_name: str, rec: dict):
+            # uploads are idempotent, so even an injected OOM is retryable
+            def bump(_attempt: int) -> None:
+                rec["retries"] += 1
+
+            return with_retry(
+                fn, device, policy, site=f"{stage_name}.upload",
+                errors=TRANSIENT_ERRORS + (DeviceMemoryError,), on_retry=bump,
+            )
 
         # ---- stage 1: similarity matrix ---------------------------------
         t0 = time.perf_counter()
         sim_start = device.elapsed
+        point_input = X is not None
         if point_input:
-            n_total = np.asarray(X).shape[0]
-            dcoo = build_similarity_device(
-                device, np.asarray(X), np.asarray(edges),
-                measure=self.similarity, sigma=self.sigma,
+            X_arr = np.asarray(X)
+            edges_arr = np.asarray(edges)
+            n_total = X_arr.shape[0]
+            n_edges = max(1, int(edges_arr.shape[0]))
+
+            def build_gpu(chunk):
+                return lambda: build_similarity_device(
+                    device, X_arr, edges_arr,
+                    measure=self.similarity, sigma=self.sigma, edge_chunk=chunk,
+                )
+
+            def build_cpu():
+                W = build_similarity_graph(
+                    X_arr, edges_arr, measure=self.similarity, sigma=self.sigma
+                )
+                with device.stage("similarity"):
+                    return with_retry(
+                        lambda: coo_to_device(device, W.sorted_by_row()),
+                        device, policy, site="similarity.upload",
+                    )
+
+            dcoo, rec = _run_resilient(
+                device, policy, "similarity",
+                [build_gpu(None),
+                 build_gpu(max(1, n_edges // 8)),
+                 build_gpu(max(1, n_edges // 64))],
+                build_cpu,
             )
             # isolated-node check on the host mirror of the device graph
             deg = np.bincount(dcoo.row.data, weights=dcoo.val.data, minlength=n_total)
             kept = np.flatnonzero(deg > 0)
             if kept.size < n_total:
                 if self.handle_isolated == "error":
+                    dcoo.free()
                     raise ClusteringError(
                         f"{n_total - kept.size} isolated nodes; the paper "
                         "requires D_ii > 0 (use handle_isolated='remove')"
@@ -185,7 +333,13 @@ class SpectralClustering:
                 W_sub, kept = remove_isolated(host_coo)
                 dcoo.free()
                 with device.stage("similarity"):
-                    dcoo = coo_to_device(device, W_sub.to_coo().sorted_by_row())
+                    dcoo = upload(
+                        lambda: coo_to_device(
+                            device, W_sub.to_coo().sorted_by_row()
+                        ),
+                        "similarity", rec,
+                    )
+            note("similarity", rec)
         else:
             assert graph is not None
             n_total = graph.shape[0]
@@ -196,68 +350,143 @@ class SpectralClustering:
                     f"{n_total - kept.size} isolated nodes; the paper "
                     "requires D_ii > 0 (use handle_isolated='remove')"
                 )
+            rec = fresh_rec()
             with device.stage("similarity"):
-                dcoo = coo_to_device(device, W_sub.to_coo().sorted_by_row())
+                dcoo = upload(
+                    lambda: coo_to_device(device, W_sub.to_coo().sorted_by_row()),
+                    "similarity", rec,
+                )
+            note("similarity", rec)
         n = dcoo.shape[0]
         timings.wall["similarity"] = time.perf_counter() - t0
         timings.simulated["similarity"] = device.elapsed - sim_start
 
-        if n <= self.n_clusters:
-            raise ClusteringError(
-                f"only {n} non-isolated nodes for k={self.n_clusters} clusters"
+        dcsr = None
+        try:
+            if n <= self.n_clusters:
+                raise ClusteringError(
+                    f"only {n} non-isolated nodes for k={self.n_clusters} clusters"
+                )
+
+            # ---- stage 2: normalized operator (Algorithm 2) ------------------
+            t0 = time.perf_counter()
+            lap_start = device.elapsed
+            # keep degrees for the sym->rw eigenvector back-mapping
+            deg_kept = np.bincount(
+                dcoo.row.data, weights=dcoo.val.data, minlength=dcoo.shape[0]
             )
+            # ScaleElements rescales the COO values in place, so a retried
+            # attempt must first restore them from this host mirror
+            val0 = dcoo.val.data.copy() if policy.enabled else None
 
-        # ---- stage 2: normalized operator (Algorithm 2) ------------------
-        t0 = time.perf_counter()
-        lap_start = device.elapsed
-        # keep degrees for the sym->rw eigenvector back-mapping
-        deg_kept = np.bincount(
-            dcoo.row.data, weights=dcoo.val.data, minlength=dcoo.shape[0]
-        )
-        shift = 0.0
-        if self.objective == "ratiocut":
-            dcsr, shift = device_shifted_laplacian(dcoo)
-        elif self.operator == "sym":
-            dcsr = device_sym_normalize(dcoo)
-        else:
-            dcsr = device_rw_normalize(dcoo)
-        timings.wall["laplacian"] = time.perf_counter() - t0
-        timings.simulated["laplacian"] = device.elapsed - lap_start
+            def lap_gpu():
+                if val0 is not None:
+                    dcoo.val.data[...] = val0
+                if self.objective == "ratiocut":
+                    return device_shifted_laplacian(dcoo)
+                if self.operator == "sym":
+                    return device_sym_normalize(dcoo), 0.0
+                return device_rw_normalize(dcoo), 0.0
 
-        # ---- stage 3: eigensolver (Algorithm 3) --------------------------
-        t0 = time.perf_counter()
-        eig_start = device.elapsed
-        theta, U, stats = hybrid_eigensolver(
-            device, dcsr, k=self.n_clusters, m=self.m,
-            tol=self.eig_tol, maxiter=self.eig_maxiter, seed=self.seed,
-        )
-        if self.objective == "ratiocut":
-            # top of cI - L == bottom of L: report λ(L) ascending
-            order = np.argsort(theta)[::-1]
-            theta = shift - theta[order]
-            U = U[:, order]
-        else:
-            # largest k eigenvalues of D^{-1}W == smallest of L_n (§IV.B)
-            order = np.argsort(theta)[::-1]
-            theta = theta[order]
-            U = U[:, order]
-            if self.operator == "sym":
-                # map eigenvectors of D^{-1/2}WD^{-1/2} to those of D^{-1}W
-                inv_sqrt = 1.0 / np.sqrt(np.where(deg_kept > 0, deg_kept, 1.0))
-                U = U * inv_sqrt[:, None]
-        embedding = normalize_rows(U) if self.normalize_rows else U
-        timings.wall["eigensolver"] = time.perf_counter() - t0
-        timings.simulated["eigensolver"] = device.elapsed - eig_start
+            def lap_cpu():
+                vals = (val0 if val0 is not None else dcoo.val.data).copy()
+                W_host = COOMatrix(
+                    dcoo.row.data.copy(), dcoo.col.data.copy(), vals,
+                    dcoo.shape, check=False,
+                )
+                if self.objective == "ratiocut":
+                    d = degrees(W_host)
+                    c = 2.0 * float(d.max()) if d.size else 0.0
+                    host_csr = diags(c - d).add(W_host.to_csr())
+                    sh = c
+                elif self.operator == "sym":
+                    host_csr = sym_normalized_adjacency(W_host)
+                    sh = 0.0
+                else:
+                    host_csr = rw_normalized_adjacency(W_host)
+                    sh = 0.0
+                with device.stage("laplacian"):
+                    up = with_retry(
+                        lambda: csr_to_device(device, host_csr),
+                        device, policy, site="laplacian.upload",
+                    )
+                return up, sh
 
-        # ---- stage 4: k-means (Algorithms 4-5) ---------------------------
-        t0 = time.perf_counter()
-        km_start = device.elapsed
-        km = kmeans_device(
-            device, embedding, self.n_clusters,
-            init=self.kmeans_init, max_iter=self.kmeans_max_iter, seed=self.seed,
-        )
-        timings.wall["kmeans"] = time.perf_counter() - t0
-        timings.simulated["kmeans"] = device.elapsed - km_start
+            (dcsr, shift), rec = _run_resilient(
+                device, policy, "laplacian", [lap_gpu], lap_cpu
+            )
+            note("laplacian", rec)
+            dcoo.free()
+            timings.wall["laplacian"] = time.perf_counter() - t0
+            timings.simulated["laplacian"] = device.elapsed - lap_start
+
+            # ---- stage 3: eigensolver (Algorithm 3) --------------------------
+            t0 = time.perf_counter()
+            eig_start = device.elapsed
+            theta, U, stats = hybrid_eigensolver(
+                device, dcsr, k=self.n_clusters, m=self.m,
+                tol=self.eig_tol, maxiter=self.eig_maxiter, seed=self.seed,
+                policy=policy,
+            )
+            note("eigensolver", {
+                "retries": stats.spmv_retries,
+                "degrade_steps": 0,
+                "resumes": stats.n_resumes,
+                "fallback": stats.fallback,
+            })
+            dcsr.free()
+            if self.objective == "ratiocut":
+                # top of cI - L == bottom of L: report λ(L) ascending
+                order = np.argsort(theta)[::-1]
+                theta = shift - theta[order]
+                U = U[:, order]
+            else:
+                # largest k eigenvalues of D^{-1}W == smallest of L_n (§IV.B)
+                order = np.argsort(theta)[::-1]
+                theta = theta[order]
+                U = U[:, order]
+                if self.operator == "sym":
+                    # map eigenvectors of D^{-1/2}WD^{-1/2} to those of D^{-1}W
+                    inv_sqrt = 1.0 / np.sqrt(np.where(deg_kept > 0, deg_kept, 1.0))
+                    U = U * inv_sqrt[:, None]
+            embedding = normalize_rows(U) if self.normalize_rows else U
+            timings.wall["eigensolver"] = time.perf_counter() - t0
+            timings.simulated["eigensolver"] = device.elapsed - eig_start
+
+            # ---- stage 4: k-means (Algorithms 4-5) ---------------------------
+            t0 = time.perf_counter()
+            km_start = device.elapsed
+            n_emb = embedding.shape[0]
+
+            def km_gpu(tile):
+                return lambda: kmeans_device(
+                    device, embedding, self.n_clusters,
+                    init=self.kmeans_init, max_iter=self.kmeans_max_iter,
+                    seed=self.seed, tile_rows=tile,
+                )
+
+            def km_cpu():
+                return kmeans_cpu(
+                    embedding, self.n_clusters,
+                    init=self.kmeans_init, max_iter=self.kmeans_max_iter,
+                    seed=self.seed,
+                )
+
+            km, rec = _run_resilient(
+                device, policy, "kmeans",
+                [km_gpu(None),
+                 km_gpu(max(1, n_emb // 4)),
+                 km_gpu(max(1, n_emb // 16))],
+                km_cpu,
+            )
+            note("kmeans", rec)
+            timings.wall["kmeans"] = time.perf_counter() - t0
+            timings.simulated["kmeans"] = device.elapsed - km_start
+        finally:
+            # a fault that escapes resilience must not leak the operator
+            dcoo.free()
+            if dcsr is not None:
+                dcsr.free()
 
         labels_full = np.full(n_total, -1, dtype=np.int64)
         labels_full[kept] = km.labels
@@ -271,4 +500,6 @@ class SpectralClustering:
             profile=report,
             eig_stats=stats.as_dict(),
             kept=kept,
+            resilience=resilience,
+            fault_events=plan.schedule if plan is not None else (),
         )

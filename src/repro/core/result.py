@@ -67,6 +67,13 @@ class ClusteringResult:
         Eigensolver counters (ops, restarts, PCIe round trips).
     kept:
         Original indices of non-isolated nodes that were clustered.
+    resilience:
+        Per-stage fault-recovery record: ``{stage: {"retries": int,
+        "degrade_steps": int, "resumes": int, "fallback": "cpu" | None}}``.
+        Empty when the run saw no faults and no resilience policy.
+    fault_events:
+        The :class:`~repro.chaos.plan.FaultEvent` records fired by an
+        installed chaos plan during this run, in firing order.
     """
 
     labels: np.ndarray
@@ -77,6 +84,17 @@ class ClusteringResult:
     profile: ProfileReport
     eig_stats: dict
     kept: np.ndarray
+    resilience: dict = field(default_factory=dict)
+    fault_events: tuple = ()
+
+    @property
+    def degraded_stages(self) -> tuple[str, ...]:
+        """Stages that recovered from a fault (retry, degrade, or fallback)."""
+        return tuple(
+            stage for stage, rec in self.resilience.items()
+            if rec.get("retries") or rec.get("degrade_steps")
+            or rec.get("resumes") or rec.get("fallback")
+        )
 
     @property
     def n_clusters(self) -> int:
@@ -96,4 +114,18 @@ class ClusteringResult:
             f"communication {self.profile.communication:.4f}s vs "
             f"computation {self.profile.computation:.4f}s (simulated)",
         ]
+        if self.fault_events:
+            lines.append(f"injected faults fired: {len(self.fault_events)}")
+        for stage in self.degraded_stages:
+            rec = self.resilience[stage]
+            parts = []
+            if rec.get("retries"):
+                parts.append(f"{rec['retries']} retries")
+            if rec.get("degrade_steps"):
+                parts.append(f"degraded x{rec['degrade_steps']}")
+            if rec.get("resumes"):
+                parts.append(f"{rec['resumes']} checkpoint resumes")
+            if rec.get("fallback"):
+                parts.append(f"finished on {rec['fallback']}")
+            lines.append(f"resilience[{stage}]: " + ", ".join(parts))
         return "\n".join(lines)

@@ -23,17 +23,26 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.chaos.retry import DISABLED, ResiliencePolicy, TRANSIENT_ERRORS, with_retry
 from repro.cuda.device import Device
 from repro.cusparse.matrices import DeviceCSR
 from repro.cusparse.spmv import csrmv
+from repro.errors import CudaError, DeviceMemoryError
 from repro.hw.costmodel import CPUCostModel
 from repro.hw.spec import CPUSpec, XEON_E5_2690
 from repro.linalg.eigsolver import SymEigProblem
+from repro.linalg.rci import LanczosCheckpoint
 
 
 @dataclass
 class EigStats:
-    """Counters from one hybrid eigensolver run."""
+    """Counters from one hybrid eigensolver run.
+
+    ``n_resumes``/``spmv_retries``/``fallback`` report resilience activity:
+    checkpoint restarts after a device failure, recovered per-round-trip
+    faults, and whether the solve finished on the host (``"cpu"``) instead
+    of the device (``None``).
+    """
 
     n_op: int
     n_restarts: int
@@ -43,6 +52,9 @@ class EigStats:
     k: int
     pcie_round_trips: int
     wall_seconds: float
+    n_resumes: int = 0
+    spmv_retries: int = 0
+    fallback: str | None = None
 
     def as_dict(self) -> dict:
         return dict(
@@ -54,6 +66,9 @@ class EigStats:
             k=self.k,
             pcie_round_trips=self.pcie_round_trips,
             wall_seconds=self.wall_seconds,
+            n_resumes=self.n_resumes,
+            spmv_retries=self.spmv_retries,
+            fallback=self.fallback,
         )
 
 
@@ -102,6 +117,7 @@ def hybrid_eigensolver(
     which: str = "LA",
     cpu_spec: CPUSpec = XEON_E5_2690,
     v0: np.ndarray | None = None,
+    policy: ResiliencePolicy = DISABLED,
 ) -> tuple[np.ndarray, np.ndarray, EigStats]:
     """Algorithm 3: the reverse-communication loop with GPU SpMV.
 
@@ -114,6 +130,15 @@ def hybrid_eigensolver(
         ``D⁻¹W`` from Algorithm 2).
     k, m, tol, maxiter, seed, which, v0:
         Passed to :class:`~repro.linalg.eigsolver.SymEigProblem`.
+    policy:
+        Fault response (default: let device errors propagate).  With an
+        enabled policy each PCIe round trip retries transient faults with
+        backoff, a mid-solve device failure resumes from the latest
+        restart-boundary :class:`~repro.linalg.rci.LanczosCheckpoint`
+        (``policy.max_resumes`` attempts), and when the device stays
+        unusable the solve finishes with a host SpMV that performs the
+        *same arithmetic* as ``cusparseDcsrmv``, so the Ritz pairs match
+        the all-GPU run bit for bit.
 
     Returns
     -------
@@ -123,31 +148,113 @@ def hybrid_eigensolver(
     n = A.shape[0]
     cpu = CPUCostModel(cpu_spec)
     t0 = time.perf_counter()
-    with device.stage("eigensolver"):
-        # step 1: initialize the Prob object with parameters
-        prob = SymEigProblem(
-            n=n, k=k, which=which, m=m, tol=tol, maxiter=maxiter, seed=seed, v0=v0
-        )
-        j_avg = (k + prob.m) / 2.0
-        rows_cache = np.repeat(
-            np.arange(n, dtype=np.int64), np.diff(A.indptr.data)
-        )
-        dx = device.empty(n, dtype=np.float64)
-        dy = device.empty(n, dtype=np.float64)
+    m_eff = int(m) if m is not None else min(n, max(2 * k + 1, 20))
+    j_avg = (k + m_eff) / 2.0
+    rows_cache = np.repeat(np.arange(n, dtype=np.int64), np.diff(A.indptr.data))
 
-        # step 2: while !Prob.converge()
-        round_trips = 0
-        while not prob.converged():
-            prob.take_step()
-            charge_takestep(device, cpu, n, j_avg)
-            if prob.needs_matvec():
-                # transfer the data located at Prob.GetVector() host→device
-                dx.copy_from_host(prob.get_vector())
-                # cusparseDcsrmv on the device
-                csrmv(A, dx, dy, rows_cache=rows_cache)
-                # transfer the result back to Prob.PutVector()
-                prob.put_vector(dy.copy_to_host())
-                round_trips += 1
+    latest_cp: LanczosCheckpoint | None = None
+    n_resumes = 0
+    spmv_retries = 0
+    round_trips = 0
+    fallback: str | None = None
+    prob: SymEigProblem | None = None
+
+    def note_cp(cp: LanczosCheckpoint) -> None:
+        nonlocal latest_cp
+        latest_cp = cp
+
+    def count_retry(_attempt: int) -> None:
+        nonlocal spmv_retries
+        spmv_retries += 1
+
+    def make_prob() -> SymEigProblem:
+        # step 1: initialize the Prob object with parameters (resumes pick
+        # up the factorization and RNG from the latest checkpoint instead)
+        return SymEigProblem(
+            n=n, k=k, which=which, m=m, tol=tol, maxiter=maxiter,
+            seed=seed, v0=v0, checkpoint=latest_cp, checkpoint_cb=note_cp,
+        )
+
+    with device.stage("eigensolver"):
+        while True:
+            dx = dy = None
+            try:
+                # the ping-pong pair is tiny (2n doubles) — no degrade
+                # ladder, but a transient alloc hiccup is retryable
+                dx = with_retry(
+                    lambda: device.empty(n, dtype=np.float64), device, policy,
+                    site="eig.alloc", errors=TRANSIENT_ERRORS + (DeviceMemoryError,),
+                    on_retry=count_retry,
+                )
+                dy = with_retry(
+                    lambda: device.empty(n, dtype=np.float64), device, policy,
+                    site="eig.alloc", errors=TRANSIENT_ERRORS + (DeviceMemoryError,),
+                    on_retry=count_retry,
+                )
+                prob = make_prob()
+
+                # step 2: while !Prob.converge()
+                while not prob.converged():
+                    prob.take_step()
+                    charge_takestep(device, cpu, n, j_avg)
+                    if prob.needs_matvec():
+                        x = prob.get_vector()
+
+                        def roundtrip() -> np.ndarray:
+                            # transfer Prob.GetVector() host→device, run
+                            # cusparseDcsrmv, transfer the result back —
+                            # idempotent end to end (dx/dy fully rewritten),
+                            # so a fault at any of the three sites retries
+                            dx.copy_from_host(x)
+                            csrmv(A, dx, dy, rows_cache=rows_cache)
+                            return dy.copy_to_host()
+
+                        y = with_retry(
+                            roundtrip, device, policy,
+                            site="eig.spmv", on_retry=count_retry,
+                        )
+                        prob.put_vector(y)
+                        round_trips += 1
+                dx.free()
+                dy.free()
+                break
+            except CudaError:
+                for buf in (dx, dy):
+                    if buf is not None:
+                        buf.free()
+                if not policy.enabled:
+                    raise
+                if n_resumes < policy.max_resumes:
+                    # resume from the latest restart-boundary checkpoint
+                    n_resumes += 1
+                    continue
+                if not policy.cpu_fallback:
+                    raise
+                prob = None
+                break
+
+        if prob is None:
+            # ---- CPU fallback: finish the solve host-side ----------------
+            # Same bincount arithmetic as csrmv, so the resumed iteration
+            # produces bit-identical Ritz pairs; each product is charged as
+            # host SpMV time instead of kernel + 2 PCIe transfers.
+            fallback = "cpu"
+            indices = A.indices.data.copy()
+            val = A.val.data.copy()
+            nnz = A.nnz
+            prob = make_prob()
+            while not prob.converged():
+                prob.take_step()
+                charge_takestep(device, cpu, n, j_avg)
+                if prob.needs_matvec():
+                    x = prob.get_vector()
+                    y = np.bincount(
+                        rows_cache, weights=val * x[indices], minlength=n
+                    )
+                    device.charge_cpu(
+                        "spmv[host-fallback]", cpu.spmv_time(n, nnz)
+                    )
+                    prob.put_vector(y)
 
         # step 3: compute the eigenvectors
         theta, U = prob.find_eigenvectors()
@@ -155,8 +262,6 @@ def hybrid_eigensolver(
         for _ in range(res.n_restarts):
             charge_restart(device, cpu, n, prob.m, k)
         charge_find_eigenvectors(device, cpu, n, prob.m, k)
-        dx.free()
-        dy.free()
     wall = time.perf_counter() - t0
     stats = EigStats(
         n_op=res.n_op,
@@ -167,5 +272,8 @@ def hybrid_eigensolver(
         k=k,
         pcie_round_trips=round_trips,
         wall_seconds=wall,
+        n_resumes=n_resumes,
+        spmv_retries=spmv_retries,
+        fallback=fallback,
     )
     return theta, U, stats

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.chaos.runtime import chaos_check
 from repro.cuda.device import Device
 from repro.cuda.memory import DeviceArray
 from repro.errors import DeviceArrayError
@@ -45,6 +46,7 @@ def _maybe_t(a: np.ndarray, trans: bool) -> np.ndarray:
 def scal(alpha: float, x: DeviceArray) -> DeviceArray:
     """``x <- alpha * x`` (``cublasDscal``)."""
     dev = _device_of(x)
+    chaos_check("cublas.scal", dev)
     np.multiply(x.data, alpha, out=x.data)
     dev.charge_kernel("cublasDscal", flops=x.size, bytes_moved=2 * x.nbytes)
     return x
@@ -53,6 +55,7 @@ def scal(alpha: float, x: DeviceArray) -> DeviceArray:
 def axpy(alpha: float, x: DeviceArray, y: DeviceArray) -> DeviceArray:
     """``y <- alpha * x + y`` (``cublasDaxpy``)."""
     dev = _device_of(x, y)
+    chaos_check("cublas.axpy", dev)
     if x.shape != y.shape:
         raise DeviceArrayError(f"axpy shape mismatch {x.shape} vs {y.shape}")
     np.add(y.data, alpha * x.data, out=y.data)
@@ -65,6 +68,7 @@ def axpy(alpha: float, x: DeviceArray, y: DeviceArray) -> DeviceArray:
 def dot(x: DeviceArray, y: DeviceArray) -> float:
     """``<x, y>`` returned to the host (``cublasDdot``)."""
     dev = _device_of(x, y)
+    chaos_check("cublas.dot", dev)
     if x.size != y.size:
         raise DeviceArrayError(f"dot length mismatch {x.size} vs {y.size}")
     v = float(np.dot(x.data.ravel(), y.data.ravel()))
@@ -76,6 +80,7 @@ def dot(x: DeviceArray, y: DeviceArray) -> float:
 def nrm2(x: DeviceArray) -> float:
     """Euclidean norm returned to the host (``cublasDnrm2``)."""
     dev = _device_of(x)
+    chaos_check("cublas.nrm2", dev)
     v = float(np.linalg.norm(x.data.ravel()))
     dev.charge_kernel("cublasDnrm2", flops=2 * x.size, bytes_moved=x.nbytes)
     dev._record_d2h(8)
@@ -97,6 +102,7 @@ def gemv(
 ) -> DeviceArray:
     """``y <- alpha * op(A) @ x + beta * y`` (``cublasDgemv``)."""
     dev = _device_of(A, x)
+    chaos_check("cublas.gemv", dev)
     Aop = _maybe_t(A.data, trans)
     m, n = Aop.shape
     if x.size != n:
@@ -119,6 +125,7 @@ def gemv(
 def ger(alpha: float, x: DeviceArray, y: DeviceArray, A: DeviceArray) -> DeviceArray:
     """Rank-1 update ``A <- alpha * x yᵀ + A`` (``cublasDger``)."""
     dev = _device_of(x, y, A)
+    chaos_check("cublas.ger", dev)
     m, n = A.shape
     if x.size != m or y.size != n:
         raise DeviceArrayError(
@@ -151,6 +158,7 @@ def gemm(
     ``gemm(V, C, S, alpha=-2.0, beta=1.0, transb=True)``.
     """
     dev = _device_of(A, B)
+    chaos_check("cublas.gemm", dev)
     Aop = _maybe_t(A.data, transa)
     Bop = _maybe_t(B.data, transb)
     m, k = Aop.shape
@@ -183,6 +191,7 @@ def syrk(
 ) -> DeviceArray:
     """Symmetric rank-k update ``C <- alpha * op(A) op(A)ᵀ + beta * C``."""
     dev = _device_of(A)
+    chaos_check("cublas.syrk", dev)
     Aop = _maybe_t(A.data, trans)
     m, k = Aop.shape
     if C is None:

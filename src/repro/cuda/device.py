@@ -18,6 +18,7 @@ from typing import Iterator, Sequence
 
 import numpy as np
 
+from repro.chaos.runtime import chaos_check
 from repro.cuda.memory import Allocator, DeviceArray
 from repro.hw.costmodel import GPUCostModel, TransferCostModel
 from repro.hw.spec import GPUSpec, K20C, PCIE_X16_GEN2, PCIeSpec
@@ -57,6 +58,7 @@ class Device:
     # allocation + movement
     # ------------------------------------------------------------------
     def _new_array(self, data: np.ndarray) -> DeviceArray:
+        chaos_check("cuda.alloc", self, nbytes=data.nbytes)
         self.allocator.allocate(data.nbytes)
         return DeviceArray(data, self)
 
@@ -85,18 +87,25 @@ class Device:
         """Allocate on the device and copy a host array over PCIe."""
         host = np.ascontiguousarray(host, dtype=dtype)
         arr = self._new_array(host.copy())
-        self._record_h2d(host.nbytes)
+        try:
+            self._record_h2d(host.nbytes)
+        except BaseException:
+            # a failed upload must not leak the fresh allocation
+            arr.free()
+            raise
         return arr
 
     # ------------------------------------------------------------------
     # time accounting
     # ------------------------------------------------------------------
     def _record_h2d(self, nbytes: int) -> None:
+        chaos_check("cuda.h2d", self, nbytes=nbytes)
         self.timeline.record(
             f"memcpyH2D[{nbytes}B]", "h2d", self.transfer_cost.h2d_time(nbytes)
         )
 
     def _record_d2h(self, nbytes: int) -> None:
+        chaos_check("cuda.d2h", self, nbytes=nbytes)
         self.timeline.record(
             f"memcpyD2H[{nbytes}B]", "d2h", self.transfer_cost.d2h_time(nbytes)
         )

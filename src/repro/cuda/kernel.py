@@ -24,6 +24,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro.chaos.runtime import chaos_check
 from repro.cuda.device import Device
 from repro.cuda.memory import DeviceArray
 from repro.errors import InvalidKernelLaunch
@@ -145,6 +146,10 @@ def launch(
             unwrapped.append(a.data)
         else:
             unwrapped.append(a)
+
+    # fault site: a transient launch failure performs no work, so it is
+    # consulted before the body touches any operand (retry stays safe)
+    chaos_check(f"cuda.kernel:{k.name}", device)
 
     tid = np.arange(n_threads, dtype=np.int64)
     k.body(tid, *unwrapped)

@@ -188,6 +188,42 @@ class DeviceArray:
         return out
 
 
+class BufferGroup:
+    """A registry of device buffers for exception-safe cleanup.
+
+    Allocation sites can fault (OOM or injected chaos) at any point in a
+    multi-buffer routine; registering each buffer as it is created lets the
+    error path release everything acquired so far with one call.  ``free``
+    is idempotent, so buffers already released individually on the success
+    path are skipped.
+
+    Usage::
+
+        bufs = BufferGroup()
+        try:
+            a = bufs.add(dev.empty(...))
+            b = bufs.add(dev.empty(...))
+            ...
+        except BaseException:
+            bufs.free_all()
+            raise
+    """
+
+    __slots__ = ("_bufs",)
+
+    def __init__(self) -> None:
+        self._bufs: list[DeviceArray] = []
+
+    def add(self, buf: "DeviceArray") -> "DeviceArray":
+        self._bufs.append(buf)
+        return buf
+
+    def free_all(self) -> None:
+        for buf in self._bufs:
+            buf.free()
+        self._bufs.clear()
+
+
 def _as_device_data(x: "DeviceArray | np.ndarray", device: "Device") -> np.ndarray:
     """Internal: unwrap a DeviceArray, verifying device residency."""
     if isinstance(x, DeviceArray):

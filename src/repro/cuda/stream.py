@@ -9,6 +9,7 @@ semantics (milliseconds).
 
 from __future__ import annotations
 
+from repro.chaos.runtime import chaos_check
 from repro.cuda.device import Device, get_default_device
 from repro.errors import StreamError
 
@@ -23,6 +24,7 @@ class Event:
     def record(self, stream: "Stream | None" = None) -> "Event":
         if stream is not None and stream.device is not self.device:
             raise StreamError("event and stream belong to different devices")
+        chaos_check("cuda.stream.event", self.device)
         self._time = self.device.elapsed
         return self
 
@@ -50,7 +52,9 @@ class Stream:
         self.device = device if device is not None else get_default_device()
 
     def synchronize(self) -> None:
-        """No-op: the simulated device completes work eagerly."""
+        """Completes eagerly; still a fault site (``cudaStreamSynchronize``
+        is where asynchronous device errors surface on real hardware)."""
+        chaos_check("cuda.stream.sync", self.device)
 
     def record_event(self) -> Event:
         return Event(self.device).record(self)

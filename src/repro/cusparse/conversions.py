@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.cuda.memory import BufferGroup
 from repro.cusparse.matrices import DeviceCOO, DeviceCSR
 from repro.errors import SparseFormatError
 
@@ -45,17 +46,22 @@ def coo2csr(coo: DeviceCOO, assume_sorted: bool = True) -> DeviceCSR:
     indptr_host = np.zeros(n + 1, dtype=np.int64)
     np.cumsum(counts, out=indptr_host[1:])
 
-    indptr = dev.empty(n + 1, dtype=np.int64)
-    indptr.data[...] = indptr_host
-    indices = dev.empty(cols.size, dtype=np.int64)
-    indices.data[...] = cols
-    val = dev.empty(vals.size, dtype=np.float64)
-    val.data[...] = vals
-    dev.charge_kernel(
-        "cusparseXcoo2csr",
-        flops=rows.size,
-        bytes_moved=rows.size * 8 + (n + 1) * 8,
-    )
+    bufs = BufferGroup()
+    try:
+        indptr = bufs.add(dev.empty(n + 1, dtype=np.int64))
+        indptr.data[...] = indptr_host
+        indices = bufs.add(dev.empty(cols.size, dtype=np.int64))
+        indices.data[...] = cols
+        val = bufs.add(dev.empty(vals.size, dtype=np.float64))
+        val.data[...] = vals
+        dev.charge_kernel(
+            "cusparseXcoo2csr",
+            flops=rows.size,
+            bytes_moved=rows.size * 8 + (n + 1) * 8,
+        )
+    except BaseException:
+        bufs.free_all()
+        raise
     return DeviceCSR(indptr=indptr, indices=indices, val=val, shape=coo.shape)
 
 
@@ -65,17 +71,22 @@ def csr2coo(csr: DeviceCSR) -> DeviceCOO:
     n = csr.shape[0]
     lengths = np.diff(csr.indptr.data)
     rows_host = np.repeat(np.arange(n, dtype=np.int64), lengths)
-    row = dev.empty(rows_host.size, dtype=np.int64)
-    row.data[...] = rows_host
-    col = dev.empty(csr.indices.size, dtype=np.int64)
-    col.data[...] = csr.indices.data
-    val = dev.empty(csr.val.size, dtype=np.float64)
-    val.data[...] = csr.val.data
-    dev.charge_kernel(
-        "cusparseXcsr2coo",
-        flops=rows_host.size,
-        bytes_moved=rows_host.size * 8 + (n + 1) * 8,
-    )
+    bufs = BufferGroup()
+    try:
+        row = bufs.add(dev.empty(rows_host.size, dtype=np.int64))
+        row.data[...] = rows_host
+        col = bufs.add(dev.empty(csr.indices.size, dtype=np.int64))
+        col.data[...] = csr.indices.data
+        val = bufs.add(dev.empty(csr.val.size, dtype=np.float64))
+        val.data[...] = csr.val.data
+        dev.charge_kernel(
+            "cusparseXcsr2coo",
+            flops=rows_host.size,
+            bytes_moved=rows_host.size * 8 + (n + 1) * 8,
+        )
+    except BaseException:
+        bufs.free_all()
+        raise
     return DeviceCOO(row=row, col=col, val=val, shape=csr.shape)
 
 
@@ -90,15 +101,20 @@ def csr2csc(csr: DeviceCSR) -> DeviceCSR:
         csr.indptr.data, csr.indices.data, csr.val.data, csr.shape, check=False
     )
     t = host_view.transpose()
-    indptr = dev.empty(t.indptr.size, dtype=np.int64)
-    indptr.data[...] = t.indptr
-    indices = dev.empty(t.indices.size, dtype=np.int64)
-    indices.data[...] = t.indices
-    val = dev.empty(t.data.size, dtype=np.float64)
-    val.data[...] = t.data
-    dev.timeline.record(
-        "cusparseDcsr2csc", "kernel", dev.cost.sort_time(csr.nnz)
-    )
+    bufs = BufferGroup()
+    try:
+        indptr = bufs.add(dev.empty(t.indptr.size, dtype=np.int64))
+        indptr.data[...] = t.indptr
+        indices = bufs.add(dev.empty(t.indices.size, dtype=np.int64))
+        indices.data[...] = t.indices
+        val = bufs.add(dev.empty(t.data.size, dtype=np.float64))
+        val.data[...] = t.data
+        dev.timeline.record(
+            "cusparseDcsr2csc", "kernel", dev.cost.sort_time(csr.nnz)
+        )
+    except BaseException:
+        bufs.free_all()
+        raise
     return DeviceCSR(
         indptr=indptr, indices=indices, val=val, shape=(csr.shape[1], csr.shape[0])
     )

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.cuda.device import Device
-from repro.cuda.memory import DeviceArray
+from repro.cuda.memory import BufferGroup, DeviceArray
 from repro.errors import SparseFormatError
 from repro.sparse.coo import COOMatrix
 from repro.sparse.csr import CSRMatrix
@@ -104,19 +104,29 @@ class DeviceCSR:
 
 def coo_to_device(device: Device, coo: COOMatrix) -> DeviceCOO:
     """Upload a host COO matrix (three H2D transfers)."""
-    return DeviceCOO(
-        row=device.to_device(coo.row),
-        col=device.to_device(coo.col),
-        val=device.to_device(coo.data),
-        shape=coo.shape,
-    )
+    bufs = BufferGroup()
+    try:
+        return DeviceCOO(
+            row=bufs.add(device.to_device(coo.row)),
+            col=bufs.add(device.to_device(coo.col)),
+            val=bufs.add(device.to_device(coo.data)),
+            shape=coo.shape,
+        )
+    except BaseException:
+        bufs.free_all()
+        raise
 
 
 def csr_to_device(device: Device, csr: CSRMatrix) -> DeviceCSR:
     """Upload a host CSR matrix (three H2D transfers)."""
-    return DeviceCSR(
-        indptr=device.to_device(csr.indptr),
-        indices=device.to_device(csr.indices),
-        val=device.to_device(csr.data),
-        shape=csr.shape,
-    )
+    bufs = BufferGroup()
+    try:
+        return DeviceCSR(
+            indptr=bufs.add(device.to_device(csr.indptr)),
+            indices=bufs.add(device.to_device(csr.indices)),
+            val=bufs.add(device.to_device(csr.data)),
+            shape=csr.shape,
+        )
+    except BaseException:
+        bufs.free_all()
+        raise

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.chaos.runtime import chaos_check
 from repro.cuda.memory import DeviceArray
 from repro.cusparse.matrices import DeviceCOO, DeviceCSR
 from repro.errors import SparseValueError
@@ -36,6 +37,7 @@ def csrmv(
         It does not affect the simulated cost.
     """
     dev = A.device
+    chaos_check("cusparse.csrmv", dev)
     n, m = A.shape
     if x.size != m:
         raise SparseValueError(f"csrmv: A is {A.shape}, x has length {x.size}")
@@ -77,6 +79,7 @@ def coomv(
     to CSR before the eigensolver (§IV.B, and the format ablation bench).
     """
     dev = A.device
+    chaos_check("cusparse.coomv", dev)
     n, m = A.shape
     if x.size != m:
         raise SparseValueError(f"coomv: A is {A.shape}, x has length {x.size}")

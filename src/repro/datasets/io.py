@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import io
 import os
+import zipfile
 from pathlib import Path
 
 import numpy as np
@@ -107,21 +108,34 @@ def load_problem(path: str | os.PathLike) -> Dataset:
     path = Path(path)
     if not path.exists():
         raise DatasetError(f"no such problem file: {path}")
-    with np.load(path, allow_pickle=False) as z:
-        name = str(z["name"])
-        k = int(z["n_clusters"])
-        labels = z["labels"] if "labels" in z else None
-        graph = None
-        points = None
-        edges = None
-        if "graph_row" in z:
-            n = int(z["graph_n"])
-            graph = COOMatrix(
-                z["graph_row"], z["graph_col"], z["graph_val"], (n, n)
-            )
-        if "points" in z:
-            points = z["points"]
-            edges = z["edges"]
+    try:
+        z = np.load(path, allow_pickle=False)
+    except (ValueError, OSError, zipfile.BadZipFile) as exc:
+        raise DatasetError(f"not a valid problem file: {path} ({exc})") from exc
+    with z:
+        try:
+            name = str(z["name"])
+            k = int(z["n_clusters"])
+            labels = z["labels"] if "labels" in z else None
+            graph = None
+            points = None
+            edges = None
+            if "graph_row" in z:
+                n = int(z["graph_n"])
+                graph = COOMatrix(
+                    z["graph_row"], z["graph_col"], z["graph_val"], (n, n)
+                )
+            if "points" in z:
+                points = z["points"]
+                edges = z["edges"]
+        except KeyError as exc:
+            raise DatasetError(
+                f"problem file {path} is missing required array {exc}"
+            ) from exc
+        except (ValueError, TypeError) as exc:
+            raise DatasetError(
+                f"problem file {path} holds malformed arrays: {exc}"
+            ) from exc
     return Dataset(
         name=name, n_clusters=k, points=points, edges=edges,
         graph=graph, labels=labels,

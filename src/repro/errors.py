@@ -35,6 +35,17 @@ class DeviceArrayError(CudaError):
     dtype/shape mismatch, or host/device confusion)."""
 
 
+class TransferError(CudaError):
+    """Raised when a PCIe transfer (H2D or D2H) fails — the analogue of
+    ``cudaMemcpy`` returning ``cudaErrorUnknown``.  Transfers are
+    retryable: no destination bytes are written on failure."""
+
+
+class TransientKernelError(CudaError):
+    """Raised when a kernel launch fails transiently (ECC/Xid-style device
+    hiccup).  The launch performed no work, so re-issuing it is safe."""
+
+
 class StreamError(CudaError):
     """Raised on invalid stream/event operations."""
 
@@ -77,3 +88,9 @@ class DatasetError(ReproError):
 
 class BenchmarkError(ReproError):
     """Raised by the benchmark harness for malformed experiment specs."""
+
+
+class ChaosError(ReproError):
+    """Raised for malformed fault-injection plans (unknown fault type,
+    missing trigger, bad pattern) — configuration errors of the chaos
+    subsystem itself, never injected faults."""

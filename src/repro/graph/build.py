@@ -20,6 +20,7 @@ import numpy as np
 from repro.cuda.device import Device
 from repro.cuda.kernel import Kernel, launch
 from repro.cuda.launch import grid_1d
+from repro.cuda.memory import BufferGroup
 from repro.cusparse.matrices import DeviceCOO
 from repro.errors import GraphConstructionError
 from repro.graph.similarity import pairwise_similarity
@@ -139,14 +140,17 @@ def build_similarity_device(
         raise GraphConstructionError(f"unknown measure {measure!r}")
 
     nnz = edges.shape[0]
+    tmp = BufferGroup()   # working buffers, always released
+    out = BufferGroup()   # the returned COO arrays, released only on error
     with device.stage("similarity"):
+      try:
         # step 1: transfer the input data
-        dX = device.to_device(X)
-        dnorm = device.empty(n, dtype=np.float64)
+        dX = tmp.add(device.to_device(X))
+        dnorm = tmp.add(device.empty(n, dtype=np.float64))
 
         # per-row preprocessing (steps 4-5)
         if measure == "crosscorr":
-            davg = device.empty(n, dtype=np.float64)
+            davg = tmp.add(device.empty(n, dtype=np.float64))
             launch(compute_average, grid_1d(n, block), dX, davg, n_threads=n)
             launch(update_data, grid_1d(n, block), dX, davg, dnorm, n_threads=n)
             davg.free()
@@ -173,9 +177,9 @@ def build_similarity_device(
         for lo in range(0, nnz, edge_chunk):
             hi = min(nnz, lo + edge_chunk)
             c = hi - lo
-            dsrc = device.to_device(edges[lo:hi, 0])
-            ddst = device.to_device(edges[lo:hi, 1])
-            dval = device.empty(c, dtype=np.float64)
+            dsrc = tmp.add(device.to_device(edges[lo:hi, 0]))
+            ddst = tmp.add(device.to_device(edges[lo:hi, 1]))
+            dval = tmp.add(device.empty(c, dtype=np.float64))
             if measure == "expdecay":
                 launch(
                     compute_expdecay, grid_1d(c, block),
@@ -207,15 +211,20 @@ def build_similarity_device(
         device.timeline.record(
             "thrust::sort_by_key[edges]", "kernel", device.cost.sort_time(row.size)
         )
-        drow = device.empty(row.size, dtype=np.int64)
+        drow = out.add(device.empty(row.size, dtype=np.int64))
         drow.data[...] = row[order]
-        dcol = device.empty(col.size, dtype=np.int64)
+        dcol = out.add(device.empty(col.size, dtype=np.int64))
         dcol.data[...] = col[order]
-        dv = device.empty(v2.size, dtype=np.float64)
+        dv = out.add(device.empty(v2.size, dtype=np.float64))
         dv.data[...] = v2[order]
         device.charge_kernel(
             "symmetrize_edges", flops=row.size, bytes_moved=3 * row.size * 8 * 2
         )
+      except BaseException:
+        out.free_all()
+        raise
+      finally:
+        tmp.free_all()
     return DeviceCOO(row=drow, col=dcol, val=dv, shape=(n, n))
 
 

@@ -26,6 +26,7 @@ import numpy as np
 from repro.cuda.device import Device
 from repro.cuda.kernel import Kernel, launch
 from repro.cuda.launch import grid_1d
+from repro.cuda.memory import BufferGroup
 from repro.cusparse.conversions import coo2csr
 from repro.cusparse.matrices import DeviceCOO, DeviceCSR
 from repro.cusparse.spmv import coomv
@@ -118,8 +119,10 @@ def _device_degrees(W: DeviceCOO) -> "np.ndarray":
     dev = W.device
     n = W.shape[0]
     ones = dev.full(n, 1.0)
-    y = coomv(W, ones)
-    ones.free()
+    try:
+        y = coomv(W, ones)
+    finally:
+        ones.free()
     return y
 
 
@@ -127,21 +130,23 @@ def device_rw_normalize(W: DeviceCOO, allow_isolated: bool = False) -> DeviceCSR
     """Algorithm 2 verbatim: ``D⁻¹W`` in CSR on the device."""
     dev = W.device
     with dev.stage("laplacian"):
-        y = _device_degrees(W)
-        d = y.data
-        _check_degrees(d, allow_isolated)
-        inv = dev.empty(d.size, dtype=np.float64)
-        inv.data[...] = np.where(d > 0, 1.0 / np.where(d > 0, d, 1.0), 0.0)
-        dev.charge_kernel("reciprocal", flops=d.size, bytes_moved=2 * d.size * 8)
-        # step 3: scale each COO item by the inverse degree of its row
-        launch(
-            scale_elements, grid_1d(W.nnz, 256), W.row, W.val, inv,
-            n_threads=W.nnz,
-        )
-        # steps 4-5: compress row indices
-        csr = coo2csr(W)
-        y.free()
-        inv.free()
+        bufs = BufferGroup()
+        try:
+            y = bufs.add(_device_degrees(W))
+            d = y.data
+            _check_degrees(d, allow_isolated)
+            inv = bufs.add(dev.empty(d.size, dtype=np.float64))
+            inv.data[...] = np.where(d > 0, 1.0 / np.where(d > 0, d, 1.0), 0.0)
+            dev.charge_kernel("reciprocal", flops=d.size, bytes_moved=2 * d.size * 8)
+            # step 3: scale each COO item by the inverse degree of its row
+            launch(
+                scale_elements, grid_1d(W.nnz, 256), W.row, W.val, inv,
+                n_threads=W.nnz,
+            )
+            # steps 4-5: compress row indices
+            csr = coo2csr(W)
+        finally:
+            bufs.free_all()
     return csr
 
 
@@ -160,30 +165,35 @@ def device_shifted_laplacian(
     """
     dev = W.device
     with dev.stage("laplacian"):
-        y = _device_degrees(W)
-        d = y.data
-        _check_degrees(d, allow_isolated)
-        c = 2.0 * float(d.max()) if d.size else 0.0
-        dev._record_d2h(8)
-        n = W.shape[0]
-        # append the diagonal (c - d_i) to the off-diagonal +W entries
-        row = np.concatenate([W.row.data, np.arange(n, dtype=np.int64)])
-        col = np.concatenate([W.col.data, np.arange(n, dtype=np.int64)])
-        val = np.concatenate([W.val.data, c - d])
-        order = np.argsort(row * n + col, kind="stable")
-        drow = dev.empty(row.size, dtype=np.int64)
-        drow.data[...] = row[order]
-        dcol = dev.empty(col.size, dtype=np.int64)
-        dcol.data[...] = col[order]
-        dval = dev.empty(val.size, dtype=np.float64)
-        dval.data[...] = val[order]
-        dev.timeline.record(
-            "thrust::sort_by_key[shifted_laplacian]", "kernel",
-            dev.cost.sort_time(row.size),
-        )
-        shifted = DeviceCOO(row=drow, col=dcol, val=dval, shape=W.shape)
-        csr = coo2csr(shifted)
-        y.free()
+        bufs = BufferGroup()
+        try:
+            y = bufs.add(_device_degrees(W))
+            d = y.data
+            _check_degrees(d, allow_isolated)
+            c = 2.0 * float(d.max()) if d.size else 0.0
+            dev._record_d2h(8)
+            n = W.shape[0]
+            # append the diagonal (c - d_i) to the off-diagonal +W entries
+            row = np.concatenate([W.row.data, np.arange(n, dtype=np.int64)])
+            col = np.concatenate([W.col.data, np.arange(n, dtype=np.int64)])
+            val = np.concatenate([W.val.data, c - d])
+            order = np.argsort(row * n + col, kind="stable")
+            drow = bufs.add(dev.empty(row.size, dtype=np.int64))
+            drow.data[...] = row[order]
+            dcol = bufs.add(dev.empty(col.size, dtype=np.int64))
+            dcol.data[...] = col[order]
+            dval = bufs.add(dev.empty(val.size, dtype=np.float64))
+            dval.data[...] = val[order]
+            dev.timeline.record(
+                "thrust::sort_by_key[shifted_laplacian]", "kernel",
+                dev.cost.sort_time(row.size),
+            )
+            shifted = DeviceCOO(row=drow, col=dcol, val=dval, shape=W.shape)
+            csr = coo2csr(shifted)
+        finally:
+            # releases y and the intermediate shifted COO (drow/dcol/dval)
+            # on success and on any faulted sub-step alike
+            bufs.free_all()
     return csr, c
 
 
@@ -196,20 +206,22 @@ def device_sym_normalize(W: DeviceCOO, allow_isolated: bool = False) -> DeviceCS
     """
     dev = W.device
     with dev.stage("laplacian"):
-        y = _device_degrees(W)
-        d = y.data
-        _check_degrees(d, allow_isolated)
-        inv_sqrt = dev.empty(d.size, dtype=np.float64)
-        inv_sqrt.data[...] = np.where(
-            d > 0, 1.0 / np.sqrt(np.where(d > 0, d, 1.0)), 0.0
-        )
-        dev.charge_kernel("rsqrt", flops=2.0 * d.size, bytes_moved=2 * d.size * 8)
-        launch(
-            scale_elements_sym, grid_1d(W.nnz, 256),
-            W.row, W.col, W.val, inv_sqrt,
-            n_threads=W.nnz,
-        )
-        csr = coo2csr(W)
-        y.free()
-        inv_sqrt.free()
+        bufs = BufferGroup()
+        try:
+            y = bufs.add(_device_degrees(W))
+            d = y.data
+            _check_degrees(d, allow_isolated)
+            inv_sqrt = bufs.add(dev.empty(d.size, dtype=np.float64))
+            inv_sqrt.data[...] = np.where(
+                d > 0, 1.0 / np.sqrt(np.where(d > 0, d, 1.0)), 0.0
+            )
+            dev.charge_kernel("rsqrt", flops=2.0 * d.size, bytes_moved=2 * d.size * 8)
+            launch(
+                scale_elements_sym, grid_1d(W.nnz, 256),
+                W.row, W.col, W.val, inv_sqrt,
+                n_threads=W.nnz,
+            )
+            csr = coo2csr(W)
+        finally:
+            bufs.free_all()
     return csr

@@ -26,7 +26,7 @@ from repro import cublas, thrust
 from repro.cuda.device import Device
 from repro.cuda.kernel import Kernel, launch
 from repro.cuda.launch import grid_1d
-from repro.cuda.memory import DeviceArray
+from repro.cuda.memory import BufferGroup, DeviceArray
 from repro.errors import ClusteringError
 from repro.kmeans.init import kmeans_plus_plus_device, random_init
 from repro.kmeans.utils import (
@@ -134,13 +134,18 @@ def kmeans_device(
             f"distance_method must be 'gemm' or 'direct', got {distance_method!r}"
         )
     rng = np.random.default_rng(seed)
+    # every buffer this call creates is registered so a faulted sub-step
+    # (injected OOM / transfer / kernel error) releases the lot; the
+    # success path's explicit frees are idempotent and stay authoritative
+    bufs = BufferGroup()
     with device.stage("kmeans"):
+      try:
         if isinstance(V, DeviceArray):
-            dV = V
+            dV = V  # caller-owned: never registered, never freed here
             V_host = dV.data  # simulation substrate view, no transfer
         else:
             V_host = validate_inputs(V, k)
-            dV = device.to_device(V_host)
+            dV = bufs.add(device.to_device(V_host))
         n, d = dV.shape
         if not 0 < k <= n:
             raise ClusteringError(f"need 0 < k <= n, got k={k}, n={n}")
@@ -152,26 +157,26 @@ def kmeans_device(
                 raise ClusteringError(
                     f"initial centroids have shape {C0.shape}, expected {(k, d)}"
                 )
-            dC = device.to_device(C0)
+            dC = bufs.add(device.to_device(C0))
         elif init == "k-means++":
-            dC = kmeans_plus_plus_device(dV, k, rng)
+            dC = bufs.add(kmeans_plus_plus_device(dV, k, rng))
         elif init == "random":
-            dC = device.to_device(random_init(dV.data, k, rng))
+            dC = bufs.add(device.to_device(random_init(dV.data, k, rng)))
         else:
             raise ClusteringError(f"unknown init {init!r}")
 
         # ---- persistent buffers -----------------------------------------
-        dVnorm = device.empty(n, dtype=np.float64)
+        dVnorm = bufs.add(device.empty(n, dtype=np.float64))
         launch(compute_norms, grid_1d(n, block), dV, dVnorm, n_threads=n)
-        dCnorm = device.empty(k, dtype=np.float64)
+        dCnorm = bufs.add(device.empty(k, dtype=np.float64))
         if tile_rows is None:
             budget = device.allocator.free_bytes // 4
             tile_rows = max(1, min(n, budget // max(1, k * 8)))
         elif tile_rows < 1:
             raise ClusteringError(f"tile_rows must be positive, got {tile_rows}")
         tile_rows = min(tile_rows, n)
-        dS = device.empty((tile_rows, k), dtype=np.float64)
-        dlabels = device.full(n, -1, dtype=np.int64)
+        dS = bufs.add(device.empty((tile_rows, k), dtype=np.float64))
+        dlabels = bufs.add(device.full(n, -1, dtype=np.int64))
 
         history: list[float] = []
         converged = False
@@ -206,12 +211,16 @@ def kmeans_device(
             device._record_d2h(8)
 
             # ---- centroid update: sort by label + segmented reduction ----
-            dkeys = dlabels.copy()
-            dvals = dV.copy()
+            dkeys = bufs.add(dlabels.copy())
+            dvals = bufs.add(dV.copy())
             thrust.sort_by_key(dkeys, dvals)
             uniq, sums = thrust.reduce_by_key(dkeys, dvals)
-            ones = device.full(dkeys.size, 1.0)
+            bufs.add(uniq)
+            bufs.add(sums)
+            ones = bufs.add(device.full(dkeys.size, 1.0))
             uniq2, counts_arr = thrust.reduce_by_key(dkeys, ones)
+            bufs.add(uniq2)
+            bufs.add(counts_arr)
 
             counts = np.zeros(k, dtype=np.int64)
             counts[uniq.data] = counts_arr.data.astype(np.int64)
@@ -244,10 +253,8 @@ def kmeans_device(
         # step 4: transfer the labeling result from GPU to CPU
         labels_host = dlabels.copy_to_host()
         centroids_host = dC.copy_to_host()
-        for buf in (dVnorm, dCnorm, dS, dlabels, dC):
-            buf.free()
-        if not isinstance(V, DeviceArray):
-            dV.free()
+      finally:
+        bufs.free_all()
 
     return KMeansResult(
         labels=labels_host,

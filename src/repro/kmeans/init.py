@@ -17,7 +17,7 @@ import numpy as np
 
 from repro import thrust
 from repro.cuda.device import Device
-from repro.cuda.memory import DeviceArray
+from repro.cuda.memory import BufferGroup, DeviceArray
 from repro.errors import ClusteringError
 from repro.kmeans.utils import validate_inputs
 
@@ -97,35 +97,41 @@ def kmeans_plus_plus_device(
     n, d = dV.shape
     if not 0 < k <= n:
         raise ClusteringError(f"need 0 < k <= n, got k={k}, n={n}")
-    dC = dev.empty((k, d), dtype=np.float64)
+    bufs = BufferGroup()
+    try:
+        dC = dev.empty((k, d), dtype=np.float64)
+        bufs.add(dC)
 
-    first = int(rng.integers(n))
-    dC.data[0] = dV.data[first]
-    dev.charge_kernel("copy_centroid", flops=0, bytes_moved=2 * d * 8)
-
-    dist2 = _sq_dist_to_point(dV, dC.data[0])
-    scan = dev.empty(n, dtype=np.float64)
-    for i in range(1, k):
-        # P_j = Dist_j² / Σ Dist² realized as scan + one uniform draw:
-        thrust.inclusive_scan(dist2, out=scan)
-        total = float(scan.data[-1])
-        dev._record_d2h(8)
-        if total <= 0:
-            choice = int(rng.integers(n))
-        else:
-            u = rng.uniform(0.0, total)
-            q = dev.empty(1, dtype=np.float64)
-            q.data[0] = u
-            dev.charge_kernel("stage_query", flops=0, bytes_moved=8)
-            pos = thrust.lower_bound(scan, q)
-            choice = int(min(pos.data[0], n - 1))
-            q.free()
-            pos.free()
-        dC.data[i] = dV.data[choice]
+        first = int(rng.integers(n))
+        dC.data[0] = dV.data[first]
         dev.charge_kernel("copy_centroid", flops=0, bytes_moved=2 * d * 8)
-        new_dist2 = _sq_dist_to_point(dV, dC.data[i])
-        thrust.transform(dist2, "minimum", new_dist2, out=dist2)
-        new_dist2.free()
-    dist2.free()
-    scan.free()
+
+        dist2 = bufs.add(_sq_dist_to_point(dV, dC.data[0]))
+        scan = bufs.add(dev.empty(n, dtype=np.float64))
+        for i in range(1, k):
+            # P_j = Dist_j² / Σ Dist² realized as scan + one uniform draw:
+            thrust.inclusive_scan(dist2, out=scan)
+            total = float(scan.data[-1])
+            dev._record_d2h(8)
+            if total <= 0:
+                choice = int(rng.integers(n))
+            else:
+                u = rng.uniform(0.0, total)
+                q = bufs.add(dev.empty(1, dtype=np.float64))
+                q.data[0] = u
+                dev.charge_kernel("stage_query", flops=0, bytes_moved=8)
+                pos = bufs.add(thrust.lower_bound(scan, q))
+                choice = int(min(pos.data[0], n - 1))
+                q.free()
+                pos.free()
+            dC.data[i] = dV.data[choice]
+            dev.charge_kernel("copy_centroid", flops=0, bytes_moved=2 * d * 8)
+            new_dist2 = bufs.add(_sq_dist_to_point(dV, dC.data[i]))
+            thrust.transform(dist2, "minimum", new_dist2, out=dist2)
+            new_dist2.free()
+        dist2.free()
+        scan.free()
+    except BaseException:
+        bufs.free_all()
+        raise
     return dC

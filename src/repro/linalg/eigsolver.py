@@ -26,13 +26,16 @@ import numpy as np
 
 from repro.errors import EigensolverError, ReverseCommunicationError
 from repro.linalg.iram import IRLMResult, irlm_generator
-from repro.linalg.rci import MatvecRequest, RCIStatus
+from repro.linalg.rci import LanczosCheckpoint, MatvecRequest, RCIStatus
 
 
 class SymEigProblem:
     """Reverse-communication symmetric eigenproblem (ARPACK ``dsaupd`` style).
 
-    Parameters mirror :func:`~repro.linalg.iram.irlm_generator`.
+    Parameters mirror :func:`~repro.linalg.iram.irlm_generator`; pass
+    ``checkpoint_cb`` to receive restart-boundary snapshots and
+    ``checkpoint`` to resume a problem from one (see
+    :class:`~repro.linalg.rci.LanczosCheckpoint`).
     """
 
     def __init__(
@@ -46,6 +49,8 @@ class SymEigProblem:
         v0: np.ndarray | None = None,
         seed: int | None = 0,
         dense_eig: str = "lapack",
+        checkpoint: LanczosCheckpoint | None = None,
+        checkpoint_cb: "Callable[[LanczosCheckpoint], None] | None" = None,
     ) -> None:
         self.n = int(n)
         self.k = int(k)
@@ -54,6 +59,7 @@ class SymEigProblem:
         self._gen = irlm_generator(
             n=n, k=k, which=which, m=m, tol=tol, maxiter=maxiter,
             v0=v0, seed=seed, dense_eig=dense_eig,
+            checkpoint=checkpoint, checkpoint_cb=checkpoint_cb,
         )
         self._status = RCIStatus.INITIAL
         self._request: MatvecRequest | None = None

@@ -15,14 +15,16 @@ call-protocol concern layered on top (see :mod:`repro.linalg.rci`).
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass
-from typing import Generator
+from typing import Callable, Generator
 
 import numpy as np
 
 from repro.errors import EigensolverError
 from repro.linalg.lanczos import LanczosState, extend_factorization
 from repro.linalg.qr import implicit_qr_sweep
+from repro.linalg.rci import LanczosCheckpoint
 from repro.linalg.tridiag import eigh_tridiagonal
 
 _EPS = np.finfo(np.float64).eps
@@ -90,6 +92,8 @@ def irlm_generator(
     v0: np.ndarray | None = None,
     seed: int | None = 0,
     dense_eig: str = "lapack",
+    checkpoint: LanczosCheckpoint | None = None,
+    checkpoint_cb: Callable[[LanczosCheckpoint], None] | None = None,
 ) -> Generator[np.ndarray, np.ndarray, IRLMResult]:
     """Create the IRLM driver generator.
 
@@ -116,6 +120,17 @@ def irlm_generator(
         Start vector (default: seeded random).
     dense_eig:
         'lapack' or 'ql' — inner tridiagonal eigensolver selection.
+    checkpoint:
+        Resume from this :class:`~repro.linalg.rci.LanczosCheckpoint`
+        instead of starting fresh.  The problem parameters must match the
+        ones the checkpoint was taken with; ``v0``/``seed`` are ignored in
+        favor of the checkpointed factorization and RNG state, so the
+        resumed run replays the interrupted cycle bit-identically (the
+        operator being deterministic).
+    checkpoint_cb:
+        Called with a fresh snapshot at every restart boundary (including
+        once before the first cycle).  Snapshots are defensive copies and
+        may be stored across the generator's lifetime.
     """
     if not 0 < k < n:
         raise EigensolverError(f"need 0 < k < n, got k={k}, n={n}")
@@ -132,19 +147,52 @@ def irlm_generator(
     rng = np.random.default_rng(seed)
 
     state = LanczosState.allocate(n, m)
-    if v0 is not None:
-        v0 = np.asarray(v0, dtype=np.float64).ravel()
-        if v0.size != n:
-            raise EigensolverError(f"v0 has length {v0.size}, expected {n}")
-        state.f = v0.copy()
+    if checkpoint is not None:
+        checkpoint.validate(n, k, m, which)
+        state.V[: checkpoint.j] = checkpoint.V
+        state.alpha[: checkpoint.alpha.size] = checkpoint.alpha
+        state.beta[: checkpoint.beta.size] = checkpoint.beta
+        state.j = checkpoint.j
+        state.f = checkpoint.f.copy()
+        state.reorth_passes = checkpoint.reorth_passes
+        state.breakdowns = checkpoint.breakdowns
+        rng.bit_generator.state = copy.deepcopy(checkpoint.rng_state)
+        n_op = checkpoint.n_op
+        n_restarts = checkpoint.n_restarts
     else:
-        state.f = rng.standard_normal(n)
+        if v0 is not None:
+            v0 = np.asarray(v0, dtype=np.float64).ravel()
+            if v0.size != n:
+                raise EigensolverError(f"v0 has length {v0.size}, expected {n}")
+            state.f = v0.copy()
+        else:
+            state.f = rng.standard_normal(n)
+        n_op = 0
+        n_restarts = 0
+    exhausted = n_restarts >= maxiter
 
-    n_op = 0
-    n_restarts = 0
-    exhausted = False
+    def snapshot() -> LanczosCheckpoint:
+        # alpha/beta are saved to length j (beta's last valid slot may hold
+        # a stale value the extension's breakdown test reads; preserving it
+        # keeps the resumed cycle bit-identical to the original).
+        j = state.j
+        return LanczosCheckpoint(
+            n=n, k=k, m=m, which=which, j=j,
+            V=state.V[:j].copy(),
+            alpha=state.alpha[:j].copy(),
+            beta=state.beta[:j].copy(),
+            f=np.array(state.f, dtype=np.float64),
+            n_restarts=n_restarts,
+            n_op=n_op,
+            reorth_passes=state.reorth_passes,
+            breakdowns=state.breakdowns,
+            rng_state=copy.deepcopy(rng.bit_generator.state),
+        )
 
     while True:
+        if checkpoint_cb is not None:
+            checkpoint_cb(snapshot())
+
         # ---- extend the factorization to m steps -----------------------
         ext = extend_factorization(state, m, rng)
         try:

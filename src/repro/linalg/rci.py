@@ -9,6 +9,12 @@ the GPU while ARPACK runs on the CPU.
 Here the same protocol is expressed over the IRLM generator: a
 :class:`MatvecRequest` corresponds to one ``ido = 1`` return, and
 :class:`RCIStatus` enumerates the driver states.
+
+:class:`LanczosCheckpoint` is the resilience hook: the IRLM driver emits a
+snapshot of its factorization at every restart boundary, so a device
+failure mid-solve resumes from the last restart instead of from scratch —
+on DTI-scale problems the RCI loop performs thousands of PCIe round trips,
+which is too much work to lose to one transfer error.
 """
 
 from __future__ import annotations
@@ -17,6 +23,8 @@ import enum
 from dataclasses import dataclass
 
 import numpy as np
+
+from repro.errors import EigensolverError
 
 
 class RCIStatus(enum.Enum):
@@ -51,3 +59,64 @@ class MatvecRequest:
     @property
     def n(self) -> int:
         return self.x.size
+
+
+@dataclass
+class LanczosCheckpoint:
+    """A restartable snapshot of the IRLM driver at a restart boundary.
+
+    Captures the kept block of the Lanczos factorization (``A V_j = V_j
+    T_j + f e_jᵀ``), the iteration counters, and the RNG state — everything
+    needed to recreate a generator that continues *bit-identically* with
+    the same operator.  All arrays are defensive copies; a checkpoint stays
+    valid while the live solver mutates its workspace.
+
+    Attributes
+    ----------
+    n, k, m, which:
+        Problem parameters; a resume validates them against the new
+        driver's configuration.
+    j:
+        Completed Lanczos steps in the snapshot (``0`` for the pre-first-
+        cycle checkpoint, ``k+`` after a restart contraction).
+    V, alpha, beta:
+        The kept basis rows ``(j, n)`` and tridiagonal entries.
+    f:
+        The residual vector (the start vector when ``j == 0``).
+    n_restarts, n_op, reorth_passes, breakdowns:
+        Counters restored so resumed statistics stay cumulative.
+    rng_state:
+        ``bit_generator.state`` of the driver RNG (breakdown recovery
+        draws), restored on resume for exact reproducibility.
+    """
+
+    n: int
+    k: int
+    m: int
+    which: str
+    j: int
+    V: np.ndarray
+    alpha: np.ndarray
+    beta: np.ndarray
+    f: np.ndarray
+    n_restarts: int
+    n_op: int
+    reorth_passes: int
+    breakdowns: int
+    rng_state: dict
+
+    def validate(self, n: int, k: int, m: int, which: str) -> None:
+        """Reject a resume into a differently-configured problem."""
+        if (self.n, self.k, self.m, self.which) != (n, k, m, which):
+            raise EigensolverError(
+                f"checkpoint is for (n={self.n}, k={self.k}, m={self.m}, "
+                f"which={self.which!r}) but the solver was configured with "
+                f"(n={n}, k={k}, m={m}, which={which!r})"
+            )
+
+    @property
+    def nbytes(self) -> int:
+        """Host memory held by the snapshot arrays."""
+        return (
+            self.V.nbytes + self.alpha.nbytes + self.beta.nbytes + self.f.nbytes
+        )

@@ -307,17 +307,25 @@ def reduce_by_key(
             f"reduce_by_key: {keys.size} keys vs {values.shape[0]} values"
         )
     if keys.size == 0:
-        return dev.empty(0, dtype=keys.dtype), dev.empty(
-            (0,) + values.shape[1:], dtype=values.dtype
-        )
+        empty_keys = dev.empty(0, dtype=keys.dtype)
+        try:
+            empty_vals = dev.empty((0,) + values.shape[1:], dtype=values.dtype)
+        except BaseException:
+            empty_keys.free()
+            raise
+        return empty_keys, empty_vals
     kd = keys.data
     boundaries = np.flatnonzero(np.diff(kd)) + 1
     starts = np.concatenate(([0], boundaries))
     uniq = kd[starts]
     sums = np.add.reduceat(values.data, starts, axis=0)
     out_keys = dev.empty(uniq.shape, dtype=keys.dtype)
+    try:
+        out_vals = dev.empty(sums.shape, dtype=values.dtype)
+    except BaseException:
+        out_keys.free()
+        raise
     out_keys.data[...] = uniq
-    out_vals = dev.empty(sums.shape, dtype=values.dtype)
     out_vals.data[...] = sums
     dev.charge_kernel(
         "thrust::reduce_by_key",

@@ -1,0 +1,95 @@
+"""Allocator hygiene: no run — clean, recovered, or failed — leaks device
+memory."""
+
+import numpy as np
+import pytest
+
+from repro.chaos import DISABLED, FaultPlan, FaultSpec
+from repro.core.pipeline import SpectralClustering
+from repro.cuda.device import Device
+from repro.errors import ReproError
+
+
+def _fit(device, W, **kw):
+    return SpectralClustering(
+        n_clusters=6, seed=0, device=device, **kw
+    ).fit(graph=W)
+
+
+class TestZeroLiveBytes:
+    @pytest.mark.parametrize("objective", ["ncut", "ratiocut"])
+    @pytest.mark.parametrize("operator", ["sym", "rw"])
+    def test_clean_run(self, sbm_graph, objective, operator):
+        W, _ = sbm_graph
+        device = Device()
+        _fit(device, W, objective=objective, operator=operator)
+        assert device.allocator.used_bytes == 0
+        assert device.allocator.peak_bytes > 0
+
+    def test_clean_point_run(self, blobs):
+        X, _, k = blobs
+        n = X.shape[0]
+        ii, jj = np.triu_indices(n, 1)
+        d2 = ((X[ii] - X[jj]) ** 2).sum(axis=1)
+        sel = d2 < np.quantile(d2, 0.04)
+        edges = np.stack([ii[sel], jj[sel]], axis=1)
+        device = Device()
+        SpectralClustering(
+            n_clusters=k, similarity="expdecay", sigma=2.0, seed=0,
+            device=device,
+        ).fit(X=X, edges=edges)
+        assert device.allocator.used_bytes == 0
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            FaultSpec(site="cusparse.csrmv", fault="transient", nth=3),
+            FaultSpec(site="cuda.alloc", fault="oom", nth=1, stage="kmeans"),
+            FaultSpec(site="cuda.kernel:ScaleElements*", fault="transient",
+                      prob=1.0, max_fires=None),
+            FaultSpec(site="cublas.*", fault="transient",
+                      prob=1.0, max_fires=None, stage="kmeans"),
+            FaultSpec(site="cusparse.csrmv", fault="transient",
+                      prob=1.0, max_fires=None),
+        ],
+        ids=["retry", "oom-degrade", "lap-fallback", "km-fallback",
+             "eig-fallback"],
+    )
+    def test_recovered_run(self, sbm_graph, spec):
+        W, _ = sbm_graph
+        device = Device()
+        _fit(device, W, chaos=FaultPlan([spec]))
+        assert device.allocator.used_bytes == 0
+
+    @pytest.mark.parametrize(
+        "site,stage,fault",
+        [
+            ("cuda.h2d", "similarity", "transfer"),
+            ("cusparse.coomv", "laplacian", "transient"),
+            ("cuda.kernel:*", "laplacian", "transient"),
+            ("cuda.alloc", "laplacian", "oom"),
+            ("cusparse.csrmv", "eigensolver", "transient"),
+            ("cuda.d2h", "eigensolver", "transfer"),
+            ("cuda.alloc", "eigensolver", "oom"),
+            ("cublas.*", "kmeans", "transient"),
+            ("cuda.alloc", "kmeans", "oom"),
+            ("cuda.h2d", "kmeans", "transfer"),
+        ],
+    )
+    def test_failed_run_without_resilience(self, sbm_graph, site, stage, fault):
+        W, _ = sbm_graph
+        device = Device()
+        plan = FaultPlan(
+            [FaultSpec(site=site, fault=fault, nth=1, stage=stage)]
+        )
+        with pytest.raises(ReproError):
+            _fit(device, W, chaos=plan, resilience=DISABLED)
+        assert plan.n_fired == 1
+        assert device.allocator.used_bytes == 0
+
+    def test_repeated_runs_do_not_accumulate(self, sbm_graph):
+        W, _ = sbm_graph
+        device = Device()
+        for _ in range(3):
+            _fit(device, W)
+            assert device.allocator.used_bytes == 0

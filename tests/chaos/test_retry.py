@@ -1,0 +1,79 @@
+"""Retry-with-backoff on the simulated clock."""
+
+import pytest
+
+from repro.chaos import DISABLED, ResiliencePolicy, with_retry
+from repro.errors import TransientKernelError
+
+
+def _flaky(n_failures):
+    """A callable that fails ``n_failures`` times, then succeeds."""
+    state = {"calls": 0}
+
+    def fn():
+        state["calls"] += 1
+        if state["calls"] <= n_failures:
+            raise TransientKernelError("injected")
+        return state["calls"]
+
+    return fn, state
+
+
+class TestWithRetry:
+    def test_clean_call_passes_through(self, device):
+        fn, state = _flaky(0)
+        assert with_retry(fn, device, ResiliencePolicy()) == 1
+        assert state["calls"] == 1
+
+    def test_recovers_within_budget(self, device):
+        fn, state = _flaky(2)
+        assert with_retry(fn, device, ResiliencePolicy(max_attempts=3)) == 3
+        assert state["calls"] == 3
+
+    def test_gives_up_after_max_attempts(self, device):
+        fn, state = _flaky(5)
+        with pytest.raises(TransientKernelError):
+            with_retry(fn, device, ResiliencePolicy(max_attempts=3))
+        assert state["calls"] == 3
+
+    def test_backoff_charges_simulated_overhead(self, device):
+        fn, _ = _flaky(2)
+        t0 = device.elapsed
+        with_retry(
+            fn, device,
+            ResiliencePolicy(backoff=1e-3, multiplier=2.0), site="spmv",
+        )
+        # two retries: 1ms + 2ms of simulated stall
+        assert device.elapsed - t0 == pytest.approx(3e-3)
+        ev = [e for e in device.timeline.events if "chaos::backoff" in e.name]
+        assert len(ev) == 2
+        assert all(e.category == "overhead" for e in ev)
+        assert "spmv" in ev[0].name
+
+    def test_disabled_policy_does_not_retry(self, device):
+        fn, state = _flaky(1)
+        with pytest.raises(TransientKernelError):
+            with_retry(fn, device, DISABLED)
+        assert state["calls"] == 1
+        assert not [
+            e for e in device.timeline.events if "chaos::backoff" in e.name
+        ]
+
+    def test_on_retry_reports_attempt_numbers(self, device):
+        fn, _ = _flaky(2)
+        seen = []
+        with_retry(
+            fn, device, ResiliencePolicy(max_attempts=4), on_retry=seen.append
+        )
+        assert seen == [1, 2]
+
+    def test_unlisted_errors_propagate_immediately(self, device):
+        state = {"calls": 0}
+
+        def fn():
+            state["calls"] += 1
+            raise ValueError("not a device fault")
+
+        with pytest.raises(ValueError):
+            with_retry(fn, device, ResiliencePolicy(max_attempts=5))
+        assert state["calls"] == 1

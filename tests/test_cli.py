@@ -1,5 +1,6 @@
 """Command-line interface."""
 
+import numpy as np
 import pytest
 
 from repro.cli import build_parser, main
@@ -31,10 +32,61 @@ class TestCLI:
         assert "Matlab" in out
         assert "winner" in out
 
-    def test_unknown_dataset_rejected(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(["run", "imagenet"])
+    def test_unknown_dataset_rejected(self, capsys):
+        assert main(["run", "imagenet"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error: DatasetError:")
+        assert "imagenet" in err
 
     def test_command_required(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+
+class TestCLIFailureModes:
+    def test_missing_npz_path(self, tmp_path, capsys):
+        assert main(["run", str(tmp_path / "nope.npz")]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error: DatasetError:")
+        assert err.count("\n") == 1  # a single-line diagnostic
+
+    def test_malformed_npz(self, tmp_path, capsys):
+        bad = tmp_path / "bad.npz"
+        bad.write_bytes(b"definitely not a zip archive")
+        assert main(["run", str(bad)]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error: DatasetError:")
+
+    def test_npz_missing_required_arrays(self, tmp_path, capsys):
+        incomplete = tmp_path / "incomplete.npz"
+        np.savez(incomplete, name=np.array("x"))  # no n_clusters
+        assert main(["run", str(incomplete)]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error: DatasetError:")
+        assert "n_clusters" in err
+
+    def test_run_npz_problem_file(self, tmp_path, capsys):
+        from repro.datasets.io import save_problem
+        from repro.datasets.registry import load_dataset
+
+        path = tmp_path / "syn.npz"
+        save_problem(path, load_dataset("syn200", scale=0.03, seed=0))
+        assert main(["run", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "eigensolver" in out
+
+    def test_injected_fault_without_resilience_exits_nonzero(self, capsys):
+        assert main(
+            ["run", "syn200", "--scale", "0.03", "--chaos", "5",
+             "--no-resilience"]
+        ) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert "Error" in err.split(":")[1]  # typed error name
+        assert err.count("\n") == 1
+
+    def test_injected_fault_with_resilience_recovers(self, capsys):
+        assert main(["run", "syn200", "--scale", "0.03", "--chaos", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "injected faults fired" in out
+        assert "resilience[" in out
