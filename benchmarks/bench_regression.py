@@ -43,3 +43,42 @@ def test_quality_frozen(comparison):
         old = load_record(path)
         for col, ari in old.get("quality", {}).items():
             assert r.quality[col] == pytest.approx(ari, abs=1e-12), (name, col)
+
+
+def test_emit_machine_readable_summary(comparison):
+    """Write ``BENCH_regression.json`` at the repo root.
+
+    The machine-readable companion of the frozen records: per-dataset
+    per-stage simulated times and throughput (nodes per simulated
+    second), plus the serving-layer throughput summary.  CI uploads this
+    file as a workflow artifact so every run leaves a comparable trace.
+    """
+    import json
+
+    from bench_serve_throughput import serve_summary
+
+    payload = {"schema_version": 1, "datasets": {}}
+    for name in sorted(BENCH_SCALES):
+        r = comparison(name)
+        cuda_stages = {
+            stage: cols["cuda"] for stage, cols in r.stages.items()
+        }
+        total = sum(cuda_stages.values())
+        payload["datasets"][name] = {
+            "scale": r.scale,
+            "n": r.n,
+            "nnz_directed": r.nnz_directed,
+            "k": r.k,
+            "stages_simulated_s": cuda_stages,
+            "total_simulated_s": total,
+            "throughput_nodes_per_sim_s": r.n / total if total > 0 else 0.0,
+            "communication_s": r.comm,
+            "computation_s": r.comp,
+            "ari_cuda": r.quality.get("cuda"),
+        }
+    payload["serve"] = serve_summary()
+    out = Path(__file__).parent.parent / "BENCH_regression.json"
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    written = json.loads(out.read_text())
+    assert written["datasets"].keys() == BENCH_SCALES.keys()
+    assert written["serve"]["speedup"] >= 2.0

@@ -8,6 +8,9 @@ Commands
 ``compare``
     The three-column CUDA/Matlab/Python comparison (Tables III-VI layout)
     with the paper-scale projection.
+``serve``
+    Replay (or synthesize) a request trace through the clustering
+    service: micro-batching, embedding cache, multi-stream scheduling.
 ``datasets``
     List the registered workloads with paper-scale statistics.
 """
@@ -15,7 +18,18 @@ Commands
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+
+
+def _emit_json(payload: dict, dest: str) -> None:
+    """Write a JSON payload to a path, or to stdout when dest is '-'."""
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    if dest == "-":
+        print(text)
+    else:
+        with open(dest, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
 
 
 def _cmd_datasets(_args) -> int:
@@ -56,10 +70,124 @@ def _cmd_run(args) -> int:
         res = sc.fit(X=ds.points, edges=ds.edges)
     else:
         res = sc.fit(graph=ds.graph)
-    print(res.summary())
+    ari = None
     if ds.labels is not None and k == ds.n_clusters:
-        print(f"ARI vs ground truth: {adjusted_rand_index(res.labels, ds.labels):.3f}")
+        ari = adjusted_rand_index(res.labels, ds.labels)
+    labels_path = None
+    if args.labels_out:
+        import numpy as np
+
+        labels_path = args.labels_out
+        np.save(labels_path, res.labels)
+    if args.json:
+        payload = {
+            "dataset": str(args.dataset),
+            "scale": args.scale,
+            "seed": args.seed,
+            "n_clusters": int(res.n_clusters),
+            "n_nodes": int(res.labels.size),
+            "n_kept": int(res.kept.size),
+            "labels_path": labels_path,
+            "timings": {
+                "simulated_s": dict(res.timings.simulated),
+                "wall_s": dict(res.timings.wall),
+                "total_simulated_s": res.timings.total_simulated(),
+            },
+            "profile": {
+                "communication_s": res.profile.communication,
+                "computation_s": res.profile.computation,
+                "kernel_launches": res.profile.kernel_launches,
+            },
+            "eig_stats": dict(res.eig_stats),
+            "resilience": {
+                "stages": dict(res.resilience),
+                "degraded_stages": list(res.degraded_stages),
+                "fault_events_fired": len(res.fault_events),
+            },
+            "ari": ari,
+        }
+        _emit_json(payload, args.json)
+        if args.json != "-":
+            print(f"wrote {args.json}")
+    else:
+        print(res.summary())
+        if ari is not None:
+            print(f"ARI vs ground truth: {ari:.3f}")
+        if labels_path:
+            print(f"labels written to {labels_path}")
     return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.errors import ServiceError
+    from repro.serve import (
+        ClusterService,
+        ServiceConfig,
+        read_trace,
+        synthetic_trace,
+        verify_against_cold,
+        write_trace,
+    )
+
+    if bool(args.trace) == bool(args.synthetic):
+        raise ServiceError("provide exactly one of --trace FILE or "
+                           "--synthetic N")
+    if args.trace:
+        requests = read_trace(args.trace)
+    else:
+        requests = synthetic_trace(
+            n_requests=args.synthetic,
+            mean_interarrival=args.mean_interarrival,
+            chaos_every=args.chaos_every,
+            seed=args.seed,
+        )
+    if args.emit_trace:
+        write_trace(requests, args.emit_trace)
+        print(f"trace written to {args.emit_trace}", file=sys.stderr)
+
+    service = ClusterService(ServiceConfig(
+        queue_capacity=args.queue_capacity,
+        max_batch=args.max_batch,
+        n_devices=args.devices,
+        streams_per_device=args.streams,
+        cache_entries=args.cache_capacity,
+    ))
+    responses, report = service.process(requests)
+
+    verification = None
+    if args.verify_cold:
+        problems = verify_against_cold(responses, requests)
+        verification = {"checked": True, "mismatches": problems}
+        if problems:
+            for line in problems:
+                print(f"verify-cold MISMATCH: {line}", file=sys.stderr)
+        else:
+            print("verify-cold: all served responses bit-identical to "
+                  "cold runs", file=sys.stderr)
+
+    if args.json:
+        payload = report.as_dict()
+        payload["responses"] = [
+            {
+                "request_id": r.request_id,
+                "status": r.status,
+                "cache_hit": r.cache_hit,
+                "batch_id": r.batch_id,
+                "batch_size": r.batch_size,
+                "queue_wait_s": r.queue_wait,
+                "latency_s": r.latency,
+                "error": r.error,
+            }
+            for r in responses
+        ]
+        if verification is not None:
+            payload["verification"] = verification
+        _emit_json(payload, args.json)
+        if args.json != "-":
+            print(f"wrote {args.json}")
+    else:
+        print(report.format_report())
+    return 1 if (verification and verification["mismatches"]) else 0
 
 
 def _cmd_compare(args) -> int:
@@ -108,7 +236,48 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--no-resilience", action="store_true",
                        help="let injected faults propagate instead of "
                        "retrying/degrading/falling back")
+    run_p.add_argument("--json", metavar="PATH",
+                       help="write a machine-readable result (per-stage "
+                       "timings, resilience summary) to PATH, or '-' for "
+                       "stdout")
+    run_p.add_argument("--labels-out", metavar="PATH",
+                       help="save the label vector to PATH as .npy")
     run_p.set_defaults(fn=_cmd_run)
+
+    srv_p = sub.add_parser(
+        "serve", help="replay a request trace through the clustering service"
+    )
+    srv_p.add_argument("--trace", metavar="FILE",
+                       help="JSONL request trace to replay")
+    srv_p.add_argument("--synthetic", type=int, default=0, metavar="N",
+                       help="generate a synthetic N-request trace instead")
+    srv_p.add_argument("--emit-trace", metavar="PATH",
+                       help="also write the replayed trace to PATH (JSONL)")
+    srv_p.add_argument("--mean-interarrival", type=float, default=0.002,
+                       help="synthetic mean inter-arrival gap in simulated "
+                       "seconds (default 0.002)")
+    srv_p.add_argument("--chaos-every", type=int, default=0, metavar="N",
+                       help="arm every Nth synthetic request with a fault "
+                       "seed (0 = no chaos)")
+    srv_p.add_argument("--seed", type=int, default=0,
+                       help="synthetic trace generator seed")
+    srv_p.add_argument("--devices", type=int, default=1,
+                       help="simulated devices in the pool (default 1)")
+    srv_p.add_argument("--streams", type=int, default=2,
+                       help="streams per device (default 2)")
+    srv_p.add_argument("--queue-capacity", type=int, default=64,
+                       help="admission queue bound (default 64)")
+    srv_p.add_argument("--max-batch", type=int, default=8,
+                       help="micro-batch size cap (default 8)")
+    srv_p.add_argument("--cache-capacity", type=int, default=32,
+                       help="embedding cache entries, 0 disables (default 32)")
+    srv_p.add_argument("--verify-cold", action="store_true",
+                       help="re-run every served request cold and assert "
+                       "bit-identical labels and embeddings")
+    srv_p.add_argument("--json", metavar="PATH",
+                       help="write the service report (+ per-request facts) "
+                       "to PATH, or '-' for stdout")
+    srv_p.set_defaults(fn=_cmd_serve)
 
     cmp_p = sub.add_parser("compare", help="CUDA vs Matlab vs Python columns")
     common(cmp_p)

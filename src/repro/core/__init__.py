@@ -9,13 +9,14 @@ accounting; :mod:`repro.core.result` defines the result records.
 
 from repro.core.embedding import spectral_embedding
 from repro.core.pipeline import SpectralClustering
-from repro.core.result import ClusteringResult, StageTimings
+from repro.core.result import ClusteringResult, EmbeddingResult, StageTimings
 from repro.core.workflow import hybrid_eigensolver, EigStats
 
 __all__ = [
     "SpectralClustering",
     "spectral_embedding",
     "ClusteringResult",
+    "EmbeddingResult",
     "StageTimings",
     "hybrid_eigensolver",
     "EigStats",

@@ -14,6 +14,21 @@ platform:
 Graph input (FB/DBLP/Syn200-style) enters directly at step 2, exactly as
 §II notes.
 
+Staged entry points
+-------------------
+:meth:`SpectralClustering.fit` runs all four stages.  The serving layer
+(:mod:`repro.serve`) needs to reuse intermediate artifacts across
+requests, so the stages are also exposed as composable entry points with
+identical arithmetic:
+
+* :meth:`SpectralClustering.embed` — stages 1-3, returning an
+  :class:`~repro.core.result.EmbeddingResult` (the cacheable artifact);
+* :meth:`SpectralClustering.fit_embedding` — stage 4 on a precomputed
+  embedding, returning a full :class:`~repro.core.result.ClusteringResult`.
+
+``fit(graph=W)`` and ``fit_embedding(embed(graph=W))`` perform the same
+operations in the same order, so labels and embeddings agree bit for bit.
+
 Fault injection and resilience
 ------------------------------
 ``chaos=`` installs a :class:`~repro.chaos.plan.FaultPlan` (or builds one
@@ -37,7 +52,7 @@ import numpy as np
 from repro.chaos.plan import FaultPlan
 from repro.chaos.retry import ResiliencePolicy, TRANSIENT_ERRORS, with_retry
 from repro.chaos.runtime import chaos as _chaos_scope
-from repro.core.result import ClusteringResult, StageTimings
+from repro.core.result import ClusteringResult, EmbeddingResult, StageTimings
 from repro.core.workflow import hybrid_eigensolver
 from repro.cuda.device import Device
 from repro.cuda.profiler import Profiler
@@ -102,6 +117,15 @@ def _run_resilient(device, policy, stage, gpu_attempts, cpu_fn):
         return cpu_fn(), rec
     assert last_err is not None
     raise last_err
+
+
+def _fresh_rec() -> dict:
+    return {"retries": 0, "degrade_steps": 0, "resumes": 0, "fallback": None}
+
+
+def _note(resilience: dict, stage: str, rec: dict) -> None:
+    if any(bool(v) for v in rec.values()):
+        resilience[stage] = rec
 
 
 class SpectralClustering:
@@ -228,6 +252,24 @@ class SpectralClustering:
             return ResiliencePolicy()
         return self.resilience
 
+    def _check_inputs(self, X, edges, graph) -> None:
+        point_input = X is not None
+        if point_input == (graph is not None):
+            raise ClusteringError(
+                "provide either (X, edges) for the point path or graph= for "
+                "the graph path, not both"
+            )
+        if point_input and edges is None:
+            raise ClusteringError("point input requires the ε-neighborhood edges")
+
+    def _context(self):
+        """(device, policy, plan, chaos-scope) for one top-level entry."""
+        device = self.device if self.device is not None else Device()
+        policy = self._policy()
+        plan = self._fault_plan()
+        scope = _chaos_scope(plan) if plan is not None else contextlib.nullcontext()
+        return device, policy, plan, scope
+
     # ------------------------------------------------------------------
     def fit(
         self,
@@ -240,21 +282,81 @@ class SpectralClustering:
         Exactly one input form must be provided.  Returns a
         :class:`~repro.core.result.ClusteringResult`.
         """
-        point_input = X is not None
-        if point_input == (graph is not None):
-            raise ClusteringError(
-                "provide either (X, edges) for the point path or graph= for "
-                "the graph path, not both"
-            )
-        if point_input and edges is None:
-            raise ClusteringError("point input requires the ε-neighborhood edges")
-
-        device = self.device if self.device is not None else Device()
-        policy = self._policy()
-        plan = self._fault_plan()
-        scope = _chaos_scope(plan) if plan is not None else contextlib.nullcontext()
+        self._check_inputs(X, edges, graph)
+        device, policy, plan, scope = self._context()
         with scope:
             return self._fit_under_plan(device, policy, plan, X, edges, graph)
+
+    def embed(
+        self,
+        X: np.ndarray | None = None,
+        edges: np.ndarray | None = None,
+        graph: COOMatrix | CSRMatrix | None = None,
+    ) -> EmbeddingResult:
+        """Run stages 1-3 only and return the reusable spectral embedding.
+
+        The returned :class:`~repro.core.result.EmbeddingResult` is the
+        artifact the serving layer caches: feeding it to
+        :meth:`fit_embedding` on an estimator with the same parameters
+        reproduces :meth:`fit` bit for bit while skipping the Laplacian
+        build and the Lanczos solve.
+        """
+        self._check_inputs(X, edges, graph)
+        device, policy, plan, scope = self._context()
+        with scope:
+            prof = Profiler(device)
+            prof.start()
+            timings = StageTimings()
+            resilience: dict[str, dict] = {}
+            theta, embedding, kept, n_total, stats = self._embed_stages(
+                device, policy, X, edges, graph, timings, resilience
+            )
+            return EmbeddingResult(
+                embedding=embedding,
+                eigenvalues=theta,
+                kept=kept,
+                n_total=n_total,
+                timings=timings,
+                profile=prof.stop(),
+                eig_stats=stats.as_dict(),
+                resilience=resilience,
+                fault_events=plan.schedule if plan is not None else (),
+            )
+
+    def fit_embedding(self, emb: EmbeddingResult) -> ClusteringResult:
+        """Run stage 4 (k-means) on a precomputed spectral embedding.
+
+        The cache-hit path of the serving layer: no similarity build, no
+        Laplacian, no eigensolve — only the k-means stage charges
+        simulated time.  ``emb`` must come from :meth:`embed` on an
+        estimator with the same embedding-relevant parameters for the
+        result to match a cold :meth:`fit`.
+        """
+        if emb.embedding.ndim != 2:
+            raise ClusteringError(
+                f"embedding must be 2-D, got shape {emb.embedding.shape}"
+            )
+        device, policy, plan, scope = self._context()
+        with scope:
+            prof = Profiler(device)
+            prof.start()
+            timings = StageTimings()
+            resilience: dict[str, dict] = {}
+            km = self._kmeans_stage(device, policy, emb.embedding, timings, resilience)
+            labels_full = np.full(emb.n_total, -1, dtype=np.int64)
+            labels_full[emb.kept] = km.labels
+            return ClusteringResult(
+                labels=labels_full,
+                eigenvalues=emb.eigenvalues,
+                embedding=emb.embedding,
+                kmeans=km,
+                timings=timings,
+                profile=prof.stop(),
+                eig_stats=dict(emb.eig_stats),
+                kept=emb.kept,
+                resilience=resilience,
+                fault_events=plan.schedule if plan is not None else (),
+            )
 
     # ------------------------------------------------------------------
     def _fit_under_plan(
@@ -265,13 +367,59 @@ class SpectralClustering:
         timings = StageTimings()
         resilience: dict[str, dict] = {}
 
-        def note(stage: str, rec: dict) -> None:
-            if any(bool(v) for v in rec.values()):
-                resilience[stage] = rec
+        theta, embedding, kept, n_total, stats = self._embed_stages(
+            device, policy, X, edges, graph, timings, resilience
+        )
+        km = self._kmeans_stage(device, policy, embedding, timings, resilience)
 
-        def fresh_rec() -> dict:
-            return {"retries": 0, "degrade_steps": 0, "resumes": 0,
-                    "fallback": None}
+        labels_full = np.full(n_total, -1, dtype=np.int64)
+        labels_full[kept] = km.labels
+        report = prof.stop()
+        return ClusteringResult(
+            labels=labels_full,
+            eigenvalues=theta,
+            embedding=embedding,
+            kmeans=km,
+            timings=timings,
+            profile=report,
+            eig_stats=stats.as_dict(),
+            kept=kept,
+            resilience=resilience,
+            fault_events=plan.schedule if plan is not None else (),
+        )
+
+    # ------------------------------------------------------------------
+    # stages (each charges its own simulated + wall time into `timings`)
+    # ------------------------------------------------------------------
+    def _embed_stages(self, device, policy, X, edges, graph, timings, resilience):
+        """Stages 1-3: similarity graph → operator → eigenvectors."""
+        dcoo, n_total, kept = self._similarity_stage(
+            device, policy, X, edges, graph, timings, resilience
+        )
+        n = dcoo.shape[0]
+        dcsr = None
+        try:
+            if n <= self.n_clusters:
+                raise ClusteringError(
+                    f"only {n} non-isolated nodes for k={self.n_clusters} clusters"
+                )
+            dcsr, shift, deg_kept = self._operator_stage(
+                device, policy, dcoo, timings, resilience
+            )
+            dcoo.free()
+            theta, embedding, stats = self._eigensolver_stage(
+                device, policy, dcsr, shift, deg_kept, timings, resilience
+            )
+        finally:
+            # a fault that escapes resilience must not leak the operator
+            dcoo.free()
+            if dcsr is not None:
+                dcsr.free()
+        return theta, embedding, kept, n_total, stats
+
+    def _similarity_stage(self, device, policy, X, edges, graph, timings, resilience):
+        """Stage 1: build/upload the similarity graph; returns
+        ``(device COO, n_total, kept)``."""
 
         def upload(fn, stage_name: str, rec: dict):
             # uploads are idempotent, so even an injected OOM is retryable
@@ -283,7 +431,6 @@ class SpectralClustering:
                 errors=TRANSIENT_ERRORS + (DeviceMemoryError,), on_retry=bump,
             )
 
-        # ---- stage 1: similarity matrix ---------------------------------
         t0 = time.perf_counter()
         sim_start = device.elapsed
         point_input = X is not None
@@ -339,7 +486,7 @@ class SpectralClustering:
                         ),
                         "similarity", rec,
                     )
-            note("similarity", rec)
+            _note(resilience, "similarity", rec)
         else:
             assert graph is not None
             n_total = graph.shape[0]
@@ -350,156 +497,144 @@ class SpectralClustering:
                     f"{n_total - kept.size} isolated nodes; the paper "
                     "requires D_ii > 0 (use handle_isolated='remove')"
                 )
-            rec = fresh_rec()
+            rec = _fresh_rec()
             with device.stage("similarity"):
                 dcoo = upload(
                     lambda: coo_to_device(device, W_sub.to_coo().sorted_by_row()),
                     "similarity", rec,
                 )
-            note("similarity", rec)
-        n = dcoo.shape[0]
+            _note(resilience, "similarity", rec)
         timings.wall["similarity"] = time.perf_counter() - t0
         timings.simulated["similarity"] = device.elapsed - sim_start
+        return dcoo, n_total, kept
 
-        dcsr = None
-        try:
-            if n <= self.n_clusters:
-                raise ClusteringError(
-                    f"only {n} non-isolated nodes for k={self.n_clusters} clusters"
-                )
-
-            # ---- stage 2: normalized operator (Algorithm 2) ------------------
-            t0 = time.perf_counter()
-            lap_start = device.elapsed
-            # keep degrees for the sym->rw eigenvector back-mapping
-            deg_kept = np.bincount(
-                dcoo.row.data, weights=dcoo.val.data, minlength=dcoo.shape[0]
-            )
-            # ScaleElements rescales the COO values in place, so a retried
-            # attempt must first restore them from this host mirror
-            val0 = dcoo.val.data.copy() if policy.enabled else None
-
-            def lap_gpu():
-                if val0 is not None:
-                    dcoo.val.data[...] = val0
-                if self.objective == "ratiocut":
-                    return device_shifted_laplacian(dcoo)
-                if self.operator == "sym":
-                    return device_sym_normalize(dcoo), 0.0
-                return device_rw_normalize(dcoo), 0.0
-
-            def lap_cpu():
-                vals = (val0 if val0 is not None else dcoo.val.data).copy()
-                W_host = COOMatrix(
-                    dcoo.row.data.copy(), dcoo.col.data.copy(), vals,
-                    dcoo.shape, check=False,
-                )
-                if self.objective == "ratiocut":
-                    d = degrees(W_host)
-                    c = 2.0 * float(d.max()) if d.size else 0.0
-                    host_csr = diags(c - d).add(W_host.to_csr())
-                    sh = c
-                elif self.operator == "sym":
-                    host_csr = sym_normalized_adjacency(W_host)
-                    sh = 0.0
-                else:
-                    host_csr = rw_normalized_adjacency(W_host)
-                    sh = 0.0
-                with device.stage("laplacian"):
-                    up = with_retry(
-                        lambda: csr_to_device(device, host_csr),
-                        device, policy, site="laplacian.upload",
-                    )
-                return up, sh
-
-            (dcsr, shift), rec = _run_resilient(
-                device, policy, "laplacian", [lap_gpu], lap_cpu
-            )
-            note("laplacian", rec)
-            dcoo.free()
-            timings.wall["laplacian"] = time.perf_counter() - t0
-            timings.simulated["laplacian"] = device.elapsed - lap_start
-
-            # ---- stage 3: eigensolver (Algorithm 3) --------------------------
-            t0 = time.perf_counter()
-            eig_start = device.elapsed
-            theta, U, stats = hybrid_eigensolver(
-                device, dcsr, k=self.n_clusters, m=self.m,
-                tol=self.eig_tol, maxiter=self.eig_maxiter, seed=self.seed,
-                policy=policy,
-            )
-            note("eigensolver", {
-                "retries": stats.spmv_retries,
-                "degrade_steps": 0,
-                "resumes": stats.n_resumes,
-                "fallback": stats.fallback,
-            })
-            dcsr.free()
-            if self.objective == "ratiocut":
-                # top of cI - L == bottom of L: report λ(L) ascending
-                order = np.argsort(theta)[::-1]
-                theta = shift - theta[order]
-                U = U[:, order]
-            else:
-                # largest k eigenvalues of D^{-1}W == smallest of L_n (§IV.B)
-                order = np.argsort(theta)[::-1]
-                theta = theta[order]
-                U = U[:, order]
-                if self.operator == "sym":
-                    # map eigenvectors of D^{-1/2}WD^{-1/2} to those of D^{-1}W
-                    inv_sqrt = 1.0 / np.sqrt(np.where(deg_kept > 0, deg_kept, 1.0))
-                    U = U * inv_sqrt[:, None]
-            embedding = normalize_rows(U) if self.normalize_rows else U
-            timings.wall["eigensolver"] = time.perf_counter() - t0
-            timings.simulated["eigensolver"] = device.elapsed - eig_start
-
-            # ---- stage 4: k-means (Algorithms 4-5) ---------------------------
-            t0 = time.perf_counter()
-            km_start = device.elapsed
-            n_emb = embedding.shape[0]
-
-            def km_gpu(tile):
-                return lambda: kmeans_device(
-                    device, embedding, self.n_clusters,
-                    init=self.kmeans_init, max_iter=self.kmeans_max_iter,
-                    seed=self.seed, tile_rows=tile,
-                )
-
-            def km_cpu():
-                return kmeans_cpu(
-                    embedding, self.n_clusters,
-                    init=self.kmeans_init, max_iter=self.kmeans_max_iter,
-                    seed=self.seed,
-                )
-
-            km, rec = _run_resilient(
-                device, policy, "kmeans",
-                [km_gpu(None),
-                 km_gpu(max(1, n_emb // 4)),
-                 km_gpu(max(1, n_emb // 16))],
-                km_cpu,
-            )
-            note("kmeans", rec)
-            timings.wall["kmeans"] = time.perf_counter() - t0
-            timings.simulated["kmeans"] = device.elapsed - km_start
-        finally:
-            # a fault that escapes resilience must not leak the operator
-            dcoo.free()
-            if dcsr is not None:
-                dcsr.free()
-
-        labels_full = np.full(n_total, -1, dtype=np.int64)
-        labels_full[kept] = km.labels
-        report = prof.stop()
-        return ClusteringResult(
-            labels=labels_full,
-            eigenvalues=theta,
-            embedding=embedding,
-            kmeans=km,
-            timings=timings,
-            profile=report,
-            eig_stats=stats.as_dict(),
-            kept=kept,
-            resilience=resilience,
-            fault_events=plan.schedule if plan is not None else (),
+    def _operator_stage(self, device, policy, dcoo, timings, resilience):
+        """Stage 2 (Algorithm 2): normalized operator in device CSR;
+        returns ``(device CSR, shift, kept-degree vector)``."""
+        t0 = time.perf_counter()
+        lap_start = device.elapsed
+        # keep degrees for the sym->rw eigenvector back-mapping
+        deg_kept = np.bincount(
+            dcoo.row.data, weights=dcoo.val.data, minlength=dcoo.shape[0]
         )
+        # ScaleElements rescales the COO values in place, so a retried
+        # attempt must first restore them from this host mirror
+        val0 = dcoo.val.data.copy() if policy.enabled else None
+
+        def lap_gpu():
+            if val0 is not None:
+                dcoo.val.data[...] = val0
+            if self.objective == "ratiocut":
+                return device_shifted_laplacian(dcoo)
+            if self.operator == "sym":
+                return device_sym_normalize(dcoo), 0.0
+            return device_rw_normalize(dcoo), 0.0
+
+        def lap_cpu():
+            vals = (val0 if val0 is not None else dcoo.val.data).copy()
+            W_host = COOMatrix(
+                dcoo.row.data.copy(), dcoo.col.data.copy(), vals,
+                dcoo.shape, check=False,
+            )
+            if self.objective == "ratiocut":
+                d = degrees(W_host)
+                c = 2.0 * float(d.max()) if d.size else 0.0
+                host_csr = diags(c - d).add(W_host.to_csr())
+                sh = c
+            elif self.operator == "sym":
+                host_csr = sym_normalized_adjacency(W_host)
+                sh = 0.0
+            else:
+                host_csr = rw_normalized_adjacency(W_host)
+                sh = 0.0
+            with device.stage("laplacian"):
+                up = with_retry(
+                    lambda: csr_to_device(device, host_csr),
+                    device, policy, site="laplacian.upload",
+                )
+            return up, sh
+
+        (dcsr, shift), rec = _run_resilient(
+            device, policy, "laplacian", [lap_gpu], lap_cpu
+        )
+        _note(resilience, "laplacian", rec)
+        timings.wall["laplacian"] = time.perf_counter() - t0
+        timings.simulated["laplacian"] = device.elapsed - lap_start
+        return dcsr, shift, deg_kept
+
+    def _eigensolver_stage(
+        self, device, policy, dcsr, shift, deg_kept, timings, resilience,
+        free_operator: bool = True,
+    ):
+        """Stage 3 (Algorithm 3): k leading eigenpairs + back-mapping;
+        returns ``(eigenvalues, embedding, stats)``.
+
+        ``free_operator=False`` keeps the device CSR alive so several
+        solves (different k/seed) can share one operator build — the
+        serving layer's micro-batching path.
+        """
+        t0 = time.perf_counter()
+        eig_start = device.elapsed
+        theta, U, stats = hybrid_eigensolver(
+            device, dcsr, k=self.n_clusters, m=self.m,
+            tol=self.eig_tol, maxiter=self.eig_maxiter, seed=self.seed,
+            policy=policy,
+        )
+        _note(resilience, "eigensolver", {
+            "retries": stats.spmv_retries,
+            "degrade_steps": 0,
+            "resumes": stats.n_resumes,
+            "fallback": stats.fallback,
+        })
+        if free_operator:
+            dcsr.free()
+        if self.objective == "ratiocut":
+            # top of cI - L == bottom of L: report λ(L) ascending
+            order = np.argsort(theta)[::-1]
+            theta = shift - theta[order]
+            U = U[:, order]
+        else:
+            # largest k eigenvalues of D^{-1}W == smallest of L_n (§IV.B)
+            order = np.argsort(theta)[::-1]
+            theta = theta[order]
+            U = U[:, order]
+            if self.operator == "sym":
+                # map eigenvectors of D^{-1/2}WD^{-1/2} to those of D^{-1}W
+                inv_sqrt = 1.0 / np.sqrt(np.where(deg_kept > 0, deg_kept, 1.0))
+                U = U * inv_sqrt[:, None]
+        embedding = normalize_rows(U) if self.normalize_rows else U
+        timings.wall["eigensolver"] = time.perf_counter() - t0
+        timings.simulated["eigensolver"] = device.elapsed - eig_start
+        return theta, embedding, stats
+
+    def _kmeans_stage(self, device, policy, embedding, timings, resilience):
+        """Stage 4 (Algorithms 4-5): cluster the embedding rows."""
+        t0 = time.perf_counter()
+        km_start = device.elapsed
+        n_emb = embedding.shape[0]
+
+        def km_gpu(tile):
+            return lambda: kmeans_device(
+                device, embedding, self.n_clusters,
+                init=self.kmeans_init, max_iter=self.kmeans_max_iter,
+                seed=self.seed, tile_rows=tile,
+            )
+
+        def km_cpu():
+            return kmeans_cpu(
+                embedding, self.n_clusters,
+                init=self.kmeans_init, max_iter=self.kmeans_max_iter,
+                seed=self.seed,
+            )
+
+        km, rec = _run_resilient(
+            device, policy, "kmeans",
+            [km_gpu(None),
+             km_gpu(max(1, n_emb // 4)),
+             km_gpu(max(1, n_emb // 16))],
+            km_cpu,
+        )
+        _note(resilience, "kmeans", rec)
+        timings.wall["kmeans"] = time.perf_counter() - t0
+        timings.simulated["kmeans"] = device.elapsed - km_start
+        return km

@@ -24,8 +24,12 @@ from repro.cuda.memory import DeviceArray
 from repro.cuda.kernel import Kernel, launch, LaunchConfig
 from repro.cuda.launch import grid_1d, occupancy
 from repro.cuda.stream import Stream, Event
-from repro.cuda.profiler import Profiler, ProfileReport
-from repro.cuda.trace import export_chrome_trace, timeline_to_trace_events
+from repro.cuda.profiler import Profiler, ProfileReport, merge_reports
+from repro.cuda.trace import (
+    export_chrome_trace,
+    schedule_to_trace_events,
+    timeline_to_trace_events,
+)
 
 __all__ = [
     "Device",
@@ -42,6 +46,8 @@ __all__ = [
     "Event",
     "Profiler",
     "ProfileReport",
+    "merge_reports",
     "export_chrome_trace",
+    "schedule_to_trace_events",
     "timeline_to_trace_events",
 ]

@@ -82,6 +82,37 @@ class Profiler:
         return _aggregate(self.device.timeline.events)
 
 
+def merge_reports(reports) -> ProfileReport:
+    """Sum several :class:`ProfileReport`\\ s into one.
+
+    The serving layer runs work on a pool of devices, each with its own
+    profiler; the service-level communication/computation split (and the
+    per-stage breakdown) is the sum over the pool.  Note the merged
+    ``total`` is aggregate busy time, not a makespan — overlap accounting
+    lives in the scheduler's timeline.
+    """
+    comm = 0.0
+    comp = 0.0
+    by_cat: dict[str, float] = {}
+    by_stage: dict[str, float] = {}
+    kernels = 0
+    for rep in reports:
+        comm += rep.communication
+        comp += rep.computation
+        kernels += rep.kernel_launches
+        for cat, secs in rep.by_category.items():
+            by_cat[cat] = by_cat.get(cat, 0.0) + secs
+        for stage, secs in rep.by_stage.items():
+            by_stage[stage] = by_stage.get(stage, 0.0) + secs
+    return ProfileReport(
+        communication=comm,
+        computation=comp,
+        by_category=by_cat,
+        by_stage=by_stage,
+        kernel_launches=kernels,
+    )
+
+
 def _aggregate(events) -> ProfileReport:
     comm = 0.0
     comp = 0.0

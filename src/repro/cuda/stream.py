@@ -1,10 +1,18 @@
 """Streams and events on the simulated timeline.
 
 The paper's pipeline is serialized on the default stream (each eigensolver
-iteration must round-trip the PCIe bus), so the stream model here is simple:
-a stream is a view onto the device timeline, and events capture simulated
-timestamps.  ``Event.elapsed_time`` reproduces ``cudaEventElapsedTime``
+iteration must round-trip the PCIe bus), so for a single job a stream is
+just a view onto the device timeline, and events capture simulated
+timestamps; ``Event.elapsed_time`` reproduces ``cudaEventElapsedTime``
 semantics (milliseconds).
+
+For the serving layer each stream additionally behaves as an in-order
+*lane* with a known horizon: :meth:`Stream.reserve` books a span of
+simulated work onto the stream, starting no earlier than both the caller's
+ready time and the stream's previous work — exactly the FIFO semantics of
+a real CUDA stream.  The scheduler multiplexes jobs over several streams
+per device (and several devices) by reserving spans and taking the
+earliest-available lane.
 """
 
 from __future__ import annotations
@@ -46,10 +54,22 @@ class Event:
 
 
 class Stream:
-    """An in-order work queue (the simulation executes synchronously)."""
+    """An in-order work queue (the simulation executes synchronously).
 
-    def __init__(self, device: Device | None = None) -> None:
+    Parameters
+    ----------
+    device:
+        Owning device (default device if omitted).
+    name:
+        Optional label; lanes created by the serving scheduler are named
+        ``"dev<i>/s<j>"`` so schedule exports are readable.
+    """
+
+    def __init__(self, device: Device | None = None, name: str = "") -> None:
         self.device = device if device is not None else get_default_device()
+        self.name = name
+        #: simulated time at which all work queued so far has completed
+        self.free_at = 0.0
 
     def synchronize(self) -> None:
         """Completes eagerly; still a fault site (``cudaStreamSynchronize``
@@ -59,5 +79,29 @@ class Stream:
     def record_event(self) -> Event:
         return Event(self.device).record(self)
 
+    # ------------------------------------------------------------------
+    # lane scheduling (serving layer)
+    # ------------------------------------------------------------------
+    def available_at(self, ready_at: float = 0.0) -> float:
+        """Earliest simulated time work ready at ``ready_at`` could start."""
+        return max(self.free_at, ready_at)
+
+    def reserve(self, ready_at: float, duration: float) -> tuple[float, float]:
+        """Book ``duration`` seconds of in-order work onto this stream.
+
+        The work starts at ``max(ready_at, free_at)`` (FIFO within the
+        stream, dependency-honoring across streams) and pushes the
+        stream's horizon to its end.  Returns ``(start, end)``.
+        """
+        if duration < 0:
+            raise StreamError(f"negative duration: {duration}")
+        if ready_at < 0:
+            raise StreamError(f"negative ready_at: {ready_at}")
+        start = self.available_at(ready_at)
+        end = start + duration
+        self.free_at = end
+        return start, end
+
     def __repr__(self) -> str:
-        return f"<Stream on {self.device.spec.name!r}>"
+        label = f" {self.name!r}" if self.name else ""
+        return f"<Stream{label} on {self.device.spec.name!r} free_at={self.free_at:.6f}>"

@@ -54,12 +54,61 @@ def timeline_to_trace_events(timeline: Timeline) -> list[dict]:
     return events
 
 
-def export_chrome_trace(timeline: Timeline, path: str | os.PathLike) -> int:
+def schedule_to_trace_events(timeline: Timeline) -> list[dict]:
+    """Convert an *overlapped* schedule timeline into Chrome trace dicts.
+
+    Used for the serving scheduler's view, where events were recorded at
+    absolute times with ``Timeline.record_at`` and the ``tag`` names the
+    lane (``"dev0/s1"``): each distinct tag becomes its own track, so
+    concurrent batches render as parallel rows instead of one interleaved
+    (and visually overlapping) track.
+    """
+    lanes = sorted({ev.tag or "unscheduled" for ev in timeline})
+    tid_of = {lane: i for i, lane in enumerate(lanes)}
+    events: list[dict] = []
+    for lane, tid in tid_of.items():
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": tid,
+                "args": {"name": lane},
+            }
+        )
+    for ev in timeline:
+        events.append(
+            {
+                "name": ev.name,
+                "cat": ev.category,
+                "ph": "X",
+                "pid": 1,
+                "tid": tid_of[ev.tag or "unscheduled"],
+                "ts": ev.start * 1e6,
+                "dur": ev.duration * 1e6,
+                "args": {"lane": ev.tag, "category": ev.category},
+            }
+        )
+    return events
+
+
+def export_chrome_trace(
+    timeline: Timeline, path: str | os.PathLike, tracks: str = "category"
+) -> int:
     """Write the timeline to ``path`` as a Chrome trace JSON.
 
-    Returns the number of duration events written.
+    ``tracks="category"`` (default) gives the nvprof-style view: one row
+    per event category.  ``tracks="lane"`` gives the scheduler view: one
+    row per tag, for overlapped timelines built with
+    ``Timeline.record_at``.  Returns the number of duration events
+    written.
     """
-    events = timeline_to_trace_events(timeline)
+    if tracks == "category":
+        events = timeline_to_trace_events(timeline)
+    elif tracks == "lane":
+        events = schedule_to_trace_events(timeline)
+    else:
+        raise ValueError(f"tracks must be 'category' or 'lane', got {tracks!r}")
     with open(path, "w", encoding="utf-8") as fh:
         json.dump({"traceEvents": events, "displayTimeUnit": "ms"}, fh)
     return sum(1 for e in events if e.get("ph") == "X")

@@ -94,3 +94,28 @@ class ChaosError(ReproError):
     """Raised for malformed fault-injection plans (unknown fault type,
     missing trigger, bad pattern) — configuration errors of the chaos
     subsystem itself, never injected faults."""
+
+
+class ServiceError(ReproError):
+    """Base class for errors raised by the serving layer (:mod:`repro.serve`)."""
+
+
+class AdmissionError(ServiceError):
+    """Raised when the bounded request queue rejects a submission — the
+    typed backpressure signal of admission control.  Carries the queue
+    capacity and occupancy so clients can implement retry policies."""
+
+    def __init__(self, message: str, capacity: int = 0, occupancy: int = 0) -> None:
+        super().__init__(message)
+        self.capacity = capacity
+        self.occupancy = occupancy
+
+
+class RequestError(ServiceError):
+    """Raised for malformed cluster requests (missing graph source,
+    invalid parameters) before they enter the queue."""
+
+
+class TraceFormatError(ServiceError):
+    """Raised when a request-trace file (JSONL replay input) is malformed:
+    bad JSON, missing required fields, or non-monotonic arrival times."""

@@ -63,6 +63,12 @@ class SimClock:
         self._now += dt
         return self._now
 
+    def advance_to(self, t: float) -> float:
+        """Advance to absolute time ``t`` (no-op if already past it)."""
+        if t > self._now:
+            self._now = t
+        return self._now
+
     def reset(self) -> None:
         self._now = 0.0
 
@@ -106,6 +112,37 @@ class Timeline:
             tag=self._tag,
         )
         self.clock.advance(duration)
+        self._events.append(ev)
+        return ev
+
+    def record_at(
+        self, name: str, category: str, start: float, duration: float,
+        tag: str = "",
+    ) -> TimelineEvent:
+        """Record an event at an absolute simulated start time.
+
+        Unlike :meth:`record`, the event does not begin at the current
+        clock and events may *overlap*: this is how a schedule spanning
+        several concurrent streams/devices is laid onto one timeline (the
+        serving scheduler's view).  The clock only ever moves forward, to
+        the latest event end seen so far.
+        """
+        if category not in CATEGORIES:
+            raise ValueError(
+                f"unknown category {category!r}; expected one of {CATEGORIES}"
+            )
+        if start < 0:
+            raise ValueError(f"negative start: {start}")
+        if duration < 0:
+            raise ValueError(f"negative duration: {duration}")
+        ev = TimelineEvent(
+            name=name,
+            category=category,
+            start=start,
+            duration=duration,
+            tag=tag or self._tag,
+        )
+        self.clock.advance_to(ev.end)
         self._events.append(ev)
         return ev
 
@@ -162,3 +199,47 @@ class Timeline:
         for ev in self._select(None, tag):
             out[ev.category] = out.get(ev.category, 0.0) + ev.duration
         return out
+
+    # ------------------------------------------------------------------
+    # occupancy (meaningful for overlapped timelines built by record_at)
+    # ------------------------------------------------------------------
+    def span(self) -> tuple[float, float]:
+        """``(earliest start, latest end)`` over all events (0, 0 if empty)."""
+        if not self._events:
+            return (0.0, 0.0)
+        return (
+            min(ev.start for ev in self._events),
+            max(ev.end for ev in self._events),
+        )
+
+    def busy_time(self, tag: str | None = None) -> float:
+        """Length of the union of event intervals (seconds).
+
+        With overlapping events (a multi-stream schedule) this is the
+        time at least one lane was busy; on an ordinary serial timeline
+        it equals :meth:`total`.
+        """
+        ivals = sorted(
+            (ev.start, ev.end) for ev in self._select(None, tag) if ev.duration > 0
+        )
+        busy = 0.0
+        cur_s: float | None = None
+        cur_e = 0.0
+        for s, e in ivals:
+            if cur_s is None:
+                cur_s, cur_e = s, e
+            elif s <= cur_e:
+                cur_e = max(cur_e, e)
+            else:
+                busy += cur_e - cur_s
+                cur_s, cur_e = s, e
+        if cur_s is not None:
+            busy += cur_e - cur_s
+        return busy
+
+    def utilization(self, tag: str | None = None) -> float:
+        """Busy time over the full span — lane/device occupancy in [0, 1]."""
+        lo, hi = self.span()
+        if hi <= lo:
+            return 0.0
+        return self.busy_time(tag) / (hi - lo)

@@ -1,0 +1,74 @@
+"""repro.serve — clustering-as-a-service on the simulated platform.
+
+A replay-driven serving layer over the spectral clustering pipeline:
+bounded admission, micro-batching of fingerprint-compatible requests,
+an LRU embedding cache with bit-identical hits, and a multi-stream /
+multi-device scheduler that charges queueing and overlap to the
+simulated clock.  See ``docs/serving.md`` for the model.
+"""
+
+from repro.serve.batcher import Batch, BatcherStats, MicroBatcher
+from repro.serve.cache import CacheStats, EmbeddingCache
+from repro.serve.fingerprint import (
+    embedding_key,
+    graph_fingerprint,
+    operator_key,
+    points_fingerprint,
+)
+from repro.serve.metrics import LatencyStats, ServiceReport, build_report, percentile
+from repro.serve.queue import AdmissionQueue, QueueStats
+from repro.serve.request import (
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_REJECTED,
+    ClusterRequest,
+    ClusterResponse,
+)
+from repro.serve.scheduler import ScheduledUnit, StreamScheduler
+from repro.serve.service import (
+    ClusterService,
+    ServiceConfig,
+    run_sequential,
+    verify_against_cold,
+)
+from repro.serve.traceio import (
+    read_trace,
+    request_from_dict,
+    request_to_dict,
+    synthetic_trace,
+    write_trace,
+)
+
+__all__ = [
+    "AdmissionQueue",
+    "Batch",
+    "BatcherStats",
+    "CacheStats",
+    "ClusterRequest",
+    "ClusterResponse",
+    "ClusterService",
+    "EmbeddingCache",
+    "LatencyStats",
+    "MicroBatcher",
+    "QueueStats",
+    "STATUS_FAILED",
+    "STATUS_OK",
+    "STATUS_REJECTED",
+    "ScheduledUnit",
+    "ServiceConfig",
+    "ServiceReport",
+    "StreamScheduler",
+    "build_report",
+    "embedding_key",
+    "graph_fingerprint",
+    "operator_key",
+    "percentile",
+    "points_fingerprint",
+    "read_trace",
+    "request_from_dict",
+    "request_to_dict",
+    "run_sequential",
+    "synthetic_trace",
+    "verify_against_cold",
+    "write_trace",
+]

@@ -1,0 +1,100 @@
+"""Content fingerprints: the cache/batching identity of a workload.
+
+The serving layer must decide when two requests refer to *the same*
+clustering problem.  Object identity is useless across a replayed trace
+(every line re-resolves its dataset), so identity is defined by content:
+
+* :func:`graph_fingerprint` — SHA-256 over the canonical CSR form of the
+  similarity graph (shape, ``indptr``, ``indices``, values).  Two graphs
+  with equal sparsity pattern and equal values fingerprint equally no
+  matter how they were constructed (COO entry order, duplicate
+  accumulation, format).
+* :func:`points_fingerprint` — the point-input analogue: SHA-256 over the
+  profile matrix, the ε-edge list, and the similarity measure parameters
+  (which determine the graph Algorithm 1 would build).
+
+On top of the workload fingerprint sit two composite keys:
+
+* :func:`operator_key` — identifies a *device operator build* (Algorithm 2
+  output).  Requests with equal operator keys can share one graph upload +
+  one Laplacian normalization in a micro-batch.
+* :func:`embedding_key` — identifies a *spectral embedding* (Algorithm 3
+  output).  This is the embedding-cache key: it adds every solver
+  parameter that influences the Lanczos iteration or the eigenvector
+  post-processing, so a cache hit is bit-identical to a cold solve by
+  construction — the cached array was produced by the exact computation
+  the key describes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csr import CSRMatrix
+
+
+def _h64(h: "hashlib._Hash", *ints: int) -> None:
+    for i in ints:
+        h.update(np.int64(i).tobytes())
+
+
+def graph_fingerprint(graph: COOMatrix | CSRMatrix) -> str:
+    """SHA-256 content hash of a similarity graph in canonical CSR form."""
+    csr = graph if isinstance(graph, CSRMatrix) else graph.to_csr()
+    h = hashlib.sha256(b"repro.graph.csr.v1")
+    _h64(h, csr.shape[0], csr.shape[1], csr.nnz)
+    h.update(np.ascontiguousarray(csr.indptr, dtype=np.int64).tobytes())
+    h.update(np.ascontiguousarray(csr.indices, dtype=np.int64).tobytes())
+    h.update(np.ascontiguousarray(csr.data, dtype=np.float64).tobytes())
+    return h.hexdigest()
+
+
+def points_fingerprint(
+    X: np.ndarray, edges: np.ndarray, measure: str, sigma: float
+) -> str:
+    """SHA-256 content hash of a point-input workload (Algorithm 1 inputs)."""
+    X = np.ascontiguousarray(X, dtype=np.float64)
+    edges = np.ascontiguousarray(edges, dtype=np.int64)
+    h = hashlib.sha256(b"repro.points.v1")
+    _h64(h, X.shape[0], X.shape[1] if X.ndim > 1 else 1, edges.shape[0])
+    h.update(X.tobytes())
+    h.update(edges.tobytes())
+    h.update(measure.encode("utf-8"))
+    h.update(np.float64(sigma).tobytes())
+    return h.hexdigest()
+
+
+def operator_key(
+    fingerprint: str, operator: str, objective: str, handle_isolated: str
+) -> tuple:
+    """Batch-compatibility key: requests sharing it can share one graph
+    upload + Laplacian build (stages 1-2)."""
+    return (fingerprint, operator, objective, handle_isolated)
+
+
+def embedding_key(
+    fingerprint: str,
+    operator: str,
+    objective: str,
+    handle_isolated: str,
+    n_clusters: int,
+    m: int | None,
+    eig_tol: float,
+    eig_maxiter: int | None,
+    seed: int | None,
+    normalize_rows: bool,
+) -> tuple:
+    """Embedding-cache key: every parameter that influences stages 1-3.
+
+    Note ``seed`` is included because it seeds the Lanczos start vector —
+    two requests with different seeds legitimately produce different
+    embeddings, so they must not share a cache slot.
+    """
+    return (
+        fingerprint, operator, objective, handle_isolated,
+        int(n_clusters), m, float(eig_tol), eig_maxiter, seed,
+        bool(normalize_rows),
+    )

@@ -1,0 +1,207 @@
+"""Request/response records of the clustering service.
+
+A :class:`ClusterRequest` names a workload either by *reference* (a
+registered dataset + scale + generator seed — the JSONL-serializable form
+used in replay traces) or by *value* (an in-memory graph or point set).
+All estimator parameters ride on the request, so any two requests are
+free to differ in ``n_clusters``, seeds, tolerances, or chaos plans while
+still sharing a graph.
+
+A :class:`ClusterResponse` carries the clustering output plus the
+service-side observability record: admission/queue/batch/cache facts and
+the simulated latency breakdown the metrics report aggregates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.chaos.plan import FaultPlan
+from repro.chaos.retry import DISABLED, ResiliencePolicy
+from repro.core.pipeline import SpectralClustering
+from repro.core.result import StageTimings
+from repro.errors import RequestError
+from repro.serve.fingerprint import (
+    embedding_key,
+    graph_fingerprint,
+    operator_key,
+    points_fingerprint,
+)
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csr import CSRMatrix
+
+#: response lifecycle outcomes
+STATUS_OK = "ok"
+STATUS_REJECTED = "rejected"
+STATUS_FAILED = "failed"
+
+
+@dataclass
+class ClusterRequest:
+    """One clustering job submitted to the service.
+
+    Exactly one workload source must be set: ``dataset`` (by reference,
+    replayable) or ``graph`` / ``X``+``edges`` (by value).
+    """
+
+    request_id: str
+    #: simulated submission time (seconds on the service clock)
+    arrival: float = 0.0
+
+    # -- workload by reference (JSONL-serializable) ---------------------
+    dataset: str | None = None
+    scale: float = 0.05
+    data_seed: int = 0
+
+    # -- workload by value ----------------------------------------------
+    graph: COOMatrix | CSRMatrix | None = None
+    X: np.ndarray | None = None
+    edges: np.ndarray | None = None
+
+    # -- estimator parameters (defaults mirror SpectralClustering) ------
+    n_clusters: int = 2
+    similarity: str = "crosscorr"
+    sigma: float = 1.0
+    operator: str = "sym"
+    objective: str = "ncut"
+    m: int | None = None
+    eig_tol: float = 1e-8
+    eig_maxiter: int | None = None
+    kmeans_init: str = "k-means++"
+    kmeans_max_iter: int = 300
+    normalize_rows: bool = False
+    handle_isolated: str = "remove"
+    seed: int | None = 0
+
+    # -- fault injection -------------------------------------------------
+    chaos: FaultPlan | int | None = None
+    no_resilience: bool = False
+
+    def __post_init__(self) -> None:
+        by_ref = self.dataset is not None
+        by_graph = self.graph is not None
+        by_points = self.X is not None
+        if sum((by_ref, by_graph, by_points)) != 1:
+            raise RequestError(
+                f"request {self.request_id!r}: provide exactly one of "
+                "dataset=, graph=, or X=/edges="
+            )
+        if by_points and self.edges is None:
+            raise RequestError(
+                f"request {self.request_id!r}: point input requires edges="
+            )
+        if self.arrival < 0:
+            raise RequestError(
+                f"request {self.request_id!r}: negative arrival {self.arrival}"
+            )
+
+    # ------------------------------------------------------------------
+    def estimator(self) -> SpectralClustering:
+        """A fresh estimator configured exactly as this request asks."""
+        return SpectralClustering(
+            n_clusters=self.n_clusters,
+            similarity=self.similarity,
+            sigma=self.sigma,
+            operator=self.operator,
+            objective=self.objective,
+            m=self.m,
+            eig_tol=self.eig_tol,
+            eig_maxiter=self.eig_maxiter,
+            kmeans_init=self.kmeans_init,
+            kmeans_max_iter=self.kmeans_max_iter,
+            normalize_rows=self.normalize_rows,
+            handle_isolated=self.handle_isolated,
+            seed=self.seed,
+            chaos=self.chaos,
+            resilience=DISABLED if self.no_resilience else None,
+        )
+
+    def policy(self) -> ResiliencePolicy:
+        return DISABLED if self.no_resilience else ResiliencePolicy()
+
+    def fault_plan(self) -> FaultPlan | None:
+        if self.chaos is None:
+            return None
+        if isinstance(self.chaos, FaultPlan):
+            return self.chaos
+        return FaultPlan.from_seed(self.chaos)
+
+    # ------------------------------------------------------------------
+    def workload_fingerprint(self) -> str:
+        """Content fingerprint of the resolved workload (graph or points).
+
+        For by-reference requests the service resolves the dataset first
+        and calls the module-level functions itself; this method covers
+        the by-value forms.
+        """
+        if self.graph is not None:
+            return graph_fingerprint(self.graph)
+        if self.X is not None:
+            return points_fingerprint(
+                self.X, self.edges, self.similarity, self.sigma
+            )
+        raise RequestError(
+            f"request {self.request_id!r} is by-reference; resolve the "
+            "dataset before fingerprinting"
+        )
+
+    def operator_key(self, fingerprint: str) -> tuple:
+        return operator_key(
+            fingerprint, self.operator, self.objective, self.handle_isolated
+        )
+
+    def embedding_key(self, fingerprint: str) -> tuple:
+        return embedding_key(
+            fingerprint, self.operator, self.objective, self.handle_isolated,
+            self.n_clusters, self.m, self.eig_tol, self.eig_maxiter,
+            self.seed, self.normalize_rows,
+        )
+
+
+@dataclass
+class ClusterResponse:
+    """The service's answer to one request, with observability attached."""
+
+    request_id: str
+    status: str = STATUS_OK
+    #: -1-filled labels on the original node indexing (None if not served)
+    labels: np.ndarray | None = None
+    eigenvalues: np.ndarray | None = None
+    embedding: np.ndarray | None = None
+
+    # -- service facts ---------------------------------------------------
+    cache_hit: bool = False
+    batch_id: int | None = None
+    batch_size: int = 0
+
+    # -- simulated clock breakdown ---------------------------------------
+    arrival: float = 0.0
+    #: when the batch containing this request started forming
+    batch_start: float = 0.0
+    #: when this request's last stage finished on its lane
+    completed: float = 0.0
+
+    timings: StageTimings | None = None
+    resilience: dict = field(default_factory=dict)
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
+
+    @property
+    def queue_wait(self) -> float:
+        """Seconds between arrival and the start of the serving batch."""
+        return max(0.0, self.batch_start - self.arrival)
+
+    @property
+    def latency(self) -> float:
+        """End-to-end simulated seconds from arrival to completion."""
+        return max(0.0, self.completed - self.arrival)
+
+    @property
+    def service_time(self) -> float:
+        """Simulated seconds between batch start and completion."""
+        return max(0.0, self.completed - self.batch_start)

@@ -1,0 +1,179 @@
+"""The multi-stream, multi-device scheduler.
+
+The simulated runtime executes synchronously, but serving wants the
+*schedule* a real deployment would see: several CUDA streams per device
+and several devices draining work concurrently.  The scheduler bridges
+the two honestly:
+
+1. a unit of work (an operator build, a Lanczos solve, one request's
+   k-means) **executes** on a real :class:`~repro.cuda.device.Device`,
+   charging its kernels/transfers to that device's serial timeline — the
+   duration is exactly what the cost model says the unit takes;
+2. the unit is then **placed** on the earliest-available stream lane
+   (FIFO per stream, dependencies respected via ``ready_at``) using
+   :meth:`~repro.cuda.stream.Stream.reserve`, and the placement is
+   recorded on an *overlapped* service timeline
+   (:meth:`~repro.hw.timeline.Timeline.record_at`);
+3. queue waits, latencies, makespan and occupancy are read off that
+   overlapped timeline, so concurrency never conjures up compute time —
+   it only overlaps spans whose durations the serial cost model produced.
+
+Work that must stay device-affine (a Lanczos solve reading an operator
+resident on device i's memory) passes ``device=``; host-input work (each
+request's k-means re-uploads the embedding) may land on any lane.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cuda.device import Device
+from repro.cuda.stream import Stream
+from repro.errors import ReproError, ServiceError
+from repro.hw.spec import GPUSpec, K20C, PCIE_X16_GEN2, PCIeSpec
+from repro.hw.timeline import Timeline
+
+
+@dataclass
+class ScheduledUnit:
+    """Outcome of one scheduled unit of work."""
+
+    label: str
+    value: object | None
+    error: ReproError | None
+    start: float
+    end: float
+    lane: str
+    device_index: int
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class StreamScheduler:
+    """Multiplexes work units over ``n_devices × streams_per_device`` lanes."""
+
+    def __init__(
+        self,
+        n_devices: int = 1,
+        streams_per_device: int = 2,
+        spec: GPUSpec = K20C,
+        pcie: PCIeSpec = PCIE_X16_GEN2,
+    ) -> None:
+        if n_devices < 1:
+            raise ServiceError(f"need at least one device, got {n_devices}")
+        if streams_per_device < 1:
+            raise ServiceError(
+                f"need at least one stream per device, got {streams_per_device}"
+            )
+        self.devices = [Device(spec, pcie) for _ in range(n_devices)]
+        self.lanes: list[Stream] = [
+            Stream(dev, name=f"dev{i}/s{j}")
+            for i, dev in enumerate(self.devices)
+            for j in range(streams_per_device)
+        ]
+        #: overlapped schedule: one TimelineEvent per unit, tag = lane name
+        self.schedule = Timeline()
+
+    # ------------------------------------------------------------------
+    def _candidate_lanes(self, device: Device | None) -> list[Stream]:
+        if device is None:
+            return self.lanes
+        lanes = [s for s in self.lanes if s.device is device]
+        if not lanes:
+            raise ServiceError("device is not managed by this scheduler")
+        return lanes
+
+    def pick_lane(self, ready_at: float, device: Device | None = None) -> Stream:
+        """Earliest-available lane (ties broken by lane order, so the
+        schedule is deterministic)."""
+        lanes = self._candidate_lanes(device)
+        return min(lanes, key=lambda s: s.available_at(ready_at))
+
+    def device_of(self, ready_at: float) -> Device:
+        """The device whose earliest lane would start soonest — used to
+        pin a batch's operator build before running it."""
+        return self.pick_lane(ready_at).device
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        label: str,
+        ready_at: float,
+        fn,
+        device: Device | None = None,
+        category: str = "kernel",
+    ) -> ScheduledUnit:
+        """Execute ``fn(device)`` and place its cost on a stream lane.
+
+        ``fn`` runs to completion (or to a :class:`ReproError`) on the
+        chosen device; the simulated duration it charged — including the
+        cost of failed attempts and resilience retries — is reserved on
+        the lane starting no earlier than ``ready_at``.  Errors are
+        captured, not raised: a faulted unit still occupies its lane for
+        the time it burned, exactly like a real stream.
+        """
+        lane = self.pick_lane(ready_at, device)
+        dev = lane.device
+        t0 = dev.elapsed
+        value: object | None = None
+        error: ReproError | None = None
+        try:
+            value = fn(dev)
+        except ReproError as err:
+            error = err
+        duration = dev.elapsed - t0
+        start, end = lane.reserve(ready_at, duration)
+        name = label if error is None else f"{label} [failed: {type(error).__name__}]"
+        self.schedule.record_at(name, category, start, duration, tag=lane.name)
+        return ScheduledUnit(
+            label=label,
+            value=value,
+            error=error,
+            start=start,
+            end=end,
+            lane=lane.name,
+            device_index=self.devices.index(dev),
+        )
+
+    # ------------------------------------------------------------------
+    # schedule-level aggregates
+    # ------------------------------------------------------------------
+    def makespan(self) -> float:
+        """Simulated time at which the last scheduled unit completes."""
+        _, hi = self.schedule.span()
+        return hi
+
+    def device_busy(self) -> dict[str, float]:
+        """Busy seconds per device (union over its lanes' spans)."""
+        out: dict[str, float] = {}
+        for i, dev in enumerate(self.devices):
+            name = f"dev{i}"
+            lanes = [s.name for s in self.lanes if s.device is dev]
+            busy = 0.0
+            for lane in lanes:
+                busy += self.schedule.busy_time(tag=lane)
+            out[name] = busy
+        return out
+
+    def occupancy(self) -> dict[str, float]:
+        """Per-device busy fraction of the makespan (0 when nothing ran).
+
+        Summed over a device's lanes, so a device running two streams
+        flat-out reports up to ``streams_per_device`` × the makespan of
+        busy time normalized back to [0, streams]; divided by lane count
+        to land in [0, 1].
+        """
+        span = self.makespan()
+        if span <= 0:
+            return {f"dev{i}": 0.0 for i in range(len(self.devices))}
+        lanes_per_dev = len(self.lanes) // len(self.devices)
+        return {
+            name: busy / (span * lanes_per_dev)
+            for name, busy in self.device_busy().items()
+        }

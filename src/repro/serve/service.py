@@ -1,0 +1,542 @@
+"""The clustering service: admission → micro-batching → scheduling.
+
+:class:`ClusterService` drives a replayable, discrete-event serving loop
+over the simulated platform:
+
+1. **Admission** — arrivals are admitted to a bounded
+   :class:`~repro.serve.queue.AdmissionQueue` in arrival order; overflow
+   gets a typed ``rejected`` response (backpressure, not failure).
+   Admission is evaluated at batch boundaries: while a batch is in
+   flight, newly arrived requests queue up and are admitted (or shed)
+   when the service clock reaches them.
+2. **Micro-batching** — the :class:`~repro.serve.batcher.MicroBatcher`
+   claims the oldest request plus every compatible queued request (same
+   graph fingerprint and Algorithm 2 parameters).  The batch shares one
+   graph upload + Laplacian build; embedding-compatible subgroups (same
+   k, solver seed, tolerances) share one Lanczos solve; every request
+   runs its own k-means.
+3. **Embedding cache** — before any device work, each subgroup consults
+   the LRU :class:`~repro.serve.cache.EmbeddingCache`; a hit skips
+   stages 1-3 entirely and is bit-identical to a cold run by
+   construction of the key.  Only fault-free computations are inserted.
+4. **Scheduling** — units execute through the
+   :class:`~repro.serve.scheduler.StreamScheduler`, which lays their
+   cost-model durations onto ``n_devices × streams_per_device`` lanes;
+   latency/throughput/occupancy are read off the overlapped schedule.
+
+Fault isolation
+---------------
+Each request's chaos plan is scoped to the units it *leads* (shared
+stages run under the FIFO leader's plan) plus its own k-means.  When a
+shared unit fails terminally, the leader gets a ``failed`` response and
+the unit is retried for the remaining members without the poisoned plan —
+a faulted job can therefore degrade (resilience recovers, recorded in its
+response) or fail alone, but never corrupts its batch-mates' results.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.chaos.runtime import chaos as _chaos_scope
+from repro.core.result import EmbeddingResult, StageTimings
+from repro.cuda.profiler import Profiler, merge_reports
+from repro.errors import AdmissionError, ClusteringError, ReproError, ServiceError
+from repro.hw.spec import GPUSpec, K20C, PCIE_X16_GEN2, PCIeSpec
+from repro.serve.batcher import Batch, MicroBatcher
+from repro.serve.cache import EmbeddingCache
+from repro.serve.metrics import ServiceReport, build_report
+from repro.serve.queue import AdmissionQueue
+from repro.serve.request import (
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_REJECTED,
+    ClusterRequest,
+    ClusterResponse,
+)
+from repro.serve.scheduler import StreamScheduler
+
+
+@dataclass
+class ServiceConfig:
+    """Tunables of one service instance."""
+
+    queue_capacity: int = 64
+    max_batch: int = 8
+    n_devices: int = 1
+    streams_per_device: int = 2
+    cache_entries: int = 32
+    spec: GPUSpec = K20C
+    pcie: PCIeSpec = PCIE_X16_GEN2
+
+
+@dataclass
+class _OperatorBuild:
+    """Stages 1-2 output shared by a batch (device-resident)."""
+
+    dcsr: object
+    shift: float
+    deg_kept: np.ndarray
+    kept: np.ndarray
+    n_total: int
+    timings: StageTimings
+    resilience: dict
+    profile: object
+
+    @property
+    def n(self) -> int:
+        return self.dcsr.shape[0]
+
+
+class ClusterService:
+    """An async-style clustering service over the simulated platform.
+
+    The service is replay-driven: :meth:`process` consumes a list of
+    :class:`~repro.serve.request.ClusterRequest` (arrivals on the
+    simulated clock) and returns per-request responses plus a
+    :class:`~repro.serve.metrics.ServiceReport`.
+    """
+
+    def __init__(self, config: ServiceConfig | None = None) -> None:
+        self.config = config if config is not None else ServiceConfig()
+        self.scheduler = StreamScheduler(
+            n_devices=self.config.n_devices,
+            streams_per_device=self.config.streams_per_device,
+            spec=self.config.spec,
+            pcie=self.config.pcie,
+        )
+        self.queue = AdmissionQueue(self.config.queue_capacity)
+        self.cache = EmbeddingCache(self.config.cache_entries)
+        self.batcher = MicroBatcher(
+            self.config.max_batch,
+            key_of=lambda req: req.operator_key(self._fingerprint(req)),
+        )
+        #: request_id -> content fingerprint (filled at admission)
+        self._fps: dict[str, str] = {}
+        #: request_id -> the one FaultPlan instance scoped to its units
+        self._plans: dict[str, object] = {}
+        #: memoized dataset resolution
+        self._datasets: dict[tuple, object] = {}
+        #: embedding key -> simulated time its cached entry became available
+        self._cache_ready: dict[tuple, float] = {}
+
+    # ------------------------------------------------------------------
+    # workload resolution
+    # ------------------------------------------------------------------
+    def _resolve(self, req: ClusterRequest):
+        """``(graph, X, edges)`` for a request, loading dataset refs once."""
+        if req.dataset is None:
+            return req.graph, req.X, req.edges
+        key = (req.dataset, req.scale, req.data_seed)
+        if key not in self._datasets:
+            from repro.datasets.registry import load_dataset
+
+            self._datasets[key] = load_dataset(
+                req.dataset, scale=req.scale, seed=req.data_seed
+            )
+        ds = self._datasets[key]
+        return ds.graph, ds.points, ds.edges
+
+    def _fingerprint(self, req: ClusterRequest) -> str:
+        fp = self._fps.get(req.request_id)
+        if fp is None:
+            from repro.serve.fingerprint import graph_fingerprint, points_fingerprint
+
+            graph, X, edges = self._resolve(req)
+            if graph is not None:
+                fp = graph_fingerprint(graph)
+            else:
+                fp = points_fingerprint(X, edges, req.similarity, req.sigma)
+            self._fps[req.request_id] = fp
+        return fp
+
+    def _plan(self, req: ClusterRequest):
+        if req.request_id not in self._plans:
+            self._plans[req.request_id] = req.fault_plan()
+        return self._plans[req.request_id]
+
+    def _scoped(self, req: ClusterRequest, fn):
+        """Wrap a unit so it executes under ``req``'s chaos plan."""
+        plan = self._plan(req)
+
+        def wrapped(dev):
+            scope = (
+                _chaos_scope(plan) if plan is not None
+                else contextlib.nullcontext()
+            )
+            with scope:
+                return fn(dev)
+
+        return wrapped
+
+    # ------------------------------------------------------------------
+    # the replay loop
+    # ------------------------------------------------------------------
+    def process(
+        self, requests: list[ClusterRequest]
+    ) -> tuple[list[ClusterResponse], ServiceReport]:
+        """Serve a full request trace; returns (responses, report).
+
+        Responses come back in request order.  The service clock starts
+        at 0 and only ever advances: to the next arrival when idle, past
+        each batch's completion otherwise.
+        """
+        pending = sorted(requests, key=lambda r: (r.arrival, r.request_id))
+        seen: set[str] = set()
+        for req in pending:
+            if req.request_id in seen:
+                raise ServiceError(f"duplicate request_id {req.request_id!r}")
+            seen.add(req.request_id)
+        responses: dict[str, ClusterResponse] = {}
+        clock = 0.0
+        i = 0
+        while i < len(pending) or self.queue:
+            while i < len(pending) and pending[i].arrival <= clock:
+                req = pending[i]
+                i += 1
+                try:
+                    self._fingerprint(req)  # resolve + fingerprint up front
+                    self.queue.submit(req)
+                except AdmissionError as err:
+                    responses[req.request_id] = ClusterResponse(
+                        request_id=req.request_id,
+                        status=STATUS_REJECTED,
+                        arrival=req.arrival,
+                        batch_start=req.arrival,
+                        completed=req.arrival,
+                        error=str(err),
+                    )
+                except ReproError as err:
+                    responses[req.request_id] = ClusterResponse(
+                        request_id=req.request_id,
+                        status=STATUS_FAILED,
+                        arrival=req.arrival,
+                        batch_start=req.arrival,
+                        completed=req.arrival,
+                        error=f"{type(err).__name__}: {err}",
+                    )
+            if not self.queue:
+                if i < len(pending):
+                    clock = pending[i].arrival
+                    continue
+                break
+            batch = self.batcher.form(self.queue)
+            self._serve_batch(batch, clock, responses)
+            # dispatch the next batch as soon as any lane frees up (or
+            # immediately, if a lane is already idle) — batches are
+            # independent, so a multi-stream pool drains them concurrently
+            clock = max(clock, min(s.free_at for s in self.scheduler.lanes))
+
+        ordered = [responses[r.request_id] for r in requests]
+        profile = merge_reports(
+            Profiler(dev).snapshot() for dev in self.scheduler.devices
+        )
+        report = build_report(
+            ordered, self.scheduler, self.queue.stats, self.batcher.stats,
+            self.cache.stats, profile,
+        )
+        return ordered, report
+
+    # ------------------------------------------------------------------
+    # batch execution
+    # ------------------------------------------------------------------
+    def _fail(self, responses, req, err, batch, t_batch, completed) -> None:
+        responses[req.request_id] = ClusterResponse(
+            request_id=req.request_id,
+            status=STATUS_FAILED,
+            arrival=req.arrival,
+            batch_start=t_batch,
+            completed=completed,
+            batch_id=batch.batch_id,
+            batch_size=len(batch),
+            error=f"{type(err).__name__}: {err}",
+        )
+
+    def _serve_batch(self, batch: Batch, t_batch: float, responses) -> float:
+        """Serve one batch; returns the simulated completion time."""
+        fp = batch.group_key[0]
+        groups = batch.embedding_groups(lambda r: r.embedding_key(fp))
+
+        # --- consult the cache per embedding group -----------------------
+        cached: dict[tuple, EmbeddingResult] = {}
+        misses: list[tuple] = []
+        for key in groups:
+            hit = self.cache.get(key)
+            if hit is not None:
+                cached[key] = hit
+            else:
+                misses.append(key)
+
+        batch_end = t_batch
+        op: _OperatorBuild | None = None
+        op_unit = None
+        dead: set[str] = set()
+
+        try:
+            # --- shared stages 1-2 (only if some group must solve) -------
+            if misses:
+                miss_members = [
+                    r for key in misses for r in groups[key]
+                ]
+                order = {r.request_id: j for j, r in enumerate(batch.requests)}
+                miss_members.sort(key=lambda r: order[r.request_id])
+                while miss_members:
+                    leader = miss_members[0]
+                    unit = self.scheduler.run(
+                        f"b{batch.batch_id}:operator",
+                        ready_at=t_batch,
+                        fn=self._scoped(leader, self._build_fn(leader)),
+                    )
+                    batch_end = max(batch_end, unit.end)
+                    if unit.ok:
+                        op = unit.value
+                        op_unit = unit
+                        break
+                    self._fail(
+                        responses, leader, unit.error, batch, t_batch, unit.end
+                    )
+                    dead.add(leader.request_id)
+                    miss_members = miss_members[1:]
+                if op is None:
+                    # every miss-group member failed leading the build;
+                    # cache-hit groups still get served below
+                    misses = []
+
+            # --- stage 3 per embedding group -----------------------------
+            # a hit can piggyback on an entry whose solve is still in
+            # flight on another lane: k-means then waits for availability
+            ready: dict[tuple, float] = {
+                key: max(t_batch, self._cache_ready.get(key, t_batch))
+                for key in cached
+            }
+            solved: dict[tuple, EmbeddingResult] = {}
+            for key in misses:
+                members = [
+                    r for r in groups[key] if r.request_id not in dead
+                ]
+                while members:
+                    leader = members[0]
+                    if op.n <= leader.n_clusters:
+                        err = ClusteringError(
+                            f"only {op.n} non-isolated nodes for "
+                            f"k={leader.n_clusters} clusters"
+                        )
+                        self._fail(
+                            responses, leader, err, batch, t_batch, op_unit.end
+                        )
+                        dead.add(leader.request_id)
+                        members = members[1:]
+                        continue
+                    unit = self.scheduler.run(
+                        f"b{batch.batch_id}:eigensolve[k={leader.n_clusters}]",
+                        ready_at=op_unit.end,
+                        fn=self._scoped(leader, self._solve_fn(leader, op)),
+                        device=self.scheduler.devices[op_unit.device_index],
+                    )
+                    batch_end = max(batch_end, unit.end)
+                    if unit.ok:
+                        emb = unit.value
+                        solved[key] = emb
+                        ready[key] = unit.end
+                        if not emb.resilience and not op.resilience:
+                            if self.cache.put(key, emb):
+                                self._cache_ready[key] = unit.end
+                        break
+                    self._fail(
+                        responses, leader, unit.error, batch, t_batch, unit.end
+                    )
+                    dead.add(leader.request_id)
+                    members = members[1:]
+
+            # --- stage 4 per request -------------------------------------
+            for key, members in groups.items():
+                emb = cached.get(key) or solved.get(key)
+                if emb is None:
+                    continue  # group never produced an embedding
+                for req in members:
+                    if req.request_id in dead:
+                        continue
+                    unit = self.scheduler.run(
+                        f"b{batch.batch_id}:kmeans[{req.request_id}]",
+                        ready_at=ready[key],
+                        fn=self._scoped(req, self._kmeans_fn(req, emb)),
+                    )
+                    batch_end = max(batch_end, unit.end)
+                    if not unit.ok:
+                        self._fail(
+                            responses, req, unit.error, batch, t_batch, unit.end
+                        )
+                        continue
+                    km, km_timings, km_resil = unit.value
+                    labels_full = np.full(emb.n_total, -1, dtype=np.int64)
+                    labels_full[emb.kept] = km.labels
+                    timings = StageTimings(
+                        simulated=dict(emb.timings.simulated),
+                        wall=dict(emb.timings.wall),
+                    ) if key in solved else StageTimings()
+                    timings.simulated.update(km_timings.simulated)
+                    timings.wall.update(km_timings.wall)
+                    resilience = dict(emb.resilience) if key in solved else {}
+                    resilience.update(km_resil)
+                    responses[req.request_id] = ClusterResponse(
+                        request_id=req.request_id,
+                        status=STATUS_OK,
+                        labels=labels_full,
+                        eigenvalues=emb.eigenvalues,
+                        embedding=emb.embedding,
+                        cache_hit=key in cached,
+                        batch_id=batch.batch_id,
+                        batch_size=len(batch),
+                        arrival=req.arrival,
+                        batch_start=t_batch,
+                        completed=unit.end,
+                        timings=timings,
+                        resilience=resilience,
+                    )
+        finally:
+            if op is not None:
+                op.dcsr.free()
+        return batch_end
+
+    # ------------------------------------------------------------------
+    # unit builders (arithmetic identical to SpectralClustering.fit)
+    # ------------------------------------------------------------------
+    def _build_fn(self, leader: ClusterRequest):
+        graph, X, edges = self._resolve(leader)
+        est = leader.estimator()
+        policy = leader.policy()
+
+        def run(dev) -> _OperatorBuild:
+            prof = Profiler(dev)
+            prof.start()
+            timings = StageTimings()
+            resil: dict = {}
+            dcoo, n_total, kept = est._similarity_stage(
+                dev, policy, X, edges, graph, timings, resil
+            )
+            try:
+                dcsr, shift, deg_kept = est._operator_stage(
+                    dev, policy, dcoo, timings, resil
+                )
+            finally:
+                dcoo.free()
+            return _OperatorBuild(
+                dcsr=dcsr, shift=shift, deg_kept=deg_kept, kept=kept,
+                n_total=n_total, timings=timings, resilience=resil,
+                profile=prof.stop(),
+            )
+
+        return run
+
+    def _solve_fn(self, leader: ClusterRequest, op: _OperatorBuild):
+        est = leader.estimator()
+        policy = leader.policy()
+
+        def run(dev) -> EmbeddingResult:
+            prof = Profiler(dev)
+            prof.start()
+            timings = StageTimings()
+            resil: dict = {}
+            theta, embedding, stats = est._eigensolver_stage(
+                dev, policy, op.dcsr, op.shift, op.deg_kept, timings, resil,
+                free_operator=False,
+            )
+            # fold the shared build into the group's embedding record so a
+            # later cache hit reports the full provenance
+            timings.simulated = {**op.timings.simulated, **timings.simulated}
+            timings.wall = {**op.timings.wall, **timings.wall}
+            return EmbeddingResult(
+                embedding=embedding,
+                eigenvalues=theta,
+                kept=op.kept,
+                n_total=op.n_total,
+                timings=timings,
+                profile=merge_reports([op.profile, prof.stop()]),
+                eig_stats=stats.as_dict(),
+                resilience={**op.resilience, **resil},
+            )
+
+        return run
+
+    def _kmeans_fn(self, req: ClusterRequest, emb: EmbeddingResult):
+        est = req.estimator()
+        policy = req.policy()
+
+        def run(dev):
+            timings = StageTimings()
+            resil: dict = {}
+            km = est._kmeans_stage(dev, policy, emb.embedding, timings, resil)
+            return km, timings, resil
+
+        return run
+
+
+# ----------------------------------------------------------------------
+# baselines and verification
+# ----------------------------------------------------------------------
+def run_sequential(
+    requests: list[ClusterRequest],
+    spec: GPUSpec = K20C,
+    pcie: PCIeSpec = PCIE_X16_GEN2,
+) -> tuple[list[ClusterResponse], ServiceReport]:
+    """One-request-at-a-time baseline: no batching, no cache, one stream.
+
+    Implemented as a degenerate :class:`ClusterService` (max_batch=1,
+    cache disabled, one device, one stream, queue sized to the trace) so
+    the arithmetic path is identical and the comparison isolates exactly
+    the serving-layer levers: batching, caching, and multi-stream overlap.
+    """
+    service = ClusterService(ServiceConfig(
+        queue_capacity=max(1, len(requests)),
+        max_batch=1,
+        n_devices=1,
+        streams_per_device=1,
+        cache_entries=0,
+        spec=spec,
+        pcie=pcie,
+    ))
+    return service.process(requests)
+
+
+def verify_against_cold(
+    responses: list[ClusterResponse],
+    requests: list[ClusterRequest],
+) -> list[str]:
+    """Check every ok response against a cold single-request fit.
+
+    Re-runs each served request through ``SpectralClustering.fit`` on a
+    fresh device and compares labels and embeddings bit for bit.  Returns
+    human-readable mismatch lines (empty = verified).  Requests that
+    failed or were rejected in the service are skipped, as are chaos
+    requests (a cold run replays the same fault schedule from a different
+    site sequence, so recovery paths may legitimately differ).
+    """
+    by_id = {r.request_id: r for r in requests}
+    service = ClusterService()  # fresh resolver for cold runs
+    problems: list[str] = []
+    for resp in responses:
+        if not resp.ok:
+            continue
+        req = by_id[resp.request_id]
+        if req.chaos is not None:
+            continue
+        graph, X, edges = service._resolve(req)
+        est = req.estimator()
+        cold = (
+            est.fit(graph=graph) if graph is not None
+            else est.fit(X=X, edges=edges)
+        )
+        if not np.array_equal(cold.labels, resp.labels):
+            problems.append(
+                f"{resp.request_id}: labels differ from cold run "
+                f"(cache_hit={resp.cache_hit})"
+            )
+        if not np.array_equal(cold.embedding, resp.embedding):
+            problems.append(
+                f"{resp.request_id}: embedding differs from cold run "
+                f"(cache_hit={resp.cache_hit})"
+            )
+    return problems

@@ -1,0 +1,136 @@
+"""Replayable request traces: JSONL persistence + a synthetic generator.
+
+A trace is one JSON object per line, each a by-reference
+:class:`~repro.serve.request.ClusterRequest` (datasets are named, never
+inlined, so traces are small and content-addressing still works on
+replay).  Unknown keys are rejected so a typo'd field fails loudly rather
+than silently falling back to a default.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.errors import TraceFormatError
+from repro.serve.request import ClusterRequest
+
+#: JSONL fields accepted for a trace request (chaos is a seed, not a plan)
+_FIELDS = (
+    "request_id", "arrival", "dataset", "scale", "data_seed",
+    "n_clusters", "similarity", "sigma", "operator", "objective",
+    "m", "eig_tol", "eig_maxiter", "kmeans_init", "kmeans_max_iter",
+    "normalize_rows", "handle_isolated", "seed", "chaos", "no_resilience",
+)
+
+
+def request_to_dict(req: ClusterRequest) -> dict:
+    """JSON-serializable form of a by-reference request."""
+    if req.dataset is None:
+        raise TraceFormatError(
+            f"request {req.request_id!r} carries an in-memory workload; "
+            "only dataset-by-reference requests are trace-serializable"
+        )
+    if req.chaos is not None and not isinstance(req.chaos, int):
+        raise TraceFormatError(
+            f"request {req.request_id!r}: only integer chaos seeds are "
+            "trace-serializable"
+        )
+    defaults = ClusterRequest(request_id="", dataset=req.dataset)
+    out = {"request_id": req.request_id, "dataset": req.dataset}
+    for name in _FIELDS:
+        if name in ("request_id", "dataset"):
+            continue
+        value = getattr(req, name)
+        if value != getattr(defaults, name):
+            out[name] = value
+    return out
+
+
+def request_from_dict(obj: dict, lineno: int | None = None) -> ClusterRequest:
+    """Parse one trace entry, rejecting unknown or malformed fields."""
+    where = f" (line {lineno})" if lineno is not None else ""
+    if not isinstance(obj, dict):
+        raise TraceFormatError(f"trace entry must be an object{where}")
+    unknown = sorted(set(obj) - set(_FIELDS))
+    if unknown:
+        raise TraceFormatError(f"unknown trace fields {unknown}{where}")
+    if "request_id" not in obj:
+        raise TraceFormatError(f"trace entry missing request_id{where}")
+    if "dataset" not in obj:
+        raise TraceFormatError(
+            f"trace entry {obj['request_id']!r} missing dataset{where}"
+        )
+    chaos = obj.get("chaos")
+    if chaos is not None and not isinstance(chaos, int):
+        raise TraceFormatError(
+            f"trace entry {obj['request_id']!r}: chaos must be an integer "
+            f"seed{where}"
+        )
+    try:
+        return ClusterRequest(**obj)
+    except TypeError as err:
+        raise TraceFormatError(f"bad trace entry{where}: {err}") from err
+
+
+def write_trace(requests, path) -> None:
+    """Write requests to ``path`` as JSONL (by-reference requests only)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        for req in requests:
+            fh.write(json.dumps(request_to_dict(req), sort_keys=True) + "\n")
+
+
+def read_trace(path) -> list[ClusterRequest]:
+    """Parse a JSONL trace file into requests (order preserved)."""
+    requests: list[ClusterRequest] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as err:
+                raise TraceFormatError(
+                    f"invalid JSON on line {lineno}: {err}"
+                ) from err
+            requests.append(request_from_dict(obj, lineno=lineno))
+    return requests
+
+
+def synthetic_trace(
+    n_requests: int = 24,
+    datasets: tuple = (("syn200", 0.1), ("fb", 0.3)),
+    mean_interarrival: float = 0.002,
+    k_choices: tuple = (2, 3, 4),
+    chaos_every: int = 0,
+    seed: int = 0,
+) -> list[ClusterRequest]:
+    """A bursty synthetic workload that exercises batching and caching.
+
+    Workloads cycle through ``datasets`` (each a ``(name, scale)`` pair
+    with a fixed generator seed), so the same graph fingerprint recurs
+    throughout the trace — exactly the traffic shape micro-batching and
+    the embedding cache exist for.  ``k_choices`` varies ``n_clusters``
+    across requests sharing a graph; ``chaos_every > 0`` arms every
+    n-th request with a deterministic fault seed.
+    """
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    arrivals = np.cumsum(rng.exponential(mean_interarrival, size=n_requests))
+    requests: list[ClusterRequest] = []
+    for i in range(n_requests):
+        name, scale = datasets[i % len(datasets)]
+        requests.append(ClusterRequest(
+            request_id=f"r{i:04d}",
+            arrival=float(arrivals[i]),
+            dataset=name,
+            scale=scale,
+            data_seed=0,
+            n_clusters=int(k_choices[(i // len(datasets)) % len(k_choices)]),
+            chaos=(
+                int(1000 + i) if chaos_every and (i + 1) % chaos_every == 0
+                else None
+            ),
+        ))
+    return requests

@@ -1,0 +1,97 @@
+"""The staged pipeline API: embed() + fit_embedding() vs monolithic fit().
+
+The serving layer's cache-correctness argument rests on this contract:
+running stages 1-3 and stage 4 through the staged entry points performs
+the same device operations in the same order as ``fit``, so results are
+bit-identical and the cached artifact is trustworthy.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import SpectralClustering
+from repro.core.result import EmbeddingResult
+
+
+class TestStagedEntryPoints:
+    def test_embed_then_fit_embedding_matches_fit(self, sbm_graph):
+        W, _ = sbm_graph
+        a = SpectralClustering(n_clusters=6, seed=0)
+        full = a.fit(graph=W)
+
+        b = SpectralClustering(n_clusters=6, seed=0)
+        emb = b.embed(graph=W)
+        staged = SpectralClustering(n_clusters=6, seed=0).fit_embedding(emb)
+
+        assert np.array_equal(full.labels, staged.labels)
+        assert np.array_equal(full.embedding, staged.embedding)
+        assert np.array_equal(full.eigenvalues, staged.eigenvalues)
+
+    def test_embed_returns_reusable_artifact(self, sbm_graph):
+        W, _ = sbm_graph
+        emb = SpectralClustering(n_clusters=6, seed=0).embed(graph=W)
+        assert isinstance(emb, EmbeddingResult)
+        assert emb.embedding.shape == (emb.kept.size, 6)
+        assert emb.n_components == 6
+        assert emb.n_total == W.shape[0]
+        assert emb.nbytes > 0
+        assert "eigensolver" in emb.timings.simulated
+        assert emb.eig_stats["k"] == 6
+
+    def test_fit_embedding_charges_only_kmeans(self, sbm_graph):
+        W, _ = sbm_graph
+        emb = SpectralClustering(n_clusters=6, seed=0).embed(graph=W)
+        res = SpectralClustering(n_clusters=6, seed=0).fit_embedding(emb)
+        assert set(res.timings.simulated) == {"kmeans"}
+
+    def test_fit_embedding_reuse_is_deterministic(self, sbm_graph):
+        """One embedding served to many fits: identical labels each time."""
+        W, _ = sbm_graph
+        emb = SpectralClustering(n_clusters=6, seed=0).embed(graph=W)
+        r1 = SpectralClustering(n_clusters=6, seed=0).fit_embedding(emb)
+        r2 = SpectralClustering(n_clusters=6, seed=0).fit_embedding(emb)
+        assert np.array_equal(r1.labels, r2.labels)
+
+    def test_embed_point_input(self, blobs):
+        X, _, k = blobs
+        rng = np.random.default_rng(0)
+        n = X.shape[0]
+        edges = np.stack(
+            [rng.integers(0, n, 800), rng.integers(0, n, 800)], axis=1
+        )
+        est = SpectralClustering(n_clusters=k, seed=0)
+        emb = est.embed(X=X, edges=edges)
+        assert emb.embedding.shape[1] == k
+
+    def test_embed_input_validation(self, sbm_graph):
+        from repro.errors import ClusteringError
+
+        W, _ = sbm_graph
+        est = SpectralClustering(n_clusters=4)
+        with pytest.raises(ClusteringError):
+            est.embed()  # no input
+        with pytest.raises(ClusteringError):
+            est.embed(graph=W, X=np.zeros((4, 2)))  # both inputs
+
+    def test_fit_embedding_validates_shape(self):
+        from repro.errors import ClusteringError
+
+        emb = EmbeddingResult(
+            embedding=np.zeros(5),  # 1-D: invalid
+            eigenvalues=np.zeros(2),
+            kept=np.arange(5),
+            n_total=5,
+            timings=None,
+            profile=None,
+            eig_stats={},
+        )
+        with pytest.raises(ClusteringError):
+            SpectralClustering(n_clusters=2).fit_embedding(emb)
+
+    def test_different_k_shares_nothing_spurious(self, sbm_graph):
+        """Embeddings for different k are independent artifacts."""
+        W, _ = sbm_graph
+        e4 = SpectralClustering(n_clusters=4, seed=0).embed(graph=W)
+        e6 = SpectralClustering(n_clusters=6, seed=0).embed(graph=W)
+        assert e4.embedding.shape[1] == 4
+        assert e6.embedding.shape[1] == 6

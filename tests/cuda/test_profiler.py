@@ -65,3 +65,63 @@ class TestProfiler:
         device.charge_kernel("k", 1e6, 1e6)
         text = Profiler(device).snapshot().format_table()
         assert "comm" in text and "compute" in text
+
+    def test_snapshot_ignores_start_window(self, device):
+        """snapshot() always covers the whole timeline, even mid-window."""
+        device.charge_kernel("before", 1, 1)
+        prof = Profiler(device)
+        prof.start()
+        device.charge_kernel("inside", 1, 1)
+        assert prof.snapshot().kernel_launches == 2
+        assert prof.stop().kernel_launches == 1
+
+    def test_stop_consumes_window(self, device):
+        prof = Profiler(device)
+        prof.start()
+        prof.stop()
+        with pytest.raises(RuntimeError):
+            prof.stop()
+
+    def test_stop_aggregates_by_category_and_stage(self, device, rng):
+        prof = Profiler(device)
+        prof.start()
+        with device.stage("similarity"):
+            device.to_device(rng.random(100))
+        with device.stage("kmeans"):
+            device.charge_kernel("k", 1e6, 1e6)
+        rep = prof.stop()
+        assert set(rep.by_stage) == {"similarity", "kmeans"}
+        assert rep.by_category.get("h2d", 0.0) > 0
+        assert rep.by_category.get("kernel", 0.0) > 0
+        assert sum(rep.by_category.values()) == pytest.approx(rep.total)
+
+
+class TestMergeReports:
+    def test_merge_sums_all_axes(self, device, rng):
+        from repro.cuda.device import Device
+        from repro.cuda.profiler import merge_reports
+
+        other = Device()
+        for dev in (device, other):
+            dev.to_device(rng.random(500))
+            with dev.stage("kmeans"):
+                dev.charge_kernel("k", 1e6, 1e6)
+        reps = [Profiler(device).snapshot(), Profiler(other).snapshot()]
+        merged = merge_reports(reps)
+        assert merged.communication == pytest.approx(
+            sum(r.communication for r in reps)
+        )
+        assert merged.computation == pytest.approx(
+            sum(r.computation for r in reps)
+        )
+        assert merged.kernel_launches == 2
+        assert merged.by_stage["kmeans"] == pytest.approx(
+            sum(r.by_stage["kmeans"] for r in reps)
+        )
+
+    def test_merge_empty_iterable(self):
+        from repro.cuda.profiler import merge_reports
+
+        merged = merge_reports([])
+        assert merged.total == 0.0
+        assert merged.kernel_launches == 0

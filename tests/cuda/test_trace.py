@@ -5,7 +5,11 @@ import json
 import numpy as np
 import pytest
 
-from repro.cuda.trace import export_chrome_trace, timeline_to_trace_events
+from repro.cuda.trace import (
+    export_chrome_trace,
+    schedule_to_trace_events,
+    timeline_to_trace_events,
+)
 
 
 class TestTraceExport:
@@ -44,6 +48,74 @@ class TestTraceExport:
         assert "traceEvents" in loaded
         names = {e["name"] for e in loaded["traceEvents"]}
         assert "k" in names
+
+    def test_export_is_valid_json_with_expected_tracks(self, device, rng, tmp_path):
+        """The file parses as JSON and names every expected track."""
+        d = device.to_device(rng.random(50))
+        device.charge_kernel("k", 1, 1)
+        device.charge_cpu("host", 0.1)
+        d.copy_to_host()
+        path = tmp_path / "trace.json"
+        export_chrome_trace(device.timeline, path)
+        loaded = json.loads(path.read_text())
+        track_names = {
+            e["args"]["name"] for e in loaded["traceEvents"] if e["ph"] == "M"
+        }
+        assert {"GPU compute", "CPU (host phases)", "PCIe H2D",
+                "PCIe D2H", "overhead"} <= track_names
+
+    def test_timestamps_nonnegative_and_monotone(self, device, rng):
+        """Serial timeline: ts >= 0 and non-decreasing in emission order."""
+        for i in range(5):
+            device.to_device(rng.random(10 * (i + 1)))
+            device.charge_kernel(f"k{i}", 1e3, 1e3)
+        dur = [e for e in timeline_to_trace_events(device.timeline)
+               if e["ph"] == "X"]
+        ts = [e["ts"] for e in dur]
+        assert all(t >= 0 for t in ts)
+        assert ts == sorted(ts)
+        assert all(e["dur"] >= 0 for e in dur)
+
+    def test_schedule_export_one_track_per_lane(self, tmp_path):
+        from repro.hw.timeline import Timeline
+
+        tl = Timeline()
+        tl.record_at("a", "kernel", 0.0, 1.0, tag="dev0/s0")
+        tl.record_at("b", "kernel", 0.0, 1.0, tag="dev0/s1")
+        tl.record_at("c", "kernel", 1.0, 0.5, tag="dev0/s0")
+        events = schedule_to_trace_events(tl)
+        meta = {e["args"]["name"] for e in events if e["ph"] == "M"}
+        assert meta == {"dev0/s0", "dev0/s1"}
+        dur = [e for e in events if e["ph"] == "X"]
+        assert len(dur) == 3
+        assert all(e["ts"] >= 0 and e["dur"] >= 0 for e in dur)
+        # lanes separate overlapping events onto distinct tids
+        tids = {e["tid"] for e in dur if e["ts"] == 0.0}
+        assert len(tids) == 2
+        path = tmp_path / "sched.json"
+        n = export_chrome_trace(tl, path, tracks="lane")
+        assert n == 3
+        json.loads(path.read_text())
+
+    def test_unknown_tracks_mode_rejected(self, device, tmp_path):
+        with pytest.raises(ValueError):
+            export_chrome_trace(device.timeline, tmp_path / "x.json",
+                                tracks="bogus")
+
+    def test_scheduler_timeline_exports(self, tmp_path):
+        """The serving scheduler's schedule round-trips through export."""
+        from repro.serve.scheduler import StreamScheduler
+
+        sched = StreamScheduler(n_devices=1, streams_per_device=2)
+        sched.run("u1", 0.0, lambda dev: dev.charge_cpu("w", 0.5))
+        sched.run("u2", 0.0, lambda dev: dev.charge_cpu("w", 0.5))
+        path = tmp_path / "serve.json"
+        n = export_chrome_trace(sched.schedule, path, tracks="lane")
+        assert n == 2
+        loaded = json.loads(path.read_text())
+        lanes = {e["args"]["lane"] for e in loaded["traceEvents"]
+                 if e["ph"] == "X"}
+        assert lanes == {"dev0/s0", "dev0/s1"}
 
     def test_pipeline_trace_is_complete(self, sbm_graph, tmp_path):
         from repro.core.pipeline import SpectralClustering

@@ -1,0 +1,44 @@
+"""Fixtures for the serving-layer tests: small by-value workloads."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.sbm import stochastic_block_model
+from repro.serve.request import ClusterRequest
+from repro.sparse.construct import from_edge_list
+
+
+@pytest.fixture
+def small_graph(rng):
+    """A 4-community SBM graph small enough for many service runs."""
+    sizes = [25] * 4
+    edges, _ = stochastic_block_model(sizes, p_in=0.6, p_out=0.02, rng=rng)
+    return from_edge_list(edges, n_nodes=sum(sizes))
+
+
+@pytest.fixture
+def other_graph(rng):
+    """A second, structurally different graph (distinct fingerprint)."""
+    sizes = [20] * 3
+    edges, _ = stochastic_block_model(sizes, p_in=0.7, p_out=0.03, rng=rng)
+    return from_edge_list(edges, n_nodes=sum(sizes))
+
+
+@pytest.fixture
+def make_request(small_graph):
+    """Factory for by-value requests against the shared small graph."""
+    counter = {"n": 0}
+
+    def factory(arrival=0.0, graph=None, **kw):
+        counter["n"] += 1
+        kw.setdefault("n_clusters", 4)
+        return ClusterRequest(
+            request_id=kw.pop("request_id", f"q{counter['n']:03d}"),
+            arrival=arrival,
+            graph=graph if graph is not None else small_graph,
+            **kw,
+        )
+
+    return factory

@@ -1,0 +1,74 @@
+"""LRU embedding cache semantics."""
+
+import numpy as np
+import pytest
+
+from repro.core.result import EmbeddingResult, StageTimings
+from repro.cuda.profiler import ProfileReport
+from repro.errors import ServiceError
+from repro.serve.cache import EmbeddingCache
+
+
+def _entry(n=10, k=3):
+    return EmbeddingResult(
+        embedding=np.zeros((n, k)),
+        eigenvalues=np.zeros(k),
+        kept=np.arange(n),
+        n_total=n,
+        timings=StageTimings(),
+        profile=ProfileReport(communication=0.0, computation=0.0),
+        eig_stats={},
+    )
+
+
+class TestEmbeddingCache:
+    def test_miss_then_hit(self):
+        cache = EmbeddingCache(capacity=2)
+        assert cache.get(("a",)) is None
+        emb = _entry()
+        assert cache.put(("a",), emb)
+        assert cache.get(("a",)) is emb
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_lru_eviction_order(self):
+        cache = EmbeddingCache(capacity=2)
+        cache.put(("a",), _entry())
+        cache.put(("b",), _entry())
+        cache.get(("a",))  # refresh a → b is now LRU
+        cache.put(("c",), _entry())
+        assert ("a",) in cache and ("c",) in cache
+        assert ("b",) not in cache
+        assert cache.stats.evictions == 1
+
+    def test_bytes_tracking(self):
+        cache = EmbeddingCache(capacity=1)
+        e1, e2 = _entry(n=10), _entry(n=100)
+        cache.put(("a",), e1)
+        assert cache.stats.bytes_held == e1.nbytes
+        cache.put(("b",), e2)  # evicts e1
+        assert cache.stats.bytes_held == e2.nbytes
+
+    def test_capacity_zero_disables(self):
+        cache = EmbeddingCache(capacity=0)
+        assert not cache.put(("a",), _entry())
+        assert cache.get(("a",)) is None
+        assert len(cache) == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ServiceError):
+            EmbeddingCache(capacity=-1)
+
+    def test_hit_rate(self):
+        cache = EmbeddingCache(capacity=4)
+        assert cache.stats.hit_rate == 0.0
+        cache.put(("a",), _entry())
+        cache.get(("a",))
+        cache.get(("b",))
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+
+    def test_clear(self):
+        cache = EmbeddingCache(capacity=4)
+        cache.put(("a",), _entry())
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.bytes_held == 0

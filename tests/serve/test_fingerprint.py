@@ -1,0 +1,84 @@
+"""Content fingerprints: workload identity for batching and caching."""
+
+import numpy as np
+import pytest
+
+from repro.serve.fingerprint import (
+    embedding_key,
+    graph_fingerprint,
+    operator_key,
+    points_fingerprint,
+)
+
+
+class TestGraphFingerprint:
+    def test_deterministic(self, small_sym_csr):
+        assert graph_fingerprint(small_sym_csr) == graph_fingerprint(small_sym_csr)
+
+    def test_format_invariant(self, small_sym_csr):
+        """COO and CSR forms of the same graph fingerprint equally."""
+        coo = small_sym_csr.to_coo()
+        assert graph_fingerprint(coo) == graph_fingerprint(small_sym_csr)
+
+    def test_value_sensitive(self, small_sym_csr):
+        fp = graph_fingerprint(small_sym_csr)
+        other = small_sym_csr.to_coo()
+        other.data = other.data.copy()
+        other.data[0] *= 2.0
+        assert graph_fingerprint(other) != fp
+
+    def test_structure_sensitive(self, rng):
+        from repro.sparse.construct import random_sparse
+
+        a = random_sparse(40, 40, 0.2, rng=np.random.default_rng(1),
+                          symmetric=True)
+        b = random_sparse(40, 40, 0.2, rng=np.random.default_rng(2),
+                          symmetric=True)
+        assert graph_fingerprint(a) != graph_fingerprint(b)
+
+    def test_is_hex_string(self, small_sym_csr):
+        fp = graph_fingerprint(small_sym_csr)
+        assert isinstance(fp, str) and len(fp) == 64
+        int(fp, 16)  # parses as hex
+
+
+class TestPointsFingerprint:
+    def test_sensitive_to_all_inputs(self, rng):
+        X = rng.random((20, 4))
+        edges = np.array([[0, 1], [1, 2], [3, 4]], dtype=np.int64)
+        base = points_fingerprint(X, edges, "crosscorr", 1.0)
+        assert points_fingerprint(X, edges, "crosscorr", 1.0) == base
+        assert points_fingerprint(X * 1.01, edges, "crosscorr", 1.0) != base
+        assert points_fingerprint(X, edges[:-1], "crosscorr", 1.0) != base
+        assert points_fingerprint(X, edges, "gaussian", 1.0) != base
+        assert points_fingerprint(X, edges, "crosscorr", 2.0) != base
+
+
+class TestCompositeKeys:
+    def test_operator_key_partitions(self):
+        a = operator_key("fp", "sym", "ncut", "remove")
+        assert a == operator_key("fp", "sym", "ncut", "remove")
+        assert a != operator_key("fp", "rw", "ncut", "remove")
+        assert a != operator_key("other", "sym", "ncut", "remove")
+
+    def test_embedding_key_covers_solver_params(self):
+        base = dict(
+            fingerprint="fp", operator="sym", objective="ncut",
+            handle_isolated="remove", n_clusters=4, m=None, eig_tol=1e-8,
+            eig_maxiter=None, seed=0, normalize_rows=False,
+        )
+        key = embedding_key(**base)
+        assert key == embedding_key(**base)
+        for name, other in [
+            ("n_clusters", 5), ("m", 32), ("eig_tol", 1e-6),
+            ("eig_maxiter", 10), ("seed", 1), ("normalize_rows", True),
+        ]:
+            assert key != embedding_key(**{**base, name: other}), name
+
+    def test_requests_sharing_operator_but_not_embedding(self, make_request):
+        """Different k shares the operator key but not the cache key."""
+        a, b = make_request(n_clusters=3), make_request(n_clusters=5)
+        fp = a.workload_fingerprint()
+        assert fp == b.workload_fingerprint()
+        assert a.operator_key(fp) == b.operator_key(fp)
+        assert a.embedding_key(fp) != b.embedding_key(fp)

@@ -1,0 +1,112 @@
+"""Stream scheduler: honest overlap accounting on the simulated clock."""
+
+import pytest
+
+from repro.errors import ServiceError, TransferError
+from repro.serve.scheduler import StreamScheduler
+
+
+def _burn(seconds):
+    """A unit fn charging a fixed simulated duration on its device."""
+    def fn(dev):
+        dev.charge_cpu("work", seconds)
+        return seconds
+    return fn
+
+
+def _fail_after(seconds):
+    def fn(dev):
+        dev.charge_cpu("doomed", seconds)
+        raise TransferError("injected for test")
+    return fn
+
+
+class TestStreamScheduler:
+    def test_two_streams_overlap(self):
+        sched = StreamScheduler(n_devices=1, streams_per_device=2)
+        a = sched.run("a", 0.0, _burn(1.0))
+        b = sched.run("b", 0.0, _burn(1.0))
+        assert a.start == 0.0 and b.start == 0.0
+        assert sched.makespan() == pytest.approx(1.0)
+        assert {a.lane, b.lane} == {"dev0/s0", "dev0/s1"}
+
+    def test_single_stream_serializes(self):
+        sched = StreamScheduler(n_devices=1, streams_per_device=1)
+        a = sched.run("a", 0.0, _burn(1.0))
+        b = sched.run("b", 0.0, _burn(0.5))
+        assert b.start == pytest.approx(a.end)
+        assert sched.makespan() == pytest.approx(1.5)
+
+    def test_ready_at_respected(self):
+        sched = StreamScheduler(n_devices=1, streams_per_device=2)
+        unit = sched.run("late", 2.0, _burn(0.5))
+        assert unit.start == pytest.approx(2.0)
+        assert unit.end == pytest.approx(2.5)
+
+    def test_device_affinity_pins_lane(self):
+        sched = StreamScheduler(n_devices=2, streams_per_device=2)
+        # make dev0 busy so the free choice would be dev1
+        sched.run("busy", 0.0, _burn(5.0))
+        pinned = sched.run("pinned", 0.0, _burn(0.1),
+                           device=sched.devices[0])
+        assert pinned.lane.startswith("dev0/")
+
+    def test_unknown_device_rejected(self):
+        from repro.cuda.device import Device
+
+        sched = StreamScheduler(n_devices=1)
+        with pytest.raises(ServiceError):
+            sched.run("x", 0.0, _burn(0.1), device=Device())
+
+    def test_failed_unit_still_charges_lane_time(self):
+        sched = StreamScheduler(n_devices=1, streams_per_device=1)
+        unit = sched.run("doomed", 0.0, _fail_after(0.7))
+        assert not unit.ok
+        assert isinstance(unit.error, TransferError)
+        assert unit.duration == pytest.approx(0.7)
+        follow = sched.run("next", 0.0, _burn(0.1))
+        assert follow.start == pytest.approx(0.7)
+
+    def test_failure_annotated_in_schedule(self):
+        sched = StreamScheduler()
+        sched.run("doomed", 0.0, _fail_after(0.1))
+        names = [ev.name for ev in sched.schedule]
+        assert any("failed: TransferError" in n for n in names)
+
+    def test_non_repro_errors_propagate(self):
+        sched = StreamScheduler()
+
+        def boom(dev):
+            raise RuntimeError("programming bug")
+
+        with pytest.raises(RuntimeError):
+            sched.run("bug", 0.0, boom)
+
+    def test_occupancy_bounds(self):
+        sched = StreamScheduler(n_devices=2, streams_per_device=2)
+        for i in range(4):
+            sched.run(f"u{i}", 0.0, _burn(1.0))
+        occ = sched.occupancy()
+        assert set(occ) == {"dev0", "dev1"}
+        for v in occ.values():
+            assert 0.0 <= v <= 1.0
+        # 4 equal units over 4 lanes at t=0 → everything fully busy
+        assert occ["dev0"] == pytest.approx(1.0)
+        assert occ["dev1"] == pytest.approx(1.0)
+
+    def test_empty_schedule(self):
+        sched = StreamScheduler()
+        assert sched.makespan() == 0.0
+        assert sched.occupancy() == {"dev0": 0.0}
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(ServiceError):
+            StreamScheduler(n_devices=0)
+        with pytest.raises(ServiceError):
+            StreamScheduler(streams_per_device=0)
+
+    def test_deterministic_lane_ties(self):
+        """Equal availability resolves to the first lane, every time."""
+        sched = StreamScheduler(n_devices=1, streams_per_device=3)
+        unit = sched.run("first", 0.0, _burn(0.1))
+        assert unit.lane == "dev0/s0"

@@ -1,0 +1,225 @@
+"""End-to-end service semantics: correctness, caching, throughput, chaos.
+
+These tests pin the ISSUE's acceptance criteria: cache hits bit-identical
+to cold runs, batched+cached service at least 2x the sequential simulated
+throughput on a repeat-heavy workload, and fault isolation inside a batch.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import SpectralClustering
+from repro.serve import (
+    ClusterService,
+    ServiceConfig,
+    run_sequential,
+    verify_against_cold,
+)
+from repro.serve.request import ClusterRequest
+
+
+def _service(**kw):
+    kw.setdefault("max_batch", 8)
+    kw.setdefault("cache_entries", 16)
+    return ClusterService(ServiceConfig(**kw))
+
+
+class TestServiceCorrectness:
+    def test_single_request_matches_direct_fit(self, make_request, small_graph):
+        req = make_request()
+        responses, report = _service().process([req])
+        resp = responses[0]
+        assert resp.ok and not resp.cache_hit
+        cold = req.estimator().fit(graph=small_graph)
+        assert np.array_equal(resp.labels, cold.labels)
+        assert np.array_equal(resp.embedding, cold.embedding)
+        assert np.array_equal(resp.eigenvalues, cold.eigenvalues)
+        assert report.n_ok == 1
+
+    def test_batched_requests_bit_identical_to_cold(self, make_request,
+                                                    small_graph):
+        """A shared operator/solve must not perturb any member's result."""
+        reqs = [make_request(n_clusters=k, seed=s)
+                for k in (3, 4) for s in (0, 1)]
+        responses, report = _service().process(reqs)
+        assert report.batches["max_batch"] == 4
+        for req, resp in zip(reqs, responses):
+            cold = req.estimator().fit(graph=small_graph)
+            assert np.array_equal(resp.labels, cold.labels), req.request_id
+            assert np.array_equal(resp.embedding, cold.embedding)
+
+    def test_cache_hit_bit_identical(self, make_request):
+        """Second identical request hits the cache and matches exactly."""
+        a, b = make_request(), make_request(arrival=1.0)
+        responses, report = _service().process([a, b])
+        assert not responses[0].cache_hit
+        assert responses[1].cache_hit
+        assert report.n_cache_hits == 1
+        assert np.array_equal(responses[0].labels, responses[1].labels)
+        assert np.array_equal(responses[0].embedding, responses[1].embedding)
+
+    def test_cache_hit_skips_solver_time(self, make_request):
+        a, b = make_request(), make_request(arrival=10.0)
+        responses, _ = _service().process([a, b])
+        hit = responses[1]
+        assert "eigensolver" not in hit.timings.simulated
+        assert "kmeans" in hit.timings.simulated
+        assert hit.latency < responses[0].latency
+
+    def test_different_seeds_do_not_share_cache(self, make_request):
+        a, b = make_request(seed=0), make_request(arrival=1.0, seed=1)
+        responses, report = _service().process([a, b])
+        assert report.n_cache_hits == 0
+        assert not np.array_equal(responses[0].embedding, responses[1].embedding)
+
+    def test_verify_against_cold_clean_run(self, make_request):
+        reqs = [make_request(n_clusters=k) for k in (3, 4, 3)]
+        responses, _ = _service().process(reqs)
+        assert verify_against_cold(responses, reqs) == []
+
+    def test_responses_in_request_order(self, make_request):
+        reqs = [make_request(arrival=0.5), make_request(arrival=0.0)]
+        responses, _ = _service().process(reqs)
+        assert [r.request_id for r in responses] == [r.request_id for r in reqs]
+
+    def test_duplicate_request_ids_rejected(self, make_request):
+        from repro.errors import ServiceError
+
+        a = make_request(request_id="dup")
+        b = make_request(request_id="dup")
+        with pytest.raises(ServiceError):
+            _service().process([a, b])
+
+    def test_point_input_requests(self, blobs):
+        X, _, k = blobs
+        n = X.shape[0]
+        rng = np.random.default_rng(0)
+        rows = rng.integers(0, n, size=600)
+        cols = rng.integers(0, n, size=600)
+        edges = np.stack([rows, cols], axis=1)
+        req = ClusterRequest(request_id="pts", X=X, edges=edges, n_clusters=k)
+        responses, _ = ClusterService().process([req])
+        resp = responses[0]
+        assert resp.ok
+        cold = req.estimator().fit(X=X, edges=edges)
+        assert np.array_equal(resp.labels, cold.labels)
+
+
+class TestServiceThroughput:
+    def test_batched_cached_at_least_2x_sequential(self, make_request):
+        """The headline acceptance criterion, on a repeat-heavy workload."""
+        reqs = [
+            make_request(arrival=i * 1e-4, n_clusters=3 if i % 2 else 4)
+            for i in range(10)
+        ]
+        responses, report = _service(streams_per_device=2).process(reqs)
+        seq_resp, seq_report = run_sequential(reqs)
+        assert report.n_ok == seq_report.n_ok == len(reqs)
+        assert report.n_cache_hits > 0
+        speedup = seq_report.makespan / report.makespan
+        assert speedup >= 2.0, f"only {speedup:.2f}x"
+        assert report.throughput_rps > 2.0 * seq_report.throughput_rps
+        # and the fast path changed nothing
+        for fast, slow in zip(responses, seq_resp):
+            assert np.array_equal(fast.labels, slow.labels)
+            assert np.array_equal(fast.embedding, slow.embedding)
+
+    def test_queue_wait_charged_to_latency(self, make_request):
+        reqs = [make_request(arrival=0.0), make_request(arrival=0.0,
+                                                        n_clusters=5)]
+        responses, _ = _service(max_batch=1, streams_per_device=1).process(reqs)
+        second = responses[1]
+        assert second.queue_wait > 0
+        assert second.latency >= second.queue_wait
+
+    def test_rejection_under_burst(self, make_request):
+        reqs = [make_request(arrival=0.0) for _ in range(6)]
+        responses, report = _service(
+            queue_capacity=2, max_batch=1, cache_entries=0
+        ).process(reqs)
+        assert report.n_rejected > 0
+        assert report.n_ok + report.n_rejected == len(reqs)
+        rejected = [r for r in responses if r.status == "rejected"]
+        assert all(r.labels is None for r in rejected)
+        assert all("queue full" in r.error for r in rejected)
+
+    def test_multi_device_distributes_work(self, make_request, other_graph):
+        """Two incompatible request streams spread over two devices."""
+        reqs = []
+        for i in range(4):
+            reqs.append(make_request(arrival=0.0, seed=i))
+            reqs.append(make_request(arrival=0.0, graph=other_graph, seed=i))
+        _, report = _service(
+            n_devices=2, cache_entries=0, max_batch=1
+        ).process(reqs)
+        busy = report.occupancy
+        assert busy["dev0"] > 0 and busy["dev1"] > 0
+
+
+class TestServiceChaos:
+    def test_fault_isolated_from_batch_mates(self, make_request, small_graph):
+        """A terminally failing request must not poison its batch."""
+        chaotic = make_request(chaos=1003, no_resilience=True)
+        clean = [make_request(seed=s) for s in (0, 1)]
+        reqs = [chaotic] + clean
+        responses, report = _service().process(reqs)
+        by_id = {r.request_id: r for r in responses}
+        # the chaotic request may fail or survive (depends where faults land)
+        for req in clean:
+            resp = by_id[req.request_id]
+            assert resp.ok, resp.error
+            cold = req.estimator().fit(graph=small_graph)
+            assert np.array_equal(resp.labels, cold.labels)
+            assert np.array_equal(resp.embedding, cold.embedding)
+
+    def test_resilient_chaos_recovers_and_is_flagged(self, make_request):
+        reqs = [make_request(chaos=7)]
+        responses, report = _service().process(reqs)
+        resp = responses[0]
+        assert resp.ok
+        assert resp.resilience  # recovery recorded
+        assert report.n_degraded == 1
+
+    def test_faulted_results_never_cached(self, make_request):
+        """A recovered (resilient) computation must not seed the cache."""
+        svc = _service()
+        reqs = [make_request(chaos=7), make_request(arrival=100.0)]
+        responses, report = svc.process(reqs)
+        assert responses[0].ok
+        assert not responses[1].cache_hit  # recomputed, not served tainted
+        assert svc.cache.stats.insertions >= 1  # the clean rerun is cached
+
+    def test_failed_leader_work_recomputed_for_survivors(self, make_request,
+                                                         small_graph):
+        """Exhaustive chaos seeds: whatever unit the fault kills, every
+        non-chaotic batch-mate still gets a bit-exact result."""
+        clean_cold = {}
+        for seed in (1001, 1005, 1009):
+            chaotic = make_request(chaos=seed, no_resilience=True)
+            mate = make_request(seed=3)
+            responses, _ = _service().process([chaotic, mate])
+            resp = responses[1]
+            assert resp.ok, resp.error
+            if "ref" not in clean_cold:
+                clean_cold["ref"] = mate.estimator().fit(graph=small_graph)
+            assert np.array_equal(resp.labels, clean_cold["ref"].labels)
+
+
+class TestServiceReportShape:
+    def test_report_serializes(self, make_request):
+        reqs = [make_request(), make_request(arrival=0.5)]
+        _, report = _service().process(reqs)
+        import json
+
+        d = json.loads(report.to_json())
+        assert d["requests"]["total"] == 2
+        assert "latency_s" in d and "p95" in d["latency_s"]
+        assert "occupancy" in d and "profile" in d
+        text = report.format_report()
+        assert "cache hit rate" in text and "makespan" in text
+
+    def test_profile_totals_match_devices(self, make_request):
+        svc = _service()
+        _, report = svc.process([make_request()])
+        assert report.profile is not None
+        assert report.profile.total > 0

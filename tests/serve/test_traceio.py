@@ -1,0 +1,93 @@
+"""JSONL request traces: round-trip fidelity and strict parsing."""
+
+import json
+
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.serve.request import ClusterRequest
+from repro.serve.traceio import (
+    read_trace,
+    request_from_dict,
+    request_to_dict,
+    synthetic_trace,
+    write_trace,
+)
+
+
+class TestTraceRoundTrip:
+    def test_round_trip_preserves_everything(self, tmp_path):
+        reqs = synthetic_trace(n_requests=8, chaos_every=3, seed=42)
+        path = tmp_path / "trace.jsonl"
+        write_trace(reqs, path)
+        back = read_trace(path)
+        assert len(back) == len(reqs)
+        for a, b in zip(reqs, back):
+            assert request_to_dict(a) == request_to_dict(b)
+
+    def test_defaults_omitted_from_lines(self):
+        req = ClusterRequest(request_id="r1", dataset="syn200")
+        d = request_to_dict(req)
+        assert set(d) == {"request_id", "dataset"}
+
+    def test_by_value_request_not_serializable(self, small_graph):
+        req = ClusterRequest(request_id="r1", graph=small_graph)
+        with pytest.raises(TraceFormatError):
+            request_to_dict(req)
+
+    def test_comment_and_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(
+            '# a comment\n\n{"request_id": "a", "dataset": "syn200"}\n'
+        )
+        assert len(read_trace(path)) == 1
+
+
+class TestTraceParsing:
+    def test_unknown_field_rejected(self):
+        with pytest.raises(TraceFormatError, match="unknown trace fields"):
+            request_from_dict(
+                {"request_id": "a", "dataset": "syn200", "n_cluster": 3}
+            )
+
+    def test_missing_required_fields(self):
+        with pytest.raises(TraceFormatError):
+            request_from_dict({"dataset": "syn200"})
+        with pytest.raises(TraceFormatError):
+            request_from_dict({"request_id": "a"})
+
+    def test_non_integer_chaos_rejected(self):
+        with pytest.raises(TraceFormatError, match="chaos"):
+            request_from_dict(
+                {"request_id": "a", "dataset": "syn200", "chaos": "boom"}
+            )
+
+    def test_invalid_json_line_reports_lineno(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"request_id": "a", "dataset": "syn200"}\n{oops\n')
+        with pytest.raises(TraceFormatError, match="line 2"):
+            read_trace(path)
+
+
+class TestSyntheticTrace:
+    def test_arrivals_monotone_nonnegative(self):
+        reqs = synthetic_trace(n_requests=20)
+        arrivals = [r.arrival for r in reqs]
+        assert all(a >= 0 for a in arrivals)
+        assert arrivals == sorted(arrivals)
+
+    def test_deterministic_by_seed(self):
+        a = synthetic_trace(n_requests=10, seed=5)
+        b = synthetic_trace(n_requests=10, seed=5)
+        assert [request_to_dict(x) for x in a] == [request_to_dict(x) for x in b]
+
+    def test_chaos_every_arms_subset(self):
+        reqs = synthetic_trace(n_requests=12, chaos_every=4)
+        armed = [r for r in reqs if r.chaos is not None]
+        assert len(armed) == 3
+        assert all(isinstance(r.chaos, int) for r in armed)
+
+    def test_workloads_repeat_for_cache_pressure(self):
+        reqs = synthetic_trace(n_requests=12)
+        keys = {(r.dataset, r.scale, r.data_seed, r.n_clusters) for r in reqs}
+        assert len(keys) < len(reqs)  # repeats exist by construction

@@ -22,6 +22,7 @@ PUBLIC_MODULES = [
     "repro.metrics",
     "repro.bench",
     "repro.hw",
+    "repro.serve",
 ]
 
 
