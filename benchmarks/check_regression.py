@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Bench-regression gate: fail CI when simulated costs creep upward.
+
+Compares a freshly generated ``BENCH_regression.json`` against the
+committed baseline and exits non-zero if ``communication_s`` or
+``total_simulated_s`` regressed by more than the tolerance (default 5%)
+on any dataset, or if clustering quality (``ari_cuda``) changed at all —
+the simulation is deterministic, so quality drift is a bug, not noise.
+
+Improvements (lower cost) always pass; re-baseline by committing the new
+file after an intentional cost-model change.
+
+Usage::
+
+    python benchmarks/check_regression.py BASELINE.json CURRENT.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+GATED_KEYS = ("communication_s", "total_simulated_s")
+
+
+def compare(baseline: dict, current: dict, rel_tol: float) -> list[str]:
+    """Return a list of human-readable failures (empty = gate passes)."""
+    failures: list[str] = []
+    base_ds = baseline.get("datasets", {})
+    cur_ds = current.get("datasets", {})
+    for name in sorted(base_ds):
+        if name not in cur_ds:
+            failures.append(f"{name}: dataset missing from current run")
+            continue
+        for key in GATED_KEYS:
+            old = base_ds[name][key]
+            new = cur_ds[name][key]
+            if old > 0 and new > old * (1.0 + rel_tol):
+                failures.append(
+                    f"{name}.{key}: {old:.6g} -> {new:.6g} "
+                    f"(+{(new / old - 1.0) * 100:.1f}%, tolerance "
+                    f"{rel_tol * 100:.0f}%)"
+                )
+        old_ari = base_ds[name].get("ari_cuda")
+        new_ari = cur_ds[name].get("ari_cuda")
+        if old_ari is not None and new_ari != old_ari:
+            failures.append(
+                f"{name}.ari_cuda: {old_ari!r} -> {new_ari!r} "
+                "(quality must be bit-identical)"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    p = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    p.add_argument("baseline", help="committed BENCH_regression.json")
+    p.add_argument("current", help="freshly generated BENCH_regression.json")
+    p.add_argument(
+        "--rel-tol", type=float, default=0.05,
+        help="allowed fractional cost increase per metric (default 0.05)",
+    )
+    args = p.parse_args(argv)
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    with open(args.current) as f:
+        current = json.load(f)
+
+    failures = compare(baseline, current, args.rel_tol)
+    if failures:
+        print("bench regression gate FAILED:", file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+
+    for name in sorted(current.get("datasets", {})):
+        row = current["datasets"][name]
+        print(
+            f"{name:8s} comm {row['communication_s']:.6g} s  "
+            f"total {row['total_simulated_s']:.6g} s  ok"
+        )
+    print("bench regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

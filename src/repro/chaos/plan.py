@@ -56,6 +56,10 @@ KNOWN_SITES = (
     "cuda.stream.event",
     "cusparse.csrmv",
     "cusparse.coomv",
+    "cusparse.ellmv",
+    "cusparse.hybmv",
+    "cusparse.csr2ell",
+    "cusparse.csr2hyb",
     "cublas.*",
 )
 
@@ -220,7 +224,7 @@ class FaultPlan:
             ("cuda.h2d", "transfer", 20),
             ("cuda.d2h", "transfer", 20),
             ("cuda.kernel:*", "transient", 40),
-            ("cusparse.csrmv", "transient", 10),
+            ("cusparse.*mv", "transient", 10),
             ("cublas.*", "transient", 10),
         )
         specs = []

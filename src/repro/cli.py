@@ -97,6 +97,8 @@ def _cmd_run(args) -> int:
                 "communication_s": res.profile.communication,
                 "computation_s": res.profile.computation,
                 "kernel_launches": res.profile.kernel_launches,
+                "allocator": dict(res.profile.allocator),
+                "transfers": dict(res.profile.transfers),
             },
             "eig_stats": dict(res.eig_stats),
             "resilience": {

@@ -161,6 +161,16 @@ class SpectralClustering:
         Eigensolver relative tolerance (0 = machine eps).
     eig_maxiter:
         Restart cap.
+    eig_residency:
+        Iteration-vector placement for Algorithm 3: 'device' (default)
+        keeps the Lanczos vectors GPU-resident so only ARPACK's small
+        tridiagonal state crosses PCIe at restart boundaries; 'host' is
+        the paper's original ship-the-vector-twice-per-step loop.  Both
+        produce bit-identical eigenpairs.
+    eig_spmv_format:
+        SpMV operand format for the eigensolver: 'auto' (default) lets
+        the row-length-statistics autotuner choose between 'csr', 'ell'
+        and 'hyb'; or force one.  Format only changes charged time.
     kmeans_init:
         'k-means++' (paper's choice) or 'random'.
     kmeans_max_iter:
@@ -196,6 +206,8 @@ class SpectralClustering:
         m: int | None = None,
         eig_tol: float = 0.0,
         eig_maxiter: int | None = None,
+        eig_residency: str = "device",
+        eig_spmv_format: str = "auto",
         kmeans_init: str = "k-means++",
         kmeans_max_iter: int = 300,
         normalize_rows: bool = False,
@@ -217,6 +229,15 @@ class SpectralClustering:
             raise ClusteringError(
                 f"handle_isolated must be 'remove' or 'error', got {handle_isolated!r}"
             )
+        if eig_residency not in ("device", "host"):
+            raise ClusteringError(
+                f"eig_residency must be 'device' or 'host', got {eig_residency!r}"
+            )
+        if eig_spmv_format not in ("auto", "csr", "ell", "hyb"):
+            raise ClusteringError(
+                f"eig_spmv_format must be 'auto', 'csr', 'ell' or 'hyb', "
+                f"got {eig_spmv_format!r}"
+            )
         if chaos is not None and not isinstance(chaos, (int, FaultPlan)):
             raise ChaosError(
                 f"chaos must be a FaultPlan, an int seed or None, "
@@ -230,6 +251,8 @@ class SpectralClustering:
         self.m = m
         self.eig_tol = eig_tol
         self.eig_maxiter = eig_maxiter
+        self.eig_residency = eig_residency
+        self.eig_spmv_format = eig_spmv_format
         self.kmeans_init = kmeans_init
         self.kmeans_max_iter = kmeans_max_iter
         self.normalize_rows = normalize_rows
@@ -578,7 +601,8 @@ class SpectralClustering:
         theta, U, stats = hybrid_eigensolver(
             device, dcsr, k=self.n_clusters, m=self.m,
             tol=self.eig_tol, maxiter=self.eig_maxiter, seed=self.seed,
-            policy=policy,
+            policy=policy, residency=self.eig_residency,
+            spmv_format=self.eig_spmv_format,
         )
         _note(resilience, "eigensolver", {
             "retries": stats.spmv_retries,

@@ -25,13 +25,21 @@ import numpy as np
 
 from repro.chaos.retry import DISABLED, ResiliencePolicy, TRANSIENT_ERRORS, with_retry
 from repro.cuda.device import Device
+from repro.cuda.memory import BufferGroup
+from repro.cuda.stream import Stream
+from repro.cusparse.formats import autotune_format, convert_for_spmv
 from repro.cusparse.matrices import DeviceCSR
-from repro.cusparse.spmv import csrmv
+from repro.cusparse.spmv import csrmv, spmv_any
 from repro.errors import CudaError, DeviceMemoryError
 from repro.hw.costmodel import CPUCostModel
 from repro.hw.spec import CPUSpec, XEON_E5_2690
 from repro.linalg.eigsolver import SymEigProblem
-from repro.linalg.rci import LanczosCheckpoint
+from repro.linalg.rci import LanczosCheckpoint, TransferLedger
+
+#: iteration-vector placements for :func:`hybrid_eigensolver`
+RESIDENCY_MODES = ("device", "host")
+#: SpMV format requests (``"auto"`` = cost-model autotune over row stats)
+SPMV_FORMAT_CHOICES = ("auto", "csr", "ell", "hyb")
 
 
 @dataclass
@@ -41,7 +49,10 @@ class EigStats:
     ``n_resumes``/``spmv_retries``/``fallback`` report resilience activity:
     checkpoint restarts after a device failure, recovered per-round-trip
     faults, and whether the solve finished on the host (``"cpu"``) instead
-    of the device (``None``).
+    of the device (``None``).  ``residency``/``spmv_format`` record the
+    placement and format the solve actually ran with; the transfer counters
+    (bytes moved, transfers elided, overlap) quantify what the GPU-resident
+    path saved over the ship-the-vector-twice-per-step baseline.
     """
 
     n_op: int
@@ -55,6 +66,14 @@ class EigStats:
     n_resumes: int = 0
     spmv_retries: int = 0
     fallback: str | None = None
+    residency: str = "host"
+    spmv_format: str = "csr"
+    bytes_h2d: int = 0
+    bytes_d2h: int = 0
+    transfers_elided: int = 0
+    bytes_elided: int = 0
+    transfer_overlap_s: float = 0.0
+    format_decision: dict | None = None
 
     def as_dict(self) -> dict:
         return dict(
@@ -69,6 +88,14 @@ class EigStats:
             n_resumes=self.n_resumes,
             spmv_retries=self.spmv_retries,
             fallback=self.fallback,
+            residency=self.residency,
+            spmv_format=self.spmv_format,
+            bytes_h2d=self.bytes_h2d,
+            bytes_d2h=self.bytes_d2h,
+            transfers_elided=self.transfers_elided,
+            bytes_elided=self.bytes_elided,
+            transfer_overlap_s=self.transfer_overlap_s,
+            format_decision=self.format_decision,
         )
 
 
@@ -106,6 +133,62 @@ def charge_find_eigenvectors(
     device.charge_cpu("FindEigenvectors", cpu.blas3_time(2.0 * n * m * k))
 
 
+def charge_takestep_device(device: Device, n: int, j_avg: float) -> None:
+    """Charge one ``TakeStep`` with the basis kept device-resident.
+
+    The reorthogonalization sweep becomes two cuBLAS gemv launches over the
+    on-device basis (project then update) instead of a host BLAS-2 pass —
+    the same ``O(j·n)`` traffic, but at GPU stream bandwidth.
+    """
+    flops = 2.0 * j_avg * n
+    bytes_moved = (j_avg * n + 2.0 * n) * 8.0
+    device.charge_kernel("cublasDgemv[proj]", flops, bytes_moved, kind="stream")
+    device.charge_kernel("cublasDgemv[update]", flops, bytes_moved, kind="stream")
+
+
+def charge_restart_device(
+    device: Device,
+    cpu: CPUCostModel,
+    copy_stream: Stream,
+    n: int,
+    m: int,
+    kp: int,
+) -> None:
+    """Charge one implicit restart with a device-resident basis.
+
+    Only ARPACK's small tridiagonal state crosses the bus: the ``2m``
+    coefficients come down before the host runs ``dsteqr`` + the shift
+    sweeps, and the ``m x kp`` rotation matrix streams back up on the copy
+    engine *while* the host is still grinding — the H2D lands on the
+    timeline overlapped with the CPU phases via the dedicated stream.  The
+    basis update ``V <- V Q`` then runs as a cublas gemm on the device
+    instead of host BLAS-3.  The two staging buffers cycle through the
+    caching allocator every restart, so after the first restart they are
+    free-list hits.
+    """
+    coef = device.empty(2 * m, dtype=np.float64)
+    qbuf = device.empty((m, kp), dtype=np.float64)
+    try:
+        # pinned-host staging: the host needs alpha/beta before dsteqr
+        device._record_d2h(coef.nbytes)
+        t_host = device.timeline.clock.now
+        device.charge_cpu("dsteqr[T]", cpu.blas3_time(15.0 * m**3, threads=1))
+        device.charge_cpu(
+            "qr_sweeps", cpu.blas3_time(6.0 * (m - kp) * m * m, threads=1)
+        )
+        # async H2D of Q, hidden behind the host-side restart math
+        copy_stream.enqueue_h2d(qbuf.nbytes, ready_at=t_host)
+        device.charge_kernel(
+            "cublasDgemm[VQ]",
+            flops=2.0 * n * m * kp,
+            bytes_moved=(n * m + m * kp + 2.0 * n * kp) * 8.0,
+            kind="dense",
+        )
+    finally:
+        coef.free()
+        qbuf.free()
+
+
 def hybrid_eigensolver(
     device: Device,
     A: DeviceCSR,
@@ -118,6 +201,8 @@ def hybrid_eigensolver(
     cpu_spec: CPUSpec = XEON_E5_2690,
     v0: np.ndarray | None = None,
     policy: ResiliencePolicy = DISABLED,
+    residency: str = "device",
+    spmv_format: str = "auto",
 ) -> tuple[np.ndarray, np.ndarray, EigStats]:
     """Algorithm 3: the reverse-communication loop with GPU SpMV.
 
@@ -132,19 +217,41 @@ def hybrid_eigensolver(
         Passed to :class:`~repro.linalg.eigsolver.SymEigProblem`.
     policy:
         Fault response (default: let device errors propagate).  With an
-        enabled policy each PCIe round trip retries transient faults with
-        backoff, a mid-solve device failure resumes from the latest
-        restart-boundary :class:`~repro.linalg.rci.LanczosCheckpoint`
-        (``policy.max_resumes`` attempts), and when the device stays
-        unusable the solve finishes with a host SpMV that performs the
-        *same arithmetic* as ``cusparseDcsrmv``, so the Ritz pairs match
-        the all-GPU run bit for bit.
+        enabled policy each SpMV retries transient faults with backoff, a
+        mid-solve device failure resumes from the latest restart-boundary
+        :class:`~repro.linalg.rci.LanczosCheckpoint` (``policy.max_resumes``
+        attempts), and when the device stays unusable the solve finishes
+        with a host SpMV that performs the *same arithmetic* as
+        ``cusparseDcsrmv``, so the Ritz pairs match the all-GPU run bit
+        for bit.
+    residency:
+        ``"device"`` (default) keeps the iteration vector and Lanczos basis
+        in persistent device buffers across reverse-communication steps —
+        only ARPACK's small tridiagonal state crosses the bus, at restart
+        boundaries, with the Q upload hidden on the copy engine.
+        ``"host"`` is the paper's original Algorithm 3: the vector ships
+        over PCIe twice per Lanczos step.  Both placements drive the exact
+        same IRLM arithmetic, so eigenpairs are bit-identical.
+    spmv_format:
+        ``"auto"`` (default) picks CSR/ELL/HYB per matrix from row-length
+        statistics via the cost-model autotuner; or force one format.
+        All formats share one reference substrate arithmetic, so this only
+        changes charged time.
 
     Returns
     -------
     (theta, U, stats):
         Eigenvalues ascending, eigenvector columns ``(n, k)``, counters.
     """
+    if residency not in RESIDENCY_MODES:
+        raise ValueError(
+            f"residency must be one of {RESIDENCY_MODES}, got {residency!r}"
+        )
+    if spmv_format not in SPMV_FORMAT_CHOICES:
+        raise ValueError(
+            f"spmv_format must be one of {SPMV_FORMAT_CHOICES}, "
+            f"got {spmv_format!r}"
+        )
     n = A.shape[0]
     cpu = CPUCostModel(cpu_spec)
     t0 = time.perf_counter()
@@ -158,6 +265,7 @@ def hybrid_eigensolver(
     round_trips = 0
     fallback: str | None = None
     prob: SymEigProblem | None = None
+    transfers_before = device.transfer_stats()
 
     def note_cp(cp: LanczosCheckpoint) -> None:
         nonlocal latest_cp
@@ -167,61 +275,145 @@ def hybrid_eigensolver(
         nonlocal spmv_retries
         spmv_retries += 1
 
-    def make_prob() -> SymEigProblem:
+    def make_prob(restart_cb=None) -> SymEigProblem:
         # step 1: initialize the Prob object with parameters (resumes pick
         # up the factorization and RNG from the latest checkpoint instead)
         return SymEigProblem(
             n=n, k=k, which=which, m=m, tol=tol, maxiter=maxiter,
             seed=seed, v0=v0, checkpoint=latest_cp, checkpoint_cb=note_cp,
+            restart_cb=restart_cb,
         )
 
     with device.stage("eigensolver"):
+        # ---- SpMV format selection (autotune over row-length stats) ------
+        decision = None
+        fmt = spmv_format
+        if fmt == "auto":
+            decision = autotune_format(A.indptr.data, device.cost)
+            fmt = decision.format
+        A_op = A
+
+        def materialize_op() -> None:
+            # conversion kernel charged once, amortized over the solve
+            nonlocal A_op
+            if fmt != "csr" and A_op is A:
+                A_op = convert_for_spmv(
+                    A, fmt,
+                    hyb_width=decision.hyb_width if decision is not None else None,
+                )
+
+        def drop_op() -> None:
+            nonlocal A_op
+            if A_op is not A:
+                A_op.free()
+                A_op = A
+
+        if residency == "device":
+            copy_stream = Stream(device, name="copyEngine")
         while True:
+            bufs = BufferGroup()
             dx = dy = None
             try:
-                # the ping-pong pair is tiny (2n doubles) — no degrade
-                # ladder, but a transient alloc hiccup is retryable
-                dx = with_retry(
-                    lambda: device.empty(n, dtype=np.float64), device, policy,
-                    site="eig.alloc", errors=TRANSIENT_ERRORS + (DeviceMemoryError,),
-                    on_retry=count_retry,
-                )
-                dy = with_retry(
-                    lambda: device.empty(n, dtype=np.float64), device, policy,
-                    site="eig.alloc", errors=TRANSIENT_ERRORS + (DeviceMemoryError,),
-                    on_retry=count_retry,
-                )
-                prob = make_prob()
+                if residency == "device":
+                    # persistent workspace: the ping-pong pair plus the
+                    # (m, n) Lanczos basis live on the device for the whole
+                    # solve; a transient alloc hiccup is retryable
+                    def alloc_workspace():
+                        group = BufferGroup()
+                        try:
+                            wx = group.add(device.empty(n, dtype=np.float64))
+                            wy = group.add(device.empty(n, dtype=np.float64))
+                            group.add(
+                                device.empty((m_eff, n), dtype=np.float64)
+                            )  # basis V
+                        except BaseException:
+                            group.free_all()
+                            raise
+                        return group, wx, wy
 
-                # step 2: while !Prob.converge()
-                while not prob.converged():
-                    prob.take_step()
-                    charge_takestep(device, cpu, n, j_avg)
-                    if prob.needs_matvec():
-                        x = prob.get_vector()
+                    bufs, dx, dy = with_retry(
+                        alloc_workspace, device, policy,
+                        site="eig.alloc",
+                        errors=TRANSIENT_ERRORS + (DeviceMemoryError,),
+                        on_retry=count_retry,
+                    )
+                    materialize_op()
+                    # seed the device state: v0 on a cold start, the kept
+                    # factorization after a resume (the device lost it)
+                    ledger = TransferLedger(n=n, m=m_eff, k=k)
+                    device._record_h2d(ledger.seed_h2d_bytes(latest_cp))
 
-                        def roundtrip() -> np.ndarray:
-                            # transfer Prob.GetVector() host→device, run
-                            # cusparseDcsrmv, transfer the result back —
-                            # idempotent end to end (dx/dy fully rewritten),
-                            # so a fault at any of the three sites retries
-                            dx.copy_from_host(x)
-                            csrmv(A, dx, dy, rows_cache=rows_cache)
-                            return dy.copy_to_host()
-
-                        y = with_retry(
-                            roundtrip, device, policy,
-                            site="eig.spmv", on_retry=count_retry,
+                    def on_restart(_r: int) -> None:
+                        charge_restart_device(
+                            device, cpu, copy_stream, n, m_eff, k
                         )
-                        prob.put_vector(y)
-                        round_trips += 1
-                dx.free()
-                dy.free()
+
+                    prob = make_prob(restart_cb=on_restart)
+                    while not prob.converged():
+                        prob.take_step()
+                        charge_takestep_device(device, n, j_avg)
+                        if prob.needs_matvec():
+                            # the vector is already device-resident: no
+                            # PCIe crossing in either direction
+                            dx.data[...] = prob.get_vector()
+                            with_retry(
+                                lambda: spmv_any(
+                                    A_op, dx, dy, rows_cache=rows_cache
+                                ),
+                                device, policy,
+                                site="eig.spmv", on_retry=count_retry,
+                            )
+                            prob.put_vector(dy.data.copy())
+                            device.note_elided_transfer(
+                                2, ledger.step_roundtrip_bytes()
+                            )
+                else:
+                    # the ping-pong pair is tiny (2n doubles) — no degrade
+                    # ladder, but a transient alloc hiccup is retryable
+                    dx = with_retry(
+                        lambda: device.empty(n, dtype=np.float64), device,
+                        policy, site="eig.alloc",
+                        errors=TRANSIENT_ERRORS + (DeviceMemoryError,),
+                        on_retry=count_retry,
+                    )
+                    bufs.add(dx)
+                    dy = with_retry(
+                        lambda: device.empty(n, dtype=np.float64), device,
+                        policy, site="eig.alloc",
+                        errors=TRANSIENT_ERRORS + (DeviceMemoryError,),
+                        on_retry=count_retry,
+                    )
+                    bufs.add(dy)
+                    materialize_op()
+                    prob = make_prob()
+
+                    # step 2: while !Prob.converge()
+                    while not prob.converged():
+                        prob.take_step()
+                        charge_takestep(device, cpu, n, j_avg)
+                        if prob.needs_matvec():
+                            x = prob.get_vector()
+
+                            def roundtrip() -> np.ndarray:
+                                # transfer Prob.GetVector() host→device, run
+                                # the SpMV, transfer the result back —
+                                # idempotent end to end (dx/dy fully
+                                # rewritten), so a fault at any site retries
+                                dx.copy_from_host(x)
+                                spmv_any(A_op, dx, dy, rows_cache=rows_cache)
+                                return dy.copy_to_host()
+
+                            y = with_retry(
+                                roundtrip, device, policy,
+                                site="eig.spmv", on_retry=count_retry,
+                            )
+                            prob.put_vector(y)
+                            round_trips += 1
+                bufs.free_all()
                 break
             except CudaError:
-                for buf in (dx, dy):
-                    if buf is not None:
-                        buf.free()
+                bufs.free_all()
+                drop_op()
                 if not policy.enabled:
                     raise
                 if n_resumes < policy.max_resumes:
@@ -256,13 +448,34 @@ def hybrid_eigensolver(
                     )
                     prob.put_vector(y)
 
+        drop_op()
         # step 3: compute the eigenvectors
         theta, U = prob.find_eigenvectors()
         res = prob.result
-        for _ in range(res.n_restarts):
-            charge_restart(device, cpu, n, prob.m, k)
-        charge_find_eigenvectors(device, cpu, n, prob.m, k)
+        if residency == "device" and fallback is None:
+            # restarts were charged inline (charge_restart_device); the
+            # Ritz basis assembles on-device, then U comes down once
+            def assemble_ritz() -> None:
+                device.charge_kernel(
+                    "cublasDgemm[ritz]",
+                    flops=2.0 * n * prob.m * k,
+                    bytes_moved=(n * prob.m + prob.m * k + 2.0 * n * k) * 8.0,
+                    kind="dense",
+                )
+                device._record_d2h(
+                    TransferLedger(n=n, m=prob.m, k=k).result_d2h_bytes()
+                )
+
+            with_retry(
+                assemble_ritz, device, policy,
+                site="eig.result", on_retry=count_retry,
+            )
+        else:
+            for _ in range(res.n_restarts):
+                charge_restart(device, cpu, n, prob.m, k)
+            charge_find_eigenvectors(device, cpu, n, prob.m, k)
     wall = time.perf_counter() - t0
+    transfers_after = device.transfer_stats()
     stats = EigStats(
         n_op=res.n_op,
         n_restarts=res.n_restarts,
@@ -275,5 +488,20 @@ def hybrid_eigensolver(
         n_resumes=n_resumes,
         spmv_retries=spmv_retries,
         fallback=fallback,
+        residency=residency,
+        spmv_format=fmt,
+        bytes_h2d=transfers_after["bytes_h2d"] - transfers_before["bytes_h2d"],
+        bytes_d2h=transfers_after["bytes_d2h"] - transfers_before["bytes_d2h"],
+        transfers_elided=(
+            transfers_after["transfers_elided"]
+            - transfers_before["transfers_elided"]
+        ),
+        bytes_elided=(
+            transfers_after["bytes_elided"] - transfers_before["bytes_elided"]
+        ),
+        transfer_overlap_s=(
+            transfers_after["overlap_s"] - transfers_before["overlap_s"]
+        ),
+        format_decision=decision.as_dict() if decision is not None else None,
     )
     return theta, U, stats

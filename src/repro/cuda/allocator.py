@@ -1,0 +1,209 @@
+"""Caching device allocator: size-bucketed free lists over device memory.
+
+Real ``cudaMalloc``/``cudaFree`` are expensive (device-wide synchronization
+plus driver work, ~10 us each), which is why every serious CUDA runtime —
+PyTorch's ``CUDACachingAllocator``, CUB/Thrust's ``CachingDeviceAllocator``,
+cuDF's RMM pools — caches freed blocks instead of returning them to the
+driver.  The hot loops in this pipeline hit exactly that pattern: the
+k-means Lloyd iteration allocates and frees seven temporaries per sweep,
+the Lanczos restart loop cycles small staging buffers, and Thrust sorts
+grab scratch space per call.
+
+:class:`CachingAllocator` layers a size-bucketed free list on top of the
+byte-counting :class:`~repro.cuda.memory.Allocator`:
+
+* requests are rounded up to a 512 B-granular *bucket*; a freed block
+  parks on its bucket's free list rather than shrinking the reservation;
+* an allocation served from a free list is a **hit** — no ``cudaMalloc``
+  latency is charged by the device;
+* a **miss** reserves a fresh bucket from capacity (charging malloc
+  latency); if the reservation would exceed capacity the cache is flushed
+  (``cudaFree`` of every parked block) and the reservation retried once —
+  the same flush-and-retry PyTorch performs before surfacing OOM;
+* blocks larger than ``large_threshold`` are never cached (a pathological
+  working set must not pin the whole device), mirroring the size-class
+  split of the real allocators.
+
+Because the simulation tracks byte counts rather than addresses, a "block"
+is a counter per bucket; fragmentation manifests as the gap between
+``used_bytes`` (requested) and ``reserved_bytes`` (bucket-rounded), which
+the stats expose.  Faults are injected *before* the cache is consulted
+(``Device._new_array``), so chaos OOM faults are never masked by a hit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cuda.memory import Allocator
+from repro.errors import DeviceMemoryError
+
+#: smallest bucket handed out — sub-512 B requests round up to this, like
+#: the 512 B minimum block of the PyTorch allocator.
+MIN_BUCKET_BYTES = 512
+
+#: blocks above this size bypass the cache entirely (freed eagerly).
+LARGE_BLOCK_THRESHOLD = 256 * 1024 * 1024
+
+
+def bucket_bytes(nbytes: int) -> int:
+    """Round a request up to its size class (512 B granularity).
+
+    Multiples of 512 B, the PyTorch allocator's ``kMinBlockSize`` rounding:
+    repeated same-shape allocations (the hot-loop pattern) land in the same
+    class and reuse each other's blocks, while worst-case internal
+    fragmentation stays under 512 B per block — power-of-two classes would
+    waste up to half the device on oddly-sized working sets.
+    """
+    if nbytes < 0:
+        raise ValueError("negative allocation")
+    if nbytes == 0:
+        return 0
+    return -(-nbytes // MIN_BUCKET_BYTES) * MIN_BUCKET_BYTES
+
+
+@dataclass(frozen=True)
+class AllocOutcome:
+    """What one ``allocate`` call did, so the device can charge for it.
+
+    ``hit`` means the request was served from the free list (no malloc
+    latency); ``flushed_segments`` counts cached blocks returned to the
+    driver by a flush-and-retry before the reservation succeeded (each one
+    is a real ``cudaFree``).
+    """
+
+    hit: bool
+    flushed_segments: int = 0
+
+
+class CachingAllocator(Allocator):
+    """Size-bucketed caching allocator over the device byte budget.
+
+    Inherits the byte accounting of :class:`Allocator` — ``used_bytes`` is
+    requested bytes in live arrays, identical to the non-caching allocator —
+    and adds ``reserved_bytes``: the bucket-rounded footprint held from the
+    device, including parked free blocks.
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        large_threshold: int = LARGE_BLOCK_THRESHOLD,
+    ) -> None:
+        super().__init__(capacity_bytes)
+        self.large_threshold = int(large_threshold)
+        self.reserved_bytes = 0
+        self.peak_reserved_bytes = 0
+        #: bucket size -> number of parked (freed, reusable) blocks
+        self._free_blocks: dict[int, int] = {}
+        self.n_hits = 0
+        self.n_misses = 0
+        self.n_flushes = 0
+        #: real cudaFree calls (flush segments + eager large-block frees)
+        self.n_segment_frees = 0
+
+    # -- free-list bookkeeping -----------------------------------------
+    @property
+    def free_bytes(self) -> int:
+        """Allocatable headroom: capacity minus the *rounded* live
+        footprint.  Parked blocks count as free — a miss that needs their
+        space reclaims them with a flush-and-retry — but live-block
+        rounding does not, so working-set sizing (k-means auto-tiling)
+        never plans into bytes the buckets have already swallowed."""
+        return self.capacity_bytes - (self.reserved_bytes - self.cached_bytes)
+
+    @property
+    def cached_bytes(self) -> int:
+        """Bytes parked on free lists (reserved but not in use)."""
+        return sum(b * n for b, n in self._free_blocks.items())
+
+    @property
+    def cached_blocks(self) -> int:
+        return sum(self._free_blocks.values())
+
+    def empty_cache(self) -> int:
+        """Flush every parked block back to the driver (``cudaFree`` each).
+
+        Returns the number of segments released, so callers can charge the
+        corresponding free latency.
+        """
+        segments = self.cached_blocks
+        self.reserved_bytes -= self.cached_bytes
+        self._free_blocks.clear()
+        self.n_segment_frees += segments
+        return segments
+
+    # -- allocate / release --------------------------------------------
+    def allocate(self, nbytes: int) -> AllocOutcome:
+        if nbytes < 0:
+            raise ValueError("negative allocation")
+        bucket = bucket_bytes(nbytes)
+        parked = self._free_blocks.get(bucket, 0)
+        if parked > 0 and bucket <= self.large_threshold:
+            if parked == 1:
+                del self._free_blocks[bucket]
+            else:
+                self._free_blocks[bucket] = parked - 1
+            self.used_bytes += nbytes
+            self.alloc_count += 1
+            self.n_hits += 1
+            self.peak_bytes = max(self.peak_bytes, self.used_bytes)
+            return AllocOutcome(hit=True)
+
+        flushed = 0
+        if self.reserved_bytes + bucket > self.capacity_bytes:
+            flushed = self.empty_cache()
+            if flushed:
+                self.n_flushes += 1
+            if self.reserved_bytes + bucket > self.capacity_bytes:
+                raise DeviceMemoryError(
+                    f"out of device memory: requested {nbytes} bytes "
+                    f"(rounds to {bucket}) with "
+                    f"{self.capacity_bytes - self.reserved_bytes} of "
+                    f"{self.capacity_bytes} unreserved"
+                )
+        self.reserved_bytes += bucket
+        self.used_bytes += nbytes
+        self.alloc_count += 1
+        self.n_misses += 1
+        self.peak_bytes = max(self.peak_bytes, self.used_bytes)
+        self.peak_reserved_bytes = max(self.peak_reserved_bytes, self.reserved_bytes)
+        return AllocOutcome(hit=False, flushed_segments=flushed)
+
+    def release(self, nbytes: int) -> bool:
+        """Return a block to the cache; returns True iff a real ``cudaFree``
+        happened (large blocks bypass the cache)."""
+        if nbytes < 0:
+            raise ValueError("negative release")
+        self.used_bytes = max(0, self.used_bytes - nbytes)
+        bucket = bucket_bytes(nbytes)
+        if bucket == 0:
+            return False
+        if bucket > self.large_threshold:
+            self.reserved_bytes = max(0, self.reserved_bytes - bucket)
+            self.n_segment_frees += 1
+            return True
+        self._free_blocks[bucket] = self._free_blocks.get(bucket, 0) + 1
+        return False
+
+    # -- stats -----------------------------------------------------------
+    @property
+    def hit_rate(self) -> float:
+        n = self.n_hits + self.n_misses
+        return self.n_hits / n if n else 0.0
+
+    def stats(self) -> dict:
+        """Counters for Profiler / ServiceReport / CLI surfacing."""
+        return {
+            "caching": True,
+            "hits": self.n_hits,
+            "misses": self.n_misses,
+            "hit_rate": self.hit_rate,
+            "flushes": self.n_flushes,
+            "segment_frees": self.n_segment_frees,
+            "bytes_in_use": self.used_bytes,
+            "bytes_reserved": self.reserved_bytes,
+            "bytes_cached": self.cached_bytes,
+            "peak_bytes_in_use": self.peak_bytes,
+            "peak_bytes_reserved": self.peak_reserved_bytes,
+        }

@@ -19,6 +19,7 @@ from typing import Iterator, Sequence
 import numpy as np
 
 from repro.chaos.runtime import chaos_check
+from repro.cuda.allocator import AllocOutcome, CachingAllocator
 from repro.cuda.memory import Allocator, DeviceArray
 from repro.hw.costmodel import GPUCostModel, TransferCostModel
 from repro.hw.spec import GPUSpec, K20C, PCIE_X16_GEN2, PCIeSpec
@@ -37,6 +38,10 @@ class Device:
     timeline:
         Optionally share a timeline with other components (e.g. so CPU
         phases and GPU phases interleave on one clock).
+    caching:
+        Use the size-bucketed :class:`~repro.cuda.allocator.CachingAllocator`
+        (the default); ``False`` falls back to the plain byte-counting
+        allocator, paying ``cudaMalloc``/``cudaFree`` latency on every call.
     """
 
     def __init__(
@@ -44,26 +49,66 @@ class Device:
         spec: GPUSpec = K20C,
         pcie: PCIeSpec = PCIE_X16_GEN2,
         timeline: Timeline | None = None,
+        caching: bool = True,
     ) -> None:
         self.spec = spec
         self.pcie = pcie
-        self.allocator = Allocator(spec.memory_bytes)
+        self.caching = caching
+        self.allocator = self._make_allocator()
         self.timeline = timeline if timeline is not None else Timeline()
         self.cost = GPUCostModel(spec)
         self.transfer_cost = TransferCostModel(pcie)
         #: cumulative simulated seconds by high-level class, convenience view
         self.kernel_launches = 0
+        self._reset_transfer_counters()
+
+    def _make_allocator(self) -> Allocator:
+        if self.caching:
+            return CachingAllocator(self.spec.memory_bytes)
+        return Allocator(self.spec.memory_bytes)
+
+    def _reset_transfer_counters(self) -> None:
+        #: PCIe traffic counters (observability; time lives on the timeline)
+        self.bytes_h2d = 0
+        self.bytes_d2h = 0
+        self.n_h2d = 0
+        self.n_d2h = 0
+        #: transfers the GPU-resident eigensolver never issued
+        self.transfers_elided = 0
+        self.bytes_elided = 0
+        #: seconds of transfer time hidden behind already-scheduled work
+        self.transfer_overlap_s = 0.0
 
     # ------------------------------------------------------------------
     # allocation + movement
     # ------------------------------------------------------------------
     def _new_array(self, data: np.ndarray) -> DeviceArray:
+        # The fault site runs before the cache is consulted, so injected
+        # OOM faults surface even when the request would have been a hit.
         chaos_check("cuda.alloc", self, nbytes=data.nbytes)
-        self.allocator.allocate(data.nbytes)
+        outcome = self.allocator.allocate(data.nbytes)
+        if isinstance(outcome, AllocOutcome):
+            if outcome.flushed_segments:
+                self.timeline.record(
+                    f"cudaFree[cache-trim x{outcome.flushed_segments}]",
+                    "overhead",
+                    outcome.flushed_segments * self.spec.free_overhead_s,
+                )
+            if not outcome.hit:
+                self.timeline.record(
+                    "cudaMalloc", "overhead", self.spec.malloc_overhead_s
+                )
+        else:  # plain allocator: every call is a real cudaMalloc
+            self.timeline.record(
+                "cudaMalloc", "overhead", self.spec.malloc_overhead_s
+            )
         return DeviceArray(data, self)
 
     def _release(self, nbytes: int) -> None:
-        self.allocator.release(nbytes)
+        real_free = self.allocator.release(nbytes)
+        if real_free is None or real_free:
+            # plain allocator (returns None) or an uncached large block
+            self.timeline.record("cudaFree", "overhead", self.spec.free_overhead_s)
 
     def empty(self, shape: int | Sequence[int], dtype=np.float64) -> DeviceArray:
         """``cudaMalloc`` without initialization."""
@@ -103,12 +148,46 @@ class Device:
         self.timeline.record(
             f"memcpyH2D[{nbytes}B]", "h2d", self.transfer_cost.h2d_time(nbytes)
         )
+        self.n_h2d += 1
+        self.bytes_h2d += nbytes
 
     def _record_d2h(self, nbytes: int) -> None:
         chaos_check("cuda.d2h", self, nbytes=nbytes)
         self.timeline.record(
             f"memcpyD2H[{nbytes}B]", "d2h", self.transfer_cost.d2h_time(nbytes)
         )
+        self.n_d2h += 1
+        self.bytes_d2h += nbytes
+
+    def _record_h2d_at(self, nbytes: int, start: float) -> float:
+        """Asynchronous H2D (``cudaMemcpyAsync`` from pinned memory): the
+        transfer is laid onto the timeline at an absolute start so it can
+        overlap already-recorded kernel work.  Returns its duration."""
+        chaos_check("cuda.h2d", self, nbytes=nbytes)
+        dt = self.transfer_cost.h2d_time(nbytes)
+        before = self.timeline.clock.now
+        self.timeline.record_at(f"memcpyH2DAsync[{nbytes}B]", "h2d", start, dt)
+        self.n_h2d += 1
+        self.bytes_h2d += nbytes
+        self.transfer_overlap_s += max(0.0, min(start + dt, before) - start)
+        return dt
+
+    def _record_d2h_at(self, nbytes: int, start: float) -> float:
+        """Asynchronous D2H into a pinned staging buffer (see
+        :meth:`_record_h2d_at`)."""
+        chaos_check("cuda.d2h", self, nbytes=nbytes)
+        dt = self.transfer_cost.d2h_time(nbytes)
+        before = self.timeline.clock.now
+        self.timeline.record_at(f"memcpyD2HAsync[{nbytes}B]", "d2h", start, dt)
+        self.n_d2h += 1
+        self.bytes_d2h += nbytes
+        self.transfer_overlap_s += max(0.0, min(start + dt, before) - start)
+        return dt
+
+    def note_elided_transfer(self, count: int, nbytes: int) -> None:
+        """Account for PCIe crossings a device-resident data path avoided."""
+        self.transfers_elided += count
+        self.bytes_elided += nbytes
 
     def charge_kernel(
         self,
@@ -151,11 +230,42 @@ class Device:
         """(free, total) device memory in bytes, like ``cudaMemGetInfo``."""
         return self.allocator.free_bytes, self.allocator.capacity_bytes
 
+    def alloc_stats(self) -> dict:
+        """Allocator counters (hits/misses/reserve) for profiling surfaces."""
+        if isinstance(self.allocator, CachingAllocator):
+            return self.allocator.stats()
+        return {
+            "caching": False,
+            "hits": 0,
+            "misses": self.allocator.alloc_count,
+            "hit_rate": 0.0,
+            "flushes": 0,
+            "segment_frees": 0,
+            "bytes_in_use": self.allocator.used_bytes,
+            "bytes_reserved": self.allocator.used_bytes,
+            "bytes_cached": 0,
+            "peak_bytes_in_use": self.allocator.peak_bytes,
+            "peak_bytes_reserved": self.allocator.peak_bytes,
+        }
+
+    def transfer_stats(self) -> dict:
+        """PCIe traffic counters (bytes moved, elisions, overlap)."""
+        return {
+            "bytes_h2d": self.bytes_h2d,
+            "bytes_d2h": self.bytes_d2h,
+            "n_h2d": self.n_h2d,
+            "n_d2h": self.n_d2h,
+            "transfers_elided": self.transfers_elided,
+            "bytes_elided": self.bytes_elided,
+            "overlap_s": self.transfer_overlap_s,
+        }
+
     def reset(self) -> None:
         """Clear the timeline and allocation statistics (new context)."""
         self.timeline.clear()
-        self.allocator = Allocator(self.spec.memory_bytes)
+        self.allocator = self._make_allocator()
         self.kernel_launches = 0
+        self._reset_transfer_counters()
 
     def __repr__(self) -> str:
         used = self.allocator.used_bytes

@@ -219,9 +219,18 @@ class BufferGroup:
         return buf
 
     def free_all(self) -> None:
-        for buf in self._bufs:
-            buf.free()
-        self._bufs.clear()
+        """Release every registered buffer that is still live.
+
+        Idempotent: buffers already freed individually (or by a previous
+        ``free_all``) are skipped rather than relying on caller discipline,
+        and a repeated call is a no-op.  Each release routes through the
+        owning device's allocator, so with the caching allocator the blocks
+        land back on its free lists.
+        """
+        bufs, self._bufs = self._bufs, []
+        for buf in bufs:
+            if buf.is_valid:
+                buf.free()
 
 
 def _as_device_data(x: "DeviceArray | np.ndarray", device: "Device") -> np.ndarray:

@@ -28,6 +28,12 @@ class ProfileReport:
     by_stage: dict[str, float] = field(default_factory=dict)
     #: number of kernel launches observed
     kernel_launches: int = 0
+    #: caching-allocator counters over the profiled region (hits, misses,
+    #: hit_rate, bytes_reserved, ...); empty if the device was not sampled
+    allocator: dict = field(default_factory=dict)
+    #: PCIe traffic counters over the profiled region (bytes_h2d, bytes_d2h,
+    #: transfers_elided, bytes_elided, overlap_s, ...)
+    transfers: dict = field(default_factory=dict)
 
     @property
     def total(self) -> float:
@@ -63,23 +69,44 @@ class Profiler:
         report = prof.stop()
     """
 
+    #: allocator/transfer counters that accumulate monotonically — these are
+    #: reported as deltas over the profiled region; the rest (bytes_in_use,
+    #: bytes_reserved, peaks, ...) are point-in-time gauges.
+    _ALLOC_DELTA_KEYS = ("hits", "misses", "flushes", "segment_frees")
+
     def __init__(self, device: Device) -> None:
         self.device = device
         self._start_index: int | None = None
+        self._start_alloc: dict = {}
+        self._start_transfers: dict = {}
 
     def start(self) -> None:
         self._start_index = len(self.device.timeline)
+        self._start_alloc = self.device.alloc_stats()
+        self._start_transfers = self.device.transfer_stats()
 
     def stop(self) -> ProfileReport:
         if self._start_index is None:
             raise RuntimeError("Profiler.stop() called before start()")
         events = self.device.timeline.events[self._start_index :]
+        alloc = self.device.alloc_stats()
+        for key in self._ALLOC_DELTA_KEYS:
+            alloc[key] -= self._start_alloc.get(key, 0)
+        n = alloc["hits"] + alloc["misses"]
+        alloc["hit_rate"] = alloc["hits"] / n if n else 0.0
+        transfers = self.device.transfer_stats()
+        for key, start_val in self._start_transfers.items():
+            transfers[key] -= start_val
         self._start_index = None
-        return _aggregate(events)
+        return _aggregate(events, allocator=alloc, transfers=transfers)
 
     def snapshot(self) -> ProfileReport:
         """Report over the device's entire timeline (no start/stop needed)."""
-        return _aggregate(self.device.timeline.events)
+        return _aggregate(
+            self.device.timeline.events,
+            allocator=self.device.alloc_stats(),
+            transfers=self.device.transfer_stats(),
+        )
 
 
 def merge_reports(reports) -> ProfileReport:
@@ -96,6 +123,8 @@ def merge_reports(reports) -> ProfileReport:
     by_cat: dict[str, float] = {}
     by_stage: dict[str, float] = {}
     kernels = 0
+    alloc: dict = {}
+    transfers: dict = {}
     for rep in reports:
         comm += rep.communication
         comp += rep.computation
@@ -104,16 +133,28 @@ def merge_reports(reports) -> ProfileReport:
             by_cat[cat] = by_cat.get(cat, 0.0) + secs
         for stage, secs in rep.by_stage.items():
             by_stage[stage] = by_stage.get(stage, 0.0) + secs
+        for key, val in rep.allocator.items():
+            if key == "caching":
+                alloc["caching"] = bool(alloc.get("caching")) or bool(val)
+            elif key != "hit_rate":
+                alloc[key] = alloc.get(key, 0) + val
+        for key, val in rep.transfers.items():
+            transfers[key] = transfers.get(key, 0) + val
+    if alloc:
+        n = alloc.get("hits", 0) + alloc.get("misses", 0)
+        alloc["hit_rate"] = alloc.get("hits", 0) / n if n else 0.0
     return ProfileReport(
         communication=comm,
         computation=comp,
         by_category=by_cat,
         by_stage=by_stage,
         kernel_launches=kernels,
+        allocator=alloc,
+        transfers=transfers,
     )
 
 
-def _aggregate(events) -> ProfileReport:
+def _aggregate(events, allocator: dict | None = None, transfers: dict | None = None) -> ProfileReport:
     comm = 0.0
     comp = 0.0
     by_cat: dict[str, float] = {}
@@ -134,4 +175,6 @@ def _aggregate(events) -> ProfileReport:
         by_category=by_cat,
         by_stage=by_stage,
         kernel_launches=kernels,
+        allocator=allocator if allocator is not None else {},
+        transfers=transfers if transfers is not None else {},
     )

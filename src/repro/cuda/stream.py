@@ -102,6 +102,31 @@ class Stream:
         self.free_at = end
         return start, end
 
+    # ------------------------------------------------------------------
+    # copy-engine lane (async transfers overlapping compute)
+    # ------------------------------------------------------------------
+    def enqueue_h2d(self, nbytes: int, ready_at: float = 0.0) -> tuple[float, float]:
+        """Queue ``cudaMemcpyAsync`` H2D from pinned memory on this stream.
+
+        The copy starts no earlier than ``ready_at`` and the stream's
+        previous work (FIFO), and is laid onto the device timeline with
+        ``record_at`` so it can overlap kernels already recorded on the
+        default stream — the classic copy-engine/compute overlap.  Returns
+        the ``(start, end)`` simulated span.
+        """
+        start = self.available_at(ready_at)
+        dt = self.device._record_h2d_at(nbytes, start)
+        self.free_at = start + dt
+        return start, self.free_at
+
+    def enqueue_d2h(self, nbytes: int, ready_at: float = 0.0) -> tuple[float, float]:
+        """Queue ``cudaMemcpyAsync`` D2H into pinned memory on this stream
+        (see :meth:`enqueue_h2d`)."""
+        start = self.available_at(ready_at)
+        dt = self.device._record_d2h_at(nbytes, start)
+        self.free_at = start + dt
+        return start, self.free_at
+
     def __repr__(self) -> str:
         label = f" {self.name!r}" if self.name else ""
         return f"<Stream{label} on {self.device.spec.name!r} free_at={self.free_at:.6f}>"

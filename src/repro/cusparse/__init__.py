@@ -8,13 +8,36 @@ Provides the calls Algorithm 2 and 3 of the paper make:
 """
 
 from repro.cusparse.matrices import DeviceCOO, DeviceCSR, coo_to_device, csr_to_device
+from repro.cusparse.formats import (
+    DeviceELL,
+    DeviceHYB,
+    FormatDecision,
+    RowStats,
+    autotune_format,
+    convert_for_spmv,
+    csr_to_ell,
+    csr_to_hyb,
+    row_stats,
+)
 from repro.cusparse.conversions import coo2csr, csr2csc, csr2coo
-from repro.cusparse.spmv import coomv, csrmv
+from repro.cusparse.spmv import coomv, csrmv, ellmv, hybmv, spmv_any
 from repro.cusparse.spmm import csrmm
 
 __all__ = [
     "DeviceCOO",
     "DeviceCSR",
+    "DeviceELL",
+    "DeviceHYB",
+    "FormatDecision",
+    "RowStats",
+    "autotune_format",
+    "convert_for_spmv",
+    "csr_to_ell",
+    "csr_to_hyb",
+    "row_stats",
+    "ellmv",
+    "hybmv",
+    "spmv_any",
     "coo_to_device",
     "csr_to_device",
     "coo2csr",

@@ -1,0 +1,349 @@
+"""ELL/HYB device sparse formats and the SpMV format autotuner.
+
+cuSPARSE ships one SpMV kernel per storage format because no single layout
+wins everywhere:
+
+* **CSR** is compact but every row read is an irregular gather;
+* **ELL** pads all rows to the longest one — fully coalesced reads, so it
+  flies on near-uniform row lengths and drowns in padding on skewed ones;
+* **HYB** stores the first ``K`` entries of each row in ELL and spills the
+  tail to a COO list, splitting the difference for power-law graphs.
+
+:func:`autotune_format` picks the format per matrix from row-length
+statistics (mean / max / variance over ``indptr``), by evaluating the
+calibrated per-format cost-model kernels and taking the cheapest — the same
+inspector/executor split ``cusparseDcsrmv`` callers do by hand.
+
+Bit-identity invariant
+----------------------
+All formats share one reference substrate arithmetic: each carries the
+canonical CSR-order ``(rows, cols, vals)`` triple as a host-side simulation
+mirror, and every SpMV computes the same ``np.bincount`` over it that
+:func:`~repro.cusparse.spmv.csrmv` performs.  Format choice changes only
+the *charged time* and the device-memory footprint, never a float — which
+is what lets the pipeline autotune freely while keeping cluster labels
+bit-identical.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.chaos.runtime import chaos_check
+from repro.cuda.memory import BufferGroup, DeviceArray
+from repro.cusparse.matrices import DeviceCSR
+from repro.errors import SparseFormatError
+from repro.hw.costmodel import GPUCostModel
+
+SPMV_FORMATS = ("csr", "ell", "hyb")
+
+
+@dataclass(frozen=True)
+class RowStats:
+    """Row-length statistics of a sparse matrix (the autotuner's features)."""
+
+    n_rows: int
+    nnz: int
+    mean: float
+    max: int
+    variance: float
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self.variance)
+
+    @property
+    def padding_ratio(self) -> float:
+        """Padded-ELL entries over true nonzeros (1.0 = perfectly uniform)."""
+        if self.nnz == 0:
+            return 1.0
+        return self.n_rows * self.max / self.nnz
+
+
+def row_stats(indptr: np.ndarray) -> RowStats:
+    """Compute :class:`RowStats` from a CSR ``indptr`` array."""
+    counts = np.diff(indptr)
+    n_rows = counts.size
+    nnz = int(indptr[-1]) if n_rows else 0
+    if n_rows == 0:
+        return RowStats(0, 0, 0.0, 0, 0.0)
+    return RowStats(
+        n_rows=n_rows,
+        nnz=nnz,
+        mean=float(counts.mean()),
+        max=int(counts.max()),
+        variance=float(counts.var()),
+    )
+
+
+@dataclass
+class DeviceELL:
+    """ELLPACK matrix on the device: ``(n_rows, width)`` padded layout.
+
+    ``cols`` uses ``-1`` for padding slots and ``val`` zero-fills them; the
+    device arrays are the format's real memory footprint.  The substrate
+    triple (``sub_rows``/``sub_cols``/``sub_vals``) is the host-side
+    simulation mirror in canonical CSR order — see the module docstring.
+    """
+
+    cols: DeviceArray
+    val: DeviceArray
+    shape: tuple[int, int]
+    nnz: int
+    sub_rows: np.ndarray = field(repr=False)
+    sub_cols: np.ndarray = field(repr=False)
+    sub_vals: np.ndarray = field(repr=False)
+
+    def __post_init__(self) -> None:
+        if self.cols.shape != self.val.shape:
+            raise SparseFormatError(
+                f"device ELL cols/val disagree: {self.cols.shape} vs {self.val.shape}"
+            )
+
+    @property
+    def width(self) -> int:
+        return self.cols.shape[1] if self.cols.ndim == 2 else 0
+
+    @property
+    def device(self):
+        return self.val.device
+
+    def free(self) -> None:
+        self.cols.free()
+        self.val.free()
+
+
+@dataclass
+class DeviceHYB:
+    """HYB matrix on the device: ELL part of width ``K`` plus a COO tail."""
+
+    ell_cols: DeviceArray
+    ell_val: DeviceArray
+    coo_row: DeviceArray
+    coo_col: DeviceArray
+    coo_val: DeviceArray
+    shape: tuple[int, int]
+    nnz: int
+    sub_rows: np.ndarray = field(repr=False)
+    sub_cols: np.ndarray = field(repr=False)
+    sub_vals: np.ndarray = field(repr=False)
+
+    @property
+    def width(self) -> int:
+        return self.ell_cols.shape[1] if self.ell_cols.ndim == 2 else 0
+
+    @property
+    def nnz_ell(self) -> int:
+        return self.nnz - self.coo_val.size
+
+    @property
+    def nnz_coo(self) -> int:
+        return self.coo_val.size
+
+    @property
+    def device(self):
+        return self.ell_val.device
+
+    def free(self) -> None:
+        self.ell_cols.free()
+        self.ell_val.free()
+        self.coo_row.free()
+        self.coo_col.free()
+        self.coo_val.free()
+
+
+def _substrate_triple(A: DeviceCSR) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """The canonical CSR-order (rows, cols, vals) simulation mirror."""
+    counts = A.row_lengths()
+    rows = np.repeat(np.arange(A.shape[0], dtype=np.int64), counts)
+    return rows, A.indices.data.copy(), A.val.data.copy()
+
+
+def _padded_layout(
+    A: DeviceCSR, width: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Scatter the first ``width`` entries of each CSR row into the padded
+    ``(n_rows, width)`` ELL arrays; returns (cols, vals, kept-entry mask)."""
+    n = A.shape[0]
+    counts = A.row_lengths()
+    offsets = np.repeat(A.indptr.data[:-1], counts)
+    slot = np.arange(A.nnz, dtype=np.int64) - offsets  # position within row
+    mask = slot < width
+    cols = np.full((n, max(width, 1)), -1, dtype=np.int64)
+    vals = np.zeros((n, max(width, 1)), dtype=np.float64)
+    rows = np.repeat(np.arange(n, dtype=np.int64), counts)
+    cols[rows[mask], slot[mask]] = A.indices.data[mask]
+    vals[rows[mask], slot[mask]] = A.val.data[mask]
+    return cols, vals, mask
+
+
+def csr_to_ell(A: DeviceCSR, width: int | None = None) -> DeviceELL:
+    """Convert CSR -> ELL on the device (``cusparseDcsr2ell``).
+
+    Charges one streaming conversion kernel; allocates the padded layout
+    through the device allocator.  ``width`` defaults to the longest row.
+    """
+    dev = A.device
+    chaos_check("cusparse.csr2ell", dev)
+    n, _ = A.shape
+    if width is None:
+        counts = A.row_lengths()
+        width = int(counts.max()) if counts.size else 0
+    cols_host, vals_host, mask = _padded_layout(A, width)
+    if not mask.all():
+        raise SparseFormatError(
+            f"ELL width {width} drops entries (longest row is larger); "
+            "use HYB for skewed matrices"
+        )
+    sub_rows, sub_cols, sub_vals = _substrate_triple(A)
+    bufs = BufferGroup()
+    try:
+        cols = bufs.add(dev.empty((n, max(width, 1)), dtype=np.int64))
+        val = bufs.add(dev.empty((n, max(width, 1)), dtype=np.float64))
+    except BaseException:
+        bufs.free_all()
+        raise
+    cols.data[...] = cols_host
+    val.data[...] = vals_host
+    dt = dev.cost.format_conversion_time(A.nnz, n * width)
+    dev.timeline.record("cusparseDcsr2ell", "kernel", dt)
+    dev.kernel_launches += 1
+    return DeviceELL(
+        cols=cols,
+        val=val,
+        shape=A.shape,
+        nnz=A.nnz,
+        sub_rows=sub_rows,
+        sub_cols=sub_cols,
+        sub_vals=sub_vals,
+    )
+
+
+def hyb_ell_width(stats: RowStats) -> int:
+    """cuSPARSE's ``CUSPARSE_HYB_PARTITION_AUTO`` heuristic: the ELL part
+    covers the *typical* row, the tail spills to COO."""
+    return max(1, int(math.ceil(stats.mean)))
+
+
+def csr_to_hyb(A: DeviceCSR, width: int | None = None) -> DeviceHYB:
+    """Convert CSR -> HYB on the device (``cusparseDcsr2hyb``)."""
+    dev = A.device
+    chaos_check("cusparse.csr2hyb", dev)
+    n, _ = A.shape
+    counts = A.row_lengths()
+    if width is None:
+        width = hyb_ell_width(row_stats(A.indptr.data))
+    cols_host, vals_host, mask = _padded_layout(A, width)
+    spill = ~mask
+    sub_rows, sub_cols, sub_vals = _substrate_triple(A)
+    bufs = BufferGroup()
+    try:
+        ell_cols = bufs.add(dev.empty((n, width), dtype=np.int64))
+        ell_val = bufs.add(dev.empty((n, width), dtype=np.float64))
+        n_coo = max(int(spill.sum()), 0)
+        coo_row = bufs.add(dev.empty(n_coo, dtype=np.int64))
+        coo_col = bufs.add(dev.empty(n_coo, dtype=np.int64))
+        coo_val = bufs.add(dev.empty(n_coo, dtype=np.float64))
+    except BaseException:
+        bufs.free_all()
+        raise
+    ell_cols.data[...] = cols_host
+    ell_val.data[...] = vals_host
+    coo_row.data[...] = sub_rows[spill]
+    coo_col.data[...] = A.indices.data[spill]
+    coo_val.data[...] = A.val.data[spill]
+    dt = dev.cost.format_conversion_time(A.nnz, n * width + 3 * coo_val.size)
+    dev.timeline.record("cusparseDcsr2hyb", "kernel", dt)
+    dev.kernel_launches += 1
+    return DeviceHYB(
+        ell_cols=ell_cols,
+        ell_val=ell_val,
+        coo_row=coo_row,
+        coo_col=coo_col,
+        coo_val=coo_val,
+        shape=A.shape,
+        nnz=A.nnz,
+        sub_rows=sub_rows,
+        sub_cols=sub_cols,
+        sub_vals=sub_vals,
+    )
+
+
+@dataclass(frozen=True)
+class FormatDecision:
+    """The autotuner's verdict, with its evidence."""
+
+    format: str
+    stats: RowStats
+    #: predicted per-SpMV seconds for each candidate format
+    predicted_s: dict[str, float]
+    #: ELL partition width a HYB conversion would use
+    hyb_width: int
+
+    def as_dict(self) -> dict:
+        return {
+            "format": self.format,
+            "predicted_spmv_s": dict(self.predicted_s),
+            "hyb_width": self.hyb_width,
+            "row_mean": self.stats.mean,
+            "row_max": self.stats.max,
+            "row_variance": self.stats.variance,
+            "padding_ratio": self.stats.padding_ratio,
+        }
+
+
+def autotune_format(
+    indptr: np.ndarray,
+    cost: GPUCostModel,
+    formats: tuple[str, ...] = SPMV_FORMATS,
+) -> FormatDecision:
+    """Choose the cheapest SpMV format from row-length statistics.
+
+    Evaluates the calibrated cost-model kernel for each candidate format on
+    this matrix's shape and picks the minimum predicted time; ties (and
+    empty matrices) fall back to CSR.  The decision is a pure function of
+    ``indptr`` and the device spec, so it is deterministic and free of
+    measurement noise — an analytic stand-in for the probe-and-measure
+    autotuners real libraries use.
+    """
+    for f in formats:
+        if f not in SPMV_FORMATS:
+            raise SparseFormatError(f"unknown SpMV format {f!r}")
+    stats = row_stats(indptr)
+    K = hyb_ell_width(stats)
+    predicted: dict[str, float] = {}
+    if "csr" in formats:
+        predicted["csr"] = cost.spmv_time(stats.n_rows, stats.nnz)
+    if stats.nnz and stats.n_rows:
+        counts = np.diff(indptr)
+        if "ell" in formats:
+            predicted["ell"] = cost.ellmv_time(stats.n_rows, stats.nnz, stats.max)
+        if "hyb" in formats:
+            nnz_ell = int(np.minimum(counts, K).sum())
+            predicted["hyb"] = cost.hybmv_time(
+                stats.n_rows, nnz_ell, K, stats.nnz - nnz_ell
+            )
+    if not predicted:
+        raise SparseFormatError("no candidate formats to autotune over")
+    best = min(sorted(predicted), key=lambda f: predicted[f])
+    if predicted.get("csr", float("inf")) <= predicted[best]:
+        best = "csr"  # prefer the no-conversion format on ties
+    return FormatDecision(
+        format=best, stats=stats, predicted_s=predicted, hyb_width=K
+    )
+
+
+def convert_for_spmv(
+    A: DeviceCSR, fmt: str, hyb_width: int | None = None
+) -> "DeviceCSR | DeviceELL | DeviceHYB":
+    """Materialize ``A`` in ``fmt`` (no-op for ``"csr"``)."""
+    if fmt == "csr":
+        return A
+    if fmt == "ell":
+        return csr_to_ell(A)
+    if fmt == "hyb":
+        return csr_to_hyb(A, width=hyb_width)
+    raise SparseFormatError(f"unknown SpMV format {fmt!r}")

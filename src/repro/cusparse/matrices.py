@@ -86,6 +86,17 @@ class DeviceCSR:
     def device(self) -> Device:
         return self.val.device
 
+    def row_lengths(self):
+        """Per-row nonzero counts (host-side view of ``indptr`` deltas).
+
+        Row-length statistics drive the SpMV format autotuner
+        (:mod:`repro.cusparse.formats`); reading ``n+1`` row pointers is
+        metadata work the real pipeline also does on the host.
+        """
+        import numpy as np
+
+        return np.diff(self.indptr.data)
+
     def to_host(self) -> CSRMatrix:
         """Copy back to a host CSRMatrix (three D2H transfers)."""
         return CSRMatrix(

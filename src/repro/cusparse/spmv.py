@@ -102,3 +102,110 @@ def coomv(
     dev.timeline.record("cusparseDcoomv", "kernel", dt)
     dev.kernel_launches += 1
     return y
+
+
+def _substrate_product(A, x: DeviceArray, y, alpha: float, beta: float, n: int):
+    """Shared reference arithmetic for the padded formats.
+
+    ELL/HYB objects carry the canonical CSR-order triple
+    (``sub_rows``/``sub_cols``/``sub_vals``); computing the product through
+    it — the identical ``np.bincount`` csrmv performs — is what guarantees
+    bit-identical results across formats (see ``formats`` module docstring).
+    """
+    prod = np.bincount(
+        A.sub_rows, weights=A.sub_vals * x.data[A.sub_cols], minlength=n
+    )
+    if beta == 0.0:
+        y.data[...] = alpha * prod
+    else:
+        y.data[...] = alpha * prod + beta * y.data
+
+
+def ellmv(
+    A,
+    x: DeviceArray,
+    y: DeviceArray | None = None,
+    alpha: float = 1.0,
+    beta: float = 0.0,
+) -> DeviceArray:
+    """``y <- alpha * A @ x + beta * y`` for a :class:`DeviceELL` matrix.
+
+    One fully-coalesced kernel over the padded layout; cheap on uniform row
+    lengths, pays for every padding slot on skewed ones.
+    """
+    dev = A.device
+    chaos_check("cusparse.ellmv", dev)
+    n, m = A.shape
+    if x.size != m:
+        raise SparseValueError(f"ellmv: A is {A.shape}, x has length {x.size}")
+    if y is None:
+        y = dev.empty(n, dtype=np.float64)
+        beta = 0.0
+    elif y.size != n:
+        raise SparseValueError(f"ellmv: A is {A.shape}, y has length {y.size}")
+
+    _substrate_product(A, x, y, alpha, beta, n)
+    dt = dev.cost.ellmv_time(n, A.nnz, A.width)
+    dev.timeline.record("cusparseDellmv", "kernel", dt)
+    dev.kernel_launches += 1
+    return y
+
+
+def hybmv(
+    A,
+    x: DeviceArray,
+    y: DeviceArray | None = None,
+    alpha: float = 1.0,
+    beta: float = 0.0,
+) -> DeviceArray:
+    """``y <- alpha * A @ x + beta * y`` for a :class:`DeviceHYB` matrix.
+
+    Two launches: the coalesced ELL pass over the regular part, then the
+    atomics-based COO pass over the spill tail.
+    """
+    dev = A.device
+    chaos_check("cusparse.hybmv", dev)
+    n, m = A.shape
+    if x.size != m:
+        raise SparseValueError(f"hybmv: A is {A.shape}, x has length {x.size}")
+    if y is None:
+        y = dev.empty(n, dtype=np.float64)
+        beta = 0.0
+    elif y.size != n:
+        raise SparseValueError(f"hybmv: A is {A.shape}, y has length {y.size}")
+
+    _substrate_product(A, x, y, alpha, beta, n)
+    dev.timeline.record(
+        "cusparseDhybmv[ell]", "kernel", dev.cost.ellmv_time(n, A.nnz_ell, A.width)
+    )
+    dev.kernel_launches += 1
+    if A.nnz_coo > 0:
+        dev.timeline.record(
+            "cusparseDhybmv[coo]",
+            "kernel",
+            dev.cost.spmv_time(n, A.nnz_coo) * 2.0,
+        )
+        dev.kernel_launches += 1
+    return y
+
+
+def spmv_any(
+    A,
+    x: DeviceArray,
+    y: DeviceArray | None = None,
+    alpha: float = 1.0,
+    beta: float = 0.0,
+    rows_cache: np.ndarray | None = None,
+) -> DeviceArray:
+    """Format-dispatching SpMV: CSR, ELL or HYB operand, same semantics."""
+    from repro.cusparse.formats import DeviceELL, DeviceHYB
+
+    if isinstance(A, DeviceCSR):
+        return csrmv(A, x, y, alpha=alpha, beta=beta, rows_cache=rows_cache)
+    if isinstance(A, DeviceELL):
+        return ellmv(A, x, y, alpha=alpha, beta=beta)
+    if isinstance(A, DeviceHYB):
+        return hybmv(A, x, y, alpha=alpha, beta=beta)
+    if isinstance(A, DeviceCOO):
+        return coomv(A, x, y, alpha=alpha, beta=beta)
+    raise SparseValueError(f"spmv: unsupported operand type {type(A).__name__}")

@@ -106,6 +106,54 @@ class GPUCostModel(CostModel):
             return self.gpu.kernel_launch_overhead_s
         return self.gpu.kernel_launch_overhead_s + n_keys / self.gpu.sort_keys_per_s
 
+    # -- sparse format kernels (the CSR/ELL/HYB autotuning family) ------
+    def ellmv_time(
+        self, n_rows: int, nnz: int, width: int, itemsize: int = 8
+    ) -> float:
+        """ELLPACK SpMV: the matrix is padded to ``n_rows x width`` and laid
+        out column-major, so one thread per row reads it fully coalesced.
+
+        The padded matrix (values + column indices) and the y vector stream
+        at ``stream_efficiency``; only the x gathers stay irregular.  Padding
+        costs real flops and bytes, which is exactly the CSR/ELL trade-off
+        the heuristic weighs.
+        """
+        padded = float(n_rows) * width
+        flops = 2.0 * padded
+        stream_bytes = padded * (itemsize + 4) + 2.0 * n_rows * itemsize
+        gather_bytes = float(nnz) * itemsize
+        f_rate, stream_b = self._rates("stream", itemsize)
+        _, gather_b = self._rates("gather", itemsize)
+        t_memory = stream_bytes / stream_b + gather_bytes / gather_b
+        t_compute = flops / f_rate
+        return self.gpu.kernel_launch_overhead_s + max(t_compute, t_memory)
+
+    def hybmv_time(
+        self,
+        n_rows: int,
+        nnz_ell: int,
+        width: int,
+        nnz_coo: int,
+        itemsize: int = 8,
+    ) -> float:
+        """HYB SpMV (cusparseDhybmv): a coalesced ELL pass over the regular
+        part plus an atomics-based COO pass over the spill tail — two kernel
+        launches, with the COO leg paying the same 2x contention penalty as
+        :func:`~repro.cusparse.spmv.coomv`."""
+        t = self.ellmv_time(n_rows, nnz_ell, width, itemsize=itemsize)
+        if nnz_coo > 0:
+            t += self.spmv_time(n_rows, nnz_coo, itemsize=itemsize) * 2.0
+        return t
+
+    def format_conversion_time(
+        self, nnz: int, padded: int, itemsize: int = 8
+    ) -> float:
+        """CSR -> ELL/HYB conversion (cusparseDcsr2ell/csr2hyb): one
+        streaming pass reading the CSR arrays and writing the padded
+        layout."""
+        bytes_moved = nnz * (itemsize + 4) + padded * (itemsize + 4)
+        return self.kernel_time(0.0, bytes_moved, kind="stream", itemsize=itemsize)
+
 
 @dataclass(frozen=True)
 class CPUCostModel(CostModel):

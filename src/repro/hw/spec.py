@@ -51,6 +51,10 @@ class GPUSpec:
     warp_size: int = 32
     #: fixed kernel launch overhead, seconds (driver + dispatch)
     kernel_launch_overhead_s: float = 8.0e-6
+    #: ``cudaMalloc`` latency, seconds (driver allocation + implicit sync)
+    malloc_overhead_s: float = 1.0e-5
+    #: ``cudaFree`` latency, seconds (device-wide synchronization)
+    free_overhead_s: float = 6.0e-6
     #: fraction of peak flops a tuned dense kernel (gemm) achieves
     gemm_efficiency: float = 0.80
     #: fraction of peak bandwidth a streaming kernel achieves

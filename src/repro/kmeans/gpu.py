@@ -23,6 +23,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro import cublas, thrust
+from repro.cuda.allocator import MIN_BUCKET_BYTES
 from repro.cuda.device import Device
 from repro.cuda.kernel import Kernel, launch
 from repro.cuda.launch import grid_1d
@@ -170,7 +171,11 @@ def kmeans_device(
         launch(compute_norms, grid_1d(n, block), dV, dVnorm, n_threads=n)
         dCnorm = bufs.add(device.empty(k, dtype=np.float64))
         if tile_rows is None:
-            budget = device.allocator.free_bytes // 4
+            # every live/parked block can waste up to one allocator granule
+            # to rounding, and the Lloyd loop keeps ~16 of them — budget the
+            # tile from headroom the buckets can actually honor
+            slack = 16 * MIN_BUCKET_BYTES
+            budget = max(0, device.allocator.free_bytes - slack) // 4
             tile_rows = max(1, min(n, budget // max(1, k * 8)))
         elif tile_rows < 1:
             raise ClusteringError(f"tile_rows must be positive, got {tile_rows}")

@@ -28,7 +28,12 @@ from repro.linalg.qr import givens, householder_qr
 from repro.linalg.utils import dgks_orthogonalize, normalize_columns
 from repro.linalg.lanczos import LanczosState
 from repro.linalg.iram import IRLMResult, irlm_generator
-from repro.linalg.rci import MatvecRequest, RCIStatus
+from repro.linalg.rci import (
+    LanczosCheckpoint,
+    MatvecRequest,
+    RCIStatus,
+    TransferLedger,
+)
 from repro.linalg.eigsolver import SymEigProblem, eigsh, eigsh_generalized_diag
 
 __all__ = [
@@ -43,8 +48,10 @@ __all__ = [
     "LanczosState",
     "IRLMResult",
     "irlm_generator",
+    "LanczosCheckpoint",
     "MatvecRequest",
     "RCIStatus",
+    "TransferLedger",
     "SymEigProblem",
     "eigsh",
     "eigsh_generalized_diag",

@@ -35,7 +35,11 @@ class SymEigProblem:
     Parameters mirror :func:`~repro.linalg.iram.irlm_generator`; pass
     ``checkpoint_cb`` to receive restart-boundary snapshots and
     ``checkpoint`` to resume a problem from one (see
-    :class:`~repro.linalg.rci.LanczosCheckpoint`).
+    :class:`~repro.linalg.rci.LanczosCheckpoint`).  ``restart_cb`` fires at
+    every implicit restart *as it happens* (argument: the 1-based restart
+    count) — device-resident drivers use it to charge the restart's
+    tridiagonal solve and basis update inline, at the simulated instant the
+    host/device exchange actually occurs.
     """
 
     def __init__(
@@ -51,21 +55,34 @@ class SymEigProblem:
         dense_eig: str = "lapack",
         checkpoint: LanczosCheckpoint | None = None,
         checkpoint_cb: "Callable[[LanczosCheckpoint], None] | None" = None,
+        restart_cb: "Callable[[int], None] | None" = None,
     ) -> None:
         self.n = int(n)
         self.k = int(k)
         self.which = which
         self.m = int(m) if m is not None else min(n, max(2 * k + 1, 20))
+        self._restart_cb = restart_cb
+        self._cycles_seen = 0
+        self._user_checkpoint_cb = checkpoint_cb
         self._gen = irlm_generator(
             n=n, k=k, which=which, m=m, tol=tol, maxiter=maxiter,
             v0=v0, seed=seed, dense_eig=dense_eig,
-            checkpoint=checkpoint, checkpoint_cb=checkpoint_cb,
+            checkpoint=checkpoint, checkpoint_cb=self._on_checkpoint,
         )
         self._status = RCIStatus.INITIAL
         self._request: MatvecRequest | None = None
         self._pending_y: np.ndarray | None = None
         self._result: IRLMResult | None = None
         self._n_requests = 0
+
+    def _on_checkpoint(self, cp: LanczosCheckpoint) -> None:
+        # the generator snapshots at every restart boundary, including once
+        # before the first cycle — only boundaries after that are restarts
+        self._cycles_seen += 1
+        if self._restart_cb is not None and self._cycles_seen > 1:
+            self._restart_cb(self._cycles_seen - 1)
+        if self._user_checkpoint_cb is not None:
+            self._user_checkpoint_cb(cp)
 
     # ------------------------------------------------------------------
     # protocol

@@ -15,6 +15,11 @@ snapshot of its factorization at every restart boundary, so a device
 failure mid-solve resumes from the last restart instead of from scratch —
 on DTI-scale problems the RCI loop performs thousands of PCIe round trips,
 which is too much work to lose to one transfer error.
+
+:class:`TransferLedger` is the bus-traffic plan for a placement of the
+loop: with the iteration vector host-resident every ``ido = 1`` costs a 2n
+round trip; device-resident, only the small tridiagonal state crosses at
+restart boundaries and those round trips are elided.
 """
 
 from __future__ import annotations
@@ -120,3 +125,51 @@ class LanczosCheckpoint:
         return (
             self.V.nbytes + self.alpha.nbytes + self.beta.nbytes + self.f.nbytes
         )
+
+
+@dataclass(frozen=True)
+class TransferLedger:
+    """PCIe traffic plan for one placement of the Algorithm 3 loop.
+
+    The host-resident loop (the paper's original) moves the iteration
+    vector both ways on every operator application; the device-resident
+    loop keeps it on the GPU and only exchanges ARPACK's small host-side
+    state at restart boundaries.  The ledger centralizes those byte counts
+    so the driver, the profiler assertions, and the benchmark model all
+    agree on what "should" cross the bus.
+
+    Attributes
+    ----------
+    n, m, k:
+        Problem dimension, Krylov subspace size, and wanted pairs.
+    itemsize:
+        Bytes per element (float64 throughout the pipeline).
+    """
+
+    n: int
+    m: int
+    k: int
+    itemsize: int = 8
+
+    def step_roundtrip_bytes(self) -> int:
+        """Bytes one host-resident ``ido = 1`` moves (x up, y down)."""
+        return 2 * self.n * self.itemsize
+
+    def restart_d2h_bytes(self) -> int:
+        """Tridiagonal entries (alpha, beta) shipped down per restart."""
+        return 2 * self.m * self.itemsize
+
+    def restart_h2d_bytes(self) -> int:
+        """The implicit-QR rotation product ``Q`` shipped up per restart."""
+        return self.m * self.k * self.itemsize
+
+    def result_d2h_bytes(self) -> int:
+        """The Ritz vectors ``U`` coming down once at the end."""
+        return self.n * self.k * self.itemsize
+
+    def seed_h2d_bytes(self, checkpoint: "LanczosCheckpoint | None" = None) -> int:
+        """Initial upload: the start vector, or the kept factorization
+        (basis + residual) when resuming after a device failure."""
+        if checkpoint is not None:
+            return checkpoint.V.nbytes + checkpoint.f.nbytes
+        return self.n * self.itemsize

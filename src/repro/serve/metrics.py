@@ -114,6 +114,10 @@ class ServiceReport:
                 "computation_s": self.profile.computation,
                 "kernel_launches": self.profile.kernel_launches,
             }
+            if self.profile.allocator:
+                d["profile"]["allocator"] = dict(self.profile.allocator)
+            if self.profile.transfers:
+                d["profile"]["transfers"] = dict(self.profile.transfers)
         return d
 
     def to_json(self, indent: int | None = 2) -> str:
@@ -150,6 +154,30 @@ class ServiceReport:
             lines.append(
                 f"{'device compute (sim s)':<28}{self.profile.computation:>16.4f}"
             )
+            alloc = self.profile.allocator
+            if alloc:
+                lines.append(
+                    f"{'alloc cache hit rate':<28}"
+                    f"{alloc.get('hit_rate', 0.0):>16.3f}"
+                )
+                lines.append(
+                    f"{'alloc bytes reserved':<28}"
+                    f"{alloc.get('bytes_reserved', 0):>16}"
+                )
+            tr = self.profile.transfers
+            if tr:
+                lines.append(
+                    f"{'pcie bytes moved':<28}"
+                    f"{tr.get('bytes_h2d', 0) + tr.get('bytes_d2h', 0):>16}"
+                )
+                lines.append(
+                    f"{'transfers elided':<28}"
+                    f"{tr.get('transfers_elided', 0):>16}"
+                )
+                lines.append(
+                    f"{'transfer overlap (sim s)':<28}"
+                    f"{tr.get('overlap_s', 0.0):>16.4f}"
+                )
         return "\n".join(lines)
 
 

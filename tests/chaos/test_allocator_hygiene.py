@@ -43,14 +43,15 @@ class TestZeroLiveBytes:
     @pytest.mark.parametrize(
         "spec",
         [
-            FaultSpec(site="cusparse.csrmv", fault="transient", nth=3),
+            FaultSpec(site="cusparse.*mv", fault="transient", nth=3,
+                      stage="eigensolver"),
             FaultSpec(site="cuda.alloc", fault="oom", nth=1, stage="kmeans"),
             FaultSpec(site="cuda.kernel:ScaleElements*", fault="transient",
                       prob=1.0, max_fires=None),
             FaultSpec(site="cublas.*", fault="transient",
                       prob=1.0, max_fires=None, stage="kmeans"),
-            FaultSpec(site="cusparse.csrmv", fault="transient",
-                      prob=1.0, max_fires=None),
+            FaultSpec(site="cusparse.*mv", fault="transient",
+                      prob=1.0, max_fires=None, stage="eigensolver"),
         ],
         ids=["retry", "oom-degrade", "lap-fallback", "km-fallback",
              "eig-fallback"],
@@ -68,7 +69,7 @@ class TestZeroLiveBytes:
             ("cusparse.coomv", "laplacian", "transient"),
             ("cuda.kernel:*", "laplacian", "transient"),
             ("cuda.alloc", "laplacian", "oom"),
-            ("cusparse.csrmv", "eigensolver", "transient"),
+            ("cusparse.*mv", "eigensolver", "transient"),
             ("cuda.d2h", "eigensolver", "transfer"),
             ("cuda.alloc", "eigensolver", "oom"),
             ("cublas.*", "kmeans", "transient"),

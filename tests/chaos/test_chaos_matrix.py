@@ -28,8 +28,9 @@ MATRIX = [
                                      nth=1, stage="eigensolver")),
     ("eigensolver", "transfer", FaultSpec(site="cuda.d2h", fault="transfer",
                                           nth=3, stage="eigensolver")),
-    ("eigensolver", "transient", FaultSpec(site="cusparse.csrmv",
-                                           fault="transient", nth=4)),
+    ("eigensolver", "transient", FaultSpec(site="cusparse.*mv",
+                                           fault="transient", nth=4,
+                                           stage="eigensolver")),
     ("kmeans", "oom", FaultSpec(site="cuda.alloc", fault="oom",
                                 nth=2, stage="kmeans")),
     ("kmeans", "transfer", FaultSpec(site="cuda.h2d", fault="transfer",
@@ -107,8 +108,8 @@ class TestCpuFallback:
     ):
         W, _ = sbm_graph
         plan = FaultPlan(
-            [FaultSpec(site="cusparse.csrmv", fault="transient",
-                       prob=1.0, max_fires=None)]
+            [FaultSpec(site="cusparse.*mv", fault="transient",
+                       prob=1.0, max_fires=None, stage="eigensolver")]
         )
         res = SpectralClustering(n_clusters=6, seed=0, chaos=plan).fit(graph=W)
         rec = res.resilience["eigensolver"]
@@ -139,7 +140,8 @@ class TestCpuFallback:
     def test_summary_reports_recovery(self, sbm_graph):
         W, _ = sbm_graph
         plan = FaultPlan(
-            [FaultSpec(site="cusparse.csrmv", fault="transient", nth=3)]
+            [FaultSpec(site="cusparse.*mv", fault="transient", nth=3,
+                       stage="eigensolver")]
         )
         res = SpectralClustering(n_clusters=6, seed=0, chaos=plan).fit(graph=W)
         s = res.summary()
@@ -170,32 +172,37 @@ class TestPointInputChaos:
 class TestEverySiteFires:
     """Each canonical fault site must be reachable by at least one workload."""
 
-    def _pipeline_sites(self, sbm_graph, site, stage=None):
+    def _pipeline_sites(self, sbm_graph, site, stage=None, **kw):
         W, _ = sbm_graph
         plan = FaultPlan(
             [FaultSpec(site=site, fault="transient", nth=1, stage=stage)]
         )
         sc = SpectralClustering(
-            n_clusters=6, seed=0, chaos=plan, resilience=DISABLED
+            n_clusters=6, seed=0, chaos=plan, resilience=DISABLED, **kw
         )
         with pytest.raises(ReproError):
             sc.fit(graph=W)
         assert plan.n_fired == 1
 
     @pytest.mark.parametrize(
-        "site,stage",
+        "site,stage,kw",
         [
-            ("cuda.alloc", None),
-            ("cuda.h2d", None),
-            ("cuda.d2h", None),
-            ("cuda.kernel:*", "laplacian"),
-            ("cusparse.csrmv", None),
-            ("cusparse.coomv", None),
-            ("cublas.*", "kmeans"),
+            ("cuda.alloc", None, {}),
+            ("cuda.h2d", None, {}),
+            ("cuda.d2h", None, {}),
+            ("cuda.kernel:*", "laplacian", {}),
+            ("cusparse.csrmv", None, {"eig_spmv_format": "csr"}),
+            ("cusparse.coomv", None, {}),
+            ("cusparse.ellmv", None, {"eig_spmv_format": "ell"}),
+            ("cusparse.hybmv", None, {"eig_spmv_format": "hyb"}),
+            ("cusparse.csr2ell", None, {"eig_spmv_format": "ell"}),
+            ("cusparse.csr2hyb", None, {"eig_spmv_format": "hyb"}),
+            ("cublas.*", "kmeans", {}),
         ],
+        ids=lambda v: v if isinstance(v, str) else None,
     )
-    def test_pipeline_reaches_site(self, sbm_graph, site, stage):
-        self._pipeline_sites(sbm_graph, site, stage)
+    def test_pipeline_reaches_site(self, sbm_graph, site, stage, kw):
+        self._pipeline_sites(sbm_graph, site, stage, **kw)
 
     @pytest.mark.parametrize("site", ["cuda.stream.sync", "cuda.stream.event"])
     def test_stream_sites(self, device, site):

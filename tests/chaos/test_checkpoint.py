@@ -95,7 +95,7 @@ class TestHybridResume:
     ):
         A = csr_to_device(device, small_sym_csr)
         clean_theta, clean_U, clean_stats = hybrid_eigensolver(
-            device, A, k=4, seed=0
+            device, A, k=4, seed=0, spmv_format="csr"
         )
         # three consecutive transients exhaust one round trip's retry
         # budget, forcing a checkpoint resume (not a fallback)
@@ -107,7 +107,8 @@ class TestHybridResume:
 
         with chaos(plan):
             theta, U, stats = hybrid_eigensolver(
-                device, A, k=4, seed=0, policy=ResiliencePolicy()
+                device, A, k=4, seed=0, policy=ResiliencePolicy(),
+                spmv_format="csr",
             )
         assert plan.n_fired == 3
         assert stats.n_resumes == 1
@@ -125,5 +126,6 @@ class TestHybridResume:
 
         with chaos(plan):
             with pytest.raises(TransientKernelError):
-                hybrid_eigensolver(device, A, k=4, seed=0, policy=DISABLED)
+                hybrid_eigensolver(device, A, k=4, seed=0, policy=DISABLED,
+                                   spmv_format="csr")
         A.free()

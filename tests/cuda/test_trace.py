@@ -18,9 +18,10 @@ class TestTraceExport:
         device.charge_kernel("k1", 1e6, 1e6)
         events = timeline_to_trace_events(device.timeline)
         dur = [e for e in events if e["ph"] == "X"]
-        assert len(dur) == 2
+        assert len(dur) == 3  # cudaMalloc + H2D + kernel
         assert dur[0]["ts"] == pytest.approx(0.0)
         assert dur[1]["ts"] == pytest.approx(dur[0]["dur"])
+        assert dur[2]["ts"] == pytest.approx(dur[0]["dur"] + dur[1]["dur"])
 
     def test_tracks_separate_categories(self, device, rng):
         d = device.to_device(rng.random(10))
@@ -29,7 +30,7 @@ class TestTraceExport:
         d.copy_to_host()
         events = timeline_to_trace_events(device.timeline)
         tids = {e["args"]["category"]: e["tid"] for e in events if e["ph"] == "X"}
-        assert len(set(tids.values())) == 4  # h2d, kernel, cpu, d2h
+        assert len(set(tids.values())) == 5  # h2d, kernel, cpu, d2h, overhead
 
     def test_stage_tags_exported(self, device):
         with device.stage("kmeans"):
@@ -43,7 +44,7 @@ class TestTraceExport:
         device.charge_kernel("k", 1e3, 1e3)
         path = tmp_path / "trace.json"
         n = export_chrome_trace(device.timeline, path)
-        assert n == 2
+        assert n == 3  # cudaMalloc + H2D + kernel
         loaded = json.loads(path.read_text())
         assert "traceEvents" in loaded
         names = {e["name"] for e in loaded["traceEvents"]}
