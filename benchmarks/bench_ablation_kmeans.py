@@ -1,0 +1,179 @@
+"""Ablation — k-means iteration structure: SpMM centroid update and the
+fused distance+argmin pass vs the paper's discrete pipeline.
+
+§IV.C builds the centroid update from sort_by_key + segmented reduction
+and runs distances, argmin and the convergence count as separate
+launches.  The rebuilt hot path replaces the update with a membership
+SpMM (histogram + exclusive scan + stable scatter + ``cusparseDcsrmm``)
+and folds the assignment phase into one fused kernel with an on-device
+label-change counter.  Both knobs are pure time optimizations: every
+combination must produce bit-identical labels, centroids and inertia
+histories, while the simulated cost separates."""
+
+import numpy as np
+import pytest
+
+from repro.cuda.device import Device
+from repro.hw.costmodel import GPUCostModel
+from repro.hw.spec import K20C
+from repro.kmeans.gpu import kmeans_device
+from repro.kmeans.init import kmeans_plus_plus
+
+#: every (centroid_update, fused) combination, baseline last
+KNOB_GRID = [
+    ("spmm", True),
+    ("spmm", False),
+    ("sort", True),
+    ("sort", False),
+]
+
+
+def _combo_key(update: str, fused: bool) -> str:
+    return f"{update}_{'fused' if fused else 'unfused'}"
+
+
+def _workload():
+    rng = np.random.default_rng(0)
+    k, d, n = 32, 32, 4000
+    centers = rng.standard_normal((k, d)) * 6
+    V = centers[rng.integers(0, k, n)] + rng.standard_normal((n, d))
+    C0 = kmeans_plus_plus(V, k, np.random.default_rng(1))
+    return V, k, C0
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return _workload()
+
+
+def _run_grid(V, k, C0):
+    out = {}
+    for update, fused in KNOB_GRID:
+        dev = Device()
+        res = kmeans_device(
+            dev, V, k, initial_centroids=C0,
+            centroid_update=update, fused=fused,
+        )
+        out[_combo_key(update, fused)] = (
+            res, dev.timeline.total(tag="kmeans")
+        )
+    return out
+
+
+def kmeans_ablation_summary() -> dict:
+    """Machine-readable ablation summary (consumed by BENCH_regression.json).
+
+    ``total_simulated_s`` per knob combination on the fixed workload, the
+    default-vs-baseline speedup, and a bit-parity flag over labels,
+    centroids and inertia history — the regression gate refuses any run
+    where a knob changed a bit.
+    """
+    V, k, C0 = _workload()
+    grid = _run_grid(V, k, C0)
+    ref, _ = grid["sort_unfused"]
+    bit_identical = all(
+        np.array_equal(res.labels, ref.labels)
+        and res.centroids.tobytes() == ref.centroids.tobytes()
+        and np.asarray(res.inertia_history).tobytes()
+        == np.asarray(ref.inertia_history).tobytes()
+        for res, _t in grid.values()
+    )
+    combos = {
+        key: {"total_simulated_s": t, "n_iter": res.n_iter}
+        for key, (res, t) in grid.items()
+    }
+    return {
+        "n": V.shape[0],
+        "k": k,
+        "d": V.shape[1],
+        "combos": combos,
+        "speedup_default_vs_baseline": (
+            combos["sort_unfused"]["total_simulated_s"]
+            / combos["spmm_fused"]["total_simulated_s"]
+        ),
+        "bit_identical": bit_identical,
+    }
+
+
+def test_ablation_kmeans_report(workload, write_table):
+    V, k, C0 = workload
+    grid = _run_grid(V, k, C0)
+    ref, t_ref = grid["sort_unfused"]
+
+    # paper-scale projection of just the centroid-update phase
+    # (DTI: n=142K points, k=500 clusters, d=500 features)
+    gpu = GPUCostModel(K20C)
+    n_p, k_p, d_p = 142541, 500, 500
+    proj_sort = (
+        gpu.sort_time(n_p)                                    # sort_by_key
+        + gpu.kernel_time(n_p * d_p, 2.0 * n_p * d_p * 8)     # permute rows
+        + gpu.kernel_time(n_p * d_p, 2.0 * n_p * d_p * 8)     # reduce values
+        + gpu.kernel_time(float(n_p), 2.0 * n_p * 8)          # reduce counts
+    )
+    proj_spmm = (
+        gpu.kernel_time(float(n_p), n_p * 8.0)                # histogram
+        + gpu.kernel_time(float(k_p), 2.0 * k_p * 8)          # exclusive scan
+        + gpu.kernel_time(float(n_p), 2.0 * n_p * 8)          # scatter
+        + gpu.spmm_time(k_p, n_p, d_p)                        # cusparseDcsrmm
+    )
+
+    lines = [
+        f"Ablation: k-means iteration structure "
+        f"(n={V.shape[0]}, k={k}, d={V.shape[1]})",
+        f"{'update':<8}{'assign':<10}{'sim kmeans t/s':>16}{'iters':>8}",
+        "-" * 42,
+    ]
+    for update, fused in KNOB_GRID:
+        res, t = grid[_combo_key(update, fused)]
+        assign = "fused" if fused else "discrete"
+        lines.append(f"{update:<8}{assign:<10}{t:>16.6f}{res.n_iter:>8}")
+    lines += [
+        "",
+        "projected centroid-update phase at DTI scale (n=142541, k=d=500):",
+        f"  sort+reduce: {proj_sort:.4f} s/iter",
+        f"  membership SpMM: {proj_spmm:.4f} s/iter "
+        f"({proj_sort / proj_spmm:.1f}x faster)",
+    ]
+    write_table("ablation_kmeans", "\n".join(lines))
+
+    # every combination clusters bit-identically
+    for res, _t in grid.values():
+        assert np.array_equal(res.labels, ref.labels)
+        assert res.centroids.tobytes() == ref.centroids.tobytes()
+        assert res.n_iter == ref.n_iter
+        assert np.asarray(res.inertia_history).tobytes() == np.asarray(
+            ref.inertia_history
+        ).tobytes()
+    # each knob is an improvement on its own; together they are fastest
+    _, t_default = grid["spmm_fused"]
+    _, t_spmm_only = grid["spmm_unfused"]
+    _, t_fused_only = grid["sort_fused"]
+    assert t_spmm_only < t_ref
+    assert t_fused_only < t_ref
+    assert t_default < min(t_spmm_only, t_fused_only)
+    # the SpMM update beats sort+reduce at paper scale too
+    assert proj_spmm < proj_sort
+
+
+def test_summary_shape():
+    s = kmeans_ablation_summary()
+    assert s["bit_identical"] is True
+    assert s["speedup_default_vs_baseline"] > 1.0
+    assert set(s["combos"]) == {_combo_key(u, f) for u, f in KNOB_GRID}
+
+
+def test_bench_kmeans_default(benchmark, workload):
+    V, k, C0 = workload
+    benchmark(
+        lambda: kmeans_device(Device(), V, k, initial_centroids=C0, max_iter=5)
+    )
+
+
+def test_bench_kmeans_baseline(benchmark, workload):
+    V, k, C0 = workload
+    benchmark(
+        lambda: kmeans_device(
+            Device(), V, k, initial_centroids=C0, max_iter=5,
+            centroid_update="sort", fused=False,
+        )
+    )

@@ -55,6 +55,7 @@ def test_emit_machine_readable_summary(comparison):
     """
     import json
 
+    from bench_ablation_kmeans import kmeans_ablation_summary
     from bench_serve_throughput import serve_summary
 
     payload = {"schema_version": 1, "datasets": {}}
@@ -77,8 +78,11 @@ def test_emit_machine_readable_summary(comparison):
             "ari_cuda": r.quality.get("cuda"),
         }
     payload["serve"] = serve_summary()
+    payload["kmeans_ablation"] = kmeans_ablation_summary()
     out = Path(__file__).parent.parent / "BENCH_regression.json"
     out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     written = json.loads(out.read_text())
     assert written["datasets"].keys() == BENCH_SCALES.keys()
     assert written["serve"]["speedup"] >= 2.0
+    assert written["kmeans_ablation"]["bit_identical"] is True
+    assert written["kmeans_ablation"]["speedup_default_vs_baseline"] > 1.0

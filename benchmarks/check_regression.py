@@ -49,6 +49,39 @@ def compare(baseline: dict, current: dict, rel_tol: float) -> list[str]:
                 f"{name}.ari_cuda: {old_ari!r} -> {new_ari!r} "
                 "(quality must be bit-identical)"
             )
+    failures.extend(_compare_kmeans_ablation(baseline, current, rel_tol))
+    return failures
+
+
+def _compare_kmeans_ablation(
+    baseline: dict, current: dict, rel_tol: float
+) -> list[str]:
+    """Gate the k-means ablation: no combo's cost creeps, no bit drifts."""
+    failures: list[str] = []
+    base = baseline.get("kmeans_ablation")
+    cur = current.get("kmeans_ablation")
+    if base is None:
+        return failures
+    if cur is None:
+        return ["kmeans_ablation: section missing from current run"]
+    if cur.get("bit_identical") is not True:
+        failures.append(
+            "kmeans_ablation.bit_identical: knob combinations diverged "
+            "(results must be bit-identical)"
+        )
+    for combo in sorted(base.get("combos", {})):
+        if combo not in cur.get("combos", {}):
+            failures.append(f"kmeans_ablation.{combo}: combo missing")
+            continue
+        old = base["combos"][combo]["total_simulated_s"]
+        new = cur["combos"][combo]["total_simulated_s"]
+        if old > 0 and new > old * (1.0 + rel_tol):
+            failures.append(
+                f"kmeans_ablation.{combo}.total_simulated_s: "
+                f"{old:.6g} -> {new:.6g} "
+                f"(+{(new / old - 1.0) * 100:.1f}%, tolerance "
+                f"{rel_tol * 100:.0f}%)"
+            )
     return failures
 
 
@@ -80,6 +113,11 @@ def main(argv: list[str] | None = None) -> int:
             f"{name:8s} comm {row['communication_s']:.6g} s  "
             f"total {row['total_simulated_s']:.6g} s  ok"
         )
+    ablation = current.get("kmeans_ablation")
+    if ablation:
+        for combo in sorted(ablation.get("combos", {})):
+            t = ablation["combos"][combo]["total_simulated_s"]
+            print(f"kmeans ablation {combo:14s} total {t:.6g} s  ok")
     print("bench regression gate passed")
     return 0
 

@@ -175,6 +175,17 @@ class SpectralClustering:
         'k-means++' (paper's choice) or 'random'.
     kmeans_max_iter:
         Lloyd iteration cap.
+    kmeans_update:
+        Centroid update for Algorithm 4: 'spmm' (default) builds the
+        one-hot membership CSR on-device and computes centroid sums with
+        one ``cusparseDcsrmm``; 'sort' is the paper's §IV.C
+        sort + segmented-reduction formulation.  Results are bit-identical;
+        only charged time differs.
+    kmeans_fused:
+        Fuse the per-tile distance init, gemm, argmin and label-change
+        count into one kernel (default True), with inertia computed by a
+        charged device kernel.  False keeps the discrete kernel sequence
+        for ablation; bit-identical results either way.
     normalize_rows:
         Scale embedding rows to unit norm before k-means (the
         Ng-Jordan-Weiss variant; the paper does not, so default False).
@@ -210,6 +221,8 @@ class SpectralClustering:
         eig_spmv_format: str = "auto",
         kmeans_init: str = "k-means++",
         kmeans_max_iter: int = 300,
+        kmeans_update: str = "spmm",
+        kmeans_fused: bool = True,
         normalize_rows: bool = False,
         handle_isolated: str = "remove",
         seed: int | None = 0,
@@ -238,6 +251,10 @@ class SpectralClustering:
                 f"eig_spmv_format must be 'auto', 'csr', 'ell' or 'hyb', "
                 f"got {eig_spmv_format!r}"
             )
+        if kmeans_update not in ("spmm", "sort"):
+            raise ClusteringError(
+                f"kmeans_update must be 'spmm' or 'sort', got {kmeans_update!r}"
+            )
         if chaos is not None and not isinstance(chaos, (int, FaultPlan)):
             raise ChaosError(
                 f"chaos must be a FaultPlan, an int seed or None, "
@@ -255,6 +272,8 @@ class SpectralClustering:
         self.eig_spmv_format = eig_spmv_format
         self.kmeans_init = kmeans_init
         self.kmeans_max_iter = kmeans_max_iter
+        self.kmeans_update = kmeans_update
+        self.kmeans_fused = bool(kmeans_fused)
         self.normalize_rows = normalize_rows
         self.handle_isolated = handle_isolated
         self.seed = seed
@@ -642,6 +661,7 @@ class SpectralClustering:
                 device, embedding, self.n_clusters,
                 init=self.kmeans_init, max_iter=self.kmeans_max_iter,
                 seed=self.seed, tile_rows=tile,
+                centroid_update=self.kmeans_update, fused=self.kmeans_fused,
             )
 
         def km_cpu():

@@ -284,12 +284,19 @@ def hybrid_eigensolver(
             restart_cb=restart_cb,
         )
 
+    events_before = len(device.timeline)
     with device.stage("eigensolver"):
         # ---- SpMV format selection (autotune over row-length stats) ------
         decision = None
         fmt = spmv_format
         if fmt == "auto":
-            decision = autotune_format(A.indptr.data, device.cost)
+            # re-runs on the same device rank candidates by the kernel
+            # times actually recorded on earlier solves of this operator,
+            # falling back to the roofline prediction for untimed formats
+            decision = autotune_format(
+                A.indptr.data, device.cost,
+                measured=device.measured_spmv_times(n, A.nnz) or None,
+            )
             fmt = decision.format
         A_op = A
 
@@ -476,6 +483,15 @@ def hybrid_eigensolver(
             charge_find_eigenvectors(device, cpu, n, prob.m, k)
     wall = time.perf_counter() - t0
     transfers_after = device.transfer_stats()
+    observed = _harvest_spmv_times(device, n, A.nnz, events_before)
+    format_decision = decision.as_dict() if decision is not None else None
+    if format_decision is not None:
+        format_decision["observed_spmv_s"] = {
+            f: t for f, (t, _c) in observed.items()
+        }
+        format_decision["n_spmv_timed"] = sum(
+            c for (_t, c) in observed.values()
+        )
     stats = EigStats(
         n_op=res.n_op,
         n_restarts=res.n_restarts,
@@ -502,6 +518,48 @@ def hybrid_eigensolver(
         transfer_overlap_s=(
             transfers_after["overlap_s"] - transfers_before["overlap_s"]
         ),
-        format_decision=decision.as_dict() if decision is not None else None,
+        format_decision=format_decision,
     )
     return theta, U, stats
+
+
+#: SpMV kernel event names -> format key.  ``hybmv`` charges two events per
+#: product (ELL slab + COO tail); only the ``[ell]`` event counts a product.
+_SPMV_EVENT_FORMATS = {
+    "cusparseDcsrmv": ("csr", True),
+    "cusparseDellmv": ("ell", True),
+    "cusparseDhybmv[ell]": ("hyb", True),
+    "cusparseDhybmv[coo]": ("hyb", False),
+}
+
+
+def _harvest_spmv_times(
+    device: Device, n: int, nnz: int, events_before: int
+) -> dict[str, tuple[float, int]]:
+    """Record the SpMV kernel times charged during this solve.
+
+    Scans the timeline window the eigensolver stage appended, aggregates
+    per-format mean seconds per product, and feeds them back to the
+    device's measurement table so the *next* ``autotune_format`` on the
+    same operator ranks by observed kernel time instead of the roofline
+    prediction.  Returns ``{fmt: (mean_seconds, n_products)}``.
+    """
+    sums: dict[str, float] = {}
+    counts: dict[str, int] = {}
+    for ev in device.timeline.events[events_before:]:
+        hit = _SPMV_EVENT_FORMATS.get(ev.name)
+        if hit is None:
+            continue
+        fmt_name, is_product = hit
+        sums[fmt_name] = sums.get(fmt_name, 0.0) + ev.duration
+        if is_product:
+            counts[fmt_name] = counts.get(fmt_name, 0) + 1
+    out: dict[str, tuple[float, int]] = {}
+    for fmt_name, total in sums.items():
+        n_products = counts.get(fmt_name, 0)
+        if n_products == 0:
+            continue
+        per = total / n_products
+        device.note_spmv_time(fmt_name, n, nnz, per)
+        out[fmt_name] = (per, n_products)
+    return out

@@ -61,6 +61,9 @@ class Device:
         #: cumulative simulated seconds by high-level class, convenience view
         self.kernel_launches = 0
         self._reset_transfer_counters()
+        #: measured SpMV kernel times by (format, n_rows, nnz) — autotuner
+        #: feedback (sum of durations, count of products)
+        self._spmv_measurements: dict[tuple[str, int, int], tuple[float, int]] = {}
 
     def _make_allocator(self) -> Allocator:
         if self.caching:
@@ -189,6 +192,34 @@ class Device:
         self.transfers_elided += count
         self.bytes_elided += nbytes
 
+    def charge_scalar_d2h(self, nbytes: int = 8) -> None:
+        """Charge a scalar readback (device -> host) over PCIe.
+
+        The public surface for latency-bound control-flow reads: a
+        convergence counter, a dot product, a norm.  The transfer is
+        dominated by link latency, not bandwidth, and shows up in
+        :meth:`transfer_stats` like any other D2H crossing.
+        """
+        self._record_d2h(nbytes)
+
+    def note_spmv_time(
+        self, fmt: str, n_rows: int, nnz: int, seconds: float
+    ) -> None:
+        """Record one measured SpMV kernel duration for ``fmt`` on a matrix
+        of the given shape, feeding :func:`~repro.cusparse.formats.autotune_format`
+        evidence on subsequent solves."""
+        key = (fmt, int(n_rows), int(nnz))
+        total, count = self._spmv_measurements.get(key, (0.0, 0))
+        self._spmv_measurements[key] = (total + float(seconds), count + 1)
+
+    def measured_spmv_times(self, n_rows: int, nnz: int) -> dict[str, float]:
+        """Mean measured per-SpMV seconds by format for a matrix shape."""
+        out: dict[str, float] = {}
+        for (fmt, rows, z), (total, count) in self._spmv_measurements.items():
+            if rows == int(n_rows) and z == int(nnz) and count:
+                out[fmt] = total / count
+        return out
+
     def charge_kernel(
         self,
         name: str,
@@ -266,6 +297,7 @@ class Device:
         self.allocator = self._make_allocator()
         self.kernel_launches = 0
         self._reset_transfer_counters()
+        self._spmv_measurements = {}
 
     def __repr__(self) -> str:
         used = self.allocator.used_bytes

@@ -199,14 +199,11 @@ class BufferGroup:
 
     Usage::
 
-        bufs = BufferGroup()
-        try:
+        with BufferGroup() as bufs:
             a = bufs.add(dev.empty(...))
             b = bufs.add(dev.empty(...))
             ...
-        except BaseException:
-            bufs.free_all()
-            raise
+        # everything still live is released on exit, error or not
     """
 
     __slots__ = ("_bufs",)
@@ -217,6 +214,15 @@ class BufferGroup:
     def add(self, buf: "DeviceArray") -> "DeviceArray":
         self._bufs.append(buf)
         return buf
+
+    def __len__(self) -> int:
+        return len(self._bufs)
+
+    def __enter__(self) -> "BufferGroup":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.free_all()
 
     def free_all(self) -> None:
         """Release every registered buffer that is still live.

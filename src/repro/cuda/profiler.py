@@ -34,6 +34,9 @@ class ProfileReport:
     #: PCIe traffic counters over the profiled region (bytes_h2d, bytes_d2h,
     #: transfers_elided, bytes_elided, overlap_s, ...)
     transfers: dict = field(default_factory=dict)
+    #: per-kernel launch counts and simulated seconds, keyed by kernel name
+    #: (``{"fused_assign": {"count": 12, "seconds": 3.1e-4}, ...}``)
+    kernels: dict = field(default_factory=dict)
 
     @property
     def total(self) -> float:
@@ -123,6 +126,7 @@ def merge_reports(reports) -> ProfileReport:
     by_cat: dict[str, float] = {}
     by_stage: dict[str, float] = {}
     kernels = 0
+    by_kernel: dict[str, dict] = {}
     alloc: dict = {}
     transfers: dict = {}
     for rep in reports:
@@ -133,6 +137,10 @@ def merge_reports(reports) -> ProfileReport:
             by_cat[cat] = by_cat.get(cat, 0.0) + secs
         for stage, secs in rep.by_stage.items():
             by_stage[stage] = by_stage.get(stage, 0.0) + secs
+        for name, slot in rep.kernels.items():
+            merged = by_kernel.setdefault(name, {"count": 0, "seconds": 0.0})
+            merged["count"] += slot["count"]
+            merged["seconds"] += slot["seconds"]
         for key, val in rep.allocator.items():
             if key == "caching":
                 alloc["caching"] = bool(alloc.get("caching")) or bool(val)
@@ -151,6 +159,7 @@ def merge_reports(reports) -> ProfileReport:
         kernel_launches=kernels,
         allocator=alloc,
         transfers=transfers,
+        kernels=by_kernel,
     )
 
 
@@ -160,6 +169,7 @@ def _aggregate(events, allocator: dict | None = None, transfers: dict | None = N
     by_cat: dict[str, float] = {}
     by_stage: dict[str, float] = {}
     kernels = 0
+    by_kernel: dict[str, dict] = {}
     for ev in events:
         by_cat[ev.category] = by_cat.get(ev.category, 0.0) + ev.duration
         by_stage[ev.tag] = by_stage.get(ev.tag, 0.0) + ev.duration
@@ -169,6 +179,9 @@ def _aggregate(events, allocator: dict | None = None, transfers: dict | None = N
             comp += ev.duration
         if ev.category == "kernel":
             kernels += 1
+            slot = by_kernel.setdefault(ev.name, {"count": 0, "seconds": 0.0})
+            slot["count"] += 1
+            slot["seconds"] += ev.duration
     return ProfileReport(
         communication=comm,
         computation=comp,
@@ -177,4 +190,5 @@ def _aggregate(events, allocator: dict | None = None, transfers: dict | None = N
         kernel_launches=kernels,
         allocator=allocator if allocator is not None else {},
         transfers=transfers if transfers is not None else {},
+        kernels=by_kernel,
     )

@@ -282,11 +282,19 @@ class FormatDecision:
     predicted_s: dict[str, float]
     #: ELL partition width a HYB conversion would use
     hyb_width: int
+    #: measured per-SpMV seconds fed back from earlier solves on the same
+    #: matrix shape (empty when no measurements exist yet)
+    measured_s: dict[str, float] = field(default_factory=dict)
+    #: evidence class the ranking used per candidate: "measured" when a
+    #: kernel timing was available, "predicted" otherwise
+    evidence: dict[str, str] = field(default_factory=dict)
 
     def as_dict(self) -> dict:
         return {
             "format": self.format,
             "predicted_spmv_s": dict(self.predicted_s),
+            "measured_spmv_s": dict(self.measured_s),
+            "evidence": dict(self.evidence),
             "hyb_width": self.hyb_width,
             "row_mean": self.stats.mean,
             "row_max": self.stats.max,
@@ -299,15 +307,24 @@ def autotune_format(
     indptr: np.ndarray,
     cost: GPUCostModel,
     formats: tuple[str, ...] = SPMV_FORMATS,
+    measured: dict[str, float] | None = None,
 ) -> FormatDecision:
     """Choose the cheapest SpMV format from row-length statistics.
 
     Evaluates the calibrated cost-model kernel for each candidate format on
-    this matrix's shape and picks the minimum predicted time; ties (and
-    empty matrices) fall back to CSR.  The decision is a pure function of
-    ``indptr`` and the device spec, so it is deterministic and free of
-    measurement noise — an analytic stand-in for the probe-and-measure
-    autotuners real libraries use.
+    this matrix's shape and picks the minimum time; ties (and empty
+    matrices) fall back to CSR.  With no ``measured`` evidence the decision
+    is a pure function of ``indptr`` and the device spec — deterministic
+    and free of measurement noise, an analytic stand-in for the
+    probe-and-measure autotuners real libraries use.
+
+    ``measured`` maps formats to mean per-SpMV kernel seconds observed on
+    earlier solves of the same matrix shape
+    (:meth:`~repro.cuda.device.Device.measured_spmv_times`); a measured
+    time overrides the model's prediction for that candidate, so the
+    ranking prefers ground truth where it exists and falls back to the
+    model elsewhere.  The decision records which evidence class each
+    candidate used.
     """
     for f in formats:
         if f not in SPMV_FORMATS:
@@ -328,11 +345,25 @@ def autotune_format(
             )
     if not predicted:
         raise SparseFormatError("no candidate formats to autotune over")
-    best = min(sorted(predicted), key=lambda f: predicted[f])
-    if predicted.get("csr", float("inf")) <= predicted[best]:
+    measured_known = {
+        f: float(measured[f])
+        for f in predicted
+        if measured is not None and f in measured
+    }
+    effective = {f: measured_known.get(f, t) for f, t in predicted.items()}
+    best = min(sorted(effective), key=lambda f: effective[f])
+    if effective.get("csr", float("inf")) <= effective[best]:
         best = "csr"  # prefer the no-conversion format on ties
     return FormatDecision(
-        format=best, stats=stats, predicted_s=predicted, hyb_width=K
+        format=best,
+        stats=stats,
+        predicted_s=predicted,
+        hyb_width=K,
+        measured_s=measured_known,
+        evidence={
+            f: "measured" if f in measured_known else "predicted"
+            for f in predicted
+        },
     )
 
 

@@ -100,6 +100,28 @@ class GPUCostModel(CostModel):
         bytes_moved = nnz * (itemsize + 4) + 2.0 * n_rows * itemsize + nnz * itemsize
         return self.kernel_time(flops, bytes_moved, kind="gather", itemsize=itemsize)
 
+    def spmm_time(
+        self, n_rows: int, nnz: int, p: int, itemsize: int = 8
+    ) -> float:
+        """CSR SpMM (``cusparseDcsrmm``): one launch computing ``p`` output
+        columns.
+
+        Unlike ``p`` independent csrmv sweeps, the matrix structure
+        (row pointers, column indices, values) streams through the SM once
+        and is reused across all columns of B held in registers/shared
+        memory, so only the gathered B rows (``nnz·p`` elements) and the C
+        output (``2·n_rows·p``) scale with ``p``.  That amortization is why
+        the membership-matrix centroid update beats per-column sweeps.
+        """
+        flops = 2.0 * nnz * p
+        bytes_moved = (
+            nnz * (itemsize + 4)          # matrix values + column indices, once
+            + (n_rows + 1.0) * 8.0        # row pointers, once
+            + nnz * p * itemsize          # gathered B rows, per column
+            + 2.0 * n_rows * p * itemsize  # C read+write, per column
+        )
+        return self.kernel_time(flops, bytes_moved, kind="gather", itemsize=itemsize)
+
     def sort_time(self, n_keys: int) -> float:
         """Radix sort of ``n_keys`` key/value pairs (Thrust)."""
         if n_keys <= 0:

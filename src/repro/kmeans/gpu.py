@@ -3,19 +3,38 @@
 The three phases of each Lloyd iteration map to device primitives exactly
 as in the paper:
 
-* **distances** — ``S`` is initialized to ``||v_i||² + ||c_j||²`` by a
-  streaming kernel (Eq. 15) and completed with one cuBLAS gemm,
-  ``S -= 2 V Cᵀ`` (Eq. 16).  This BLAS-3 reformulation is where the
-  100-400× speedups over the loop-based baselines come from;
-* **labels** — a row-argmin kernel; a device reduction counts label
-  changes for the convergence test;
-* **centroids** — the data points are sorted by their new label
-  (``thrust::sort_by_key``) so members of each cluster are contiguous,
-  then summed with a segmented reduction (``thrust::reduce_by_key``), as
-  described in §IV.C.
+* **distances + labels** — ``S`` is initialized to ``||v_i||² + ||c_j||²``
+  (Eq. 15) and completed with a cuBLAS gemm, ``S -= 2 V Cᵀ`` (Eq. 16),
+  then a row-argmin picks the label.  By default the three steps run as a
+  single **fused kernel** per row tile (``fused=True``): each tile of
+  ``S`` is produced and consumed in one pass, and the label-change counter
+  accumulates on-device, so the per-iteration label comparison kernel and
+  its separate scalar readback disappear.  ``fused=False`` keeps the
+  paper's discrete init/gemm/argmin sequence for ablation;
+* **centroids** — by default (``centroid_update="spmm"``) the update is the
+  sparse product ``C_sums = M V`` where ``M`` is the k×n one-hot CSR
+  membership matrix built on-device from a label histogram +
+  ``thrust::exclusive_scan`` (the row pointers *are* the cluster counts'
+  prefix sums, so counts fall out for free) and a cursor scatter of point
+  ids.  ``centroid_update="sort"`` keeps §IV.C's
+  ``thrust::sort_by_key`` + ``reduce_by_key`` formulation: it pays an
+  O(n·d) dataset copy and an O(n log n) sort every iteration, which the
+  k-means ablation bench quantifies;
+* **inertia** — with the fused pass the per-iteration inertia is computed
+  by a charged device kernel into a persistent history buffer (one batched
+  D2H after convergence) instead of an uncharged host sweep.
 
-Empty clusters are repaired with the same deterministic relocation rule as
-the host implementation, keeping the two paths bit-comparable.
+All knob combinations produce bit-identical labels, centroids, and inertia
+histories: every path shares the same substrate arithmetic and differs only
+in what the cost model charges.  Empty clusters are repaired with the same
+deterministic relocation rule as the host implementation, keeping the two
+paths bit-comparable.
+
+Working memory is allocated once before the loop (a single
+:class:`~repro.cuda.memory.BufferGroup`), so after warm-up a Lloyd
+iteration performs **zero** device allocations on the default path — the
+sort path's seven per-iteration temporaries live in a scoped group that
+releases them through the caching allocator each trip.
 """
 
 from __future__ import annotations
@@ -28,6 +47,8 @@ from repro.cuda.device import Device
 from repro.cuda.kernel import Kernel, launch
 from repro.cuda.launch import grid_1d
 from repro.cuda.memory import BufferGroup, DeviceArray
+from repro.cusparse.matrices import DeviceCSR
+from repro.cusparse.spmm import csrmm
 from repro.errors import ClusteringError
 from repro.kmeans.init import kmeans_plus_plus_device, random_init
 from repro.kmeans.utils import (
@@ -93,6 +114,89 @@ direct_distances = Kernel(
 )
 
 
+def _fused_assign_body(tid, S, V, C, Vnorm, Cnorm, labels, old, changes, reset):
+    # Eq. 15 init, Eq. 16 gemm, row argmin, and the label-change count in
+    # one pass over the tile.  The arithmetic is expression-for-expression
+    # the unfused init_distances / cublas.gemm(alpha=-2, beta=1) /
+    # argmin_rows sequence, so fusion changes charged time, never a bit.
+    S[tid] = Vnorm[tid, None] + Cnorm[None, :]
+    S[tid] = -2.0 * (V[tid] @ C.T) + 1.0 * S[tid]
+    labels[tid] = np.argmin(S[tid], axis=1)
+    if reset:
+        changes[0] = 0
+    changes[0] += np.count_nonzero(labels[tid] != old[tid])
+
+#: fused distance + argmin + change-count tile pass: the gemm dominates,
+#: so the kernel is compute-class "dense"; the S tile is produced and
+#: consumed in registers/shared memory and only written once, which is the
+#: memory-traffic saving over the three-kernel sequence.
+fused_assign = Kernel(
+    name="fused_assign",
+    body=_fused_assign_body,
+    cost=lambda nt, S, V, C, Vnorm, Cnorm, labels, old, changes, reset: (
+        2.0 * nt * C.shape[0] * C.shape[1] + 2.0 * nt * C.shape[0] + float(nt),
+        V[:nt].nbytes + C.nbytes + Vnorm.nbytes + Cnorm.nbytes
+        + float(nt) * C.shape[0] * 8
+        + 2.0 * nt * labels.itemsize + 8.0,
+    ),
+    kind="dense",
+)
+
+
+def _label_histogram_body(tid, labels, counts):
+    # per-thread atomicAdd(counts[label[i]], 1) into a (k+1)-sized buffer;
+    # the trailing slot stays zero so the exclusive scan of this buffer is
+    # a complete CSR indptr (indptr[k] == n)
+    counts[:] = 0
+    counts[: counts.size - 1] = np.bincount(labels, minlength=counts.size - 1)
+
+label_histogram = Kernel(
+    name="label_histogram",
+    body=_label_histogram_body,
+    cost=lambda nt, labels, counts: (
+        float(nt),
+        labels[:nt].nbytes + 2.0 * counts.nbytes,
+    ),
+    kind="gather",
+)
+
+
+def _membership_scatter_body(tid, labels, indptr, indices):
+    # thread i places its point id at indptr[label[i]] + atomic cursor; a
+    # sequential tid-order placement is exactly a stable sort by label, so
+    # the substrate uses argsort(kind="stable") — deterministic and
+    # bit-aligned with the sort_by_key path's ordering
+    indices[:] = np.argsort(labels, kind="stable")
+
+membership_scatter = Kernel(
+    name="membership_scatter",
+    body=_membership_scatter_body,
+    cost=lambda nt, labels, indptr, indices: (
+        float(nt),
+        labels[:nt].nbytes + indptr.nbytes + indices[:nt].nbytes,
+    ),
+    kind="gather",
+)
+
+
+def _tile_inertia_body(tid, V, C, labels, out, slot):
+    diff = V[tid] - C[labels[tid]]
+    out[slot] = np.einsum("nd,nd->", diff, diff)
+
+#: charged replacement for the host inertia sweep: same einsum arithmetic
+#: as kmeans.utils.inertia, writing into a persistent device history
+#: buffer that comes down once after convergence
+tile_inertia = Kernel(
+    name="tile_inertia",
+    body=_tile_inertia_body,
+    cost=lambda nt, V, C, labels, out, slot: (
+        3.0 * V[:nt].size + float(nt),
+        V[:nt].nbytes + labels[:nt].nbytes + C.nbytes + 8.0,
+    ),
+    kind="stream",
+)
+
+
 def kmeans_device(
     device: Device,
     V: np.ndarray | DeviceArray,
@@ -104,6 +208,8 @@ def kmeans_device(
     block: int = 256,
     tile_rows: int | None = None,
     distance_method: str = "gemm",
+    centroid_update: str = "spmm",
+    fused: bool = True,
 ) -> KMeansResult:
     """Run Algorithm 4 on ``device``; returns a host-side result.
 
@@ -129,11 +235,29 @@ def kmeans_device(
         'gemm' (default) — the paper's BLAS-3 expansion, Eqs. 12-16;
         'direct' — the naive per-pair distance kernel it replaces.
         Identical results; the ablation bench compares their costs.
+    centroid_update:
+        'spmm' (default) — one-hot membership CSR built on-device
+        (histogram + exclusive scan + cursor scatter) and a single
+        ``cusparseDcsrmm`` for the centroid sums, counts read off the row
+        pointers; 'sort' — the paper's §IV.C sort + segmented reduction.
+        Identical results; the k-means ablation bench compares their costs.
+    fused:
+        Fuse Eq. 15 init, the Eq. 16 gemm, the row argmin, and the
+        label-change count into one tile kernel, with inertia computed by
+        a charged device kernel into a persistent history buffer.
+        ``False`` keeps the discrete kernel sequence (and the host inertia
+        sweep) for ablation.  Applies to ``distance_method='gemm'`` only;
+        the 'direct' kernel always runs unfused.
     """
     if distance_method not in ("gemm", "direct"):
         raise ClusteringError(
             f"distance_method must be 'gemm' or 'direct', got {distance_method!r}"
         )
+    if centroid_update not in ("spmm", "sort"):
+        raise ClusteringError(
+            f"centroid_update must be 'spmm' or 'sort', got {centroid_update!r}"
+        )
+    use_fused = bool(fused) and distance_method == "gemm"
     rng = np.random.default_rng(seed)
     # every buffer this call creates is registered so a faulted sub-step
     # (injected OOM / transfer / kernel error) releases the lot; the
@@ -166,30 +290,48 @@ def kmeans_device(
         else:
             raise ClusteringError(f"unknown init {init!r}")
 
-        # ---- persistent buffers -----------------------------------------
+        # ---- persistent buffers (allocated once, reused every trip) ----
         dVnorm = bufs.add(device.empty(n, dtype=np.float64))
         launch(compute_norms, grid_1d(n, block), dV, dVnorm, n_threads=n)
         dCnorm = bufs.add(device.empty(k, dtype=np.float64))
+        dlabels = bufs.add(device.full(n, -1, dtype=np.int64))
+        dOld = dChanges = dHist = None
+        if use_fused:
+            dOld = bufs.add(device.empty(n, dtype=np.int64))
+            dChanges = bufs.add(device.empty(1, dtype=np.int64))
+            dHist = bufs.add(device.empty(max_iter, dtype=np.float64))
+        membership = None
+        if centroid_update == "spmm":
+            dCounts = bufs.add(device.empty(k + 1, dtype=np.int64))
+            dIndptr = bufs.add(device.empty(k + 1, dtype=np.int64))
+            dIdx = bufs.add(device.empty(n, dtype=np.int64))
+            dOnes = bufs.add(device.full(n, 1.0))
+            dSums = bufs.add(device.empty((k, d), dtype=np.float64))
+            membership = DeviceCSR(
+                indptr=dIndptr, indices=dIdx, val=dOnes, shape=(k, n)
+            )
         if tile_rows is None:
             # every live/parked block can waste up to one allocator granule
-            # to rounding, and the Lloyd loop keeps ~16 of them — budget the
+            # to rounding, and the Lloyd loop keeps ~24 of them — budget the
             # tile from headroom the buckets can actually honor
-            slack = 16 * MIN_BUCKET_BYTES
+            slack = 24 * MIN_BUCKET_BYTES
             budget = max(0, device.allocator.free_bytes - slack) // 4
             tile_rows = max(1, min(n, budget // max(1, k * 8)))
         elif tile_rows < 1:
             raise ClusteringError(f"tile_rows must be positive, got {tile_rows}")
         tile_rows = min(tile_rows, n)
         dS = bufs.add(device.empty((tile_rows, k), dtype=np.float64))
-        dlabels = bufs.add(device.full(n, -1, dtype=np.int64))
 
         history: list[float] = []
         converged = False
         it = 0
         for it in range(1, max_iter + 1):
-            # centroid norms + Eq. 15 init + Eq. 16 gemm, row tiles of S
+            # centroid norms + distances + labels, row tiles of S
             launch(compute_norms, grid_1d(k, block), dC, dCnorm, n_threads=k)
-            old = dlabels.data.copy()
+            if use_fused:
+                thrust.copy(dlabels, dOld)
+            else:
+                old = dlabels.data.copy()
             for lo in range(0, n, tile_rows):
                 hi = min(n, lo + tile_rows)
                 t = hi - lo
@@ -197,44 +339,91 @@ def kmeans_device(
                 dVnorm_t = dVnorm.view_rows(lo, hi)
                 dV_t = dV.view_rows(lo, hi)
                 dlabels_t = dlabels.view_rows(lo, hi)
-                if distance_method == "gemm":
+                if use_fused:
+                    launch(
+                        fused_assign, grid_1d(t, block),
+                        dS_t, dV_t, dC, dVnorm_t, dCnorm,
+                        dlabels_t, dOld.view_rows(lo, hi), dChanges, lo == 0,
+                        n_threads=t,
+                    )
+                elif distance_method == "gemm":
                     launch(
                         init_distances, grid_1d(t, block),
                         dS_t, dVnorm_t, dCnorm, n_threads=t,
                     )
                     cublas.gemm(dV_t, dC, dS_t, alpha=-2.0, beta=1.0, transb=True)
+                    launch(
+                        argmin_rows, grid_1d(t, block), dS_t, dlabels_t,
+                        n_threads=t,
+                    )
                 else:
                     launch(
                         direct_distances, grid_1d(t, block),
                         dV_t, dC, dS_t, n_threads=t,
                     )
-                launch(argmin_rows, grid_1d(t, block), dS_t, dlabels_t, n_threads=t)
-            changes = int(np.count_nonzero(dlabels.data != old))
-            device.charge_kernel(
-                "count_changes", flops=n, bytes_moved=2 * n * 8
-            )
-            device._record_d2h(8)
+                    launch(
+                        argmin_rows, grid_1d(t, block), dS_t, dlabels_t,
+                        n_threads=t,
+                    )
+            if use_fused:
+                # the change count accumulated on-device; one latency-bound
+                # scalar readback decides convergence
+                device.charge_scalar_d2h(8)
+                changes = int(dChanges.data[0])
+            else:
+                changes = int(np.count_nonzero(dlabels.data != old))
+                device.charge_kernel(
+                    "count_changes", flops=n, bytes_moved=2 * n * 8
+                )
+                device.charge_scalar_d2h(8)
 
-            # ---- centroid update: sort by label + segmented reduction ----
-            dkeys = bufs.add(dlabels.copy())
-            dvals = bufs.add(dV.copy())
-            thrust.sort_by_key(dkeys, dvals)
-            uniq, sums = thrust.reduce_by_key(dkeys, dvals)
-            bufs.add(uniq)
-            bufs.add(sums)
-            ones = bufs.add(device.full(dkeys.size, 1.0))
-            uniq2, counts_arr = thrust.reduce_by_key(dkeys, ones)
-            bufs.add(uniq2)
-            bufs.add(counts_arr)
+            if centroid_update == "spmm":
+                # ---- centroid update: one-hot membership SpMM ------------
+                # histogram -> exclusive scan == CSR row pointers (and the
+                # cluster counts), cursor scatter of point ids, then a
+                # single csrmm for all centroid sums — no dataset copy/sort
+                launch(
+                    label_histogram, grid_1d(n, block), dlabels, dCounts,
+                    n_threads=n,
+                )
+                thrust.exclusive_scan(dCounts, out=dIndptr)
+                launch(
+                    membership_scatter, grid_1d(n, block),
+                    dlabels, dIndptr, dIdx, n_threads=n,
+                )
+                csrmm(membership, dV, C=dSums, beta=0.0)
+                counts = np.diff(dIndptr.data)  # row-pointer mirror
+                present = np.flatnonzero(counts > 0)
+                new_C = dC.data.copy()
+                new_C[present] = dSums.data[present] / counts[present, None]
+                device.charge_kernel(
+                    "divide_centroids", flops=k * d, bytes_moved=3 * k * d * 8
+                )
+            else:
+                # ---- centroid update: sort by label + segmented reduction
+                # (§IV.C): copies the dataset, sorts it, and allocates seven
+                # temporaries per trip — scoped so they release every
+                # iteration instead of accumulating in the outer group
+                with BufferGroup() as iter_bufs:
+                    dkeys = iter_bufs.add(dlabels.copy())
+                    dvals = iter_bufs.add(dV.copy())
+                    thrust.sort_by_key(dkeys, dvals)
+                    uniq, sums = thrust.reduce_by_key(dkeys, dvals)
+                    iter_bufs.add(uniq)
+                    iter_bufs.add(sums)
+                    ones = iter_bufs.add(device.full(dkeys.size, 1.0))
+                    uniq2, counts_arr = thrust.reduce_by_key(dkeys, ones)
+                    iter_bufs.add(uniq2)
+                    iter_bufs.add(counts_arr)
 
-            counts = np.zeros(k, dtype=np.int64)
-            counts[uniq.data] = counts_arr.data.astype(np.int64)
-            new_C = dC.data.copy()
-            present = uniq.data
-            new_C[present] = sums.data / counts[present, None]
-            device.charge_kernel(
-                "divide_centroids", flops=k * d, bytes_moved=3 * k * d * 8
-            )
+                    counts = np.zeros(k, dtype=np.int64)
+                    counts[uniq.data] = counts_arr.data.astype(np.int64)
+                    new_C = dC.data.copy()
+                    present = uniq.data
+                    new_C[present] = sums.data / counts[present, None]
+                    device.charge_kernel(
+                        "divide_centroids", flops=k * d, bytes_moved=3 * k * d * 8
+                    )
 
             # empty-cluster repair (host rule, same as the CPU path)
             new_C, labels_fixed, counts = relabel_empty_clusters(
@@ -247,13 +436,20 @@ def kmeans_device(
                 dlabels.data[...] = labels_fixed
             dC.data[...] = new_C
 
-            for buf in (dkeys, dvals, uniq, uniq2, sums, ones, counts_arr):
-                buf.free()
-
-            history.append(_inertia(dV.data, dC.data, dlabels.data))
+            if use_fused:
+                launch(
+                    tile_inertia, grid_1d(n, block),
+                    dV, dC, dlabels, dHist, it - 1, n_threads=n,
+                )
+            else:
+                history.append(_inertia(dV.data, dC.data, dlabels.data))
             if changes == 0:
                 converged = True
                 break
+
+        if use_fused and it > 0:
+            # batched inertia readback: one D2H for the whole history
+            history = [float(x) for x in dHist.view_rows(0, it).copy_to_host()]
 
         # step 4: transfer the labeling result from GPU to CPU
         labels_host = dlabels.copy_to_host()

@@ -118,6 +118,11 @@ class ServiceReport:
                 d["profile"]["allocator"] = dict(self.profile.allocator)
             if self.profile.transfers:
                 d["profile"]["transfers"] = dict(self.profile.transfers)
+            if self.profile.kernels:
+                d["profile"]["kernels"] = {
+                    name: dict(slot)
+                    for name, slot in self.profile.kernels.items()
+                }
         return d
 
     def to_json(self, indent: int | None = 2) -> str:
@@ -178,6 +183,18 @@ class ServiceReport:
                     f"{'transfer overlap (sim s)':<28}"
                     f"{tr.get('overlap_s', 0.0):>16.4f}"
                 )
+            if self.profile.kernels:
+                top = sorted(
+                    self.profile.kernels.items(),
+                    key=lambda kv: kv[1]["seconds"],
+                    reverse=True,
+                )[:5]
+                for name, slot in top:
+                    label = f"kernel {name}"[:27]
+                    lines.append(
+                        f"{label:<28}"
+                        f"{slot['seconds']:>10.4f} x{slot['count']:>4}"
+                    )
         return "\n".join(lines)
 
 

@@ -48,7 +48,7 @@ class TestZeroLiveBytes:
             FaultSpec(site="cuda.alloc", fault="oom", nth=1, stage="kmeans"),
             FaultSpec(site="cuda.kernel:ScaleElements*", fault="transient",
                       prob=1.0, max_fires=None),
-            FaultSpec(site="cublas.*", fault="transient",
+            FaultSpec(site="cuda.kernel:fused_assign", fault="transient",
                       prob=1.0, max_fires=None, stage="kmeans"),
             FaultSpec(site="cusparse.*mv", fault="transient",
                       prob=1.0, max_fires=None, stage="eigensolver"),
@@ -72,7 +72,7 @@ class TestZeroLiveBytes:
             ("cusparse.*mv", "eigensolver", "transient"),
             ("cuda.d2h", "eigensolver", "transfer"),
             ("cuda.alloc", "eigensolver", "oom"),
-            ("cublas.*", "kmeans", "transient"),
+            ("cuda.kernel:fused_assign", "kmeans", "transient"),
             ("cuda.alloc", "kmeans", "oom"),
             ("cuda.h2d", "kmeans", "transfer"),
         ],

@@ -35,8 +35,9 @@ MATRIX = [
                                 nth=2, stage="kmeans")),
     ("kmeans", "transfer", FaultSpec(site="cuda.h2d", fault="transfer",
                                      nth=1, stage="kmeans")),
-    ("kmeans", "transient", FaultSpec(site="cublas.*", fault="transient",
-                                      nth=1, stage="kmeans")),
+    ("kmeans", "transient", FaultSpec(site="cuda.kernel:fused_assign",
+                                      fault="transient", nth=1,
+                                      stage="kmeans")),
 ]
 
 
@@ -121,7 +122,7 @@ class TestCpuFallback:
     def test_kmeans_fallback_recovers_truth(self, sbm_graph):
         W, truth = sbm_graph
         plan = FaultPlan(
-            [FaultSpec(site="cublas.*", fault="transient",
+            [FaultSpec(site="cuda.kernel:fused_assign", fault="transient",
                        prob=1.0, max_fires=None, stage="kmeans")]
         )
         res = SpectralClustering(n_clusters=6, seed=0, chaos=plan).fit(graph=W)
@@ -197,7 +198,9 @@ class TestEverySiteFires:
             ("cusparse.hybmv", None, {"eig_spmv_format": "hyb"}),
             ("cusparse.csr2ell", None, {"eig_spmv_format": "ell"}),
             ("cusparse.csr2hyb", None, {"eig_spmv_format": "hyb"}),
-            ("cublas.*", "kmeans", {}),
+            ("cuda.kernel:fused_assign", "kmeans", {}),
+            ("cuda.kernel:label_histogram", "kmeans", {}),
+            ("cublas.*", "kmeans", {"kmeans_fused": False}),
         ],
         ids=lambda v: v if isinstance(v, str) else None,
     )

@@ -97,6 +97,21 @@ class TestProfiler:
         assert rep.by_category.get("kernel", 0.0) > 0
         assert sum(rep.by_category.values()) == pytest.approx(rep.total)
 
+    def test_per_kernel_breakdown(self, device):
+        prof = Profiler(device)
+        prof.start()
+        device.charge_kernel("fused_assign", 1e6, 1e6)
+        device.charge_kernel("fused_assign", 1e6, 1e6)
+        device.charge_kernel("cusparseDcsrmm", 2e6, 2e6)
+        rep = prof.stop()
+        assert rep.kernels["fused_assign"]["count"] == 2
+        assert rep.kernels["cusparseDcsrmm"]["count"] == 1
+        assert rep.kernels["fused_assign"]["seconds"] > 0
+        assert sum(s["seconds"] for s in rep.kernels.values()) == pytest.approx(
+            rep.by_category["kernel"]
+        )
+        assert sum(s["count"] for s in rep.kernels.values()) == rep.kernel_launches
+
 
 class TestMergeReports:
     def test_merge_sums_all_axes(self, device, rng):
@@ -119,6 +134,10 @@ class TestMergeReports:
         assert merged.kernel_launches == 2
         assert merged.by_stage["kmeans"] == pytest.approx(
             sum(r.by_stage["kmeans"] for r in reps)
+        )
+        assert merged.kernels["k"]["count"] == 2
+        assert merged.kernels["k"]["seconds"] == pytest.approx(
+            sum(r.kernels["k"]["seconds"] for r in reps)
         )
 
     def test_merge_empty_iterable(self):

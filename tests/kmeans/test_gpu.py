@@ -65,9 +65,23 @@ class TestInvariants:
 
 
 class TestDeviceMechanics:
-    def test_uses_gemm_and_sort(self, device, blobs):
+    def test_default_path_is_fused_spmm(self, device, blobs):
         V, _, k = blobs
         kmeans_device(device, V, k, seed=0)
+        names = [e.name for e in device.timeline]
+        assert any("fused_assign" in n for n in names)
+        assert any("label_histogram" in n for n in names)
+        assert any("exclusive_scan" in n for n in names)
+        assert any("cusparseDcsrmm" in n for n in names)
+        assert any("tile_inertia" in n for n in names)
+        # the fused/SpMM path issues none of the discrete-kernel machinery
+        assert not any("sort_by_key" in n for n in names)
+        assert not any("cublasDgemm" in n for n in names)
+        assert not any("count_changes" in n for n in names)
+
+    def test_sort_path_uses_gemm_and_sort(self, device, blobs):
+        V, _, k = blobs
+        kmeans_device(device, V, k, seed=0, centroid_update="sort", fused=False)
         names = [e.name for e in device.timeline]
         assert any("cublasDgemm" in n for n in names)
         assert any("sort_by_key" in n for n in names)
@@ -134,3 +148,121 @@ class TestDeviceMechanics:
         V, _, k = blobs
         with pytest.raises(ClusteringError):
             kmeans_device(device, V, k, distance_method="manhattan")
+
+    def test_unknown_centroid_update(self, device, blobs):
+        V, _, k = blobs
+        with pytest.raises(ClusteringError):
+            kmeans_device(device, V, k, centroid_update="atomic")
+
+
+#: every (centroid_update, fused) combination the ablation pins
+KNOB_GRID = [("spmm", True), ("spmm", False), ("sort", True), ("sort", False)]
+
+
+class TestKnobParity:
+    """The perf knobs change charged time, never a bit of the results."""
+
+    def _run(self, V, k, C0, update, fused, **kw):
+        return kmeans_device(
+            Device(), V, k, initial_centroids=C0,
+            centroid_update=update, fused=fused, max_iter=60, **kw
+        )
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_bit_identical_across_knob_grid(self, seed):
+        r = np.random.default_rng(seed)
+        V = r.random((150, 5))
+        k = 7
+        C0 = kmeans_plus_plus(V, k, np.random.default_rng(seed + 1))
+        ref = self._run(V, k, C0, "sort", False)
+        for update, fused in KNOB_GRID:
+            res = self._run(V, k, C0, update, fused)
+            assert np.array_equal(res.labels, ref.labels)
+            assert res.centroids.tobytes() == ref.centroids.tobytes()
+            assert res.n_iter == ref.n_iter
+            assert res.converged == ref.converged
+            hist = np.asarray(res.inertia_history)
+            assert hist.tobytes() == np.asarray(ref.inertia_history).tobytes()
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_bit_identical_under_tiling(self, seed):
+        """Fused tiles + on-device change count: tiling never changes bits."""
+        r = np.random.default_rng(seed + 100)
+        V = r.random((123, 4))
+        k = 6
+        C0 = kmeans_plus_plus(V, k, np.random.default_rng(seed))
+        ref = self._run(V, k, C0, "spmm", True)
+        tiled = self._run(V, k, C0, "spmm", True, tile_rows=17)
+        assert np.array_equal(tiled.labels, ref.labels)
+        assert tiled.centroids.tobytes() == ref.centroids.tobytes()
+        assert np.asarray(tiled.inertia_history).tobytes() == np.asarray(
+            ref.inertia_history
+        ).tobytes()
+
+    def test_bit_identical_with_empty_cluster_repair(self):
+        """Duplicated points force empty clusters; the repair rule must fire
+        identically on every knob combination."""
+        r = np.random.default_rng(7)
+        base = r.random((8, 3))
+        V = np.repeat(base, 6, axis=0)  # 48 points, only 8 distinct
+        k = 12  # more clusters than distinct points -> guaranteed repair
+        C0 = V[:k] + r.random((k, 3)) * 1e-3
+        ref = self._run(V, k, C0, "sort", False)
+        assert np.all(np.bincount(ref.labels, minlength=k) >= 1)
+        for update, fused in KNOB_GRID:
+            res = self._run(V, k, C0, update, fused)
+            assert np.array_equal(res.labels, ref.labels)
+            assert res.centroids.tobytes() == ref.centroids.tobytes()
+
+    def test_spmm_fused_is_faster(self, blobs):
+        """The rebuilt default beats the paper's sort+discrete pipeline."""
+        V, _, k = blobs
+        C0 = np.asarray(V[:k])
+        dev_new, dev_old = Device(), Device()
+        kmeans_device(dev_new, V, k, initial_centroids=C0)
+        kmeans_device(
+            dev_old, V, k, initial_centroids=C0,
+            centroid_update="sort", fused=False,
+        )
+        assert dev_new.timeline.total(tag="kmeans") < dev_old.timeline.total(
+            tag="kmeans"
+        )
+
+
+class TestIterationAllocations:
+    """The Lloyd loop's working set is allocated once, before the loop."""
+
+    @staticmethod
+    def _total_allocs(device):
+        stats = device.alloc_stats()
+        return stats["hits"] + stats["misses"]
+
+    def test_default_path_zero_allocs_per_iteration(self):
+        r = np.random.default_rng(0)
+        V = r.random((300, 6))
+        C0 = np.asarray(V[:10])
+        totals = []
+        for max_iter in (1, 6):
+            dev = Device()
+            res = kmeans_device(dev, V, 10, initial_centroids=C0, max_iter=max_iter)
+            assert res.n_iter == max_iter  # genuinely ran the extra trips
+            totals.append(self._total_allocs(dev))
+        assert totals[0] == totals[1], (
+            "extra Lloyd iterations must not allocate device memory"
+        )
+
+    def test_sort_path_allocates_per_iteration(self):
+        """The ablation baseline still pays ~7 allocations per trip."""
+        r = np.random.default_rng(0)
+        V = r.random((300, 6))
+        C0 = np.asarray(V[:10])
+        totals = []
+        for max_iter in (1, 6):
+            dev = Device()
+            res = kmeans_device(
+                dev, V, 10, initial_centroids=C0, max_iter=max_iter,
+                centroid_update="sort", fused=False,
+            )
+            assert res.n_iter == max_iter
+            totals.append(self._total_allocs(dev))
+        assert totals[1] == totals[0] + 5 * 7

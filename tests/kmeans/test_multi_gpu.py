@@ -32,6 +32,40 @@ class TestParity:
         assert np.allclose(single.centroids, multi.centroids)
         assert single.n_iter == multi.n_iter
 
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("n_dev", [2, 3])
+    def test_multi_seed_parity(self, seed, n_dev):
+        """Sharded runs agree with one device across seeds and pool sizes."""
+        r = np.random.default_rng(seed)
+        V = r.random((400, 5))
+        k = 6
+        C0 = kmeans_plus_plus(V, k, np.random.default_rng(seed + 10))
+        single = kmeans_device(Device(), V, k, initial_centroids=C0)
+        multi, _ = kmeans_multi_device(
+            [Device() for _ in range(n_dev)], V, k, initial_centroids=C0
+        )
+        assert np.array_equal(single.labels, multi.labels)
+        assert np.allclose(single.centroids, multi.centroids)
+        assert single.n_iter == multi.n_iter
+        assert single.converged == multi.converged
+
+    @pytest.mark.parametrize("n_dev", [1, 2, 3])
+    def test_empty_cluster_repair_parity(self, n_dev):
+        """Duplicated points force the empty-cluster repair rule; the
+        sharded path must apply it exactly like the single-device path."""
+        r = np.random.default_rng(7)
+        base = r.random((8, 3))
+        V = np.repeat(base, 6, axis=0)  # 48 points, only 8 distinct
+        k = 12  # more clusters than distinct points -> guaranteed repair
+        C0 = V[:k] + r.random((k, 3)) * 1e-3
+        single = kmeans_device(Device(), V, k, initial_centroids=C0)
+        multi, _ = kmeans_multi_device(
+            [Device() for _ in range(n_dev)], V, k, initial_centroids=C0
+        )
+        assert np.all(np.bincount(multi.labels, minlength=k) >= 1)
+        assert np.array_equal(single.labels, multi.labels)
+        assert np.allclose(single.centroids, multi.centroids)
+
     def test_inertia_monotone(self, big_blobs):
         V, _, k = big_blobs
         res, _ = kmeans_multi_device(
