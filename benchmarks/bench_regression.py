@@ -56,6 +56,7 @@ def test_emit_machine_readable_summary(comparison):
     import json
 
     from bench_ablation_kmeans import kmeans_ablation_summary
+    from bench_multigpu_eig import multigpu_eig_summary
     from bench_serve_throughput import serve_summary
 
     payload = {"schema_version": 1, "datasets": {}}
@@ -79,6 +80,7 @@ def test_emit_machine_readable_summary(comparison):
         }
     payload["serve"] = serve_summary()
     payload["kmeans_ablation"] = kmeans_ablation_summary()
+    payload["multigpu_eig"] = multigpu_eig_summary()
     out = Path(__file__).parent.parent / "BENCH_regression.json"
     out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     written = json.loads(out.read_text())
@@ -86,3 +88,6 @@ def test_emit_machine_readable_summary(comparison):
     assert written["serve"]["speedup"] >= 2.0
     assert written["kmeans_ablation"]["bit_identical"] is True
     assert written["kmeans_ablation"]["speedup_default_vs_baseline"] > 1.0
+    assert written["multigpu_eig"]["bit_identical"] is True
+    for wl in written["multigpu_eig"]["workloads"].values():
+        assert wl["configs"]["2"]["speedup_vs_1dev"] > 1.0

@@ -50,6 +50,52 @@ def compare(baseline: dict, current: dict, rel_tol: float) -> list[str]:
                 "(quality must be bit-identical)"
             )
     failures.extend(_compare_kmeans_ablation(baseline, current, rel_tol))
+    failures.extend(_compare_multigpu_eig(baseline, current, rel_tol))
+    return failures
+
+
+def _compare_multigpu_eig(
+    baseline: dict, current: dict, rel_tol: float
+) -> list[str]:
+    """Gate the multi-GPU eigensolver: sharding must stay bit-identical,
+    keep its 2-device win, and no config's makespan may creep."""
+    failures: list[str] = []
+    base = baseline.get("multigpu_eig")
+    cur = current.get("multigpu_eig")
+    if base is None:
+        return failures
+    if cur is None:
+        return ["multigpu_eig: section missing from current run"]
+    if cur.get("bit_identical") is not True:
+        failures.append(
+            "multigpu_eig.bit_identical: device counts diverged "
+            "(spectra must be bit-identical)"
+        )
+    for name in sorted(base.get("workloads", {})):
+        if name not in cur.get("workloads", {}):
+            failures.append(f"multigpu_eig.{name}: workload missing")
+            continue
+        base_cfg = base["workloads"][name]["configs"]
+        cur_cfg = cur["workloads"][name]["configs"]
+        for p in sorted(base_cfg):
+            if p not in cur_cfg:
+                failures.append(f"multigpu_eig.{name}[{p}]: config missing")
+                continue
+            old = base_cfg[p]["eig_simulated_s"]
+            new = cur_cfg[p]["eig_simulated_s"]
+            if old > 0 and new > old * (1.0 + rel_tol):
+                failures.append(
+                    f"multigpu_eig.{name}[{p}].eig_simulated_s: "
+                    f"{old:.6g} -> {new:.6g} "
+                    f"(+{(new / old - 1.0) * 100:.1f}%, tolerance "
+                    f"{rel_tol * 100:.0f}%)"
+                )
+        speedup = cur_cfg.get("2", {}).get("speedup_vs_1dev")
+        if speedup is not None and speedup <= 1.0:
+            failures.append(
+                f"multigpu_eig.{name}: 2-device speedup {speedup:.3g}x "
+                "lost the win over one device"
+            )
     return failures
 
 
@@ -118,6 +164,16 @@ def main(argv: list[str] | None = None) -> int:
         for combo in sorted(ablation.get("combos", {})):
             t = ablation["combos"][combo]["total_simulated_s"]
             print(f"kmeans ablation {combo:14s} total {t:.6g} s  ok")
+    multigpu = current.get("multigpu_eig")
+    if multigpu:
+        for name in sorted(multigpu.get("workloads", {})):
+            cfg = multigpu["workloads"][name]["configs"]
+            for p in sorted(cfg, key=int):
+                print(
+                    f"multigpu eig {name:8s} x{p} "
+                    f"eig {cfg[p]['eig_simulated_s']:.6g} s  "
+                    f"({cfg[p]['speedup_vs_1dev']:.2f}x)  ok"
+                )
     print("bench regression gate passed")
     return 0
 

@@ -51,6 +51,7 @@ KNOWN_SITES = (
     "cuda.alloc",
     "cuda.h2d",
     "cuda.d2h",
+    "cuda.p2p",
     "cuda.kernel:*",
     "cuda.stream.sync",
     "cuda.stream.event",
@@ -58,6 +59,9 @@ KNOWN_SITES = (
     "cusparse.coomv",
     "cusparse.ellmv",
     "cusparse.hybmv",
+    "cusparse.csrmm",
+    "cusparse.ellmm",
+    "cusparse.hybmm",
     "cusparse.csr2ell",
     "cusparse.csr2hyb",
     "cublas.*",

@@ -63,6 +63,7 @@ def _cmd_run(args) -> int:
     k = args.clusters if args.clusters else ds.n_clusters
     sc = SpectralClustering(
         n_clusters=k, eig_tol=args.tol, seed=args.seed,
+        eig_devices=args.eig_devices,
         chaos=args.chaos,
         resilience=DISABLED if args.no_resilience else None,
     )
@@ -232,6 +233,10 @@ def build_parser() -> argparse.ArgumentParser:
     common(run_p)
     run_p.add_argument("--clusters", type=int, default=0,
                        help="override the dataset's cluster count")
+    run_p.add_argument("--eig-devices", type=int, default=1,
+                       help="shard the eigensolver's SpMV across this many "
+                       "simulated devices (row partition + overlapped halo "
+                       "exchange; results are bit-identical)")
     run_p.add_argument("--chaos", type=int, default=None, metavar="SEED",
                        help="inject a deterministic fault schedule derived "
                        "from SEED (see repro.chaos)")

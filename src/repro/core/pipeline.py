@@ -171,6 +171,15 @@ class SpectralClustering:
         SpMV operand format for the eigensolver: 'auto' (default) lets
         the row-length-statistics autotuner choose between 'csr', 'ell'
         and 'hyb'; or force one.  Format only changes charged time.
+    eig_devices:
+        Shard the eigensolver across this many simulated GPUs (default
+        1).  The normalized operator splits into row blocks with
+        local/halo column separation; each SpMV overlaps the local
+        kernel with device-to-device halo exchange on copy streams
+        (:mod:`repro.cusparse.partition`).  Spectra, embeddings and
+        labels are bit-identical to the single-device run — only the
+        charged makespan changes.  Requires ``eig_residency='device'``
+        and a CSR-compatible ``eig_spmv_format`` ('auto' or 'csr').
     kmeans_init:
         'k-means++' (paper's choice) or 'random'.
     kmeans_max_iter:
@@ -219,6 +228,7 @@ class SpectralClustering:
         eig_maxiter: int | None = None,
         eig_residency: str = "device",
         eig_spmv_format: str = "auto",
+        eig_devices: int = 1,
         kmeans_init: str = "k-means++",
         kmeans_max_iter: int = 300,
         kmeans_update: str = "spmm",
@@ -251,6 +261,19 @@ class SpectralClustering:
                 f"eig_spmv_format must be 'auto', 'csr', 'ell' or 'hyb', "
                 f"got {eig_spmv_format!r}"
             )
+        if not isinstance(eig_devices, int) or eig_devices < 1:
+            raise ClusteringError(
+                f"eig_devices must be an int >= 1, got {eig_devices!r}"
+            )
+        if eig_devices > 1 and eig_residency != "device":
+            raise ClusteringError(
+                "eig_devices > 1 requires eig_residency='device'"
+            )
+        if eig_devices > 1 and eig_spmv_format not in ("auto", "csr"):
+            raise ClusteringError(
+                "eig_devices > 1 requires eig_spmv_format 'auto' or 'csr' "
+                "(row blocks are stored as split local/halo CSR)"
+            )
         if kmeans_update not in ("spmm", "sort"):
             raise ClusteringError(
                 f"kmeans_update must be 'spmm' or 'sort', got {kmeans_update!r}"
@@ -270,6 +293,7 @@ class SpectralClustering:
         self.eig_maxiter = eig_maxiter
         self.eig_residency = eig_residency
         self.eig_spmv_format = eig_spmv_format
+        self.eig_devices = eig_devices
         self.kmeans_init = kmeans_init
         self.kmeans_max_iter = kmeans_max_iter
         self.kmeans_update = kmeans_update
@@ -621,7 +645,7 @@ class SpectralClustering:
             device, dcsr, k=self.n_clusters, m=self.m,
             tol=self.eig_tol, maxiter=self.eig_maxiter, seed=self.seed,
             policy=policy, residency=self.eig_residency,
-            spmv_format=self.eig_spmv_format,
+            spmv_format=self.eig_spmv_format, n_devices=self.eig_devices,
         )
         _note(resilience, "eigensolver", {
             "retries": stats.spmv_retries,

@@ -29,6 +29,12 @@ from repro.cuda.memory import BufferGroup
 from repro.cuda.stream import Stream
 from repro.cusparse.formats import autotune_format, convert_for_spmv
 from repro.cusparse.matrices import DeviceCSR
+from repro.cusparse.partition import (
+    PartitionedCSR,
+    partition_bounds,
+    partition_csr,
+    spmv_partitioned,
+)
 from repro.cusparse.spmv import csrmv, spmv_any
 from repro.errors import CudaError, DeviceMemoryError
 from repro.hw.costmodel import CPUCostModel
@@ -70,10 +76,16 @@ class EigStats:
     spmv_format: str = "csr"
     bytes_h2d: int = 0
     bytes_d2h: int = 0
+    bytes_p2p: int = 0
+    n_p2p: int = 0
     transfers_elided: int = 0
     bytes_elided: int = 0
     transfer_overlap_s: float = 0.0
     format_decision: dict | None = None
+    n_devices: int = 1
+    #: row-partitioning evidence when ``n_devices > 1`` (bounds, halo
+    #: counts, per-step halo bytes, one-time shard distribution bytes)
+    partition: dict | None = None
 
     def as_dict(self) -> dict:
         return dict(
@@ -92,10 +104,14 @@ class EigStats:
             spmv_format=self.spmv_format,
             bytes_h2d=self.bytes_h2d,
             bytes_d2h=self.bytes_d2h,
+            bytes_p2p=self.bytes_p2p,
+            n_p2p=self.n_p2p,
             transfers_elided=self.transfers_elided,
             bytes_elided=self.bytes_elided,
             transfer_overlap_s=self.transfer_overlap_s,
             format_decision=self.format_decision,
+            n_devices=self.n_devices,
+            partition=self.partition,
         )
 
 
@@ -189,6 +205,97 @@ def charge_restart_device(
         qbuf.free()
 
 
+def _sum_transfer_stats(devices: list[Device]) -> dict:
+    """Aggregate :meth:`Device.transfer_stats` over a device group."""
+    out: dict = {}
+    for dev in devices:
+        for key, val in dev.transfer_stats().items():
+            out[key] = out.get(key, 0) + val
+    return out
+
+
+def charge_takestep_multi(
+    devices: list[Device], bounds: np.ndarray, j_avg: float
+) -> None:
+    """Charge one ``TakeStep`` with the basis row-partitioned over devices.
+
+    Each GPU runs the two reorthogonalization gemvs over its own basis
+    block concurrently (laid at a common start on the shared timeline, so
+    the step costs the makespan over devices).  The ``2j`` projection
+    coefficients are per-step scalar state and stay elided, the same
+    convention the single-device device-resident path uses for per-step
+    coefficient traffic — only restart-boundary state crosses a bus.
+    """
+    timeline = devices[0].timeline
+    t0 = timeline.clock.now
+    for d, dev in enumerate(devices):
+        nd = int(bounds[d + 1] - bounds[d])
+        flops = 2.0 * j_avg * nd
+        bytes_moved = (j_avg * nd + 2.0 * nd) * 8.0
+        dt_proj = dev.cost.kernel_time(flops, bytes_moved, kind="stream")
+        timeline.record_at(
+            f"cublasDgemv[proj,dev{d}]", "kernel", t0, dt_proj
+        )
+        dt_upd = dev.cost.kernel_time(flops, bytes_moved, kind="stream")
+        timeline.record_at(
+            f"cublasDgemv[update,dev{d}]", "kernel", t0 + dt_proj, dt_upd
+        )
+        dev.kernel_launches += 2
+
+
+def charge_restart_multi(
+    devices: list[Device],
+    cpu: CPUCostModel,
+    copy_streams: list[Stream],
+    bounds: np.ndarray,
+    m: int,
+    kp: int,
+) -> None:
+    """Charge one implicit restart with the basis sharded over devices.
+
+    The ``2m`` tridiagonal coefficients allgather to the host from device
+    0 (they are replicated scalar state), the host runs ``dsteqr`` + the
+    shift sweeps once, and the ``m x kp`` rotation ``Q`` broadcasts to
+    *every* device on its copy engine — each destination has its own bus
+    link, so the copies land concurrently, hidden behind the host math.
+    The basis update ``V <- V Q`` then runs as one gemm per device over
+    its own row block, concurrent across devices.
+    """
+    primary = devices[0]
+    timeline = primary.timeline
+    coef = primary.empty(2 * m, dtype=np.float64)
+    qbuf = primary.empty((m, kp), dtype=np.float64)
+    try:
+        primary._record_d2h(coef.nbytes)
+        t_host = timeline.clock.now
+        primary.charge_cpu("dsteqr[T]", cpu.blas3_time(15.0 * m**3, threads=1))
+        primary.charge_cpu(
+            "qr_sweeps", cpu.blas3_time(6.0 * (m - kp) * m * m, threads=1)
+        )
+        t_cpu_done = timeline.clock.now
+        q_ready = []
+        for cs in copy_streams:
+            _, end = cs.enqueue_h2d(qbuf.nbytes, ready_at=t_host)
+            q_ready.append(end)
+        for d, dev in enumerate(devices):
+            nd = int(bounds[d + 1] - bounds[d])
+            dt = dev.cost.kernel_time(
+                2.0 * nd * m * kp,
+                (nd * m + m * kp + 2.0 * nd * kp) * 8.0,
+                kind="dense",
+            )
+            timeline.record_at(
+                f"cublasDgemm[VQ,dev{d}]",
+                "kernel",
+                max(t_cpu_done, q_ready[d]),
+                dt,
+            )
+            dev.kernel_launches += 1
+    finally:
+        coef.free()
+        qbuf.free()
+
+
 def hybrid_eigensolver(
     device: Device,
     A: DeviceCSR,
@@ -203,6 +310,7 @@ def hybrid_eigensolver(
     policy: ResiliencePolicy = DISABLED,
     residency: str = "device",
     spmv_format: str = "auto",
+    n_devices: int = 1,
 ) -> tuple[np.ndarray, np.ndarray, EigStats]:
     """Algorithm 3: the reverse-communication loop with GPU SpMV.
 
@@ -237,6 +345,18 @@ def hybrid_eigensolver(
         statistics via the cost-model autotuner; or force one format.
         All formats share one reference substrate arithmetic, so this only
         changes charged time.
+    n_devices:
+        Shard the solve across this many GPUs (default 1).  The operator
+        is split into row blocks (:mod:`repro.cusparse.partition`), each
+        SpMV runs a local kernel immediately while halo segments of the
+        iteration vector travel device-to-device on dedicated copy
+        streams, the Lanczos basis lives in per-device blocks, and the
+        restart rotation applies as one gemm per device; the ``2m``
+        restart coefficients allgather to the host as before.  Requires
+        ``residency="device"`` and CSR (the row blocks are stored as
+        split local/halo CSR).  Numerics are computed through the
+        canonical substrate on every path, so spectra are bit-identical
+        to ``n_devices=1`` — only the charged makespan changes.
 
     Returns
     -------
@@ -252,6 +372,19 @@ def hybrid_eigensolver(
             f"spmv_format must be one of {SPMV_FORMAT_CHOICES}, "
             f"got {spmv_format!r}"
         )
+    if n_devices < 1:
+        raise ValueError(f"n_devices must be >= 1, got {n_devices}")
+    if n_devices > 1:
+        if residency != "device":
+            raise ValueError(
+                "n_devices > 1 requires residency='device' (the row-"
+                "partitioned basis blocks live on the GPUs)"
+            )
+        if spmv_format not in ("auto", "csr"):
+            raise ValueError(
+                "n_devices > 1 stores row blocks as split local/halo CSR; "
+                f"spmv_format={spmv_format!r} is not supported"
+            )
     n = A.shape[0]
     cpu = CPUCostModel(cpu_spec)
     t0 = time.perf_counter()
@@ -265,7 +398,26 @@ def hybrid_eigensolver(
     round_trips = 0
     fallback: str | None = None
     prob: SymEigProblem | None = None
+    # peer devices start with zeroed counters, so summing over the group
+    # after the solve still yields correct deltas against the primary-only
+    # snapshot taken here
     transfers_before = device.transfer_stats()
+
+    # ---- multi-device context (shared timeline, own allocators/streams) --
+    all_devices = [device]
+    if n_devices > 1:
+        all_devices += [
+            Device(device.spec, device.pcie, timeline=device.timeline)
+            for _ in range(n_devices - 1)
+        ]
+    copy_streams = [
+        Stream(dev, name=f"dev{d}/copyEngine")
+        for d, dev in enumerate(all_devices)
+    ]
+    bounds = partition_bounds(n, n_devices) if n_devices > 1 else None
+    shard_upload_total = 0
+    n_matvec = 0
+    ledger_multi: TransferLedger | None = None
 
     def note_cp(cp: LanczosCheckpoint) -> None:
         nonlocal latest_cp
@@ -290,14 +442,19 @@ def hybrid_eigensolver(
         decision = None
         fmt = spmv_format
         if fmt == "auto":
-            # re-runs on the same device rank candidates by the kernel
-            # times actually recorded on earlier solves of this operator,
-            # falling back to the roofline prediction for untimed formats
-            decision = autotune_format(
-                A.indptr.data, device.cost,
-                measured=device.measured_spmv_times(n, A.nnz) or None,
-            )
-            fmt = decision.format
+            if n_devices > 1:
+                # the partitioned path stores row blocks as split CSR
+                fmt = "csr"
+            else:
+                # re-runs on the same device rank candidates by the kernel
+                # times actually recorded on earlier solves of this
+                # operator, falling back to the roofline prediction for
+                # untimed formats
+                decision = autotune_format(
+                    A.indptr.data, device.cost,
+                    measured=device.measured_spmv_times(n, A.nnz) or None,
+                )
+                fmt = decision.format
         A_op = A
 
         def materialize_op() -> None:
@@ -320,8 +477,88 @@ def hybrid_eigensolver(
         while True:
             bufs = BufferGroup()
             dx = dy = None
+            part: PartitionedCSR | None = None
             try:
-                if residency == "device":
+                if residency == "device" and n_devices > 1:
+                    # ---- row-partitioned multi-GPU loop ------------------
+                    # per-device workspace: x/y shard pair plus this
+                    # device's (m, n_d) block of the Lanczos basis
+                    def alloc_workspace_multi():
+                        group = BufferGroup()
+                        xs_, ys_ = [], []
+                        try:
+                            for d, dev in enumerate(all_devices):
+                                nd = int(bounds[d + 1] - bounds[d])
+                                xs_.append(
+                                    group.add(dev.empty(nd, dtype=np.float64))
+                                )
+                                ys_.append(
+                                    group.add(dev.empty(nd, dtype=np.float64))
+                                )
+                                group.add(
+                                    dev.empty((m_eff, nd), dtype=np.float64)
+                                )  # basis block V_d
+                        except BaseException:
+                            group.free_all()
+                            raise
+                        return group, xs_, ys_
+
+                    bufs, xs, ys = with_retry(
+                        alloc_workspace_multi, device, policy,
+                        site="eig.alloc",
+                        errors=TRANSIENT_ERRORS + (DeviceMemoryError,),
+                        on_retry=count_retry,
+                    )
+                    # distribute the operator: row blocks to each device,
+                    # split into local/halo parts (P2P + split kernels
+                    # charged as a makespan over devices)
+                    part = partition_csr(A, all_devices, rows_cache=rows_cache)
+                    shard_upload_total += part.shard_upload_bytes
+                    ledger_multi = TransferLedger(
+                        n=n, m=m_eff, k=k, n_devices=n_devices,
+                        halo_counts=part.halo_counts,
+                        halo_pairs=part.halo_pairs,
+                    )
+                    ledger = ledger_multi
+                    # scatter the seed (or the resumed factorization) —
+                    # each device uploads its row slice concurrently
+                    t_seed = device.timeline.clock.now
+                    seed_parts = ledger.shard_split(
+                        ledger.seed_h2d_bytes(latest_cp)
+                    )
+                    for dev, nbytes in zip(all_devices, seed_parts):
+                        if nbytes:
+                            dev._record_h2d_at(nbytes, t_seed)
+
+                    def on_restart_multi(_r: int) -> None:
+                        charge_restart_multi(
+                            all_devices, cpu, copy_streams, bounds, m_eff, k
+                        )
+
+                    prob = make_prob(restart_cb=on_restart_multi)
+                    P = part
+                    while not prob.converged():
+                        prob.take_step()
+                        charge_takestep_multi(all_devices, bounds, j_avg)
+                        if prob.needs_matvec():
+                            xh = prob.get_vector()
+                            for d, xd in enumerate(xs):
+                                xd.data[...] = xh[bounds[d]:bounds[d + 1]]
+                            yh = with_retry(
+                                lambda: spmv_partitioned(P, xh),
+                                device, policy,
+                                site="eig.spmv", on_retry=count_retry,
+                            )
+                            for d, yd in enumerate(ys):
+                                yd.data[...] = yh[bounds[d]:bounds[d + 1]]
+                            prob.put_vector(yh)
+                            n_matvec += 1
+                            device.note_elided_transfer(
+                                2, ledger.step_roundtrip_bytes()
+                            )
+                    part.free()
+                    part = None
+                elif residency == "device":
                     # persistent workspace: the ping-pong pair plus the
                     # (m, n) Lanczos basis live on the device for the whole
                     # solve; a transient alloc hiccup is retryable
@@ -419,6 +656,8 @@ def hybrid_eigensolver(
                 bufs.free_all()
                 break
             except CudaError:
+                if part is not None:
+                    part.free()
                 bufs.free_all()
                 drop_op()
                 if not policy.enabled:
@@ -460,18 +699,36 @@ def hybrid_eigensolver(
         theta, U = prob.find_eigenvectors()
         res = prob.result
         if residency == "device" and fallback is None:
-            # restarts were charged inline (charge_restart_device); the
-            # Ritz basis assembles on-device, then U comes down once
-            def assemble_ritz() -> None:
-                device.charge_kernel(
-                    "cublasDgemm[ritz]",
-                    flops=2.0 * n * prob.m * k,
-                    bytes_moved=(n * prob.m + prob.m * k + 2.0 * n * k) * 8.0,
-                    kind="dense",
-                )
-                device._record_d2h(
-                    TransferLedger(n=n, m=prob.m, k=k).result_d2h_bytes()
-                )
+            # restarts were charged inline (charge_restart_device /
+            # charge_restart_multi); the Ritz basis assembles on-device,
+            # then U comes down once
+            if n_devices > 1:
+                # each device rotates its own basis block and ships its
+                # row slice down concurrently; slices sum to exactly n*k*8
+                def assemble_ritz() -> None:
+                    tl = device.timeline
+                    t_r = tl.clock.now
+                    for d, dev in enumerate(all_devices):
+                        nd = int(bounds[d + 1] - bounds[d])
+                        dt = dev.cost.kernel_time(
+                            2.0 * nd * prob.m * k,
+                            (nd * prob.m + prob.m * k + 2.0 * nd * k) * 8.0,
+                            kind="dense",
+                        )
+                        tl.record_at(f"cublasDgemm[ritz,dev{d}]", "kernel", t_r, dt)
+                        dev.kernel_launches += 1
+                        dev._record_d2h_at(nd * k * 8, t_r + dt)
+            else:
+                def assemble_ritz() -> None:
+                    device.charge_kernel(
+                        "cublasDgemm[ritz]",
+                        flops=2.0 * n * prob.m * k,
+                        bytes_moved=(n * prob.m + prob.m * k + 2.0 * n * k) * 8.0,
+                        kind="dense",
+                    )
+                    device._record_d2h(
+                        TransferLedger(n=n, m=prob.m, k=k).result_d2h_bytes()
+                    )
 
             with_retry(
                 assemble_ritz, device, policy,
@@ -482,7 +739,7 @@ def hybrid_eigensolver(
                 charge_restart(device, cpu, n, prob.m, k)
             charge_find_eigenvectors(device, cpu, n, prob.m, k)
     wall = time.perf_counter() - t0
-    transfers_after = device.transfer_stats()
+    transfers_after = _sum_transfer_stats(all_devices)
     observed = _harvest_spmv_times(device, n, A.nnz, events_before)
     format_decision = decision.as_dict() if decision is not None else None
     if format_decision is not None:
@@ -519,6 +776,21 @@ def hybrid_eigensolver(
             transfers_after["overlap_s"] - transfers_before["overlap_s"]
         ),
         format_decision=format_decision,
+        bytes_p2p=transfers_after["bytes_p2p"] - transfers_before["bytes_p2p"],
+        n_p2p=transfers_after["n_p2p"] - transfers_before["n_p2p"],
+        n_devices=n_devices,
+        partition=(
+            {
+                "bounds": [int(b) for b in bounds],
+                "halo_counts": list(ledger_multi.halo_counts),
+                "halo_pairs": ledger_multi.halo_pairs,
+                "step_halo_bytes": ledger_multi.step_halo_bytes(),
+                "shard_upload_bytes": shard_upload_total,
+                "n_matvec": n_matvec,
+            }
+            if n_devices > 1 and ledger_multi is not None
+            else None
+        ),
     )
     return theta, U, stats
 

@@ -16,6 +16,11 @@ byte-counting :class:`~repro.cuda.memory.Allocator`:
   parks on its bucket's free list rather than shrinking the reservation;
 * an allocation served from a free list is a **hit** — no ``cudaMalloc``
   latency is charged by the device;
+* when no exact-size block is parked but a *larger* one is, the request is
+  **split** out of the smallest such block: the child serves the request
+  (a hit — no malloc latency) and the remainder parks on its own bucket,
+  ready to coalesce back into the parent when the child is released —
+  the best-fit split/merge dance of the PyTorch block pool;
 * a **miss** reserves a fresh bucket from capacity (charging malloc
   latency); if the reservation would exceed capacity the cache is flushed
   (``cudaFree`` of every parked block) and the reservation retried once —
@@ -67,13 +72,15 @@ class AllocOutcome:
     """What one ``allocate`` call did, so the device can charge for it.
 
     ``hit`` means the request was served from the free list (no malloc
-    latency); ``flushed_segments`` counts cached blocks returned to the
-    driver by a flush-and-retry before the reservation succeeded (each one
-    is a real ``cudaFree``).
+    latency); ``split`` marks the hits that carved the block out of a
+    larger parked one; ``flushed_segments`` counts cached blocks returned
+    to the driver by a flush-and-retry before the reservation succeeded
+    (each one is a real ``cudaFree``).
     """
 
     hit: bool
     flushed_segments: int = 0
+    split: bool = False
 
 
 class CachingAllocator(Allocator):
@@ -101,6 +108,12 @@ class CachingAllocator(Allocator):
         self.n_flushes = 0
         #: real cudaFree calls (flush segments + eager large-block frees)
         self.n_segment_frees = 0
+        self.n_splits = 0
+        self.n_coalesces = 0
+        #: outstanding split remainders: (child_bucket, remainder_bucket)
+        #: -> count; a release of a child-sized block whose matching
+        #: remainder is still parked coalesces the pair back together
+        self._split_pairs: dict[tuple[int, int], int] = {}
 
     # -- free-list bookkeeping -----------------------------------------
     @property
@@ -130,6 +143,7 @@ class CachingAllocator(Allocator):
         segments = self.cached_blocks
         self.reserved_bytes -= self.cached_bytes
         self._free_blocks.clear()
+        self._split_pairs.clear()  # the remainders just went back to the driver
         self.n_segment_frees += segments
         return segments
 
@@ -149,6 +163,38 @@ class CachingAllocator(Allocator):
             self.n_hits += 1
             self.peak_bytes = max(self.peak_bytes, self.used_bytes)
             return AllocOutcome(hit=True)
+
+        if 0 < bucket <= self.large_threshold:
+            # no exact-size block parked: carve the request out of the
+            # smallest larger one (best-fit split, as the real caching
+            # allocators do) instead of paying cudaMalloc latency.  The
+            # remainder — always a 512 B multiple ≥ 512 B — parks on its
+            # own bucket and can coalesce back when the child is released.
+            parent = min(
+                (
+                    b
+                    for b, cnt in self._free_blocks.items()
+                    if cnt > 0 and b > bucket and b <= self.large_threshold
+                ),
+                default=0,
+            )
+            if parent:
+                if self._free_blocks[parent] == 1:
+                    del self._free_blocks[parent]
+                else:
+                    self._free_blocks[parent] -= 1
+                remainder = parent - bucket
+                self._free_blocks[remainder] = (
+                    self._free_blocks.get(remainder, 0) + 1
+                )
+                pair = (bucket, remainder)
+                self._split_pairs[pair] = self._split_pairs.get(pair, 0) + 1
+                self.used_bytes += nbytes
+                self.alloc_count += 1
+                self.n_hits += 1
+                self.n_splits += 1
+                self.peak_bytes = max(self.peak_bytes, self.used_bytes)
+                return AllocOutcome(hit=True, split=True)
 
         flushed = 0
         if self.reserved_bytes + bucket > self.capacity_bytes:
@@ -183,6 +229,26 @@ class CachingAllocator(Allocator):
             self.reserved_bytes = max(0, self.reserved_bytes - bucket)
             self.n_segment_frees += 1
             return True
+        # coalesce: if this block was split off a parent whose remainder is
+        # still parked, merge the two back into one parent-sized block
+        for (child, remainder), cnt in self._split_pairs.items():
+            if (
+                child == bucket
+                and cnt > 0
+                and self._free_blocks.get(remainder, 0) > 0
+            ):
+                if cnt == 1:
+                    del self._split_pairs[(child, remainder)]
+                else:
+                    self._split_pairs[(child, remainder)] = cnt - 1
+                if self._free_blocks[remainder] == 1:
+                    del self._free_blocks[remainder]
+                else:
+                    self._free_blocks[remainder] -= 1
+                parent = child + remainder
+                self._free_blocks[parent] = self._free_blocks.get(parent, 0) + 1
+                self.n_coalesces += 1
+                return False
         self._free_blocks[bucket] = self._free_blocks.get(bucket, 0) + 1
         return False
 
@@ -201,6 +267,8 @@ class CachingAllocator(Allocator):
             "hit_rate": self.hit_rate,
             "flushes": self.n_flushes,
             "segment_frees": self.n_segment_frees,
+            "splits": self.n_splits,
+            "coalesces": self.n_coalesces,
             "bytes_in_use": self.used_bytes,
             "bytes_reserved": self.reserved_bytes,
             "bytes_cached": self.cached_bytes,

@@ -74,8 +74,11 @@ class Device:
         #: PCIe traffic counters (observability; time lives on the timeline)
         self.bytes_h2d = 0
         self.bytes_d2h = 0
+        #: peer (device-to-device) traffic, counted on the destination device
+        self.bytes_p2p = 0
         self.n_h2d = 0
         self.n_d2h = 0
+        self.n_p2p = 0
         #: transfers the GPU-resident eigensolver never issued
         self.transfers_elided = 0
         self.bytes_elided = 0
@@ -187,6 +190,21 @@ class Device:
         self.transfer_overlap_s += max(0.0, min(start + dt, before) - start)
         return dt
 
+    def _record_p2p_at(self, nbytes: int, start: float, peer: str = "") -> float:
+        """Asynchronous peer copy (``cudaMemcpyPeerAsync``) *into* this
+        device, laid onto the timeline at an absolute start time so halo
+        exchanges overlap local kernel work.  Traffic is counted on the
+        destination device.  Returns the transfer duration."""
+        chaos_check("cuda.p2p", self, nbytes=nbytes)
+        dt = self.transfer_cost.p2p_time(nbytes)
+        before = self.timeline.clock.now
+        label = f"memcpyPeerAsync[{nbytes}B{'<-' + peer if peer else ''}]"
+        self.timeline.record_at(label, "p2p", start, dt)
+        self.n_p2p += 1
+        self.bytes_p2p += nbytes
+        self.transfer_overlap_s += max(0.0, min(start + dt, before) - start)
+        return dt
+
     def note_elided_transfer(self, count: int, nbytes: int) -> None:
         """Account for PCIe crossings a device-resident data path avoided."""
         self.transfers_elided += count
@@ -272,6 +290,8 @@ class Device:
             "hit_rate": 0.0,
             "flushes": 0,
             "segment_frees": 0,
+            "splits": 0,
+            "coalesces": 0,
             "bytes_in_use": self.allocator.used_bytes,
             "bytes_reserved": self.allocator.used_bytes,
             "bytes_cached": 0,
@@ -284,8 +304,10 @@ class Device:
         return {
             "bytes_h2d": self.bytes_h2d,
             "bytes_d2h": self.bytes_d2h,
+            "bytes_p2p": self.bytes_p2p,
             "n_h2d": self.n_h2d,
             "n_d2h": self.n_d2h,
+            "n_p2p": self.n_p2p,
             "transfers_elided": self.transfers_elided,
             "bytes_elided": self.bytes_elided,
             "overlap_s": self.transfer_overlap_s,

@@ -75,7 +75,9 @@ class Profiler:
     #: allocator/transfer counters that accumulate monotonically — these are
     #: reported as deltas over the profiled region; the rest (bytes_in_use,
     #: bytes_reserved, peaks, ...) are point-in-time gauges.
-    _ALLOC_DELTA_KEYS = ("hits", "misses", "flushes", "segment_frees")
+    _ALLOC_DELTA_KEYS = (
+        "hits", "misses", "flushes", "segment_frees", "splits", "coalesces",
+    )
 
     def __init__(self, device: Device) -> None:
         self.device = device

@@ -127,6 +127,20 @@ class Stream:
         self.free_at = start + dt
         return start, self.free_at
 
+    def enqueue_p2p(
+        self, nbytes: int, ready_at: float = 0.0, peer: str = ""
+    ) -> tuple[float, float]:
+        """Queue ``cudaMemcpyPeerAsync`` *into* this stream's device.
+
+        Successive peer copies on the same stream serialize (they share
+        the destination device's PCIe link), which is exactly the FIFO
+        behavior modeled by the lane horizon (see :meth:`enqueue_h2d`).
+        """
+        start = self.available_at(ready_at)
+        dt = self.device._record_p2p_at(nbytes, start, peer=peer)
+        self.free_at = start + dt
+        return start, self.free_at
+
     def __repr__(self) -> str:
         label = f" {self.name!r}" if self.name else ""
         return f"<Stream{label} on {self.device.spec.name!r} free_at={self.free_at:.6f}>"

@@ -15,13 +15,14 @@ from repro.hw.timeline import Timeline
 
 #: track (tid) per event category — transfers get their own copy-engine
 #: rows, mirroring how real GPUs overlap copy and compute engines
-_TRACKS = {"kernel": 0, "cpu": 1, "h2d": 2, "d2h": 3, "overhead": 4}
+_TRACKS = {"kernel": 0, "cpu": 1, "h2d": 2, "d2h": 3, "overhead": 4, "p2p": 5}
 _TRACK_NAMES = {
     0: "GPU compute",
     1: "CPU (host phases)",
     2: "PCIe H2D",
     3: "PCIe D2H",
     4: "overhead",
+    5: "P2P halo",
 }
 
 

@@ -14,14 +14,22 @@ from repro.cusparse.formats import (
     FormatDecision,
     RowStats,
     autotune_format,
+    autotune_spmm_format,
     convert_for_spmv,
     csr_to_ell,
     csr_to_hyb,
     row_stats,
 )
 from repro.cusparse.conversions import coo2csr, csr2csc, csr2coo
+from repro.cusparse.partition import (
+    CSRShard,
+    PartitionedCSR,
+    partition_bounds,
+    partition_csr,
+    spmv_partitioned,
+)
 from repro.cusparse.spmv import coomv, csrmv, ellmv, hybmv, spmv_any
-from repro.cusparse.spmm import csrmm
+from repro.cusparse.spmm import csrmm, ellmm, hybmm, spmm_any
 
 __all__ = [
     "DeviceCOO",
@@ -31,6 +39,7 @@ __all__ = [
     "FormatDecision",
     "RowStats",
     "autotune_format",
+    "autotune_spmm_format",
     "convert_for_spmv",
     "csr_to_ell",
     "csr_to_hyb",
@@ -38,6 +47,11 @@ __all__ = [
     "ellmv",
     "hybmv",
     "spmv_any",
+    "CSRShard",
+    "PartitionedCSR",
+    "partition_bounds",
+    "partition_csr",
+    "spmv_partitioned",
     "coo_to_device",
     "csr_to_device",
     "coo2csr",
@@ -46,4 +60,7 @@ __all__ = [
     "coomv",
     "csrmv",
     "csrmm",
+    "ellmm",
+    "hybmm",
+    "spmm_any",
 ]

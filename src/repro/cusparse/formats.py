@@ -367,6 +367,90 @@ def autotune_format(
     )
 
 
+def autotune_spmm_format(
+    indptr: np.ndarray,
+    cost: GPUCostModel,
+    p: int,
+    formats: tuple[str, ...] = SPMV_FORMATS,
+    measured: dict[str, float] | None = None,
+    conversion_uses: int | None = None,
+) -> FormatDecision:
+    """Choose the cheapest SpMM format for a ``p``-column right-hand side.
+
+    The SpMM twin of :func:`autotune_format`, reusing the same row-length
+    evidence and :class:`FormatDecision` reporting: the calibrated
+    per-format SpMM kernels (``spmm_time``/``ellmm_time``/``hybmm_time``)
+    are evaluated on this matrix's shape and the minimum picked, with
+    ``measured`` per-launch seconds overriding predictions where they
+    exist.  Ties fall back to CSR (no conversion needed).
+
+    ``conversion_uses`` charges each non-CSR candidate its CSR->X
+    conversion kernel amortized over that many SpMM launches — pass ``1``
+    when the operand is rebuilt per product (the k-means membership
+    matrix changes every Lloyd iteration), leave ``None`` when the
+    conversion happens once outside the measured loop.
+    """
+    if p < 1:
+        raise SparseFormatError(f"spmm autotune needs p >= 1 columns, got {p}")
+    if conversion_uses is not None and conversion_uses < 1:
+        raise SparseFormatError(
+            f"conversion_uses must be >= 1, got {conversion_uses}"
+        )
+    for f in formats:
+        if f not in SPMV_FORMATS:
+            raise SparseFormatError(f"unknown SpMM format {f!r}")
+    stats = row_stats(indptr)
+    K = hyb_ell_width(stats)
+    predicted: dict[str, float] = {}
+    conversion: dict[str, float] = {}
+    if "csr" in formats:
+        predicted["csr"] = cost.spmm_time(stats.n_rows, stats.nnz, p)
+    if stats.nnz and stats.n_rows:
+        counts = np.diff(indptr)
+        if "ell" in formats:
+            predicted["ell"] = cost.ellmm_time(
+                stats.n_rows, stats.nnz, stats.max, p
+            )
+            conversion["ell"] = cost.format_conversion_time(
+                stats.nnz, stats.n_rows * stats.max
+            )
+        if "hyb" in formats:
+            nnz_ell = int(np.minimum(counts, K).sum())
+            predicted["hyb"] = cost.hybmm_time(
+                stats.n_rows, nnz_ell, K, stats.nnz - nnz_ell, p
+            )
+            conversion["hyb"] = cost.format_conversion_time(
+                stats.nnz, stats.n_rows * K + 3 * (stats.nnz - nnz_ell)
+            )
+    if not predicted:
+        raise SparseFormatError("no candidate formats to autotune over")
+    measured_known = {
+        f: float(measured[f])
+        for f in predicted
+        if measured is not None and f in measured
+    }
+    effective = {f: measured_known.get(f, t) for f, t in predicted.items()}
+    if conversion_uses is not None:
+        effective = {
+            f: t + conversion.get(f, 0.0) / conversion_uses
+            for f, t in effective.items()
+        }
+    best = min(sorted(effective), key=lambda f: effective[f])
+    if effective.get("csr", float("inf")) <= effective[best]:
+        best = "csr"  # prefer the no-conversion format on ties
+    return FormatDecision(
+        format=best,
+        stats=stats,
+        predicted_s=predicted,
+        hyb_width=K,
+        measured_s=measured_known,
+        evidence={
+            f: "measured" if f in measured_known else "predicted"
+            for f in predicted
+        },
+    )
+
+
 def convert_for_spmv(
     A: DeviceCSR, fmt: str, hyb_width: int | None = None
 ) -> "DeviceCSR | DeviceELL | DeviceHYB":

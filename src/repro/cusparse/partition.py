@@ -1,0 +1,393 @@
+"""Row-partitioned sparse matrices and the multi-device SpMV.
+
+The multi-GPU eigensolver follows the classic distributed-memory Lanczos
+recipe (1-D row partitioning with communication/computation overlap):
+
+* the matrix is split into contiguous **row blocks**, one per device,
+  balanced by row count;
+* on each device the block's columns are split into a **local** part
+  (columns owned by this device — the x entries are already resident)
+  and a **halo** part (columns owned by peers);
+* per SpMV, the local kernel launches immediately while the halo
+  segments of the iteration vector travel device-to-device over the
+  modeled bus (``cudaMemcpyPeerAsync`` on a dedicated copy stream per
+  device); the halo kernel is enqueued right behind the local kernel on
+  the same stream, so it starts as soon as both the local pass and the
+  last halo segment have finished — and its dispatch latency hides
+  behind the local kernel's execution.
+
+Bit-identity invariant
+----------------------
+Numerics never change with the device count: :func:`spmv_partitioned`
+computes the product through the canonical CSR-order substrate triple —
+the identical ``np.bincount`` that
+:func:`~repro.cusparse.spmv.csrmv` performs on one device.  Partitioning
+changes only the *charged time* (and where the bytes flow), never a
+float, which is what pins multi-device spectra to the single-device
+path bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.chaos.runtime import chaos_check
+from repro.cuda.device import Device
+from repro.cuda.memory import BufferGroup, DeviceArray
+from repro.cuda.stream import Stream
+from repro.cusparse.matrices import DeviceCSR
+from repro.errors import SparseValueError
+
+
+def partition_bounds(n: int, n_devices: int) -> np.ndarray:
+    """Balanced contiguous row-block bounds: ``bounds[d]:bounds[d+1]``.
+
+    Same even split the multi-GPU k-means path uses; every device gets
+    ``n/n_devices`` rows up to rounding.
+    """
+    if n_devices < 1:
+        raise SparseValueError(f"n_devices must be >= 1, got {n_devices}")
+    if n < n_devices:
+        raise SparseValueError(
+            f"cannot split {n} rows across {n_devices} devices"
+        )
+    return np.linspace(0, n, n_devices + 1).astype(np.int64)
+
+
+@dataclass
+class CSRShard:
+    """One device's row block, stored as split local + halo CSR parts.
+
+    ``local_indices`` are offsets into the device's own x shard;
+    ``halo_indices`` are offsets into ``halo_buf``, the receive buffer the
+    peer copies land in.  ``halo_cols`` (host metadata) maps those slots
+    back to global column ids, and ``halo_src_counts[e]`` says how many of
+    them device ``e`` owns — one peer copy per nonzero entry per SpMV.
+    """
+
+    device: Device
+    index: int
+    lo: int
+    hi: int
+    local_indptr: DeviceArray
+    local_indices: DeviceArray
+    local_val: DeviceArray
+    halo_indptr: DeviceArray
+    halo_indices: DeviceArray
+    halo_val: DeviceArray
+    halo_buf: DeviceArray
+    halo_cols: np.ndarray = field(repr=False)
+    halo_src_counts: np.ndarray = field(repr=False)
+    copy_stream: Stream = field(repr=False, default=None)
+
+    @property
+    def n_rows(self) -> int:
+        return self.hi - self.lo
+
+    @property
+    def nnz_local(self) -> int:
+        return self.local_val.size
+
+    @property
+    def nnz_halo(self) -> int:
+        return self.halo_val.size
+
+    @property
+    def halo_count(self) -> int:
+        """Distinct off-device x entries this shard receives per SpMV."""
+        return int(self.halo_cols.size)
+
+    def free(self) -> None:
+        for arr in (
+            self.local_indptr, self.local_indices, self.local_val,
+            self.halo_indptr, self.halo_indices, self.halo_val,
+            self.halo_buf,
+        ):
+            arr.free()
+
+
+@dataclass
+class PartitionedCSR:
+    """A CSR matrix split into per-device row blocks (plus the canonical
+    host-side substrate mirror used for the reference arithmetic)."""
+
+    shape: tuple[int, int]
+    nnz: int
+    bounds: np.ndarray
+    shards: list[CSRShard]
+    sub_rows: np.ndarray = field(repr=False)
+    sub_cols: np.ndarray = field(repr=False)
+    sub_vals: np.ndarray = field(repr=False)
+
+    @property
+    def n_devices(self) -> int:
+        return len(self.shards)
+
+    @property
+    def devices(self) -> list[Device]:
+        return [s.device for s in self.shards]
+
+    @property
+    def halo_counts(self) -> tuple[int, ...]:
+        """Per-device count of x entries received per SpMV."""
+        return tuple(s.halo_count for s in self.shards)
+
+    @property
+    def halo_pairs(self) -> int:
+        """Number of (destination, source) peer copies issued per SpMV."""
+        return int(sum(np.count_nonzero(s.halo_src_counts) for s in self.shards))
+
+    def step_halo_bytes(self, itemsize: int = 8) -> int:
+        """Peer-exchange bytes one SpMV moves over the bus."""
+        return sum(self.halo_counts) * itemsize
+
+    @property
+    def shard_upload_bytes(self) -> int:
+        """One-time P2P bytes that distributed the row blocks from device 0."""
+        return self._shard_upload_bytes
+
+    _shard_upload_bytes: int = 0
+
+    def free(self) -> None:
+        for s in self.shards:
+            s.free()
+        self.shards = []
+
+
+def _split_row_block(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    vals: np.ndarray,
+    bounds: np.ndarray,
+    d: int,
+):
+    """Host-side split of row block ``d`` into local/halo CSR pieces."""
+    lo, hi = int(bounds[d]), int(bounds[d + 1])
+    nd = hi - lo
+    s, e = int(indptr[lo]), int(indptr[hi])
+    seg_rows = (
+        np.repeat(np.arange(lo, hi, dtype=np.int64), np.diff(indptr[lo:hi + 1]))
+        - lo
+    )
+    seg_cols = indices[s:e]
+    seg_vals = vals[s:e]
+    local_mask = (seg_cols >= lo) & (seg_cols < hi)
+
+    def _csr_piece(mask):
+        counts = np.bincount(seg_rows[mask], minlength=nd)
+        piece_indptr = np.zeros(nd + 1, dtype=np.int64)
+        np.cumsum(counts, out=piece_indptr[1:])
+        return piece_indptr
+
+    local_indptr = _csr_piece(local_mask)
+    local_cols = seg_cols[local_mask] - lo
+    local_vals = seg_vals[local_mask]
+
+    halo_mask = ~local_mask
+    halo_indptr = _csr_piece(halo_mask)
+    halo_global = seg_cols[halo_mask]
+    halo_cols, halo_slots = np.unique(halo_global, return_inverse=True)
+    halo_vals = seg_vals[halo_mask]
+    owner = np.searchsorted(bounds, halo_cols, side="right") - 1
+    src_counts = np.bincount(owner, minlength=len(bounds) - 1)
+    return (
+        lo, hi,
+        local_indptr, local_cols, local_vals,
+        halo_indptr, halo_slots.astype(np.int64), halo_vals,
+        halo_cols, src_counts,
+        e - s,
+    )
+
+
+def partition_csr(
+    A: DeviceCSR,
+    devices: list[Device],
+    rows_cache: np.ndarray | None = None,
+) -> PartitionedCSR:
+    """Split ``A`` into per-device row blocks with local/halo column parts.
+
+    Device 0 (which holds ``A``) keeps its block in place; every other
+    device receives its raw row block over the modeled bus as one peer
+    copy on its halo copy stream (``indptr`` slice + column indices +
+    values), concurrently across devices.  Each device then runs one
+    streaming *split* kernel reordering the block into the local/halo
+    layout.  All of this is charged onto the shared timeline at absolute
+    times, so the setup cost is the makespan over devices, not the sum.
+    """
+    n, m = A.shape
+    if n != m:
+        raise SparseValueError(
+            f"partition_csr needs a square operator, got shape {A.shape}"
+        )
+    if not devices:
+        raise SparseValueError("partition_csr needs at least one device")
+    timeline = devices[0].timeline
+    for dev in devices[1:]:
+        if dev.timeline is not timeline:
+            raise SparseValueError(
+                "all devices must share one timeline (one simulated platform)"
+            )
+    p = len(devices)
+    bounds = partition_bounds(n, p)
+    indptr = A.indptr.data
+    indices = A.indices.data
+    vals = A.val.data
+    if rows_cache is None:
+        sub_rows = np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr))
+    else:
+        sub_rows = rows_cache
+    sub_cols = indices.copy()
+    sub_vals = vals.copy()
+
+    shards: list[CSRShard] = []
+    bufs = BufferGroup()
+    block_nnz: list[int] = []
+    try:
+        for d, dev in enumerate(devices):
+            (
+                lo, hi,
+                l_indptr, l_cols, l_vals,
+                h_indptr, h_slots, h_vals,
+                h_cols, src_counts,
+                rnnz,
+            ) = _split_row_block(indptr, indices, vals, bounds, d)
+            nd = hi - lo
+            shard = CSRShard(
+                device=dev,
+                index=d,
+                lo=lo,
+                hi=hi,
+                local_indptr=bufs.add(dev.empty(nd + 1, dtype=np.int64)),
+                local_indices=bufs.add(
+                    dev.empty(max(l_cols.size, 1), dtype=np.int64)
+                ),
+                local_val=bufs.add(dev.empty(l_vals.size, dtype=np.float64)),
+                halo_indptr=bufs.add(dev.empty(nd + 1, dtype=np.int64)),
+                halo_indices=bufs.add(
+                    dev.empty(max(h_slots.size, 1), dtype=np.int64)
+                ),
+                halo_val=bufs.add(dev.empty(h_vals.size, dtype=np.float64)),
+                halo_buf=bufs.add(dev.empty(max(h_cols.size, 1), dtype=np.float64)),
+                halo_cols=h_cols,
+                halo_src_counts=src_counts,
+                copy_stream=Stream(dev, name=f"dev{d}/halo"),
+            )
+            shard.local_indptr.data[...] = l_indptr
+            shard.local_indices.data[: l_cols.size] = l_cols
+            shard.local_val.data[...] = l_vals
+            shard.halo_indptr.data[...] = h_indptr
+            shard.halo_indices.data[: h_slots.size] = h_slots
+            shard.halo_val.data[...] = h_vals
+            shards.append(shard)
+            block_nnz.append(rnnz)
+    except BaseException:
+        bufs.free_all()
+        raise
+
+    # lay the distribution onto the timeline: peer copies of the raw row
+    # blocks (devices 1..p-1, concurrent — each destination has its own
+    # link) followed by one split kernel per device
+    t0 = timeline.clock.now
+    upload_bytes = 0
+    try:
+        for d, shard in enumerate(shards):
+            dev = shard.device
+            nd = shard.n_rows
+            rnnz = block_nnz[d]
+            ready = t0
+            if d > 0:
+                nbytes = (nd + 1) * 8 + rnnz * 8 + rnnz * 8
+                _, ready = shard.copy_stream.enqueue_p2p(
+                    nbytes, ready_at=t0, peer="dev0"
+                )
+                upload_bytes += nbytes
+            # split pass: stream the block in, write local + halo layout out
+            split_bytes = 2.0 * (rnnz * 12 + (nd + 1) * 8)
+            dt = dev.cost.kernel_time(0.0, split_bytes, kind="stream")
+            timeline.record_at(
+                f"partition_split[dev{d}]", "kernel", ready, dt
+            )
+            dev.kernel_launches += 1
+    except BaseException:
+        bufs.free_all()
+        raise
+
+    out = PartitionedCSR(
+        shape=A.shape,
+        nnz=A.nnz,
+        bounds=bounds,
+        shards=shards,
+        sub_rows=sub_rows,
+        sub_cols=sub_cols,
+        sub_vals=sub_vals,
+    )
+    out._shard_upload_bytes = upload_bytes
+    return out
+
+
+def spmv_partitioned(
+    P: PartitionedCSR, x: np.ndarray, y: np.ndarray | None = None
+) -> np.ndarray:
+    """One multi-device SpMV over the row-partitioned operator.
+
+    Per device, three things are laid onto the shared timeline at a
+    common start ``t0``:
+
+    1. the **local kernel** (owned columns) launches at ``t0``;
+    2. the **halo copies** — one ``cudaMemcpyPeerAsync`` per contributing
+       peer, serialized on the device's halo copy stream (they share the
+       destination's bus link) — also start at ``t0``;
+    3. the **halo kernel** starts at ``max(local end, last halo
+       arrival)``.  It was enqueued back-to-back behind the local kernel
+       on the same stream, so its dispatch overhead is hidden
+       (:meth:`~repro.hw.costmodel.GPUCostModel.spmv_halo_time` charges
+       no launch overhead).
+
+    The clock advances to the latest end over all devices — the SpMV's
+    cost is the makespan, which is where the multi-device speedup (and
+    the small-graph latency floor) comes from.  The returned product is
+    computed through the canonical substrate triple and is bit-identical
+    to single-device :func:`~repro.cusparse.spmv.csrmv`.
+    """
+    n = P.shape[0]
+    if x.shape != (n,):
+        raise SparseValueError(
+            f"spmv_partitioned: operator is {P.shape}, x has shape {x.shape}"
+        )
+    timeline = P.shards[0].device.timeline
+    t0 = timeline.clock.now
+    for shard in P.shards:
+        dev = shard.device
+        chaos_check("cusparse.csrmv", dev)
+        d = shard.index
+        dt_local = dev.cost.spmv_time(shard.n_rows, shard.nnz_local)
+        timeline.record_at(
+            f"cusparseDcsrmv[local,dev{d}]", "kernel", t0, dt_local
+        )
+        dev.kernel_launches += 1
+        arrival = t0
+        for src, count in enumerate(shard.halo_src_counts):
+            if count == 0:
+                continue
+            _, arrival = shard.copy_stream.enqueue_p2p(
+                int(count) * 8, ready_at=t0, peer=f"dev{src}"
+            )
+        if shard.nnz_halo > 0:
+            h_start = max(t0 + dt_local, arrival)
+            dt_halo = dev.cost.spmv_halo_time(shard.n_rows, shard.nnz_halo)
+            timeline.record_at(
+                f"cusparseDcsrmv[halo,dev{d}]", "kernel", h_start, dt_halo
+            )
+            dev.kernel_launches += 1
+            # the halo gather reads the freshly landed x segments
+            shard.halo_buf.data[: shard.halo_count] = x[shard.halo_cols]
+
+    prod = np.bincount(
+        P.sub_rows, weights=P.sub_vals * x[P.sub_cols], minlength=n
+    )
+    if y is None:
+        return prod
+    y[...] = prod
+    return y

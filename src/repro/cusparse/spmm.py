@@ -1,12 +1,64 @@
-"""Sparse × dense matrix products on the device (``cusparseDcsrmm``)."""
+"""Sparse × dense matrix products on the device (``cusparseDcsrmm`` and
+the ELL/HYB counterparts).
+
+The same format trade-off that drives the SpMV autotuner applies to SpMM:
+the padded ELL layout streams coalesced and is read once per launch
+(amortized over the ``p`` columns of B), while CSR pays an irregular
+gather per row segment.  All formats share the reference substrate
+arithmetic (see :mod:`repro.cusparse.formats`): the gathered-B products
+are formed in canonical CSR order and row-reduced with the identical
+``np.add.reduceat`` call, so the format choice changes only the charged
+time, never a float of C.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.chaos.runtime import chaos_check
 from repro.cuda.memory import DeviceArray
 from repro.cusparse.matrices import DeviceCSR
 from repro.errors import SparseValueError
+
+
+def _substrate_mm(
+    sub_rows: np.ndarray,
+    sub_cols: np.ndarray,
+    sub_vals: np.ndarray,
+    B: DeviceArray,
+    C: DeviceArray,
+    n: int,
+    alpha: float,
+    beta: float,
+) -> None:
+    """Shared reference arithmetic for all SpMM formats.
+
+    ``sub_*`` is the canonical CSR-order triple; the row starts are
+    reconstructed from the row ids, so the ``reduceat`` segments are the
+    exact segments :func:`csrmm` reduces — bit-identical across formats.
+    """
+    p = B.shape[1]
+    gathered = sub_vals[:, None] * B.data[sub_cols]
+    row_nnz = np.bincount(sub_rows, minlength=n)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(row_nnz, out=indptr[1:])
+    nonempty = np.flatnonzero(row_nnz > 0)
+    prod = np.zeros((n, p))
+    if nonempty.size:
+        prod[nonempty] = np.add.reduceat(gathered, indptr[nonempty], axis=0)
+    if beta == 0.0:
+        C.data[...] = alpha * prod
+    else:
+        C.data[...] = alpha * prod + beta * C.data
+
+
+def _check_operands(A, B, C, n, m):
+    if B.ndim != 2 or B.shape[0] != m:
+        raise SparseValueError(f"spmm: A is {A.shape}, B is {B.shape}")
+    p = B.shape[1]
+    if C is not None and C.shape != (n, p):
+        raise SparseValueError(f"spmm: C is {C.shape}, expected {(n, p)}")
+    return p
 
 
 def csrmm(
@@ -22,15 +74,12 @@ def csrmm(
     operator to a block of Lanczos restart vectors).
     """
     dev = A.device
+    chaos_check("cusparse.csrmm", dev)
     n, m = A.shape
-    if B.ndim != 2 or B.shape[0] != m:
-        raise SparseValueError(f"csrmm: A is {A.shape}, B is {B.shape}")
-    p = B.shape[1]
+    p = _check_operands(A, B, C, n, m)
     if C is None:
         C = dev.empty((n, p), dtype=np.float64)
         beta = 0.0
-    elif C.shape != (n, p):
-        raise SparseValueError(f"csrmm: C is {C.shape}, expected {(n, p)}")
 
     # per-row segment sums over the gathered B rows; reduceat shares
     # numpy's pairwise-summation kernel with thrust::reduce_by_key's
@@ -54,3 +103,87 @@ def csrmm(
     dev.timeline.record("cusparseDcsrmm", "kernel", dt)
     dev.kernel_launches += 1
     return C
+
+
+def ellmm(
+    A,
+    B: DeviceArray,
+    C: DeviceArray | None = None,
+    alpha: float = 1.0,
+    beta: float = 0.0,
+) -> DeviceArray:
+    """``C <- alpha * A @ B + beta * C`` for a :class:`DeviceELL` matrix.
+
+    One coalesced launch over the padded layout; on near-uniform row
+    lengths (e.g. the k-means membership matrix at exactly one nonzero
+    per row) it beats csrmm by skipping the row-pointer indirection.
+    """
+    dev = A.device
+    chaos_check("cusparse.ellmm", dev)
+    n, m = A.shape
+    p = _check_operands(A, B, C, n, m)
+    if C is None:
+        C = dev.empty((n, p), dtype=np.float64)
+        beta = 0.0
+
+    _substrate_mm(A.sub_rows, A.sub_cols, A.sub_vals, B, C, n, alpha, beta)
+    dt = dev.cost.ellmm_time(n, A.nnz, A.width, p)
+    dev.timeline.record("cusparseDellmm", "kernel", dt)
+    dev.kernel_launches += 1
+    return C
+
+
+def hybmm(
+    A,
+    B: DeviceArray,
+    C: DeviceArray | None = None,
+    alpha: float = 1.0,
+    beta: float = 0.0,
+) -> DeviceArray:
+    """``C <- alpha * A @ B + beta * C`` for a :class:`DeviceHYB` matrix.
+
+    Two launches: the coalesced ELL pass plus the atomics-based COO pass
+    over the spill tail, mirroring :func:`~repro.cusparse.spmv.hybmv`.
+    """
+    dev = A.device
+    chaos_check("cusparse.hybmm", dev)
+    n, m = A.shape
+    p = _check_operands(A, B, C, n, m)
+    if C is None:
+        C = dev.empty((n, p), dtype=np.float64)
+        beta = 0.0
+
+    _substrate_mm(A.sub_rows, A.sub_cols, A.sub_vals, B, C, n, alpha, beta)
+    dev.timeline.record(
+        "cusparseDhybmm[ell]",
+        "kernel",
+        dev.cost.ellmm_time(n, A.nnz_ell, A.width, p),
+    )
+    dev.kernel_launches += 1
+    if A.nnz_coo > 0:
+        dev.timeline.record(
+            "cusparseDhybmm[coo]",
+            "kernel",
+            dev.cost.spmm_time(n, A.nnz_coo, p) * 2.0,
+        )
+        dev.kernel_launches += 1
+    return C
+
+
+def spmm_any(
+    A,
+    B: DeviceArray,
+    C: DeviceArray | None = None,
+    alpha: float = 1.0,
+    beta: float = 0.0,
+) -> DeviceArray:
+    """Format-dispatching SpMM: CSR, ELL or HYB operand, same semantics."""
+    from repro.cusparse.formats import DeviceELL, DeviceHYB
+
+    if isinstance(A, DeviceCSR):
+        return csrmm(A, B, C, alpha=alpha, beta=beta)
+    if isinstance(A, DeviceELL):
+        return ellmm(A, B, C, alpha=alpha, beta=beta)
+    if isinstance(A, DeviceHYB):
+        return hybmm(A, B, C, alpha=alpha, beta=beta)
+    raise SparseValueError(f"spmm: unsupported operand type {type(A).__name__}")

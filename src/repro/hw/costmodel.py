@@ -100,6 +100,21 @@ class GPUCostModel(CostModel):
         bytes_moved = nnz * (itemsize + 4) + 2.0 * n_rows * itemsize + nnz * itemsize
         return self.kernel_time(flops, bytes_moved, kind="gather", itemsize=itemsize)
 
+    def spmv_halo_time(self, n_rows: int, nnz: int, itemsize: int = 8) -> float:
+        """Halo segment of a row-partitioned SpMV (``y += A_halo @ x_halo``).
+
+        The halo kernel is enqueued on the same stream immediately behind
+        the local kernel, so its host-side dispatch latency overlaps the
+        local kernel's execution — no launch overhead is charged, only the
+        roofline body.  The accumulate touches at most ``min(n_rows, nnz)``
+        rows of y (rows with no off-device neighbours are untouched).
+        """
+        touched = float(min(n_rows, nnz))
+        flops = 2.0 * nnz
+        bytes_moved = nnz * (itemsize + 4) + nnz * itemsize + 2.0 * touched * itemsize
+        f_rate, b_rate = self._rates("gather", itemsize)
+        return roofline_time(flops, bytes_moved, f_rate, b_rate)
+
     def spmm_time(
         self, n_rows: int, nnz: int, p: int, itemsize: int = 8
     ) -> float:
@@ -165,6 +180,43 @@ class GPUCostModel(CostModel):
         t = self.ellmv_time(n_rows, nnz_ell, width, itemsize=itemsize)
         if nnz_coo > 0:
             t += self.spmv_time(n_rows, nnz_coo, itemsize=itemsize) * 2.0
+        return t
+
+    def ellmm_time(
+        self, n_rows: int, nnz: int, width: int, p: int, itemsize: int = 8
+    ) -> float:
+        """ELLPACK SpMM: one launch computing ``p`` output columns.
+
+        Same layout trade-off as :meth:`ellmv_time` — the padded matrix
+        (values + column indices) streams coalesced and is read *once*,
+        reused across all ``p`` columns of B, while the gathered B rows
+        (``nnz·p`` elements) and the C read+write scale with ``p``.
+        """
+        padded = float(n_rows) * width
+        flops = 2.0 * padded * p
+        stream_bytes = padded * (itemsize + 4) + 2.0 * n_rows * p * itemsize
+        gather_bytes = float(nnz) * p * itemsize
+        f_rate, stream_b = self._rates("stream", itemsize)
+        _, gather_b = self._rates("gather", itemsize)
+        t_memory = stream_bytes / stream_b + gather_bytes / gather_b
+        t_compute = flops / f_rate
+        return self.gpu.kernel_launch_overhead_s + max(t_compute, t_memory)
+
+    def hybmm_time(
+        self,
+        n_rows: int,
+        nnz_ell: int,
+        width: int,
+        nnz_coo: int,
+        p: int,
+        itemsize: int = 8,
+    ) -> float:
+        """HYB SpMM: the coalesced ELL pass plus an atomics-based COO tail,
+        mirroring :meth:`hybmv_time` (the COO leg pays the same 2x
+        contention penalty, scaled to ``p`` columns)."""
+        t = self.ellmm_time(n_rows, nnz_ell, width, p, itemsize=itemsize)
+        if nnz_coo > 0:
+            t += self.spmm_time(n_rows, nnz_coo, p, itemsize=itemsize) * 2.0
         return t
 
     def format_conversion_time(
@@ -236,4 +288,13 @@ class TransferCostModel(CostModel):
         return self.pcie.transfer_time(nbytes)
 
     def d2h_time(self, nbytes: int) -> float:
+        return self.pcie.transfer_time(nbytes)
+
+    def p2p_time(self, nbytes: int) -> float:
+        """Device-to-device peer copy (``cudaMemcpyPeerAsync``).
+
+        On the modeled platform peers sit behind the same PCIe switch, so
+        a peer DMA follows the identical latency + bandwidth law as a host
+        transfer — it just never touches host memory.
+        """
         return self.pcie.transfer_time(nbytes)

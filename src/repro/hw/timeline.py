@@ -12,10 +12,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Iterator
 
-#: Event categories. ``h2d``/``d2h`` are *communication*; everything else is
-#: *computation* for the purpose of Table VII.
-CATEGORIES = ("kernel", "h2d", "d2h", "cpu", "overhead")
-COMMUNICATION_CATEGORIES = frozenset({"h2d", "d2h"})
+#: Event categories. ``h2d``/``d2h``/``p2p`` are *communication*; everything
+#: else is *computation* for the purpose of Table VII.  ``p2p`` covers
+#: device-to-device peer copies (``cudaMemcpyPeerAsync``) used by the
+#: multi-GPU eigensolver's halo exchange.
+CATEGORIES = ("kernel", "h2d", "d2h", "p2p", "cpu", "overhead")
+COMMUNICATION_CATEGORIES = frozenset({"h2d", "d2h", "p2p"})
 
 
 @dataclass(frozen=True)
@@ -171,7 +173,7 @@ class Timeline:
             yield ev
 
     def communication_time(self, tag: str | None = None) -> float:
-        """Total time in H2D + D2H transfers (Table VII 'Communication')."""
+        """Total time in H2D/D2H/P2P transfers (Table VII 'Communication')."""
         return sum(
             ev.duration
             for ev in self._select(None, tag)

@@ -47,8 +47,9 @@ from repro.cuda.device import Device
 from repro.cuda.kernel import Kernel, launch
 from repro.cuda.launch import grid_1d
 from repro.cuda.memory import BufferGroup, DeviceArray
+from repro.cusparse.formats import autotune_spmm_format, convert_for_spmv
 from repro.cusparse.matrices import DeviceCSR
-from repro.cusparse.spmm import csrmm
+from repro.cusparse.spmm import csrmm, spmm_any
 from repro.errors import ClusteringError
 from repro.kmeans.init import kmeans_plus_plus_device, random_init
 from repro.kmeans.utils import (
@@ -210,6 +211,7 @@ def kmeans_device(
     distance_method: str = "gemm",
     centroid_update: str = "spmm",
     fused: bool = True,
+    spmm_format: str = "auto",
 ) -> KMeansResult:
     """Run Algorithm 4 on ``device``; returns a host-side result.
 
@@ -248,6 +250,14 @@ def kmeans_device(
         ``False`` keeps the discrete kernel sequence (and the host inertia
         sweep) for ablation.  Applies to ``distance_method='gemm'`` only;
         the 'direct' kernel always runs unfused.
+    spmm_format:
+        Membership-matrix format for the ``centroid_update='spmm'`` path:
+        'auto' (default) runs the SpMM cost-model autotuner on the first
+        iteration's row-length stats (the one-hot membership has exactly
+        one nonzero per column, so the near-uniform ELL layout usually
+        wins); or force 'csr', 'ell', 'hyb'.  All formats share the
+        reference substrate arithmetic — centroid sums are bit-identical,
+        only the charged kernel/conversion time changes.
     """
     if distance_method not in ("gemm", "direct"):
         raise ClusteringError(
@@ -256,6 +266,11 @@ def kmeans_device(
     if centroid_update not in ("spmm", "sort"):
         raise ClusteringError(
             f"centroid_update must be 'spmm' or 'sort', got {centroid_update!r}"
+        )
+    if spmm_format not in ("auto", "csr", "ell", "hyb"):
+        raise ClusteringError(
+            f"spmm_format must be 'auto', 'csr', 'ell' or 'hyb', "
+            f"got {spmm_format!r}"
         )
     use_fused = bool(fused) and distance_method == "gemm"
     rng = np.random.default_rng(seed)
@@ -310,6 +325,9 @@ def kmeans_device(
             membership = DeviceCSR(
                 indptr=dIndptr, indices=dIdx, val=dOnes, shape=(k, n)
             )
+        #: resolved on the first iteration's row stats when 'auto'
+        spmm_fmt = None if spmm_format == "auto" else spmm_format
+        spmm_decision = None
         if tile_rows is None:
             # every live/parked block can waste up to one allocator granule
             # to rounding, and the Lloyd loop keeps ~24 of them — budget the
@@ -391,7 +409,31 @@ def kmeans_device(
                     membership_scatter, grid_1d(n, block),
                     dlabels, dIndptr, dIdx, n_threads=n,
                 )
-                csrmm(membership, dV, C=dSums, beta=0.0)
+                if spmm_fmt is None:
+                    # rank CSR/ELL/HYB once on the first membership's row
+                    # lengths; the one-nonzero-per-column structure barely
+                    # shifts between iterations, so the decision holds
+                    spmm_decision = autotune_spmm_format(
+                        dIndptr.data, device.cost, p=d, conversion_uses=1
+                    )
+                    spmm_fmt = spmm_decision.format
+                if spmm_fmt == "csr":
+                    csrmm(membership, dV, C=dSums, beta=0.0)
+                else:
+                    # conversion kernel + padded buffers charged per trip;
+                    # the autotuner already priced that against the csrmm
+                    # it replaces
+                    m_op = convert_for_spmv(
+                        membership, spmm_fmt,
+                        hyb_width=(
+                            spmm_decision.hyb_width
+                            if spmm_decision is not None else None
+                        ),
+                    )
+                    try:
+                        spmm_any(m_op, dV, C=dSums, beta=0.0)
+                    finally:
+                        m_op.free()
                 counts = np.diff(dIndptr.data)  # row-pointer mirror
                 present = np.flatnonzero(counts > 0)
                 new_C = dC.data.copy()

@@ -138,18 +138,35 @@ class TransferLedger:
     so the driver, the profiler assertions, and the benchmark model all
     agree on what "should" cross the bus.
 
+    With ``n_devices > 1`` the plan additionally covers the peer bus: one
+    halo exchange per operator application (``halo_counts[d]`` x entries
+    land on device ``d``, one peer copy per contributing (dst, src) pair),
+    the one-time row-block distribution from device 0, a per-restart
+    broadcast of the rotation ``Q`` to every device, and scattered
+    seed/result slices whose per-device byte splits sum exactly to the
+    single-device totals.
+
     Attributes
     ----------
     n, m, k:
         Problem dimension, Krylov subspace size, and wanted pairs.
     itemsize:
         Bytes per element (float64 throughout the pipeline).
+    n_devices:
+        Devices the row-partitioned loop spans (1 = the pinned path).
+    halo_counts:
+        Per-device count of off-device x entries received per SpMV.
+    halo_pairs:
+        Peer copies issued per SpMV (nonzero (dst, src) pairs).
     """
 
     n: int
     m: int
     k: int
     itemsize: int = 8
+    n_devices: int = 1
+    halo_counts: tuple = ()
+    halo_pairs: int = 0
 
     def step_roundtrip_bytes(self) -> int:
         """Bytes one host-resident ``ido = 1`` moves (x up, y down)."""
@@ -173,3 +190,40 @@ class TransferLedger:
         if checkpoint is not None:
             return checkpoint.V.nbytes + checkpoint.f.nbytes
         return self.n * self.itemsize
+
+    # -- multi-device (row-partitioned) plan ---------------------------
+    def step_halo_bytes(self) -> int:
+        """Peer-exchange bytes one partitioned SpMV moves over the bus."""
+        return sum(self.halo_counts) * self.itemsize
+
+    def step_halo_transfers(self) -> int:
+        """Peer copies one partitioned SpMV issues."""
+        return self.halo_pairs
+
+    def restart_broadcast_bytes(self) -> int:
+        """``Q`` shipped up per restart: one copy *per device* (each GPU
+        rotates its own basis block)."""
+        return self.n_devices * self.restart_h2d_bytes()
+
+    def shard_split(self, total: int) -> tuple[int, ...]:
+        """Split ``total`` bytes across the row blocks, exactly.
+
+        Proportional to rows with the rounding remainder charged to
+        device 0, so per-device scatter/gather slices always sum to the
+        single-device total — the consistency tests rely on this.
+        """
+        if self.n_devices <= 1:
+            return (total,)
+        import numpy as np
+
+        bounds = np.linspace(0, self.n, self.n_devices + 1).astype(np.int64)
+        rows = np.diff(bounds)
+        parts = [int(total * int(r) // self.n) for r in rows]
+        parts[0] += total - sum(parts)
+        return tuple(parts)
+
+    def solve_p2p_bytes(self, n_matvecs: int, shard_upload_bytes: int) -> int:
+        """Total peer-bus bytes a full partitioned solve moves: the
+        one-time row-block distribution plus one halo exchange per
+        operator application."""
+        return shard_upload_bytes + n_matvecs * self.step_halo_bytes()

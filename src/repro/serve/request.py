@@ -69,6 +69,10 @@ class ClusterRequest:
     m: int | None = None
     eig_tol: float = 1e-8
     eig_maxiter: int | None = None
+    #: GPUs the eigensolve spans (row-partitioned; bit-identical output,
+    #: so deliberately NOT part of embedding_key — a multi-device solve
+    #: can serve a cached single-device embedding and vice versa)
+    eig_devices: int = 1
     kmeans_init: str = "k-means++"
     kmeans_max_iter: int = 300
     normalize_rows: bool = False
@@ -109,6 +113,7 @@ class ClusterRequest:
             m=self.m,
             eig_tol=self.eig_tol,
             eig_maxiter=self.eig_maxiter,
+            eig_devices=self.eig_devices,
             kmeans_init=self.kmeans_init,
             kmeans_max_iter=self.kmeans_max_iter,
             normalize_rows=self.normalize_rows,

@@ -45,6 +45,9 @@ class ScheduledUnit:
     end: float
     lane: str
     device_index: int
+    #: every lane the unit occupied (== (lane,) for width-1 units); a
+    #: multi-device solve reserves one lane per simulated GPU it spans
+    lanes: tuple = ()
 
     @property
     def ok(self) -> bool:
@@ -101,6 +104,35 @@ class StreamScheduler:
         return self.pick_lane(ready_at).device
 
     # ------------------------------------------------------------------
+    def _widen_lanes(
+        self, primary: Stream, ready_at: float, width: int
+    ) -> list[Stream]:
+        """Pick ``width - 1`` extra lanes for a unit anchored on
+        ``primary``: distinct other devices first (earliest-available
+        lane each), then sibling streams on already-used devices."""
+        chosen = [primary]
+        used_devices = {id(primary.device)}
+        # one lane per *other* device, earliest-available first
+        others = sorted(
+            (s for s in self.lanes if id(s.device) not in used_devices),
+            key=lambda s: (s.available_at(ready_at), self.lanes.index(s)),
+        )
+        for lane in others:
+            if len(chosen) == width:
+                break
+            if id(lane.device) in used_devices:
+                continue
+            chosen.append(lane)
+            used_devices.add(id(lane.device))
+        # spill to sibling streams when width exceeds the device count
+        if len(chosen) < width:
+            spill = sorted(
+                (s for s in self.lanes if s not in chosen),
+                key=lambda s: (s.available_at(ready_at), self.lanes.index(s)),
+            )
+            chosen.extend(spill[: width - len(chosen)])
+        return chosen
+
     def run(
         self,
         label: str,
@@ -108,8 +140,9 @@ class StreamScheduler:
         fn,
         device: Device | None = None,
         category: str = "kernel",
+        width: int = 1,
     ) -> ScheduledUnit:
-        """Execute ``fn(device)`` and place its cost on a stream lane.
+        """Execute ``fn(device)`` and place its cost on ``width`` lanes.
 
         ``fn`` runs to completion (or to a :class:`ReproError`) on the
         chosen device; the simulated duration it charged — including the
@@ -117,7 +150,20 @@ class StreamScheduler:
         the lane starting no earlier than ``ready_at``.  Errors are
         captured, not raised: a faulted unit still occupies its lane for
         the time it burned, exactly like a real stream.
+
+        ``width > 1`` is for gang-scheduled multi-device work (a
+        row-partitioned eigensolve spanning ``eig_devices`` GPUs): the
+        unit reserves that many lanes — preferring one lane on each
+        distinct device before doubling up streams — and all of them
+        block for the unit's full duration from a common start, so the
+        schedule's occupancy reflects every GPU the solve pinned.
         """
+        if width < 1:
+            raise ServiceError(f"width must be >= 1, got {width}")
+        if width > len(self.lanes):
+            raise ServiceError(
+                f"width {width} exceeds the scheduler's {len(self.lanes)} lanes"
+            )
         lane = self.pick_lane(ready_at, device)
         dev = lane.device
         t0 = dev.elapsed
@@ -128,9 +174,19 @@ class StreamScheduler:
         except ReproError as err:
             error = err
         duration = dev.elapsed - t0
-        start, end = lane.reserve(ready_at, duration)
         name = label if error is None else f"{label} [failed: {type(error).__name__}]"
-        self.schedule.record_at(name, category, start, duration, tag=lane.name)
+        gang = (
+            self._widen_lanes(lane, ready_at, width) if width > 1 else [lane]
+        )
+        # gang members start together: none may begin before the busiest
+        # chosen lane frees up
+        ready_all = max(ready_at, *(s.available_at(ready_at) for s in gang))
+        start = end = None
+        for member in gang:
+            s, e = member.reserve(ready_all, duration)
+            self.schedule.record_at(name, category, s, duration, tag=member.name)
+            if start is None:
+                start, end = s, e
         return ScheduledUnit(
             label=label,
             value=value,
@@ -139,6 +195,7 @@ class StreamScheduler:
             end=end,
             lane=lane.name,
             device_index=self.devices.index(dev),
+            lanes=tuple(s.name for s in gang),
         )
 
     # ------------------------------------------------------------------

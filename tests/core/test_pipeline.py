@@ -161,3 +161,41 @@ class TestDeviceSharing:
         res = SpectralClustering(n_clusters=6, seed=0).fit(graph=W)
         text = res.summary()
         assert "eigensolver" in text and "kmeans" in text
+
+
+class TestMultiDevicePipeline:
+    """eig_devices > 1 through the full fit(): same answer, honest knobs."""
+
+    def _fit(self, W, p):
+        return SpectralClustering(n_clusters=6, seed=0, eig_devices=p).fit(
+            graph=W
+        )
+
+    def test_bit_identical_results_across_device_counts(self, sbm_graph):
+        W, _ = sbm_graph
+        ref = self._fit(W, 1)
+        for p in (2, 4):
+            res = self._fit(W, p)
+            assert res.labels.tobytes() == ref.labels.tobytes()
+            assert res.eigenvalues.tobytes() == ref.eigenvalues.tobytes()
+            assert res.embedding.tobytes() == ref.embedding.tobytes()
+
+    def test_eig_stats_expose_partition(self, sbm_graph):
+        W, _ = sbm_graph
+        res = self._fit(W, 2)
+        assert res.eig_stats["n_devices"] == 2
+        assert res.eig_stats["partition"] is not None
+        assert res.eig_stats["bytes_p2p"] > 0
+        assert res.timings.simulated["eigensolver"] > 0
+
+    def test_validation(self, sbm_graph):
+        with pytest.raises(ClusteringError):
+            SpectralClustering(n_clusters=3, eig_devices=0)
+        with pytest.raises(ClusteringError):
+            SpectralClustering(
+                n_clusters=3, eig_devices=2, eig_residency="host"
+            )
+        with pytest.raises(ClusteringError):
+            SpectralClustering(
+                n_clusters=3, eig_devices=2, eig_spmv_format="hyb"
+            )

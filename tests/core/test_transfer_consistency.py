@@ -1,0 +1,133 @@
+"""TransferLedger vs measured traffic: the plan and the meters must agree.
+
+The ledger predicts what a solve *should* move (PCIe and peer bus); the
+device counters and the profiler record what it *did* move.  These tests
+pin the two together byte-for-byte for full eigensolver runs, single- and
+multi-device.
+"""
+
+import pytest
+
+from repro.core.workflow import hybrid_eigensolver
+from repro.cuda.device import Device
+from repro.cuda.profiler import Profiler
+from repro.cusparse.matrices import coo_to_device
+from repro.graph.laplacian import device_sym_normalize
+from repro.linalg.rci import TransferLedger
+
+
+def _build(sbm_graph):
+    W, _ = sbm_graph
+    dev = Device()
+    dcoo = coo_to_device(dev, W.sorted_by_row())
+    return dev, device_sym_normalize(dcoo), W.shape[0]
+
+
+def _ledger_h2d(n, stats):
+    ledger = TransferLedger(
+        n=n, m=stats.m, k=stats.k, n_devices=stats.n_devices
+    )
+    seed = ledger.seed_h2d_bytes()
+    if stats.n_devices > 1:
+        per_restart = ledger.restart_broadcast_bytes()
+    else:
+        per_restart = ledger.restart_h2d_bytes()
+    return seed + stats.n_restarts * per_restart
+
+
+def _ledger_d2h(n, stats):
+    ledger = TransferLedger(n=n, m=stats.m, k=stats.k)
+    return (
+        stats.n_restarts * ledger.restart_d2h_bytes()
+        + ledger.result_d2h_bytes()
+    )
+
+
+class TestSingleDeviceConsistency:
+    def test_profiler_stats_and_ledger_agree(self, sbm_graph):
+        dev, op, n = _build(sbm_graph)
+        prof = Profiler(dev)
+        prof.start()
+        _, _, stats = hybrid_eigensolver(
+            dev, op, k=6, tol=1e-8, seed=0, spmv_format="csr"
+        )
+        rep = prof.stop()
+        assert stats.converged and stats.n_resumes == 0
+        # meter == meter: the stats deltas are the profiler deltas
+        assert rep.transfers["bytes_h2d"] == stats.bytes_h2d
+        assert rep.transfers["bytes_d2h"] == stats.bytes_d2h
+        assert rep.transfers["bytes_p2p"] == stats.bytes_p2p == 0
+        # meter == plan: every byte is in the ledger
+        assert stats.bytes_h2d == _ledger_h2d(n, stats)
+        assert stats.bytes_d2h == _ledger_d2h(n, stats)
+
+    def test_elided_roundtrips_match_ledger(self, sbm_graph):
+        dev, op, n = _build(sbm_graph)
+        prof = Profiler(dev)
+        prof.start()
+        _, _, stats = hybrid_eigensolver(
+            dev, op, k=6, tol=1e-8, seed=0, spmv_format="csr"
+        )
+        rep = prof.stop()
+        ledger = TransferLedger(n=n, m=stats.m, k=stats.k)
+        assert (
+            rep.transfers["bytes_elided"]
+            == stats.n_op * ledger.step_roundtrip_bytes()
+        )
+        assert rep.transfers["transfers_elided"] == 2 * stats.n_op
+
+
+class TestMultiDeviceConsistency:
+    @pytest.mark.parametrize("p", [2, 3])
+    def test_all_three_buses_match_ledger(self, sbm_graph, p):
+        dev, op, n = _build(sbm_graph)
+        _, _, stats = hybrid_eigensolver(
+            dev, op, k=6, tol=1e-8, seed=0, n_devices=p
+        )
+        assert stats.converged
+        part = stats.partition
+        ledger = TransferLedger(
+            n=n,
+            m=stats.m,
+            k=stats.k,
+            n_devices=p,
+            halo_counts=tuple(part["halo_counts"]),
+            halo_pairs=part["halo_pairs"],
+        )
+        # PCIe up: scattered seed + per-restart Q broadcast to every GPU
+        assert stats.bytes_h2d == (
+            ledger.seed_h2d_bytes()
+            + stats.n_restarts * ledger.restart_broadcast_bytes()
+        )
+        # PCIe down: tridiagonal entries per restart + the final Ritz block
+        assert stats.bytes_d2h == (
+            stats.n_restarts * ledger.restart_d2h_bytes()
+            + ledger.result_d2h_bytes()
+        )
+        # peer bus: one-time shard distribution + one halo exchange per SpMV
+        assert stats.bytes_p2p == (
+            part["shard_upload_bytes"]
+            + part["n_matvec"] * ledger.step_halo_bytes()
+        )
+        assert part["step_halo_bytes"] == ledger.step_halo_bytes()
+
+    def test_seed_scatter_sums_exactly(self, sbm_graph):
+        _, _, n = _build(sbm_graph)
+        ledger = TransferLedger(n=n, m=30, k=6, n_devices=3)
+        split = ledger.shard_split(ledger.seed_h2d_bytes())
+        assert len(split) == 3
+        assert sum(split) == ledger.seed_h2d_bytes()
+
+    def test_multi_device_same_pcie_totals_as_single(self, sbm_graph):
+        """The peer bus is extra; the PCIe d2h plan is unchanged, and h2d
+        differs only by the (n_devices - 1) extra Q broadcast copies."""
+        dev1, op1, n = _build(sbm_graph)
+        _, _, s1 = hybrid_eigensolver(dev1, op1, k=6, tol=1e-8, seed=0)
+        dev2, op2, _ = _build(sbm_graph)
+        _, _, s2 = hybrid_eigensolver(
+            dev2, op2, k=6, tol=1e-8, seed=0, n_devices=2
+        )
+        assert s2.n_restarts == s1.n_restarts  # identical iteration path
+        assert s2.bytes_d2h == s1.bytes_d2h
+        extra_q = s1.n_restarts * s1.m * s1.k * 8
+        assert s2.bytes_h2d == s1.bytes_h2d + extra_q

@@ -175,3 +175,82 @@ class TestDeviceResidency:
         for fmt in ("ell", "hyb"):
             assert np.array_equal(results[fmt][0], theta_ref)
             assert np.array_equal(results[fmt][1], U_ref)
+
+
+class TestMultiDeviceEigensolver:
+    """Row-partitioned Lanczos: identical spectra, honest halo accounting."""
+
+    def _solve(self, W, p, k=5):
+        from repro.cuda.device import Device
+
+        dev = Device()
+        dcoo = coo_to_device(dev, W.sorted_by_row())
+        op = device_sym_normalize(dcoo)
+        theta, U, stats = hybrid_eigensolver(
+            dev, op, k=k, tol=1e-10, seed=0, n_devices=p
+        )
+        return dev, theta, U, stats
+
+    @pytest.mark.parametrize("p", [2, 4])
+    def test_bit_identical_spectra(self, sbm_graph, p):
+        W, _ = sbm_graph
+        _, theta1, U1, _ = self._solve(W, 1)
+        _, theta_p, U_p, stats = self._solve(W, p)
+        assert theta_p.tobytes() == theta1.tobytes()
+        assert U_p.tobytes() == U1.tobytes()
+        assert stats.converged
+
+    def test_partition_evidence_recorded(self, sbm_graph):
+        W, _ = sbm_graph
+        _, _, _, stats = self._solve(W, 2)
+        assert stats.n_devices == 2
+        part = stats.partition
+        assert part is not None
+        assert len(part["bounds"]) == 3
+        assert len(part["halo_counts"]) == 2
+        assert part["step_halo_bytes"] == sum(part["halo_counts"]) * 8
+        assert part["n_matvec"] == stats.n_op
+        d = stats.as_dict()
+        assert d["n_devices"] == 2
+        assert d["partition"]["shard_upload_bytes"] > 0
+
+    def test_p2p_ledger_matches_partition_exactly(self, sbm_graph):
+        """TransferLedger equation: every peer byte is either the one-time
+        shard distribution or a per-matvec halo exchange."""
+        W, _ = sbm_graph
+        _, _, _, stats = self._solve(W, 2)
+        part = stats.partition
+        expected = (
+            part["shard_upload_bytes"]
+            + part["n_matvec"] * part["step_halo_bytes"]
+        )
+        assert stats.bytes_p2p == expected
+        assert stats.n_p2p > 0
+
+    def test_single_device_has_no_p2p(self, device, operator):
+        dcsr, _ = operator
+        _, _, stats = hybrid_eigensolver(device, dcsr, k=4, tol=1e-8, seed=0)
+        assert stats.n_devices == 1
+        assert stats.bytes_p2p == 0
+        assert stats.partition is None
+
+    def test_halo_copies_on_copy_streams(self, sbm_graph):
+        W, _ = sbm_graph
+        dev, _, _, _ = self._solve(W, 2)
+        p2p = [e for e in dev.timeline if e.category == "p2p"]
+        assert p2p
+        assert all("memcpyPeerAsync" in e.name for e in p2p)
+        assert all(e.tag == "eigensolver" for e in p2p)
+
+    def test_validation(self, device, operator):
+        dcsr, _ = operator
+        with pytest.raises(ValueError):
+            hybrid_eigensolver(device, dcsr, k=4, seed=0, n_devices=0)
+        with pytest.raises(ValueError):
+            hybrid_eigensolver(
+                device, dcsr, k=4, seed=0, n_devices=2, residency="host"
+            )
+        with pytest.raises(ValueError):
+            hybrid_eigensolver(
+                device, dcsr, k=4, seed=0, n_devices=2, spmv_format="ell"
+            )

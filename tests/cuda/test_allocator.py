@@ -195,3 +195,137 @@ class TestChaosInteraction:
                 device.empty(1000)  # would have been a hit
         # and the parked block is still there for the next caller
         assert device.allocator.cached_blocks == 1
+
+
+class TestSplitAndCoalesce:
+    """Best-fit block splitting: small requests carve cached larger blocks
+    instead of paying cudaMalloc, and the halves merge back on release."""
+
+    def test_split_serves_small_request_from_larger_block(self):
+        a = CachingAllocator(1 << 20)
+        a.allocate(2048)
+        a.release(2048)  # one 2048 B block parked
+        reserved = a.reserved_bytes
+        out = a.allocate(512)
+        assert out.hit and out.split
+        assert a.n_splits == 1
+        # the 1536 B remainder parks on its own bucket; no new segment
+        assert a._free_blocks.get(1536) == 1
+        assert a.reserved_bytes == reserved
+
+    def test_split_picks_smallest_sufficient_parent(self):
+        a = CachingAllocator(1 << 20)
+        a.allocate(4096)
+        a.allocate(1024)
+        a.release(4096)
+        a.release(1024)
+        a.allocate(512)
+        # best fit carves the 1024 B block, not the 4096 B one
+        assert a._free_blocks.get(4096) == 1
+        assert a._free_blocks.get(512) == 1
+
+    def test_exact_hit_preferred_over_split(self):
+        a = CachingAllocator(1 << 20)
+        for size in (512, 2048):
+            a.allocate(size)
+            a.release(size)
+        out = a.allocate(512)
+        assert out.hit and not out.split
+        assert a.n_splits == 0
+        assert a._free_blocks.get(2048) == 1
+
+    def test_parent_must_be_strictly_larger(self):
+        a = CachingAllocator(1 << 20)
+        a.allocate(512)
+        a.release(512)
+        out = a.allocate(1024)  # the parked 512 B block cannot serve this
+        assert not out.hit
+        assert a.n_splits == 0
+
+    def test_large_blocks_never_split(self):
+        a = CachingAllocator(1 << 30)
+        big = LARGE_BLOCK_THRESHOLD * 2
+        a.allocate(big)
+        a.release(big)  # bypasses the cache entirely
+        out = a.allocate(512)
+        assert not out.hit
+
+    def test_release_coalesces_child_with_parked_remainder(self):
+        a = CachingAllocator(1 << 20)
+        a.allocate(2048)
+        a.release(2048)
+        a.allocate(512)  # split: 512 out, 1536 parked
+        a.release(512)  # child + remainder merge back into 2048
+        assert a.n_coalesces == 1
+        assert a._free_blocks.get(2048) == 1
+        assert a._free_blocks.get(1536) is None
+        assert a._free_blocks.get(512) is None
+
+    def test_no_coalesce_when_remainder_consumed(self):
+        a = CachingAllocator(1 << 20)
+        a.allocate(2048)
+        a.release(2048)
+        a.allocate(512)  # split: remainder 1536 parked
+        out = a.allocate(1536)  # exact hit consumes the remainder
+        assert out.hit and not out.split
+        a.release(512)  # nothing to merge with: parks as a plain block
+        assert a.n_coalesces == 0
+        assert a._free_blocks.get(512) == 1
+
+    def test_reserved_bytes_invariant_through_split_cycle(self):
+        a = CachingAllocator(1 << 20)
+        a.allocate(4096)
+        a.release(4096)
+        reserved = a.reserved_bytes
+        a.allocate(1024)
+        a.allocate(1024)
+        a.release(1024)
+        a.release(1024)
+        assert a.reserved_bytes == reserved
+        assert a.cached_bytes == reserved
+
+    def test_flush_clears_split_bookkeeping(self):
+        a = CachingAllocator(1 << 20)
+        a.allocate(2048)
+        a.release(2048)
+        a.allocate(512)
+        a.empty_cache()  # remainder went back to the driver
+        a.release(512)  # must NOT merge with a flushed remainder
+        assert a.n_coalesces == 0
+        assert a._split_pairs == {}
+
+    def test_stats_expose_split_counters(self):
+        a = CachingAllocator(1 << 20)
+        s = a.stats()
+        assert s["splits"] == 0
+        assert s["coalesces"] == 0
+        a.allocate(2048)
+        a.release(2048)
+        a.allocate(512)
+        a.release(512)
+        s = a.stats()
+        assert s["splits"] == 1
+        assert s["coalesces"] == 1
+
+    def test_device_split_avoids_cudamalloc_latency(self):
+        """On a device, a split hit skips the cudaMalloc overhead charge."""
+        dev = Device()
+        buf = dev.empty(256, dtype=np.float64)  # 2048 B
+        buf.free()
+        t0 = dev.elapsed
+        small = dev.empty(64, dtype=np.float64)  # 512 B, served by split
+        assert dev.elapsed == t0  # no cudaMalloc event charged
+        assert dev.allocator.n_splits == 1
+        small.free()
+        assert dev.allocator.n_coalesces == 1
+
+    def test_profiler_reports_split_deltas(self):
+        dev = Device()
+        warm = dev.empty(256, dtype=np.float64)
+        warm.free()
+        prof = Profiler(dev)
+        prof.start()
+        dev.empty(64, dtype=np.float64).free()
+        rep = prof.stop()
+        assert rep.allocator["splits"] == 1
+        assert rep.allocator["coalesces"] == 1

@@ -132,3 +132,55 @@ class TestTraceExport:
         stages = {e["args"].get("stage") for e in loaded["traceEvents"]
                   if e["ph"] == "X"}
         assert {"similarity", "laplacian", "eigensolver", "kmeans"} <= stages
+
+
+class TestP2PTrack:
+    """Peer-to-peer halo traffic lands on its own named track and visibly
+    overlaps the local SpMV kernels."""
+
+    def _partitioned_spmv(self, rng):
+        from repro.cuda.device import Device
+        from repro.cusparse.matrices import csr_to_device
+        from repro.cusparse.partition import partition_csr, spmv_partitioned
+        from repro.sparse.construct import random_sparse
+
+        primary = Device()
+        peer = Device(primary.spec, primary.pcie, timeline=primary.timeline)
+        host = random_sparse(300, 300, 0.05, rng=rng).to_csr()
+        P = partition_csr(csr_to_device(primary, host), [primary, peer])
+        spmv_partitioned(P, rng.standard_normal(300))
+        return primary.timeline
+
+    def test_p2p_events_on_dedicated_track(self, rng):
+        tl = self._partitioned_spmv(rng)
+        events = timeline_to_trace_events(tl)
+        p2p = [
+            e for e in events
+            if e["ph"] == "X" and e["args"]["category"] == "p2p"
+        ]
+        assert p2p
+        tids = {e["tid"] for e in p2p}
+        assert len(tids) == 1
+        tid = tids.pop()
+        labels = [
+            e for e in events
+            if e["ph"] == "M" and e.get("args", {}).get("name") == "P2P halo"
+        ]
+        assert labels and labels[0]["tid"] == tid
+
+    def test_trace_shows_local_halo_overlap(self, rng):
+        """In the exported trace, at least one peer copy's [ts, ts+dur)
+        intersects a local kernel's — the copy engine is not serialized
+        behind compute."""
+        tl = self._partitioned_spmv(rng)
+        events = [
+            e for e in timeline_to_trace_events(tl) if e["ph"] == "X"
+        ]
+        kernels = [e for e in events if "csrmv[local" in e["name"]]
+        copies = [e for e in events if e["args"]["category"] == "p2p"]
+        assert kernels and copies
+        assert any(
+            k["ts"] < c["ts"] + c["dur"] and c["ts"] < k["ts"] + k["dur"]
+            for k in kernels
+            for c in copies
+        )

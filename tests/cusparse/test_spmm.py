@@ -70,3 +70,112 @@ class TestCsrmm:
         csrmm(d, B)
         t8 = device.elapsed - t0
         assert t8 < 8 * device.cost.spmv_time(n, d.nnz)
+
+
+class TestFormatSpmm:
+    """ELL/HYB SpMM paths: bit-identical products, dispatch, autotuning."""
+
+    def _operand(self, device, rng, n=60, m=40, density=0.15):
+        host = random_sparse(n, m, density, rng=rng)
+        return csr_to_device(device, host.to_csr()), host
+
+    @pytest.mark.parametrize("fmt", ["ell", "hyb"])
+    def test_bit_identical_to_csrmm(self, device, rng, fmt):
+        from repro.cusparse.formats import convert_for_spmv
+        from repro.cusparse.spmm import spmm_any
+
+        d, _ = self._operand(device, rng)
+        B = device.to_device(rng.random((40, 5)))
+        ref = csrmm(d, B)
+        A = convert_for_spmv(d, fmt)
+        C = spmm_any(A, B)
+        assert C.data.tobytes() == ref.data.tobytes()
+        A.free()
+
+    @pytest.mark.parametrize("fmt", ["ell", "hyb"])
+    def test_alpha_beta_accumulate(self, device, rng, fmt):
+        from repro.cusparse.formats import convert_for_spmv
+        from repro.cusparse.spmm import spmm_any
+
+        d, _ = self._operand(device, rng)
+        B = device.to_device(rng.random((40, 3)))
+        C0 = rng.random((60, 3))
+        ref = device.to_device(C0)
+        csrmm(d, B, ref, alpha=0.5, beta=-1.0)
+        A = convert_for_spmv(d, fmt)
+        C = device.to_device(C0)
+        spmm_any(A, B, C, alpha=0.5, beta=-1.0)
+        assert C.data.tobytes() == ref.data.tobytes()
+        A.free()
+
+    def test_spmm_any_rejects_unknown_operand(self, device, rng):
+        from repro.cusparse.spmm import spmm_any
+
+        with pytest.raises(SparseValueError):
+            spmm_any(object(), device.zeros((4, 2)))
+
+    def test_kernel_names_recorded(self, device, rng):
+        from repro.cusparse.formats import convert_for_spmv
+        from repro.cusparse.spmm import spmm_any
+
+        d, _ = self._operand(device, rng)
+        B = device.zeros((40, 4))
+        spmm_any(convert_for_spmv(d, "ell"), B)
+        spmm_any(convert_for_spmv(d, "hyb"), B)
+        names = [e.name for e in device.timeline if e.category == "kernel"]
+        assert any(n == "cusparseDellmm" for n in names)
+        assert any(n.startswith("cusparseDhybmm") for n in names)
+
+
+class TestSpmmAutotune:
+    def test_invalid_args_rejected(self, device, rng):
+        from repro.cusparse.formats import autotune_spmm_format
+        from repro.errors import SparseFormatError
+
+        host = random_sparse(30, 30, 0.2, rng=rng).to_csr()
+        with pytest.raises(SparseFormatError):
+            autotune_spmm_format(host.indptr, device.cost, p=0)
+        with pytest.raises(SparseFormatError):
+            autotune_spmm_format(
+                host.indptr, device.cost, p=4, conversion_uses=0
+            )
+
+    def test_uniform_rows_favor_ell_when_conversion_free(self, device):
+        """One nonzero per row (the k-means membership shape): ELL wins on
+        the kernel alone."""
+        from repro.cusparse.formats import autotune_spmm_format
+
+        indptr = np.arange(5001, dtype=np.int64)  # exactly 1 nnz per row
+        d = autotune_spmm_format(indptr, device.cost, p=16)
+        assert d.format == "ell"
+
+    def test_conversion_pricing_shifts_choice_to_csr(self, device):
+        """Charging the per-iteration CSR->ELL rebuild flips the same
+        matrix back to CSR — the conversion never amortizes at one use."""
+        from repro.cusparse.formats import autotune_spmm_format
+
+        indptr = np.arange(2001, dtype=np.int64)
+        free = autotune_spmm_format(indptr, device.cost, p=16)
+        priced = autotune_spmm_format(
+            indptr, device.cost, p=16, conversion_uses=1
+        )
+        assert free.format == "ell"
+        assert priced.format == "csr"
+
+    def test_many_uses_amortize_conversion(self, device):
+        from repro.cusparse.formats import autotune_spmm_format
+
+        indptr = np.arange(2001, dtype=np.int64)
+        amortized = autotune_spmm_format(
+            indptr, device.cost, p=16, conversion_uses=10_000
+        )
+        assert amortized.format == "ell"
+
+    def test_decision_reports_all_candidates(self, device, rng):
+        from repro.cusparse.formats import autotune_spmm_format
+
+        host = random_sparse(200, 200, 0.05, rng=rng).to_csr()
+        d = autotune_spmm_format(host.indptr, device.cost, p=8)
+        assert set(d.predicted_s) == {"csr", "ell", "hyb"}
+        assert d.format in d.predicted_s
+        assert d.hyb_width >= 1

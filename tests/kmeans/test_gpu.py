@@ -266,3 +266,45 @@ class TestIterationAllocations:
             assert res.n_iter == max_iter
             totals.append(self._total_allocs(dev))
         assert totals[1] == totals[0] + 5 * 7
+
+
+class TestSpmmFormat:
+    """The centroid-update SpMM can run from ELL/HYB membership operands;
+    the format changes only the charged time, never the numbers."""
+
+    def test_forced_formats_bit_identical(self, blobs):
+        V, _, k = blobs
+        results = {}
+        for fmt in ("csr", "ell", "hyb"):
+            res = kmeans_device(Device(), V, k, seed=0, spmm_format=fmt)
+            results[fmt] = res
+        for fmt in ("ell", "hyb"):
+            assert np.array_equal(results[fmt].labels, results["csr"].labels)
+            assert (
+                results[fmt].centroids.tobytes()
+                == results["csr"].centroids.tobytes()
+            )
+            assert results[fmt].inertia == results["csr"].inertia
+
+    def test_auto_matches_forced_choice(self, blobs):
+        V, _, k = blobs
+        auto = kmeans_device(Device(), V, k, seed=0, spmm_format="auto")
+        ref = kmeans_device(Device(), V, k, seed=0, spmm_format="csr")
+        assert np.array_equal(auto.labels, ref.labels)
+        assert auto.centroids.tobytes() == ref.centroids.tobytes()
+
+    def test_forced_format_launches_its_kernel(self, blobs):
+        V, _, k = blobs
+        dev = Device()
+        kmeans_device(dev, V, k, seed=0, spmm_format="ell")
+        names = [e.name for e in dev.timeline if e.category == "kernel"]
+        assert any(n == "cusparseDellmm" for n in names)
+        dev2 = Device()
+        kmeans_device(dev2, V, k, seed=0, spmm_format="hyb")
+        names2 = [e.name for e in dev2.timeline if e.category == "kernel"]
+        assert any(n.startswith("cusparseDhybmm") for n in names2)
+
+    def test_invalid_format_rejected(self, blobs):
+        V, _, k = blobs
+        with pytest.raises(ClusteringError):
+            kmeans_device(Device(), V, k, seed=0, spmm_format="coo")

@@ -110,3 +110,53 @@ class TestStreamScheduler:
         sched = StreamScheduler(n_devices=1, streams_per_device=3)
         unit = sched.run("first", 0.0, _burn(0.1))
         assert unit.lane == "dev0/s0"
+
+
+class TestGangScheduling:
+    """width > 1: a multi-device solve occupies several lanes honestly."""
+
+    def test_width_reserves_lanes_on_distinct_devices(self):
+        sched = StreamScheduler(n_devices=2, streams_per_device=2)
+        unit = sched.run("gang", 0.0, _burn(1.0), width=2)
+        assert len(unit.lanes) == 2
+        devs = {lane.split("/")[0] for lane in unit.lanes}
+        assert devs == {"dev0", "dev1"}
+        assert unit.lanes[0] == unit.lane
+
+    def test_gang_members_share_a_common_start(self):
+        sched = StreamScheduler(n_devices=2, streams_per_device=1)
+        sched.run("head-start", 0.0, _burn(2.0))  # dev0 busy until t=2
+        unit = sched.run("gang", 0.0, _burn(1.0), width=2)
+        # the gang cannot start until its slowest member's lane frees up
+        assert unit.start == pytest.approx(2.0)
+        starts = {
+            ev.start for ev in sched.schedule if ev.name == "gang"
+        }
+        assert starts == {unit.start}
+
+    def test_width_spills_to_sibling_streams(self):
+        sched = StreamScheduler(n_devices=2, streams_per_device=2)
+        unit = sched.run("wide", 0.0, _burn(0.5), width=4)
+        assert len(unit.lanes) == 4
+        assert len(set(unit.lanes)) == 4  # all distinct lanes
+
+    def test_width_beyond_lane_count_rejected(self):
+        sched = StreamScheduler(n_devices=1, streams_per_device=2)
+        with pytest.raises(ServiceError):
+            sched.run("too-wide", 0.0, _burn(0.1), width=3)
+        with pytest.raises(ServiceError):
+            sched.run("non-positive", 0.0, _burn(0.1), width=0)
+
+    def test_gang_blocks_other_units(self):
+        sched = StreamScheduler(n_devices=2, streams_per_device=1)
+        sched.run("gang", 0.0, _burn(1.0), width=2)
+        late = sched.run("late", 0.0, _burn(0.5))
+        # both lanes were held by the gang, so the next unit queues
+        assert late.start == pytest.approx(1.0)
+
+    def test_width_one_unchanged(self):
+        sched = StreamScheduler(n_devices=2, streams_per_device=1)
+        unit = sched.run("solo", 0.0, _burn(1.0))
+        assert unit.lanes == (unit.lane,)
+        other = sched.run("other", 0.0, _burn(1.0))
+        assert other.start == pytest.approx(0.0)  # dev1 lane was free

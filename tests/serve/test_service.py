@@ -223,3 +223,50 @@ class TestServiceReportShape:
         _, report = svc.process([make_request()])
         assert report.profile is not None
         assert report.profile.total > 0
+
+
+class TestMultiDeviceServing:
+    """eig_devices requests gang-schedule across device lanes and still
+    share the embedding cache with single-device solves."""
+
+    def test_multi_device_request_bit_identical(self, make_request):
+        ref, _ = _service().process([make_request()])
+        multi, _ = _service(n_devices=2).process(
+            [make_request(eig_devices=2)]
+        )
+        assert multi[0].labels.tobytes() == ref[0].labels.tobytes()
+        assert np.array_equal(multi[0].eigenvalues, ref[0].eigenvalues)
+
+    def test_solve_occupies_multiple_lanes(self, make_request):
+        svc = _service(n_devices=2)
+        svc.process([make_request(eig_devices=2)])
+        solves = [
+            ev for ev in svc.scheduler.schedule if "eigensolve" in ev.name
+        ]
+        # the gang reserves one lane per device, same start, same duration
+        assert len(solves) == 2
+        assert {ev.tag.split("/")[0] for ev in solves} == {"dev0", "dev1"}
+        assert len({ev.start for ev in solves}) == 1
+        assert len({ev.duration for ev in solves}) == 1
+
+    def test_width_capped_by_available_lanes(self, make_request):
+        svc = _service(n_devices=1, streams_per_device=1)
+        responses, _ = svc.process([make_request(eig_devices=4)])
+        assert responses[0].error is None
+
+    def test_device_count_does_not_split_cache(self, make_request):
+        """eig_devices is not part of the embedding key: one solve serves
+        both a single- and a multi-device request for the same problem."""
+        svc = _service(n_devices=2)
+        responses, report = svc.process(
+            [
+                make_request(eig_devices=1),
+                make_request(eig_devices=2),
+            ]
+        )
+        solve_names = {
+            ev.name for ev in svc.scheduler.schedule if "eigensolve" in ev.name
+        }
+        assert len(solve_names) == 1
+        a, b = responses
+        assert a.labels.tobytes() == b.labels.tobytes()
