@@ -57,6 +57,7 @@ def test_emit_machine_readable_summary(comparison):
 
     from bench_ablation_kmeans import kmeans_ablation_summary
     from bench_multigpu_eig import multigpu_eig_summary
+    from bench_precision_ablation import precision_ablation_summary
     from bench_serve_throughput import serve_summary
 
     payload = {"schema_version": 1, "datasets": {}}
@@ -81,6 +82,7 @@ def test_emit_machine_readable_summary(comparison):
     payload["serve"] = serve_summary()
     payload["kmeans_ablation"] = kmeans_ablation_summary()
     payload["multigpu_eig"] = multigpu_eig_summary()
+    payload["precision_ablation"] = precision_ablation_summary()
     out = Path(__file__).parent.parent / "BENCH_regression.json"
     out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     written = json.loads(out.read_text())
@@ -91,3 +93,10 @@ def test_emit_machine_readable_summary(comparison):
     assert written["multigpu_eig"]["bit_identical"] is True
     for wl in written["multigpu_eig"]["workloads"].values():
         assert wl["configs"]["2"]["speedup_vs_1dev"] > 1.0
+    prec = written["precision_ablation"]
+    assert prec["fp64_bit_identical"] is True
+    for wl in prec["datasets"].values():
+        assert (
+            wl["cells"]["fp32_lanczos"]["byte_reduction_vs_fp64"]
+            >= prec["min_fp32_byte_reduction"]
+        )

@@ -51,6 +51,80 @@ def compare(baseline: dict, current: dict, rel_tol: float) -> list[str]:
             )
     failures.extend(_compare_kmeans_ablation(baseline, current, rel_tol))
     failures.extend(_compare_multigpu_eig(baseline, current, rel_tol))
+    failures.extend(_compare_precision_ablation(baseline, current, rel_tol))
+    return failures
+
+
+def _compare_precision_ablation(
+    baseline: dict, current: dict, rel_tol: float
+) -> list[str]:
+    """Gate the mixed-precision grid: the exact path stays bit-identical,
+    every reduced Lanczos cell stays inside its tolerance band (ARI vs
+    the exact labels >= the per-dataset band, refined residual <= the
+    precision's floor), fp32 keeps its >=1.5x byte-traffic win on every
+    dataset, and no cell's modeled byte traffic creeps past the
+    tolerance."""
+    failures: list[str] = []
+    base = baseline.get("precision_ablation")
+    cur = current.get("precision_ablation")
+    if base is None:
+        return failures
+    if cur is None:
+        return ["precision_ablation: section missing from current run"]
+    if cur.get("fp64_bit_identical") is not True:
+        failures.append(
+            "precision_ablation.fp64_bit_identical: exact path diverged "
+            "(fp64 lanczos must reproduce the default fit bit-for-bit)"
+        )
+    floors = cur.get("residual_floors", {})
+    min_red = cur.get("min_fp32_byte_reduction", 1.5)
+    for name in sorted(base.get("datasets", {})):
+        if name not in cur.get("datasets", {}):
+            failures.append(f"precision_ablation.{name}: dataset missing")
+            continue
+        base_wl = base["datasets"][name]
+        cur_wl = cur["datasets"][name]
+        bands = cur_wl.get("bands", {})
+        for cell in sorted(base_wl.get("cells", {})):
+            if cell not in cur_wl.get("cells", {}):
+                failures.append(
+                    f"precision_ablation.{name}.{cell}: cell missing"
+                )
+                continue
+            old = base_wl["cells"][cell]["spmv_bytes"]
+            new = cur_wl["cells"][cell]["spmv_bytes"]
+            if old > 0 and new > old * (1.0 + rel_tol):
+                failures.append(
+                    f"precision_ablation.{name}.{cell}.spmv_bytes: "
+                    f"{old:.6g} -> {new:.6g} "
+                    f"(+{(new / old - 1.0) * 100:.1f}%, tolerance "
+                    f"{rel_tol * 100:.0f}%)"
+                )
+        for precision in ("fp32", "fp16"):
+            cell = cur_wl.get("cells", {}).get(f"{precision}_lanczos")
+            if cell is None:
+                continue
+            band = bands.get(precision)
+            if band is not None and cell["ari_vs_exact"] < band:
+                failures.append(
+                    f"precision_ablation.{name}.{precision}_lanczos: "
+                    f"ari_vs_exact {cell['ari_vs_exact']:.3f} fell below "
+                    f"band {band}"
+                )
+            floor = floors.get(precision)
+            rres = cell.get("refine_residual")
+            if floor is not None and rres is not None and rres > floor:
+                failures.append(
+                    f"precision_ablation.{name}.{precision}_lanczos: "
+                    f"refined residual {rres:.3g} above floor {floor}"
+                )
+        fp32 = cur_wl.get("cells", {}).get("fp32_lanczos")
+        if fp32 is not None and fp32["byte_reduction_vs_fp64"] < min_red:
+            failures.append(
+                f"precision_ablation.{name}: fp32 byte reduction "
+                f"{fp32['byte_reduction_vs_fp64']:.3f}x lost the "
+                f">={min_red}x win over fp64"
+            )
     return failures
 
 
@@ -173,6 +247,18 @@ def main(argv: list[str] | None = None) -> int:
                     f"multigpu eig {name:8s} x{p} "
                     f"eig {cfg[p]['eig_simulated_s']:.6g} s  "
                     f"({cfg[p]['speedup_vs_1dev']:.2f}x)  ok"
+                )
+    precision = current.get("precision_ablation")
+    if precision:
+        for name in sorted(precision.get("datasets", {})):
+            cells = precision["datasets"][name]["cells"]
+            for cell in sorted(cells):
+                c = cells[cell]
+                print(
+                    f"precision {name:8s} {cell:13s} "
+                    f"{c['spmv_bytes']:.6g} B "
+                    f"({c['byte_reduction_vs_fp64']:.2f}x, "
+                    f"ari_vs_exact {c['ari_vs_exact']:.3f})  ok"
                 )
     print("bench regression gate passed")
     return 0

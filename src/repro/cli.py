@@ -64,6 +64,7 @@ def _cmd_run(args) -> int:
     sc = SpectralClustering(
         n_clusters=k, eig_tol=args.tol, seed=args.seed,
         eig_devices=args.eig_devices,
+        precision=args.precision, embedding=args.embedding,
         chaos=args.chaos,
         resilience=DISABLED if args.no_resilience else None,
     )
@@ -237,6 +238,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="shard the eigensolver's SpMV across this many "
                        "simulated devices (row partition + overlapped halo "
                        "exchange; results are bit-identical)")
+    run_p.add_argument("--precision", default="fp64",
+                       choices=("fp64", "fp32", "fp16"),
+                       help="eigensolver storage precision; reduced modes "
+                       "accumulate in fp64 and finish with fp64 iterative "
+                       "refinement (fp64 stays bit-identical)")
+    run_p.add_argument("--embedding", default="lanczos",
+                       choices=("lanczos", "power"),
+                       help="spectral embedding algorithm: full IRLM or "
+                       "the block power iteration (pure repeated SpMM)")
     run_p.add_argument("--chaos", type=int, default=None, metavar="SEED",
                        help="inject a deterministic fault schedule derived "
                        "from SEED (see repro.chaos)")

@@ -53,7 +53,7 @@ from repro.chaos.plan import FaultPlan
 from repro.chaos.retry import ResiliencePolicy, TRANSIENT_ERRORS, with_retry
 from repro.chaos.runtime import chaos as _chaos_scope
 from repro.core.result import ClusteringResult, EmbeddingResult, StageTimings
-from repro.core.workflow import hybrid_eigensolver
+from repro.core.workflow import EMBEDDING_MODES, hybrid_eigensolver
 from repro.cuda.device import Device
 from repro.cuda.profiler import Profiler
 from repro.cusparse.matrices import coo_to_device, csr_to_device
@@ -71,6 +71,7 @@ from repro.graph.laplacian import (
 from repro.kmeans.cpu import kmeans_cpu
 from repro.kmeans.gpu import kmeans_device
 from repro.linalg.utils import normalize_rows
+from repro.precision import PRECISIONS
 from repro.sparse.construct import diags
 from repro.sparse.coo import COOMatrix
 from repro.sparse.csr import CSRMatrix
@@ -180,6 +181,20 @@ class SpectralClustering:
         labels are bit-identical to the single-device run — only the
         charged makespan changes.  Requires ``eig_residency='device'``
         and a CSR-compatible ``eig_spmv_format`` ('auto' or 'csr').
+    precision:
+        Storage precision for the eigensolver's operator values and
+        iteration vectors: 'fp64' (default — the exact path, bit-identical
+        to builds without this knob), 'fp32' or 'fp16'.  Reduced solves
+        accumulate in fp64 and finish with fp64 iterative-refinement
+        steps against the full-precision operator
+        (:mod:`repro.precision`); accuracy is gated by the tolerance
+        bands in the regression harness rather than bit-identity.
+    embedding:
+        Spectral embedding algorithm: 'lanczos' (default) is the full
+        IRLM reverse-communication loop; 'power' is the block
+        power-iteration embedding of Boutsidis et al. — pure repeated
+        SpMM, no restarts — whose embedding is approximate by design but
+        k-means-equivalent on clusterable graphs.
     kmeans_init:
         'k-means++' (paper's choice) or 'random'.
     kmeans_max_iter:
@@ -229,6 +244,8 @@ class SpectralClustering:
         eig_residency: str = "device",
         eig_spmv_format: str = "auto",
         eig_devices: int = 1,
+        precision: str = "fp64",
+        embedding: str = "lanczos",
         kmeans_init: str = "k-means++",
         kmeans_max_iter: int = 300,
         kmeans_update: str = "spmm",
@@ -274,6 +291,15 @@ class SpectralClustering:
                 "eig_devices > 1 requires eig_spmv_format 'auto' or 'csr' "
                 "(row blocks are stored as split local/halo CSR)"
             )
+        if precision not in PRECISIONS:
+            raise ClusteringError(
+                f"precision must be one of {PRECISIONS}, got {precision!r}"
+            )
+        if embedding not in EMBEDDING_MODES:
+            raise ClusteringError(
+                f"embedding must be one of {EMBEDDING_MODES}, "
+                f"got {embedding!r}"
+            )
         if kmeans_update not in ("spmm", "sort"):
             raise ClusteringError(
                 f"kmeans_update must be 'spmm' or 'sort', got {kmeans_update!r}"
@@ -294,6 +320,8 @@ class SpectralClustering:
         self.eig_residency = eig_residency
         self.eig_spmv_format = eig_spmv_format
         self.eig_devices = eig_devices
+        self.precision = precision
+        self.embedding = embedding
         self.kmeans_init = kmeans_init
         self.kmeans_max_iter = kmeans_max_iter
         self.kmeans_update = kmeans_update
@@ -646,6 +674,7 @@ class SpectralClustering:
             tol=self.eig_tol, maxiter=self.eig_maxiter, seed=self.seed,
             policy=policy, residency=self.eig_residency,
             spmv_format=self.eig_spmv_format, n_devices=self.eig_devices,
+            precision=self.precision, embedding=self.embedding,
         )
         _note(resilience, "eigensolver", {
             "retries": stats.spmv_retries,

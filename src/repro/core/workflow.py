@@ -27,25 +27,47 @@ from repro.chaos.retry import DISABLED, ResiliencePolicy, TRANSIENT_ERRORS, with
 from repro.cuda.device import Device
 from repro.cuda.memory import BufferGroup
 from repro.cuda.stream import Stream
-from repro.cusparse.formats import autotune_format, convert_for_spmv
-from repro.cusparse.matrices import DeviceCSR
+from repro.cusparse.formats import (
+    autotune_format,
+    autotune_spmm_format,
+    convert_for_spmv,
+)
+from repro.cusparse.matrices import DeviceCSR, cast_csr
 from repro.cusparse.partition import (
     PartitionedCSR,
     partition_bounds,
     partition_csr,
+    spmm_partitioned,
     spmv_partitioned,
 )
+from repro.cusparse.spmm import csrmm, spmm_any
 from repro.cusparse.spmv import csrmv, spmv_any
 from repro.errors import CudaError, DeviceMemoryError
 from repro.hw.costmodel import CPUCostModel
 from repro.hw.spec import CPUSpec, XEON_E5_2690
 from repro.linalg.eigsolver import SymEigProblem
+from repro.linalg.power import default_power_iterations, power_embedding
 from repro.linalg.rci import LanczosCheckpoint, TransferLedger
+from repro.linalg.refine import refine_eigenpairs
+from repro.precision import (
+    TOL_FLOORS,
+    as_f64,
+    kernel_letter,
+    precision_of,
+    quantize,
+    quantize_roundtrip,
+    resolve_precision,
+)
 
 #: iteration-vector placements for :func:`hybrid_eigensolver`
 RESIDENCY_MODES = ("device", "host")
 #: SpMV format requests (``"auto"`` = cost-model autotune over row stats)
 SPMV_FORMAT_CHOICES = ("auto", "csr", "ell", "hyb")
+#: embedding algorithms: full IRLM or the block power iteration of
+#: Boutsidis et al. (q = O(log n) SpMMs, no restarts)
+EMBEDDING_MODES = ("lanczos", "power")
+#: fp64 refinement steps applied by default after a reduced-precision solve
+DEFAULT_REFINE_STEPS = 2
 
 
 @dataclass
@@ -86,6 +108,24 @@ class EigStats:
     #: row-partitioning evidence when ``n_devices > 1`` (bounds, halo
     #: counts, per-step halo bytes, one-time shard distribution bytes)
     partition: dict | None = None
+    #: storage precision of the operator values and iteration vectors
+    precision: str = "fp64"
+    #: embedding algorithm the solve ran ("lanczos" or "power")
+    embedding: str = "lanczos"
+    #: fp64 operator applications the refinement pass performed
+    #: (``len(refine_history) - 1``: one for the measurement + in-span
+    #: polish, one per subspace advance; 0 = the pass never ran)
+    refine_steps: int = 0
+    #: max relative eigen-residual after refinement (None = not measured;
+    #: the exact fp64 path doesn't run the refinement pass)
+    refine_residual: float | None = None
+    #: per-step residual history of the refinement loop (monotone)
+    refine_history: list | None = None
+    #: modeled SpMV/SpMM device-memory bytes this solve moved (the
+    #: roofline byte expressions, summed — the precision ablation's gate)
+    spmv_bytes: float = 0.0
+    #: summed simulated seconds of the SpMV/SpMM kernels themselves
+    spmv_kernel_s: float = 0.0
 
     def as_dict(self) -> dict:
         return dict(
@@ -112,6 +152,13 @@ class EigStats:
             format_decision=self.format_decision,
             n_devices=self.n_devices,
             partition=self.partition,
+            precision=self.precision,
+            embedding=self.embedding,
+            refine_steps=self.refine_steps,
+            refine_residual=self.refine_residual,
+            refine_history=self.refine_history,
+            spmv_bytes=self.spmv_bytes,
+            spmv_kernel_s=self.spmv_kernel_s,
         )
 
 
@@ -149,17 +196,26 @@ def charge_find_eigenvectors(
     device.charge_cpu("FindEigenvectors", cpu.blas3_time(2.0 * n * m * k))
 
 
-def charge_takestep_device(device: Device, n: int, j_avg: float) -> None:
+def charge_takestep_device(
+    device: Device, n: int, j_avg: float, itemsize: int = 8
+) -> None:
     """Charge one ``TakeStep`` with the basis kept device-resident.
 
     The reorthogonalization sweep becomes two cuBLAS gemv launches over the
     on-device basis (project then update) instead of a host BLAS-2 pass —
-    the same ``O(j·n)`` traffic, but at GPU stream bandwidth.
+    the same ``O(j·n)`` traffic, but at GPU stream bandwidth.  ``itemsize``
+    is the basis storage width (reduced-precision solves keep the basis at
+    fp32/fp16, so the sweep reads proportionally fewer bytes).
     """
+    letter = kernel_letter(itemsize)
     flops = 2.0 * j_avg * n
-    bytes_moved = (j_avg * n + 2.0 * n) * 8.0
-    device.charge_kernel("cublasDgemv[proj]", flops, bytes_moved, kind="stream")
-    device.charge_kernel("cublasDgemv[update]", flops, bytes_moved, kind="stream")
+    bytes_moved = (j_avg * n + 2.0 * n) * float(itemsize)
+    device.charge_kernel(
+        f"cublas{letter}gemv[proj]", flops, bytes_moved, kind="stream"
+    )
+    device.charge_kernel(
+        f"cublas{letter}gemv[update]", flops, bytes_moved, kind="stream"
+    )
 
 
 def charge_restart_device(
@@ -169,6 +225,7 @@ def charge_restart_device(
     n: int,
     m: int,
     kp: int,
+    itemsize: int = 8,
 ) -> None:
     """Charge one implicit restart with a device-resident basis.
 
@@ -181,9 +238,17 @@ def charge_restart_device(
     instead of host BLAS-3.  The two staging buffers cycle through the
     caching allocator every restart, so after the first restart they are
     free-list hits.
+
+    ``itemsize`` is the basis storage width.  The staging buffers
+    (``coef``/``qbuf``) are priced at the same width: ARPACK's host copy
+    of the tridiagonal state stays fp64, but what crosses the bus is the
+    device-side storage representation — the same convention
+    :meth:`~repro.linalg.rci.TransferLedger.seed_h2d_bytes` uses, so the
+    ledger's restart entries match the meters at every precision.
     """
-    coef = device.empty(2 * m, dtype=np.float64)
-    qbuf = device.empty((m, kp), dtype=np.float64)
+    stage_dt = np.dtype(f"f{itemsize}")
+    coef = device.empty(2 * m, dtype=stage_dt)
+    qbuf = device.empty((m, kp), dtype=stage_dt)
     try:
         # pinned-host staging: the host needs alpha/beta before dsteqr
         device._record_d2h(coef.nbytes)
@@ -195,9 +260,9 @@ def charge_restart_device(
         # async H2D of Q, hidden behind the host-side restart math
         copy_stream.enqueue_h2d(qbuf.nbytes, ready_at=t_host)
         device.charge_kernel(
-            "cublasDgemm[VQ]",
+            f"cublas{kernel_letter(itemsize)}gemm[VQ]",
             flops=2.0 * n * m * kp,
-            bytes_moved=(n * m + m * kp + 2.0 * n * kp) * 8.0,
+            bytes_moved=(n * m + m * kp + 2.0 * n * kp) * float(itemsize),
             kind="dense",
         )
     finally:
@@ -215,7 +280,7 @@ def _sum_transfer_stats(devices: list[Device]) -> dict:
 
 
 def charge_takestep_multi(
-    devices: list[Device], bounds: np.ndarray, j_avg: float
+    devices: list[Device], bounds: np.ndarray, j_avg: float, itemsize: int = 8
 ) -> None:
     """Charge one ``TakeStep`` with the basis row-partitioned over devices.
 
@@ -228,17 +293,18 @@ def charge_takestep_multi(
     """
     timeline = devices[0].timeline
     t0 = timeline.clock.now
+    letter = kernel_letter(itemsize)
     for d, dev in enumerate(devices):
         nd = int(bounds[d + 1] - bounds[d])
         flops = 2.0 * j_avg * nd
-        bytes_moved = (j_avg * nd + 2.0 * nd) * 8.0
+        bytes_moved = (j_avg * nd + 2.0 * nd) * float(itemsize)
         dt_proj = dev.cost.kernel_time(flops, bytes_moved, kind="stream")
         timeline.record_at(
-            f"cublasDgemv[proj,dev{d}]", "kernel", t0, dt_proj
+            f"cublas{letter}gemv[proj,dev{d}]", "kernel", t0, dt_proj
         )
         dt_upd = dev.cost.kernel_time(flops, bytes_moved, kind="stream")
         timeline.record_at(
-            f"cublasDgemv[update,dev{d}]", "kernel", t0 + dt_proj, dt_upd
+            f"cublas{letter}gemv[update,dev{d}]", "kernel", t0 + dt_proj, dt_upd
         )
         dev.kernel_launches += 2
 
@@ -250,6 +316,7 @@ def charge_restart_multi(
     bounds: np.ndarray,
     m: int,
     kp: int,
+    itemsize: int = 8,
 ) -> None:
     """Charge one implicit restart with the basis sharded over devices.
 
@@ -263,8 +330,9 @@ def charge_restart_multi(
     """
     primary = devices[0]
     timeline = primary.timeline
-    coef = primary.empty(2 * m, dtype=np.float64)
-    qbuf = primary.empty((m, kp), dtype=np.float64)
+    stage_dt = np.dtype(f"f{itemsize}")
+    coef = primary.empty(2 * m, dtype=stage_dt)
+    qbuf = primary.empty((m, kp), dtype=stage_dt)
     try:
         primary._record_d2h(coef.nbytes)
         t_host = timeline.clock.now
@@ -277,15 +345,16 @@ def charge_restart_multi(
         for cs in copy_streams:
             _, end = cs.enqueue_h2d(qbuf.nbytes, ready_at=t_host)
             q_ready.append(end)
+        letter = kernel_letter(itemsize)
         for d, dev in enumerate(devices):
             nd = int(bounds[d + 1] - bounds[d])
             dt = dev.cost.kernel_time(
                 2.0 * nd * m * kp,
-                (nd * m + m * kp + 2.0 * nd * kp) * 8.0,
+                (nd * m + m * kp + 2.0 * nd * kp) * float(itemsize),
                 kind="dense",
             )
             timeline.record_at(
-                f"cublasDgemm[VQ,dev{d}]",
+                f"cublas{letter}gemm[VQ,dev{d}]",
                 "kernel",
                 max(t_cpu_done, q_ready[d]),
                 dt,
@@ -311,6 +380,10 @@ def hybrid_eigensolver(
     residency: str = "device",
     spmv_format: str = "auto",
     n_devices: int = 1,
+    precision: str = "fp64",
+    embedding: str = "lanczos",
+    refine_steps: int | None = None,
+    power_q: int | None = None,
 ) -> tuple[np.ndarray, np.ndarray, EigStats]:
     """Algorithm 3: the reverse-communication loop with GPU SpMV.
 
@@ -357,6 +430,36 @@ def hybrid_eigensolver(
         split local/halo CSR).  Numerics are computed through the
         canonical substrate on every path, so spectra are bit-identical
         to ``n_devices=1`` — only the charged makespan changes.
+    precision:
+        Storage precision of the operator values and iteration vectors:
+        ``"fp64"`` (default, the exact path — bit-identical to a build
+        without this axis), ``"fp32"`` or ``"fp16"``.  Reduced solves
+        accumulate in fp64 (see :mod:`repro.precision`), clamp ``tol``
+        to the storage dtype's noise floor, and finish with
+        ``refine_steps`` fp64 Rayleigh–Ritz corrections against the
+        full-precision operator.
+    embedding:
+        ``"lanczos"`` (default) is the full IRLM loop; ``"power"`` is
+        the block power-iteration embedding of Boutsidis et al. — pure
+        repeated SpMM (``power_q + 1`` operator applications, no
+        restarts), which rides the partitioned multi-GPU SpMV, the
+        format autotuner, and the caching allocator unchanged.  Power
+        spectra are approximate by design; gate them with the ARI/
+        residual tolerance bands, not bit-identity.
+    refine_steps:
+        Maximum fp64 subspace advances in the refinement pass after the
+        solve (the pass always starts with one operator application that
+        measures the incoming residual and applies a free in-span
+        Rayleigh–Ritz polish).  ``None`` (default) means 0 for
+        ``precision="fp64"`` and an *adaptive* budget of
+        ``DEFAULT_REFINE_STEPS`` for reduced precisions: advances stop
+        early once the residual is at 10% of the precision's tolerance
+        band, so an already-in-band solve pays a single application.  An
+        explicit integer disables the early exit and runs exactly that
+        many advances.
+    power_q:
+        Power-iteration count for ``embedding="power"``
+        (default ``max(8, ceil(2·log2 n))``).
 
     Returns
     -------
@@ -385,12 +488,40 @@ def hybrid_eigensolver(
                 "n_devices > 1 stores row blocks as split local/halo CSR; "
                 f"spmv_format={spmv_format!r} is not supported"
             )
+    if embedding not in EMBEDDING_MODES:
+        raise ValueError(
+            f"embedding must be one of {EMBEDDING_MODES}, got {embedding!r}"
+        )
+    store_dtype = resolve_precision(precision)
+    vs = store_dtype.itemsize
+    refine_eff = (
+        refine_steps
+        if refine_steps is not None
+        else (0 if vs == 8 else DEFAULT_REFINE_STEPS)
+    )
+    if refine_eff < 0:
+        raise ValueError(f"refine_steps must be >= 0, got {refine_steps}")
+    # default (adaptive) refinement stops advancing once the residual is
+    # comfortably inside the precision's tolerance band — a reduced solve
+    # that converged under the band pays one measurement application, not
+    # a fixed polish budget; an explicit refine_steps runs to its budget
+    refine_target = (
+        0.0 if refine_steps is not None else 0.1 * TOL_FLOORS[precision]
+    )
+    # reduced-storage iterations bottom out at the quantization noise
+    # floor; asking for residuals below it only burns matvecs that the
+    # fp64 refinement pass recovers more cheaply
+    tol_eff = max(float(tol), TOL_FLOORS[precision])
     n = A.shape[0]
     cpu = CPUCostModel(cpu_spec)
     t0 = time.perf_counter()
     m_eff = int(m) if m is not None else min(n, max(2 * k + 1, 20))
     j_avg = (k + m_eff) / 2.0
     rows_cache = np.repeat(np.arange(n, dtype=np.int64), np.diff(A.indptr.data))
+    # reduced-precision solve operand: a device-side streaming cast of the
+    # values (identity for fp64 — A_solve IS A and nothing is charged);
+    # the original fp64 operator stays alive for the refinement pass
+    A_solve = cast_csr(device, A, store_dtype)
 
     latest_cp: LanczosCheckpoint | None = None
     n_resumes = 0
@@ -402,6 +533,7 @@ def hybrid_eigensolver(
     # after the solve still yields correct deltas against the primary-only
     # snapshot taken here
     transfers_before = device.transfer_stats()
+    traffic_before = device.spmv_traffic_bytes
 
     # ---- multi-device context (shared timeline, own allocators/streams) --
     all_devices = [device]
@@ -431,10 +563,15 @@ def hybrid_eigensolver(
         # step 1: initialize the Prob object with parameters (resumes pick
         # up the factorization and RNG from the latest checkpoint instead)
         return SymEigProblem(
-            n=n, k=k, which=which, m=m, tol=tol, maxiter=maxiter,
+            n=n, k=k, which=which, m=m, tol=tol_eff, maxiter=maxiter,
             seed=seed, v0=v0, checkpoint=latest_cp, checkpoint_cb=note_cp,
             restart_cb=restart_cb,
         )
+
+    # power-iteration parameters (fixed before format selection so the
+    # SpMM autotuner can amortize conversion over the q+1 applications)
+    q_power = power_q if power_q is not None else default_power_iterations(n)
+    p_power = min(n, k + 2)
 
     events_before = len(device.timeline)
     with device.stage("eigensolver"):
@@ -445,36 +582,50 @@ def hybrid_eigensolver(
             if n_devices > 1:
                 # the partitioned path stores row blocks as split CSR
                 fmt = "csr"
+            elif embedding == "power":
+                # the power path is pure SpMM: rank candidates by the
+                # block-product kernels, charging conversion against the
+                # q+1 applications that amortize it
+                decision = autotune_spmm_format(
+                    A.indptr.data, device.cost, p_power,
+                    conversion_uses=q_power + 1, itemsize=vs,
+                )
+                fmt = decision.format
             else:
                 # re-runs on the same device rank candidates by the kernel
                 # times actually recorded on earlier solves of this
                 # operator, falling back to the roofline prediction for
-                # untimed formats
+                # untimed formats; measured evidence is fp64-kernel only,
+                # so reduced-precision solves rank purely by prediction
                 decision = autotune_format(
                     A.indptr.data, device.cost,
-                    measured=device.measured_spmv_times(n, A.nnz) or None,
+                    measured=(
+                        (device.measured_spmv_times(n, A.nnz) or None)
+                        if vs == 8 else None
+                    ),
+                    itemsize=vs,
                 )
                 fmt = decision.format
-        A_op = A
+        A_op = A_solve
 
         def materialize_op() -> None:
             # conversion kernel charged once, amortized over the solve
             nonlocal A_op
-            if fmt != "csr" and A_op is A:
+            if fmt != "csr" and A_op is A_solve:
                 A_op = convert_for_spmv(
-                    A, fmt,
+                    A_solve, fmt,
                     hyb_width=decision.hyb_width if decision is not None else None,
                 )
 
         def drop_op() -> None:
             nonlocal A_op
-            if A_op is not A:
+            if A_op is not A_solve:
                 A_op.free()
-                A_op = A
+                A_op = A_solve
 
         if residency == "device":
             copy_stream = Stream(device, name="copyEngine")
-        while True:
+        while embedding == "lanczos":
             bufs = BufferGroup()
             dx = dy = None
             part: PartitionedCSR | None = None
@@ -490,13 +641,13 @@ def hybrid_eigensolver(
                             for d, dev in enumerate(all_devices):
                                 nd = int(bounds[d + 1] - bounds[d])
                                 xs_.append(
-                                    group.add(dev.empty(nd, dtype=np.float64))
+                                    group.add(dev.empty(nd, dtype=store_dtype))
                                 )
                                 ys_.append(
-                                    group.add(dev.empty(nd, dtype=np.float64))
+                                    group.add(dev.empty(nd, dtype=store_dtype))
                                 )
                                 group.add(
-                                    dev.empty((m_eff, nd), dtype=np.float64)
+                                    dev.empty((m_eff, nd), dtype=store_dtype)
                                 )  # basis block V_d
                         except BaseException:
                             group.free_all()
@@ -512,10 +663,12 @@ def hybrid_eigensolver(
                     # distribute the operator: row blocks to each device,
                     # split into local/halo parts (P2P + split kernels
                     # charged as a makespan over devices)
-                    part = partition_csr(A, all_devices, rows_cache=rows_cache)
+                    part = partition_csr(
+                        A_solve, all_devices, rows_cache=rows_cache
+                    )
                     shard_upload_total += part.shard_upload_bytes
                     ledger_multi = TransferLedger(
-                        n=n, m=m_eff, k=k, n_devices=n_devices,
+                        n=n, m=m_eff, k=k, itemsize=vs, n_devices=n_devices,
                         halo_counts=part.halo_counts,
                         halo_pairs=part.halo_pairs,
                     )
@@ -532,26 +685,34 @@ def hybrid_eigensolver(
 
                     def on_restart_multi(_r: int) -> None:
                         charge_restart_multi(
-                            all_devices, cpu, copy_streams, bounds, m_eff, k
+                            all_devices, cpu, copy_streams, bounds, m_eff, k,
+                            itemsize=vs,
                         )
 
                     prob = make_prob(restart_cb=on_restart_multi)
                     P = part
                     while not prob.converged():
                         prob.take_step()
-                        charge_takestep_multi(all_devices, bounds, j_avg)
+                        charge_takestep_multi(
+                            all_devices, bounds, j_avg, itemsize=vs
+                        )
                         if prob.needs_matvec():
                             xh = prob.get_vector()
+                            # the storage round trip mirrors what landing in
+                            # the store_dtype shard buffers does to the
+                            # values (identity for fp64 — bit-identical)
+                            xq = quantize_roundtrip(xh, store_dtype)
                             for d, xd in enumerate(xs):
-                                xd.data[...] = xh[bounds[d]:bounds[d + 1]]
+                                xd.data[...] = xq[bounds[d]:bounds[d + 1]]
                             yh = with_retry(
-                                lambda: spmv_partitioned(P, xh),
+                                lambda: spmv_partitioned(P, xq),
                                 device, policy,
                                 site="eig.spmv", on_retry=count_retry,
                             )
+                            yq = quantize_roundtrip(yh, store_dtype)
                             for d, yd in enumerate(ys):
-                                yd.data[...] = yh[bounds[d]:bounds[d + 1]]
-                            prob.put_vector(yh)
+                                yd.data[...] = yq[bounds[d]:bounds[d + 1]]
+                            prob.put_vector(yq)
                             n_matvec += 1
                             device.note_elided_transfer(
                                 2, ledger.step_roundtrip_bytes()
@@ -565,10 +726,10 @@ def hybrid_eigensolver(
                     def alloc_workspace():
                         group = BufferGroup()
                         try:
-                            wx = group.add(device.empty(n, dtype=np.float64))
-                            wy = group.add(device.empty(n, dtype=np.float64))
+                            wx = group.add(device.empty(n, dtype=store_dtype))
+                            wy = group.add(device.empty(n, dtype=store_dtype))
                             group.add(
-                                device.empty((m_eff, n), dtype=np.float64)
+                                device.empty((m_eff, n), dtype=store_dtype)
                             )  # basis V
                         except BaseException:
                             group.free_all()
@@ -584,18 +745,18 @@ def hybrid_eigensolver(
                     materialize_op()
                     # seed the device state: v0 on a cold start, the kept
                     # factorization after a resume (the device lost it)
-                    ledger = TransferLedger(n=n, m=m_eff, k=k)
+                    ledger = TransferLedger(n=n, m=m_eff, k=k, itemsize=vs)
                     device._record_h2d(ledger.seed_h2d_bytes(latest_cp))
 
                     def on_restart(_r: int) -> None:
                         charge_restart_device(
-                            device, cpu, copy_stream, n, m_eff, k
+                            device, cpu, copy_stream, n, m_eff, k, itemsize=vs
                         )
 
                     prob = make_prob(restart_cb=on_restart)
                     while not prob.converged():
                         prob.take_step()
-                        charge_takestep_device(device, n, j_avg)
+                        charge_takestep_device(device, n, j_avg, itemsize=vs)
                         if prob.needs_matvec():
                             # the vector is already device-resident: no
                             # PCIe crossing in either direction
@@ -615,14 +776,14 @@ def hybrid_eigensolver(
                     # the ping-pong pair is tiny (2n doubles) — no degrade
                     # ladder, but a transient alloc hiccup is retryable
                     dx = with_retry(
-                        lambda: device.empty(n, dtype=np.float64), device,
+                        lambda: device.empty(n, dtype=store_dtype), device,
                         policy, site="eig.alloc",
                         errors=TRANSIENT_ERRORS + (DeviceMemoryError,),
                         on_retry=count_retry,
                     )
                     bufs.add(dx)
                     dy = with_retry(
-                        lambda: device.empty(n, dtype=np.float64), device,
+                        lambda: device.empty(n, dtype=store_dtype), device,
                         policy, site="eig.alloc",
                         errors=TRANSIENT_ERRORS + (DeviceMemoryError,),
                         on_retry=count_retry,
@@ -642,8 +803,11 @@ def hybrid_eigensolver(
                                 # transfer Prob.GetVector() host→device, run
                                 # the SpMV, transfer the result back —
                                 # idempotent end to end (dx/dy fully
-                                # rewritten), so a fault at any site retries
-                                dx.copy_from_host(x)
+                                # rewritten), so a fault at any site retries.
+                                # the H2D/D2H legs move the storage-width
+                                # representation (quantize is an identity
+                                # passthrough for fp64)
+                                dx.copy_from_host(quantize(x, store_dtype))
                                 spmv_any(A_op, dx, dy, rows_cache=rows_cache)
                                 return dy.copy_to_host()
 
@@ -671,74 +835,419 @@ def hybrid_eigensolver(
                 prob = None
                 break
 
-        if prob is None:
+        if embedding == "lanczos" and prob is None:
             # ---- CPU fallback: finish the solve host-side ----------------
-            # Same bincount arithmetic as csrmv, so the resumed iteration
-            # produces bit-identical Ritz pairs; each product is charged as
-            # host SpMV time instead of kernel + 2 PCIe transfers.
+            # Same bincount arithmetic as csrmv over the same storage-width
+            # values (with the quantize round trip the device buffers apply
+            # — an identity for fp64), so the resumed iteration produces
+            # bit-identical Ritz pairs; each product is charged as host
+            # SpMV time instead of kernel + 2 PCIe transfers.
             fallback = "cpu"
-            indices = A.indices.data.copy()
-            val = A.val.data.copy()
-            nnz = A.nnz
+            indices = A_solve.indices.data.copy()
+            val = A_solve.val.data.copy()
+            nnz = A_solve.nnz
             prob = make_prob()
             while not prob.converged():
                 prob.take_step()
                 charge_takestep(device, cpu, n, j_avg)
                 if prob.needs_matvec():
                     x = prob.get_vector()
+                    xq = quantize_roundtrip(x, store_dtype)
                     y = np.bincount(
-                        rows_cache, weights=val * x[indices], minlength=n
+                        rows_cache,
+                        weights=as_f64(val) * xq[indices],
+                        minlength=n,
                     )
                     device.charge_cpu(
                         "spmv[host-fallback]", cpu.spmv_time(n, nnz)
                     )
-                    prob.put_vector(y)
+                    prob.put_vector(quantize_roundtrip(y, store_dtype))
+
+        power_applications = 0
+        power_residual: float | None = None
+        if embedding == "power":
+            # ---- block power-iteration embedding (Boutsidis et al.) ------
+            # pure repeated SpMM — q+1 operator applications, no restarts,
+            # no reorthogonalization sweeps, no tridiagonal host state.  A
+            # hard mid-solve fault restarts the whole solve: the seeded
+            # start block makes the replay deterministic, so there is no
+            # factorization worth checkpointing.
+            letter = kernel_letter(vs)
+            while True:
+                bufs = BufferGroup()
+                part = None
+                dB = dC = None
+                try:
+                    if n_devices > 1:
+                        for d, dev in enumerate(all_devices):
+                            nd = int(bounds[d + 1] - bounds[d])
+                            # per-device B/Z slabs of the iteration block
+                            bufs.add(
+                                dev.empty((nd, p_power), dtype=store_dtype)
+                            )
+                            bufs.add(
+                                dev.empty((nd, p_power), dtype=store_dtype)
+                            )
+                        part = partition_csr(
+                            A_solve, all_devices, rows_cache=rows_cache
+                        )
+                        shard_upload_total += part.shard_upload_bytes
+                        ledger_multi = TransferLedger(
+                            n=n, m=p_power, k=k, itemsize=vs,
+                            n_devices=n_devices,
+                            halo_counts=part.halo_counts,
+                            halo_pairs=part.halo_pairs,
+                        )
+                        # scatter the random start block, one row slab per
+                        # device, concurrently
+                        t_seed = device.timeline.clock.now
+                        for dev, nbytes in zip(
+                            all_devices,
+                            ledger_multi.shard_split(n * p_power * vs),
+                        ):
+                            if nbytes:
+                                dev._record_h2d_at(nbytes, t_seed)
+                        P = part
+
+                        def apply_block(Bh: np.ndarray) -> np.ndarray:
+                            nonlocal n_matvec
+                            # one row-partitioned SpMM per application —
+                            # the reduceat substrate keeps the block
+                            # product bit-identical to the single-device
+                            # csrmm at every storage precision
+                            Bq = quantize_roundtrip(Bh, store_dtype)
+                            Zh = with_retry(
+                                lambda: spmm_partitioned(P, Bq),
+                                device, policy,
+                                site="eig.spmv", on_retry=count_retry,
+                            )
+                            Z = quantize_roundtrip(Zh, store_dtype)
+                            # column-matvec equivalents, so the p2p plan
+                            # n_matvec * step_halo_bytes stays exact
+                            n_matvec += p_power
+                            device.note_elided_transfer(
+                                2, 2 * n * p_power * vs
+                            )
+                            # TSQR-style panel factorization: one geqrf per
+                            # device over its row slab, concurrent
+                            tq = device.timeline.clock.now
+                            for d, dev in enumerate(all_devices):
+                                nd = int(bounds[d + 1] - bounds[d])
+                                dtq = dev.cost.kernel_time(
+                                    2.0 * nd * p_power * p_power,
+                                    2.0 * nd * p_power * vs,
+                                    kind="dense",
+                                )
+                                device.timeline.record_at(
+                                    f"cusolver{letter}geqrf[power,dev{d}]",
+                                    "kernel", tq, dtq,
+                                )
+                                dev.kernel_launches += 1
+                            return Z
+                    elif residency == "device":
+                        def alloc_power():
+                            group = BufferGroup()
+                            try:
+                                b = group.add(device.empty(
+                                    (n, p_power), dtype=store_dtype
+                                ))
+                                c = group.add(device.empty(
+                                    (n, p_power), dtype=store_dtype
+                                ))
+                            except BaseException:
+                                group.free_all()
+                                raise
+                            return group, b, c
+
+                        bufs, dB, dC = with_retry(
+                            alloc_power, device, policy, site="eig.alloc",
+                            errors=TRANSIENT_ERRORS + (DeviceMemoryError,),
+                            on_retry=count_retry,
+                        )
+                        materialize_op()
+                        # the random start block uploads once; every later
+                        # application stays device-resident
+                        device._record_h2d(n * p_power * vs)
+
+                        def apply_block(Bh: np.ndarray) -> np.ndarray:
+                            dB.data[...] = Bh  # quantizes to storage dtype
+                            with_retry(
+                                lambda: spmm_any(A_op, dB, dC),
+                                device, policy,
+                                site="eig.spmv", on_retry=count_retry,
+                            )
+                            device.note_elided_transfer(
+                                2, 2 * n * p_power * vs
+                            )
+                            device.charge_kernel(
+                                f"cusolver{letter}geqrf[power]",
+                                flops=2.0 * n * p_power * p_power,
+                                bytes_moved=2.0 * n * p_power * vs,
+                                kind="dense",
+                            )
+                            return np.asarray(
+                                dC.data, dtype=np.float64
+                            ).copy()
+                    else:
+                        dB = with_retry(
+                            lambda: device.empty(
+                                (n, p_power), dtype=store_dtype
+                            ),
+                            device, policy, site="eig.alloc",
+                            errors=TRANSIENT_ERRORS + (DeviceMemoryError,),
+                            on_retry=count_retry,
+                        )
+                        bufs.add(dB)
+                        dC = with_retry(
+                            lambda: device.empty(
+                                (n, p_power), dtype=store_dtype
+                            ),
+                            device, policy, site="eig.alloc",
+                            errors=TRANSIENT_ERRORS + (DeviceMemoryError,),
+                            on_retry=count_retry,
+                        )
+                        bufs.add(dC)
+                        materialize_op()
+
+                        def apply_block(Bh: np.ndarray) -> np.ndarray:
+                            nonlocal round_trips
+
+                            def block_roundtrip() -> np.ndarray:
+                                # idempotent: dB/dC fully rewritten per call
+                                dB.copy_from_host(quantize(Bh, store_dtype))
+                                spmm_any(A_op, dB, dC)
+                                return dC.copy_to_host()
+
+                            Ch = with_retry(
+                                block_roundtrip, device, policy,
+                                site="eig.spmv", on_retry=count_retry,
+                            )
+                            round_trips += 1
+                            # the QR panel factorization runs host-side
+                            device.charge_cpu(
+                                "qr[power]",
+                                cpu.blas3_time(2.0 * n * p_power * p_power),
+                            )
+                            return np.asarray(Ch, dtype=np.float64)
+
+                    theta, U, power_residual, power_applications = (
+                        power_embedding(
+                            apply_block, n, k, q=q_power, seed=seed,
+                            which=which,
+                        )
+                    )
+                    if residency == "device":
+                        # Ritz rotation on-device, then U comes down once
+                        if n_devices > 1:
+                            t_r = device.timeline.clock.now
+                            for d, dev in enumerate(all_devices):
+                                nd = int(bounds[d + 1] - bounds[d])
+                                dt_r = dev.cost.kernel_time(
+                                    2.0 * nd * p_power * k,
+                                    (
+                                        nd * p_power + p_power * k
+                                        + 2.0 * nd * k
+                                    ) * float(vs),
+                                    kind="dense",
+                                )
+                                device.timeline.record_at(
+                                    f"cublas{letter}gemm[ritz,dev{d}]",
+                                    "kernel", t_r, dt_r,
+                                )
+                                dev.kernel_launches += 1
+                                dev._record_d2h_at(nd * k * vs, t_r + dt_r)
+                        else:
+                            device.charge_kernel(
+                                f"cublas{letter}gemm[ritz]",
+                                flops=2.0 * n * p_power * k,
+                                bytes_moved=(
+                                    n * p_power + p_power * k + 2.0 * n * k
+                                ) * float(vs),
+                                kind="dense",
+                            )
+                            device._record_d2h(n * k * vs)
+                    bufs.free_all()
+                    if part is not None:
+                        part.free()
+                        part = None
+                    break
+                except CudaError:
+                    if part is not None:
+                        part.free()
+                    bufs.free_all()
+                    drop_op()
+                    if not policy.enabled:
+                        raise
+                    if n_resumes < policy.max_resumes:
+                        n_resumes += 1
+                        continue
+                    if not policy.cpu_fallback:
+                        raise
+                    # ---- CPU fallback: the whole power solve host-side ---
+                    fallback = "cpu"
+                    indices = A_solve.indices.data.copy()
+                    val = A_solve.val.data.copy()
+                    indptr = A_solve.indptr.data.copy()
+                    nnz = A_solve.nnz
+
+                    def apply_host(Bh: np.ndarray) -> np.ndarray:
+                        # same gathered/reduceat arithmetic as csrmm, with
+                        # the storage round trip on both operands, so the
+                        # host solve matches the all-GPU one bit for bit
+                        Bq = quantize_roundtrip(Bh, store_dtype)
+                        gathered = as_f64(val)[:, None] * Bq[indices]
+                        row_nnz = np.diff(indptr)
+                        nonempty = np.flatnonzero(row_nnz > 0)
+                        prod = np.zeros((n, Bh.shape[1]))
+                        if nonempty.size:
+                            prod[nonempty] = np.add.reduceat(
+                                gathered, indptr[nonempty], axis=0
+                            )
+                        device.charge_cpu(
+                            "spmm[host-fallback]",
+                            cpu.spmv_time(n, nnz) * Bh.shape[1],
+                        )
+                        device.charge_cpu(
+                            "qr[power]",
+                            cpu.blas3_time(2.0 * n * p_power * p_power),
+                        )
+                        return quantize_roundtrip(prod, store_dtype)
+
+                    theta, U, power_residual, power_applications = (
+                        power_embedding(
+                            apply_host, n, k, q=q_power, seed=seed,
+                            which=which,
+                        )
+                    )
+                    break
 
         drop_op()
-        # step 3: compute the eigenvectors
-        theta, U = prob.find_eigenvectors()
-        res = prob.result
-        if residency == "device" and fallback is None:
-            # restarts were charged inline (charge_restart_device /
-            # charge_restart_multi); the Ritz basis assembles on-device,
-            # then U comes down once
-            if n_devices > 1:
-                # each device rotates its own basis block and ships its
-                # row slice down concurrently; slices sum to exactly n*k*8
-                def assemble_ritz() -> None:
-                    tl = device.timeline
-                    t_r = tl.clock.now
-                    for d, dev in enumerate(all_devices):
-                        nd = int(bounds[d + 1] - bounds[d])
-                        dt = dev.cost.kernel_time(
-                            2.0 * nd * prob.m * k,
-                            (nd * prob.m + prob.m * k + 2.0 * nd * k) * 8.0,
+        if embedding == "lanczos":
+            # step 3: compute the eigenvectors
+            theta, U = prob.find_eigenvectors()
+            res = prob.result
+            if residency == "device" and fallback is None:
+                # restarts were charged inline (charge_restart_device /
+                # charge_restart_multi); the Ritz basis assembles
+                # on-device, then U comes down once
+                letter = kernel_letter(vs)
+                if n_devices > 1:
+                    # each device rotates its own basis block and ships its
+                    # row slice down concurrently; slices sum to exactly
+                    # n*k*itemsize
+                    def assemble_ritz() -> None:
+                        tl = device.timeline
+                        t_r = tl.clock.now
+                        for d, dev in enumerate(all_devices):
+                            nd = int(bounds[d + 1] - bounds[d])
+                            dt = dev.cost.kernel_time(
+                                2.0 * nd * prob.m * k,
+                                (nd * prob.m + prob.m * k + 2.0 * nd * k)
+                                * float(vs),
+                                kind="dense",
+                            )
+                            tl.record_at(
+                                f"cublas{letter}gemm[ritz,dev{d}]",
+                                "kernel", t_r, dt,
+                            )
+                            dev.kernel_launches += 1
+                            dev._record_d2h_at(nd * k * vs, t_r + dt)
+                else:
+                    def assemble_ritz() -> None:
+                        device.charge_kernel(
+                            f"cublas{letter}gemm[ritz]",
+                            flops=2.0 * n * prob.m * k,
+                            bytes_moved=(
+                                n * prob.m + prob.m * k + 2.0 * n * k
+                            ) * float(vs),
                             kind="dense",
                         )
-                        tl.record_at(f"cublasDgemm[ritz,dev{d}]", "kernel", t_r, dt)
-                        dev.kernel_launches += 1
-                        dev._record_d2h_at(nd * k * 8, t_r + dt)
-            else:
-                def assemble_ritz() -> None:
-                    device.charge_kernel(
-                        "cublasDgemm[ritz]",
-                        flops=2.0 * n * prob.m * k,
-                        bytes_moved=(n * prob.m + prob.m * k + 2.0 * n * k) * 8.0,
-                        kind="dense",
-                    )
-                    device._record_d2h(
-                        TransferLedger(n=n, m=prob.m, k=k).result_d2h_bytes()
-                    )
+                        device._record_d2h(
+                            TransferLedger(
+                                n=n, m=prob.m, k=k, itemsize=vs
+                            ).result_d2h_bytes()
+                        )
 
-            with_retry(
-                assemble_ritz, device, policy,
-                site="eig.result", on_retry=count_retry,
-            )
+                with_retry(
+                    assemble_ritz, device, policy,
+                    site="eig.result", on_retry=count_retry,
+                )
+            else:
+                for _ in range(res.n_restarts):
+                    charge_restart(device, cpu, n, prob.m, k)
+                charge_find_eigenvectors(device, cpu, n, prob.m, k)
+            n_op_total = res.n_op
+            n_restarts_total = res.n_restarts
+            n_reorth_total = res.n_reorth
+            converged_flag = res.converged
+            m_used = prob.m
         else:
-            for _ in range(res.n_restarts):
-                charge_restart(device, cpu, n, prob.m, k)
-            charge_find_eigenvectors(device, cpu, n, prob.m, k)
+            n_op_total = power_applications
+            n_restarts_total = 0
+            n_reorth_total = q_power
+            converged_flag = True
+            m_used = p_power
+
+        # ---- fp64 iterative refinement of the reduced-precision solve ----
+        # every reduced solve at least *measures* its residual against the
+        # full-precision operator; the exact fp64 path skips the pass
+        # entirely unless refinement was explicitly requested, preserving
+        # bit-identity with pre-precision-axis builds
+        refine_residual: float | None = None
+        refine_history: list | None = None
+        if vs != 8 or refine_eff > 0:
+            host_refine = fallback == "cpu"
+
+            def host_apply64(Bh: np.ndarray) -> np.ndarray:
+                # same gathered/reduceat arithmetic as csrmm on fp64 A
+                gathered = A.val.data[:, None] * Bh[A.indices.data]
+                row_nnz = np.diff(A.indptr.data)
+                nonempty = np.flatnonzero(row_nnz > 0)
+                prod = np.zeros((n, Bh.shape[1]))
+                if nonempty.size:
+                    prod[nonempty] = np.add.reduceat(
+                        gathered, A.indptr.data[nonempty], axis=0
+                    )
+                device.charge_cpu(
+                    "spmm[refine-host]",
+                    cpu.spmv_time(n, A.nnz) * Bh.shape[1],
+                )
+                return prod
+
+            def apply64(Bh: np.ndarray) -> np.ndarray:
+                nonlocal host_refine
+                if not host_refine:
+                    def refine_mm() -> np.ndarray:
+                        # idempotent: fresh staging buffers per attempt
+                        dBr = device.empty(Bh.shape, dtype=np.float64)
+                        try:
+                            dBr.copy_from_host(Bh)
+                            dCr = csrmm(A, dBr)
+                            try:
+                                return dCr.copy_to_host()
+                            finally:
+                                dCr.free()
+                        finally:
+                            dBr.free()
+
+                    try:
+                        return with_retry(
+                            refine_mm, device, policy,
+                            site="eig.refine", on_retry=count_retry,
+                        )
+                    except CudaError:
+                        if not (policy.enabled and policy.cpu_fallback):
+                            raise
+                        host_refine = True
+                return host_apply64(Bh)
+
+            theta, U, refine_residual, refine_history = refine_eigenpairs(
+                apply64, theta, U, steps=refine_eff, which=which,
+                target=refine_target,
+            )
     wall = time.perf_counter() - t0
+    if A_solve is not A:
+        A_solve.free()
     transfers_after = _sum_transfer_stats(all_devices)
     observed = _harvest_spmv_times(device, n, A.nnz, events_before)
     format_decision = decision.as_dict() if decision is not None else None
@@ -749,12 +1258,14 @@ def hybrid_eigensolver(
         format_decision["n_spmv_timed"] = sum(
             c for (_t, c) in observed.values()
         )
+        format_decision["precision"] = precision
+        format_decision["value_itemsize"] = vs
     stats = EigStats(
-        n_op=res.n_op,
-        n_restarts=res.n_restarts,
-        n_reorth=res.n_reorth,
-        converged=res.converged,
-        m=prob.m,
+        n_op=n_op_total,
+        n_restarts=n_restarts_total,
+        n_reorth=n_reorth_total,
+        converged=converged_flag,
+        m=m_used,
         k=k,
         pcie_round_trips=round_trips,
         wall_seconds=wall,
@@ -791,8 +1302,39 @@ def hybrid_eigensolver(
             if n_devices > 1 and ledger_multi is not None
             else None
         ),
+        precision=precision,
+        embedding=embedding,
+        refine_steps=(
+            len(refine_history) - 1 if refine_history is not None else 0
+        ),
+        refine_residual=refine_residual,
+        refine_history=refine_history,
+        spmv_bytes=(
+            sum(d.spmv_traffic_bytes for d in all_devices) - traffic_before
+        ),
+        spmv_kernel_s=_sum_spmv_kernel_seconds(device, events_before),
     )
     return theta, U, stats
+
+
+#: name fragments identifying SpMV/SpMM kernels on the timeline (any
+#: precision letter, any device suffix) — the byte-traffic meter's twin
+_SPMV_KERNEL_SUBSTRINGS = (
+    "csrmv", "coomv", "ellmv", "hybmv", "csrmm", "ellmm", "hybmm",
+)
+
+
+def _sum_spmv_kernel_seconds(device: Device, events_before: int) -> float:
+    """Sum the simulated seconds of every sparse-product kernel a solve
+    charged (the timeline is shared across the device group, so one scan
+    covers the partitioned multi-GPU paths too)."""
+    total = 0.0
+    for ev in device.timeline.events[events_before:]:
+        if ev.category != "kernel":
+            continue
+        if any(s in ev.name for s in _SPMV_KERNEL_SUBSTRINGS):
+            total += ev.duration
+    return total
 
 
 #: SpMV kernel event names -> format key.  ``hybmv`` charges two events per

@@ -60,6 +60,10 @@ class Device:
         self.transfer_cost = TransferCostModel(pcie)
         #: cumulative simulated seconds by high-level class, convenience view
         self.kernel_launches = 0
+        #: modeled device-memory bytes moved by SpMV/SpMM kernels — the
+        #: same roofline byte expressions the cost model prices, summed so
+        #: the precision ablation can gate on storage-width traffic wins
+        self.spmv_traffic_bytes = 0.0
         self._reset_transfer_counters()
         #: measured SpMV kernel times by (format, n_rows, nnz) — autotuner
         #: feedback (sum of durations, count of products)
@@ -318,6 +322,7 @@ class Device:
         self.timeline.clear()
         self.allocator = self._make_allocator()
         self.kernel_launches = 0
+        self.spmv_traffic_bytes = 0.0
         self._reset_transfer_counters()
         self._spmv_measurements = {}
 

@@ -37,6 +37,7 @@ from repro.cuda.memory import BufferGroup, DeviceArray
 from repro.cusparse.matrices import DeviceCSR
 from repro.errors import SparseFormatError
 from repro.hw.costmodel import GPUCostModel
+from repro.precision import kernel_letter
 
 SPMV_FORMATS = ("csr", "ell", "hyb")
 
@@ -173,7 +174,7 @@ def _padded_layout(
     slot = np.arange(A.nnz, dtype=np.int64) - offsets  # position within row
     mask = slot < width
     cols = np.full((n, max(width, 1)), -1, dtype=np.int64)
-    vals = np.zeros((n, max(width, 1)), dtype=np.float64)
+    vals = np.zeros((n, max(width, 1)), dtype=A.val.data.dtype)
     rows = np.repeat(np.arange(n, dtype=np.int64), counts)
     cols[rows[mask], slot[mask]] = A.indices.data[mask]
     vals[rows[mask], slot[mask]] = A.val.data[mask]
@@ -202,14 +203,15 @@ def csr_to_ell(A: DeviceCSR, width: int | None = None) -> DeviceELL:
     bufs = BufferGroup()
     try:
         cols = bufs.add(dev.empty((n, max(width, 1)), dtype=np.int64))
-        val = bufs.add(dev.empty((n, max(width, 1)), dtype=np.float64))
+        val = bufs.add(dev.empty((n, max(width, 1)), dtype=A.val.data.dtype))
     except BaseException:
         bufs.free_all()
         raise
     cols.data[...] = cols_host
     val.data[...] = vals_host
-    dt = dev.cost.format_conversion_time(A.nnz, n * width)
-    dev.timeline.record("cusparseDcsr2ell", "kernel", dt)
+    vs = A.val.data.dtype.itemsize
+    dt = dev.cost.format_conversion_time(A.nnz, n * width, itemsize=vs)
+    dev.timeline.record(f"cusparse{kernel_letter(vs)}csr2ell", "kernel", dt)
     dev.kernel_launches += 1
     return DeviceELL(
         cols=cols,
@@ -242,11 +244,11 @@ def csr_to_hyb(A: DeviceCSR, width: int | None = None) -> DeviceHYB:
     bufs = BufferGroup()
     try:
         ell_cols = bufs.add(dev.empty((n, width), dtype=np.int64))
-        ell_val = bufs.add(dev.empty((n, width), dtype=np.float64))
+        ell_val = bufs.add(dev.empty((n, width), dtype=A.val.data.dtype))
         n_coo = max(int(spill.sum()), 0)
         coo_row = bufs.add(dev.empty(n_coo, dtype=np.int64))
         coo_col = bufs.add(dev.empty(n_coo, dtype=np.int64))
-        coo_val = bufs.add(dev.empty(n_coo, dtype=np.float64))
+        coo_val = bufs.add(dev.empty(n_coo, dtype=A.val.data.dtype))
     except BaseException:
         bufs.free_all()
         raise
@@ -255,8 +257,11 @@ def csr_to_hyb(A: DeviceCSR, width: int | None = None) -> DeviceHYB:
     coo_row.data[...] = sub_rows[spill]
     coo_col.data[...] = A.indices.data[spill]
     coo_val.data[...] = A.val.data[spill]
-    dt = dev.cost.format_conversion_time(A.nnz, n * width + 3 * coo_val.size)
-    dev.timeline.record("cusparseDcsr2hyb", "kernel", dt)
+    vs = A.val.data.dtype.itemsize
+    dt = dev.cost.format_conversion_time(
+        A.nnz, n * width + 3 * coo_val.size, itemsize=vs
+    )
+    dev.timeline.record(f"cusparse{kernel_letter(vs)}csr2hyb", "kernel", dt)
     dev.kernel_launches += 1
     return DeviceHYB(
         ell_cols=ell_cols,
@@ -308,6 +313,7 @@ def autotune_format(
     cost: GPUCostModel,
     formats: tuple[str, ...] = SPMV_FORMATS,
     measured: dict[str, float] | None = None,
+    itemsize: int = 8,
 ) -> FormatDecision:
     """Choose the cheapest SpMV format from row-length statistics.
 
@@ -325,6 +331,10 @@ def autotune_format(
     ranking prefers ground truth where it exists and falls back to the
     model elsewhere.  The decision records which evidence class each
     candidate used.
+
+    ``itemsize`` is the value-storage width the predictions price — pass
+    the reduced width when tuning for an fp32/fp16 operand (measured
+    evidence should then come from same-width kernels only).
     """
     for f in formats:
         if f not in SPMV_FORMATS:
@@ -333,15 +343,17 @@ def autotune_format(
     K = hyb_ell_width(stats)
     predicted: dict[str, float] = {}
     if "csr" in formats:
-        predicted["csr"] = cost.spmv_time(stats.n_rows, stats.nnz)
+        predicted["csr"] = cost.spmv_time(stats.n_rows, stats.nnz, itemsize=itemsize)
     if stats.nnz and stats.n_rows:
         counts = np.diff(indptr)
         if "ell" in formats:
-            predicted["ell"] = cost.ellmv_time(stats.n_rows, stats.nnz, stats.max)
+            predicted["ell"] = cost.ellmv_time(
+                stats.n_rows, stats.nnz, stats.max, itemsize=itemsize
+            )
         if "hyb" in formats:
             nnz_ell = int(np.minimum(counts, K).sum())
             predicted["hyb"] = cost.hybmv_time(
-                stats.n_rows, nnz_ell, K, stats.nnz - nnz_ell
+                stats.n_rows, nnz_ell, K, stats.nnz - nnz_ell, itemsize=itemsize
             )
     if not predicted:
         raise SparseFormatError("no candidate formats to autotune over")
@@ -374,6 +386,7 @@ def autotune_spmm_format(
     formats: tuple[str, ...] = SPMV_FORMATS,
     measured: dict[str, float] | None = None,
     conversion_uses: int | None = None,
+    itemsize: int = 8,
 ) -> FormatDecision:
     """Choose the cheapest SpMM format for a ``p``-column right-hand side.
 
@@ -404,23 +417,25 @@ def autotune_spmm_format(
     predicted: dict[str, float] = {}
     conversion: dict[str, float] = {}
     if "csr" in formats:
-        predicted["csr"] = cost.spmm_time(stats.n_rows, stats.nnz, p)
+        predicted["csr"] = cost.spmm_time(
+            stats.n_rows, stats.nnz, p, itemsize=itemsize
+        )
     if stats.nnz and stats.n_rows:
         counts = np.diff(indptr)
         if "ell" in formats:
             predicted["ell"] = cost.ellmm_time(
-                stats.n_rows, stats.nnz, stats.max, p
+                stats.n_rows, stats.nnz, stats.max, p, itemsize=itemsize
             )
             conversion["ell"] = cost.format_conversion_time(
-                stats.nnz, stats.n_rows * stats.max
+                stats.nnz, stats.n_rows * stats.max, itemsize=itemsize
             )
         if "hyb" in formats:
             nnz_ell = int(np.minimum(counts, K).sum())
             predicted["hyb"] = cost.hybmm_time(
-                stats.n_rows, nnz_ell, K, stats.nnz - nnz_ell, p
+                stats.n_rows, nnz_ell, K, stats.nnz - nnz_ell, p, itemsize=itemsize
             )
             conversion["hyb"] = cost.format_conversion_time(
-                stats.nnz, stats.n_rows * K + 3 * (stats.nnz - nnz_ell)
+                stats.nnz, stats.n_rows * K + 3 * (stats.nnz - nnz_ell), itemsize=itemsize
             )
     if not predicted:
         raise SparseFormatError("no candidate formats to autotune over")

@@ -141,3 +141,40 @@ def csr_to_device(device: Device, csr: CSRMatrix) -> DeviceCSR:
     except BaseException:
         bufs.free_all()
         raise
+
+
+def cast_csr(device: Device, A: DeviceCSR, dtype) -> DeviceCSR:
+    """Device-to-device cast of a CSR matrix's values to a storage dtype.
+
+    One streaming kernel (read fp64 values, write the reduced copy); the
+    structure arrays are duplicated on-device so the cast matrix owns all
+    three components and can be freed independently of ``A`` — no PCIe
+    traffic is charged.  Identity (returns ``A`` itself) when the dtype
+    already matches, so the fp64 path never pays the copy.
+    """
+    import numpy as np
+
+    dt = np.dtype(dtype)
+    if A.val.data.dtype == dt:
+        return A
+    bufs = BufferGroup()
+    try:
+        indptr = bufs.add(device.empty(A.indptr.size, dtype=A.indptr.data.dtype))
+        indices = bufs.add(device.empty(A.indices.size, dtype=A.indices.data.dtype))
+        val = bufs.add(device.empty(A.val.size, dtype=dt))
+    except BaseException:
+        bufs.free_all()
+        raise
+    indptr.data[...] = A.indptr.data
+    indices.data[...] = A.indices.data
+    val.data[...] = A.val.data
+    bytes_moved = (
+        A.indptr.nbytes * 2 + A.indices.nbytes * 2 + A.val.nbytes + val.nbytes
+    )
+    device.timeline.record(
+        f"castCsr[{dt.name}]",
+        "kernel",
+        device.cost.kernel_time(0.0, bytes_moved, kind="stream", itemsize=dt.itemsize),
+    )
+    device.kernel_launches += 1
+    return DeviceCSR(indptr=indptr, indices=indices, val=val, shape=A.shape)

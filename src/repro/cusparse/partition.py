@@ -39,6 +39,7 @@ from repro.cuda.memory import BufferGroup, DeviceArray
 from repro.cuda.stream import Stream
 from repro.cusparse.matrices import DeviceCSR
 from repro.errors import SparseValueError
+from repro.precision import as_f64, kernel_letter
 
 
 def partition_bounds(n: int, n_devices: int) -> np.ndarray:
@@ -263,13 +264,13 @@ def partition_csr(
                 local_indices=bufs.add(
                     dev.empty(max(l_cols.size, 1), dtype=np.int64)
                 ),
-                local_val=bufs.add(dev.empty(l_vals.size, dtype=np.float64)),
+                local_val=bufs.add(dev.empty(l_vals.size, dtype=vals.dtype)),
                 halo_indptr=bufs.add(dev.empty(nd + 1, dtype=np.int64)),
                 halo_indices=bufs.add(
                     dev.empty(max(h_slots.size, 1), dtype=np.int64)
                 ),
-                halo_val=bufs.add(dev.empty(h_vals.size, dtype=np.float64)),
-                halo_buf=bufs.add(dev.empty(max(h_cols.size, 1), dtype=np.float64)),
+                halo_val=bufs.add(dev.empty(h_vals.size, dtype=vals.dtype)),
+                halo_buf=bufs.add(dev.empty(max(h_cols.size, 1), dtype=vals.dtype)),
                 halo_cols=h_cols,
                 halo_src_counts=src_counts,
                 copy_stream=Stream(dev, name=f"dev{d}/halo"),
@@ -291,6 +292,7 @@ def partition_csr(
     # link) followed by one split kernel per device
     t0 = timeline.clock.now
     upload_bytes = 0
+    vs = vals.dtype.itemsize
     try:
         for d, shard in enumerate(shards):
             dev = shard.device
@@ -298,13 +300,15 @@ def partition_csr(
             rnnz = block_nnz[d]
             ready = t0
             if d > 0:
-                nbytes = (nd + 1) * 8 + rnnz * 8 + rnnz * 8
+                # indptr slice + int64 column indices + values at their
+                # storage width
+                nbytes = (nd + 1) * 8 + rnnz * 8 + rnnz * vs
                 _, ready = shard.copy_stream.enqueue_p2p(
                     nbytes, ready_at=t0, peer="dev0"
                 )
                 upload_bytes += nbytes
             # split pass: stream the block in, write local + halo layout out
-            split_bytes = 2.0 * (rnnz * 12 + (nd + 1) * 8)
+            split_bytes = 2.0 * (rnnz * (vs + 4) + (nd + 1) * 8)
             dt = dev.cost.kernel_time(0.0, split_bytes, kind="stream")
             timeline.record_at(
                 f"partition_split[dev{d}]", "kernel", ready, dt
@@ -358,36 +362,123 @@ def spmv_partitioned(
         )
     timeline = P.shards[0].device.timeline
     t0 = timeline.clock.now
+    vs = P.sub_vals.dtype.itemsize
+    letter = kernel_letter(vs)
     for shard in P.shards:
         dev = shard.device
         chaos_check("cusparse.csrmv", dev)
         d = shard.index
-        dt_local = dev.cost.spmv_time(shard.n_rows, shard.nnz_local)
+        dt_local = dev.cost.spmv_time(shard.n_rows, shard.nnz_local, itemsize=vs)
         timeline.record_at(
-            f"cusparseDcsrmv[local,dev{d}]", "kernel", t0, dt_local
+            f"cusparse{letter}csrmv[local,dev{d}]", "kernel", t0, dt_local
         )
         dev.kernel_launches += 1
+        dev.spmv_traffic_bytes += dev.cost.spmv_bytes(
+            shard.n_rows, shard.nnz_local, vs
+        )
         arrival = t0
         for src, count in enumerate(shard.halo_src_counts):
             if count == 0:
                 continue
             _, arrival = shard.copy_stream.enqueue_p2p(
-                int(count) * 8, ready_at=t0, peer=f"dev{src}"
+                int(count) * vs, ready_at=t0, peer=f"dev{src}"
             )
         if shard.nnz_halo > 0:
             h_start = max(t0 + dt_local, arrival)
-            dt_halo = dev.cost.spmv_halo_time(shard.n_rows, shard.nnz_halo)
+            dt_halo = dev.cost.spmv_halo_time(
+                shard.n_rows, shard.nnz_halo, itemsize=vs
+            )
             timeline.record_at(
-                f"cusparseDcsrmv[halo,dev{d}]", "kernel", h_start, dt_halo
+                f"cusparse{letter}csrmv[halo,dev{d}]", "kernel", h_start, dt_halo
             )
             dev.kernel_launches += 1
+            dev.spmv_traffic_bytes += dev.cost.spmv_halo_bytes(
+                shard.n_rows, shard.nnz_halo, vs
+            )
             # the halo gather reads the freshly landed x segments
             shard.halo_buf.data[: shard.halo_count] = x[shard.halo_cols]
 
     prod = np.bincount(
-        P.sub_rows, weights=P.sub_vals * x[P.sub_cols], minlength=n
+        P.sub_rows, weights=as_f64(P.sub_vals) * as_f64(x)[P.sub_cols], minlength=n
     )
     if y is None:
         return prod
     y[...] = prod
     return y
+
+
+def spmm_partitioned(
+    P: PartitionedCSR, B: np.ndarray, C: np.ndarray | None = None
+) -> np.ndarray:
+    """One multi-device SpMM over the row-partitioned operator.
+
+    Block analogue of :func:`spmv_partitioned` for the power-iteration
+    embedding: per device the local block kernel launches at ``t0`` while
+    the halo *rows* of B (``halo_count × p`` values) travel peer-to-peer
+    on the halo copy stream; the halo block kernel starts at ``max(local
+    end, last halo arrival)`` with its dispatch latency hidden behind the
+    local kernel.
+
+    Bit-identity: the product is row-reduced through the identical
+    ``np.add.reduceat`` substrate as :func:`~repro.cusparse.spmm.csrmm`
+    (and the ELL/HYB ``_substrate_mm``), so the device count never changes
+    a float of the block product — the power embedding is bit-identical
+    from one device to many, exactly like the Lanczos path is for SpMV.
+    """
+    n = P.shape[0]
+    if B.ndim != 2 or B.shape[0] != n:
+        raise SparseValueError(
+            f"spmm_partitioned: operator is {P.shape}, B has shape {B.shape}"
+        )
+    p = B.shape[1]
+    timeline = P.shards[0].device.timeline
+    t0 = timeline.clock.now
+    vs = P.sub_vals.dtype.itemsize
+    letter = kernel_letter(vs)
+    for shard in P.shards:
+        dev = shard.device
+        chaos_check("cusparse.csrmm", dev)
+        d = shard.index
+        dt_local = dev.cost.spmm_time(
+            shard.n_rows, shard.nnz_local, p, itemsize=vs
+        )
+        timeline.record_at(
+            f"cusparse{letter}csrmm[local,dev{d}]", "kernel", t0, dt_local
+        )
+        dev.kernel_launches += 1
+        dev.spmv_traffic_bytes += dev.cost.spmm_bytes(
+            shard.n_rows, shard.nnz_local, p, vs
+        )
+        arrival = t0
+        for src, count in enumerate(shard.halo_src_counts):
+            if count == 0:
+                continue
+            # p columns of every off-device B row land in one copy
+            _, arrival = shard.copy_stream.enqueue_p2p(
+                int(count) * p * vs, ready_at=t0, peer=f"dev{src}"
+            )
+        if shard.nnz_halo > 0:
+            h_start = max(t0 + dt_local, arrival)
+            dt_halo = dev.cost.spmm_halo_time(
+                shard.n_rows, shard.nnz_halo, p, itemsize=vs
+            )
+            timeline.record_at(
+                f"cusparse{letter}csrmm[halo,dev{d}]", "kernel", h_start, dt_halo
+            )
+            dev.kernel_launches += 1
+            dev.spmv_traffic_bytes += dev.cost.spmm_halo_bytes(
+                shard.n_rows, shard.nnz_halo, p, vs
+            )
+
+    gathered = as_f64(P.sub_vals)[:, None] * as_f64(B)[P.sub_cols]
+    row_nnz = np.bincount(P.sub_rows, minlength=n)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(row_nnz, out=indptr[1:])
+    nonempty = np.flatnonzero(row_nnz > 0)
+    prod = np.zeros((n, p))
+    if nonempty.size:
+        prod[nonempty] = np.add.reduceat(gathered, indptr[nonempty], axis=0)
+    if C is None:
+        return prod
+    C[...] = prod
+    return C

@@ -19,6 +19,7 @@ from repro.chaos.runtime import chaos_check
 from repro.cuda.memory import DeviceArray
 from repro.cusparse.matrices import DeviceCSR
 from repro.errors import SparseValueError
+from repro.precision import as_f64, kernel_letter
 
 
 def _substrate_mm(
@@ -38,7 +39,7 @@ def _substrate_mm(
     exact segments :func:`csrmm` reduces — bit-identical across formats.
     """
     p = B.shape[1]
-    gathered = sub_vals[:, None] * B.data[sub_cols]
+    gathered = as_f64(sub_vals)[:, None] * as_f64(B.data)[sub_cols]
     row_nnz = np.bincount(sub_rows, minlength=n)
     indptr = np.zeros(n + 1, dtype=np.int64)
     np.cumsum(row_nnz, out=indptr[1:])
@@ -78,14 +79,15 @@ def csrmm(
     n, m = A.shape
     p = _check_operands(A, B, C, n, m)
     if C is None:
-        C = dev.empty((n, p), dtype=np.float64)
+        C = dev.empty((n, p), dtype=A.val.data.dtype)
         beta = 0.0
 
     # per-row segment sums over the gathered B rows; reduceat shares
     # numpy's pairwise-summation kernel with thrust::reduce_by_key's
     # substrate, so CSR row sums here are bit-identical to a segmented
-    # reduction over the same element order
-    gathered = A.val.data[:, None] * B.data[A.indices.data]
+    # reduction over the same element order (operands upcast to fp64
+    # before the reduce; the write into C quantizes to its storage dtype)
+    gathered = as_f64(A.val.data)[:, None] * as_f64(B.data)[A.indices.data]
     row_nnz = np.diff(A.indptr.data)
     nonempty = np.flatnonzero(row_nnz > 0)
     prod = np.zeros((n, p))
@@ -99,9 +101,11 @@ def csrmm(
         C.data[...] = alpha * prod + beta * C.data
 
     # single launch; matrix structure traffic amortized across the p columns
-    dt = dev.cost.spmm_time(n, A.nnz, p)
-    dev.timeline.record("cusparseDcsrmm", "kernel", dt)
+    vs = A.val.data.dtype.itemsize
+    dt = dev.cost.spmm_time(n, A.nnz, p, itemsize=vs)
+    dev.timeline.record(f"cusparse{kernel_letter(vs)}csrmm", "kernel", dt)
     dev.kernel_launches += 1
+    dev.spmv_traffic_bytes += dev.cost.spmm_bytes(n, A.nnz, p, vs)
     return C
 
 
@@ -123,13 +127,15 @@ def ellmm(
     n, m = A.shape
     p = _check_operands(A, B, C, n, m)
     if C is None:
-        C = dev.empty((n, p), dtype=np.float64)
+        C = dev.empty((n, p), dtype=A.sub_vals.dtype)
         beta = 0.0
 
     _substrate_mm(A.sub_rows, A.sub_cols, A.sub_vals, B, C, n, alpha, beta)
-    dt = dev.cost.ellmm_time(n, A.nnz, A.width, p)
-    dev.timeline.record("cusparseDellmm", "kernel", dt)
+    vs = A.sub_vals.dtype.itemsize
+    dt = dev.cost.ellmm_time(n, A.nnz, A.width, p, itemsize=vs)
+    dev.timeline.record(f"cusparse{kernel_letter(vs)}ellmm", "kernel", dt)
     dev.kernel_launches += 1
+    dev.spmv_traffic_bytes += dev.cost.ellmm_bytes(n, A.nnz, A.width, p, vs)
     return C
 
 
@@ -150,23 +156,27 @@ def hybmm(
     n, m = A.shape
     p = _check_operands(A, B, C, n, m)
     if C is None:
-        C = dev.empty((n, p), dtype=np.float64)
+        C = dev.empty((n, p), dtype=A.sub_vals.dtype)
         beta = 0.0
 
     _substrate_mm(A.sub_rows, A.sub_cols, A.sub_vals, B, C, n, alpha, beta)
+    vs = A.sub_vals.dtype.itemsize
+    letter = kernel_letter(vs)
     dev.timeline.record(
-        "cusparseDhybmm[ell]",
+        f"cusparse{letter}hybmm[ell]",
         "kernel",
-        dev.cost.ellmm_time(n, A.nnz_ell, A.width, p),
+        dev.cost.ellmm_time(n, A.nnz_ell, A.width, p, itemsize=vs),
     )
     dev.kernel_launches += 1
+    dev.spmv_traffic_bytes += dev.cost.ellmm_bytes(n, A.nnz_ell, A.width, p, vs)
     if A.nnz_coo > 0:
         dev.timeline.record(
-            "cusparseDhybmm[coo]",
+            f"cusparse{letter}hybmm[coo]",
             "kernel",
-            dev.cost.spmm_time(n, A.nnz_coo, p) * 2.0,
+            dev.cost.spmm_time(n, A.nnz_coo, p, itemsize=vs) * 2.0,
         )
         dev.kernel_launches += 1
+        dev.spmv_traffic_bytes += dev.cost.spmm_bytes(n, A.nnz_coo, p, vs)
     return C
 
 

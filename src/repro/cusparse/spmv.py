@@ -16,6 +16,7 @@ from repro.chaos.runtime import chaos_check
 from repro.cuda.memory import DeviceArray
 from repro.cusparse.matrices import DeviceCOO, DeviceCSR
 from repro.errors import SparseValueError
+from repro.precision import as_f64, kernel_letter
 
 
 def csrmv(
@@ -42,7 +43,7 @@ def csrmv(
     if x.size != m:
         raise SparseValueError(f"csrmv: A is {A.shape}, x has length {x.size}")
     if y is None:
-        y = dev.empty(n, dtype=np.float64)
+        y = dev.empty(n, dtype=A.val.data.dtype)
         beta = 0.0
     elif y.size != n:
         raise SparseValueError(f"csrmv: A is {A.shape}, y has length {y.size}")
@@ -51,17 +52,25 @@ def csrmv(
         rows_cache = np.repeat(
             np.arange(n, dtype=np.int64), np.diff(A.indptr.data)
         )
+    # fp64 accumulation regardless of storage width: operands upcast
+    # before the multiply-reduce (as_f64 is the identity on float64, so
+    # the exact path runs the expression it always did); the write into
+    # y quantizes to y's storage dtype.
     prod = np.bincount(
-        rows_cache, weights=A.val.data * x.data[A.indices.data], minlength=n
+        rows_cache,
+        weights=as_f64(A.val.data) * as_f64(x.data)[A.indices.data],
+        minlength=n,
     )
     if beta == 0.0:
         y.data[...] = alpha * prod
     else:
         y.data[...] = alpha * prod + beta * y.data
 
-    dt = dev.cost.spmv_time(n, A.nnz)
-    dev.timeline.record("cusparseDcsrmv", "kernel", dt)
+    vs = A.val.data.dtype.itemsize
+    dt = dev.cost.spmv_time(n, A.nnz, itemsize=vs)
+    dev.timeline.record(f"cusparse{kernel_letter(vs)}csrmv", "kernel", dt)
     dev.kernel_launches += 1
+    dev.spmv_traffic_bytes += dev.cost.spmv_bytes(n, A.nnz, vs)
     return y
 
 
@@ -84,13 +93,15 @@ def coomv(
     if x.size != m:
         raise SparseValueError(f"coomv: A is {A.shape}, x has length {x.size}")
     if y is None:
-        y = dev.empty(n, dtype=np.float64)
+        y = dev.empty(n, dtype=A.val.data.dtype)
         beta = 0.0
     elif y.size != n:
         raise SparseValueError(f"coomv: A is {A.shape}, y has length {y.size}")
 
     prod = np.bincount(
-        A.row.data, weights=A.val.data * x.data[A.col.data], minlength=n
+        A.row.data,
+        weights=as_f64(A.val.data) * as_f64(x.data)[A.col.data],
+        minlength=n,
     )
     if beta == 0.0:
         y.data[...] = alpha * prod
@@ -98,9 +109,11 @@ def coomv(
         y.data[...] = alpha * prod + beta * y.data
 
     # atomic contention: ~2x the csrmv bytes at gather efficiency
-    dt = dev.cost.spmv_time(n, A.nnz) * 2.0
-    dev.timeline.record("cusparseDcoomv", "kernel", dt)
+    vs = A.val.data.dtype.itemsize
+    dt = dev.cost.spmv_time(n, A.nnz, itemsize=vs) * 2.0
+    dev.timeline.record(f"cusparse{kernel_letter(vs)}coomv", "kernel", dt)
     dev.kernel_launches += 1
+    dev.spmv_traffic_bytes += dev.cost.spmv_bytes(n, A.nnz, vs)
     return y
 
 
@@ -113,7 +126,9 @@ def _substrate_product(A, x: DeviceArray, y, alpha: float, beta: float, n: int):
     bit-identical results across formats (see ``formats`` module docstring).
     """
     prod = np.bincount(
-        A.sub_rows, weights=A.sub_vals * x.data[A.sub_cols], minlength=n
+        A.sub_rows,
+        weights=as_f64(A.sub_vals) * as_f64(x.data)[A.sub_cols],
+        minlength=n,
     )
     if beta == 0.0:
         y.data[...] = alpha * prod
@@ -139,15 +154,17 @@ def ellmv(
     if x.size != m:
         raise SparseValueError(f"ellmv: A is {A.shape}, x has length {x.size}")
     if y is None:
-        y = dev.empty(n, dtype=np.float64)
+        y = dev.empty(n, dtype=A.sub_vals.dtype)
         beta = 0.0
     elif y.size != n:
         raise SparseValueError(f"ellmv: A is {A.shape}, y has length {y.size}")
 
     _substrate_product(A, x, y, alpha, beta, n)
-    dt = dev.cost.ellmv_time(n, A.nnz, A.width)
-    dev.timeline.record("cusparseDellmv", "kernel", dt)
+    vs = A.sub_vals.dtype.itemsize
+    dt = dev.cost.ellmv_time(n, A.nnz, A.width, itemsize=vs)
+    dev.timeline.record(f"cusparse{kernel_letter(vs)}ellmv", "kernel", dt)
     dev.kernel_launches += 1
+    dev.spmv_traffic_bytes += dev.cost.ellmv_bytes(n, A.nnz, A.width, vs)
     return y
 
 
@@ -169,23 +186,29 @@ def hybmv(
     if x.size != m:
         raise SparseValueError(f"hybmv: A is {A.shape}, x has length {x.size}")
     if y is None:
-        y = dev.empty(n, dtype=np.float64)
+        y = dev.empty(n, dtype=A.sub_vals.dtype)
         beta = 0.0
     elif y.size != n:
         raise SparseValueError(f"hybmv: A is {A.shape}, y has length {y.size}")
 
     _substrate_product(A, x, y, alpha, beta, n)
+    vs = A.sub_vals.dtype.itemsize
+    letter = kernel_letter(vs)
     dev.timeline.record(
-        "cusparseDhybmv[ell]", "kernel", dev.cost.ellmv_time(n, A.nnz_ell, A.width)
+        f"cusparse{letter}hybmv[ell]",
+        "kernel",
+        dev.cost.ellmv_time(n, A.nnz_ell, A.width, itemsize=vs),
     )
     dev.kernel_launches += 1
+    dev.spmv_traffic_bytes += dev.cost.ellmv_bytes(n, A.nnz_ell, A.width, vs)
     if A.nnz_coo > 0:
         dev.timeline.record(
-            "cusparseDhybmv[coo]",
+            f"cusparse{letter}hybmv[coo]",
             "kernel",
-            dev.cost.spmv_time(n, A.nnz_coo) * 2.0,
+            dev.cost.spmv_time(n, A.nnz_coo, itemsize=vs) * 2.0,
         )
         dev.kernel_launches += 1
+        dev.spmv_traffic_bytes += dev.cost.spmv_bytes(n, A.nnz_coo, vs)
     return y
 
 

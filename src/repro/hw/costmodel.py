@@ -94,10 +94,57 @@ class GPUCostModel(CostModel):
         bytes_moved = (m * k + k * n + 2 * m * n) * itemsize
         return self.kernel_time(flops, bytes_moved, kind="dense", itemsize=itemsize)
 
+    # -- sparse byte formulas (shared with the traffic meter) ------------
+    # Each *_bytes staticmethod is the exact memory-traffic expression its
+    # *_time counterpart prices, exposed so kernels can meter
+    # ``Device.spmv_traffic_bytes`` with the same numbers the roofline
+    # charges — the byte-traffic regression gate compares these, not
+    # seconds, because launch overhead would mask the storage-width win
+    # on small graphs.
+
+    @staticmethod
+    def spmv_bytes(n_rows: int, nnz: int, itemsize: int = 8) -> float:
+        """CSR SpMV traffic: nnz·(itemsize+4) matrix bytes + vector legs."""
+        return nnz * (itemsize + 4) + 2.0 * n_rows * itemsize + nnz * itemsize
+
+    @staticmethod
+    def spmv_halo_bytes(n_rows: int, nnz: int, itemsize: int = 8) -> float:
+        """Halo-segment SpMV traffic (y accumulate touches only halo rows)."""
+        touched = float(min(n_rows, nnz))
+        return nnz * (itemsize + 4) + nnz * itemsize + 2.0 * touched * itemsize
+
+    @staticmethod
+    def spmm_bytes(n_rows: int, nnz: int, p: int, itemsize: int = 8) -> float:
+        """CSR SpMM traffic: matrix structure once, B gathers + C per column."""
+        return (
+            nnz * (itemsize + 4)          # matrix values + column indices, once
+            + (n_rows + 1.0) * 8.0        # row pointers, once
+            + nnz * p * itemsize          # gathered B rows, per column
+            + 2.0 * n_rows * p * itemsize  # C read+write, per column
+        )
+
+    @staticmethod
+    def ellmv_bytes(n_rows: int, nnz: int, width: int, itemsize: int = 8) -> float:
+        """ELL SpMV traffic: padded streaming legs + irregular x gathers."""
+        padded = float(n_rows) * width
+        return padded * (itemsize + 4) + 2.0 * n_rows * itemsize + float(nnz) * itemsize
+
+    @staticmethod
+    def ellmm_bytes(
+        n_rows: int, nnz: int, width: int, p: int, itemsize: int = 8
+    ) -> float:
+        """ELL SpMM traffic: padded matrix once, B gathers + C per column."""
+        padded = float(n_rows) * width
+        return (
+            padded * (itemsize + 4)
+            + 2.0 * n_rows * p * itemsize
+            + float(nnz) * p * itemsize
+        )
+
     def spmv_time(self, n_rows: int, nnz: int, itemsize: int = 8) -> float:
         """CSR SpMV: 2·nnz flops; nnz·(itemsize+4) matrix bytes + vector traffic."""
         flops = 2.0 * nnz
-        bytes_moved = nnz * (itemsize + 4) + 2.0 * n_rows * itemsize + nnz * itemsize
+        bytes_moved = self.spmv_bytes(n_rows, nnz, itemsize)
         return self.kernel_time(flops, bytes_moved, kind="gather", itemsize=itemsize)
 
     def spmv_halo_time(self, n_rows: int, nnz: int, itemsize: int = 8) -> float:
@@ -109,9 +156,33 @@ class GPUCostModel(CostModel):
         roofline body.  The accumulate touches at most ``min(n_rows, nnz)``
         rows of y (rows with no off-device neighbours are untouched).
         """
-        touched = float(min(n_rows, nnz))
         flops = 2.0 * nnz
-        bytes_moved = nnz * (itemsize + 4) + nnz * itemsize + 2.0 * touched * itemsize
+        bytes_moved = self.spmv_halo_bytes(n_rows, nnz, itemsize)
+        f_rate, b_rate = self._rates("gather", itemsize)
+        return roofline_time(flops, bytes_moved, f_rate, b_rate)
+
+    @staticmethod
+    def spmm_halo_bytes(n_rows: int, nnz: int, p: int, itemsize: int = 8) -> float:
+        """Halo-segment SpMM traffic (C accumulate touches only halo rows)."""
+        touched = float(min(n_rows, nnz))
+        return (
+            nnz * (itemsize + 4)
+            + nnz * p * itemsize
+            + 2.0 * touched * p * itemsize
+        )
+
+    def spmm_halo_time(
+        self, n_rows: int, nnz: int, p: int, itemsize: int = 8
+    ) -> float:
+        """Halo segment of a row-partitioned SpMM (``C += A_halo @ B_halo``).
+
+        Block analogue of :meth:`spmv_halo_time`: enqueued back-to-back
+        behind the local block kernel on the same stream, so no launch
+        overhead is charged — only the roofline body over the halo
+        nonzeros, amortized across the ``p`` columns.
+        """
+        flops = 2.0 * nnz * p
+        bytes_moved = self.spmm_halo_bytes(n_rows, nnz, p, itemsize)
         f_rate, b_rate = self._rates("gather", itemsize)
         return roofline_time(flops, bytes_moved, f_rate, b_rate)
 
@@ -129,12 +200,7 @@ class GPUCostModel(CostModel):
         the membership-matrix centroid update beats per-column sweeps.
         """
         flops = 2.0 * nnz * p
-        bytes_moved = (
-            nnz * (itemsize + 4)          # matrix values + column indices, once
-            + (n_rows + 1.0) * 8.0        # row pointers, once
-            + nnz * p * itemsize          # gathered B rows, per column
-            + 2.0 * n_rows * p * itemsize  # C read+write, per column
-        )
+        bytes_moved = self.spmm_bytes(n_rows, nnz, p, itemsize)
         return self.kernel_time(flops, bytes_moved, kind="gather", itemsize=itemsize)
 
     def sort_time(self, n_keys: int) -> float:

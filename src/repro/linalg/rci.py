@@ -151,7 +151,9 @@ class TransferLedger:
     n, m, k:
         Problem dimension, Krylov subspace size, and wanted pairs.
     itemsize:
-        Bytes per element (float64 throughout the pipeline).
+        Bytes per element of the iteration vectors at their *storage*
+        precision (8 for the exact fp64 path, 4/2 for the reduced
+        mixed-precision paths — every byte count below scales with it).
     n_devices:
         Devices the row-partitioned loop spans (1 = the pinned path).
     halo_counts:
@@ -184,11 +186,27 @@ class TransferLedger:
         """The Ritz vectors ``U`` coming down once at the end."""
         return self.n * self.k * self.itemsize
 
+    def refine_apply_bytes(self) -> int:
+        """One fp64 iterative-refinement block application, each way: the
+        ``(n, k)`` block ships up and the product ships down at *full*
+        width regardless of the solve's storage itemsize — refinement is
+        the correction pass against the fp64 operator.  A refinement pass
+        performs ``len(stats.refine_history) - 1`` applications: one for
+        the residual measurement + in-span polish, one per subspace
+        advance (``stats.refine_steps`` reports the same count)."""
+        return self.n * self.k * 8
+
     def seed_h2d_bytes(self, checkpoint: "LanczosCheckpoint | None" = None) -> int:
         """Initial upload: the start vector, or the kept factorization
-        (basis + residual) when resuming after a device failure."""
+        (basis + residual) when resuming after a device failure.
+
+        The checkpoint arrays live on the host in fp64, but what crosses
+        the bus is the device-side *storage* representation — so the
+        element counts are priced at the ledger's itemsize, not at the
+        host arrays' width.
+        """
         if checkpoint is not None:
-            return checkpoint.V.nbytes + checkpoint.f.nbytes
+            return (checkpoint.V.size + checkpoint.f.size) * self.itemsize
         return self.n * self.itemsize
 
     # -- multi-device (row-partitioned) plan ---------------------------

@@ -1,0 +1,153 @@
+"""Iterative refinement of approximate eigenpairs in fp64.
+
+The mixed-precision contract (see :mod:`repro.precision`): a reduced-
+storage Lanczos or power-iteration solve converges quickly to the
+quantization noise floor of its storage dtype, then this module polishes
+the result against the *full-precision* operator.  The pass is built so
+that its first operator application pays for three things at once:
+
+1. the **incoming residual** of the raw reduced-precision pairs
+   (``history[0]``) — the number the tolerance-banded harness gates;
+2. a free **in-span Rayleigh–Ritz polish**: with ``Z = A U`` on hand and
+   ``U`` orthonormal (both Lanczos and the power embedding return an
+   orthonormal block), the projected problem ``T = sym(Uᵀ Z)`` re-derives
+   the eigenvalues from the *fp64* operator and rotates the block to the
+   best pairs inside the current span — no extra SpMM;
+3. the image ``Z`` that seeds the first subspace advance, should one be
+   needed.
+
+Each subsequent **advance** is one guarded subspace-iteration step
+(``Q = qr(Z)``, ``Z' = A Q``, project, rotate) costing exactly one more
+operator application.  Advances stop early once the best residual is at
+or below ``target`` — the caller passes a fraction of the precision's
+tolerance band, so a solve that already sits inside its band pays one
+application total (the measurement) instead of a fixed polish budget.
+That early exit is what keeps the fp32 path's modeled byte traffic well
+under the fp64 baseline even on graphs where Lanczos converges in few
+iterations.
+
+A candidate is *accepted only if its residual improves on the best seen
+so far* — the keep-best guard makes the residual history monotone
+non-increasing by construction, which the property tests pin.
+
+Convergence: classical subspace-iteration analysis gives per-advance
+contraction of the invariant-subspace error by the eigenvalue ratio
+``|λ_{k+1}/λ_k|`` (Saad, *Numerical Methods for Large Eigenvalue
+Problems*, ch. 5), and the Rayleigh–Ritz eigenvalue error is quadratic
+in the subspace angle — so the in-span polish alone typically recovers
+fp64-level eigenvalues from an fp32 start, and one or two advances close
+most of the fp16 gap.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+
+def block_residual(
+    AU: np.ndarray, U: np.ndarray, theta: np.ndarray
+) -> float:
+    """Max relative eigen-residual over the block's columns.
+
+    ``max_j ||A u_j - θ_j u_j|| / max(1, |θ_j|)`` — the same scaling the
+    tolerance bands in the regression harness use.
+    """
+    num = np.linalg.norm(AU - U * theta[None, :], axis=0)
+    den = np.maximum(1.0, np.abs(theta))
+    return float(np.max(num / den)) if num.size else 0.0
+
+
+def _rayleigh_ritz(
+    Q: np.ndarray, Z: np.ndarray, k: int, which: str
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, float]:
+    """Project ``A`` onto span(Q) via its image ``Z = A Q`` and extract
+    the ``k`` pairs from the requested end; returns (theta, U, AU, res)."""
+    T = Q.T @ Z
+    T = 0.5 * (T + T.T)
+    w, S = np.linalg.eigh(T)  # ascending
+    if which == "LA":
+        sel = np.arange(w.size - k, w.size)
+    else:
+        sel = np.arange(k)
+    w, S = w[sel], S[:, sel]
+    U_new = Q @ S
+    AU_new = Z @ S
+    return w, U_new, AU_new, block_residual(AU_new, U_new, w)
+
+
+def refine_eigenpairs(
+    apply_block: Callable[[np.ndarray], np.ndarray],
+    theta: np.ndarray,
+    U: np.ndarray,
+    steps: int,
+    which: str = "LA",
+    target: float = 0.0,
+) -> tuple[np.ndarray, np.ndarray, float, list[float]]:
+    """Polish ``(theta, U)`` against the fp64 operator ``apply_block``.
+
+    Parameters
+    ----------
+    apply_block:
+        ``B -> A @ B`` in full fp64 (one SpMM per call); the caller owns
+        device placement, fault retry, and cost accounting.
+    theta, U:
+        Approximate eigenvalues (ascending, as
+        :meth:`~repro.linalg.eigsolver.SymEigProblem.find_eigenvectors`
+        returns them) and the matching *orthonormal* eigenvector columns.
+    steps:
+        Maximum subspace advances to attempt.  ``steps=0`` still costs
+        one operator application: it measures the incoming residual and
+        applies the free in-span Rayleigh–Ritz polish.
+    which:
+        ``"LA"``/``"SA"`` — which end of the projected spectrum the
+        ``k`` refined pairs are drawn from.
+    target:
+        Stop advancing once the best residual is ``<= target`` (0.0 =
+        always run the full ``steps`` budget).  Callers pass a fraction
+        of the storage precision's tolerance band, so a reduced solve
+        that already sits inside its band pays exactly one application.
+
+    Returns
+    -------
+    (theta, U, residual, history):
+        The best eigenpairs seen, their residual, and the residual
+        history: ``history[0]`` is the incoming residual, ``history[1]``
+        the in-span polish, and one entry per subspace advance after
+        that — monotone non-increasing, ``len(history) - 1`` operator
+        applications in total.
+    """
+    theta = np.asarray(theta, dtype=np.float64)
+    U = np.asarray(U, dtype=np.float64)
+    k = U.shape[1]
+    # application 1: measure the incoming pairs and polish in-span.  U is
+    # orthonormal, so Z = A U doubles as the image for the projected
+    # problem AND for the first advance's QR — nothing extra to apply.
+    Z = apply_block(U)
+    best_res = block_residual(Z, U, theta)
+    best_theta, best_U = theta, U
+    history = [best_res]
+    w, U_new, AU_new, res = _rayleigh_ritz(U, Z, k, which)
+    if res < best_res:
+        best_res, best_theta, best_U = res, w, U_new
+    history.append(best_res)
+    Z = AU_new  # freshest image available, rotated into the best basis
+    for _ in range(max(0, int(steps))):
+        if best_res <= target:
+            break
+        # subspace advance: orthonormalizing the *image* A U moves the
+        # span toward the invariant one (contraction by the eigenvalue
+        # ratio); orthonormalizing U itself would only rotate within the
+        # current span and never improve it
+        Q, _ = np.linalg.qr(Z)
+        Z2 = apply_block(Q)
+        w, U_new, AU_new, res = _rayleigh_ritz(Q, Z2, k, which)
+        if res < best_res:
+            best_res, best_theta, best_U = res, w, U_new
+        history.append(best_res)
+        # iterate from the freshly rotated block either way: an advance
+        # that did not yet beat the best can still set up the next
+        # contraction
+        Z = AU_new
+    return best_theta, best_U, best_res, history

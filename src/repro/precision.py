@@ -1,0 +1,142 @@
+"""Storage-precision registry for the mixed-precision solver path.
+
+The cost model prices *bytes*, and the eigensolver's hot loop is
+bandwidth-bound SpMV — so halving or quartering the storage width of the
+operator values and iteration vectors is a raw-speed lever (Sgherzi et
+al., *A Mixed Precision, Multi-GPU Design for Large-scale Top-K Sparse
+Eigenproblems*).  The numerical contract everywhere in the repo is:
+
+* **storage** may be fp64, fp32 or fp16 — values and vectors live on the
+  (simulated) device at that width, and every byte charge derives from
+  the array's real ``itemsize``;
+* **accumulation** is always fp64 — operands are upcast before the
+  multiply-reduce, so a reduced-precision product differs from the exact
+  one only by the *quantization* of its inputs and output, never by a
+  low-precision accumulator;
+* ``precision="fp64"`` is the exact path: :func:`as_f64` and
+  :func:`quantize` return their argument untouched for float64 input, so
+  the fp64 pipeline executes bit-identically to a build without the
+  precision axis.
+
+:func:`value_nbytes` is the single itemsize-driven byte helper the
+ledger, the partitioner and the charge functions use instead of
+hand-written ``* 8`` arithmetic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ClusteringError
+
+#: supported storage precisions, widest first
+PRECISIONS = ("fp64", "fp32", "fp16")
+
+#: precision name -> numpy storage dtype
+PRECISION_DTYPES = {
+    "fp64": np.dtype(np.float64),
+    "fp32": np.dtype(np.float32),
+    "fp16": np.dtype(np.float16),
+}
+
+#: cuSPARSE/cuBLAS kernel-name letter per storage width (D/S/H convention)
+KERNEL_LETTERS = {8: "D", 4: "S", 2: "H"}
+
+#: convergence floor per precision: asking a reduced-storage Lanczos
+#: iteration for residuals below its quantization noise just burns
+#: matvecs, so the solver clamps ``tol`` here and lets the fp64
+#: iterative-refinement step recover the remaining digits.
+TOL_FLOORS = {"fp64": 0.0, "fp32": 1e-5, "fp16": 1e-2}
+
+
+def resolve_precision(precision: str) -> np.dtype:
+    """Validate a precision name and return its storage dtype."""
+    try:
+        return PRECISION_DTYPES[precision]
+    except KeyError:
+        raise ClusteringError(
+            f"precision must be one of {PRECISIONS}, got {precision!r}"
+        ) from None
+
+
+def precision_of(dtype) -> str:
+    """The precision name of a storage dtype (``'fp64'`` for float64)."""
+    dt = np.dtype(dtype)
+    for name, cand in PRECISION_DTYPES.items():
+        if cand == dt:
+            return name
+    raise ClusteringError(f"no precision name for dtype {dt}")
+
+
+def itemsize(precision: str) -> int:
+    """Bytes per element at the given storage precision."""
+    return resolve_precision(precision).itemsize
+
+
+def value_nbytes(count: int | float, dtype_or_itemsize) -> int:
+    """Bytes of ``count`` values at a storage width.
+
+    The itemsize-driven replacement for scattered ``* 8`` byte
+    arithmetic: accepts a dtype, an array (its dtype is used), or a raw
+    itemsize integer.
+    """
+    if isinstance(dtype_or_itemsize, (int, np.integer)):
+        width = int(dtype_or_itemsize)
+    elif hasattr(dtype_or_itemsize, "dtype"):
+        width = np.dtype(dtype_or_itemsize.dtype).itemsize
+    else:
+        width = np.dtype(dtype_or_itemsize).itemsize
+    return int(count) * width
+
+
+def kernel_letter(dtype_or_itemsize) -> str:
+    """The D/S/H kernel-name letter for a storage width."""
+    if isinstance(dtype_or_itemsize, (int, np.integer)):
+        width = int(dtype_or_itemsize)
+    else:
+        width = np.dtype(dtype_or_itemsize).itemsize
+    try:
+        return KERNEL_LETTERS[width]
+    except KeyError:
+        raise ClusteringError(f"no kernel letter for itemsize {width}") from None
+
+
+def as_f64(a: np.ndarray) -> np.ndarray:
+    """fp64 view of an operand for accumulation.
+
+    Returns the array itself when already float64 (the exact path runs
+    the identical expression it always did); upcasts a copy otherwise.
+    """
+    if a.dtype == np.float64:
+        return a
+    return a.astype(np.float64)
+
+
+def quantize(a: np.ndarray, dtype) -> np.ndarray:
+    """Quantize a host array to a storage dtype (identity for float64)."""
+    dt = np.dtype(dtype)
+    if a.dtype == dt:
+        return a
+    return a.astype(dt)
+
+
+def quantize_roundtrip(a: np.ndarray, dtype) -> np.ndarray:
+    """fp64 array carrying the quantization error of a storage dtype."""
+    dt = np.dtype(dtype)
+    if dt == np.float64:
+        return a
+    return a.astype(dt).astype(np.float64)
+
+
+def ritz_tolerance(dtype, n: int, scale: float = 1.0) -> float:
+    """Theory-derived bound on Ritz-value perturbation from quantization.
+
+    Storing the operator values and iteration vectors at unit roundoff
+    ``eps`` perturbs the applied operator by ``E`` with ``||E||_2 <=
+    c·eps·sqrt(n)·||A||_2`` (entrywise relative error amplified at most
+    by the 2-norm/max-norm gap); Weyl's inequality then moves each
+    eigenvalue by at most ``||E||_2``.  ``c`` absorbs the extra vector
+    quantizations of the reverse-communication loop.
+    """
+    eps = float(np.finfo(np.dtype(dtype)).eps)
+    return 64.0 * eps * float(np.sqrt(n)) * float(scale)

@@ -86,15 +86,22 @@ def embedding_key(
     eig_maxiter: int | None,
     seed: int | None,
     normalize_rows: bool,
+    precision: str = "fp64",
+    embedding: str = "lanczos",
 ) -> tuple:
     """Embedding-cache key: every parameter that influences stages 1-3.
 
     Note ``seed`` is included because it seeds the Lanczos start vector —
     two requests with different seeds legitimately produce different
-    embeddings, so they must not share a cache slot.
+    embeddings, so they must not share a cache slot.  ``precision`` and
+    ``embedding`` are included because reduced-precision and power-
+    iteration embeddings are tolerance-band accurate rather than
+    bit-identical — an fp16 solve must never shadow an fp64 one (unlike
+    ``eig_devices``/``eig_residency``, which are bit-identical placements
+    and deliberately excluded).
     """
     return (
         fingerprint, operator, objective, handle_isolated,
         int(n_clusters), m, float(eig_tol), eig_maxiter, seed,
-        bool(normalize_rows),
+        bool(normalize_rows), str(precision), str(embedding),
     )

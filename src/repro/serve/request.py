@@ -73,6 +73,13 @@ class ClusterRequest:
     #: so deliberately NOT part of embedding_key — a multi-device solve
     #: can serve a cached single-device embedding and vice versa)
     eig_devices: int = 1
+    #: storage precision of the eigensolve ('fp64'/'fp32'/'fp16') — part
+    #: of embedding_key: reduced embeddings are tolerance-band accurate,
+    #: not bit-identical, so they must not shadow exact ones
+    precision: str = "fp64"
+    #: spectral embedding algorithm ('lanczos'/'power') — part of
+    #: embedding_key for the same reason
+    embedding: str = "lanczos"
     kmeans_init: str = "k-means++"
     kmeans_max_iter: int = 300
     normalize_rows: bool = False
@@ -114,6 +121,8 @@ class ClusterRequest:
             eig_tol=self.eig_tol,
             eig_maxiter=self.eig_maxiter,
             eig_devices=self.eig_devices,
+            precision=self.precision,
+            embedding=self.embedding,
             kmeans_init=self.kmeans_init,
             kmeans_max_iter=self.kmeans_max_iter,
             normalize_rows=self.normalize_rows,
@@ -162,6 +171,7 @@ class ClusterRequest:
             fingerprint, self.operator, self.objective, self.handle_isolated,
             self.n_clusters, self.m, self.eig_tol, self.eig_maxiter,
             self.seed, self.normalize_rows,
+            precision=self.precision, embedding=self.embedding,
         )
 
 

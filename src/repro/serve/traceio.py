@@ -18,7 +18,8 @@ from repro.serve.request import ClusterRequest
 _FIELDS = (
     "request_id", "arrival", "dataset", "scale", "data_seed",
     "n_clusters", "similarity", "sigma", "operator", "objective",
-    "m", "eig_tol", "eig_maxiter", "kmeans_init", "kmeans_max_iter",
+    "m", "eig_tol", "eig_maxiter", "precision", "embedding",
+    "kmeans_init", "kmeans_max_iter",
     "normalize_rows", "handle_isolated", "seed", "chaos", "no_resilience",
 )
 

@@ -1,0 +1,163 @@
+"""Chaos coverage for the mixed-precision paths.
+
+The refinement pass and the power embedding introduced two new GPU hot
+loops (fp64 correction SpMM, repeated block SpMM); both must honor the
+same resilience contract as the Lanczos loop: transient faults retry,
+persistent faults fall back to the host with identical arithmetic, and a
+disabled policy surfaces a typed error — never a crash, never silent
+corruption.
+"""
+
+import numpy as np
+import pytest
+
+from repro.chaos import DISABLED, FaultPlan, FaultSpec
+from repro.core.pipeline import SpectralClustering
+from repro.errors import ReproError
+
+K = 6
+
+
+def _fit(W, **kw):
+    return SpectralClustering(n_clusters=K, seed=0, **kw).fit(graph=W)
+
+
+@pytest.fixture
+def clean_fp32(sbm_graph):
+    W, _ = sbm_graph
+    return _fit(W, precision="fp32")
+
+
+@pytest.fixture
+def clean_power(sbm_graph):
+    W, _ = sbm_graph
+    return _fit(W, embedding="power")
+
+
+class TestRefinementChaos:
+    """``cusparse.csrmm`` only fires inside the refinement pass on the
+    fp32 Lanczos path — the main loop runs matvecs — so these cells
+    exercise exactly the ``eig.refine`` retry site."""
+
+    def test_transient_csrmm_retries_and_matches(
+        self, sbm_graph, clean_fp32
+    ):
+        W, _ = sbm_graph
+        plan = FaultPlan(
+            [FaultSpec(site="cusparse.csrmm", fault="transient",
+                       nth=1, stage="eigensolver")]
+        )
+        res = _fit(W, precision="fp32", chaos=plan)
+        assert plan.n_fired >= 1
+        assert res.eig_stats["spmv_retries"] >= 1
+        # the retry re-ran the same SpMM: bit-identical recovery
+        assert np.array_equal(res.labels, clean_fp32.labels)
+        assert res.embedding.tobytes() == clean_fp32.embedding.tobytes()
+
+    def test_dead_csrmm_finishes_refinement_on_host(
+        self, sbm_graph, clean_fp32
+    ):
+        W, _ = sbm_graph
+        plan = FaultPlan(
+            [FaultSpec(site="cusparse.csrmm", fault="transient",
+                       prob=1.0, max_fires=None, stage="eigensolver")]
+        )
+        res = _fit(W, precision="fp32", chaos=plan)
+        assert plan.n_fired >= 1
+        # host fallback performs csrmm's exact gathered/reduceat
+        # arithmetic -> same refined embedding, same labels
+        assert np.array_equal(res.labels, clean_fp32.labels)
+        assert res.embedding.tobytes() == clean_fp32.embedding.tobytes()
+        assert res.eig_stats["refine_residual"] is not None
+
+    def test_unprotected_refinement_raises_typed_error(self, sbm_graph):
+        W, _ = sbm_graph
+        plan = FaultPlan(
+            [FaultSpec(site="cusparse.csrmm", fault="transient",
+                       nth=1, stage="eigensolver")]
+        )
+        sc = SpectralClustering(
+            n_clusters=K, seed=0, precision="fp32",
+            chaos=plan, resilience=DISABLED,
+        )
+        with pytest.raises(ReproError):
+            sc.fit(graph=W)
+        assert plan.n_fired == 1
+
+    def test_transfer_fault_on_refine_leg_recovers(
+        self, sbm_graph, clean_fp32
+    ):
+        """The refinement block crosses PCIe at full width each way; a
+        transient transfer fault on those legs must retry cleanly."""
+        W, _ = sbm_graph
+        n_op = clean_fp32.eig_stats["n_op"]
+        plan = FaultPlan(
+            [FaultSpec(site="cuda.h2d", fault="transient",
+                       nth=2, stage="eigensolver")]
+        )
+        res = _fit(W, precision="fp32", chaos=plan)
+        assert plan.n_fired >= 1
+        assert np.array_equal(res.labels, clean_fp32.labels)
+        assert res.eig_stats["n_op"] == n_op  # solve path undisturbed
+
+
+class TestPowerEmbeddingChaos:
+    """The power embedding is pure repeated SpMM — every operator
+    application goes through one of the ``cusparse.*mm`` kernels (the
+    autotuner picks the format, hence the wildcard site)."""
+
+    def test_transient_spmm_retries_and_matches(
+        self, sbm_graph, clean_power
+    ):
+        W, _ = sbm_graph
+        plan = FaultPlan(
+            [FaultSpec(site="cusparse.*mm", fault="transient",
+                       nth=3, stage="eigensolver")]
+        )
+        res = _fit(W, embedding="power", chaos=plan)
+        assert plan.n_fired >= 1
+        assert res.eig_stats["spmv_retries"] >= 1
+        assert np.array_equal(res.labels, clean_power.labels)
+        assert res.embedding.tobytes() == clean_power.embedding.tobytes()
+
+    def test_dead_spmm_falls_back_to_host_bit_identically(
+        self, sbm_graph, clean_power
+    ):
+        W, _ = sbm_graph
+        plan = FaultPlan(
+            [FaultSpec(site="cusparse.*mm", fault="transient",
+                       prob=1.0, max_fires=None, stage="eigensolver")]
+        )
+        res = _fit(W, embedding="power", chaos=plan)
+        assert res.eig_stats["fallback"] == "cpu"
+        assert np.array_equal(res.labels, clean_power.labels)
+        assert res.embedding.tobytes() == clean_power.embedding.tobytes()
+
+    def test_unprotected_power_raises_typed_error(self, sbm_graph):
+        W, _ = sbm_graph
+        plan = FaultPlan(
+            [FaultSpec(site="cusparse.*mm", fault="transient",
+                       nth=1, stage="eigensolver")]
+        )
+        sc = SpectralClustering(
+            n_clusters=K, seed=0, embedding="power",
+            chaos=plan, resilience=DISABLED,
+        )
+        with pytest.raises(ReproError):
+            sc.fit(graph=W)
+        assert plan.n_fired == 1
+
+    def test_reduced_power_oom_recovers(self, sbm_graph):
+        """fp32 power: an allocation fault mid-embedding must recover and
+        stay inside the fp32 tolerance floor after refinement."""
+        from repro.precision import TOL_FLOORS
+
+        W, _ = sbm_graph
+        plan = FaultPlan(
+            [FaultSpec(site="cuda.alloc", fault="oom",
+                       nth=2, stage="eigensolver")]
+        )
+        res = _fit(W, precision="fp32", embedding="power", chaos=plan)
+        assert plan.n_fired >= 1
+        assert res.eig_stats["converged"]
+        assert res.eig_stats["refine_residual"] <= TOL_FLOORS["fp32"]

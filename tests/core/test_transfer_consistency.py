@@ -131,3 +131,108 @@ class TestMultiDeviceConsistency:
         assert s2.bytes_d2h == s1.bytes_d2h
         extra_q = s1.n_restarts * s1.m * s1.k * 8
         assert s2.bytes_h2d == s1.bytes_h2d + extra_q
+
+
+class TestMixedDtypeConsistency:
+    """The ledger's ``itemsize`` axis: every reduced-precision byte count
+    must be the fp64 plan rescaled to the storage width, with the fp64
+    refinement legs (the ``(n, k)`` block each way per operator
+    application) priced at full width on top.  These pin the exact totals
+    so a reintroduced hard-coded ``* 8`` anywhere in the metering or the
+    ledger fails loudly."""
+
+    @pytest.mark.parametrize("precision,vs", [("fp32", 4), ("fp16", 2)])
+    def test_single_device_pcie_totals_exact(
+        self, sbm_graph, precision, vs
+    ):
+        dev, op, n = _build(sbm_graph)
+        prof = Profiler(dev)
+        prof.start()
+        _, _, stats = hybrid_eigensolver(
+            dev, op, k=6, tol=1e-8, seed=0,
+            spmv_format="csr", precision=precision,
+        )
+        rep = prof.stop()
+        assert stats.converged
+        # the refinement pass always ran for a reduced solve: one
+        # measurement + polish application, plus any subspace advances
+        apps = stats.refine_steps
+        assert apps == len(stats.refine_history) - 1 >= 1
+        ledger = TransferLedger(
+            n=n, m=stats.m, k=stats.k, itemsize=vs
+        )
+        # PCIe up: seed + per-restart Q at storage width, then the fp64
+        # refinement block up once per application
+        assert stats.bytes_h2d == (
+            ledger.seed_h2d_bytes()
+            + stats.n_restarts * ledger.restart_h2d_bytes()
+            + apps * ledger.refine_apply_bytes()
+        )
+        # PCIe down: tridiagonal + Ritz block at storage width, then the
+        # fp64 refinement product down once per application
+        assert stats.bytes_d2h == (
+            stats.n_restarts * ledger.restart_d2h_bytes()
+            + ledger.result_d2h_bytes()
+            + apps * ledger.refine_apply_bytes()
+        )
+        # and the profiler saw the same bytes the stats deltas report
+        assert rep.transfers["bytes_h2d"] == stats.bytes_h2d
+        assert rep.transfers["bytes_d2h"] == stats.bytes_d2h
+
+    @pytest.mark.parametrize("precision,vs", [("fp32", 4), ("fp16", 2)])
+    def test_multi_device_peer_bus_at_storage_width(
+        self, sbm_graph, precision, vs
+    ):
+        dev, op, n = _build(sbm_graph)
+        _, _, stats = hybrid_eigensolver(
+            dev, op, k=6, tol=1e-8, seed=0,
+            n_devices=2, precision=precision,
+        )
+        assert stats.converged
+        part = stats.partition
+        ledger = TransferLedger(
+            n=n, m=stats.m, k=stats.k, itemsize=vs, n_devices=2,
+            halo_counts=tuple(part["halo_counts"]),
+            halo_pairs=part["halo_pairs"],
+        )
+        # halo entries cross the peer bus at the storage width
+        assert part["step_halo_bytes"] == ledger.step_halo_bytes()
+        assert stats.bytes_p2p == ledger.solve_p2p_bytes(
+            part["n_matvec"], part["shard_upload_bytes"]
+        )
+        # PCIe plan: storage-width seed/broadcast/results + fp64 legs
+        apps = stats.refine_steps
+        assert stats.bytes_h2d == (
+            ledger.seed_h2d_bytes()
+            + stats.n_restarts * ledger.restart_broadcast_bytes()
+            + apps * ledger.refine_apply_bytes()
+        )
+        assert stats.bytes_d2h == (
+            stats.n_restarts * ledger.restart_d2h_bytes()
+            + ledger.result_d2h_bytes()
+            + apps * ledger.refine_apply_bytes()
+        )
+
+    def test_reduced_width_scales_the_plan_not_the_path(self, sbm_graph):
+        """fp32 must take the same iteration path as fp64 on this easy
+        graph (restart counts agree), so every PCIe delta between the two
+        solves is pure storage-width arithmetic plus the refinement legs
+        — nothing hidden."""
+        dev64, op64, n = _build(sbm_graph)
+        _, _, s64 = hybrid_eigensolver(
+            dev64, op64, k=6, tol=1e-8, seed=0, spmv_format="csr"
+        )
+        dev32, op32, _ = _build(sbm_graph)
+        _, _, s32 = hybrid_eigensolver(
+            dev32, op32, k=6, tol=1e-8, seed=0,
+            spmv_format="csr", precision="fp32",
+        )
+        assert s32.n_restarts == s64.n_restarts
+        assert (s32.m, s32.k) == (s64.m, s64.k)
+        # every planned byte count is linear in itemsize, so netting out
+        # the full-width refinement legs the fp32 solve moves exactly
+        # half the fp64 bytes — any hard-coded width breaks the ratio
+        ledger32 = TransferLedger(n=n, m=s32.m, k=s32.k, itemsize=4)
+        refine = s32.refine_steps * ledger32.refine_apply_bytes()
+        assert (s32.bytes_h2d - refine) * 2 == s64.bytes_h2d
+        assert (s32.bytes_d2h - refine) * 2 == s64.bytes_d2h

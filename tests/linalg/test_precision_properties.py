@@ -1,0 +1,220 @@
+"""Property-based accuracy contracts of the mixed-precision solver path.
+
+The precision registry (:mod:`repro.precision`) promises three things the
+tolerance-banded harness builds on, checked here over multiple seeded SBM
+graphs rather than one lucky instance:
+
+* a reduced-storage solve's *raw* Ritz values land within the Weyl-bound
+  tolerance of the exact fp64 spectrum (``ritz_tolerance``);
+* the fp64 iterative-refinement history is monotone non-increasing and
+  actually contracts the residual;
+* fp16 degrades gracefully — converged, finite, and recovered to near
+  fp64 accuracy by the refinement pass — instead of failing loudly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.workflow import hybrid_eigensolver
+from repro.cuda.device import Device
+from repro.cusparse.matrices import coo_to_device
+from repro.datasets.sbm import stochastic_block_model
+from repro.errors import ClusteringError
+from repro.graph.laplacian import device_sym_normalize
+from repro.linalg.refine import block_residual, refine_eigenpairs
+from repro.precision import (
+    PRECISIONS,
+    TOL_FLOORS,
+    as_f64,
+    kernel_letter,
+    precision_of,
+    quantize,
+    quantize_roundtrip,
+    resolve_precision,
+    ritz_tolerance,
+    value_nbytes,
+)
+
+SEEDS = (0, 1, 2)
+K = 6
+
+
+def _operator(seed: int):
+    """A seeded 6-community SBM normalized adjacency on a fresh device."""
+    rng = np.random.default_rng(100 + seed)
+    edges, labels = stochastic_block_model(
+        [40] * K, p_in=0.5, p_out=0.01, rng=rng
+    )
+    from repro.sparse.construct import from_edge_list
+
+    W = from_edge_list(edges, n_nodes=40 * K)
+    dev = Device()
+    dcoo = coo_to_device(dev, W.sorted_by_row())
+    return dev, device_sym_normalize(dcoo), W.shape[0]
+
+
+def _solve(seed: int, **kw):
+    dev, op, n = _operator(seed)
+    theta, U, stats = hybrid_eigensolver(dev, op, k=K, seed=0, **kw)
+    return theta, U, stats, n
+
+
+class TestRegistry:
+    def test_resolve_precision_roundtrips(self):
+        for name in PRECISIONS:
+            dt = resolve_precision(name)
+            assert precision_of(dt) == name
+            assert kernel_letter(dt.itemsize) in ("D", "S", "H")
+
+    def test_resolve_precision_rejects_unknown(self):
+        with pytest.raises(ClusteringError):
+            resolve_precision("bf16")
+
+    def test_fp64_helpers_are_identities(self, rng):
+        x = rng.standard_normal(64)
+        assert as_f64(x) is x
+        assert quantize(x, np.dtype(np.float64)) is x
+        assert quantize_roundtrip(x, np.dtype(np.float64)) is x
+
+    def test_quantize_roundtrip_carries_storage_error(self, rng):
+        x = rng.standard_normal(512)
+        for name in ("fp32", "fp16"):
+            dt = resolve_precision(name)
+            xq = quantize_roundtrip(x, dt)
+            assert xq.dtype == np.float64
+            err = np.max(np.abs(xq - x) / np.maximum(1e-30, np.abs(x)))
+            assert 0.0 < err <= 2.0 * np.finfo(dt).eps
+
+    def test_value_nbytes_is_itemsize_driven(self):
+        assert value_nbytes(10, np.dtype(np.float64)) == 80
+        assert value_nbytes(10, np.dtype(np.float32)) == 40
+        assert value_nbytes(10, 2) == 20
+
+    def test_ritz_tolerance_orders_with_eps(self):
+        n = 1000
+        t64 = ritz_tolerance(np.dtype(np.float64), n)
+        t32 = ritz_tolerance(np.dtype(np.float32), n)
+        t16 = ritz_tolerance(np.dtype(np.float16), n)
+        assert 0.0 < t64 < t32 < t16
+
+
+class TestReducedRitzAccuracy:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_fp32_raw_ritz_within_theory_bound(self, seed):
+        """With zero subspace advances (``refine_steps=0`` leaves only the
+        mandatory measurement + in-span polish, a single operator
+        application), fp32 Ritz values sit within the Weyl perturbation
+        bound of the exact spectrum (operator norm is <= 1 for the
+        normalized adjacency, so scale=1).  The bound holds for the raw
+        quantized solve; the polish only rotates within its span, so it
+        cannot leave the bound."""
+        theta64, _, _, n = _solve(seed, tol=1e-10)
+        theta32, _, s32, _ = _solve(
+            seed, tol=1e-10, precision="fp32", refine_steps=0
+        )
+        bound = ritz_tolerance(np.dtype(np.float32), n)
+        assert float(np.max(np.abs(theta32 - theta64))) <= bound
+        assert s32.precision == "fp32" and s32.refine_steps == 1
+        assert s32.refine_history is not None
+        assert len(s32.refine_history) == 2
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_refinement_recovers_fp64_accuracy(self, seed):
+        theta64, U64, _, _ = _solve(seed, tol=1e-10)
+        theta32, U32, s32, _ = _solve(seed, tol=1e-10, precision="fp32")
+        # default refinement: eigenvalues to ~fp64 roundoff, and the
+        # refined residual far below the fp32 storage floor
+        assert float(np.max(np.abs(theta32 - theta64))) < 1e-10
+        assert s32.refine_residual is not None
+        assert s32.refine_residual < TOL_FLOORS["fp32"]
+        # subspaces agree (columns may flip sign)
+        overlap = np.abs(U64.T @ U32)
+        assert np.allclose(np.diag(overlap), 1.0, atol=1e-5)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_refine_history_is_monotone(self, seed):
+        """An explicit ``refine_steps`` disables the adaptive early exit:
+        the history holds the incoming residual, the in-span polish, and
+        one entry per requested advance — 4 + 2 entries here, monotone by
+        the keep-best guard."""
+        _, _, stats, _ = _solve(
+            seed, tol=1e-10, precision="fp16", refine_steps=4
+        )
+        hist = stats.refine_history
+        assert hist is not None and len(hist) == 6
+        assert stats.refine_steps == 5  # operator applications
+        assert all(b <= a for a, b in zip(hist, hist[1:]))
+        assert hist[-1] < hist[0]  # genuinely contracted
+        assert stats.refine_residual == hist[-1]
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_fp16_degrades_gracefully(self, seed):
+        """fp16 must converge, stay finite, and land inside its band."""
+        theta64, _, _, _ = _solve(seed, tol=1e-10)
+        theta16, U16, s16, _ = _solve(seed, tol=1e-10, precision="fp16")
+        assert s16.converged
+        assert np.all(np.isfinite(theta16)) and np.all(np.isfinite(U16))
+        assert s16.refine_residual < TOL_FLOORS["fp16"]
+        assert float(np.max(np.abs(theta16 - theta64))) < 1e-4
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_reduced_solve_moves_fewer_modeled_bytes(self, seed):
+        _, _, s64, _ = _solve(seed, tol=1e-8)
+        _, _, s32, _ = _solve(seed, tol=1e-8, precision="fp32")
+        _, _, s16, _ = _solve(seed, tol=1e-8, precision="fp16")
+        assert s64.spmv_bytes > s32.spmv_bytes > s16.spmv_bytes > 0
+
+
+class TestRefineLoopUnit:
+    def test_refine_on_psd_matrix_contracts(self, rng):
+        n, k = 120, 5
+        M = rng.standard_normal((n, n))
+        A = M @ M.T / n
+        w, V = np.linalg.eigh(A)
+        exact_U = V[:, -k:]
+        # perturb the exact invariant subspace
+        U0, _ = np.linalg.qr(exact_U + 1e-3 * rng.standard_normal((n, k)))
+        theta0 = np.sort(np.diag(U0.T @ A @ U0))
+        apply_block = lambda B: A @ B  # noqa: E731
+        theta, U, res, hist = refine_eigenpairs(
+            apply_block, theta0, U0, steps=3, which="LA"
+        )
+        assert all(b <= a for a, b in zip(hist, hist[1:]))
+        assert res < hist[0]
+        assert np.allclose(theta, w[-k:], atol=1e-6)
+
+    def test_zero_steps_measures_and_polishes_in_span(self, rng):
+        """``steps=0`` costs exactly one operator application: it records
+        the incoming residual and applies the free in-span Rayleigh–Ritz
+        polish — no subspace advance, so span(U) is unchanged even though
+        the block may rotate."""
+        n, k = 40, 3
+        A = np.diag(np.arange(1.0, n + 1.0))
+        U0, _ = np.linalg.qr(rng.standard_normal((n, k)))
+        theta0 = np.diag(U0.T @ A @ U0)
+        theta, U, res, hist = refine_eigenpairs(
+            lambda B: A @ B, theta0, U0, steps=0
+        )
+        assert len(hist) == 2  # incoming residual + in-span polish
+        assert res == hist[-1] <= hist[0]
+        # polish never leaves the starting span: U = U0 @ (U0.T @ U)
+        assert np.allclose(U0 @ (U0.T @ U), U, atol=1e-12)
+
+    def test_early_exit_stops_at_target(self, rng):
+        """With ``target`` set, advances stop as soon as the best residual
+        is inside it — an already-converged start pays one application."""
+        n, k = 60, 4
+        A = np.diag(np.linspace(0.0, 1.0, n))
+        U0 = np.eye(n)[:, -k:]
+        theta0 = np.linspace(1.0, 1.0, k) * np.diag(A)[-k:]
+        theta, U, res, hist = refine_eigenpairs(
+            lambda B: A @ B, theta0, U0, steps=5, target=1e-12
+        )
+        assert res <= 1e-12
+        assert len(hist) == 2  # measurement + polish, zero advances
+
+    def test_block_residual_zero_for_exact_pairs(self):
+        A = np.diag([1.0, 2.0, 3.0, 4.0])
+        U = np.eye(4)[:, 2:]
+        theta = np.array([3.0, 4.0])
+        assert block_residual(A @ U, U, theta) == 0.0

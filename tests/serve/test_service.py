@@ -72,6 +72,25 @@ class TestServiceCorrectness:
         assert report.n_cache_hits == 0
         assert not np.array_equal(responses[0].embedding, responses[1].embedding)
 
+    def test_precision_and_embedding_partition_the_cache(self, make_request):
+        """The embedding key carries the precision and embedding axes: an
+        fp32 or power-embedding result must never be served to an fp64
+        Lanczos request, while a repeat of the same cell still hits."""
+        reqs = [
+            make_request(),
+            make_request(arrival=1.0, precision="fp32"),
+            make_request(arrival=2.0, embedding="power"),
+            make_request(arrival=3.0, precision="fp32"),
+        ]
+        responses, report = _service().process(reqs)
+        assert all(r.ok for r in responses)
+        # only the repeated fp32 cell hits; the axes never cross-serve
+        assert [r.cache_hit for r in responses] == [
+            False, False, False, True,
+        ]
+        assert report.n_cache_hits == 1
+        assert np.array_equal(responses[1].embedding, responses[3].embedding)
+
     def test_verify_against_cold_clean_run(self, make_request):
         reqs = [make_request(n_clusters=k) for k in (3, 4, 3)]
         responses, _ = _service().process(reqs)
@@ -188,6 +207,27 @@ class TestServiceChaos:
         assert responses[0].ok
         assert not responses[1].cache_hit  # recomputed, not served tainted
         assert svc.cache.stats.insertions >= 1  # the clean rerun is cached
+
+    def test_faulted_reduced_precision_embedding_never_cached(
+        self, make_request
+    ):
+        """The taint rule extends to the mixed-precision cells: a
+        reduced-precision embedding computed under fault recovery must
+        not seed the cache, even though it is numerically valid — the
+        second identical fp32 request recomputes cleanly."""
+        svc = _service()
+        reqs = [
+            make_request(precision="fp32", chaos=7),
+            make_request(precision="fp32", arrival=100.0),
+        ]
+        responses, _ = svc.process(reqs)
+        assert responses[0].ok
+        assert responses[0].resilience  # recovery actually happened
+        assert not responses[1].cache_hit  # tainted, so recomputed
+        assert responses[1].ok
+        # the clean rerun agrees bit-for-bit (deterministic reduced path)
+        assert np.array_equal(responses[0].labels, responses[1].labels)
+        assert svc.cache.stats.insertions >= 1
 
     def test_failed_leader_work_recomputed_for_survivors(self, make_request,
                                                          small_graph):
