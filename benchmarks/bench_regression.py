@@ -56,6 +56,7 @@ def test_emit_machine_readable_summary(comparison):
     import json
 
     from bench_ablation_kmeans import kmeans_ablation_summary
+    from bench_compressive_ablation import compressive_ablation_summary
     from bench_multigpu_eig import multigpu_eig_summary
     from bench_precision_ablation import precision_ablation_summary
     from bench_serve_throughput import serve_summary
@@ -83,6 +84,7 @@ def test_emit_machine_readable_summary(comparison):
     payload["kmeans_ablation"] = kmeans_ablation_summary()
     payload["multigpu_eig"] = multigpu_eig_summary()
     payload["precision_ablation"] = precision_ablation_summary()
+    payload["compressive_ablation"] = compressive_ablation_summary()
     out = Path(__file__).parent.parent / "BENCH_regression.json"
     out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     written = json.loads(out.read_text())
@@ -99,4 +101,16 @@ def test_emit_machine_readable_summary(comparison):
         assert (
             wl["cells"]["fp32_lanczos"]["byte_reduction_vs_fp64"]
             >= prec["min_fp32_byte_reduction"]
+        )
+    comp = written["compressive_ablation"]
+    assert comp["fp32_ledger_ok"] is True
+    assert comp["large"]["n"] >= comp["large"]["min_n"]
+    assert comp["large"]["ari"] >= comp["large"]["ari_floor"]
+    assert comp["large"]["total_simulated_s"] <= comp["large"]["sim_budget_s"]
+    for wl in comp["datasets"].values():
+        cell = wl["cells"][comp["default_cell"]]
+        assert cell["ledger_ok"] is True
+        assert (
+            cell["ari"]
+            >= comp["min_ari_ratio_vs_exact"] * wl["ari_exact"]
         )

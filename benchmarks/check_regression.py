@@ -52,6 +52,105 @@ def compare(baseline: dict, current: dict, rel_tol: float) -> list[str]:
     failures.extend(_compare_kmeans_ablation(baseline, current, rel_tol))
     failures.extend(_compare_multigpu_eig(baseline, current, rel_tol))
     failures.extend(_compare_precision_ablation(baseline, current, rel_tol))
+    failures.extend(_compare_compressive_ablation(baseline, current, rel_tol))
+    return failures
+
+
+def _compare_compressive_ablation(
+    baseline: dict, current: dict, rel_tol: float
+) -> list[str]:
+    """Gate the compressive tier: the default cell stays inside its
+    ARI band (>= the ratio bar x the exact-path ARI and >= the absolute
+    per-dataset floor), byte ledgers stay exact (``ledger == meter``) in
+    every cell, the n>=50k large cell stays under its modeled-time
+    budget at quality, and no cell's modeled time creeps past the
+    tolerance."""
+    failures: list[str] = []
+    base = baseline.get("compressive_ablation")
+    cur = current.get("compressive_ablation")
+    if base is None:
+        return failures
+    if cur is None:
+        return ["compressive_ablation: section missing from current run"]
+    if cur.get("fp32_ledger_ok") is not True:
+        failures.append(
+            "compressive_ablation.fp32_ledger_ok: analytic byte ledger "
+            "diverged from the traffic meter at fp32"
+        )
+    ratio = cur.get("min_ari_ratio_vs_exact", 0.9)
+    default_cell = cur.get("default_cell", "o48_dfull")
+    for name in sorted(base.get("datasets", {})):
+        if name not in cur.get("datasets", {}):
+            failures.append(f"compressive_ablation.{name}: dataset missing")
+            continue
+        base_wl = base["datasets"][name]
+        cur_wl = cur["datasets"][name]
+        for cell in sorted(base_wl.get("cells", {})):
+            if cell not in cur_wl.get("cells", {}):
+                failures.append(
+                    f"compressive_ablation.{name}.{cell}: cell missing"
+                )
+                continue
+            old = base_wl["cells"][cell]["total_simulated_s"]
+            new = cur_wl["cells"][cell]["total_simulated_s"]
+            if old > 0 and new > old * (1.0 + rel_tol):
+                failures.append(
+                    f"compressive_ablation.{name}.{cell}"
+                    f".total_simulated_s: {old:.6g} -> {new:.6g} "
+                    f"(+{(new / old - 1.0) * 100:.1f}%, tolerance "
+                    f"{rel_tol * 100:.0f}%)"
+                )
+            if cur_wl["cells"][cell].get("ledger_ok") is not True:
+                failures.append(
+                    f"compressive_ablation.{name}.{cell}: "
+                    "byte ledger != traffic meter"
+                )
+        cell = cur_wl.get("cells", {}).get(default_cell)
+        ari_exact = cur_wl.get("ari_exact")
+        if cell is not None and ari_exact is not None:
+            if cell["ari"] < ratio * ari_exact:
+                failures.append(
+                    f"compressive_ablation.{name}.{default_cell}: ARI "
+                    f"{cell['ari']:.3f} fell below {ratio}x the exact "
+                    f"path ({ari_exact:.3f})"
+                )
+            floor = cur_wl.get("ari_floor")
+            if floor is not None and cell["ari"] < floor:
+                failures.append(
+                    f"compressive_ablation.{name}.{default_cell}: ARI "
+                    f"{cell['ari']:.3f} below absolute floor {floor}"
+                )
+    lg = cur.get("large")
+    if lg is None:
+        failures.append("compressive_ablation.large: cell missing")
+    else:
+        if lg["n"] < lg.get("min_n", 50_000):
+            failures.append(
+                f"compressive_ablation.large: n {lg['n']} shrank below "
+                f"the paper-scale floor {lg.get('min_n', 50_000)}"
+            )
+        if lg["ari"] < lg.get("ari_floor", 0.9):
+            failures.append(
+                f"compressive_ablation.large: ARI {lg['ari']:.3f} below "
+                f"floor {lg.get('ari_floor', 0.9)}"
+            )
+        budget = lg.get("sim_budget_s")
+        if budget is not None and lg["total_simulated_s"] > budget:
+            failures.append(
+                f"compressive_ablation.large: modeled time "
+                f"{lg['total_simulated_s']:.4f}s over budget {budget}s"
+            )
+        old_lg = base.get("large")
+        if old_lg is not None:
+            old = old_lg["total_simulated_s"]
+            new = lg["total_simulated_s"]
+            if old > 0 and new > old * (1.0 + rel_tol):
+                failures.append(
+                    f"compressive_ablation.large.total_simulated_s: "
+                    f"{old:.6g} -> {new:.6g} "
+                    f"(+{(new / old - 1.0) * 100:.1f}%, tolerance "
+                    f"{rel_tol * 100:.0f}%)"
+                )
     return failures
 
 
@@ -260,6 +359,26 @@ def main(argv: list[str] | None = None) -> int:
                     f"({c['byte_reduction_vs_fp64']:.2f}x, "
                     f"ari_vs_exact {c['ari_vs_exact']:.3f})  ok"
                 )
+    compressive = current.get("compressive_ablation")
+    if compressive:
+        for name in sorted(compressive.get("datasets", {})):
+            wl = compressive["datasets"][name]
+            for cell in sorted(wl["cells"]):
+                c = wl["cells"][cell]
+                print(
+                    f"compressive {name:8s} {cell:11s} "
+                    f"sim {c['total_simulated_s']:.6g} s  "
+                    f"(ari {c['ari']:.3f}, ledger "
+                    f"{'ok' if c['ledger_ok'] else 'FAIL'})  ok"
+                )
+        lg = compressive.get("large")
+        if lg:
+            print(
+                f"compressive {lg['dataset']:8s} n={lg['n']:,} "
+                f"sim {lg['total_simulated_s']:.6g} s "
+                f"<= budget {lg['sim_budget_s']} s  "
+                f"(ari {lg['ari']:.3f})  ok"
+            )
     print("bench regression gate passed")
     return 0
 

@@ -65,6 +65,9 @@ KNOWN_SITES = (
     "cusparse.csr2ell",
     "cusparse.csr2hyb",
     "cublas.*",
+    "compressive.filter",
+    "compressive.gather",
+    "compressive.solve",
 )
 
 

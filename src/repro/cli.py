@@ -65,6 +65,8 @@ def _cmd_run(args) -> int:
         n_clusters=k, eig_tol=args.tol, seed=args.seed,
         eig_devices=args.eig_devices,
         precision=args.precision, embedding=args.embedding,
+        filter_order=args.filter_order, n_signals=args.n_signals,
+        sample_frac=args.sample_frac, lift=args.lift,
         chaos=args.chaos,
         resilience=DISABLED if args.no_resilience else None,
     )
@@ -244,9 +246,27 @@ def build_parser() -> argparse.ArgumentParser:
                        "accumulate in fp64 and finish with fp64 iterative "
                        "refinement (fp64 stays bit-identical)")
     run_p.add_argument("--embedding", default="lanczos",
-                       choices=("lanczos", "power"),
-                       help="spectral embedding algorithm: full IRLM or "
-                       "the block power iteration (pure repeated SpMM)")
+                       choices=("lanczos", "power", "compressive"),
+                       help="spectral embedding algorithm: full IRLM, the "
+                       "block power iteration (pure repeated SpMM), or the "
+                       "compressive tier (Chebyshev graph filtering of "
+                       "random signals + downsampled k-means)")
+    run_p.add_argument("--filter-order", type=int, default=None,
+                       metavar="P",
+                       help="compressive: Chebyshev polynomial degree "
+                       "(default 48)")
+    run_p.add_argument("--n-signals", type=int, default=None, metavar="D",
+                       help="compressive: random-signal sketch width "
+                       "(default 2k + O(log k))")
+    run_p.add_argument("--sample-frac", type=float, default=None,
+                       metavar="F",
+                       help="compressive: fraction of vertices k-means "
+                       "sees before the label lift (default "
+                       "O(k log k / n), capped at 1)")
+    run_p.add_argument("--lift", default="interp",
+                       choices=("interp", "nearest"),
+                       help="compressive: label lift mode — regularized "
+                       "interpolation or nearest sampled centroid")
     run_p.add_argument("--chaos", type=int, default=None, metavar="SEED",
                        help="inject a deterministic fault schedule derived "
                        "from SEED (see repro.chaos)")

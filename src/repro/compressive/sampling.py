@@ -1,0 +1,107 @@
+"""Coherence-weighted vertex downsampling for the compressive tier.
+
+k-means over all ``n`` sketch rows would erase most of the compressive
+tier's advantage on paper-scale graphs, so the tier clusters a sampled
+vertex subset instead and lifts the labels back (:mod:`.lift`).
+Uniform sampling is fragile on graphs with unbalanced clusters — a
+small cluster can vanish from the sample entirely — so rows are drawn
+by *coherence*: the squared row norm of the filtered sketch, which
+concentrates on vertices the k-band subspace actually represents
+(the graph-sampling leverage scores of Tremblay et al., up to the
+sketch's Johnson–Lindenstrauss distortion), mixed 50/50 with the
+uniform distribution so no vertex is unreachable.
+
+The RNG is stream-separated from the filter signals and the probe
+start block but derives from the same request seed, so the sampled set
+— and therefore every downstream label — is a pure function of
+``random_state``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.chaos.runtime import chaos_check
+from repro.cuda.device import Device
+
+#: RNG stream tag for the vertex sampler (distinct from the filter's
+#: signal stream and the probe's plain ``default_rng(seed)``)
+_SAMPLE_STREAM = 0x5A3
+
+#: uniform-mixture weight guarding against zero-coherence rows
+_UNIFORM_MIX = 0.5
+
+
+def default_sample_frac(n: int, k: int) -> float:
+    """Sample-size heuristic: ``O(k log k)`` vertices suffice for the
+    lifted labels to match the full k-means with high probability
+    (Tremblay et al. §4.3), with a constant generous enough to keep the
+    ARI bands tight.  Saturates at 1.0 — on small graphs the tier
+    simply clusters every row and the lift is the identity."""
+    if n <= 0:
+        return 1.0
+    target = 8.0 * k * math.log2(k + 1) + 64.0
+    return float(min(1.0, target / n))
+
+
+def coherence_weights(device: Device, F: np.ndarray) -> np.ndarray:
+    """Sampling distribution over vertices from the sketch ``F``.
+
+    One memory-bound row-norm sweep over the feature block (charged as
+    a stream kernel), then a host-side normalize + uniform mixture.
+    """
+    n, d = F.shape
+    device.charge_kernel(
+        "rownorm[coherence]",
+        flops=2.0 * n * d,
+        bytes_moved=float(n * d * 8 + n * 8),
+        kind="stream",
+    )
+    norms = np.einsum("ij,ij->i", F, F)
+    total = float(norms.sum())
+    if total <= 0.0:
+        return np.full(n, 1.0 / n)
+    w = norms / total
+    w = (1.0 - _UNIFORM_MIX) * w + _UNIFORM_MIX / n
+    # renormalize exactly (rng.choice is strict about sum(p) == 1)
+    return w / w.sum()
+
+
+def sample_vertices(
+    n: int, weights: np.ndarray, n_samples: int, seed: int | None = 0
+) -> np.ndarray:
+    """Draw ``n_samples`` distinct vertex indices (sorted) by weight."""
+    n_samples = int(min(n, max(1, n_samples)))
+    if n_samples >= n:
+        return np.arange(n, dtype=np.int64)
+    if seed is None:
+        rng = np.random.default_rng()
+    else:
+        rng = np.random.default_rng(
+            np.random.SeedSequence(
+                entropy=int(seed), spawn_key=(_SAMPLE_STREAM,)
+            )
+        )
+    idx = rng.choice(n, size=n_samples, replace=False, p=weights)
+    return np.sort(idx).astype(np.int64)
+
+
+def gather_rows(device: Device, F: np.ndarray, idx: np.ndarray) -> np.ndarray:
+    """Gather the sampled sketch rows ``F[idx]`` on the device.
+
+    A pure gather kernel — ``n_s·d`` irregular reads plus the packed
+    write — with its own chaos fault site (``compressive.gather``) so
+    the resilience tests can target the downsample step specifically.
+    """
+    chaos_check("compressive.gather", device)
+    n_s = int(idx.shape[0])
+    d = int(F.shape[1])
+    device.charge_kernel(
+        "gather[sample]",
+        flops=float(n_s * d),
+        bytes_moved=float(2 * n_s * d * 8 + n_s * 8),
+        kind="stream",
+    )
+    return F[idx]

@@ -14,23 +14,22 @@ O(1/q) subspace error).
 The driver is placement-agnostic: ``apply_block`` is the only way it
 touches the operator, so the caller owns devices, faults, and cost
 accounting, mirroring :mod:`repro.linalg.refine`.
+
+The iteration core (orthonormalized block power + Rayleigh–Ritz) lives
+in :mod:`repro.linalg.spectrum` since the compressive tier's spectrum-
+edge probe shares it; :func:`power_embedding` is a pure delegation, so
+the extraction changed no floats (pinned by the spectrum unit tests).
 """
 
 from __future__ import annotations
 
-import math
 from typing import Callable
 
 import numpy as np
 
-from repro.errors import EigensolverError
-from repro.linalg.refine import block_residual
+from repro.linalg.spectrum import block_power_probe, default_power_iterations
 
-
-def default_power_iterations(n: int) -> int:
-    """The ``q = O(log n)`` iteration count of Boutsidis et al., with a
-    floor that keeps tiny test graphs well-converged."""
-    return max(8, int(math.ceil(2.0 * math.log2(max(2, n)))))
+__all__ = ["default_power_iterations", "power_embedding"]
 
 
 def power_embedding(
@@ -61,36 +60,6 @@ def power_embedding(
         convention), their Ritz vectors, the max relative block
         residual, and how many times ``apply_block`` ran.
     """
-    if k < 1:
-        raise EigensolverError(f"power embedding needs k >= 1, got {k}")
-    if n < k:
-        raise EigensolverError(
-            f"power embedding needs n >= k, got n={n}, k={k}"
-        )
-    if q is None:
-        q = default_power_iterations(n)
-    if q < 1:
-        raise EigensolverError(f"power embedding needs q >= 1, got {q}")
-    p = min(n, k + max(0, int(oversample)))
-    rng = np.random.default_rng(seed)
-    B, _ = np.linalg.qr(rng.standard_normal((n, p)))
-    n_applications = 0
-    for _ in range(q):
-        Z = apply_block(B)
-        n_applications += 1
-        B, _ = np.linalg.qr(Z)
-    # Rayleigh–Ritz on the converged block
-    Z = apply_block(B)
-    n_applications += 1
-    T = B.T @ Z
-    T = 0.5 * (T + T.T)
-    w, S = np.linalg.eigh(T)  # ascending
-    if which == "LA":
-        sel = np.arange(p - k, p)
-    else:
-        sel = np.arange(k)
-    theta = w[sel]
-    U = B @ S[:, sel]
-    AU = Z @ S[:, sel]
-    res = block_residual(AU, U, theta)
-    return theta, U, res, n_applications
+    return block_power_probe(
+        apply_block, n, k, q=q, oversample=oversample, seed=seed, which=which,
+    )

@@ -1,0 +1,251 @@
+"""Shared spectral-interval estimation for the approximate embeddings.
+
+Both approximate tiers need the same primitive: *where does the operator's
+spectrum live?*  The power embedding (Boutsidis et al.) answers it
+implicitly — its orthonormalized block iteration converges onto the
+dominant subspace and the Rayleigh–Ritz projection reads the edge
+eigenvalues out.  The compressive tier (Tremblay et al.) needs the answer
+*explicitly* before it can do any work: the Chebyshev low-pass filter is
+parameterized by λmax and the λk band edge, so a short probe must locate
+them first.
+
+This module hosts the one implementation both paths share:
+
+* :func:`block_power_probe` — the orthonormalized block power iteration +
+  Rayleigh–Ritz extraction.  This is the *verbatim* arithmetic that used
+  to live inside :func:`repro.linalg.power.power_embedding`; the power
+  path now delegates here, so extracting it changed no floats (pinned by
+  ``tests/linalg/test_spectrum.py``).
+* :func:`estimate_spectral_interval` — the compressive tier's short
+  probe: a few block power steps at width ``k + 2`` yield λmax, the λk
+  estimate, and the mid-gap band edge the filter cuts at.
+
+Like :mod:`repro.linalg.power` and :mod:`repro.linalg.refine`, everything
+here is placement-agnostic: ``apply_block`` is the only way the operator
+is touched, so the caller owns devices, faults, and cost accounting.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import EigensolverError
+from repro.linalg.refine import block_residual
+
+
+def default_power_iterations(n: int) -> int:
+    """The ``q = O(log n)`` iteration count of Boutsidis et al., with a
+    floor that keeps tiny test graphs well-converged."""
+    return max(8, int(math.ceil(2.0 * math.log2(max(2, n)))))
+
+
+def default_probe_iterations(n: int) -> int:
+    """Iteration count of the *spectrum-edge probe*: half the power
+    embedding's budget.  The probe only needs edge eigenvalue estimates
+    good to the width of the spectral gap (the filter cuts mid-gap), not
+    a usable invariant subspace, so ``O(log n)`` steps with a small
+    constant suffice."""
+    return max(4, int(math.ceil(math.log2(max(2, n)))))
+
+
+def block_power_probe(
+    apply_block: Callable[[np.ndarray], np.ndarray],
+    n: int,
+    k: int,
+    q: int | None = None,
+    oversample: int = 2,
+    seed: int | None = 0,
+    which: str = "LA",
+) -> tuple[np.ndarray, np.ndarray, float, int]:
+    """Top-k (or bottom-k) eigenpair approximation by block power iteration.
+
+    ``q`` orthonormalized power steps on a ``p = k + oversample`` column
+    random block, then one Rayleigh–Ritz projection to read eigenpairs
+    out of the subspace — ``q + 1`` operator applications total.
+
+    This is the extracted core of the power embedding; see
+    :func:`repro.linalg.power.power_embedding` for the full contract
+    (that wrapper is a pure delegation, so results are bit-identical to
+    the pre-extraction implementation).
+
+    Returns
+    -------
+    (theta, U, residual, n_applications):
+        ``k`` eigenvalues ascending (matching the Lanczos driver's
+        convention), their Ritz vectors, the max relative block
+        residual, and how many times ``apply_block`` ran.
+    """
+    if k < 1:
+        raise EigensolverError(f"power embedding needs k >= 1, got {k}")
+    if n < k:
+        raise EigensolverError(
+            f"power embedding needs n >= k, got n={n}, k={k}"
+        )
+    if q is None:
+        q = default_power_iterations(n)
+    if q < 1:
+        raise EigensolverError(f"power embedding needs q >= 1, got {q}")
+    p = min(n, k + max(0, int(oversample)))
+    rng = np.random.default_rng(seed)
+    B, _ = np.linalg.qr(rng.standard_normal((n, p)))
+    n_applications = 0
+    for _ in range(q):
+        Z = apply_block(B)
+        n_applications += 1
+        B, _ = np.linalg.qr(Z)
+    # Rayleigh–Ritz on the converged block
+    Z = apply_block(B)
+    n_applications += 1
+    T = B.T @ Z
+    T = 0.5 * (T + T.T)
+    w, S = np.linalg.eigh(T)  # ascending
+    if which == "LA":
+        sel = np.arange(p - k, p)
+    else:
+        sel = np.arange(k)
+    theta = w[sel]
+    U = B @ S[:, sel]
+    AU = Z @ S[:, sel]
+    res = block_residual(AU, U, theta)
+    return theta, U, res, n_applications
+
+
+@dataclass(frozen=True)
+class SpectrumEstimate:
+    """Spectrum-edge evidence from one :func:`estimate_spectral_interval`.
+
+    ``band_edge`` is the mid-gap cutoff the compressive filter uses:
+    halfway between the λk and λk+1 estimates, so a moderately inaccurate
+    probe still lands the cutoff inside the spectral gap on clusterable
+    graphs (where the gap is wide by definition).
+    """
+
+    #: estimate of the largest eigenvalue (the θ₁ Ritz value)
+    lambda_max: float
+    #: estimate of the k-th largest eigenvalue (the filter must pass it)
+    lambda_k: float
+    #: estimate of the (k+1)-th largest eigenvalue (must be rejected)
+    lambda_next: float
+    #: the filter cutoff: ``(lambda_k + lambda_next) / 2``
+    band_edge: float
+    #: max relative block residual of the probe's Ritz pairs
+    residual: float
+    #: operator applications the probe consumed (``q + 1``)
+    n_applications: int
+    #: all ``k + 1`` probe Ritz values, ascending
+    theta: tuple = ()
+
+    def as_dict(self) -> dict:
+        return dict(
+            lambda_max=float(self.lambda_max),
+            lambda_k=float(self.lambda_k),
+            lambda_next=float(self.lambda_next),
+            band_edge=float(self.band_edge),
+            residual=float(self.residual),
+            n_applications=int(self.n_applications),
+            theta=[float(t) for t in self.theta],
+        )
+
+
+def estimate_spectral_interval(
+    apply_block: Callable[[np.ndarray], np.ndarray],
+    n: int,
+    k: int,
+    q: int | None = None,
+    seed: int | None = 0,
+    which: str = "LA",
+    shift: float = 0.0,
+    accel: int = 1,
+) -> SpectrumEstimate:
+    """Short block power probe for λmax and the λk band edge.
+
+    Runs :func:`block_power_probe` at width ``k + 2`` (``k + 1`` wanted
+    Ritz values plus one oversample column) for ``q`` steps (default
+    :func:`default_probe_iterations` — about half the power embedding's
+    budget) and reads the spectrum edges out of the Ritz values:
+
+    * ``lambda_max`` = the largest Ritz value,
+    * ``lambda_k`` / ``lambda_next`` = the k-th / (k+1)-th largest,
+    * ``band_edge`` = their midpoint — the dichotomy point the Chebyshev
+      low-pass filter cuts at.
+
+    ``shift`` probes ``A + shift·I`` instead of ``A`` (one host-side
+    axpy per application — no extra operator products) and maps the
+    Ritz values back.  Block power converges onto the
+    largest-*magnitude* subspace; normalized adjacency operators often
+    carry near-bipartite eigenvalues close to −1 whose magnitude rivals
+    the clustering band near +1, and they poison an unshifted probe.
+    Shifting by the spectral radius moves the spectrum to ``[0, 2r]``,
+    making the algebraic top the magnitude top.
+
+    ``accel`` counters the shift's cost: moving the spectrum to
+    ``[0, 2r]`` compresses the *relative* gaps near the top (the power
+    method's convergence ratio), so the shifted probe iterates on the
+    monotone power ``(A + shift·I)^accel`` — ``accel`` operator
+    applications between orthonormalizations — which restores the gap
+    amplification at the same QR cost, and the Ritz values are inverted
+    through ``λ = θ^(1/accel) − shift``.  ``accel > 1`` requires a
+    positive shift (an even power of a sign-indefinite operator is not
+    monotone in λ).
+
+    The probe shares its RNG convention with the power embedding (a
+    ``default_rng(seed)`` start block), so a given request seed drives
+    both paths deterministically.
+    """
+    if n < k + 1:
+        raise EigensolverError(
+            f"spectral-interval probe needs n >= k + 1, got n={n}, k={k}"
+        )
+    if shift < 0.0:
+        raise EigensolverError(f"probe shift must be >= 0, got {shift}")
+    if accel < 1:
+        raise EigensolverError(f"probe accel must be >= 1, got {accel}")
+    if accel > 1 and shift <= 0.0:
+        raise EigensolverError(
+            "probe accel > 1 needs a positive shift (even operator powers "
+            "are not monotone in the eigenvalue)"
+        )
+    if q is None:
+        q = default_probe_iterations(n)
+    k_probe = min(n - 1, k) + 1  # k+1 wanted values, capped by n
+    if shift != 0.0 or accel > 1:
+        def probe_apply(B: np.ndarray) -> np.ndarray:
+            for _ in range(accel):
+                B = apply_block(B) + shift * B
+            return B
+    else:
+        probe_apply = apply_block
+    theta, _U, res, n_apps = block_power_probe(
+        probe_apply, n, k_probe, q=q, oversample=1, seed=seed, which=which,
+    )
+    n_apps *= accel
+    if shift != 0.0 or accel > 1:
+        # invert θ = (λ + shift)^accel; clamp roundoff below zero first
+        # ((A + shift·I)^accel is PSD when shift covers the spectrum)
+        theta = (
+            np.power(np.maximum(theta, np.finfo(np.float64).tiny),
+                     1.0 / accel)
+            - shift
+        )
+    # theta is ascending: [-1] is the extreme end of the selected window
+    if which == "LA":
+        lam_max = float(theta[-1])
+        lam_k = float(theta[1]) if theta.size > 1 else float(theta[0])
+        lam_next = float(theta[0])
+    else:
+        lam_max = float(theta[0])
+        lam_k = float(theta[-2]) if theta.size > 1 else float(theta[-1])
+        lam_next = float(theta[-1])
+    return SpectrumEstimate(
+        lambda_max=lam_max,
+        lambda_k=lam_k,
+        lambda_next=lam_next,
+        band_edge=0.5 * (lam_k + lam_next),
+        residual=float(res),
+        n_applications=n_apps,
+        theta=tuple(float(t) for t in theta),
+    )

@@ -88,6 +88,8 @@ def embedding_key(
     normalize_rows: bool,
     precision: str = "fp64",
     embedding: str = "lanczos",
+    filter_order: int | None = None,
+    n_signals: int | None = None,
 ) -> tuple:
     """Embedding-cache key: every parameter that influences stages 1-3.
 
@@ -98,10 +100,18 @@ def embedding_key(
     iteration embeddings are tolerance-band accurate rather than
     bit-identical — an fp16 solve must never shadow an fp64 one (unlike
     ``eig_devices``/``eig_residency``, which are bit-identical placements
-    and deliberately excluded).
+    and deliberately excluded).  ``filter_order``/``n_signals`` shape the
+    compressive tier's feature sketch (a different polynomial degree or
+    sketch width is a different embedding); they stay ``None`` on the
+    eigenvector embeddings, so compressive keys can never collide with
+    exact or power keys for the same workload.  The compressive
+    ``sample_frac``/``lift`` knobs are stage-4-only (they act after the
+    embedding is built) and are deliberately excluded.
     """
     return (
         fingerprint, operator, objective, handle_isolated,
         int(n_clusters), m, float(eig_tol), eig_maxiter, seed,
         bool(normalize_rows), str(precision), str(embedding),
+        None if filter_order is None else int(filter_order),
+        None if n_signals is None else int(n_signals),
     )

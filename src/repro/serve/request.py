@@ -77,9 +77,18 @@ class ClusterRequest:
     #: of embedding_key: reduced embeddings are tolerance-band accurate,
     #: not bit-identical, so they must not shadow exact ones
     precision: str = "fp64"
-    #: spectral embedding algorithm ('lanczos'/'power') — part of
-    #: embedding_key for the same reason
+    #: spectral embedding algorithm ('lanczos'/'power'/'compressive') —
+    #: part of embedding_key for the same reason
     embedding: str = "lanczos"
+    #: compressive tier: Chebyshev degree / sketch width (None = engine
+    #: defaults).  Both are part of embedding_key — a different filter
+    #: polynomial or sketch width is a different embedding.
+    filter_order: int | None = None
+    n_signals: int | None = None
+    #: compressive tier: vertex sample fraction and lift mode — stage-4
+    #: knobs (they act after the embedding), so NOT part of embedding_key
+    sample_frac: float | None = None
+    lift: str = "interp"
     kmeans_init: str = "k-means++"
     kmeans_max_iter: int = 300
     normalize_rows: bool = False
@@ -123,6 +132,10 @@ class ClusterRequest:
             eig_devices=self.eig_devices,
             precision=self.precision,
             embedding=self.embedding,
+            filter_order=self.filter_order,
+            n_signals=self.n_signals,
+            sample_frac=self.sample_frac,
+            lift=self.lift,
             kmeans_init=self.kmeans_init,
             kmeans_max_iter=self.kmeans_max_iter,
             normalize_rows=self.normalize_rows,
@@ -167,11 +180,26 @@ class ClusterRequest:
         )
 
     def embedding_key(self, fingerprint: str) -> tuple:
+        # canonicalize the compressive knobs so explicit-default requests
+        # share a slot with engine-default ones, and non-compressive
+        # requests always key (None, None)
+        if self.embedding == "compressive":
+            from repro.compressive.filters import (
+                DEFAULT_FILTER_ORDER,
+                default_n_signals,
+            )
+
+            forder = self.filter_order or DEFAULT_FILTER_ORDER
+            nsig = self.n_signals or default_n_signals(self.n_clusters)
+        else:
+            forder = None
+            nsig = None
         return embedding_key(
             fingerprint, self.operator, self.objective, self.handle_isolated,
             self.n_clusters, self.m, self.eig_tol, self.eig_maxiter,
             self.seed, self.normalize_rows,
             precision=self.precision, embedding=self.embedding,
+            filter_order=forder, n_signals=nsig,
         )
 
 

@@ -1,0 +1,92 @@
+"""Coherence-weighted downsampling (`repro.compressive.sampling`)."""
+
+import numpy as np
+import pytest
+
+from repro.compressive.sampling import (
+    coherence_weights,
+    default_sample_frac,
+    gather_rows,
+    sample_vertices,
+)
+from repro.cuda.device import Device
+
+
+class TestDefaultFrac:
+    def test_saturates_on_small_graphs(self):
+        assert default_sample_frac(10, 4) == 1.0
+        assert default_sample_frac(0, 4) == 1.0
+
+    def test_shrinks_with_n(self):
+        f1 = default_sample_frac(10_000, 8)
+        f2 = default_sample_frac(100_000, 8)
+        assert f2 < f1 < 1.0
+        # absolute sample size is n-independent: O(k log k)
+        assert 10_000 * f1 == pytest.approx(100_000 * f2)
+
+    def test_grows_with_k(self):
+        assert default_sample_frac(50_000, 50) > default_sample_frac(50_000, 5)
+
+
+class TestCoherenceWeights:
+    def test_distribution(self, device):
+        rng = np.random.default_rng(0)
+        F = rng.standard_normal((200, 8))
+        w = coherence_weights(device, F)
+        assert w.shape == (200,)
+        assert np.all(w > 0)
+        assert w.sum() == pytest.approx(1.0, abs=1e-12)
+
+    def test_concentrates_on_high_energy_rows(self, device):
+        F = np.ones((100, 4)) * 0.1
+        F[:10] = 5.0  # ten high-coherence rows
+        w = coherence_weights(device, F)
+        assert w[:10].min() > 10 * w[10:].max()
+
+    def test_uniform_mixture_floors_zero_rows(self, device):
+        F = np.zeros((50, 4))
+        F[0] = 1.0
+        w = coherence_weights(device, F)
+        assert w[1:].min() >= 0.5 / 50 * 0.99  # the uniform half
+
+    def test_all_zero_sketch_degrades_to_uniform(self, device):
+        w = coherence_weights(device, np.zeros((30, 4)))
+        assert np.allclose(w, 1 / 30)
+
+    def test_charges_kernel(self, device):
+        before = device.kernel_launches
+        coherence_weights(device, np.ones((50, 4)))
+        assert device.kernel_launches == before + 1
+
+
+class TestSampleVertices:
+    def test_deterministic_sorted_distinct(self):
+        w = np.full(100, 1 / 100)
+        a = sample_vertices(100, w, 20, seed=3)
+        b = sample_vertices(100, w, 20, seed=3)
+        assert a.tobytes() == b.tobytes()
+        assert a.dtype == np.int64
+        assert np.all(np.diff(a) > 0)  # sorted, no replacement
+        assert sample_vertices(100, w, 20, seed=4).tobytes() != a.tobytes()
+
+    def test_full_sample_is_identity(self):
+        w = np.full(10, 0.1)
+        assert sample_vertices(10, w, 10, seed=0).tolist() == list(range(10))
+        assert sample_vertices(10, w, 99, seed=0).tolist() == list(range(10))
+
+    def test_respects_weights(self):
+        w = np.full(1000, 1e-9)
+        w[:50] = (1.0 - 1e-9 * 950) / 50
+        idx = sample_vertices(1000, w / w.sum(), 40, seed=0)
+        assert np.all(idx < 50)
+
+
+class TestGather:
+    def test_gathers_and_charges(self, device):
+        rng = np.random.default_rng(0)
+        F = rng.standard_normal((60, 5))
+        idx = np.array([3, 7, 40], dtype=np.int64)
+        before = device.kernel_launches
+        G = gather_rows(device, F, idx)
+        assert G.tobytes() == F[idx].tobytes()
+        assert device.kernel_launches == before + 1

@@ -18,7 +18,13 @@ class TestPaperStats:
         }
 
     def test_all_datasets_registered(self):
-        assert set(DATASETS) == {"dti", "fb", "dblp", "syn200"}
+        # the four Table II workloads plus the paper-scale synthetic SBM
+        # the compressive tier benches against (not a Table II row)
+        assert set(DATASETS) == {"dti", "fb", "dblp", "syn200", "sbm50k"}
+
+    def test_sbm50k_stats(self):
+        assert PAPER_STATS["sbm50k"]["nodes"] == 50000
+        assert PAPER_STATS["sbm50k"]["clusters"] == 20
 
 
 class TestLoading:
@@ -58,6 +64,18 @@ class TestLoading:
     def test_n_edges_property(self):
         ds = load_dataset("fb", scale=0.1, seed=0)
         assert ds.n_edges == ds.graph.nnz // 2
+
+    def test_sbm50k_scaled_load(self):
+        ds = load_dataset("sbm50k", scale=0.05, seed=0)
+        assert ds.graph is not None
+        assert ds.labels is not None
+        assert ds.n_clusters == 20
+        assert abs(ds.n - 2500) < 100
+
+    def test_sbm50k_floor_n(self):
+        """Tiny scales clamp to a floor big enough for 20 communities."""
+        ds = load_dataset("sbm50k", scale=0.001, seed=0)
+        assert ds.n >= 1000
 
     def test_seed_reproducibility(self):
         a = load_dataset("syn200", scale=0.05, seed=4)

@@ -1,0 +1,203 @@
+"""Shared spectral-interval estimation (`repro.linalg.spectrum`).
+
+Two contracts: the extraction of the block power core out of
+``power.py`` changed no floats (the power embedding must remain
+bit-identical to the pre-refactor arithmetic, reproduced verbatim
+here as a reference), and the compressive tier's shifted/accelerated
+probe locates the spectrum edges accurately even on operators whose
+negative end rivals the clustering band in magnitude.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import EigensolverError
+from repro.linalg.power import power_embedding
+from repro.linalg.refine import block_residual
+from repro.linalg.spectrum import (
+    block_power_probe,
+    default_power_iterations,
+    default_probe_iterations,
+    estimate_spectral_interval,
+)
+
+
+def _reference_power_embedding(apply_block, n, k, q, oversample=2, seed=0,
+                               which="LA"):
+    """The power embedding arithmetic as it lived inside power.py before
+    the spectrum.py extraction — the bit-identity reference."""
+    p = min(n, k + max(0, int(oversample)))
+    rng = np.random.default_rng(seed)
+    B, _ = np.linalg.qr(rng.standard_normal((n, p)))
+    n_applications = 0
+    for _ in range(q):
+        Z = apply_block(B)
+        n_applications += 1
+        B, _ = np.linalg.qr(Z)
+    Z = apply_block(B)
+    n_applications += 1
+    T = B.T @ Z
+    T = 0.5 * (T + T.T)
+    w, S = np.linalg.eigh(T)
+    if which == "LA":
+        sel = np.arange(p - k, p)
+    else:
+        sel = np.arange(k)
+    theta = w[sel]
+    U = B @ S[:, sel]
+    AU = Z @ S[:, sel]
+    return theta, U, block_residual(AU, U, theta), n_applications
+
+
+def _sym_operator(n, seed=7, bipartite_weight=0.0):
+    """A dense symmetric operator with spectrum in [-1, 1]; a positive
+    ``bipartite_weight`` plants eigenvalues near -1 whose magnitude
+    rivals the top band (the near-bipartite failure mode)."""
+    rng = np.random.default_rng(seed)
+    Q, _ = np.linalg.qr(rng.standard_normal((n, n)))
+    lam = np.linspace(-0.4, 0.55, n)
+    lam[-4:] = [0.90, 0.94, 0.97, 1.0]  # the clustering band
+    if bipartite_weight:
+        lam[:3] = [-0.99, -0.97, -0.95]
+    A = (Q * lam) @ Q.T
+    A = 0.5 * (A + A.T)
+    return A, np.sort(lam)
+
+
+class TestPowerDelegationPinned:
+    """power_embedding must stay bit-identical to the pre-extraction
+    implementation for every (k, q, which, seed) cell."""
+
+    @pytest.mark.parametrize("k,q,which,seed", [
+        (4, 8, "LA", 0),
+        (4, 8, "LA", 3),
+        (6, 12, "LA", 0),
+        (3, 5, "SA", 1),
+    ])
+    def test_bit_identical_to_reference(self, k, q, which, seed):
+        A, _ = _sym_operator(60)
+        apply_block = lambda B: A @ B
+        got = power_embedding(apply_block, 60, k, q=q, seed=seed, which=which)
+        ref = _reference_power_embedding(
+            apply_block, 60, k, q=q, seed=seed, which=which
+        )
+        assert got[0].tobytes() == ref[0].tobytes()  # theta
+        assert got[1].tobytes() == ref[1].tobytes()  # U
+        assert got[2] == ref[2]                      # residual
+        assert got[3] == ref[3]                      # n_applications
+
+    def test_default_q_matches_reference(self):
+        A, _ = _sym_operator(60)
+        apply_block = lambda B: A @ B
+        got = power_embedding(apply_block, 60, 4, seed=0)
+        ref = _reference_power_embedding(
+            apply_block, 60, 4, q=default_power_iterations(60), seed=0
+        )
+        assert got[0].tobytes() == ref[0].tobytes()
+        assert got[1].tobytes() == ref[1].tobytes()
+
+    def test_validation(self):
+        apply_block = lambda B: B
+        with pytest.raises(EigensolverError):
+            block_power_probe(apply_block, 10, 0)
+        with pytest.raises(EigensolverError):
+            block_power_probe(apply_block, 3, 5)
+        with pytest.raises(EigensolverError):
+            block_power_probe(apply_block, 10, 2, q=0)
+
+
+class TestDefaults:
+    def test_iteration_budgets_scale_logarithmically(self):
+        assert default_power_iterations(2) == 8
+        assert default_power_iterations(10 ** 6) == 40
+        assert default_probe_iterations(2) == 4
+        assert default_probe_iterations(10 ** 6) == 20
+        # the probe budget is roughly half the power budget
+        for n in (100, 10_000, 1_000_000):
+            assert default_probe_iterations(n) <= default_power_iterations(n)
+
+
+class TestSpectralInterval:
+    def test_locates_edges_on_clean_spectrum(self):
+        A, lam = _sym_operator(60)
+        est = estimate_spectral_interval(
+            lambda B: A @ B, 60, 4, q=30, seed=0,
+        )
+        assert est.lambda_max == pytest.approx(1.0, abs=2e-2)
+        assert est.lambda_k == pytest.approx(0.90, abs=3e-2)
+        # band edge falls in the gap between λ4=0.90 and λ5=0.55
+        assert 0.55 < est.band_edge < 0.90
+        assert est.n_applications == 31
+        assert len(est.theta) == 5
+
+    def test_unshifted_probe_poisoned_by_negative_end(self):
+        """The failure mode that motivates the shift: eigenvalues near -1
+        rival the band in |λ| and corrupt the unshifted probe, while the
+        shifted+accelerated probe stays accurate."""
+        A, lam = _sym_operator(60, bipartite_weight=1.0)
+        raw = estimate_spectral_interval(lambda B: A @ B, 60, 4, q=12, seed=0)
+        fixed = estimate_spectral_interval(
+            lambda B: A @ B, 60, 4, q=12, seed=0, shift=1.0, accel=8,
+        )
+        true_k, true_next = 0.90, 0.55
+        err_raw = abs(raw.lambda_k - true_k) + abs(raw.lambda_next - true_next)
+        err_fix = (abs(fixed.lambda_k - true_k)
+                   + abs(fixed.lambda_next - true_next))
+        assert err_fix < err_raw  # the shift is a strict improvement here
+        assert fixed.lambda_k == pytest.approx(true_k, abs=5e-2)
+        assert true_next - 0.05 < fixed.band_edge < true_k
+
+    def test_accel_counts_real_applications(self):
+        A, _ = _sym_operator(40)
+        calls = 0
+
+        def apply_block(B):
+            nonlocal calls
+            calls += 1
+            return A @ B
+
+        est = estimate_spectral_interval(
+            apply_block, 40, 3, q=6, seed=0, shift=1.0, accel=4,
+        )
+        assert calls == (6 + 1) * 4
+        assert est.n_applications == calls
+
+    def test_shift_only_is_exact_inverse(self):
+        """shift with accel=1 must reproduce the unshifted Ritz values of
+        the same subspace up to roundoff (θ(A+I) - 1 = θ(A))."""
+        A, _ = _sym_operator(50)
+        As = A + np.eye(50)
+        raw = estimate_spectral_interval(lambda B: As @ B, 50, 4, q=10, seed=0)
+        shifted = estimate_spectral_interval(
+            lambda B: A @ B, 50, 4, q=10, seed=0, shift=1.0,
+        )
+        assert shifted.lambda_max == pytest.approx(raw.lambda_max - 1.0,
+                                                   abs=1e-12)
+        assert shifted.lambda_k == pytest.approx(raw.lambda_k - 1.0,
+                                                 abs=1e-12)
+
+    def test_deterministic(self):
+        A, _ = _sym_operator(50)
+        kw = dict(q=8, seed=5, shift=1.0, accel=4)
+        a = estimate_spectral_interval(lambda B: A @ B, 50, 4, **kw)
+        b = estimate_spectral_interval(lambda B: A @ B, 50, 4, **kw)
+        assert a.theta == b.theta
+        assert a.as_dict() == b.as_dict()
+
+    def test_as_dict_round_trips_floats(self):
+        A, _ = _sym_operator(40)
+        est = estimate_spectral_interval(lambda B: A @ B, 40, 3, q=6, seed=0)
+        d = est.as_dict()
+        assert d["band_edge"] == est.band_edge
+        assert d["theta"] == list(est.theta)
+
+    def test_validation(self):
+        apply_block = lambda B: B
+        with pytest.raises(EigensolverError):
+            estimate_spectral_interval(apply_block, 3, 4)
+        with pytest.raises(EigensolverError):
+            estimate_spectral_interval(apply_block, 10, 2, shift=-1.0)
+        with pytest.raises(EigensolverError):
+            estimate_spectral_interval(apply_block, 10, 2, accel=0)
+        with pytest.raises(EigensolverError):
+            estimate_spectral_interval(apply_block, 10, 2, accel=2)  # no shift

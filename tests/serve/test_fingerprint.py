@@ -82,3 +82,71 @@ class TestCompositeKeys:
         assert fp == b.workload_fingerprint()
         assert a.operator_key(fp) == b.operator_key(fp)
         assert a.embedding_key(fp) != b.embedding_key(fp)
+
+
+class TestCompressiveKeyPartitioning:
+    """embedding='compressive' entries must never collide with exact or
+    power entries for the same workload, while the bit-identical
+    placement knobs (eig_devices / eig_residency) stay excluded."""
+
+    def test_tiers_partition_for_same_workload(self, make_request):
+        exact = make_request()
+        power = make_request(embedding="power")
+        comp = make_request(embedding="compressive")
+        fp = exact.workload_fingerprint()
+        keys = {
+            exact.embedding_key(fp),
+            power.embedding_key(fp),
+            comp.embedding_key(fp),
+        }
+        assert len(keys) == 3
+        # ...while all three share the operator build
+        assert exact.operator_key(fp) == comp.operator_key(fp)
+
+    def test_filter_knobs_partition_compressive_entries(self, make_request):
+        a = make_request(embedding="compressive")
+        b = make_request(embedding="compressive", filter_order=96)
+        c = make_request(embedding="compressive", n_signals=8)
+        fp = a.workload_fingerprint()
+        assert len({a.embedding_key(fp), b.embedding_key(fp),
+                    c.embedding_key(fp)}) == 3
+
+    def test_explicit_defaults_share_a_slot(self, make_request):
+        """filter_order=None and filter_order=<engine default> are the
+        same embedding — the key canonicalizes, so they share a slot."""
+        from repro.compressive.filters import (
+            DEFAULT_FILTER_ORDER,
+            default_n_signals,
+        )
+
+        a = make_request(embedding="compressive")
+        b = make_request(
+            embedding="compressive",
+            filter_order=DEFAULT_FILTER_ORDER,
+            n_signals=default_n_signals(4),
+        )
+        fp = a.workload_fingerprint()
+        assert a.embedding_key(fp) == b.embedding_key(fp)
+
+    def test_filter_knobs_inert_outside_compressive(self, make_request):
+        """On lanczos/power requests the compressive knobs do not touch
+        the key (they are inert in the computation too)."""
+        a = make_request()
+        b = make_request(filter_order=96, n_signals=8)
+        fp = a.workload_fingerprint()
+        assert a.embedding_key(fp) == b.embedding_key(fp)
+
+    def test_stage4_knobs_excluded(self, make_request):
+        """sample_frac / lift act after the embedding is built; two
+        requests differing only there share the embedding slot."""
+        a = make_request(embedding="compressive")
+        b = make_request(embedding="compressive", sample_frac=0.5,
+                         lift="nearest")
+        fp = a.workload_fingerprint()
+        assert a.embedding_key(fp) == b.embedding_key(fp)
+
+    def test_eig_devices_still_excluded(self, make_request):
+        a = make_request(embedding="compressive")
+        b = make_request(embedding="compressive", eig_devices=2)
+        fp = a.workload_fingerprint()
+        assert a.embedding_key(fp) == b.embedding_key(fp)

@@ -310,3 +310,58 @@ class TestMultiDeviceServing:
         assert len(solve_names) == 1
         a, b = responses
         assert a.labels.tobytes() == b.labels.tobytes()
+
+
+class TestCompressiveServing:
+    """The compressive tier rides the service like any embedding: cache
+    hits are bit-identical, tier keys never cross, and the taint rule
+    (faulted embeddings never seed the cache) extends to it."""
+
+    def test_compressive_cache_hit_bit_identical(self, make_request):
+        svc = _service()
+        reqs = [
+            make_request(embedding="compressive"),
+            make_request(embedding="compressive", arrival=100.0),
+        ]
+        responses, _ = svc.process(reqs)
+        assert responses[0].ok and not responses[0].cache_hit
+        assert responses[1].ok and responses[1].cache_hit
+        assert np.array_equal(responses[0].labels, responses[1].labels)
+        assert np.array_equal(responses[0].embedding, responses[1].embedding)
+
+    def test_compressive_never_serves_exact_entry(self, make_request,
+                                                  small_graph):
+        """Same workload, exact then compressive: the second request must
+        compute its own embedding, not hit the exact entry."""
+        svc = _service()
+        reqs = [
+            make_request(),
+            make_request(embedding="compressive", arrival=100.0),
+        ]
+        responses, _ = svc.process(reqs)
+        assert responses[1].ok and not responses[1].cache_hit
+        cold = reqs[1].estimator().fit(graph=small_graph)
+        assert np.array_equal(responses[1].labels, cold.labels)
+
+    def test_faulted_compressive_embedding_never_cached(self, make_request):
+        """A compressive solve that recovered from injected faults must
+        not seed the cache; the next identical request recomputes."""
+        from repro.chaos import FaultPlan, FaultSpec
+
+        plan = FaultPlan(
+            [FaultSpec(site="compressive.filter", fault="transient",
+                       nth=1, stage="eigensolver")]
+        )
+        svc = _service()
+        reqs = [
+            make_request(embedding="compressive", chaos=plan),
+            make_request(embedding="compressive", arrival=100.0),
+        ]
+        responses, _ = svc.process(reqs)
+        assert responses[0].ok
+        assert responses[0].resilience  # recovery actually happened
+        assert not responses[1].cache_hit  # tainted, so recomputed
+        assert responses[1].ok
+        # deterministic tier: the clean rerun agrees bit-for-bit
+        assert np.array_equal(responses[0].labels, responses[1].labels)
+        assert svc.cache.stats.insertions >= 1
