@@ -60,6 +60,7 @@ def test_emit_machine_readable_summary(comparison):
     from bench_multigpu_eig import multigpu_eig_summary
     from bench_precision_ablation import precision_ablation_summary
     from bench_serve_throughput import serve_summary
+    from bench_topology_composition import topology_composition_summary
 
     payload = {"schema_version": 1, "datasets": {}}
     for name in sorted(BENCH_SCALES):
@@ -85,6 +86,7 @@ def test_emit_machine_readable_summary(comparison):
     payload["multigpu_eig"] = multigpu_eig_summary()
     payload["precision_ablation"] = precision_ablation_summary()
     payload["compressive_ablation"] = compressive_ablation_summary()
+    payload["topology_composition"] = topology_composition_summary()
     out = Path(__file__).parent.parent / "BENCH_regression.json"
     out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     written = json.loads(out.read_text())
@@ -114,3 +116,13 @@ def test_emit_machine_readable_summary(comparison):
             cell["ari"]
             >= comp["min_ari_ratio_vs_exact"] * wl["ari_exact"]
         )
+    topo = written["topology_composition"]
+    assert topo["bit_identical"] is True
+    assert topo["ledger_ok"] is True
+    assert topo["composed"]["speedup_vs_phased"] > 1.0
+    reductions = [
+        wl["mincut_reduction_vs_rows"]
+        for wl in topo["partitions"].values()
+    ]
+    winners = sum(r >= topo["min_halo_reduction"] for r in reductions)
+    assert winners >= 2

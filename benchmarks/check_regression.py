@@ -53,6 +53,82 @@ def compare(baseline: dict, current: dict, rel_tol: float) -> list[str]:
     failures.extend(_compare_multigpu_eig(baseline, current, rel_tol))
     failures.extend(_compare_precision_ablation(baseline, current, rel_tol))
     failures.extend(_compare_compressive_ablation(baseline, current, rel_tol))
+    failures.extend(_compare_topology_composition(baseline, current, rel_tol))
+    return failures
+
+
+def _compare_topology_composition(
+    baseline: dict, current: dict, rel_tol: float
+) -> list[str]:
+    """Gate the composed multi-device fit: composition keeps its
+    end-to-end 2-device win over the phase-by-phase path, mincut keeps
+    its >=20% halo-byte cut on at least two community workloads, labels
+    and spectra stay bit-identical at every device count, the k-means
+    transfer ledger equals the device meters, and neither the composed
+    makespan nor any partition's halo bytes creep past the tolerance."""
+    failures: list[str] = []
+    base = baseline.get("topology_composition")
+    cur = current.get("topology_composition")
+    if base is None:
+        return failures
+    if cur is None:
+        return ["topology_composition: section missing from current run"]
+    if cur.get("bit_identical") is not True:
+        failures.append(
+            "topology_composition.bit_identical: device counts or "
+            "partition modes diverged (output must be bit-identical)"
+        )
+    if cur.get("ledger_ok") is not True:
+        failures.append(
+            "topology_composition.ledger_ok: composed k-means transfer "
+            "ledger diverged from the device traffic meters"
+        )
+    comp = cur.get("composed", {})
+    speedup = comp.get("speedup_vs_phased")
+    if speedup is not None and speedup <= 1.0:
+        failures.append(
+            f"topology_composition.composed: speedup {speedup:.3g}x "
+            "lost the end-to-end win over the phase-by-phase fit"
+        )
+    old_t = base.get("composed", {}).get("total_composed_s")
+    new_t = comp.get("total_composed_s")
+    if old_t and new_t and new_t > old_t * (1.0 + rel_tol):
+        failures.append(
+            f"topology_composition.composed.total_composed_s: "
+            f"{old_t:.6g} -> {new_t:.6g} "
+            f"(+{(new_t / old_t - 1.0) * 100:.1f}%, tolerance "
+            f"{rel_tol * 100:.0f}%)"
+        )
+    bar = cur.get("min_halo_reduction", 0.2)
+    winners = 0
+    for name in sorted(base.get("partitions", {})):
+        if name not in cur.get("partitions", {}):
+            failures.append(f"topology_composition.{name}: workload missing")
+            continue
+        base_halo = base["partitions"][name]["step_halo_bytes"]
+        cur_halo = cur["partitions"][name]["step_halo_bytes"]
+        for mode in sorted(base_halo):
+            old = base_halo[mode]
+            new = cur_halo.get(mode)
+            if new is None:
+                failures.append(
+                    f"topology_composition.{name}.{mode}: mode missing"
+                )
+                continue
+            if old > 0 and new > old * (1.0 + rel_tol):
+                failures.append(
+                    f"topology_composition.{name}.{mode}.step_halo_bytes: "
+                    f"{old} -> {new} "
+                    f"(+{(new / old - 1.0) * 100:.1f}%, tolerance "
+                    f"{rel_tol * 100:.0f}%)"
+                )
+        red = cur["partitions"][name].get("mincut_reduction_vs_rows", 0.0)
+        winners += red >= bar
+    if cur.get("partitions") and winners < 2:
+        failures.append(
+            f"topology_composition: mincut beat rows by >={bar:.0%} on "
+            f"only {winners} workload(s); at least 2 required"
+        )
     return failures
 
 
@@ -378,6 +454,24 @@ def main(argv: list[str] | None = None) -> int:
                 f"sim {lg['total_simulated_s']:.6g} s "
                 f"<= budget {lg['sim_budget_s']} s  "
                 f"(ari {lg['ari']:.3f})  ok"
+            )
+    topo = current.get("topology_composition")
+    if topo:
+        comp = topo.get("composed", {})
+        if comp:
+            print(
+                f"topology {comp['dataset']:8s} composed "
+                f"{comp['total_composed_s']:.6g} s vs phased "
+                f"{comp['total_phased_s']:.6g} s "
+                f"({comp['speedup_vs_phased']:.3f}x)  ok"
+            )
+        for name in sorted(topo.get("partitions", {})):
+            wl = topo["partitions"][name]
+            h = wl["step_halo_bytes"]
+            print(
+                f"topology {name:8s} halo rows {h['rows']:,} B  "
+                f"mincut {h['mincut']:,} B "
+                f"(cut {wl['mincut_reduction_vs_rows']:.1%})  ok"
             )
     print("bench regression gate passed")
     return 0

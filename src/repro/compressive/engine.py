@@ -57,14 +57,16 @@ from repro.cuda.memory import BufferGroup
 from repro.cusparse.formats import autotune_spmm_format, convert_for_spmv
 from repro.cusparse.matrices import DeviceCSR, cast_csr
 from repro.cusparse.partition import (
-    partition_bounds,
+    PARTITION_MODES,
     partition_csr,
+    partition_rows,
     spmm_partitioned,
 )
 from repro.cusparse.spmm import spmm_any
 from repro.errors import CudaError, DeviceMemoryError, EigensolverError
-from repro.hw.costmodel import CPUCostModel, GPUCostModel
+from repro.hw.costmodel import CPUCostModel, GPUCostModel, TransferCostModel
 from repro.hw.spec import CPUSpec, XEON_E5_2690
+from repro.hw.topology import paper_topology
 from repro.linalg.rci import TransferLedger
 from repro.linalg.spectrum import (
     SpectrumEstimate,
@@ -227,6 +229,7 @@ def compressive_embedding(
     precision: str = "fp64",
     spectral_radius: float = 1.0,
     cpu_spec: CPUSpec = XEON_E5_2690,
+    partition_mode: str = "nnz",
 ) -> tuple[np.ndarray, CompressiveStats]:
     """Compute the compressive spectral feature sketch ``F`` (``n × d``).
 
@@ -286,6 +289,11 @@ def compressive_embedding(
                 "n_devices > 1 stores row blocks as split local/halo CSR; "
                 f"spmv_format={spmv_format!r} is not supported"
             )
+        if partition_mode not in PARTITION_MODES:
+            raise ValueError(
+                f"partition_mode must be one of {PARTITION_MODES}, "
+                f"got {partition_mode!r}"
+            )
     n = A.shape[0]
     if k < 1:
         raise EigensolverError(f"compressive embedding needs k >= 1, got {k}")
@@ -323,12 +331,25 @@ def compressive_embedding(
     traffic_before = device.spmv_traffic_bytes
 
     all_devices = [device]
+    bounds: np.ndarray | None = None
+    row_sets: list[np.ndarray] | None = None
+    row_counts: tuple[int, ...] = ()
     if n_devices > 1:
+        topo = paper_topology(n_devices)
         all_devices += [
-            Device(device.spec, device.pcie, timeline=device.timeline)
-            for _ in range(n_devices - 1)
+            Device(
+                device.spec, device.pcie, timeline=device.timeline,
+                device_index=dd, topology=topo,
+            )
+            for dd in range(1, n_devices)
         ]
-    bounds = partition_bounds(n, n_devices) if n_devices > 1 else None
+        row_sets, _, bounds = partition_rows(
+            A.indptr.data, A.indices.data, n_devices, mode=partition_mode
+        )
+        row_counts = tuple(int(r.size) for r in row_sets)
+        device.device_index = 0
+        device.topology = topo
+        device.transfer_cost = TransferCostModel(device.pcie, topo)
     shard_upload_total = 0
     n_block_products = 0
     ledger_multi: TransferLedger | None = None
@@ -399,7 +420,7 @@ def compressive_embedding(
             # TSQR-style panel factorization, one geqrf per device
             tq = device.timeline.clock.now
             for dd, dev in enumerate(all_devices):
-                nd = int(bounds[dd + 1] - bounds[dd])
+                nd = row_counts[dd]
                 dtq = dev.cost.kernel_time(
                     2.0 * nd * width * width,
                     2.0 * nd * width * vs,
@@ -414,7 +435,7 @@ def compressive_embedding(
         def charge_filter_axpy_multi(width: int) -> None:
             ta = device.timeline.clock.now
             for dd, dev in enumerate(all_devices):
-                nd = int(bounds[dd + 1] - bounds[dd])
+                nd = row_counts[dd]
                 dta = dev.cost.kernel_time(
                     3.0 * nd * width,
                     5.0 * nd * width * vs,
@@ -469,7 +490,8 @@ def compressive_embedding(
             try:
                 if n_devices > 1:
                     part = partition_csr(
-                        A_solve, all_devices, rows_cache=rows_cache
+                        A_solve, all_devices, rows_cache=rows_cache,
+                        mode=partition_mode, row_sets=row_sets,
                     )
                     shard_upload_total += part.shard_upload_bytes
                     P = part
@@ -489,7 +511,7 @@ def compressive_embedding(
                                 else charge_filter_axpy_multi
                             )
                             for dd, dev in enumerate(all_devices):
-                                nd = int(bounds[dd + 1] - bounds[dd])
+                                nd = row_counts[dd]
                                 phase_bufs.add(
                                     dev.empty((nd, width), dtype=store_dtype)
                                 )
@@ -501,6 +523,7 @@ def compressive_embedding(
                                 n_devices=n_devices,
                                 halo_counts=part.halo_counts,
                                 halo_pairs=part.halo_pairs,
+                                row_counts=row_counts,
                             )
                             # scatter the seed block, one row slab per
                             # device, concurrently
@@ -544,7 +567,7 @@ def compressive_embedding(
                     # concurrently; slices sum to exactly n*d*itemsize
                     t_r = device.timeline.clock.now
                     for dd, dev in enumerate(all_devices):
-                        nd = int(bounds[dd + 1] - bounds[dd])
+                        nd = row_counts[dd]
                         dev._record_d2h_at(nd * d * vs, t_r)
                     bpa_probe = _bytes_per_application_partitioned(
                         device.cost, part, p_probe, vs
@@ -557,7 +580,13 @@ def compressive_embedding(
                         + filter_applications * bpa_filter
                     )
                     partition_info = {
-                        "bounds": [int(b) for b in bounds],
+                        "mode": partition_mode,
+                        "row_counts": list(row_counts),
+                        **(
+                            {"bounds": [int(b) for b in bounds]}
+                            if bounds is not None
+                            else {}
+                        ),
                         "halo_counts": list(part.halo_counts),
                         "halo_pairs": part.halo_pairs,
                         "shard_upload_bytes": shard_upload_total,

@@ -71,6 +71,7 @@ from repro.core.workflow import EMBEDDING_MODES, hybrid_eigensolver
 from repro.cuda.device import Device
 from repro.cuda.profiler import Profiler
 from repro.cusparse.matrices import coo_to_device, csr_to_device
+from repro.cusparse.partition import PARTITION_MODES, partition_csr
 from repro.errors import ChaosError, ClusteringError, CudaError, DeviceMemoryError
 from repro.graph.build import build_similarity_device, build_similarity_graph
 from repro.graph.components import remove_isolated
@@ -82,8 +83,11 @@ from repro.graph.laplacian import (
     rw_normalized_adjacency,
     sym_normalized_adjacency,
 )
+from repro.hw.costmodel import TransferCostModel
+from repro.hw.topology import paper_topology
 from repro.kmeans.cpu import kmeans_cpu
 from repro.kmeans.gpu import kmeans_device
+from repro.kmeans.multi_gpu import kmeans_composed
 from repro.linalg.utils import normalize_rows
 from repro.precision import PRECISIONS
 from repro.sparse.construct import diags
@@ -136,6 +140,74 @@ def _run_resilient(device, policy, stage, gpu_attempts, cpu_fn):
         return cpu_fn(), rec
     assert last_err is not None
     raise last_err
+
+
+class _ComposedPlan:
+    """Per-fit state of the one-plan multi-device composition.
+
+    Created (empty) when ``fit_devices > 1``; :meth:`build` runs once,
+    right after the operator stage, and is the *only* place the fit
+    partitions rows: the peer device group, the PCIe topology, and the
+    :class:`~repro.cusparse.partition.PartitionedCSR` built here are
+    reused by the sharded eigensolve (which elides its result D2H) and by
+    the composed k-means (which consumes the still-resident embedding
+    shards) — no re-gather/re-scatter between stages.
+    """
+
+    def __init__(self, n_devices: int, mode: str) -> None:
+        self.n_devices = n_devices
+        self.mode = mode
+        self.devices: list[Device] | None = None
+        self.topology = None
+        self.plan = None
+        self.kmeans_timings = None
+        self.kmeans_plan: dict | None = None
+
+    @property
+    def active(self) -> bool:
+        return self.plan is not None
+
+    def build(self, device: Device, dcsr) -> None:
+        """Partition ``dcsr`` once over a fresh topology-aware device
+        group (device 0 is the pipeline's primary device)."""
+        topo = paper_topology(self.n_devices)
+        device.device_index = 0
+        device.topology = topo
+        device.transfer_cost = TransferCostModel(device.pcie, topo)
+        self.topology = topo
+        self.devices = [device] + [
+            Device(
+                device.spec, device.pcie, timeline=device.timeline,
+                device_index=dd, topology=topo,
+            )
+            for dd in range(1, self.n_devices)
+        ]
+        self.plan = partition_csr(dcsr, self.devices, mode=self.mode)
+
+    @property
+    def row_sets(self):
+        return [shard.rows for shard in self.plan.shards]
+
+    def summary(self) -> dict:
+        """Composition evidence surfaced on ``result.eig_stats``."""
+        out = {
+            "n_devices": self.n_devices,
+            "partition_mode": self.mode,
+            "row_counts": [int(r.size) for r in self.row_sets],
+            "step_halo_bytes": int(self.plan.step_halo_bytes()),
+        }
+        if self.kmeans_timings is not None:
+            out["kmeans_makespan_s"] = float(
+                self.kmeans_timings.parallel_seconds
+            )
+        if self.kmeans_plan is not None:
+            out["kmeans_transfers"] = dict(self.kmeans_plan)
+        return out
+
+    def close(self) -> None:
+        if self.plan is not None:
+            self.plan.free()
+            self.plan = None
 
 
 def _fresh_rec() -> dict:
@@ -199,6 +271,30 @@ class SpectralClustering:
         labels are bit-identical to the single-device run — only the
         charged makespan changes.  Requires ``eig_residency='device'``
         and a CSR-compatible ``eig_spmv_format`` ('auto' or 'csr').
+    fit_devices:
+        Compose the *whole* fit — graph upload, Laplacian, sharded
+        eigensolve, and multi-device k-means — as one multi-device plan
+        spanning this many simulated GPUs (default 1).  Rows are
+        partitioned once (``partition_mode``) right after the operator
+        stage; the eigensolver reuses that plan and keeps its Ritz block
+        sharded (the result D2H is elided), and the k-means stage runs
+        on the still-resident shards — no re-gather/re-scatter between
+        stages.  Labels, spectra and embeddings stay bit-identical to
+        ``fit_devices=1`` at every device count.  Requires
+        ``eig_residency='device'``, an exact eigensolver embedding
+        ('lanczos' or 'power'), ``precision='fp64'``, a CSR-compatible
+        ``eig_spmv_format``, and ``eig_devices`` either 1 or equal to
+        ``fit_devices``.  Composition evidence (partition mode, halo
+        bytes, k-means transfer plan) lands on
+        ``result.eig_stats['composed']``.
+    partition_mode:
+        Row partitioner for every multi-device path (``eig_devices`` or
+        ``fit_devices`` > 1): 'nnz' (default) balances nonzeros per
+        device with contiguous row blocks; 'rows' is the uniform
+        row-count split (the pre-topology behavior); 'mincut' grows
+        BFS clusters to minimize cross-device halo traffic (row sets may
+        be non-contiguous).  All modes are bit-identical; only charged
+        transfer/kernel time changes.
     precision:
         Storage precision for the eigensolver's operator values and
         iteration vectors: 'fp64' (default — the exact path, bit-identical
@@ -284,6 +380,8 @@ class SpectralClustering:
         eig_residency: str = "device",
         eig_spmv_format: str = "auto",
         eig_devices: int = 1,
+        fit_devices: int = 1,
+        partition_mode: str = "nnz",
         precision: str = "fp64",
         embedding: str = "lanczos",
         filter_order: int | None = None,
@@ -335,6 +433,46 @@ class SpectralClustering:
                 "eig_devices > 1 requires eig_spmv_format 'auto' or 'csr' "
                 "(row blocks are stored as split local/halo CSR)"
             )
+        if not isinstance(fit_devices, int) or fit_devices < 1:
+            raise ClusteringError(
+                f"fit_devices must be an int >= 1, got {fit_devices!r}"
+            )
+        if partition_mode not in PARTITION_MODES:
+            raise ClusteringError(
+                f"partition_mode must be one of {PARTITION_MODES}, "
+                f"got {partition_mode!r}"
+            )
+        if fit_devices > 1:
+            if eig_residency != "device":
+                raise ClusteringError(
+                    "fit_devices > 1 requires eig_residency='device'"
+                )
+            if embedding not in EMBEDDING_MODES:
+                raise ClusteringError(
+                    "fit_devices > 1 requires an eigensolver embedding "
+                    f"({EMBEDDING_MODES}); the compressive tier shards via "
+                    "eig_devices instead"
+                )
+            if precision != "fp64":
+                raise ClusteringError(
+                    "fit_devices > 1 requires precision='fp64' (the "
+                    "composed plan partitions the fp64 operator once)"
+                )
+            if eig_spmv_format not in ("auto", "csr"):
+                raise ClusteringError(
+                    "fit_devices > 1 requires eig_spmv_format 'auto' or "
+                    "'csr' (row blocks are stored as split local/halo CSR)"
+                )
+            if eig_devices not in (1, fit_devices):
+                raise ClusteringError(
+                    f"eig_devices ({eig_devices}) must be 1 or equal to "
+                    f"fit_devices ({fit_devices}) when composing the fit"
+                )
+            if kmeans_update != "spmm" or not kmeans_fused:
+                raise ClusteringError(
+                    "fit_devices > 1 requires the default k-means path "
+                    "(kmeans_update='spmm', kmeans_fused=True)"
+                )
         if precision not in PRECISIONS:
             raise ClusteringError(
                 f"precision must be one of {PRECISIONS}, got {precision!r}"
@@ -390,6 +528,8 @@ class SpectralClustering:
         self.eig_residency = eig_residency
         self.eig_spmv_format = eig_spmv_format
         self.eig_devices = eig_devices
+        self.fit_devices = fit_devices
+        self.partition_mode = partition_mode
         self.precision = precision
         self.embedding = embedding
         self.filter_order = filter_order
@@ -535,14 +675,33 @@ class SpectralClustering:
         timings = StageTimings()
         resilience: dict[str, dict] = {}
 
-        theta, embedding, kept, n_total, stats = self._embed_stages(
-            device, policy, X, edges, graph, timings, resilience
+        composed = (
+            _ComposedPlan(self.fit_devices, self.partition_mode)
+            if self.fit_devices > 1
+            else None
         )
-        km = self._kmeans_stage(device, policy, embedding, timings, resilience)
+        composed_summary = None
+        try:
+            theta, embedding, kept, n_total, stats = self._embed_stages(
+                device, policy, X, edges, graph, timings, resilience,
+                composed=composed,
+            )
+            km = self._kmeans_stage(
+                device, policy, embedding, timings, resilience,
+                composed=composed,
+            )
+            if composed is not None and composed.active:
+                composed_summary = composed.summary()
+        finally:
+            if composed is not None:
+                composed.close()
 
         labels_full = np.full(n_total, -1, dtype=np.int64)
         labels_full[kept] = km.labels
         report = prof.stop()
+        eig_stats = stats.as_dict()
+        if composed_summary is not None:
+            eig_stats["composed"] = composed_summary
         return ClusteringResult(
             labels=labels_full,
             eigenvalues=theta,
@@ -550,7 +709,7 @@ class SpectralClustering:
             kmeans=km,
             timings=timings,
             profile=report,
-            eig_stats=stats.as_dict(),
+            eig_stats=eig_stats,
             kept=kept,
             resilience=resilience,
             fault_events=plan.schedule if plan is not None else (),
@@ -559,7 +718,10 @@ class SpectralClustering:
     # ------------------------------------------------------------------
     # stages (each charges its own simulated + wall time into `timings`)
     # ------------------------------------------------------------------
-    def _embed_stages(self, device, policy, X, edges, graph, timings, resilience):
+    def _embed_stages(
+        self, device, policy, X, edges, graph, timings, resilience,
+        composed: _ComposedPlan | None = None,
+    ):
         """Stages 1-3: similarity graph → operator → eigenvectors."""
         dcoo, n_total, kept = self._similarity_stage(
             device, policy, X, edges, graph, timings, resilience
@@ -576,7 +738,8 @@ class SpectralClustering:
             )
             dcoo.free()
             theta, embedding, stats = self._eigensolver_stage(
-                device, policy, dcsr, shift, deg_kept, timings, resilience
+                device, policy, dcsr, shift, deg_kept, timings, resilience,
+                composed=composed,
             )
         finally:
             # a fault that escapes resilience must not leak the operator
@@ -732,14 +895,18 @@ class SpectralClustering:
 
     def _eigensolver_stage(
         self, device, policy, dcsr, shift, deg_kept, timings, resilience,
-        free_operator: bool = True,
+        free_operator: bool = True, composed: _ComposedPlan | None = None,
     ):
         """Stage 3 (Algorithm 3): k leading eigenpairs + back-mapping;
         returns ``(eigenvalues, embedding, stats)``.
 
         ``free_operator=False`` keeps the device CSR alive so several
         solves (different k/seed) can share one operator build — the
-        serving layer's micro-batching path.
+        serving layer's micro-batching path.  With a ``composed`` plan
+        the one-time row partition is built here (charged into the
+        eigensolver window), the solve reuses it, and the Ritz block
+        stays sharded on the devices (result D2H elided) for the
+        composed k-means stage.
         """
         t0 = time.perf_counter()
         eig_start = device.elapsed
@@ -754,6 +921,7 @@ class SpectralClustering:
                 residency=self.eig_residency,
                 spmv_format=self.eig_spmv_format,
                 n_devices=self.eig_devices, precision=self.precision,
+                partition_mode=self.partition_mode,
             )
             _note(resilience, "eigensolver", {
                 "retries": stats.spmv_retries,
@@ -783,12 +951,29 @@ class SpectralClustering:
             timings.wall["eigensolver"] = time.perf_counter() - t0
             timings.simulated["eigensolver"] = device.elapsed - eig_start
             return theta, embedding, stats
+        if composed is not None:
+            # the fit's single partitioning point: build the plan on the
+            # device group once, inside the eigensolver timing window
+            with device.stage("partition"):
+                composed.build(device, dcsr)
         theta, U, stats = hybrid_eigensolver(
             device, dcsr, k=self.n_clusters, m=self.m,
             tol=self.eig_tol, maxiter=self.eig_maxiter, seed=self.seed,
             policy=policy, residency=self.eig_residency,
-            spmv_format=self.eig_spmv_format, n_devices=self.eig_devices,
+            spmv_format=self.eig_spmv_format,
+            # staged entry points (embed/fit_embedding — the serving
+            # layer) have no composed plan to reuse, but a fit_devices
+            # request still shards the solve across the same device count
+            # so staged and composed runs agree on placement
+            n_devices=(
+                composed.n_devices if composed is not None
+                else max(self.eig_devices, self.fit_devices)
+            ),
             precision=self.precision, embedding=self.embedding,
+            partition_mode=self.partition_mode,
+            plan=composed.plan if composed is not None else None,
+            topology=composed.topology if composed is not None else None,
+            elide_result_d2h=composed is not None,
         )
         _note(resilience, "eigensolver", {
             "retries": stats.spmv_retries,
@@ -813,15 +998,37 @@ class SpectralClustering:
                 inv_sqrt = 1.0 / np.sqrt(np.where(deg_kept > 0, deg_kept, 1.0))
                 U = U * inv_sqrt[:, None]
         embedding = normalize_rows(U) if self.normalize_rows else U
+        if composed is not None and composed.active:
+            # the back-mapping reorder/scale applies shard-locally (one
+            # elementwise pass per device, concurrent) so the embedding
+            # block stays resident for the composed k-means stage
+            tl = device.timeline
+            t_s = tl.clock.now
+            for j, rows in enumerate(composed.row_sets):
+                nd = int(rows.size)
+                dev = composed.devices[j]
+                dt = dev.cost.kernel_time(
+                    2.0 * nd * self.n_clusters,
+                    3.0 * nd * self.n_clusters * 8,
+                )
+                tl.record_at(f"scale_rows[dev{j}]", "kernel", t_s, dt)
+                dev.kernel_launches += 1
         timings.wall["eigensolver"] = time.perf_counter() - t0
         timings.simulated["eigensolver"] = device.elapsed - eig_start
         return theta, embedding, stats
 
-    def _kmeans_stage(self, device, policy, embedding, timings, resilience):
+    def _kmeans_stage(
+        self, device, policy, embedding, timings, resilience,
+        composed: _ComposedPlan | None = None,
+    ):
         """Stage 4 (Algorithms 4-5): cluster the embedding rows."""
         if self.embedding == "compressive":
             return self._compressive_kmeans_stage(
                 device, policy, embedding, timings, resilience
+            )
+        if composed is not None and composed.active:
+            return self._composed_kmeans_stage(
+                device, policy, embedding, timings, resilience, composed
             )
         t0 = time.perf_counter()
         km_start = device.elapsed
@@ -849,6 +1056,41 @@ class SpectralClustering:
              km_gpu(max(1, n_emb // 16))],
             km_cpu,
         )
+        _note(resilience, "kmeans", rec)
+        timings.wall["kmeans"] = time.perf_counter() - t0
+        timings.simulated["kmeans"] = device.elapsed - km_start
+        return km
+
+    def _composed_kmeans_stage(
+        self, device, policy, embedding, timings, resilience, composed
+    ):
+        """Stage 4 on the composed plan: the embedding shards never left
+        their devices, so k-means consumes them in place — same row
+        layout as the eigensolve, upload elided, centroid allreduce over
+        the peer bus.  Labels are bit-identical to the single-device
+        :func:`~repro.kmeans.gpu.kmeans_device` path."""
+        t0 = time.perf_counter()
+        km_start = device.elapsed
+
+        def km_gpu():
+            res, tim, km_plan = kmeans_composed(
+                composed.devices, composed.row_sets, embedding,
+                self.n_clusters, init=self.kmeans_init,
+                max_iter=self.kmeans_max_iter, seed=self.seed,
+                resident=True,
+            )
+            composed.kmeans_timings = tim
+            composed.kmeans_plan = km_plan
+            return res
+
+        def km_cpu():
+            return kmeans_cpu(
+                embedding, self.n_clusters,
+                init=self.kmeans_init, max_iter=self.kmeans_max_iter,
+                seed=self.seed,
+            )
+
+        km, rec = _run_resilient(device, policy, "kmeans", [km_gpu], km_cpu)
         _note(resilience, "kmeans", rec)
         timings.wall["kmeans"] = time.perf_counter() - t0
         timings.simulated["kmeans"] = device.elapsed - km_start

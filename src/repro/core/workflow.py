@@ -34,17 +34,19 @@ from repro.cusparse.formats import (
 )
 from repro.cusparse.matrices import DeviceCSR, cast_csr
 from repro.cusparse.partition import (
+    PARTITION_MODES,
     PartitionedCSR,
-    partition_bounds,
     partition_csr,
+    partition_rows,
     spmm_partitioned,
     spmv_partitioned,
 )
 from repro.cusparse.spmm import csrmm, spmm_any
 from repro.cusparse.spmv import csrmv, spmv_any
 from repro.errors import CudaError, DeviceMemoryError
-from repro.hw.costmodel import CPUCostModel
+from repro.hw.costmodel import CPUCostModel, TransferCostModel
 from repro.hw.spec import CPUSpec, XEON_E5_2690
+from repro.hw.topology import PCIeTopology, paper_topology
 from repro.linalg.eigsolver import SymEigProblem
 from repro.linalg.power import default_power_iterations, power_embedding
 from repro.linalg.rci import LanczosCheckpoint, TransferLedger
@@ -280,7 +282,10 @@ def _sum_transfer_stats(devices: list[Device]) -> dict:
 
 
 def charge_takestep_multi(
-    devices: list[Device], bounds: np.ndarray, j_avg: float, itemsize: int = 8
+    devices: list[Device],
+    row_counts: tuple[int, ...],
+    j_avg: float,
+    itemsize: int = 8,
 ) -> None:
     """Charge one ``TakeStep`` with the basis row-partitioned over devices.
 
@@ -295,7 +300,7 @@ def charge_takestep_multi(
     t0 = timeline.clock.now
     letter = kernel_letter(itemsize)
     for d, dev in enumerate(devices):
-        nd = int(bounds[d + 1] - bounds[d])
+        nd = int(row_counts[d])
         flops = 2.0 * j_avg * nd
         bytes_moved = (j_avg * nd + 2.0 * nd) * float(itemsize)
         dt_proj = dev.cost.kernel_time(flops, bytes_moved, kind="stream")
@@ -313,7 +318,7 @@ def charge_restart_multi(
     devices: list[Device],
     cpu: CPUCostModel,
     copy_streams: list[Stream],
-    bounds: np.ndarray,
+    row_counts: tuple[int, ...],
     m: int,
     kp: int,
     itemsize: int = 8,
@@ -347,7 +352,7 @@ def charge_restart_multi(
             q_ready.append(end)
         letter = kernel_letter(itemsize)
         for d, dev in enumerate(devices):
-            nd = int(bounds[d + 1] - bounds[d])
+            nd = int(row_counts[d])
             dt = dev.cost.kernel_time(
                 2.0 * nd * m * kp,
                 (nd * m + m * kp + 2.0 * nd * kp) * float(itemsize),
@@ -384,6 +389,10 @@ def hybrid_eigensolver(
     embedding: str = "lanczos",
     refine_steps: int | None = None,
     power_q: int | None = None,
+    partition_mode: str = "nnz",
+    plan: PartitionedCSR | None = None,
+    topology: PCIeTopology | None = None,
+    elide_result_d2h: bool = False,
 ) -> tuple[np.ndarray, np.ndarray, EigStats]:
     """Algorithm 3: the reverse-communication loop with GPU SpMV.
 
@@ -460,6 +469,30 @@ def hybrid_eigensolver(
     power_q:
         Power-iteration count for ``embedding="power"``
         (default ``max(8, ceil(2·log2 n))``).
+    partition_mode:
+        Row-partitioning strategy for ``n_devices > 1``: ``"nnz"``
+        (default) balances nonzeros over contiguous blocks, ``"rows"``
+        is the PR-5 uniform row split, ``"mincut"`` grows connected,
+        nnz-balanced row sets that minimize the per-step halo.  Every
+        mode drives the same substrate arithmetic — spectra stay
+        bit-identical; only halo bytes and charged time change.
+    plan:
+        A prebuilt :class:`~repro.cusparse.partition.PartitionedCSR` to
+        reuse (the composed multi-device fit partitions once and keeps
+        the shards resident across stages).  The plan's shard devices
+        become the device group — its first shard must live on
+        ``device`` — and the plan is *not* freed on exit; the caller
+        owns it.
+    topology:
+        PCIe/NUMA topology pricing peer copies per (src, dst) pair.
+        Defaults to :func:`~repro.hw.topology.paper_topology` for the
+        device count; at 2 devices every pair is switch-direct, so
+        pricing matches the flat single-link law exactly.
+    elide_result_d2h:
+        Keep the Ritz block ``U`` on the devices instead of shipping it
+        down (composed fits hand the shards straight to multi-device
+        k-means; the elided bytes are metered like the device-resident
+        loop's elided round trips).
 
     Returns
     -------
@@ -488,6 +521,23 @@ def hybrid_eigensolver(
                 "n_devices > 1 stores row blocks as split local/halo CSR; "
                 f"spmv_format={spmv_format!r} is not supported"
             )
+        if partition_mode not in PARTITION_MODES:
+            raise ValueError(
+                f"partition_mode must be one of {PARTITION_MODES}, "
+                f"got {partition_mode!r}"
+            )
+        if plan is not None:
+            if len(plan.shards) != n_devices:
+                raise ValueError(
+                    f"plan has {len(plan.shards)} shards for "
+                    f"n_devices={n_devices}"
+                )
+            if plan.shards[0].device is not device:
+                raise ValueError(
+                    "plan's first shard must live on the primary device"
+                )
+    elif plan is not None:
+        raise ValueError("plan requires n_devices > 1")
     if embedding not in EMBEDDING_MODES:
         raise ValueError(
             f"embedding must be one of {EMBEDDING_MODES}, got {embedding!r}"
@@ -537,16 +587,39 @@ def hybrid_eigensolver(
 
     # ---- multi-device context (shared timeline, own allocators/streams) --
     all_devices = [device]
+    bounds: np.ndarray | None = None
+    row_sets: list[np.ndarray] | None = None
+    row_counts: tuple[int, ...] = ()
     if n_devices > 1:
-        all_devices += [
-            Device(device.spec, device.pcie, timeline=device.timeline)
-            for _ in range(n_devices - 1)
-        ]
+        topo = topology if topology is not None else paper_topology(n_devices)
+        if plan is not None:
+            # composed fit: the device group and row layout come from the
+            # prebuilt plan; the shards stay resident across stages
+            all_devices = [s.device for s in plan.shards]
+            row_sets = [s.rows for s in plan.shards]
+            bounds = plan.bounds
+            partition_mode = plan.mode
+        else:
+            all_devices += [
+                Device(
+                    device.spec, device.pcie, timeline=device.timeline,
+                    device_index=d, topology=topo,
+                )
+                for d in range(1, n_devices)
+            ]
+            row_sets, _, bounds = partition_rows(
+                A.indptr.data, A.indices.data, n_devices, mode=partition_mode
+            )
+        # the primary joins the peer group at slot 0: halo copies landing
+        # on it (and on the peers) price per (src, dst) pair
+        device.device_index = 0
+        device.topology = topo
+        device.transfer_cost = TransferCostModel(device.pcie, topo)
+        row_counts = tuple(int(r.size) for r in row_sets)
     copy_streams = [
         Stream(dev, name=f"dev{d}/copyEngine")
         for d, dev in enumerate(all_devices)
     ]
-    bounds = partition_bounds(n, n_devices) if n_devices > 1 else None
     shard_upload_total = 0
     n_matvec = 0
     ledger_multi: TransferLedger | None = None
@@ -639,7 +712,7 @@ def hybrid_eigensolver(
                         xs_, ys_ = [], []
                         try:
                             for d, dev in enumerate(all_devices):
-                                nd = int(bounds[d + 1] - bounds[d])
+                                nd = row_counts[d]
                                 xs_.append(
                                     group.add(dev.empty(nd, dtype=store_dtype))
                                 )
@@ -663,14 +736,19 @@ def hybrid_eigensolver(
                     # distribute the operator: row blocks to each device,
                     # split into local/halo parts (P2P + split kernels
                     # charged as a makespan over devices)
-                    part = partition_csr(
-                        A_solve, all_devices, rows_cache=rows_cache
-                    )
+                    if plan is not None:
+                        part = plan
+                    else:
+                        part = partition_csr(
+                            A_solve, all_devices, rows_cache=rows_cache,
+                            mode=partition_mode, row_sets=row_sets,
+                        )
                     shard_upload_total += part.shard_upload_bytes
                     ledger_multi = TransferLedger(
                         n=n, m=m_eff, k=k, itemsize=vs, n_devices=n_devices,
                         halo_counts=part.halo_counts,
                         halo_pairs=part.halo_pairs,
+                        row_counts=row_counts,
                     )
                     ledger = ledger_multi
                     # scatter the seed (or the resumed factorization) —
@@ -685,8 +763,8 @@ def hybrid_eigensolver(
 
                     def on_restart_multi(_r: int) -> None:
                         charge_restart_multi(
-                            all_devices, cpu, copy_streams, bounds, m_eff, k,
-                            itemsize=vs,
+                            all_devices, cpu, copy_streams, row_counts,
+                            m_eff, k, itemsize=vs,
                         )
 
                     prob = make_prob(restart_cb=on_restart_multi)
@@ -694,7 +772,7 @@ def hybrid_eigensolver(
                     while not prob.converged():
                         prob.take_step()
                         charge_takestep_multi(
-                            all_devices, bounds, j_avg, itemsize=vs
+                            all_devices, row_counts, j_avg, itemsize=vs
                         )
                         if prob.needs_matvec():
                             xh = prob.get_vector()
@@ -703,7 +781,7 @@ def hybrid_eigensolver(
                             # values (identity for fp64 — bit-identical)
                             xq = quantize_roundtrip(xh, store_dtype)
                             for d, xd in enumerate(xs):
-                                xd.data[...] = xq[bounds[d]:bounds[d + 1]]
+                                xd.data[...] = xq[row_sets[d]]
                             yh = with_retry(
                                 lambda: spmv_partitioned(P, xq),
                                 device, policy,
@@ -711,13 +789,14 @@ def hybrid_eigensolver(
                             )
                             yq = quantize_roundtrip(yh, store_dtype)
                             for d, yd in enumerate(ys):
-                                yd.data[...] = yq[bounds[d]:bounds[d + 1]]
+                                yd.data[...] = yq[row_sets[d]]
                             prob.put_vector(yq)
                             n_matvec += 1
                             device.note_elided_transfer(
                                 2, ledger.step_roundtrip_bytes()
                             )
-                    part.free()
+                    if part is not plan:
+                        part.free()
                     part = None
                 elif residency == "device":
                     # persistent workspace: the ping-pong pair plus the
@@ -820,7 +899,7 @@ def hybrid_eigensolver(
                 bufs.free_all()
                 break
             except CudaError:
-                if part is not None:
+                if part is not None and part is not plan:
                     part.free()
                 bufs.free_all()
                 drop_op()
@@ -880,7 +959,7 @@ def hybrid_eigensolver(
                 try:
                     if n_devices > 1:
                         for d, dev in enumerate(all_devices):
-                            nd = int(bounds[d + 1] - bounds[d])
+                            nd = row_counts[d]
                             # per-device B/Z slabs of the iteration block
                             bufs.add(
                                 dev.empty((nd, p_power), dtype=store_dtype)
@@ -888,15 +967,20 @@ def hybrid_eigensolver(
                             bufs.add(
                                 dev.empty((nd, p_power), dtype=store_dtype)
                             )
-                        part = partition_csr(
-                            A_solve, all_devices, rows_cache=rows_cache
-                        )
+                        if plan is not None:
+                            part = plan
+                        else:
+                            part = partition_csr(
+                                A_solve, all_devices, rows_cache=rows_cache,
+                                mode=partition_mode, row_sets=row_sets,
+                            )
                         shard_upload_total += part.shard_upload_bytes
                         ledger_multi = TransferLedger(
                             n=n, m=p_power, k=k, itemsize=vs,
                             n_devices=n_devices,
                             halo_counts=part.halo_counts,
                             halo_pairs=part.halo_pairs,
+                            row_counts=row_counts,
                         )
                         # scatter the random start block, one row slab per
                         # device, concurrently
@@ -932,7 +1016,7 @@ def hybrid_eigensolver(
                             # device over its row slab, concurrent
                             tq = device.timeline.clock.now
                             for d, dev in enumerate(all_devices):
-                                nd = int(bounds[d + 1] - bounds[d])
+                                nd = row_counts[d]
                                 dtq = dev.cost.kernel_time(
                                     2.0 * nd * p_power * p_power,
                                     2.0 * nd * p_power * vs,
@@ -1041,7 +1125,7 @@ def hybrid_eigensolver(
                         if n_devices > 1:
                             t_r = device.timeline.clock.now
                             for d, dev in enumerate(all_devices):
-                                nd = int(bounds[d + 1] - bounds[d])
+                                nd = row_counts[d]
                                 dt_r = dev.cost.kernel_time(
                                     2.0 * nd * p_power * k,
                                     (
@@ -1055,7 +1139,10 @@ def hybrid_eigensolver(
                                     "kernel", t_r, dt_r,
                                 )
                                 dev.kernel_launches += 1
-                                dev._record_d2h_at(nd * k * vs, t_r + dt_r)
+                                if elide_result_d2h:
+                                    dev.note_elided_transfer(1, nd * k * vs)
+                                else:
+                                    dev._record_d2h_at(nd * k * vs, t_r + dt_r)
                         else:
                             device.charge_kernel(
                                 f"cublas{letter}gemm[ritz]",
@@ -1068,11 +1155,12 @@ def hybrid_eigensolver(
                             device._record_d2h(n * k * vs)
                     bufs.free_all()
                     if part is not None:
-                        part.free()
+                        if part is not plan:
+                            part.free()
                         part = None
                     break
                 except CudaError:
-                    if part is not None:
+                    if part is not None and part is not plan:
                         part.free()
                     bufs.free_all()
                     drop_op()
@@ -1139,7 +1227,7 @@ def hybrid_eigensolver(
                         tl = device.timeline
                         t_r = tl.clock.now
                         for d, dev in enumerate(all_devices):
-                            nd = int(bounds[d + 1] - bounds[d])
+                            nd = row_counts[d]
                             dt = dev.cost.kernel_time(
                                 2.0 * nd * prob.m * k,
                                 (nd * prob.m + prob.m * k + 2.0 * nd * k)
@@ -1151,7 +1239,10 @@ def hybrid_eigensolver(
                                 "kernel", t_r, dt,
                             )
                             dev.kernel_launches += 1
-                            dev._record_d2h_at(nd * k * vs, t_r + dt)
+                            if elide_result_d2h:
+                                dev.note_elided_transfer(1, nd * k * vs)
+                            else:
+                                dev._record_d2h_at(nd * k * vs, t_r + dt)
                 else:
                     def assemble_ritz() -> None:
                         device.charge_kernel(
@@ -1292,7 +1383,13 @@ def hybrid_eigensolver(
         n_devices=n_devices,
         partition=(
             {
-                "bounds": [int(b) for b in bounds],
+                "mode": partition_mode,
+                "row_counts": list(row_counts),
+                **(
+                    {"bounds": [int(b) for b in bounds]}
+                    if bounds is not None
+                    else {}
+                ),
                 "halo_counts": list(ledger_multi.halo_counts),
                 "halo_pairs": ledger_multi.halo_pairs,
                 "step_halo_bytes": ledger_multi.step_halo_bytes(),

@@ -19,11 +19,12 @@ from typing import Iterator, Sequence
 import numpy as np
 
 from repro.chaos.runtime import chaos_check
-from repro.cuda.allocator import AllocOutcome, CachingAllocator
+from repro.cuda.allocator import AllocOutcome, CachingAllocator, PinnedHostPool
 from repro.cuda.memory import Allocator, DeviceArray
 from repro.hw.costmodel import GPUCostModel, TransferCostModel
 from repro.hw.spec import GPUSpec, K20C, PCIE_X16_GEN2, PCIeSpec
 from repro.hw.timeline import Timeline
+from repro.hw.topology import PCIeTopology
 
 
 class Device:
@@ -42,6 +43,14 @@ class Device:
         Use the size-bucketed :class:`~repro.cuda.allocator.CachingAllocator`
         (the default); ``False`` falls back to the plain byte-counting
         allocator, paying ``cudaMalloc``/``cudaFree`` latency on every call.
+    device_index:
+        Slot of this device on the node (``cudaSetDevice`` ordinal); used
+        to look up per-pair peer links in ``topology``.
+    topology:
+        Optional :class:`~repro.hw.topology.PCIeTopology` describing the
+        node; when set, peer copies are priced by the link the pair
+        actually crosses (same-switch direct vs. host-bridged) instead of
+        the flat ``pcie`` law.
     """
 
     def __init__(
@@ -50,14 +59,25 @@ class Device:
         pcie: PCIeSpec = PCIE_X16_GEN2,
         timeline: Timeline | None = None,
         caching: bool = True,
+        device_index: int = 0,
+        topology: PCIeTopology | None = None,
     ) -> None:
         self.spec = spec
         self.pcie = pcie
         self.caching = caching
+        self.device_index = int(device_index)
+        self.topology = topology
         self.allocator = self._make_allocator()
         self.timeline = timeline if timeline is not None else Timeline()
         self.cost = GPUCostModel(spec)
-        self.transfer_cost = TransferCostModel(pcie)
+        self.transfer_cost = TransferCostModel(pcie, topology)
+        #: pinned-host staging pool every async PCIe leg stages through
+        self.host_pool = PinnedHostPool()
+        #: stream whose free lists allocations are tagged with (see
+        #: :meth:`stream_scope`); None means the default stream (id 0)
+        self._alloc_scope = None
+        #: issued stream ids (0 is the default stream)
+        self._stream_ids_issued = 0
         #: cumulative simulated seconds by high-level class, convenience view
         self.kernel_launches = 0
         #: modeled device-memory bytes moved by SpMV/SpMM kernels — the
@@ -92,11 +112,50 @@ class Device:
     # ------------------------------------------------------------------
     # allocation + movement
     # ------------------------------------------------------------------
+    def _issue_stream_id(self) -> int:
+        """Hand a fresh non-default stream id to a new :class:`Stream`."""
+        self._stream_ids_issued += 1
+        return self._stream_ids_issued
+
+    def _alloc_stream_id(self) -> int:
+        scope = self._alloc_scope
+        return scope.stream_id if scope is not None else 0
+
+    def _alloc_ready(self) -> float:
+        """When the current scope's in-flight work — and therefore the free
+        event of a block released now — completes."""
+        scope = self._alloc_scope
+        if scope is not None:
+            return max(self.elapsed, scope.free_at)
+        return self.elapsed
+
+    @contextlib.contextmanager
+    def stream_scope(self, stream) -> Iterator[None]:
+        """Tag allocations/frees inside the block with ``stream``'s id.
+
+        The allocator analogue of ``cudaStreamSetAttribute``-era stream
+        association: blocks freed under the scope carry the stream's
+        horizon as their free-event time, so other streams may only reuse
+        them once that work has drained (see
+        :class:`~repro.cuda.allocator.CachingAllocator`).
+        """
+        prev = self._alloc_scope
+        self._alloc_scope = stream
+        try:
+            yield
+        finally:
+            self._alloc_scope = prev
+
     def _new_array(self, data: np.ndarray) -> DeviceArray:
         # The fault site runs before the cache is consulted, so injected
         # OOM faults surface even when the request would have been a hit.
         chaos_check("cuda.alloc", self, nbytes=data.nbytes)
-        outcome = self.allocator.allocate(data.nbytes)
+        if isinstance(self.allocator, CachingAllocator):
+            outcome = self.allocator.allocate(
+                data.nbytes, stream=self._alloc_stream_id(), now=self.elapsed
+            )
+        else:
+            outcome = self.allocator.allocate(data.nbytes)
         if isinstance(outcome, AllocOutcome):
             if outcome.flushed_segments:
                 self.timeline.record(
@@ -115,10 +174,60 @@ class Device:
         return DeviceArray(data, self)
 
     def _release(self, nbytes: int) -> None:
-        real_free = self.allocator.release(nbytes)
+        if isinstance(self.allocator, CachingAllocator):
+            real_free = self.allocator.release(
+                nbytes, stream=self._alloc_stream_id(), ready=self._alloc_ready()
+            )
+        else:
+            real_free = self.allocator.release(nbytes)
         if real_free is None or real_free:
             # plain allocator (returns None) or an uncached large block
             self.timeline.record("cudaFree", "overhead", self.spec.free_overhead_s)
+
+    @contextlib.contextmanager
+    def scratch(self, nbytes: int) -> Iterator[None]:
+        """Temporary device storage for one thrust/CUB call.
+
+        The ``ThrustAllocator`` pattern: sort double buffers and scan tile
+        state come from the caching allocator's free lists (usually a hit —
+        no ``cudaMalloc`` latency) and return there when the call ends.
+        Scratch traffic keeps separate counters so steady-state *array*
+        allocation invariants stay visible.  Not a chaos fault site: the
+        enclosing thrust call's kernel site already covers injection.
+        """
+        nbytes = int(nbytes)
+        if isinstance(self.allocator, CachingAllocator):
+            outcome = self.allocator.allocate_scratch(
+                nbytes, stream=self._alloc_stream_id(), now=self.elapsed
+            )
+            if outcome.flushed_segments:
+                self.timeline.record(
+                    f"cudaFree[cache-trim x{outcome.flushed_segments}]",
+                    "overhead",
+                    outcome.flushed_segments * self.spec.free_overhead_s,
+                )
+            if not outcome.hit:
+                self.timeline.record(
+                    "cudaMalloc", "overhead", self.spec.malloc_overhead_s
+                )
+            try:
+                yield
+            finally:
+                self.allocator.release_scratch(
+                    nbytes, stream=self._alloc_stream_id(), ready=self._alloc_ready()
+                )
+        else:  # plain allocator: scratch is a real malloc/free round trip
+            self.allocator.allocate(nbytes)
+            self.timeline.record(
+                "cudaMalloc", "overhead", self.spec.malloc_overhead_s
+            )
+            try:
+                yield
+            finally:
+                self.allocator.release(nbytes)
+                self.timeline.record(
+                    "cudaFree", "overhead", self.spec.free_overhead_s
+                )
 
     def empty(self, shape: int | Sequence[int], dtype=np.float64) -> DeviceArray:
         """``cudaMalloc`` without initialization."""
@@ -155,6 +264,7 @@ class Device:
     # ------------------------------------------------------------------
     def _record_h2d(self, nbytes: int) -> None:
         chaos_check("cuda.h2d", self, nbytes=nbytes)
+        self.host_pool.stage(nbytes)
         self.timeline.record(
             f"memcpyH2D[{nbytes}B]", "h2d", self.transfer_cost.h2d_time(nbytes)
         )
@@ -163,6 +273,7 @@ class Device:
 
     def _record_d2h(self, nbytes: int) -> None:
         chaos_check("cuda.d2h", self, nbytes=nbytes)
+        self.host_pool.stage(nbytes)
         self.timeline.record(
             f"memcpyD2H[{nbytes}B]", "d2h", self.transfer_cost.d2h_time(nbytes)
         )
@@ -174,6 +285,7 @@ class Device:
         transfer is laid onto the timeline at an absolute start so it can
         overlap already-recorded kernel work.  Returns its duration."""
         chaos_check("cuda.h2d", self, nbytes=nbytes)
+        self.host_pool.stage(nbytes)
         dt = self.transfer_cost.h2d_time(nbytes)
         before = self.timeline.clock.now
         self.timeline.record_at(f"memcpyH2DAsync[{nbytes}B]", "h2d", start, dt)
@@ -186,6 +298,7 @@ class Device:
         """Asynchronous D2H into a pinned staging buffer (see
         :meth:`_record_h2d_at`)."""
         chaos_check("cuda.d2h", self, nbytes=nbytes)
+        self.host_pool.stage(nbytes)
         dt = self.transfer_cost.d2h_time(nbytes)
         before = self.timeline.clock.now
         self.timeline.record_at(f"memcpyD2HAsync[{nbytes}B]", "d2h", start, dt)
@@ -194,13 +307,17 @@ class Device:
         self.transfer_overlap_s += max(0.0, min(start + dt, before) - start)
         return dt
 
-    def _record_p2p_at(self, nbytes: int, start: float, peer: str = "") -> float:
+    def _record_p2p_at(
+        self, nbytes: int, start: float, peer: str = "", src: int | None = None
+    ) -> float:
         """Asynchronous peer copy (``cudaMemcpyPeerAsync``) *into* this
         device, laid onto the timeline at an absolute start time so halo
         exchanges overlap local kernel work.  Traffic is counted on the
-        destination device.  Returns the transfer duration."""
+        destination device.  ``src`` is the source device slot; with a
+        topology attached it selects the per-pair link law (direct vs.
+        host-bridged).  Returns the transfer duration."""
         chaos_check("cuda.p2p", self, nbytes=nbytes)
-        dt = self.transfer_cost.p2p_time(nbytes)
+        dt = self.transfer_cost.p2p_time(nbytes, src=src, dst=self.device_index)
         before = self.timeline.clock.now
         label = f"memcpyPeerAsync[{nbytes}B{'<-' + peer if peer else ''}]"
         self.timeline.record_at(label, "p2p", start, dt)
@@ -296,6 +413,12 @@ class Device:
             "segment_frees": 0,
             "splits": 0,
             "coalesces": 0,
+            "same_stream_hits": 0,
+            "event_gated_hits": 0,
+            "blocked_reuses": 0,
+            "scratch_requests": 0,
+            "scratch_hits": 0,
+            "scratch_bytes": 0,
             "bytes_in_use": self.allocator.used_bytes,
             "bytes_reserved": self.allocator.used_bytes,
             "bytes_cached": 0,
@@ -304,8 +427,9 @@ class Device:
         }
 
     def transfer_stats(self) -> dict:
-        """PCIe traffic counters (bytes moved, elisions, overlap)."""
-        return {
+        """PCIe traffic counters (bytes moved, elisions, overlap) plus the
+        pinned-host staging pool the async legs ride through."""
+        out = {
             "bytes_h2d": self.bytes_h2d,
             "bytes_d2h": self.bytes_d2h,
             "bytes_p2p": self.bytes_p2p,
@@ -316,6 +440,8 @@ class Device:
             "bytes_elided": self.bytes_elided,
             "overlap_s": self.transfer_overlap_s,
         }
+        out.update(self.host_pool.stats())
+        return out
 
     def reset(self) -> None:
         """Clear the timeline and allocation statistics (new context)."""
@@ -325,6 +451,9 @@ class Device:
         self.spmv_traffic_bytes = 0.0
         self._reset_transfer_counters()
         self._spmv_measurements = {}
+        self.host_pool = PinnedHostPool()
+        self._alloc_scope = None
+        self._stream_ids_issued = 0
 
     def __repr__(self) -> str:
         used = self.allocator.used_bytes

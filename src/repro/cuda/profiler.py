@@ -77,6 +77,8 @@ class Profiler:
     #: bytes_reserved, peaks, ...) are point-in-time gauges.
     _ALLOC_DELTA_KEYS = (
         "hits", "misses", "flushes", "segment_frees", "splits", "coalesces",
+        "same_stream_hits", "event_gated_hits", "blocked_reuses",
+        "scratch_requests", "scratch_hits", "scratch_bytes",
     )
 
     def __init__(self, device: Device) -> None:

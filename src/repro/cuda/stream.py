@@ -68,6 +68,10 @@ class Stream:
     def __init__(self, device: Device | None = None, name: str = "") -> None:
         self.device = device if device is not None else get_default_device()
         self.name = name
+        #: device-issued stream id (0 is the default stream; every Stream
+        #: object is a non-default stream) — the tag the stream-aware
+        #: allocator keys its free lists on
+        self.stream_id = self.device._issue_stream_id()
         #: simulated time at which all work queued so far has completed
         self.free_at = 0.0
 
@@ -128,16 +132,22 @@ class Stream:
         return start, self.free_at
 
     def enqueue_p2p(
-        self, nbytes: int, ready_at: float = 0.0, peer: str = ""
+        self,
+        nbytes: int,
+        ready_at: float = 0.0,
+        peer: str = "",
+        src: int | None = None,
     ) -> tuple[float, float]:
         """Queue ``cudaMemcpyPeerAsync`` *into* this stream's device.
 
         Successive peer copies on the same stream serialize (they share
         the destination device's PCIe link), which is exactly the FIFO
         behavior modeled by the lane horizon (see :meth:`enqueue_h2d`).
+        ``src`` names the source device slot so a topology-aware cost
+        model can price the actual link the pair crosses.
         """
         start = self.available_at(ready_at)
-        dt = self.device._record_p2p_at(nbytes, start, peer=peer)
+        dt = self.device._record_p2p_at(nbytes, start, peer=peer, src=src)
         self.free_at = start + dt
         return start, self.free_at
 

@@ -3,9 +3,13 @@
 The multi-GPU eigensolver follows the classic distributed-memory Lanczos
 recipe (1-D row partitioning with communication/computation overlap):
 
-* the matrix is split into contiguous **row blocks**, one per device,
-  balanced by row count;
-* on each device the block's columns are split into a **local** part
+* the matrix is split into **row sets**, one per device — contiguous
+  blocks balanced by row count (``mode="rows"``), contiguous blocks
+  balanced by nnz (``mode="nnz"``, the default: row-count splits starve
+  or overload devices on skewed degree distributions), or graph-aware
+  sets grown by a greedy BFS/min-cut heuristic (``mode="mincut"``) that
+  shrink the halo itself;
+* on each device the set's columns are split into a **local** part
   (columns owned by this device — the x entries are already resident)
   and a **halo** part (columns owned by peers);
 * per SpMV, the local kernel launches immediately while the halo
@@ -18,13 +22,15 @@ recipe (1-D row partitioning with communication/computation overlap):
 
 Bit-identity invariant
 ----------------------
-Numerics never change with the device count: :func:`spmv_partitioned`
-computes the product through the canonical CSR-order substrate triple —
-the identical ``np.bincount`` that
+Numerics never change with the device count **or the partition mode**:
+:func:`spmv_partitioned` computes the product through the canonical
+CSR-order substrate triple — the identical ``np.bincount`` that
 :func:`~repro.cusparse.spmv.csrmv` performs on one device.  Partitioning
 changes only the *charged time* (and where the bytes flow), never a
 float, which is what pins multi-device spectra to the single-device
-path bit-for-bit.
+path bit-for-bit.  That is also what makes non-contiguous min-cut row
+sets cheap to support: they redistribute charged work and halo bytes,
+while the arithmetic stays the one host-side reference reduction.
 """
 
 from __future__ import annotations
@@ -42,36 +48,215 @@ from repro.errors import SparseValueError
 from repro.precision import as_f64, kernel_letter
 
 
-def partition_bounds(n: int, n_devices: int) -> np.ndarray:
-    """Balanced contiguous row-block bounds: ``bounds[d]:bounds[d+1]``.
+#: supported row-partitioning strategies (see :func:`partition_rows`)
+PARTITION_MODES = ("rows", "nnz", "mincut")
 
-    Same even split the multi-GPU k-means path uses; every device gets
-    ``n/n_devices`` rows up to rounding.
-    """
+
+def _check_split(n: int, n_devices: int) -> None:
     if n_devices < 1:
         raise SparseValueError(f"n_devices must be >= 1, got {n_devices}")
     if n < n_devices:
         raise SparseValueError(
             f"cannot split {n} rows across {n_devices} devices"
         )
+
+
+def partition_bounds(n: int, n_devices: int) -> np.ndarray:
+    """Balanced contiguous row-block bounds: ``bounds[d]:bounds[d+1]``.
+
+    Same even split the multi-GPU k-means path uses; every device gets
+    ``n/n_devices`` rows up to rounding.  Blind to nnz skew — a device
+    landing the dense rows of a power-law graph becomes the straggler —
+    which is why :func:`partition_csr` defaults to ``mode="nnz"``.
+    """
+    _check_split(n, n_devices)
     return np.linspace(0, n, n_devices + 1).astype(np.int64)
+
+
+def partition_bounds_nnz(indptr: np.ndarray, n_devices: int) -> np.ndarray:
+    """Contiguous row-block bounds balanced by **nnz** instead of rows.
+
+    Each cut lands where the cumulative nnz (which ``indptr`` already is)
+    crosses the next ``total/p`` target, so every device owns roughly the
+    same number of matrix entries — the quantity SpMV time actually
+    scales with.  Cuts are clamped so every device keeps at least one
+    row.
+    """
+    n = len(indptr) - 1
+    _check_split(n, n_devices)
+    bounds = np.empty(n_devices + 1, dtype=np.int64)
+    bounds[0] = 0
+    bounds[n_devices] = n
+    total = int(indptr[-1])
+    prev = 0
+    for d in range(1, n_devices):
+        target = total * d / n_devices
+        cut = int(np.searchsorted(indptr, target, side="left"))
+        # keep >= 1 row per device on both sides of the cut
+        cut = max(prev + 1, min(cut, n - (n_devices - d)))
+        bounds[d] = cut
+        prev = cut
+    return bounds
+
+
+def partition_owner_mincut(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    n_devices: int,
+    sweeps: int = 3,
+    balance_slack: float = 0.10,
+) -> np.ndarray:
+    """Greedy min-cut row partitioning: BFS-grow + boundary refinement.
+
+    Returns ``owner`` (device id per row).  Two phases, both heuristics in
+    the lineage of lightweight streaming partitioners:
+
+    1. **BFS-grow**: each device grows a connected region from an
+       unassigned seed, admitting neighbors breadth-first until its nnz
+       budget (``total/p``) fills; disconnected leftovers seed fresh BFS
+       waves.  Connected regions keep most edges internal, which is the
+       whole halo win.
+    2. **Refinement sweeps**: every boundary row computes its connectivity
+       to each part; rows move to their best-connected part in decreasing
+       gain order while parts stay within ``balance_slack`` of the nnz
+       ideal — one-sided Fiduccia–Mattheyses without the bucket queues.
+
+    Row sets are generally **non-contiguous**; downstream this is free
+    because the SpMV numerics run on the canonical host-side triple and
+    only charged time follows the partition.
+    """
+    n = len(indptr) - 1
+    _check_split(n, n_devices)
+    p = n_devices
+    owner = np.zeros(n, dtype=np.int64)
+    if p == 1:
+        return owner
+    row_nnz = np.diff(indptr).astype(np.int64)
+    # weight empty rows as 1 so budgets always fill and every part is
+    # non-empty even on diagonal-free corners
+    weight = np.maximum(row_nnz, 1)
+    total = int(weight.sum())
+    budget = total / p
+
+    owner[:] = -1
+    unassigned = n
+    next_seed = 0
+    from collections import deque
+
+    for d in range(p - 1):
+        acc = 0
+        queue: deque = deque()
+        while unassigned > (p - 1 - d):
+            if not queue:
+                while next_seed < n and owner[next_seed] != -1:
+                    next_seed += 1
+                if next_seed == n:
+                    break
+                if acc and acc + weight[next_seed] > budget:
+                    break  # device full; the seed waits for the next one
+                queue.append(next_seed)
+            r = queue.popleft()
+            if owner[r] != -1:
+                continue
+            if acc and acc + weight[r] > budget:
+                continue  # too heavy for the remaining budget; skip
+            owner[r] = d
+            acc += int(weight[r])
+            unassigned -= 1
+            if acc >= budget:
+                break
+            neigh = indices[indptr[r]:indptr[r + 1]]
+            queue.extend(neigh[owner[neigh] == -1].tolist())
+    owner[owner == -1] = p - 1
+
+    # refinement: move boundary rows toward their best-connected part
+    seg_rows = np.repeat(np.arange(n, dtype=np.int64), row_nnz)
+    part_w = np.bincount(owner, weights=weight, minlength=p)
+    part_rows = np.bincount(owner, minlength=p)
+    lo_w = (1.0 - balance_slack) * budget
+    hi_w = (1.0 + balance_slack) * budget
+    rows_idx = np.arange(n)
+    for _ in range(max(0, sweeps)):
+        conn = np.zeros((n, p), dtype=np.int64)
+        np.add.at(conn, (seg_rows, owner[indices]), 1)
+        cur = conn[rows_idx, owner]
+        best = conn.argmax(axis=1)
+        gain = conn[rows_idx, best] - cur
+        movers = np.flatnonzero((best != owner) & (gain > 0))
+        if movers.size == 0:
+            break
+        moved = 0
+        for r in movers[np.argsort(-gain[movers])]:
+            src, dst = int(owner[r]), int(best[r])
+            w = int(weight[r])
+            if part_rows[src] <= 1:
+                continue
+            if part_w[src] - w < lo_w or part_w[dst] + w > hi_w:
+                continue
+            owner[r] = dst
+            part_w[src] -= w
+            part_w[dst] += w
+            part_rows[src] -= 1
+            part_rows[dst] += 1
+            moved += 1
+        if moved == 0:
+            break
+    return owner
+
+
+def partition_rows(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    n_devices: int,
+    mode: str = "nnz",
+) -> tuple[list[np.ndarray], np.ndarray, np.ndarray | None]:
+    """Compute per-device row sets for one partitioning ``mode``.
+
+    Returns ``(row_sets, owner, bounds)`` where ``row_sets[d]`` is the
+    sorted global row ids device ``d`` owns, ``owner`` maps every row to
+    its device, and ``bounds`` is the contiguous block boundary array for
+    the contiguous modes (``None`` for ``mincut``).
+    """
+    n = len(indptr) - 1
+    if mode == "rows":
+        bounds = partition_bounds(n, n_devices)
+    elif mode == "nnz":
+        bounds = partition_bounds_nnz(indptr, n_devices)
+    elif mode == "mincut":
+        owner = partition_owner_mincut(indptr, indices, n_devices)
+        row_sets = [np.flatnonzero(owner == d) for d in range(n_devices)]
+        return row_sets, owner, None
+    else:
+        raise SparseValueError(
+            f"unknown partition mode {mode!r}; expected one of {PARTITION_MODES}"
+        )
+    owner = np.repeat(
+        np.arange(n_devices, dtype=np.int64), np.diff(bounds)
+    )
+    row_sets = [
+        np.arange(bounds[d], bounds[d + 1], dtype=np.int64)
+        for d in range(n_devices)
+    ]
+    return row_sets, owner, bounds
 
 
 @dataclass
 class CSRShard:
-    """One device's row block, stored as split local + halo CSR parts.
+    """One device's row set, stored as split local + halo CSR parts.
 
-    ``local_indices`` are offsets into the device's own x shard;
-    ``halo_indices`` are offsets into ``halo_buf``, the receive buffer the
-    peer copies land in.  ``halo_cols`` (host metadata) maps those slots
-    back to global column ids, and ``halo_src_counts[e]`` says how many of
-    them device ``e`` owns — one peer copy per nonzero entry per SpMV.
+    ``rows`` holds the global row ids this device owns (sorted; a
+    contiguous range under the ``rows``/``nnz`` modes, arbitrary under
+    ``mincut``).  ``local_indices`` are offsets into the device's own x
+    shard; ``halo_indices`` are offsets into ``halo_buf``, the receive
+    buffer the peer copies land in.  ``halo_cols`` (host metadata) maps
+    those slots back to global column ids, and ``halo_src_counts[e]``
+    says how many of them device ``e`` owns — one peer copy per nonzero
+    entry per SpMV.
     """
 
     device: Device
     index: int
-    lo: int
-    hi: int
+    rows: np.ndarray
     local_indptr: DeviceArray
     local_indices: DeviceArray
     local_val: DeviceArray
@@ -85,7 +270,7 @@ class CSRShard:
 
     @property
     def n_rows(self) -> int:
-        return self.hi - self.lo
+        return int(self.rows.size)
 
     @property
     def nnz_local(self) -> int:
@@ -111,12 +296,16 @@ class CSRShard:
 
 @dataclass
 class PartitionedCSR:
-    """A CSR matrix split into per-device row blocks (plus the canonical
+    """A CSR matrix split into per-device row sets (plus the canonical
     host-side substrate mirror used for the reference arithmetic)."""
 
     shape: tuple[int, int]
     nnz: int
-    bounds: np.ndarray
+    mode: str
+    #: device id per global row
+    owner: np.ndarray
+    #: contiguous block boundaries for the contiguous modes, None for mincut
+    bounds: np.ndarray | None
     shards: list[CSRShard]
     sub_rows: np.ndarray = field(repr=False)
     sub_cols: np.ndarray = field(repr=False)
@@ -125,6 +314,15 @@ class PartitionedCSR:
     @property
     def n_devices(self) -> int:
         return len(self.shards)
+
+    @property
+    def row_sets(self) -> list[np.ndarray]:
+        """Per-device sorted global row ids (the shard layouts)."""
+        return [s.rows for s in self.shards]
+
+    @property
+    def row_counts(self) -> tuple[int, ...]:
+        return tuple(s.n_rows for s in self.shards)
 
     @property
     def devices(self) -> list[Device]:
@@ -161,29 +359,43 @@ def _split_row_block(
     indptr: np.ndarray,
     indices: np.ndarray,
     vals: np.ndarray,
-    bounds: np.ndarray,
+    rows_d: np.ndarray,
+    owner: np.ndarray,
+    local_slot: np.ndarray,
     d: int,
+    n_devices: int,
 ):
-    """Host-side split of row block ``d`` into local/halo CSR pieces."""
-    lo, hi = int(bounds[d]), int(bounds[d + 1])
-    nd = hi - lo
-    s, e = int(indptr[lo]), int(indptr[hi])
-    seg_rows = (
-        np.repeat(np.arange(lo, hi, dtype=np.int64), np.diff(indptr[lo:hi + 1]))
-        - lo
-    )
-    seg_cols = indices[s:e]
-    seg_vals = vals[s:e]
-    local_mask = (seg_cols >= lo) & (seg_cols < hi)
+    """Host-side split of device ``d``'s row set into local/halo pieces.
+
+    ``owner`` maps every global row/column to its device and
+    ``local_slot`` to its position within the owner's sorted row set, so
+    arbitrary (non-contiguous) row sets split exactly like contiguous
+    blocks did.
+    """
+    nd = int(rows_d.size)
+    starts = indptr[rows_d]
+    counts = indptr[rows_d + 1] - starts
+    total = int(counts.sum())
+    if total:
+        # gather the nnz of all owned rows: for each row, a run of
+        # consecutive source offsets starting at indptr[row]
+        shift = np.cumsum(counts) - counts
+        idx = np.arange(total, dtype=np.int64) + np.repeat(starts - shift, counts)
+    else:
+        idx = np.empty(0, dtype=np.int64)
+    seg_rows = np.repeat(np.arange(nd, dtype=np.int64), counts)
+    seg_cols = indices[idx]
+    seg_vals = vals[idx]
+    local_mask = owner[seg_cols] == d
 
     def _csr_piece(mask):
-        counts = np.bincount(seg_rows[mask], minlength=nd)
+        piece_counts = np.bincount(seg_rows[mask], minlength=nd)
         piece_indptr = np.zeros(nd + 1, dtype=np.int64)
-        np.cumsum(counts, out=piece_indptr[1:])
+        np.cumsum(piece_counts, out=piece_indptr[1:])
         return piece_indptr
 
     local_indptr = _csr_piece(local_mask)
-    local_cols = seg_cols[local_mask] - lo
+    local_cols = local_slot[seg_cols[local_mask]]
     local_vals = seg_vals[local_mask]
 
     halo_mask = ~local_mask
@@ -191,14 +403,12 @@ def _split_row_block(
     halo_global = seg_cols[halo_mask]
     halo_cols, halo_slots = np.unique(halo_global, return_inverse=True)
     halo_vals = seg_vals[halo_mask]
-    owner = np.searchsorted(bounds, halo_cols, side="right") - 1
-    src_counts = np.bincount(owner, minlength=len(bounds) - 1)
+    src_counts = np.bincount(owner[halo_cols], minlength=n_devices)
     return (
-        lo, hi,
         local_indptr, local_cols, local_vals,
         halo_indptr, halo_slots.astype(np.int64), halo_vals,
         halo_cols, src_counts,
-        e - s,
+        total,
     )
 
 
@@ -206,16 +416,23 @@ def partition_csr(
     A: DeviceCSR,
     devices: list[Device],
     rows_cache: np.ndarray | None = None,
+    mode: str = "nnz",
+    row_sets: list[np.ndarray] | None = None,
 ) -> PartitionedCSR:
-    """Split ``A`` into per-device row blocks with local/halo column parts.
+    """Split ``A`` into per-device row sets with local/halo column parts.
 
-    Device 0 (which holds ``A``) keeps its block in place; every other
-    device receives its raw row block over the modeled bus as one peer
-    copy on its halo copy stream (``indptr`` slice + column indices +
-    values), concurrently across devices.  Each device then runs one
-    streaming *split* kernel reordering the block into the local/halo
-    layout.  All of this is charged onto the shared timeline at absolute
-    times, so the setup cost is the makespan over devices, not the sum.
+    ``mode`` picks the partitioning strategy (see :func:`partition_rows`);
+    ``"nnz"`` is the default because row-count splits ignore degree skew.
+    Pass ``row_sets`` (with matching ``mode`` for bookkeeping) to reuse a
+    partition computed once by a composed multi-stage plan.
+
+    Device 0 (which holds ``A``) keeps its row set in place; every other
+    device receives its raw rows over the modeled bus as one peer copy on
+    its halo copy stream (``indptr`` slice + column indices + values),
+    concurrently across devices.  Each device then runs one streaming
+    *split* kernel reordering the rows into the local/halo layout.  All
+    of this is charged onto the shared timeline at absolute times, so the
+    setup cost is the makespan over devices, not the sum.
     """
     n, m = A.shape
     if n != m:
@@ -231,10 +448,26 @@ def partition_csr(
                 "all devices must share one timeline (one simulated platform)"
             )
     p = len(devices)
-    bounds = partition_bounds(n, p)
     indptr = A.indptr.data
     indices = A.indices.data
     vals = A.val.data
+    bounds: np.ndarray | None
+    if row_sets is not None:
+        if len(row_sets) != p:
+            raise SparseValueError(
+                f"{len(row_sets)} row sets for {p} devices"
+            )
+        owner = np.full(n, -1, dtype=np.int64)
+        for d, rows_d in enumerate(row_sets):
+            owner[rows_d] = d
+        if (owner < 0).any():
+            raise SparseValueError("row sets do not cover every row")
+        bounds = None
+    else:
+        row_sets, owner, bounds = partition_rows(indptr, indices, p, mode=mode)
+    local_slot = np.empty(n, dtype=np.int64)
+    for rows_d in row_sets:
+        local_slot[rows_d] = np.arange(rows_d.size, dtype=np.int64)
     if rows_cache is None:
         sub_rows = np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr))
     else:
@@ -247,19 +480,20 @@ def partition_csr(
     block_nnz: list[int] = []
     try:
         for d, dev in enumerate(devices):
+            rows_d = np.asarray(row_sets[d], dtype=np.int64)
             (
-                lo, hi,
                 l_indptr, l_cols, l_vals,
                 h_indptr, h_slots, h_vals,
                 h_cols, src_counts,
                 rnnz,
-            ) = _split_row_block(indptr, indices, vals, bounds, d)
-            nd = hi - lo
+            ) = _split_row_block(
+                indptr, indices, vals, rows_d, owner, local_slot, d, p
+            )
+            nd = int(rows_d.size)
             shard = CSRShard(
                 device=dev,
                 index=d,
-                lo=lo,
-                hi=hi,
+                rows=rows_d,
                 local_indptr=bufs.add(dev.empty(nd + 1, dtype=np.int64)),
                 local_indices=bufs.add(
                     dev.empty(max(l_cols.size, 1), dtype=np.int64)
@@ -304,7 +538,7 @@ def partition_csr(
                 # storage width
                 nbytes = (nd + 1) * 8 + rnnz * 8 + rnnz * vs
                 _, ready = shard.copy_stream.enqueue_p2p(
-                    nbytes, ready_at=t0, peer="dev0"
+                    nbytes, ready_at=t0, peer="dev0", src=0
                 )
                 upload_bytes += nbytes
             # split pass: stream the block in, write local + halo layout out
@@ -321,6 +555,8 @@ def partition_csr(
     out = PartitionedCSR(
         shape=A.shape,
         nnz=A.nnz,
+        mode=mode,
+        owner=owner,
         bounds=bounds,
         shards=shards,
         sub_rows=sub_rows,
@@ -381,7 +617,7 @@ def spmv_partitioned(
             if count == 0:
                 continue
             _, arrival = shard.copy_stream.enqueue_p2p(
-                int(count) * vs, ready_at=t0, peer=f"dev{src}"
+                int(count) * vs, ready_at=t0, peer=f"dev{src}", src=src
             )
         if shard.nnz_halo > 0:
             h_start = max(t0 + dt_local, arrival)
@@ -455,7 +691,7 @@ def spmm_partitioned(
                 continue
             # p columns of every off-device B row land in one copy
             _, arrival = shard.copy_stream.enqueue_p2p(
-                int(count) * p * vs, ready_at=t0, peer=f"dev{src}"
+                int(count) * p * vs, ready_at=t0, peer=f"dev{src}", src=src
             )
         if shard.nnz_halo > 0:
             h_start = max(t0 + dt_local, arrival)

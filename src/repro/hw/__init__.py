@@ -24,6 +24,7 @@ from repro.hw.costmodel import (
     roofline_time,
 )
 from repro.hw.timeline import SimClock, TimelineEvent, Timeline
+from repro.hw.topology import PCIeTopology, paper_topology
 
 __all__ = [
     "CPUSpec",
@@ -42,4 +43,6 @@ __all__ = [
     "SimClock",
     "TimelineEvent",
     "Timeline",
+    "PCIeTopology",
+    "paper_topology",
 ]

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.hw.spec import CPUSpec, GPUSpec, PCIeSpec
+from repro.hw.topology import PCIeTopology
 
 
 def roofline_time(
@@ -346,9 +347,17 @@ class CPUCostModel(CostModel):
 
 @dataclass(frozen=True)
 class TransferCostModel(CostModel):
-    """Host<->device transfer cost over a :class:`~repro.hw.spec.PCIeSpec`."""
+    """Host<->device transfer cost over a :class:`~repro.hw.spec.PCIeSpec`.
+
+    With a :class:`~repro.hw.topology.PCIeTopology` attached, peer copies
+    are priced per (src, dst) pair — same-switch pairs follow the direct
+    link law, cross-bridge pairs the slower host-bridged law.  Without one
+    (or when a call site does not know the pair) every peer copy falls
+    back to the single-link law, which is the pre-topology behavior.
+    """
 
     pcie: PCIeSpec
+    topology: "PCIeTopology | None" = None
 
     def h2d_time(self, nbytes: int) -> float:
         return self.pcie.transfer_time(nbytes)
@@ -356,11 +365,16 @@ class TransferCostModel(CostModel):
     def d2h_time(self, nbytes: int) -> float:
         return self.pcie.transfer_time(nbytes)
 
-    def p2p_time(self, nbytes: int) -> float:
+    def p2p_time(
+        self, nbytes: int, src: int | None = None, dst: int | None = None
+    ) -> float:
         """Device-to-device peer copy (``cudaMemcpyPeerAsync``).
 
-        On the modeled platform peers sit behind the same PCIe switch, so
-        a peer DMA follows the identical latency + bandwidth law as a host
-        transfer — it just never touches host memory.
+        Peers behind the same PCIe switch follow the identical
+        latency + bandwidth law as a host transfer — the DMA just never
+        touches host memory.  Pairs split across host bridges stage
+        through the bridge and pay the topology's ``bridged`` law.
         """
+        if self.topology is not None and src is not None and dst is not None:
+            return self.topology.p2p_time(nbytes, src, dst)
         return self.pcie.transfer_time(nbytes)

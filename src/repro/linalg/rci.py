@@ -160,6 +160,11 @@ class TransferLedger:
         Per-device count of off-device x entries received per SpMV.
     halo_pairs:
         Peer copies issued per SpMV (nonzero (dst, src) pairs).
+    row_counts:
+        Rows owned per device.  Empty means the uniform ``linspace``
+        split (the PR-5 row-balanced partitioner); the nnz-balanced and
+        min-cut modes pass their actual row counts so scatter/gather
+        slices follow the real layout.
     """
 
     n: int
@@ -169,6 +174,7 @@ class TransferLedger:
     n_devices: int = 1
     halo_counts: tuple = ()
     halo_pairs: int = 0
+    row_counts: tuple = ()
 
     def step_roundtrip_bytes(self) -> int:
         """Bytes one host-resident ``ido = 1`` moves (x up, y down)."""
@@ -234,8 +240,11 @@ class TransferLedger:
             return (total,)
         import numpy as np
 
-        bounds = np.linspace(0, self.n, self.n_devices + 1).astype(np.int64)
-        rows = np.diff(bounds)
+        if self.row_counts:
+            rows = np.asarray(self.row_counts, dtype=np.int64)
+        else:
+            bounds = np.linspace(0, self.n, self.n_devices + 1).astype(np.int64)
+            rows = np.diff(bounds)
         parts = [int(total * int(r) // self.n) for r in rows]
         parts[0] += total - sum(parts)
         return tuple(parts)

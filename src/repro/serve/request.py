@@ -73,6 +73,11 @@ class ClusterRequest:
     #: so deliberately NOT part of embedding_key — a multi-device solve
     #: can serve a cached single-device embedding and vice versa)
     eig_devices: int = 1
+    #: GPUs the *composed* fit spans (one partition across eigensolve and
+    #: k-means) and the row-partitioner mode; bit-identical output, so —
+    #: like eig_devices — deliberately NOT part of embedding_key
+    fit_devices: int = 1
+    partition_mode: str = "nnz"
     #: storage precision of the eigensolve ('fp64'/'fp32'/'fp16') — part
     #: of embedding_key: reduced embeddings are tolerance-band accurate,
     #: not bit-identical, so they must not shadow exact ones
@@ -130,6 +135,8 @@ class ClusterRequest:
             eig_tol=self.eig_tol,
             eig_maxiter=self.eig_maxiter,
             eig_devices=self.eig_devices,
+            fit_devices=self.fit_devices,
+            partition_mode=self.partition_mode,
             precision=self.precision,
             embedding=self.embedding,
             filter_order=self.filter_order,

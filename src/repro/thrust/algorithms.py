@@ -48,6 +48,21 @@ _REDUCE_OPS = {
     "minimum": np.min,
 }
 
+#: cub::DeviceScan/DeviceReduceByKey tile granularity (items per tile) and
+#: per-tile descriptor footprint for the modeled ``temp_storage_bytes``
+_CUB_TILE_ITEMS = 2048
+_CUB_TILE_STATE_BYTES = 16
+_CUB_TEMP_HEADER_BYTES = 256
+
+
+def _cub_temp_bytes(n: int) -> int:
+    """Modeled CUB ``temp_storage_bytes`` for an ``n``-item scan/keyed
+    reduce: one decoupled-lookback tile descriptor per tile plus a fixed
+    header — small, but a real ``cudaMalloc`` when not served from a cache,
+    which is exactly why Thrust exposes a custom allocator hook."""
+    tiles = -(-max(0, int(n)) // _CUB_TILE_ITEMS)
+    return _CUB_TEMP_HEADER_BYTES + _CUB_TILE_STATE_BYTES * tiles
+
 
 def _device_of(*arrays: DeviceArray) -> Device:
     dev = None
@@ -238,10 +253,11 @@ def inclusive_scan(a: DeviceArray, out: DeviceArray | None = None) -> DeviceArra
     dev = _device_of(a)
     if out is None:
         out = dev.empty(a.shape, dtype=a.dtype)
-    np.cumsum(a.data, out=out.data)
-    dev.charge_kernel(
-        "thrust::inclusive_scan", flops=2 * a.size, bytes_moved=a.nbytes + out.nbytes
-    )
+    with dev.scratch(_cub_temp_bytes(a.size)):
+        np.cumsum(a.data, out=out.data)
+        dev.charge_kernel(
+            "thrust::inclusive_scan", flops=2 * a.size, bytes_moved=a.nbytes + out.nbytes
+        )
     return out
 
 
@@ -252,14 +268,15 @@ def exclusive_scan(
     dev = _device_of(a)
     if out is None:
         out = dev.empty(a.shape, dtype=a.dtype)
-    np.cumsum(a.data, out=out.data)
-    out.data[1:] = out.data[:-1]
-    out.data[0] = 0
-    if init:
-        np.add(out.data, init, out=out.data)
-    dev.charge_kernel(
-        "thrust::exclusive_scan", flops=2 * a.size, bytes_moved=a.nbytes + out.nbytes
-    )
+    with dev.scratch(_cub_temp_bytes(a.size)):
+        np.cumsum(a.data, out=out.data)
+        out.data[1:] = out.data[:-1]
+        out.data[0] = 0
+        if init:
+            np.add(out.data, init, out=out.data)
+        dev.charge_kernel(
+            "thrust::exclusive_scan", flops=2 * a.size, bytes_moved=a.nbytes + out.nbytes
+        )
     return out
 
 
@@ -269,10 +286,16 @@ def exclusive_scan(
 
 
 def sort(a: DeviceArray) -> DeviceArray:
-    """``thrust::sort`` — in-place ascending sort."""
+    """``thrust::sort`` — in-place ascending sort.
+
+    Radix sort ping-pongs through a double buffer; the scratch rides the
+    caching allocator (ThrustAllocator pattern) rather than a raw
+    per-call ``cudaMalloc``.
+    """
     dev = _device_of(a)
-    a.data.sort()
-    dev.timeline.record("thrust::sort", "kernel", dev.cost.sort_time(a.size))
+    with dev.scratch(a.nbytes):
+        a.data.sort()
+        dev.timeline.record("thrust::sort", "kernel", dev.cost.sort_time(a.size))
     return a
 
 
@@ -280,17 +303,21 @@ def sort_by_key(keys: DeviceArray, values: DeviceArray) -> tuple[DeviceArray, De
     """``thrust::sort_by_key`` — stable in-place sort of (keys, values).
 
     ``values`` may be 2-D (one row per key), matching the k-means use where
-    the payload is a d-dimensional point.
+    the payload is a d-dimensional point.  The radix double buffer covers
+    both arrays; like :func:`sort` it comes from the caching allocator.
     """
     dev = _device_of(keys, values)
     if keys.size != values.shape[0]:
         raise DeviceArrayError(
             f"sort_by_key: {keys.size} keys vs {values.shape[0]} values"
         )
-    order = np.argsort(keys.data, kind="stable")
-    keys.data[...] = keys.data[order]
-    values.data[...] = values.data[order]
-    dev.timeline.record("thrust::sort_by_key", "kernel", dev.cost.sort_time(keys.size))
+    with dev.scratch(keys.nbytes + values.nbytes):
+        order = np.argsort(keys.data, kind="stable")
+        keys.data[...] = keys.data[order]
+        values.data[...] = values.data[order]
+        dev.timeline.record(
+            "thrust::sort_by_key", "kernel", dev.cost.sort_time(keys.size)
+        )
     return keys, values
 
 
@@ -314,24 +341,25 @@ def reduce_by_key(
             empty_keys.free()
             raise
         return empty_keys, empty_vals
-    kd = keys.data
-    boundaries = np.flatnonzero(np.diff(kd)) + 1
-    starts = np.concatenate(([0], boundaries))
-    uniq = kd[starts]
-    sums = np.add.reduceat(values.data, starts, axis=0)
-    out_keys = dev.empty(uniq.shape, dtype=keys.dtype)
-    try:
-        out_vals = dev.empty(sums.shape, dtype=values.dtype)
-    except BaseException:
-        out_keys.free()
-        raise
-    out_keys.data[...] = uniq
-    out_vals.data[...] = sums
-    dev.charge_kernel(
-        "thrust::reduce_by_key",
-        flops=values.size,
-        bytes_moved=keys.nbytes + values.nbytes + out_vals.nbytes,
-    )
+    with dev.scratch(_cub_temp_bytes(keys.size)):
+        kd = keys.data
+        boundaries = np.flatnonzero(np.diff(kd)) + 1
+        starts = np.concatenate(([0], boundaries))
+        uniq = kd[starts]
+        sums = np.add.reduceat(values.data, starts, axis=0)
+        out_keys = dev.empty(uniq.shape, dtype=keys.dtype)
+        try:
+            out_vals = dev.empty(sums.shape, dtype=values.dtype)
+        except BaseException:
+            out_keys.free()
+            raise
+        out_keys.data[...] = uniq
+        out_vals.data[...] = sums
+        dev.charge_kernel(
+            "thrust::reduce_by_key",
+            flops=values.size,
+            bytes_moved=keys.nbytes + values.nbytes + out_vals.nbytes,
+        )
     return out_keys, out_vals
 
 

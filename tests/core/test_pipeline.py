@@ -199,3 +199,76 @@ class TestMultiDevicePipeline:
             SpectralClustering(
                 n_clusters=3, eig_devices=2, eig_spmv_format="hyb"
             )
+
+
+class TestComposedFit:
+    """fit_devices > 1: one partition, resident shards, same answer."""
+
+    def _fit(self, W, p, mode="nnz", **kw):
+        return SpectralClustering(
+            n_clusters=6, seed=0, fit_devices=p, partition_mode=mode, **kw
+        ).fit(graph=W)
+
+    def test_bit_identical_across_device_counts(self, sbm_graph):
+        W, _ = sbm_graph
+        ref = SpectralClustering(n_clusters=6, seed=0).fit(graph=W)
+        for p in (2, 4):
+            res = self._fit(W, p)
+            assert res.labels.tobytes() == ref.labels.tobytes()
+            assert res.eigenvalues.tobytes() == ref.eigenvalues.tobytes()
+            assert res.embedding.tobytes() == ref.embedding.tobytes()
+
+    @pytest.mark.parametrize("mode", ["rows", "nnz", "mincut"])
+    def test_bit_identical_across_partition_modes(self, sbm_graph, mode):
+        W, _ = sbm_graph
+        ref = SpectralClustering(n_clusters=6, seed=0).fit(graph=W)
+        res = self._fit(W, 2, mode=mode)
+        assert res.labels.tobytes() == ref.labels.tobytes()
+
+    def test_eig_stats_expose_composition(self, sbm_graph):
+        W, _ = sbm_graph
+        res = self._fit(W, 2, mode="mincut")
+        comp = res.eig_stats["composed"]
+        assert comp["n_devices"] == 2
+        assert comp["partition_mode"] == "mincut"
+        assert sum(comp["row_counts"]) == W.shape[0]
+        assert comp["step_halo_bytes"] > 0
+        assert comp["kmeans_makespan_s"] > 0
+        # resident shards: the k-means upload was elided, not charged
+        assert comp["kmeans_transfers"]["elided_bytes"] > 0
+        # the sharded eigensolve ran on the same plan
+        assert res.eig_stats["n_devices"] == 2
+        assert res.eig_stats["partition"] is not None
+
+    def test_resident_shards_skip_embedding_upload(self, sbm_graph):
+        """The phased path re-uploads the full embedding for k-means;
+        the composed path's shards are resident, so those bytes appear
+        as elided transfers and the stage's charged H2D stays small.
+        (The resulting end-to-end makespan win is a bench-scale claim,
+        gated in benchmarks/bench_topology_composition.py.)"""
+        W, _ = sbm_graph
+        res = self._fit(W, 2)
+        tr = res.eig_stats["composed"]["kmeans_transfers"]
+        embedding_bytes = res.embedding.nbytes
+        assert tr["elided_bytes"] >= embedding_bytes
+        assert tr["h2d_bytes"] < embedding_bytes
+
+    def test_validation(self):
+        with pytest.raises(ClusteringError):
+            SpectralClustering(n_clusters=3, fit_devices=0)
+        with pytest.raises(ClusteringError):
+            SpectralClustering(n_clusters=3, fit_devices=2, partition_mode="metis")
+        with pytest.raises(ClusteringError):
+            SpectralClustering(
+                n_clusters=3, fit_devices=2, eig_residency="host"
+            )
+        with pytest.raises(ClusteringError):
+            SpectralClustering(
+                n_clusters=3, fit_devices=2, precision="fp32"
+            )
+        with pytest.raises(ClusteringError):
+            SpectralClustering(
+                n_clusters=3, fit_devices=2, kmeans_update="atomic"
+            )
+        with pytest.raises(ClusteringError):
+            SpectralClustering(n_clusters=3, fit_devices=2, eig_devices=3)

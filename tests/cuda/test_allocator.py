@@ -210,7 +210,7 @@ class TestSplitAndCoalesce:
         assert out.hit and out.split
         assert a.n_splits == 1
         # the 1536 B remainder parks on its own bucket; no new segment
-        assert a._free_blocks.get(1536) == 1
+        assert a.parked_blocks(1536) == 1
         assert a.reserved_bytes == reserved
 
     def test_split_picks_smallest_sufficient_parent(self):
@@ -221,8 +221,8 @@ class TestSplitAndCoalesce:
         a.release(1024)
         a.allocate(512)
         # best fit carves the 1024 B block, not the 4096 B one
-        assert a._free_blocks.get(4096) == 1
-        assert a._free_blocks.get(512) == 1
+        assert a.parked_blocks(4096) == 1
+        assert a.parked_blocks(512) == 1
 
     def test_exact_hit_preferred_over_split(self):
         a = CachingAllocator(1 << 20)
@@ -232,7 +232,7 @@ class TestSplitAndCoalesce:
         out = a.allocate(512)
         assert out.hit and not out.split
         assert a.n_splits == 0
-        assert a._free_blocks.get(2048) == 1
+        assert a.parked_blocks(2048) == 1
 
     def test_parent_must_be_strictly_larger(self):
         a = CachingAllocator(1 << 20)
@@ -257,9 +257,9 @@ class TestSplitAndCoalesce:
         a.allocate(512)  # split: 512 out, 1536 parked
         a.release(512)  # child + remainder merge back into 2048
         assert a.n_coalesces == 1
-        assert a._free_blocks.get(2048) == 1
-        assert a._free_blocks.get(1536) is None
-        assert a._free_blocks.get(512) is None
+        assert a.parked_blocks(2048) == 1
+        assert a.parked_blocks(1536) == 0
+        assert a.parked_blocks(512) == 0
 
     def test_no_coalesce_when_remainder_consumed(self):
         a = CachingAllocator(1 << 20)
@@ -270,7 +270,7 @@ class TestSplitAndCoalesce:
         assert out.hit and not out.split
         a.release(512)  # nothing to merge with: parks as a plain block
         assert a.n_coalesces == 0
-        assert a._free_blocks.get(512) == 1
+        assert a.parked_blocks(512) == 1
 
     def test_reserved_bytes_invariant_through_split_cycle(self):
         a = CachingAllocator(1 << 20)
@@ -329,3 +329,212 @@ class TestSplitAndCoalesce:
         rep = prof.stop()
         assert rep.allocator["splits"] == 1
         assert rep.allocator["coalesces"] == 1
+
+
+class TestStreamAwareReuse:
+    """Per-stream free lists with event-based cross-stream reuse — the
+    PyTorch block-pool rule, driven directly at the allocator level."""
+
+    def test_same_stream_hit_is_immediate(self):
+        a = CachingAllocator(1 << 20)
+        a.allocate(1000, stream=3)
+        # freeing stream still has queued work (event completes at t=5)
+        a.release(1000, stream=3, ready=5.0)
+        out = a.allocate(1000, stream=3, now=0.0)
+        # FIFO on the freeing stream makes the reuse safe *now*
+        assert out.hit and out.same_stream and not out.event_gated
+        assert a.n_same_stream_hits == 1
+        assert a.n_event_gated_hits == 0
+
+    def test_cross_stream_reuse_blocked_before_event(self):
+        a = CachingAllocator(1 << 20)
+        a.allocate(1000, stream=1)
+        a.release(1000, stream=1, ready=2.0)
+        reserved = a.reserved_bytes
+        out = a.allocate(1000, stream=2, now=1.0)  # event not complete
+        assert not out.hit
+        assert a.n_blocked_reuses == 1
+        assert a.reserved_bytes == reserved + bucket_bytes(1000)
+
+    def test_cross_stream_reuse_after_event_completes(self):
+        a = CachingAllocator(1 << 20)
+        a.allocate(1000, stream=1)
+        a.release(1000, stream=1, ready=2.0)
+        out = a.allocate(1000, stream=2, now=2.0)
+        assert out.hit and out.event_gated and not out.same_stream
+        assert a.n_event_gated_hits == 1
+        assert a.n_blocked_reuses == 0
+
+    def test_same_stream_block_preferred_over_event_gated(self):
+        a = CachingAllocator(1 << 20)
+        a.allocate(1000, stream=1)
+        a.allocate(1000, stream=2)
+        a.release(1000, stream=1, ready=0.0)  # other stream, event done
+        a.release(1000, stream=2, ready=9.0)  # ours, event pending
+        out = a.allocate(1000, stream=2, now=0.0)
+        assert out.hit and out.same_stream  # no reason to cross streams
+
+    def test_split_respects_cross_stream_gating(self):
+        a = CachingAllocator(1 << 20)
+        a.allocate(2048, stream=1)
+        a.release(2048, stream=1, ready=7.0)
+        out = a.allocate(512, stream=2, now=0.0)  # parent not usable yet
+        assert not out.hit
+        assert a.n_splits == 0
+        out = a.allocate(512, stream=2, now=7.0)  # event done: split works
+        assert out.hit and out.split
+
+    def test_coalesced_block_gated_by_latest_event(self):
+        a = CachingAllocator(1 << 20)
+        a.allocate(2048, stream=1)
+        a.release(2048, stream=1, ready=4.0)
+        a.allocate(512, stream=1, now=4.0)  # split off the parked block
+        a.release(512, stream=2, ready=9.0)  # child freed on another stream
+        assert a.n_coalesces == 1
+        out = a.allocate(2048, stream=3, now=5.0)
+        assert not out.hit  # merged block waits for the *latest* half
+        a.release(2048, stream=3, ready=5.0)
+        out = a.allocate(2048, stream=3, now=9.0)
+        assert out.hit
+
+    def test_flush_reclaims_blocks_regardless_of_pending_events(self):
+        """cudaFree synchronizes the device, so a capacity flush takes
+        back even blocks whose free events are still pending — and the
+        reserved-bytes invariant holds through it."""
+        a = CachingAllocator(4 * MIN_BUCKET_BYTES)
+        for _ in range(4):
+            a.allocate(MIN_BUCKET_BYTES, stream=1)
+        for _ in range(4):
+            a.release(MIN_BUCKET_BYTES, stream=1, ready=100.0)
+        assert a.reserved_bytes == 4 * MIN_BUCKET_BYTES
+        out = a.allocate(4 * MIN_BUCKET_BYTES, stream=2, now=0.0)
+        assert not out.hit and out.flushed_segments == 4
+        assert a.reserved_bytes == 4 * MIN_BUCKET_BYTES
+        assert a.cached_bytes == 0
+        assert a.used_bytes == 4 * MIN_BUCKET_BYTES
+
+    def test_default_stream_path_unchanged(self):
+        """Single-stream (default-stream) traffic never hits the gate:
+        byte-for-byte the pre-stream-aware behavior."""
+        a = CachingAllocator(1 << 20)
+        a.allocate(1000)
+        a.release(1000)
+        out = a.allocate(900)
+        assert out.hit and out.same_stream
+        assert a.n_blocked_reuses == 0
+
+    def test_stats_expose_stream_counters(self):
+        a = CachingAllocator(1 << 20)
+        s = a.stats()
+        for key in ("same_stream_hits", "event_gated_hits", "blocked_reuses"):
+            assert s[key] == 0
+        a.allocate(1000, stream=1)
+        a.release(1000, stream=1, ready=3.0)
+        a.allocate(1000, stream=2, now=1.0)   # blocked -> miss
+        a.allocate(1000, stream=1, now=1.0)   # same-stream hit
+        s = a.stats()
+        assert s["same_stream_hits"] == 1
+        assert s["blocked_reuses"] == 1
+
+
+class TestScratchCounters:
+    """Thrust scratch rides the free lists but keeps its own counters."""
+
+    def test_scratch_not_counted_as_array_traffic(self):
+        a = CachingAllocator(1 << 20)
+        out = a.allocate_scratch(4096)
+        assert not out.hit
+        assert a.n_scratch_requests == 1
+        assert a.n_misses == 0 and a.alloc_count == 0
+        a.release_scratch(4096)
+        out = a.allocate_scratch(4096)
+        assert out.hit
+        assert a.n_scratch_hits == 1 and a.n_hits == 0
+        assert a.scratch_bytes_served == 2 * 4096
+
+    def test_scratch_shares_free_lists_with_arrays(self):
+        a = CachingAllocator(1 << 20)
+        a.allocate(4096)
+        a.release(4096)
+        out = a.allocate_scratch(4096)
+        assert out.hit  # a freed array block serves thrust scratch
+        a.release_scratch(4096)
+        out = a.allocate(4096)
+        assert out.hit  # and scratch blocks serve arrays again
+
+    def test_device_scratch_charges_malloc_only_on_miss(self):
+        dev = Device()
+        with dev.scratch(4096):
+            pass  # cold: one cudaMalloc charged
+        t0 = dev.elapsed
+        with dev.scratch(4096):
+            pass  # warm: free-list hit, no overhead event
+        assert dev.elapsed == t0
+        assert dev.allocator.n_scratch_hits == 1
+
+    def test_device_scratch_releases_on_error(self):
+        dev = Device()
+        used0 = dev.allocator.used_bytes
+        with pytest.raises(RuntimeError):
+            with dev.scratch(4096):
+                raise RuntimeError("kernel failed")
+        assert dev.allocator.used_bytes == used0
+
+    def test_noncaching_scratch_is_malloc_free_roundtrip(self):
+        dev = Device(caching=False)
+        before = dev.timeline.count("overhead")
+        with dev.scratch(4096):
+            pass
+        assert dev.timeline.count("overhead") == before + 2  # malloc + free
+
+
+class TestStreamScope:
+    """Device.stream_scope tags allocations with a stream's id and stamps
+    frees with the stream's horizon as the free-event time."""
+
+    def test_scope_blocks_cross_stream_reuse_until_horizon(self):
+        from repro.cuda.stream import Stream
+
+        dev = Device()
+        s1 = Stream(dev, name="copy1")
+        s2 = Stream(dev, name="copy2")
+        assert s1.stream_id != s2.stream_id != 0
+        s1.free_at = dev.elapsed + 1.0  # stream has in-flight work
+        with dev.stream_scope(s1):
+            buf = dev.empty(1000)
+            buf.free()  # free event completes at s1.free_at
+        with dev.stream_scope(s2):
+            dev.empty(1000)  # device clock < s1.free_at: must miss
+        assert dev.allocator.n_blocked_reuses == 1
+
+    def test_default_scope_reuse_is_same_stream(self, device):
+        buf = device.empty(1000)
+        buf.free()
+        device.empty(1000)
+        assert device.allocator.n_same_stream_hits == 1
+        assert device.allocator.n_blocked_reuses == 0
+
+
+class TestPinnedHostPool:
+    def test_pool_grows_to_high_water_then_reuses(self):
+        from repro.cuda.allocator import PinnedHostPool
+
+        pool = PinnedHostPool()
+        assert pool.stage(1000)       # first leg registers
+        assert not pool.stage(800)    # smaller leg reuses
+        assert pool.stage(2000)       # growth re-registers
+        assert not pool.stage(2000)
+        assert pool.pool_bytes == 2000
+        assert pool.n_registrations == 2
+        assert pool.n_stages == 4
+        assert pool.n_reuses == 2
+        assert pool.staged_bytes == 5800
+
+    def test_device_transfers_stage_through_pool(self, device):
+        host = np.zeros(100)
+        buf = device.to_device(host)
+        buf.copy_to_host()
+        stats = device.transfer_stats()
+        assert stats["pinned_stages"] == 2
+        assert stats["pinned_pool_bytes"] == host.nbytes
+        assert stats["pinned_staged_bytes"] == 2 * host.nbytes

@@ -71,8 +71,7 @@ class TestPartitionCSR:
                 shard.local_indices.data[: shard.nnz_local] < shard.n_rows
             ).all()
             # halo columns are genuinely off-block
-            outside = (shard.halo_cols < shard.lo) | (shard.halo_cols >= shard.hi)
-            assert outside.all()
+            assert not np.isin(shard.halo_cols, shard.rows).any()
         assert total == A.nnz
 
     def test_halo_src_counts_sum_to_halo_count(self, rng):
@@ -223,3 +222,125 @@ class TestSpmvPartitioned:
         elapsed = tl.clock.now - t0
         summed = sum(ev.duration for ev in tl.events[n0:])
         assert 0 < elapsed < summed
+
+
+class TestPartitionModes:
+    """nnz-balanced and min-cut partitioning: balance, coverage, halo wins,
+    and mode-independent bit-identity."""
+
+    def _skewed(self, rng, n=120):
+        """A graph whose first rows are far denser than the rest."""
+        from repro.sparse.construct import random_sparse
+
+        dense = random_sparse(n // 4, n, 0.4, rng=rng).to_coo()
+        sparse = random_sparse(3 * n // 4, n, 0.02, rng=rng).to_coo()
+        import numpy as np
+        from repro.sparse.coo import COOMatrix
+
+        rows = np.concatenate([dense.row, sparse.row + n // 4])
+        cols = np.concatenate([dense.col, sparse.col])
+        vals = np.concatenate([dense.data, sparse.data])
+        return COOMatrix(rows, cols, vals, shape=(n, n)).to_csr()
+
+    def test_nnz_bounds_balance_nnz_not_rows(self, rng):
+        host = self._skewed(rng)
+        from repro.cusparse.partition import partition_bounds_nnz
+
+        b = partition_bounds_nnz(host.indptr, 2)
+        nnz0 = host.indptr[b[1]] - host.indptr[b[0]]
+        nnz1 = host.indptr[b[2]] - host.indptr[b[1]]
+        total = host.indptr[-1]
+        assert abs(nnz0 - nnz1) < 0.2 * total
+        # the row split is NOT even — that's the point
+        assert (b[1] - b[0]) < (b[2] - b[1])
+
+    def test_nnz_is_default_mode(self, rng):
+        devices = make_devices(2)
+        host = self._skewed(rng)
+        A = csr_to_device(devices[0], host.to_coo().to_csr())
+        P = partition_csr(A, devices)
+        assert P.mode == "nnz"
+        nnzs = [s.nnz_local + s.nnz_halo for s in P.shards]
+        assert abs(nnzs[0] - nnzs[1]) < 0.2 * A.nnz
+
+    def test_rows_mode_behind_knob(self, rng):
+        devices = make_devices(2)
+        host = self._skewed(rng)
+        A = csr_to_device(devices[0], host)
+        P = partition_csr(A, devices, mode="rows")
+        assert P.mode == "rows"
+        assert P.shards[0].n_rows == P.shards[1].n_rows == 60
+
+    def test_unknown_mode_rejected(self, rng):
+        devices = make_devices(2)
+        from repro.sparse.construct import random_sparse
+
+        host = random_sparse(40, 40, 0.2, rng=rng).to_csr()
+        A = csr_to_device(devices[0], host)
+        with pytest.raises(SparseValueError):
+            partition_csr(A, devices, mode="metis")
+
+    def test_mincut_covers_all_rows_and_balances(self, rng):
+        from repro.cusparse.partition import partition_owner_mincut
+        from repro.sparse.construct import random_sparse
+
+        host = random_sparse(200, 200, 0.05, rng=rng, symmetric=True).to_csr()
+        owner = partition_owner_mincut(host.indptr, host.indices, 3)
+        assert owner.shape == (200,)
+        counts = np.bincount(owner, minlength=3)
+        assert (counts > 0).all()
+        nnz_per = np.bincount(owner, weights=np.diff(host.indptr), minlength=3)
+        assert nnz_per.max() < 1.5 * nnz_per.min() + host.indptr[-1] * 0.15
+
+    def test_mincut_reduces_halo_on_clustered_graph(self, rng):
+        """On a community graph with shuffled vertex ids, BFS-grow finds
+        the communities contiguous splits cannot see."""
+        from repro.datasets.sbm import stochastic_block_model
+        from repro.sparse.construct import from_edge_list
+
+        edges, _ = stochastic_block_model(
+            [60, 60, 60, 60], p_in=0.25, p_out=0.01,
+            rng=np.random.default_rng(7),
+        )
+        perm = np.random.default_rng(3).permutation(240)
+        shuffled = from_edge_list(perm[edges], n_nodes=240).to_csr()
+
+        halo = {}
+        for mode in ("rows", "mincut"):
+            devices = make_devices(2)
+            A = csr_to_device(devices[0], shuffled)
+            P = partition_csr(A, devices, mode=mode)
+            halo[mode] = P.step_halo_bytes()
+        assert halo["mincut"] <= 0.8 * halo["rows"]
+
+    @pytest.mark.parametrize("mode", ["rows", "nnz", "mincut"])
+    def test_bit_identical_across_modes(self, rng, mode):
+        host = self._skewed(rng)
+        x = rng.standard_normal(120)
+        ref_dev = Device()
+        dA = csr_to_device(ref_dev, host)
+        dx = ref_dev.to_device(x)
+        dy = ref_dev.empty(120, dtype=np.float64)
+        csrmv(dA, dx, dy)
+        ref = dy.data.copy()
+
+        devices = make_devices(3)
+        A = csr_to_device(devices[0], host)
+        P = partition_csr(A, devices, mode=mode)
+        y = spmv_partitioned(P, x)
+        assert y.tobytes() == ref.tobytes()
+
+    def test_explicit_row_sets_reused(self, rng):
+        from repro.sparse.construct import random_sparse
+
+        host = random_sparse(60, 60, 0.1, rng=rng).to_csr()
+        devices = make_devices(2)
+        A = csr_to_device(devices[0], host)
+        sets = [np.arange(0, 20, dtype=np.int64), np.arange(20, 60, dtype=np.int64)]
+        P = partition_csr(A, devices, row_sets=sets)
+        assert P.row_counts == (20, 40)
+        bad = [np.arange(0, 20, dtype=np.int64), np.arange(25, 60, dtype=np.int64)]
+        devices2 = make_devices(2)
+        A2 = csr_to_device(devices2[0], host)
+        with pytest.raises(SparseValueError):
+            partition_csr(A2, devices2, row_sets=bad)

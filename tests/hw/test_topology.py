@@ -1,0 +1,89 @@
+"""NUMA/PCIe topology: per-pair link laws and topology-aware pricing."""
+
+import pytest
+
+from repro.hw.costmodel import TransferCostModel
+from repro.hw.spec import PCIE_X16_GEN2
+from repro.hw.topology import (
+    BRIDGE_EFFICIENCY_FACTOR,
+    BRIDGE_LATENCY_FACTOR,
+    PCIeTopology,
+    paper_topology,
+)
+
+KB = 1024
+
+
+class TestPaperTopology:
+    def test_two_devices_share_a_switch(self):
+        topo = paper_topology(2)
+        assert topo.n_devices == 2
+        assert topo.is_direct(0, 1)
+        assert topo.pair_table() == {(0, 1): "direct", (1, 0): "direct"}
+
+    def test_four_devices_split_across_bridges(self):
+        topo = paper_topology(4)
+        assert topo.switch_of == (0, 0, 1, 1)
+        assert topo.is_direct(0, 1) and topo.is_direct(2, 3)
+        assert not topo.is_direct(1, 2)
+        table = topo.pair_table()
+        assert table[(0, 3)] == "bridged"
+        assert sum(v == "bridged" for v in table.values()) == 8
+
+    def test_two_device_pricing_matches_single_link(self):
+        """At 2 devices all pairs are direct — flat (pre-topology) law."""
+        topo = paper_topology(2)
+        assert topo.p2p_time(64 * KB, 0, 1) == PCIE_X16_GEN2.transfer_time(
+            64 * KB
+        )
+
+    def test_bridged_pair_is_strictly_slower(self):
+        topo = paper_topology(4)
+        direct = topo.p2p_time(1 * KB, 0, 1)
+        bridged = topo.p2p_time(1 * KB, 0, 2)
+        assert bridged > direct
+        # both components degrade: latency floor and asymptotic bandwidth
+        assert topo.bridged.latency_s == pytest.approx(
+            topo.direct.latency_s * BRIDGE_LATENCY_FACTOR
+        )
+        assert topo.bridged.efficiency == pytest.approx(
+            topo.direct.efficiency * BRIDGE_EFFICIENCY_FACTOR
+        )
+
+    def test_out_of_range_index_rejected(self):
+        topo = paper_topology(2)
+        with pytest.raises(ValueError):
+            topo.is_direct(0, 2)
+
+    def test_degenerate_counts_rejected(self):
+        with pytest.raises(ValueError):
+            paper_topology(0)
+        with pytest.raises(ValueError):
+            paper_topology(2, devices_per_switch=0)
+        with pytest.raises(ValueError):
+            PCIeTopology("empty", (), PCIE_X16_GEN2, PCIE_X16_GEN2)
+
+
+class TestTransferCostModelTopology:
+    def test_pair_aware_p2p_pricing(self):
+        topo = paper_topology(4)
+        cost = TransferCostModel(PCIE_X16_GEN2, topo)
+        assert cost.p2p_time(4 * KB, src=0, dst=1) == topo.p2p_time(
+            4 * KB, 0, 1
+        )
+        assert cost.p2p_time(4 * KB, src=0, dst=2) == topo.p2p_time(
+            4 * KB, 0, 2
+        )
+        assert cost.p2p_time(4 * KB, src=0, dst=2) > cost.p2p_time(
+            4 * KB, src=0, dst=1
+        )
+
+    def test_unknown_pair_falls_back_to_flat_law(self):
+        cost = TransferCostModel(PCIE_X16_GEN2, paper_topology(4))
+        assert cost.p2p_time(4 * KB) == PCIE_X16_GEN2.transfer_time(4 * KB)
+
+    def test_no_topology_is_pre_topology_behavior(self):
+        cost = TransferCostModel(PCIE_X16_GEN2)
+        assert cost.p2p_time(4 * KB, src=0, dst=3) == PCIE_X16_GEN2.transfer_time(
+            4 * KB
+        )

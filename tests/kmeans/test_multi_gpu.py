@@ -154,3 +154,158 @@ class TestValidation:
         kmeans_multi_device(devs, V, k, seed=0)
         for d in devs:
             assert d.allocator.used_bytes == 0
+
+
+def composed_group(p):
+    """p topology-aware devices on one shared timeline."""
+    from repro.hw.costmodel import TransferCostModel
+    from repro.hw.topology import paper_topology
+
+    topo = paper_topology(p)
+    primary = Device(device_index=0, topology=topo)
+    primary.transfer_cost = TransferCostModel(primary.pcie, topo)
+    return [primary] + [
+        Device(primary.spec, primary.pcie, timeline=primary.timeline,
+               device_index=d, topology=topo)
+        for d in range(1, p)
+    ]
+
+
+def contiguous_row_sets(n, p):
+    from repro.cusparse.partition import partition_bounds
+
+    b = partition_bounds(n, p)
+    return [np.arange(b[j], b[j + 1], dtype=np.int64) for j in range(p)]
+
+
+class TestComposed:
+    """kmeans_composed: the one-plan fit's resident-shard k-means."""
+
+    @pytest.mark.parametrize("n_dev", [1, 2, 4])
+    def test_bitwise_matches_single_device(self, big_blobs, n_dev):
+        from repro.kmeans.multi_gpu import kmeans_composed
+
+        V, _, k = big_blobs
+        C0 = kmeans_plus_plus(V, k, np.random.default_rng(3))
+        single = kmeans_device(Device(), V, k, initial_centroids=C0)
+        res, _, _ = kmeans_composed(
+            composed_group(n_dev), contiguous_row_sets(len(V), n_dev),
+            V, k, initial_centroids=C0,
+        )
+        assert res.labels.tobytes() == single.labels.tobytes()
+        assert res.centroids.tobytes() == single.centroids.tobytes()
+        assert np.array_equal(res.inertia_history, single.inertia_history)
+        assert res.n_iter == single.n_iter
+
+    @pytest.mark.parametrize("seed", [0, 5])
+    def test_plus_plus_seeding_matches_device_rng(self, big_blobs, seed):
+        """Composed k-means++ consumes the RNG exactly like the
+        single-device device-side seeding path."""
+        from repro.kmeans.multi_gpu import kmeans_composed
+
+        V, _, k = big_blobs
+        single = kmeans_device(Device(), V, k, seed=seed)
+        res, _, _ = kmeans_composed(
+            composed_group(2), contiguous_row_sets(len(V), 2),
+            V, k, seed=seed,
+        )
+        assert res.labels.tobytes() == single.labels.tobytes()
+        assert res.centroids.tobytes() == single.centroids.tobytes()
+
+    def test_noncontiguous_row_sets_bit_identical(self, big_blobs):
+        """A mincut-style interleaved ownership changes nothing but time."""
+        from repro.kmeans.multi_gpu import kmeans_composed
+
+        V, _, k = big_blobs
+        n = len(V)
+        C0 = kmeans_plus_plus(V, k, np.random.default_rng(3))
+        single = kmeans_device(Device(), V, k, initial_centroids=C0)
+        rows = np.random.default_rng(11).permutation(n)
+        sets = [np.sort(rows[: n // 2]), np.sort(rows[n // 2:])]
+        res, _, _ = kmeans_composed(
+            composed_group(2), sets, V, k, initial_centroids=C0
+        )
+        assert res.labels.tobytes() == single.labels.tobytes()
+
+    def test_transfer_plan_matches_meters(self, big_blobs):
+        from repro.kmeans.multi_gpu import kmeans_composed
+
+        V, _, k = big_blobs
+        devs = composed_group(3)
+        _, _, plan = kmeans_composed(
+            devs, contiguous_row_sets(len(V), 3), V, k, seed=0
+        )
+        assert plan["h2d_bytes"] == sum(d.bytes_h2d for d in devs)
+        assert plan["d2h_bytes"] == sum(d.bytes_d2h for d in devs)
+        assert plan["p2p_bytes"] == sum(d.bytes_p2p for d in devs)
+        assert plan["elided_bytes"] == sum(d.bytes_elided for d in devs)
+        assert plan["elided_count"] == sum(
+            d.transfers_elided for d in devs
+        )
+
+    def test_resident_elides_shard_uploads(self, big_blobs):
+        """resident=True converts every per-shard embedding upload into
+        an elided transfer of the same size."""
+        from repro.kmeans.multi_gpu import kmeans_composed
+
+        V, _, k = big_blobs
+        C0 = kmeans_plus_plus(V, k, np.random.default_rng(3))
+        sets = contiguous_row_sets(len(V), 2)
+        _, _, cold = kmeans_composed(
+            composed_group(2), sets, V, k, initial_centroids=C0
+        )
+        devs = composed_group(2)
+        res, _, warm = kmeans_composed(
+            devs, sets, V, k, initial_centroids=C0, resident=True
+        )
+        shard_bytes = V.nbytes
+        assert cold["h2d_bytes"] - warm["h2d_bytes"] == shard_bytes
+        assert warm["elided_bytes"] - cold["elided_bytes"] == shard_bytes
+        assert warm["elided_count"] - cold["elided_count"] == 2
+        assert sum(d.bytes_elided for d in devs) == warm["elided_bytes"]
+
+    def test_resident_faster_than_cold(self, big_blobs):
+        from repro.kmeans.multi_gpu import kmeans_composed
+
+        V, _, k = big_blobs
+        C0 = kmeans_plus_plus(V, k, np.random.default_rng(3))
+        sets = contiguous_row_sets(len(V), 2)
+        _, cold, _ = kmeans_composed(
+            composed_group(2), sets, V, k, initial_centroids=C0
+        )
+        _, warm, _ = kmeans_composed(
+            composed_group(2), sets, V, k, initial_centroids=C0,
+            resident=True,
+        )
+        assert warm.parallel_seconds < cold.parallel_seconds
+
+    def test_row_sets_must_cover(self, big_blobs):
+        from repro.kmeans.multi_gpu import kmeans_composed
+
+        V, _, k = big_blobs
+        devs = composed_group(2)
+        sets = contiguous_row_sets(len(V), 2)
+        with pytest.raises(ClusteringError):
+            kmeans_composed(devs, sets[:1], V, k)
+        with pytest.raises(ClusteringError):
+            kmeans_composed(
+                devs, [sets[0], sets[1][:-3]], V, k
+            )
+
+    def test_devices_must_share_timeline(self, big_blobs):
+        from repro.kmeans.multi_gpu import kmeans_composed
+
+        V, _, k = big_blobs
+        with pytest.raises(ClusteringError):
+            kmeans_composed(
+                [Device(), Device()], contiguous_row_sets(len(V), 2), V, k
+            )
+
+    def test_memory_freed(self, big_blobs):
+        from repro.kmeans.multi_gpu import kmeans_composed
+
+        V, _, k = big_blobs
+        devs = composed_group(2)
+        kmeans_composed(devs, contiguous_row_sets(len(V), 2), V, k, seed=0)
+        for d in devs:
+            assert d.allocator.used_bytes == 0

@@ -311,6 +311,33 @@ class TestMultiDeviceServing:
         a, b = responses
         assert a.labels.tobytes() == b.labels.tobytes()
 
+    def test_composed_request_bit_identical(self, make_request):
+        """fit_devices requests run the composed plan through the staged
+        estimator and reproduce the single-device answer bit for bit."""
+        ref, _ = _service().process([make_request()])
+        comp, _ = _service(n_devices=2).process(
+            [make_request(fit_devices=2, partition_mode="mincut")]
+        )
+        assert comp[0].labels.tobytes() == ref[0].labels.tobytes()
+        assert np.array_equal(comp[0].eigenvalues, ref[0].eigenvalues)
+
+    def test_composed_does_not_split_cache(self, make_request):
+        """fit_devices/partition_mode are not part of the embedding key —
+        a composed fit serves a cached single-device embedding too."""
+        svc = _service(n_devices=2)
+        responses, _ = svc.process(
+            [
+                make_request(),
+                make_request(fit_devices=2, partition_mode="mincut"),
+            ]
+        )
+        solve_names = {
+            ev.name for ev in svc.scheduler.schedule if "eigensolve" in ev.name
+        }
+        assert len(solve_names) == 1
+        a, b = responses
+        assert a.labels.tobytes() == b.labels.tobytes()
+
 
 class TestCompressiveServing:
     """The compressive tier rides the service like any embedding: cache

@@ -231,3 +231,45 @@ class TestProperties:
     def test_host_array_rejected(self, device):
         with pytest.raises(DeviceArrayError):
             thrust.reduce(np.zeros(3))  # type: ignore[arg-type]
+
+
+class TestScratchRouting:
+    """Thrust temp storage rides the caching allocator (ThrustAllocator
+    pattern): sort double buffers and CUB scan state show up as scratch
+    traffic in allocator stats, not raw modeled cudaMalloc per call."""
+
+    def test_sort_scratch_hits_after_warmup(self, device):
+        import numpy as np
+        from repro import thrust
+
+        a = device.to_device(np.random.default_rng(0).random(1024))
+        thrust.sort(a)  # cold: scratch miss reserves the double buffer
+        stats0 = device.alloc_stats()
+        assert stats0["scratch_requests"] == 1
+        thrust.sort(a)  # warm: the parked buffer serves it
+        stats1 = device.alloc_stats()
+        assert stats1["scratch_requests"] == 2
+        assert stats1["scratch_hits"] == stats0["scratch_hits"] + 1
+
+    def test_scan_scratch_counted_separately_from_arrays(self, device):
+        import numpy as np
+        from repro import thrust
+
+        a = device.to_device(np.arange(4096, dtype=np.int64))
+        hits0 = device.alloc_stats()["hits"] + device.alloc_stats()["misses"]
+        thrust.inclusive_scan(a, out=device.empty(a.shape, dtype=a.dtype))
+        stats = device.alloc_stats()
+        # one array alloc (the out buffer we made), scratch kept apart
+        assert stats["hits"] + stats["misses"] == hits0 + 1
+        assert stats["scratch_requests"] == 1
+
+    def test_sort_by_key_scratch_covers_both_buffers(self, device):
+        import numpy as np
+        from repro import thrust
+
+        keys = device.to_device(np.array([3, 1, 2], dtype=np.int64))
+        vals = device.to_device(np.arange(6, dtype=np.float64).reshape(3, 2))
+        thrust.sort_by_key(keys, vals)
+        stats = device.alloc_stats()
+        assert stats["scratch_bytes"] >= keys.nbytes + vals.nbytes
+        assert device.allocator.used_bytes == keys.nbytes + vals.nbytes
