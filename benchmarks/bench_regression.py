@@ -59,6 +59,7 @@ def test_emit_machine_readable_summary(comparison):
     from bench_compressive_ablation import compressive_ablation_summary
     from bench_multigpu_eig import multigpu_eig_summary
     from bench_precision_ablation import precision_ablation_summary
+    from bench_serve_predict import serve_predict_summary
     from bench_serve_throughput import serve_summary
     from bench_topology_composition import topology_composition_summary
 
@@ -82,6 +83,7 @@ def test_emit_machine_readable_summary(comparison):
             "ari_cuda": r.quality.get("cuda"),
         }
     payload["serve"] = serve_summary()
+    payload["serve_predict"] = serve_predict_summary()
     payload["kmeans_ablation"] = kmeans_ablation_summary()
     payload["multigpu_eig"] = multigpu_eig_summary()
     payload["precision_ablation"] = precision_ablation_summary()
@@ -92,6 +94,12 @@ def test_emit_machine_readable_summary(comparison):
     written = json.loads(out.read_text())
     assert written["datasets"].keys() == BENCH_SCALES.keys()
     assert written["serve"]["speedup"] >= 2.0
+    sp = written["serve_predict"]
+    assert sp["throughput_win"] >= sp["min_throughput_win"]
+    assert sp["warm_cold_ratio"] >= sp["min_warm_cold_ratio"]
+    assert sp["ledger_mismatches"] == 0
+    for wl in sp["refit_parity"].values():
+        assert wl["labels_bit_identical"] is True
     assert written["kmeans_ablation"]["bit_identical"] is True
     assert written["kmeans_ablation"]["speedup_default_vs_baseline"] > 1.0
     assert written["multigpu_eig"]["bit_identical"] is True

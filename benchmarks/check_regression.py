@@ -49,11 +49,69 @@ def compare(baseline: dict, current: dict, rel_tol: float) -> list[str]:
                 f"{name}.ari_cuda: {old_ari!r} -> {new_ari!r} "
                 "(quality must be bit-identical)"
             )
+    failures.extend(_compare_serve_predict(baseline, current, rel_tol))
     failures.extend(_compare_kmeans_ablation(baseline, current, rel_tol))
     failures.extend(_compare_multigpu_eig(baseline, current, rel_tol))
     failures.extend(_compare_precision_ablation(baseline, current, rel_tol))
     failures.extend(_compare_compressive_ablation(baseline, current, rel_tol))
     failures.extend(_compare_topology_composition(baseline, current, rel_tol))
+    return failures
+
+
+def _compare_serve_predict(
+    baseline: dict, current: dict, rel_tol: float
+) -> list[str]:
+    """Gate the predict fast path: the predict-heavy mix keeps its >=3x
+    throughput win over the all-cold-fit baseline, warm predicts stay
+    >=100x below cold fits at the median, every audited transfer ledger
+    equals the device meter, delta refits stay bit-identical to cold
+    fits on every bench dataset, and the warm predict p50 itself never
+    creeps past the tolerance."""
+    failures: list[str] = []
+    base = baseline.get("serve_predict")
+    cur = current.get("serve_predict")
+    if base is None:
+        return failures
+    if cur is None:
+        return ["serve_predict: section missing from current run"]
+    win = cur.get("throughput_win")
+    bar = cur.get("min_throughput_win", 3.0)
+    if win is not None and win < bar:
+        failures.append(
+            f"serve_predict.throughput_win: {win:.3g}x fell below the "
+            f">={bar}x win over the all-cold baseline"
+        )
+    ratio = cur.get("warm_cold_ratio")
+    rbar = cur.get("min_warm_cold_ratio", 100.0)
+    if ratio is not None and ratio < rbar:
+        failures.append(
+            f"serve_predict.warm_cold_ratio: warm predict p50 only "
+            f"{ratio:.3g}x below cold-fit p50 (>= {rbar}x required)"
+        )
+    if cur.get("ledger_mismatches", 0) != 0:
+        failures.append(
+            f"serve_predict.ledger_mismatches: "
+            f"{cur['ledger_mismatches']} predict transfer ledger(s) "
+            "diverged from the device meter"
+        )
+    for name in sorted(base.get("refit_parity", {})):
+        wl = cur.get("refit_parity", {}).get(name)
+        if wl is None:
+            failures.append(f"serve_predict.refit_parity.{name}: missing")
+            continue
+        if wl.get("labels_bit_identical") is not True:
+            failures.append(
+                f"serve_predict.refit_parity.{name}: delta refit labels "
+                "diverged from a cold fit on the patched graph"
+            )
+    old_p50 = base.get("warm_predict_p50_s")
+    new_p50 = cur.get("warm_predict_p50_s")
+    if old_p50 and new_p50 and new_p50 > old_p50 * (1.0 + rel_tol):
+        failures.append(
+            f"serve_predict.warm_predict_p50_s: {old_p50:.6g} -> "
+            f"{new_p50:.6g} (+{(new_p50 / old_p50 - 1.0) * 100:.1f}%, "
+            f"tolerance {rel_tol * 100:.0f}%)"
+        )
     return failures
 
 
@@ -407,6 +465,14 @@ def main(argv: list[str] | None = None) -> int:
         print(
             f"{name:8s} comm {row['communication_s']:.6g} s  "
             f"total {row['total_simulated_s']:.6g} s  ok"
+        )
+    sp = current.get("serve_predict")
+    if sp:
+        print(
+            f"serve predict mix {sp['predict_fraction']:.0%} "
+            f"win {sp['throughput_win']:.2f}x  "
+            f"warm/cold {sp['warm_cold_ratio']:.0f}x  "
+            f"ledgers {'ok' if sp['ledger_mismatches'] == 0 else 'FAIL'}  ok"
         )
     ablation = current.get("kmeans_ablation")
     if ablation:

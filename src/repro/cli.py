@@ -130,8 +130,10 @@ def _cmd_serve(args) -> int:
     from repro.errors import ServiceError
     from repro.serve import (
         ClusterService,
+        PredictResponse,
         ServiceConfig,
         read_trace,
+        synthetic_predict_trace,
         synthetic_trace,
         verify_against_cold,
         write_trace,
@@ -140,8 +142,20 @@ def _cmd_serve(args) -> int:
     if bool(args.trace) == bool(args.synthetic):
         raise ServiceError("provide exactly one of --trace FILE or "
                            "--synthetic N")
+    if args.workload_mix is not None and not 0.0 <= args.workload_mix <= 1.0:
+        raise ServiceError(
+            f"--workload-mix must be in [0, 1], got {args.workload_mix}"
+        )
     if args.trace:
         requests = read_trace(args.trace)
+    elif args.workload_mix is not None:
+        requests = synthetic_predict_trace(
+            n_requests=args.synthetic,
+            predict_fraction=args.workload_mix,
+            mean_interarrival=args.mean_interarrival,
+            chaos_every=args.chaos_every,
+            seed=args.seed,
+        )
     else:
         requests = synthetic_trace(
             n_requests=args.synthetic,
@@ -176,6 +190,19 @@ def _cmd_serve(args) -> int:
     if args.json:
         payload = report.as_dict()
         payload["responses"] = [
+            {
+                "request_id": r.request_id,
+                "status": r.status,
+                "kind": "predict",
+                "model_hit": r.model_hit,
+                "cold_fit": r.cold_fit,
+                "ledger_ok": r.ledger_ok,
+                "deadline_met": r.deadline_met,
+                "latency_s": r.latency,
+                "service_s": r.service_time,
+                "error": r.error,
+            }
+            if isinstance(r, PredictResponse) else
             {
                 "request_id": r.request_id,
                 "status": r.status,
@@ -300,6 +327,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="JSONL request trace to replay")
     srv_p.add_argument("--synthetic", type=int, default=0, metavar="N",
                        help="generate a synthetic N-request trace instead")
+    srv_p.add_argument("--workload-mix", type=float, default=None,
+                       metavar="FRAC",
+                       help="with --synthetic: generate a predict-heavy "
+                       "trace where FRAC of the requests are out-of-sample "
+                       "predicts served from cached fitted models (e.g. "
+                       "0.9 = 90%% predicts, 10%% fits)")
     srv_p.add_argument("--emit-trace", metavar="PATH",
                        help="also write the replayed trace to PATH (JSONL)")
     srv_p.add_argument("--mean-interarrival", type=float, default=0.002,

@@ -8,6 +8,11 @@ accounting; :mod:`repro.core.result` defines the result records.
 """
 
 from repro.core.embedding import spectral_embedding
+from repro.core.model import (
+    ApplyDeltaResult,
+    FittedSpectralModel,
+    PredictResult,
+)
 from repro.core.pipeline import SpectralClustering
 from repro.core.result import ClusteringResult, EmbeddingResult, StageTimings
 from repro.core.workflow import hybrid_eigensolver, EigStats
@@ -15,6 +20,9 @@ from repro.core.workflow import hybrid_eigensolver, EigStats
 __all__ = [
     "SpectralClustering",
     "spectral_embedding",
+    "ApplyDeltaResult",
+    "FittedSpectralModel",
+    "PredictResult",
     "ClusteringResult",
     "EmbeddingResult",
     "StageTimings",

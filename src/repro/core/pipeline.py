@@ -66,6 +66,7 @@ from repro.compressive.sampling import (
     gather_rows,
     sample_vertices,
 )
+from repro.core.model import FittedSpectralModel
 from repro.core.result import ClusteringResult, EmbeddingResult, StageTimings
 from repro.core.workflow import EMBEDDING_MODES, hybrid_eigensolver
 from repro.cuda.device import Device
@@ -546,6 +547,8 @@ class SpectralClustering:
         self.device = device
         self.chaos = chaos
         self.resilience = resilience
+        # stage-capture scratch for the fitted model (fit-scoped)
+        self._capture: dict | None = None
 
     # ------------------------------------------------------------------
     def _fault_plan(self) -> FaultPlan | None:
@@ -559,6 +562,38 @@ class SpectralClustering:
         if self.resilience is None:
             return ResiliencePolicy()
         return self.resilience
+
+    def _model_params(self) -> dict:
+        """Constructor kwargs that re-create this estimator bit for bit
+        (runtime objects — device, chaos plan, policy — excluded)."""
+        return {
+            "n_clusters": self.n_clusters,
+            "similarity": self.similarity,
+            "sigma": self.sigma,
+            "operator": self.operator,
+            "objective": self.objective,
+            "m": self.m,
+            "eig_tol": self.eig_tol,
+            "eig_maxiter": self.eig_maxiter,
+            "eig_residency": self.eig_residency,
+            "eig_spmv_format": self.eig_spmv_format,
+            "eig_devices": self.eig_devices,
+            "fit_devices": self.fit_devices,
+            "partition_mode": self.partition_mode,
+            "precision": self.precision,
+            "embedding": self.embedding,
+            "filter_order": self.filter_order,
+            "n_signals": self.n_signals,
+            "sample_frac": self.sample_frac,
+            "lift": self.lift,
+            "kmeans_init": self.kmeans_init,
+            "kmeans_max_iter": self.kmeans_max_iter,
+            "kmeans_update": self.kmeans_update,
+            "kmeans_fused": self.kmeans_fused,
+            "normalize_rows": self.normalize_rows,
+            "handle_isolated": self.handle_isolated,
+            "seed": self.seed,
+        }
 
     def _check_inputs(self, X, edges, graph) -> None:
         point_input = X is not None
@@ -681,6 +716,14 @@ class SpectralClustering:
             else None
         )
         composed_summary = None
+        # stage-level capture of the artifacts the fitted model reuses
+        # (similarity graph, pre-normalization basis, degrees); only the
+        # parameterizations with a Nyström extension capture anything
+        self._capture = (
+            {}
+            if self.objective == "ncut" and self.embedding != "compressive"
+            else None
+        )
         try:
             theta, embedding, kept, n_total, stats = self._embed_stages(
                 device, policy, X, edges, graph, timings, resilience,
@@ -692,12 +735,31 @@ class SpectralClustering:
             )
             if composed is not None and composed.active:
                 composed_summary = composed.summary()
+
+            labels_full = np.full(n_total, -1, dtype=np.int64)
+            labels_full[kept] = km.labels
+            model = None
+            cap = self._capture
+            if cap is not None and "graph" in cap and "basis" in cap:
+                model = FittedSpectralModel(
+                    basis=cap["basis"],
+                    eigenvalues=theta,
+                    degrees=cap["degrees"],
+                    centroids=km.centroids,
+                    labels=labels_full,
+                    embedding=embedding,
+                    kept=kept,
+                    n_total=n_total,
+                    graph=cap["graph"],
+                    anchors=cap.get("anchors"),
+                    params=self._model_params(),
+                    resilience=dict(resilience),
+                )
         finally:
+            self._capture = None
             if composed is not None:
                 composed.close()
 
-        labels_full = np.full(n_total, -1, dtype=np.int64)
-        labels_full[kept] = km.labels
         report = prof.stop()
         eig_stats = stats.as_dict()
         if composed_summary is not None:
@@ -713,6 +775,7 @@ class SpectralClustering:
             kept=kept,
             resilience=resilience,
             fault_events=plan.schedule if plan is not None else (),
+            model=model,
         )
 
     # ------------------------------------------------------------------
@@ -817,6 +880,18 @@ class SpectralClustering:
                         ),
                         "similarity", rec,
                     )
+            cap = getattr(self, "_capture", None)
+            if cap is not None:
+                # the fitted model keeps a host mirror of the resident
+                # graph plus the anchor feature rows for predict
+                if kept.size < n_total:
+                    cap["graph"] = W_sub
+                else:
+                    cap["graph"] = COOMatrix(
+                        dcoo.row.data.copy(), dcoo.col.data.copy(),
+                        dcoo.val.data.copy(), dcoo.shape, check=False,
+                    ).to_csr()
+                cap["anchors"] = np.asarray(X_arr[kept], dtype=np.float64)
             _note(resilience, "similarity", rec)
         else:
             assert graph is not None
@@ -834,6 +909,10 @@ class SpectralClustering:
                     lambda: coo_to_device(device, W_sub.to_coo().sorted_by_row()),
                     "similarity", rec,
                 )
+            cap = getattr(self, "_capture", None)
+            if cap is not None:
+                cap["graph"] = W_sub
+                cap["anchors"] = None
             _note(resilience, "similarity", rec)
         timings.wall["similarity"] = time.perf_counter() - t0
         timings.simulated["similarity"] = device.elapsed - sim_start
@@ -997,6 +1076,12 @@ class SpectralClustering:
                 # map eigenvectors of D^{-1/2}WD^{-1/2} to those of D^{-1}W
                 inv_sqrt = 1.0 / np.sqrt(np.where(deg_kept > 0, deg_kept, 1.0))
                 U = U * inv_sqrt[:, None]
+        cap = getattr(self, "_capture", None)
+        if cap is not None:
+            # the Nyström extension needs the basis before optional row
+            # normalization, plus the degree scaling it was built under
+            cap["basis"] = U
+            cap["degrees"] = deg_kept
         embedding = normalize_rows(U) if self.normalize_rows else U
         if composed is not None and composed.active:
             # the back-mapping reorder/scale applies shard-locally (one

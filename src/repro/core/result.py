@@ -129,6 +129,12 @@ class ClusteringResult:
     fault_events:
         The :class:`~repro.chaos.plan.FaultEvent` records fired by an
         installed chaos plan during this run, in firing order.
+    model:
+        The reusable :class:`~repro.core.model.FittedSpectralModel` for
+        out-of-sample ``predict`` and incremental ``apply_delta``
+        (untyped here to keep this module import-light).  ``None`` for
+        parameterizations without a Nyström extension (ratiocut
+        objective, compressive embedding tier).
     """
 
     labels: np.ndarray
@@ -141,6 +147,7 @@ class ClusteringResult:
     kept: np.ndarray
     resilience: dict = field(default_factory=dict)
     fault_events: tuple = ()
+    model: object | None = None
 
     @property
     def degraded_stages(self) -> tuple[str, ...]:

@@ -19,6 +19,7 @@ from repro.datasets.registry import (
     Dataset,
     DATASETS,
     PAPER_STATS,
+    clear_dataset_cache,
     load_dataset,
 )
 from repro.datasets.io import (
@@ -41,5 +42,6 @@ __all__ = [
     "Dataset",
     "DATASETS",
     "PAPER_STATS",
+    "clear_dataset_cache",
     "load_dataset",
 ]

@@ -39,8 +39,10 @@ from repro.graph.laplacian import (
     sym_normalized_adjacency,
 )
 from repro.graph.components import connected_components, remove_isolated
+from repro.graph.delta import apply_edge_delta
 
 __all__ = [
+    "apply_edge_delta",
     "cosine_similarity",
     "cross_correlation",
     "exp_decay",

@@ -1,0 +1,129 @@
+"""Incremental edge deltas on a fitted similarity graph.
+
+:func:`apply_edge_delta` turns an (edges_added, edges_removed) pair into
+a new host CSR plus the symmetrized COO delta triple and the old/new
+degree vectors — everything :meth:`FittedSpectralModel.apply_delta`
+needs to price the device patch and evaluate the Weyl drift bound
+without ever re-running graph construction.
+
+The delta semantics mirror ``from_edge_list(symmetrize=True)``: each
+undirected edge (i, j) contributes both (i, j) and (j, i); adding an
+edge that already exists accumulates its weight; removing an edge
+cancels the *entire current* weight of that entry (removals of absent
+edges are an error — they indicate a stale caller view of the graph).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphConstructionError
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csr import CSRMatrix
+
+
+def _as_edge_array(edges, n: int, what: str) -> np.ndarray:
+    e = np.asarray(edges, dtype=np.int64)
+    if e.size == 0:
+        return e.reshape(0, 2)
+    if e.ndim != 2 or e.shape[1] != 2:
+        raise GraphConstructionError(
+            f"{what} must be an (m, 2) array of vertex pairs, got shape {e.shape}"
+        )
+    if e.min() < 0 or e.max() >= n:
+        raise GraphConstructionError(
+            f"{what} references vertex outside [0, {n}): "
+            f"found [{e.min()}, {e.max()}]"
+        )
+    if np.any(e[:, 0] == e[:, 1]):
+        raise GraphConstructionError(f"{what} contains self-loops")
+    return e
+
+
+def _current_weights(W: CSRMatrix, edges: np.ndarray) -> np.ndarray:
+    """Weight of each (i, j) entry in ``W`` (rows must be column-sorted,
+    which every ``to_csr()`` product in this repo guarantees)."""
+    out = np.zeros(edges.shape[0])
+    for idx, (i, j) in enumerate(edges):
+        lo, hi = W.indptr[i], W.indptr[i + 1]
+        pos = lo + np.searchsorted(W.indices[lo:hi], j)
+        if pos >= hi or W.indices[pos] != j:
+            raise GraphConstructionError(
+                f"edges_removed contains ({i}, {j}) which is not in the graph"
+            )
+        out[idx] = W.data[pos]
+    return out
+
+
+def apply_edge_delta(
+    W: CSRMatrix,
+    edges_added=None,
+    weights_added=None,
+    edges_removed=None,
+):
+    """Apply an undirected edge delta to the similarity graph ``W``.
+
+    Parameters
+    ----------
+    W:
+        Current symmetric similarity CSR (the fitted model's graph).
+    edges_added:
+        ``(m_a, 2)`` vertex pairs to add (or strengthen).
+    weights_added:
+        Positive weight per added edge; scalar broadcasts, default 1.0.
+    edges_removed:
+        ``(m_r, 2)`` vertex pairs whose entries are removed entirely.
+
+    Returns
+    -------
+    (W_new, drows, dcols, dvals, deg_old, deg_new):
+        The patched CSR plus the symmetrized COO delta (ΔW as it would
+        ride H2D to patch the device-resident copy) and the degree
+        vectors before/after — the drift bound's inputs.
+    """
+    n = W.shape[0]
+    added = _as_edge_array(
+        edges_added if edges_added is not None else [], n, "edges_added"
+    )
+    removed = _as_edge_array(
+        edges_removed if edges_removed is not None else [], n, "edges_removed"
+    )
+    if added.shape[0] == 0 and removed.shape[0] == 0:
+        raise GraphConstructionError("empty delta: nothing to add or remove")
+
+    wa = np.broadcast_to(
+        np.asarray(
+            weights_added if weights_added is not None else 1.0, dtype=np.float64
+        ),
+        (added.shape[0],),
+    )
+    if added.shape[0] and np.any(wa <= 0):
+        raise GraphConstructionError("weights_added must be positive")
+    wr = -_current_weights(W, removed) if removed.shape[0] else np.zeros(0)
+
+    # symmetrize: every undirected pair contributes both directions
+    half_r = np.concatenate([added[:, 0], removed[:, 0]])
+    half_c = np.concatenate([added[:, 1], removed[:, 1]])
+    half_v = np.concatenate([wa, wr])
+    drows = np.concatenate([half_r, half_c])
+    dcols = np.concatenate([half_c, half_r])
+    dvals = np.concatenate([half_v, half_v])
+    # collapse duplicate pairs within the delta itself so the H2D triple
+    # (and its ledger price) reflects what actually lands on the device
+    delta = COOMatrix(drows, dcols, dvals, W.shape, check=False).sum_duplicates()
+    drows, dcols, dvals = delta.row, delta.col, delta.data
+
+    merged = W.add(delta.to_csr())
+    # drop entries cancelled to (numerical) zero by removals
+    keep = merged.data != 0.0
+    if not np.all(keep):
+        rows_kept = merged._rows()[keep]
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(np.bincount(rows_kept, minlength=n), out=indptr[1:])
+        merged = CSRMatrix(
+            indptr, merged.indices[keep], merged.data[keep], W.shape, check=False
+        )
+
+    deg_old = W.row_sums()
+    deg_new = merged.row_sums()
+    return merged, drows, dcols, dvals, deg_old, deg_new

@@ -76,6 +76,22 @@ def exact_labels(V: np.ndarray, centroids: np.ndarray) -> np.ndarray:
     return np.argmin(d2, axis=1)
 
 
+def assign_nearest(V: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+    """Nearest-centroid labels via the Eq. 15 expansion.
+
+    ``||v - c||² = ||v||² + ||c||² - 2 v·c`` with the cross term as one
+    GEMM — the identical arithmetic the fused device assignment kernel
+    charges for, shared here so the out-of-sample predict path's host
+    fallback and device path agree bit for bit.
+    """
+    V = np.asarray(V, dtype=np.float64)
+    centroids = np.asarray(centroids, dtype=np.float64)
+    v2 = np.einsum("nd,nd->n", V, V)
+    c2 = np.einsum("kd,kd->k", centroids, centroids)
+    d2 = v2[:, None] + c2[None, :] - 2.0 * (V @ centroids.T)
+    return np.argmin(d2, axis=1).astype(np.int64)
+
+
 def relabel_empty_clusters(
     V: np.ndarray,
     centroids: np.ndarray,

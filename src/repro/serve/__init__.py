@@ -2,9 +2,11 @@
 
 A replay-driven serving layer over the spectral clustering pipeline:
 bounded admission, micro-batching of fingerprint-compatible requests,
-an LRU embedding cache with bit-identical hits, and a multi-stream /
-multi-device scheduler that charges queueing and overlap to the
-simulated clock.  See ``docs/serving.md`` for the model.
+an LRU embedding cache with bit-identical hits, a predict fast lane that
+serves out-of-sample requests from cached fitted models under
+deadline/priority dispatch, and a multi-stream / multi-device scheduler
+that charges queueing and overlap to the simulated clock.  See
+``docs/serving.md`` for the model.
 """
 
 from repro.serve.batcher import Batch, BatcherStats, MicroBatcher
@@ -12,6 +14,7 @@ from repro.serve.cache import CacheStats, EmbeddingCache
 from repro.serve.fingerprint import (
     embedding_key,
     graph_fingerprint,
+    model_key,
     operator_key,
     points_fingerprint,
 )
@@ -23,6 +26,8 @@ from repro.serve.request import (
     STATUS_REJECTED,
     ClusterRequest,
     ClusterResponse,
+    PredictRequest,
+    PredictResponse,
 )
 from repro.serve.scheduler import ScheduledUnit, StreamScheduler
 from repro.serve.service import (
@@ -32,9 +37,12 @@ from repro.serve.service import (
     verify_against_cold,
 )
 from repro.serve.traceio import (
+    predict_from_dict,
+    predict_to_dict,
     read_trace,
     request_from_dict,
     request_to_dict,
+    synthetic_predict_trace,
     synthetic_trace,
     write_trace,
 )
@@ -50,6 +58,8 @@ __all__ = [
     "EmbeddingCache",
     "LatencyStats",
     "MicroBatcher",
+    "PredictRequest",
+    "PredictResponse",
     "QueueStats",
     "STATUS_FAILED",
     "STATUS_OK",
@@ -61,13 +71,17 @@ __all__ = [
     "build_report",
     "embedding_key",
     "graph_fingerprint",
+    "model_key",
     "operator_key",
     "percentile",
     "points_fingerprint",
+    "predict_from_dict",
+    "predict_to_dict",
     "read_trace",
     "request_from_dict",
     "request_to_dict",
     "run_sequential",
+    "synthetic_predict_trace",
     "synthetic_trace",
     "verify_against_cold",
     "write_trace",

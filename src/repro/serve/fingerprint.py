@@ -55,7 +55,14 @@ def graph_fingerprint(graph: COOMatrix | CSRMatrix) -> str:
 def points_fingerprint(
     X: np.ndarray, edges: np.ndarray, measure: str, sigma: float
 ) -> str:
-    """SHA-256 content hash of a point-input workload (Algorithm 1 inputs)."""
+    """SHA-256 content hash of a point-input workload (Algorithm 1 inputs).
+
+    ``sigma`` only parameterizes the exponential-decay measure; cosine and
+    cross-correlation ignore it entirely, so it is canonicalized to the
+    default before hashing.  A request that spells out ``sigma=2.5`` with
+    ``similarity='crosscorr'`` builds the exact same graph as the default
+    and must share its cache slot.
+    """
     X = np.ascontiguousarray(X, dtype=np.float64)
     edges = np.ascontiguousarray(edges, dtype=np.int64)
     h = hashlib.sha256(b"repro.points.v1")
@@ -63,7 +70,8 @@ def points_fingerprint(
     h.update(X.tobytes())
     h.update(edges.tobytes())
     h.update(measure.encode("utf-8"))
-    h.update(np.float64(sigma).tobytes())
+    sigma_canon = float(sigma) if measure == "expdecay" else 1.0
+    h.update(np.float64(sigma_canon).tobytes())
     return h.hexdigest()
 
 
@@ -114,4 +122,23 @@ def embedding_key(
         bool(normalize_rows), str(precision), str(embedding),
         None if filter_order is None else int(filter_order),
         None if n_signals is None else int(n_signals),
+    )
+
+
+def model_key(
+    embedding_key: tuple, kmeans_init: str, kmeans_max_iter: int
+) -> tuple:
+    """Fitted-model cache key: the embedding key plus the stage-4 knobs
+    that shape the centroids.
+
+    A :class:`~repro.core.model.FittedSpectralModel` adds exactly one
+    artifact on top of the embedding — the k-means centroids — so its
+    identity is the embedding's identity extended by the k-means
+    parameters (``seed`` is already in the embedding key and seeds the
+    k-means initialization too).  Predict-side knobs (payload size,
+    deadline, priority, chaos plan) are deliberately *outside* the key:
+    every predict against the same fit shares one cached model.
+    """
+    return ("model",) + tuple(embedding_key) + (
+        str(kmeans_init), int(kmeans_max_iter),
     )

@@ -73,6 +73,8 @@ class ServiceReport:
     queue: dict = field(default_factory=dict)
     batches: dict = field(default_factory=dict)
     cache: dict = field(default_factory=dict)
+    #: fast-lane facts (empty when the trace carried no predicts)
+    predict: dict = field(default_factory=dict)
 
     latency: LatencyStats = field(default_factory=LatencyStats)
     queue_wait: LatencyStats = field(default_factory=LatencyStats)
@@ -102,6 +104,7 @@ class ServiceReport:
             "queue": dict(self.queue),
             "batches": dict(self.batches),
             "cache": dict(self.cache),
+            "predict": dict(self.predict),
             "latency_s": self.latency.as_dict(),
             "queue_wait_s": self.queue_wait.as_dict(),
             "makespan_s": self.makespan,
@@ -150,6 +153,20 @@ class ServiceReport:
             f"{'latency p99 (sim s)':<28}{self.latency.p99:>16.4f}",
             f"{'queue wait p95 (sim s)':<28}{self.queue_wait.p95:>16.4f}",
         ]
+        if self.predict.get("total"):
+            warm = self.predict.get("warm_service_s", {})
+            cold = self.predict.get("cold_latency_s", {})
+            lines.extend([
+                f"{'predicts':<28}{self.predict.get('total', 0):>16}",
+                f"{'  model hits':<28}{self.predict.get('model_hits', 0):>16}",
+                f"{'  cold fits':<28}{self.predict.get('cold_fits', 0):>16}",
+                f"{'  ledger mismatches':<28}"
+                f"{self.predict.get('ledger_mismatches', 0):>16}",
+                f"{'  deadline misses':<28}"
+                f"{self.predict.get('deadline_misses', 0):>16}",
+                f"{'  warm p50 (sim s)':<28}{warm.get('p50', 0.0):>16.6f}",
+                f"{'  cold p50 (sim s)':<28}{cold.get('p50', 0.0):>16.6f}",
+            ])
         for dev, occ in sorted(self.occupancy.items()):
             lines.append(f"{f'occupancy {dev}':<28}{occ:>16.3f}")
         if self.profile is not None:
@@ -200,25 +217,62 @@ class ServiceReport:
 
 def build_report(responses, scheduler, queue_stats, batch_stats, cache_stats,
                  profile: ProfileReport | None = None) -> ServiceReport:
-    """Assemble a :class:`ServiceReport` from the service's components."""
-    ok = [r for r in responses if r.ok]
+    """Assemble a :class:`ServiceReport` from the service's components.
+
+    ``responses`` may mix fit (:class:`ClusterResponse`) and fast-lane
+    (:class:`PredictResponse`) records; top-level counts, latency and
+    throughput cover both, queue/batch/cache-hit facts are fit-only, and
+    the ``predict`` section isolates the fast lane (warm service time vs
+    cold-fit latency is the fit-once-predict-many win the bench gates).
+    """
+    from repro.serve.request import PredictResponse
+
+    cluster = [r for r in responses if not isinstance(r, PredictResponse)]
+    predicts = [r for r in responses if isinstance(r, PredictResponse)]
+    ok = [r for r in cluster if r.ok]
+    pok = [r for r in predicts if r.ok]
     rejected = [r for r in responses if r.status == "rejected"]
     failed = [r for r in responses if r.status == "failed"]
     makespan = scheduler.makespan()
+    predict_section: dict = {}
+    if predicts:
+        warm = [r.service_time for r in pok if r.model_hit]
+        cold = [r.latency for r in pok if r.cold_fit]
+        predict_section = {
+            "total": len(predicts),
+            "ok": len(pok),
+            "failed": len(predicts) - len(pok),
+            "model_hits": sum(1 for r in pok if r.model_hit),
+            "cold_fits": sum(1 for r in pok if r.cold_fit),
+            "ledger_checked": sum(1 for r in pok if r.ledger_ok is not None),
+            "ledger_mismatches": sum(1 for r in pok if r.ledger_ok is False),
+            "with_deadline": sum(
+                1 for r in predicts if r.deadline is not None
+            ),
+            "deadline_misses": getattr(scheduler, "deadline_misses", 0),
+            "latency_s": LatencyStats.from_values(
+                [r.latency for r in pok]
+            ).as_dict(),
+            "warm_service_s": LatencyStats.from_values(warm).as_dict(),
+            "cold_latency_s": LatencyStats.from_values(cold).as_dict(),
+        }
+    all_ok = ok + pok
     return ServiceReport(
         n_requests=len(responses),
-        n_ok=len(ok),
+        n_ok=len(all_ok),
         n_rejected=len(rejected),
         n_failed=len(failed),
-        n_cache_hits=sum(1 for r in ok if r.cache_hit),
-        n_degraded=sum(1 for r in ok if r.resilience),
+        n_cache_hits=sum(1 for r in ok if r.cache_hit)
+        + sum(1 for r in pok if r.model_hit),
+        n_degraded=sum(1 for r in all_ok if r.resilience),
         queue=queue_stats.as_dict(),
         batches=batch_stats.as_dict(),
         cache=cache_stats.as_dict(),
-        latency=LatencyStats.from_values([r.latency for r in ok]),
+        predict=predict_section,
+        latency=LatencyStats.from_values([r.latency for r in all_ok]),
         queue_wait=LatencyStats.from_values([r.queue_wait for r in ok]),
         makespan=makespan,
-        throughput_rps=len(ok) / makespan if makespan > 0 else 0.0,
+        throughput_rps=len(all_ok) / makespan if makespan > 0 else 0.0,
         occupancy=scheduler.occupancy(),
         profile=profile,
     )

@@ -26,6 +26,7 @@ from repro.errors import RequestError
 from repro.serve.fingerprint import (
     embedding_key,
     graph_fingerprint,
+    model_key,
     operator_key,
     points_fingerprint,
 )
@@ -123,9 +124,10 @@ class ClusterRequest:
             )
 
     # ------------------------------------------------------------------
-    def estimator(self) -> SpectralClustering:
+    def estimator(self, device=None) -> SpectralClustering:
         """A fresh estimator configured exactly as this request asks."""
         return SpectralClustering(
+            device=device,
             n_clusters=self.n_clusters,
             similarity=self.similarity,
             sigma=self.sigma,
@@ -208,6 +210,155 @@ class ClusterRequest:
             precision=self.precision, embedding=self.embedding,
             filter_order=forder, n_signals=nsig,
         )
+
+    def model_key(self, fingerprint: str) -> tuple:
+        """Fitted-model cache key (embedding key + k-means knobs)."""
+        return model_key(
+            self.embedding_key(fingerprint),
+            self.kmeans_init, self.kmeans_max_iter,
+        )
+
+
+@dataclass
+class PredictRequest:
+    """One out-of-sample labeling job for the predict fast lane.
+
+    A predict request names the *fit* whose model should serve it (the
+    nested :class:`ClusterRequest` spec — its ``request_id``/``arrival``
+    are ignored) plus a payload of new vertices.  Two payload forms:
+
+    * synthetic, by reference (JSONL-serializable): ``n_new`` new
+      vertices derived deterministically from the fitted model with
+      ``new_seed`` — each new vertex clones the neighborhood of one
+      fitted anchor (weights path for graph-input fits, feature path
+      for point-input fits);
+    * by value: explicit ``pairs_new`` (+ ``X_new`` or ``weights_new``)
+      exactly as :meth:`FittedSpectralModel.predict` takes them.
+
+    ``deadline`` (absolute simulated clock) and ``priority`` (higher
+    serves first) order the fast lane; neither enters any cache key.
+    """
+
+    request_id: str
+    fit: ClusterRequest
+    arrival: float = 0.0
+
+    # -- payload by reference (JSONL-serializable) ----------------------
+    n_new: int = 8
+    new_seed: int = 0
+
+    # -- payload by value ------------------------------------------------
+    X_new: np.ndarray | None = None
+    pairs_new: np.ndarray | None = None
+    weights_new: np.ndarray | None = None
+
+    # -- fast-lane ordering ----------------------------------------------
+    deadline: float | None = None
+    priority: int = 0
+
+    # -- fault injection (predict stage only) ----------------------------
+    chaos: FaultPlan | int | None = None
+    no_resilience: bool = False
+
+    def __post_init__(self) -> None:
+        by_value = self.pairs_new is not None
+        if (self.X_new is not None or self.weights_new is not None) and not by_value:
+            raise RequestError(
+                f"predict {self.request_id!r}: X_new/weights_new require "
+                "pairs_new"
+            )
+        if by_value and (self.X_new is None) == (self.weights_new is None):
+            raise RequestError(
+                f"predict {self.request_id!r}: provide exactly one of X_new "
+                "or weights_new alongside pairs_new"
+            )
+        if not by_value and self.n_new < 1:
+            raise RequestError(
+                f"predict {self.request_id!r}: n_new must be >= 1"
+            )
+        if self.arrival < 0:
+            raise RequestError(
+                f"predict {self.request_id!r}: negative arrival {self.arrival}"
+            )
+        if self.deadline is not None and self.deadline < self.arrival:
+            raise RequestError(
+                f"predict {self.request_id!r}: deadline {self.deadline} "
+                f"before arrival {self.arrival}"
+            )
+
+    @property
+    def synthetic_payload(self) -> bool:
+        return self.pairs_new is None
+
+    def policy(self) -> ResiliencePolicy:
+        return DISABLED if self.no_resilience else ResiliencePolicy()
+
+    def fault_plan(self) -> FaultPlan | None:
+        if self.chaos is None:
+            return None
+        if isinstance(self.chaos, FaultPlan):
+            return self.chaos
+        return FaultPlan.from_seed(self.chaos)
+
+    def order_key(self) -> tuple:
+        """Fast-lane dispatch order: priority first, then deadline urgency,
+        then arrival (FIFO among equals)."""
+        return (
+            -int(self.priority),
+            float("inf") if self.deadline is None else float(self.deadline),
+            float(self.arrival),
+            self.request_id,
+        )
+
+
+@dataclass
+class PredictResponse:
+    """The fast lane's answer to one :class:`PredictRequest`."""
+
+    request_id: str
+    status: str = STATUS_OK
+    labels: np.ndarray | None = None
+    embedding: np.ndarray | None = None
+
+    # -- service facts ---------------------------------------------------
+    #: the fitted model was already cached (no cold fit charged)
+    model_hit: bool = False
+    #: this request triggered the cold fit that populated the cache
+    cold_fit: bool = False
+    #: analytic transfer plan vs device meter (None = no clean device pass)
+    ledger_ok: bool | None = None
+    n_new: int = 0
+
+    # -- simulated clock breakdown ---------------------------------------
+    arrival: float = 0.0
+    start: float = 0.0
+    completed: float = 0.0
+    deadline: float | None = None
+    priority: int = 0
+
+    resilience: dict = field(default_factory=dict)
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
+
+    @property
+    def latency(self) -> float:
+        """End-to-end simulated seconds from arrival to completion."""
+        return max(0.0, self.completed - self.arrival)
+
+    @property
+    def service_time(self) -> float:
+        """Simulated seconds between dispatch and completion."""
+        return max(0.0, self.completed - self.start)
+
+    @property
+    def deadline_met(self) -> bool | None:
+        """None when no deadline was set or the request was not served."""
+        if self.deadline is None or not self.ok:
+            return None
+        return self.completed <= self.deadline
 
 
 @dataclass

@@ -48,6 +48,9 @@ class ScheduledUnit:
     #: every lane the unit occupied (== (lane,) for width-1 units); a
     #: multi-device solve reserves one lane per simulated GPU it spans
     lanes: tuple = ()
+    #: fast-lane ordering facts (0 / None for plain batch units)
+    priority: int = 0
+    deadline: float | None = None
 
     @property
     def ok(self) -> bool:
@@ -56,6 +59,13 @@ class ScheduledUnit:
     @property
     def duration(self) -> float:
         return self.end - self.start
+
+    @property
+    def deadline_met(self) -> bool | None:
+        """None when the unit carried no deadline."""
+        if self.deadline is None:
+            return None
+        return self.end <= self.deadline
 
 
 class StreamScheduler:
@@ -82,6 +92,22 @@ class StreamScheduler:
         ]
         #: overlapped schedule: one TimelineEvent per unit, tag = lane name
         self.schedule = Timeline()
+        #: units that carried a deadline and finished after it
+        self.deadline_misses = 0
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def dispatch_order(items: list) -> list:
+        """Deadline/priority dispatch order for ready fast-lane work.
+
+        ``items`` expose ``order_key()`` (see
+        :meth:`~repro.serve.request.PredictRequest.order_key`): higher
+        priority first, then earliest deadline (no deadline sorts last),
+        then arrival — so an urgent request admitted late still jumps a
+        backlog of best-effort ones, and FIFO breaks the remaining ties
+        deterministically.
+        """
+        return sorted(items, key=lambda item: item.order_key())
 
     # ------------------------------------------------------------------
     def _candidate_lanes(self, device: Device | None) -> list[Stream]:
@@ -141,6 +167,8 @@ class StreamScheduler:
         device: Device | None = None,
         category: str = "kernel",
         width: int = 1,
+        priority: int = 0,
+        deadline: float | None = None,
     ) -> ScheduledUnit:
         """Execute ``fn(device)`` and place its cost on ``width`` lanes.
 
@@ -187,7 +215,7 @@ class StreamScheduler:
             self.schedule.record_at(name, category, s, duration, tag=member.name)
             if start is None:
                 start, end = s, e
-        return ScheduledUnit(
+        unit = ScheduledUnit(
             label=label,
             value=value,
             error=error,
@@ -196,7 +224,12 @@ class StreamScheduler:
             lane=lane.name,
             device_index=self.devices.index(dev),
             lanes=tuple(s.name for s in gang),
+            priority=priority,
+            deadline=deadline,
         )
+        if unit.deadline_met is False:
+            self.deadline_misses += 1
+        return unit
 
     # ------------------------------------------------------------------
     # schedule-level aggregates

@@ -32,6 +32,21 @@ shared unit fails terminally, the leader gets a ``failed`` response and
 the unit is retried for the remaining members without the poisoned plan —
 a faulted job can therefore degrade (resilience recovers, recorded in its
 response) or fail alone, but never corrupts its batch-mates' results.
+
+The predict fast lane
+---------------------
+:class:`~repro.serve.request.PredictRequest` bypasses admission and
+micro-batching entirely: a predict never waits for a batch to form and
+is never shed by the bounded queue.  Ready predicts dispatch in
+deadline/priority order (:meth:`StreamScheduler.dispatch_order`) with
+``ready_at`` equal to their arrival, so an idle stream serves them while
+heavy fit batches occupy the other lanes.  The fitted model is shared
+through the same LRU cache as the embeddings under
+:func:`~repro.serve.fingerprint.model_key` (fit identity only — predict
+knobs stay outside the key): a miss charges one cold fit, every
+subsequent predict against that fit pays only the Nyström extension.
+A cold fit that recovered from injected faults is tainted and never
+cached, exactly like the embedding-cache rule.
 """
 
 from __future__ import annotations
@@ -56,6 +71,8 @@ from repro.serve.request import (
     STATUS_REJECTED,
     ClusterRequest,
     ClusterResponse,
+    PredictRequest,
+    PredictResponse,
 )
 from repro.serve.scheduler import StreamScheduler
 
@@ -120,6 +137,8 @@ class ClusterService:
         self._plans: dict[str, object] = {}
         #: memoized dataset resolution
         self._datasets: dict[tuple, object] = {}
+        #: (dataset, scale, seed, measure, sigma) -> content fingerprint
+        self._fp_by_ref: dict[tuple, str] = {}
         #: embedding key -> simulated time its cached entry became available
         self._cache_ready: dict[tuple, float] = {}
 
@@ -140,16 +159,30 @@ class ClusterService:
         ds = self._datasets[key]
         return ds.graph, ds.points, ds.edges
 
+    def _fingerprint_of(self, req: ClusterRequest) -> str:
+        """Content fingerprint of a fit spec (memoized for dataset refs)."""
+        from repro.serve.fingerprint import graph_fingerprint, points_fingerprint
+
+        ref = None
+        if req.dataset is not None:
+            sigma = req.sigma if req.similarity == "expdecay" else 1.0
+            ref = (req.dataset, req.scale, req.data_seed, req.similarity, sigma)
+            fp = self._fp_by_ref.get(ref)
+            if fp is not None:
+                return fp
+        graph, X, edges = self._resolve(req)
+        if graph is not None:
+            fp = graph_fingerprint(graph)
+        else:
+            fp = points_fingerprint(X, edges, req.similarity, req.sigma)
+        if ref is not None:
+            self._fp_by_ref[ref] = fp
+        return fp
+
     def _fingerprint(self, req: ClusterRequest) -> str:
         fp = self._fps.get(req.request_id)
         if fp is None:
-            from repro.serve.fingerprint import graph_fingerprint, points_fingerprint
-
-            graph, X, edges = self._resolve(req)
-            if graph is not None:
-                fp = graph_fingerprint(graph)
-            else:
-                fp = points_fingerprint(X, edges, req.similarity, req.sigma)
+            fp = self._fingerprint_of(req)
             self._fps[req.request_id] = fp
         return fp
 
@@ -176,24 +209,42 @@ class ClusterService:
     # the replay loop
     # ------------------------------------------------------------------
     def process(
-        self, requests: list[ClusterRequest]
-    ) -> tuple[list[ClusterResponse], ServiceReport]:
+        self, requests: list
+    ) -> tuple[list, ServiceReport]:
         """Serve a full request trace; returns (responses, report).
 
-        Responses come back in request order.  The service clock starts
-        at 0 and only ever advances: to the next arrival when idle, past
-        each batch's completion otherwise.
+        ``requests`` may mix :class:`ClusterRequest` (admission → batch →
+        schedule) and :class:`PredictRequest` (the fast lane).  Responses
+        come back in request order.  The service clock starts at 0 and
+        only ever advances: to the next arrival when idle, past each
+        batch's completion otherwise.  Ready predicts are always drained
+        — in deadline/priority order — before the next fit batch forms.
         """
-        pending = sorted(requests, key=lambda r: (r.arrival, r.request_id))
+        fits = [r for r in requests if isinstance(r, ClusterRequest)]
+        preds = [r for r in requests if isinstance(r, PredictRequest)]
+        if len(fits) + len(preds) != len(requests):
+            raise ServiceError(
+                "requests must be ClusterRequest or PredictRequest instances"
+            )
+        pending = sorted(fits, key=lambda r: (r.arrival, r.request_id))
+        ppending = sorted(preds, key=lambda r: (r.arrival, r.request_id))
         seen: set[str] = set()
-        for req in pending:
+        for req in pending + ppending:
             if req.request_id in seen:
                 raise ServiceError(f"duplicate request_id {req.request_id!r}")
             seen.add(req.request_id)
-        responses: dict[str, ClusterResponse] = {}
+        responses: dict[str, object] = {}
         clock = 0.0
-        i = 0
-        while i < len(pending) or self.queue:
+        i = j = 0
+        while i < len(pending) or j < len(ppending) or self.queue:
+            # fast lane first: every arrived predict dispatches before the
+            # next batch forms, ordered by priority, then deadline urgency
+            arrived: list[PredictRequest] = []
+            while j < len(ppending) and ppending[j].arrival <= clock:
+                arrived.append(ppending[j])
+                j += 1
+            for preq in self.scheduler.dispatch_order(arrived):
+                self._serve_predict(preq, responses)
             while i < len(pending) and pending[i].arrival <= clock:
                 req = pending[i]
                 i += 1
@@ -219,8 +270,13 @@ class ClusterService:
                         error=f"{type(err).__name__}: {err}",
                     )
             if not self.queue:
+                upcoming = []
                 if i < len(pending):
-                    clock = pending[i].arrival
+                    upcoming.append(pending[i].arrival)
+                if j < len(ppending):
+                    upcoming.append(ppending[j].arrival)
+                if upcoming:
+                    clock = max(clock, min(upcoming))
                     continue
                 break
             batch = self.batcher.form(self.queue)
@@ -480,6 +536,171 @@ class ClusterService:
 
         return run
 
+    # ------------------------------------------------------------------
+    # the predict fast lane
+    # ------------------------------------------------------------------
+    def _fail_predict(self, responses, preq, err, completed) -> None:
+        responses[preq.request_id] = PredictResponse(
+            request_id=preq.request_id,
+            status=STATUS_FAILED,
+            arrival=preq.arrival,
+            start=preq.arrival,
+            completed=completed,
+            deadline=preq.deadline,
+            priority=preq.priority,
+            error=f"{type(err).__name__}: {err}",
+        )
+
+    def _serve_predict(self, preq: PredictRequest, responses) -> None:
+        """Serve one fast-lane predict: model cache → (cold fit) → Nyström.
+
+        The predict bypasses the admission queue and the batcher; its
+        units dispatch with ``ready_at = arrival`` so an idle stream
+        picks them up immediately, even while a fit batch holds the
+        other lanes.
+        """
+        fit = preq.fit
+        try:
+            fp = self._fingerprint_of(fit)
+            key = fit.model_key(fp)
+        except ReproError as err:
+            self._fail_predict(responses, preq, err, preq.arrival)
+            return
+
+        model = self.cache.get(key)
+        model_hit = model is not None
+        cold_fit = False
+        cold_resilience: dict = {}
+        ready = preq.arrival
+        if model_hit:
+            # piggyback on an entry whose fit may still be in flight
+            ready = max(ready, self._cache_ready.get(key, ready))
+        else:
+            unit = self.scheduler.run(
+                f"predict[{preq.request_id}]:coldfit",
+                ready_at=preq.arrival,
+                fn=self._scoped(preq, self._coldfit_fn(fit)),
+                priority=preq.priority,
+            )
+            if not unit.ok:
+                self._fail_predict(responses, preq, unit.error, unit.end)
+                return
+            result = unit.value
+            model = result.model
+            if model is None:
+                err = ClusteringError(
+                    "fit parameterization has no Nyström extension "
+                    "(ratiocut objective or compressive embedding)"
+                )
+                self._fail_predict(responses, preq, err, unit.end)
+                return
+            cold_fit = True
+            cold_resilience = dict(result.resilience)
+            ready = unit.end
+            # taint rule: a fit that recovered from faults never caches
+            if not result.resilience:
+                if self.cache.put(key, model):
+                    self._cache_ready[key] = unit.end
+
+        try:
+            payload = self._predict_payload(preq, model)
+        except ReproError as err:
+            self._fail_predict(responses, preq, err, ready)
+            return
+
+        unit = self.scheduler.run(
+            f"predict[{preq.request_id}]",
+            ready_at=ready,
+            fn=self._scoped(preq, self._predict_fn(preq, model, payload)),
+            priority=preq.priority,
+            deadline=preq.deadline,
+        )
+        if not unit.ok:
+            self._fail_predict(responses, preq, unit.error, unit.end)
+            return
+        pres = unit.value
+        responses[preq.request_id] = PredictResponse(
+            request_id=preq.request_id,
+            status=STATUS_OK,
+            labels=pres.labels,
+            embedding=pres.embedding,
+            model_hit=model_hit,
+            cold_fit=cold_fit,
+            ledger_ok=pres.ledger_ok,
+            n_new=pres.n_new,
+            arrival=preq.arrival,
+            start=unit.start,
+            completed=unit.end,
+            deadline=preq.deadline,
+            priority=preq.priority,
+            # the cold fit's recovery record rides along: it explains why
+            # the model was (not) cached and flags the response degraded
+            resilience={**cold_resilience, **pres.resilience},
+        )
+
+    def _coldfit_fn(self, fit: ClusterRequest):
+        graph, X, edges = self._resolve(fit)
+
+        def run(dev):
+            est = fit.estimator(device=dev)
+            if graph is not None:
+                return est.fit(graph=graph)
+            return est.fit(X=X, edges=edges)
+
+        return run
+
+    def _predict_fn(self, preq: PredictRequest, model, payload: dict):
+        policy = preq.policy()
+
+        def run(dev):
+            return model.predict(device=dev, policy=policy, **payload)
+
+        return run
+
+    def _predict_payload(self, preq: PredictRequest, model) -> dict:
+        """Kwargs for :meth:`FittedSpectralModel.predict`.
+
+        By-value payloads pass through.  Synthetic payloads derive
+        deterministically from ``new_seed``: each new vertex clones the
+        anchor neighborhood of one fitted vertex — feature rows with a
+        small multiplicative jitter after a point-input fit (feature
+        path), the vertex's similarity row verbatim after a graph-input
+        fit (weights path).
+        """
+        if not preq.synthetic_payload:
+            payload = {"pairs_new": preq.pairs_new}
+            if preq.X_new is not None:
+                payload["X_new"] = preq.X_new
+            else:
+                payload["weights_new"] = preq.weights_new
+            return payload
+        rng = np.random.default_rng(preq.new_seed)
+        n_new = int(preq.n_new)
+        pos = rng.integers(0, model.n_anchor, size=n_new)
+        rows_l, cols_l, vals_l = [], [], []
+        for i, p in enumerate(pos):
+            cols_p, vals_p = model.graph.getrow(int(p))
+            rows_l.append(np.full(cols_p.size, i, dtype=np.int64))
+            cols_l.append(model.kept[cols_p])
+            vals_l.append(vals_p)
+        pairs = np.column_stack([
+            np.concatenate(rows_l), np.concatenate(cols_l),
+        ])
+        if model.anchors is not None:
+            jitter = 1.0 + 1e-4 * rng.standard_normal(
+                (n_new, model.anchors.shape[1])
+            )
+            return {
+                "X_new": model.anchors[pos] * jitter,
+                "pairs_new": pairs,
+                "n_new": n_new,
+            }
+        return {
+            "weights_new": np.concatenate(vals_l),
+            "pairs_new": pairs,
+            "n_new": n_new,
+        }
+
 
 # ----------------------------------------------------------------------
 # baselines and verification
@@ -528,6 +749,8 @@ def verify_against_cold(
         if not resp.ok:
             continue
         req = by_id[resp.request_id]
+        if not isinstance(req, ClusterRequest):
+            continue  # predict parity is audited by its transfer ledger
         if req.chaos is not None:
             continue
         graph, X, edges = service._resolve(req)

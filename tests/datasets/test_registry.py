@@ -85,3 +85,42 @@ class TestLoading:
     def test_paper_stats_attached(self):
         ds = load_dataset("fb", scale=0.1)
         assert ds.paper_stats["nodes"] == 4039
+
+
+class TestMemoization:
+    """load_dataset memoizes per (name, scale, seed): the serve bench
+    replays the same few workloads hundreds of times and must not pay
+    repeated SBM/graph synthesis."""
+
+    def test_same_key_returns_same_object(self):
+        from repro.datasets.registry import clear_dataset_cache
+
+        clear_dataset_cache()
+        a = load_dataset("syn200", scale=0.05, seed=4)
+        b = load_dataset("syn200", scale=0.05, seed=4)
+        assert a is b
+
+    def test_distinct_keys_distinct_objects(self):
+        a = load_dataset("syn200", scale=0.05, seed=4)
+        assert load_dataset("syn200", scale=0.05, seed=5) is not a
+        assert load_dataset("syn200", scale=0.06, seed=4) is not a
+        assert load_dataset("fb", scale=0.05, seed=4) is not a
+
+    def test_clear_drops_memo(self):
+        from repro.datasets.registry import clear_dataset_cache
+
+        a = load_dataset("syn200", scale=0.05, seed=4)
+        clear_dataset_cache()
+        b = load_dataset("syn200", scale=0.05, seed=4)
+        assert a is not b
+        # ...but the synthesis is still deterministic
+        assert np.array_equal(a.graph.to_dense(), b.graph.to_dense())
+
+    def test_int_float_scale_normalize_to_one_key(self):
+        from repro.datasets.registry import _CACHE, clear_dataset_cache
+
+        clear_dataset_cache()
+        load_dataset("syn200", scale=0.05, seed=0)
+        n0 = len(_CACHE)
+        load_dataset("syn200", scale=0.05, seed=0)
+        assert len(_CACHE) == n0

@@ -1,0 +1,126 @@
+"""Incremental edge deltas on the fitted similarity CSR."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphConstructionError
+from repro.graph.delta import apply_edge_delta
+from repro.sparse.construct import from_edge_list
+
+
+@pytest.fixture
+def ring_graph():
+    """A unit-weight 6-ring (every vertex degree 2)."""
+    edges = np.array([[i, (i + 1) % 6] for i in range(6)], dtype=np.int64)
+    return from_edge_list(edges, n_nodes=6).to_csr()
+
+
+class TestAddEdges:
+    def test_adds_symmetric_pair(self, ring_graph):
+        W_new, drows, dcols, dvals, deg_old, deg_new = apply_edge_delta(
+            ring_graph, edges_added=np.array([[0, 3]]), weights_added=2.0,
+        )
+        dense = W_new.to_dense()
+        assert dense[0, 3] == 2.0 and dense[3, 0] == 2.0
+        assert deg_new[0] == deg_old[0] + 2.0
+        assert deg_new[3] == deg_old[3] + 2.0
+        # delta mirror covers both directions
+        assert dvals.size == 2 and np.all(dvals == 2.0)
+        assert set(zip(drows.tolist(), dcols.tolist())) == {(0, 3), (3, 0)}
+
+    def test_accumulates_on_existing_edge(self, ring_graph):
+        W_new, *_ = apply_edge_delta(
+            ring_graph, edges_added=np.array([[0, 1]]), weights_added=0.5,
+        )
+        assert W_new.to_dense()[0, 1] == 1.5
+
+    def test_duplicate_pairs_collapse(self, ring_graph):
+        W_new, _, _, dvals, _, _ = apply_edge_delta(
+            ring_graph,
+            edges_added=np.array([[0, 3], [0, 3]]),
+            weights_added=np.array([1.0, 2.0]),
+        )
+        assert W_new.to_dense()[0, 3] == 3.0
+        assert dvals.size == 2  # one symmetric pair after dedup
+
+    def test_original_untouched(self, ring_graph):
+        before = ring_graph.to_dense().copy()
+        apply_edge_delta(
+            ring_graph, edges_added=np.array([[1, 4]]), weights_added=1.0
+        )
+        assert np.array_equal(ring_graph.to_dense(), before)
+
+
+class TestRemoveEdges:
+    def test_removes_both_directions(self, ring_graph):
+        W_new, _, _, _, deg_old, deg_new = apply_edge_delta(
+            ring_graph, edges_removed=np.array([[2, 3]]),
+        )
+        dense = W_new.to_dense()
+        assert dense[2, 3] == 0.0 and dense[3, 2] == 0.0
+        # the zeroed entries are pruned from the sparsity structure
+        assert W_new.nnz == ring_graph.nnz - 2
+        assert deg_new[2] == deg_old[2] - 1.0
+
+    def test_remove_missing_edge_raises(self, ring_graph):
+        with pytest.raises(GraphConstructionError):
+            apply_edge_delta(ring_graph, edges_removed=np.array([[0, 3]]))
+
+    def test_add_and_remove_together(self, ring_graph):
+        W_new, *_ = apply_edge_delta(
+            ring_graph,
+            edges_added=np.array([[0, 3]]),
+            weights_added=4.0,
+            edges_removed=np.array([[0, 1]]),
+        )
+        dense = W_new.to_dense()
+        assert dense[0, 3] == 4.0 and dense[0, 1] == 0.0
+
+
+class TestValidation:
+    def test_empty_delta_rejected(self, ring_graph):
+        with pytest.raises(GraphConstructionError):
+            apply_edge_delta(ring_graph)
+
+    def test_self_loop_rejected(self, ring_graph):
+        with pytest.raises(GraphConstructionError):
+            apply_edge_delta(
+                ring_graph, edges_added=np.array([[2, 2]]), weights_added=1.0
+            )
+
+    def test_out_of_range_vertex_rejected(self, ring_graph):
+        with pytest.raises(GraphConstructionError):
+            apply_edge_delta(
+                ring_graph, edges_added=np.array([[0, 6]]), weights_added=1.0
+            )
+
+    def test_nonpositive_weight_rejected(self, ring_graph):
+        with pytest.raises(GraphConstructionError):
+            apply_edge_delta(
+                ring_graph, edges_added=np.array([[0, 3]]), weights_added=0.0
+            )
+
+    def test_bad_shape_rejected(self, ring_graph):
+        with pytest.raises(GraphConstructionError):
+            apply_edge_delta(
+                ring_graph,
+                edges_added=np.array([[0, 1, 2]]),
+                weights_added=1.0,
+            )
+
+
+class TestResultInvariants:
+    def test_symmetry_preserved(self, ring_graph, rng):
+        W_new, *_ = apply_edge_delta(
+            ring_graph,
+            edges_added=np.array([[0, 2], [1, 5]]),
+            weights_added=np.array([0.7, 0.9]),
+        )
+        dense = W_new.to_dense()
+        assert np.array_equal(dense, dense.T)
+
+    def test_degrees_match_graph(self, ring_graph):
+        W_new, _, _, _, _, deg_new = apply_edge_delta(
+            ring_graph, edges_added=np.array([[1, 3]]), weights_added=0.3,
+        )
+        assert np.allclose(deg_new, W_new.to_dense().sum(axis=1))

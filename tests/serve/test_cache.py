@@ -72,3 +72,83 @@ class TestEmbeddingCache:
         cache.clear()
         assert len(cache) == 0
         assert cache.stats.bytes_held == 0
+
+
+def _model(n_anchor=8, k=3, d=None):
+    """A minimal FittedSpectralModel for cache-accounting tests."""
+    from repro.core.model import FittedSpectralModel
+    from repro.sparse.construct import from_edge_list
+
+    edges = np.array(
+        [[i, (i + 1) % n_anchor] for i in range(n_anchor)], dtype=np.int64
+    )
+    graph = from_edge_list(edges, n_nodes=n_anchor).to_csr()
+    return FittedSpectralModel(
+        basis=np.zeros((n_anchor, k)),
+        eigenvalues=np.ones(k),
+        degrees=np.full(n_anchor, 2.0),
+        centroids=np.zeros((k, k)),
+        labels=np.zeros(n_anchor, dtype=np.int64),
+        embedding=np.zeros((n_anchor, k)),
+        kept=np.arange(n_anchor, dtype=np.int64),
+        n_total=n_anchor,
+        graph=graph,
+        anchors=None if d is None else np.zeros((n_anchor, d)),
+        params={"n_clusters": k},
+    )
+
+
+class TestMixedFitPredictLoad:
+    """Models and embeddings share one LRU: the 'model' key prefix keeps
+    the spaces disjoint while eviction and accounting stay uniform."""
+
+    def test_disjoint_key_spaces_coexist(self):
+        cache = EmbeddingCache(capacity=4)
+        ekey = ("fp", "sym", 4)
+        mkey = ("model",) + ekey
+        cache.put(ekey, _entry())
+        cache.put(mkey, _model())
+        assert len(cache) == 2
+        assert isinstance(cache.get(ekey), EmbeddingResult)
+        assert cache.get(mkey) is not None
+
+    def test_model_nbytes_feeds_accounting(self):
+        cache = EmbeddingCache(capacity=4)
+        m = _model(n_anchor=16, d=5)
+        e = _entry(n=32)
+        cache.put(("model", "a"), m)
+        cache.put(("a",), e)
+        assert cache.stats.bytes_held == m.nbytes + e.nbytes
+        assert m.nbytes > _model(n_anchor=16).nbytes  # anchors counted
+
+    def test_lru_order_spans_both_kinds(self):
+        """A hot model keeps its slot while a stale embedding evicts."""
+        cache = EmbeddingCache(capacity=2)
+        cache.put(("model", "m"), _model())
+        cache.put(("e",), _entry())
+        cache.get(("model", "m"))  # refresh: embedding is now LRU
+        cache.put(("model", "m2"), _model())
+        assert ("model", "m") in cache and ("model", "m2") in cache
+        assert ("e",) not in cache
+        assert cache.stats.bytes_held == sum(
+            _model().nbytes for _ in range(2)
+        )
+
+    def test_hit_rate_counts_both_kinds(self):
+        cache = EmbeddingCache(capacity=4)
+        cache.put(("e",), _entry())
+        cache.put(("model", "m"), _model())
+        cache.get(("e",))
+        cache.get(("model", "m"))
+        cache.get(("model", "missing"))
+        assert cache.stats.hits == 2 and cache.stats.misses == 1
+
+    def test_service_taint_rule_is_callers_job(self):
+        """The cache never inspects resilience — the service gates put();
+        a tainted model inserted directly would be served.  Guard the
+        contract: put/get round-trips whatever object it is handed."""
+        cache = EmbeddingCache(capacity=1)
+        m = _model()
+        m.resilience = {"eigensolve": {"retries": 1}}
+        cache.put(("model", "t"), m)
+        assert cache.get(("model", "t")) is m

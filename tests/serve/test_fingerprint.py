@@ -51,7 +51,38 @@ class TestPointsFingerprint:
         assert points_fingerprint(X * 1.01, edges, "crosscorr", 1.0) != base
         assert points_fingerprint(X, edges[:-1], "crosscorr", 1.0) != base
         assert points_fingerprint(X, edges, "gaussian", 1.0) != base
-        assert points_fingerprint(X, edges, "crosscorr", 2.0) != base
+        assert points_fingerprint(X, edges, "expdecay", 2.0) != \
+            points_fingerprint(X, edges, "expdecay", 1.0)
+
+    def test_sigma_canonicalized_for_non_expdecay(self, rng):
+        """sigma only parameterizes expdecay: an explicit non-default
+        sigma under cosine/crosscorr builds the identical graph, so it
+        must share the fingerprint (and therefore every cache slot
+        derived from it) with the default."""
+        X = rng.random((20, 4))
+        edges = np.array([[0, 1], [1, 2], [3, 4]], dtype=np.int64)
+        for measure in ("crosscorr", "cosine"):
+            assert points_fingerprint(X, edges, measure, 2.5) == \
+                points_fingerprint(X, edges, measure, 1.0), measure
+        # expdecay genuinely depends on sigma — no canonicalization there
+        assert points_fingerprint(X, edges, "expdecay", 2.5) != \
+            points_fingerprint(X, edges, "expdecay", 1.0)
+
+    def test_explicit_default_sigma_request_shares_cache_slot(self, rng):
+        """The PR-7 rule at the request level: two by-value requests that
+        differ only in an inert sigma produce equal embedding keys."""
+        from repro.serve.request import ClusterRequest
+
+        X = rng.random((15, 3))
+        edges = np.array([[0, 1], [1, 2], [2, 3]], dtype=np.int64)
+        a = ClusterRequest(request_id="a", X=X, edges=edges,
+                           similarity="crosscorr", sigma=1.0)
+        b = ClusterRequest(request_id="b", X=X, edges=edges,
+                           similarity="crosscorr", sigma=3.0)
+        fa, fb = a.workload_fingerprint(), b.workload_fingerprint()
+        assert fa == fb
+        assert a.embedding_key(fa) == b.embedding_key(fb)
+        assert a.model_key(fa) == b.model_key(fb)
 
 
 class TestCompositeKeys:
@@ -150,3 +181,42 @@ class TestCompressiveKeyPartitioning:
         b = make_request(embedding="compressive", eig_devices=2)
         fp = a.workload_fingerprint()
         assert a.embedding_key(fp) == b.embedding_key(fp)
+
+
+class TestModelKey:
+    """The fitted-model cache key: embedding identity + k-means knobs,
+    predict knobs excluded."""
+
+    def test_extends_embedding_key(self, make_request):
+        req = make_request()
+        fp = req.workload_fingerprint()
+        mk = req.model_key(fp)
+        assert mk[0] == "model"
+        assert mk[1:-2] == req.embedding_key(fp)
+
+    def test_kmeans_knobs_partition(self, make_request):
+        a = make_request()
+        b = make_request(kmeans_max_iter=50)
+        c = make_request(kmeans_init="random")
+        fp = a.workload_fingerprint()
+        assert a.model_key(fp) != b.model_key(fp)
+        assert a.model_key(fp) != c.model_key(fp)
+
+    def test_never_collides_with_embedding_slot(self, make_request):
+        """Models and embeddings share one LRU cache; the 'model' prefix
+        keeps the key spaces disjoint."""
+        req = make_request()
+        fp = req.workload_fingerprint()
+        assert req.model_key(fp) != req.embedding_key(fp)
+
+    def test_predict_knobs_outside_key(self, make_request):
+        """Two predicts differing in payload / deadline / priority against
+        the same fit spec share one cached model."""
+        from repro.serve.request import PredictRequest
+
+        fit = make_request()
+        fp = fit.workload_fingerprint()
+        a = PredictRequest(request_id="pa", fit=fit, n_new=4, priority=2,
+                           deadline=1.0, arrival=0.5)
+        b = PredictRequest(request_id="pb", fit=fit, n_new=64, new_seed=9)
+        assert a.fit.model_key(fp) == b.fit.model_key(fp)
