@@ -59,6 +59,7 @@ def test_emit_machine_readable_summary(comparison):
     from bench_compressive_ablation import compressive_ablation_summary
     from bench_multigpu_eig import multigpu_eig_summary
     from bench_precision_ablation import precision_ablation_summary
+    from bench_serve_deadline import serve_deadline_summary
     from bench_serve_predict import serve_predict_summary
     from bench_serve_throughput import serve_summary
     from bench_topology_composition import topology_composition_summary
@@ -84,6 +85,7 @@ def test_emit_machine_readable_summary(comparison):
         }
     payload["serve"] = serve_summary()
     payload["serve_predict"] = serve_predict_summary()
+    payload["serve_deadline"] = serve_deadline_summary()
     payload["kmeans_ablation"] = kmeans_ablation_summary()
     payload["multigpu_eig"] = multigpu_eig_summary()
     payload["precision_ablation"] = precision_ablation_summary()
@@ -100,6 +102,16 @@ def test_emit_machine_readable_summary(comparison):
     assert sp["ledger_mismatches"] == 0
     for wl in sp["refit_parity"].values():
         assert wl["labels_bit_identical"] is True
+    sd = written["serve_deadline"]
+    pre = sd["preemption"]
+    assert pre["deadline_misses_baseline"] > 0
+    assert pre["miss_reduction"] >= pre["min_miss_reduction"]
+    assert pre["throughput_ratio"] >= pre["min_throughput_ratio"]
+    assert pre["labels_bit_identical"] is True
+    assert sd["speculation"]["spec_hits"] > 0
+    assert sd["speculation"]["labels_bit_identical"] is True
+    assert sd["persistence"]["cold_fits_restarted"] == 0
+    assert sd["persistence"]["labels_bit_identical"] is True
     assert written["kmeans_ablation"]["bit_identical"] is True
     assert written["kmeans_ablation"]["speedup_default_vs_baseline"] > 1.0
     assert written["multigpu_eig"]["bit_identical"] is True

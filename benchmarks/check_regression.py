@@ -50,6 +50,7 @@ def compare(baseline: dict, current: dict, rel_tol: float) -> list[str]:
                 "(quality must be bit-identical)"
             )
     failures.extend(_compare_serve_predict(baseline, current, rel_tol))
+    failures.extend(_compare_serve_deadline(baseline, current, rel_tol))
     failures.extend(_compare_kmeans_ablation(baseline, current, rel_tol))
     failures.extend(_compare_multigpu_eig(baseline, current, rel_tol))
     failures.extend(_compare_precision_ablation(baseline, current, rel_tol))
@@ -111,6 +112,71 @@ def _compare_serve_predict(
             f"serve_predict.warm_predict_p50_s: {old_p50:.6g} -> "
             f"{new_p50:.6g} (+{(new_p50 / old_p50 - 1.0) * 100:.1f}%, "
             f"tolerance {rel_tol * 100:.0f}%)"
+        )
+    return failures
+
+
+def _compare_serve_deadline(
+    baseline: dict, current: dict, rel_tol: float
+) -> list[str]:
+    """Gate the deadline-driven serving tier: preemption keeps cutting
+    deadline misses >=30% against the observational baseline at equal
+    throughput (within tolerance), placement rewrites stay bit-identical
+    to FIFO arithmetic, speculation keeps coalescing the recurring
+    trace, and a restarted service keeps warming from disk with zero
+    cold fits and bit-identical labels."""
+    failures: list[str] = []
+    base = baseline.get("serve_deadline")
+    cur = current.get("serve_deadline")
+    if base is None:
+        return failures
+    if cur is None:
+        return ["serve_deadline: section missing from current run"]
+    pre = cur.get("preemption", {})
+    reduction = pre.get("miss_reduction")
+    bar = pre.get("min_miss_reduction", 0.30)
+    if reduction is not None and reduction < bar:
+        failures.append(
+            f"serve_deadline.miss_reduction: preemption only cut "
+            f"deadline misses {reduction:.0%} "
+            f"({pre.get('deadline_misses_baseline')} -> "
+            f"{pre.get('deadline_misses_preemptive')}; >= {bar:.0%} "
+            "required)"
+        )
+    ratio = pre.get("throughput_ratio")
+    rbar = pre.get("min_throughput_ratio", 0.95)
+    if ratio is not None and ratio < rbar:
+        failures.append(
+            f"serve_deadline.throughput_ratio: preemption costs "
+            f"{(1.0 - ratio) * 100:.1f}% throughput "
+            f"(>= {rbar:.2f}x of the baseline required)"
+        )
+    if pre.get("labels_bit_identical") is not True:
+        failures.append(
+            "serve_deadline.preemption: labels diverged between the "
+            "preemptive and observational schedules"
+        )
+    spec = cur.get("speculation", {})
+    if spec.get("spec_hits", 0) <= 0:
+        failures.append(
+            "serve_deadline.speculation: no speculation hit on the "
+            "recurring-fingerprint trace"
+        )
+    if spec.get("labels_bit_identical") is not True:
+        failures.append(
+            "serve_deadline.speculation: labels diverged under holds"
+        )
+    per = cur.get("persistence", {})
+    if per.get("cold_fits_restarted", 1) != 0:
+        failures.append(
+            f"serve_deadline.persistence: restarted service paid "
+            f"{per.get('cold_fits_restarted')} cold fit(s) instead of "
+            "warming from disk"
+        )
+    if per.get("labels_bit_identical") is not True:
+        failures.append(
+            "serve_deadline.persistence: disk-warmed labels diverged "
+            "from the first process"
         )
     return failures
 
@@ -473,6 +539,18 @@ def main(argv: list[str] | None = None) -> int:
             f"win {sp['throughput_win']:.2f}x  "
             f"warm/cold {sp['warm_cold_ratio']:.0f}x  "
             f"ledgers {'ok' if sp['ledger_mismatches'] == 0 else 'FAIL'}  ok"
+        )
+    sd = current.get("serve_deadline")
+    if sd:
+        pre = sd["preemption"]
+        print(
+            f"serve deadline misses {pre['deadline_misses_baseline']}"
+            f"->{pre['deadline_misses_preemptive']} "
+            f"({pre['miss_reduction']:.0%} cut, "
+            f"{pre['preemptions']} preemptions)  "
+            f"spec hits {sd['speculation']['spec_hits']}  "
+            f"restart cold fits {sd['persistence']['cold_fits_restarted']}  "
+            "ok"
         )
     ablation = current.get("kmeans_ablation")
     if ablation:

@@ -173,6 +173,9 @@ def _cmd_serve(args) -> int:
         n_devices=args.devices,
         streams_per_device=args.streams,
         cache_entries=args.cache_capacity,
+        preemption=not args.no_preemption,
+        speculation_window=args.speculation_window,
+        cache_dir=args.cache_dir,
     ))
     responses, report = service.process(requests)
 
@@ -188,6 +191,20 @@ def _cmd_serve(args) -> int:
                   "cold runs", file=sys.stderr)
 
     if args.json:
+        import hashlib
+
+        import numpy as np
+
+        def labels_sha256(r):
+            # a content digest of the label vector, so two processes (a
+            # cold and a disk-warm run) can assert bit-identity without
+            # shipping the arrays
+            if getattr(r, "labels", None) is None:
+                return None
+            return hashlib.sha256(
+                np.ascontiguousarray(r.labels).tobytes()
+            ).hexdigest()
+
         payload = report.as_dict()
         payload["responses"] = [
             {
@@ -200,6 +217,7 @@ def _cmd_serve(args) -> int:
                 "deadline_met": r.deadline_met,
                 "latency_s": r.latency,
                 "service_s": r.service_time,
+                "labels_sha256": labels_sha256(r),
                 "error": r.error,
             }
             if isinstance(r, PredictResponse) else
@@ -211,6 +229,7 @@ def _cmd_serve(args) -> int:
                 "batch_size": r.batch_size,
                 "queue_wait_s": r.queue_wait,
                 "latency_s": r.latency,
+                "labels_sha256": labels_sha256(r),
                 "error": r.error,
             }
             for r in responses
@@ -353,6 +372,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="micro-batch size cap (default 8)")
     srv_p.add_argument("--cache-capacity", type=int, default=32,
                        help="embedding cache entries, 0 disables (default 32)")
+    srv_p.add_argument("--cache-dir", metavar="DIR", default=None,
+                       help="persist the embedding/model cache to DIR so a "
+                       "restarted service warms from disk (default: "
+                       "in-process only)")
+    srv_p.add_argument("--speculation-window", type=float, default=0.0,
+                       metavar="S",
+                       help="hold an under-full batch open up to S simulated "
+                       "seconds when a compatible arrival is predicted "
+                       "(default 0 = off)")
+    srv_p.add_argument("--no-preemption", action="store_true",
+                       help="disable EDF preemption at stage boundaries "
+                       "(deadlines become observational, as before)")
     srv_p.add_argument("--verify-cold", action="store_true",
                        help="re-run every served request cold and assert "
                        "bit-identical labels and embeddings")

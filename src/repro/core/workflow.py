@@ -24,6 +24,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.chaos.retry import DISABLED, ResiliencePolicy, TRANSIENT_ERRORS, with_retry
+from repro.cuda.boundaries import mark_boundary
 from repro.cuda.device import Device
 from repro.cuda.memory import BufferGroup
 from repro.cuda.stream import Stream
@@ -635,10 +636,18 @@ def hybrid_eigensolver(
     def make_prob(restart_cb=None) -> SymEigProblem:
         # step 1: initialize the Prob object with parameters (resumes pick
         # up the factorization and RNG from the latest checkpoint instead)
+        def on_restart_boundary(r: int) -> None:
+            # an implicit restart compacts the factorization to the same
+            # checkpointable basis block the resilience layer saves — a
+            # preemption-safe point for the serving scheduler
+            mark_boundary(device)
+            if restart_cb is not None:
+                restart_cb(r)
+
         return SymEigProblem(
             n=n, k=k, which=which, m=m, tol=tol_eff, maxiter=maxiter,
             seed=seed, v0=v0, checkpoint=latest_cp, checkpoint_cb=note_cp,
-            restart_cb=restart_cb,
+            restart_cb=on_restart_boundary,
         )
 
     # power-iteration parameters (fixed before format selection so the

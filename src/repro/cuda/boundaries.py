@@ -1,0 +1,57 @@
+"""Stage-boundary marks for preemptive scheduling.
+
+A unit of serving work (a k-means run, a cold fit) executes as one
+opaque ``fn(device)`` call on the serial cost model, so by itself the
+scheduler only knows the unit's total duration.  Preemption needs more:
+the simulated times at which the unit could be *safely* suspended — the
+natural save/restore points of the real algorithms.  Those are:
+
+- every k-means Lloyd iteration (labels + centroids are consistent
+  between iterations), and
+- every Lanczos implicit restart (the factorization is compacted to a
+  checkpointable basis block — the same point the resilience layer's
+  checkpoint/restart machinery already uses).
+
+The stage implementations call :func:`mark_boundary` at those points.
+When no collector is active (every non-serving fit) the call is a
+no-op costing one truth test; the serving scheduler wraps each unit's
+execution in :func:`collect_boundaries` and converts the collected
+device timestamps into offsets inside the unit's placed span.
+
+The collector is a plain stack, not a context variable: the simulation
+is single-threaded and units never nest scheduler runs, but a stack
+keeps the semantics obvious if they ever do.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+_stack: list[list[float]] = []
+
+
+def mark_boundary(device) -> None:
+    """Record ``device.elapsed`` as a preemption-safe point.
+
+    Call this where the running algorithm could suspend and later resume
+    without recomputation (end of a Lloyd iteration, a Lanczos restart).
+    No-op unless a :func:`collect_boundaries` scope is active.
+    """
+    if _stack:
+        _stack[-1].append(device.elapsed)
+
+
+@contextmanager
+def collect_boundaries() -> Iterator[list[float]]:
+    """Collect the boundary marks fired while the scope is active.
+
+    Yields the (live) list of absolute device timestamps; the caller
+    turns them into offsets relative to the unit's own start.
+    """
+    marks: list[float] = []
+    _stack.append(marks)
+    try:
+        yield marks
+    finally:
+        _stack.pop()

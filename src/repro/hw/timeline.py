@@ -148,6 +148,37 @@ class Timeline:
         self._events.append(ev)
         return ev
 
+    def replace_event(
+        self, old: TimelineEvent, new: Iterable[TimelineEvent]
+    ) -> None:
+        """Swap one recorded event for replacement events, in place.
+
+        :class:`TimelineEvent` is frozen and the timeline is otherwise
+        append-only; this is the one sanctioned rewrite, used by the
+        serving scheduler when preemption splits or shifts an already
+        placed span.  ``old`` is matched by identity (two placements may
+        be field-equal), and the replacements keep its position so event
+        order stays stable for exports.
+        """
+        news = list(new)
+        for ev in news:
+            if ev.category not in CATEGORIES:
+                raise ValueError(
+                    f"unknown category {ev.category!r}; "
+                    f"expected one of {CATEGORIES}"
+                )
+            if ev.duration < 0:
+                raise ValueError(f"negative duration: {ev.duration}")
+            if ev.start < 0:
+                raise ValueError(f"negative start: {ev.start}")
+        for i, ev in enumerate(self._events):
+            if ev is old:
+                self._events[i:i + 1] = news
+                for n in news:
+                    self.clock.advance_to(n.end)
+                return
+        raise ValueError(f"event is not on this timeline: {old!r}")
+
     def clear(self) -> None:
         self._events.clear()
         self.clock.reset()

@@ -43,6 +43,7 @@ import numpy as np
 
 from repro import cublas, thrust
 from repro.cuda.allocator import MIN_BUCKET_BYTES
+from repro.cuda.boundaries import mark_boundary
 from repro.cuda.device import Device
 from repro.cuda.kernel import Kernel, launch
 from repro.cuda.launch import grid_1d
@@ -344,6 +345,9 @@ def kmeans_device(
         converged = False
         it = 0
         for it in range(1, max_iter + 1):
+            # labels/centroids are consistent between Lloyd trips — a
+            # preemption-safe point for the serving scheduler
+            mark_boundary(device)
             # centroid norms + distances + labels, row tiles of S
             launch(compute_norms, grid_1d(k, block), dC, dCnorm, n_threads=k)
             if use_fused:

@@ -2,14 +2,21 @@
 
 A replay-driven serving layer over the spectral clustering pipeline:
 bounded admission, micro-batching of fingerprint-compatible requests,
-an LRU embedding cache with bit-identical hits, a predict fast lane that
-serves out-of-sample requests from cached fitted models under
-deadline/priority dispatch, and a multi-stream / multi-device scheduler
-that charges queueing and overlap to the simulated clock.  See
+an LRU embedding cache with bit-identical hits (optionally spilled to an
+on-disk cross-process store), speculative batch formation driven by an
+online arrival predictor, a predict fast lane that serves out-of-sample
+requests from cached fitted models under deadline/priority dispatch with
+EDF preemption at stage boundaries, and a multi-stream / multi-device
+scheduler that charges queueing and overlap to the simulated clock.  See
 ``docs/serving.md`` for the model.
 """
 
-from repro.serve.batcher import Batch, BatcherStats, MicroBatcher
+from repro.serve.batcher import (
+    ArrivalPredictor,
+    Batch,
+    BatcherStats,
+    MicroBatcher,
+)
 from repro.serve.cache import CacheStats, EmbeddingCache
 from repro.serve.fingerprint import (
     embedding_key,
@@ -18,7 +25,14 @@ from repro.serve.fingerprint import (
     operator_key,
     points_fingerprint,
 )
-from repro.serve.metrics import LatencyStats, ServiceReport, build_report, percentile
+from repro.serve.metrics import (
+    LatencyStats,
+    ServiceReport,
+    build_report,
+    merge_service_reports,
+    percentile,
+)
+from repro.serve.persist import FORMAT_VERSION, PersistentStore, StoreStats
 from repro.serve.queue import AdmissionQueue, QueueStats
 from repro.serve.request import (
     STATUS_FAILED,
@@ -29,7 +43,12 @@ from repro.serve.request import (
     PredictRequest,
     PredictResponse,
 )
-from repro.serve.scheduler import ScheduledUnit, StreamScheduler
+from repro.serve.scheduler import (
+    DEFAULT_CTX_SWITCH_S,
+    ScheduledUnit,
+    SchedulerStats,
+    StreamScheduler,
+)
 from repro.serve.service import (
     ClusterService,
     ServiceConfig,
@@ -49,15 +68,19 @@ from repro.serve.traceio import (
 
 __all__ = [
     "AdmissionQueue",
+    "ArrivalPredictor",
     "Batch",
     "BatcherStats",
     "CacheStats",
     "ClusterRequest",
     "ClusterResponse",
     "ClusterService",
+    "DEFAULT_CTX_SWITCH_S",
     "EmbeddingCache",
+    "FORMAT_VERSION",
     "LatencyStats",
     "MicroBatcher",
+    "PersistentStore",
     "PredictRequest",
     "PredictResponse",
     "QueueStats",
@@ -65,10 +88,13 @@ __all__ = [
     "STATUS_OK",
     "STATUS_REJECTED",
     "ScheduledUnit",
+    "SchedulerStats",
     "ServiceConfig",
     "ServiceReport",
+    "StoreStats",
     "StreamScheduler",
     "build_report",
+    "merge_service_reports",
     "embedding_key",
     "graph_fingerprint",
     "model_key",

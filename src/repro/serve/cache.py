@@ -13,6 +13,15 @@ embeddings to a cold run.
 Entries computed while a fault fired are never inserted (the service
 checks the resilience record first); recovered runs are *believed*
 correct, but the cache only trusts provably clean computations.
+
+With a :class:`~repro.serve.persist.PersistentStore` attached the LRU
+becomes a two-tier cache: inserts write through to disk, and a memory
+miss consults the store before giving up — a *disk-warm* hit re-admits
+the entry to the LRU (evicting as usual) and counts as both a hit and a
+``disk_hit``.  Memory eviction never deletes the disk copy; that is the
+point — warmth survives both eviction and process death.  The taint
+rule extends to disk: an artifact with a non-empty resilience record is
+never written (the store refuses it too).
 """
 
 from __future__ import annotations
@@ -34,6 +43,14 @@ class CacheStats:
     evictions: int = 0
     #: bytes currently held (embedding + eigenvalues + kept per entry)
     bytes_held: int = 0
+    #: hits served from the persistent store (subset of ``hits``)
+    disk_hits: int = 0
+    #: entries written through to the persistent store
+    disk_writes: int = 0
+    #: total bytes written to the persistent store
+    disk_bytes_written: int = 0
+    #: tainted entries the disk tier refused (memory-only residency)
+    taint_skipped: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -48,6 +65,10 @@ class CacheStats:
             "evictions": self.evictions,
             "bytes_held": self.bytes_held,
             "hit_rate": self.hit_rate,
+            "disk_hits": self.disk_hits,
+            "disk_writes": self.disk_writes,
+            "disk_bytes_written": self.disk_bytes_written,
+            "taint_skipped": self.taint_skipped,
         }
 
 
@@ -58,13 +79,18 @@ class EmbeddingCache:
     ----------
     capacity:
         Maximum number of entries; 0 disables caching entirely (every
-        lookup misses, every insert is dropped).
+        lookup misses, every insert is dropped — the persistent tier
+        included).
+    store:
+        Optional :class:`~repro.serve.persist.PersistentStore` backing
+        tier; see the module docstring for the two-tier semantics.
     """
 
-    def __init__(self, capacity: int = 32) -> None:
+    def __init__(self, capacity: int = 32, store=None) -> None:
         if capacity < 0:
             raise ServiceError(f"cache capacity must be >= 0, got {capacity}")
         self.capacity = capacity
+        self.store = store
         self._entries: OrderedDict[tuple, EmbeddingResult] = OrderedDict()
         self.stats = CacheStats()
 
@@ -74,35 +100,63 @@ class EmbeddingCache:
     def __contains__(self, key: tuple) -> bool:
         return key in self._entries
 
-    def get(self, key: tuple) -> EmbeddingResult | None:
-        """Look up an embedding; counts a hit/miss and refreshes recency."""
-        entry = self._entries.get(key)
-        if entry is None:
-            self.stats.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.stats.hits += 1
-        return entry
+    def _admit(self, key: tuple, entry) -> None:
+        """Insert into the LRU with full bookkeeping (evicting as needed)."""
+        self._entries[key] = entry
+        self.stats.insertions += 1
+        self.stats.bytes_held += entry.nbytes
+        while len(self._entries) > self.capacity:
+            _, evicted = self._entries.popitem(last=False)
+            self.stats.evictions += 1
+            self.stats.bytes_held -= evicted.nbytes
 
-    def put(self, key: tuple, emb: EmbeddingResult) -> bool:
+    def get(self, key: tuple):
+        """Look up an entry; counts a hit/miss and refreshes recency.
+
+        A memory miss falls through to the persistent store (if any): a
+        disk hit re-admits the entry to the LRU and is indistinguishable
+        from a memory hit to the caller — bit-identical by the store's
+        round-trip guarantee.
+        """
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return entry
+        if self.store is not None and self.capacity > 0:
+            entry = self.store.load(key)
+            if entry is not None:
+                self._admit(key, entry)
+                self.stats.hits += 1
+                self.stats.disk_hits += 1
+                return entry
+        self.stats.misses += 1
+        return None
+
+    def put(self, key: tuple, emb) -> bool:
         """Insert (or refresh) an entry, evicting LRU entries over capacity.
 
-        Returns True if the entry is resident afterwards.
+        Returns True if the entry is resident afterwards.  With a store
+        attached the insert writes through to disk — unless the entry is
+        tainted (non-empty resilience record), which never leaves the
+        process.
         """
         if self.capacity == 0:
             return False
         if key in self._entries:
             self._entries.move_to_end(key)
             return True
-        self._entries[key] = emb
-        self.stats.insertions += 1
-        self.stats.bytes_held += emb.nbytes
-        while len(self._entries) > self.capacity:
-            _, evicted = self._entries.popitem(last=False)
-            self.stats.evictions += 1
-            self.stats.bytes_held -= evicted.nbytes
+        self._admit(key, emb)
+        if self.store is not None:
+            if getattr(emb, "resilience", None):
+                self.stats.taint_skipped += 1
+            else:
+                nbytes = self.store.save(key, emb)
+                self.stats.disk_writes += 1
+                self.stats.disk_bytes_written += nbytes
         return key in self._entries
 
     def clear(self) -> None:
+        """Drop the in-memory tier (the persistent store is untouched)."""
         self._entries.clear()
         self.stats.bytes_held = 0

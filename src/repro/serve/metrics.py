@@ -75,6 +75,8 @@ class ServiceReport:
     cache: dict = field(default_factory=dict)
     #: fast-lane facts (empty when the trace carried no predicts)
     predict: dict = field(default_factory=dict)
+    #: deadline / preemption counters (:class:`SchedulerStats`)
+    scheduler: dict = field(default_factory=dict)
 
     latency: LatencyStats = field(default_factory=LatencyStats)
     queue_wait: LatencyStats = field(default_factory=LatencyStats)
@@ -105,6 +107,7 @@ class ServiceReport:
             "batches": dict(self.batches),
             "cache": dict(self.cache),
             "predict": dict(self.predict),
+            "scheduler": dict(self.scheduler),
             "latency_s": self.latency.as_dict(),
             "queue_wait_s": self.queue_wait.as_dict(),
             "makespan_s": self.makespan,
@@ -153,6 +156,34 @@ class ServiceReport:
             f"{'latency p99 (sim s)':<28}{self.latency.p99:>16.4f}",
             f"{'queue wait p95 (sim s)':<28}{self.queue_wait.p95:>16.4f}",
         ]
+        if self.scheduler:
+            lines.extend([
+                f"{'deadline misses':<28}"
+                f"{self.scheduler.get('deadline_misses', 0):>16}",
+                f"{'deadlines met':<28}"
+                f"{self.scheduler.get('deadlines_met', 0):>16}",
+                f"{'preemptions':<28}"
+                f"{self.scheduler.get('preemptions', 0):>16}",
+                f"{'  saved misses':<28}"
+                f"{self.scheduler.get('saved_misses', 0):>16}",
+                f"{'  ctx switch (sim s)':<28}"
+                f"{self.scheduler.get('ctx_switch_s', 0.0):>16.6f}",
+            ])
+        if self.batches.get("spec_holds"):
+            lines.extend([
+                f"{'speculative holds':<28}"
+                f"{self.batches.get('spec_holds', 0):>16}",
+                f"{'  hits':<28}{self.batches.get('spec_hits', 0):>16}",
+                f"{'  misses':<28}{self.batches.get('spec_misses', 0):>16}",
+                f"{'  held (sim s)':<28}"
+                f"{self.batches.get('spec_hold_s', 0.0):>16.4f}",
+            ])
+        if self.cache.get("disk_hits") or self.cache.get("disk_writes"):
+            lines.extend([
+                f"{'cache disk hits':<28}{self.cache.get('disk_hits', 0):>16}",
+                f"{'cache disk writes':<28}"
+                f"{self.cache.get('disk_writes', 0):>16}",
+            ])
         if self.predict.get("total"):
             warm = self.predict.get("warm_service_s", {})
             cold = self.predict.get("cold_latency_s", {})
@@ -249,7 +280,16 @@ def build_report(responses, scheduler, queue_stats, batch_stats, cache_stats,
             "with_deadline": sum(
                 1 for r in predicts if r.deadline is not None
             ),
-            "deadline_misses": getattr(scheduler, "deadline_misses", 0),
+            # derived from the responses, not the scheduler counter, so
+            # merged multi-service reports sum consistently (the
+            # scheduler section keeps the unit-level counters, which
+            # also cover failed units that burned lane time)
+            "deadline_misses": sum(
+                1 for r in predicts if r.deadline_met is False
+            ),
+            "deadlines_met": sum(
+                1 for r in predicts if r.deadline_met is True
+            ),
             "latency_s": LatencyStats.from_values(
                 [r.latency for r in pok]
             ).as_dict(),
@@ -269,10 +309,114 @@ def build_report(responses, scheduler, queue_stats, batch_stats, cache_stats,
         batches=batch_stats.as_dict(),
         cache=cache_stats.as_dict(),
         predict=predict_section,
+        scheduler=(
+            scheduler.stats.as_dict()
+            if getattr(scheduler, "stats", None) is not None else {}
+        ),
         latency=LatencyStats.from_values([r.latency for r in all_ok]),
         queue_wait=LatencyStats.from_values([r.queue_wait for r in ok]),
         makespan=makespan,
         throughput_rps=len(all_ok) / makespan if makespan > 0 else 0.0,
         occupancy=scheduler.occupancy(),
         profile=profile,
+    )
+
+
+#: dict keys that summarize a high-water mark or a distribution point —
+#: merged by maximum; every other numeric key is a count and sums
+_MAX_KEYS = frozenset(
+    {"max_occupancy", "max_batch", "mean", "p50", "p95", "p99", "max"}
+)
+#: ratio keys recomputed from the merged counts (never summed)
+_DERIVED_KEYS = frozenset({"hit_rate", "mean_batch_size"})
+
+
+def _merge_counts(dicts) -> dict:
+    """Merge stat dicts: counts sum, high-water marks / percentiles max,
+    derived ratios are dropped (recomputed by the caller)."""
+    out: dict = {}
+    for d in dicts:
+        for k, v in d.items():
+            if k in _DERIVED_KEYS:
+                continue
+            if isinstance(v, dict):
+                out[k] = _merge_counts([out[k], v]) if k in out else \
+                    _merge_counts([v])
+            elif isinstance(v, (int, float)):
+                if k in _MAX_KEYS:
+                    out[k] = max(out.get(k, v), v)
+                else:
+                    out[k] = out.get(k, 0) + v
+            else:
+                out.setdefault(k, v)
+    return out
+
+
+def merge_service_reports(reports) -> ServiceReport:
+    """Merge several :class:`ServiceReport` into one summary.
+
+    Counts — requests, deadline misses, preemptions, speculation hits,
+    cache/disk traffic — **sum**, so a fleet of serve lanes (or a
+    restarted process pair) reports one consistent total instead of
+    whichever scheduler's counter a caller remembered to read.  Derived
+    ratios (hit rate, mean batch size) are recomputed from the merged
+    counts.  Distribution summaries (latency percentiles, occupancy)
+    merge as element-wise maxima — a conservative worst-lane bound, since
+    pooled percentiles are not derivable from summaries.  Device
+    profiles merge through
+    :func:`~repro.cuda.profiler.merge_reports`.  Makespan is the max;
+    throughput is total ok work over that makespan.
+    """
+    from repro.cuda.profiler import merge_reports as _merge_profiles
+
+    reports = list(reports)
+    if not reports:
+        return ServiceReport()
+
+    def _latency(stats_list) -> LatencyStats:
+        return LatencyStats(
+            mean=max(s.mean for s in stats_list),
+            p50=max(s.p50 for s in stats_list),
+            p95=max(s.p95 for s in stats_list),
+            p99=max(s.p99 for s in stats_list),
+            max=max(s.max for s in stats_list),
+        )
+
+    queue = _merge_counts([r.queue for r in reports])
+    batches = _merge_counts([r.batches for r in reports])
+    cache = _merge_counts([r.cache for r in reports])
+    predict = _merge_counts([r.predict for r in reports if r.predict])
+    sched = _merge_counts([r.scheduler for r in reports if r.scheduler])
+    hits, misses = cache.get("hits", 0), cache.get("misses", 0)
+    if hits or misses:
+        cache["hit_rate"] = hits / (hits + misses)
+    if batches.get("n_batches"):
+        batches["mean_batch_size"] = (
+            batches.get("total_batched", 0) / batches["n_batches"]
+        )
+    occupancy: dict = {}
+    for r in reports:
+        for dev, occ in r.occupancy.items():
+            occupancy[dev] = max(occupancy.get(dev, 0.0), occ)
+    profiles = [r.profile for r in reports if r.profile is not None]
+    makespan = max(r.makespan for r in reports)
+    n_ok = sum(r.n_ok for r in reports)
+    return ServiceReport(
+        n_requests=sum(r.n_requests for r in reports),
+        n_ok=n_ok,
+        n_rejected=sum(r.n_rejected for r in reports),
+        n_failed=sum(r.n_failed for r in reports),
+        n_cache_hits=sum(r.n_cache_hits for r in reports),
+        n_degraded=sum(r.n_degraded for r in reports),
+        queue=queue,
+        batches=batches,
+        cache=cache,
+        predict=predict,
+        scheduler=sched,
+        latency=_latency([r.latency for r in reports]),
+        queue_wait=_latency([r.queue_wait for r in reports]),
+        makespan=makespan,
+        throughput_rps=n_ok / makespan if makespan > 0 else 0.0,
+        occupancy=occupancy,
+        profile=_merge_profiles(profiles) if profiles else None,
     )

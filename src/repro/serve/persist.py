@@ -1,0 +1,314 @@
+"""The persistent cross-process cache store.
+
+The in-process LRU (:class:`~repro.serve.cache.EmbeddingCache`) dies
+with the service, so every restart pays the warm-up all over again —
+one cold fit per model, one Lanczos solve per embedding group.  This
+module spills cache entries to an on-disk store so a restarted process
+warms from disk instead:
+
+- **content-fingerprint keyed** — files are named by the SHA-256 of the
+  canonicalized cache key (the same tuples
+  :mod:`~repro.serve.fingerprint` builds, so a disk hit is bit-identical
+  to a memory hit by the same argument: the key covers every parameter
+  that influenced the arrays).  The full key is stored *inside* the file
+  and verified on load, so a truncated hash or a foreign file can never
+  alias;
+- **versioned** — every file carries ``FORMAT_VERSION``; a mismatch is
+  treated as a miss (and counted), never a crash, so old caches degrade
+  gracefully across format changes;
+- **bit-identical round-trip** — arrays are serialized with ``np.savez``
+  (dtype- and byte-exact); metadata rides as canonical JSON.  What does
+  *not* round-trip is documented: an embedding's device
+  :class:`~repro.cuda.profiler.ProfileReport` and wall-clock timings are
+  process-local observations, not results, and come back empty;
+- **taint rule preserved** — an artifact whose resilience record is
+  non-empty (it recovered from injected faults) is refused with a typed
+  error.  The LRU already never offers one; the store double-checks.
+
+Writes go through a temp file + ``os.replace`` so a concurrent reader
+(the restarted process racing the dying one) never sees a torn file.
+No pickle anywhere: only primitive arrays and JSON, so a poisoned cache
+directory cannot execute code.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.result import EmbeddingResult, StageTimings
+from repro.cuda.profiler import ProfileReport
+from repro.errors import ServiceError
+from repro.sparse.csr import CSRMatrix
+
+#: bump when the on-disk layout changes; readers treat any other value
+#: as a miss
+FORMAT_VERSION = 1
+
+_KIND_EMBEDDING = "embedding"
+_KIND_MODEL = "model"
+
+_EMBEDDING_ARRAYS = ("embedding", "eigenvalues", "kept")
+_MODEL_ARRAYS = (
+    "basis", "eigenvalues", "degrees", "centroids", "labels",
+    "embedding", "kept", "graph_indptr", "graph_indices", "graph_data",
+)
+
+
+def canonical_key(key: tuple) -> str:
+    """Canonical JSON for a cache key (tuples become lists, recursively).
+
+    Cache keys are tuples of primitives by construction
+    (:mod:`~repro.serve.fingerprint`), so JSON round-trips them exactly;
+    the canonical string is both the hash input and the stored identity.
+    """
+    def conv(obj):
+        if isinstance(obj, (tuple, list)):
+            return [conv(o) for o in obj]
+        if isinstance(obj, (str, bool)) or obj is None:
+            return obj
+        if isinstance(obj, (int, float, np.integer, np.floating)):
+            # preserve int/float distinction; repr round-trips floats
+            return obj.item() if isinstance(obj, np.generic) else obj
+        raise ServiceError(
+            f"cache key contains a non-serializable element: {obj!r}"
+        )
+
+    return json.dumps(conv(key), separators=(",", ":"), sort_keys=False)
+
+
+def _sanitize(obj):
+    """JSON-encode best-effort stats dicts (numpy scalars/arrays allowed)."""
+    if isinstance(obj, dict):
+        return {str(k): _sanitize(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_sanitize(v) for v in obj]
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if isinstance(obj, np.generic):
+        return obj.item()
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    return repr(obj)
+
+
+@dataclass
+class StoreStats:
+    """Counters for one store instance (surfaced via the cache stats)."""
+
+    loads: int = 0
+    saves: int = 0
+    #: files rejected for format-version or key mismatch
+    stale: int = 0
+    #: unreadable/corrupt files skipped (treated as misses)
+    errors: int = 0
+    bytes_written: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "loads": self.loads,
+            "saves": self.saves,
+            "stale": self.stale,
+            "errors": self.errors,
+            "bytes_written": self.bytes_written,
+        }
+
+
+class PersistentStore:
+    """Content-addressed npz files under one directory.
+
+    Parameters
+    ----------
+    root:
+        Directory holding the store (created if missing).  Safe to share
+        between processes: writes are atomic renames, reads verify the
+        embedded key and version.
+    """
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.stats = StoreStats()
+
+    # ------------------------------------------------------------------
+    def path_for(self, key: tuple) -> Path:
+        digest = hashlib.sha256(canonical_key(key).encode()).hexdigest()
+        return self.root / f"{digest}.npz"
+
+    def __contains__(self, key: tuple) -> bool:
+        return self.path_for(key).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.npz"))
+
+    # ------------------------------------------------------------------
+    # save
+    # ------------------------------------------------------------------
+    def save(self, key: tuple, value) -> int:
+        """Persist one cache entry; returns bytes written.
+
+        ``value`` is an :class:`EmbeddingResult` or a
+        :class:`~repro.core.model.FittedSpectralModel`.  Tainted
+        artifacts (non-empty resilience record) are refused — recovered
+        computations are *believed* correct, and this store only keeps
+        provably clean ones, exactly like the in-memory cache.
+        """
+        from repro.core.model import FittedSpectralModel
+
+        if getattr(value, "resilience", None):
+            raise ServiceError(
+                "refusing to persist a tainted artifact (non-empty "
+                f"resilience record {sorted(value.resilience)})"
+            )
+        if isinstance(value, EmbeddingResult):
+            kind = _KIND_EMBEDDING
+            arrays = {name: getattr(value, name) for name in _EMBEDDING_ARRAYS}
+            extra = {
+                "n_total": int(value.n_total),
+                "timings_simulated": _sanitize(value.timings.simulated),
+                "eig_stats": _sanitize(value.eig_stats),
+            }
+        elif isinstance(value, FittedSpectralModel):
+            kind = _KIND_MODEL
+            arrays = {
+                "basis": value.basis,
+                "eigenvalues": value.eigenvalues,
+                "degrees": value.degrees,
+                "centroids": value.centroids,
+                "labels": value.labels,
+                "embedding": value.embedding,
+                "kept": value.kept,
+                "graph_indptr": value.graph.indptr,
+                "graph_indices": value.graph.indices,
+                "graph_data": value.graph.data,
+            }
+            if value.anchors is not None:
+                arrays["anchors"] = value.anchors
+            extra = {
+                "n_total": int(value.n_total),
+                "graph_shape": list(value.graph.shape),
+                "params": _sanitize(value.params),
+                "drift_scale": float(value.drift_scale),
+                "n_refits": int(value.n_refits),
+                "accumulated_drift": float(value._accumulated_drift),
+                "has_anchors": value.anchors is not None,
+            }
+        else:
+            raise ServiceError(
+                f"cannot persist a {type(value).__name__}; expected "
+                "EmbeddingResult or FittedSpectralModel"
+            )
+        meta = {
+            "format": FORMAT_VERSION,
+            "kind": kind,
+            "key": json.loads(canonical_key(key)),
+            **extra,
+        }
+        blob = json.dumps(meta, separators=(",", ":")).encode()
+        path = self.path_for(key)
+        tmp = path.with_suffix(f".tmp{os.getpid()}")
+        try:
+            with open(tmp, "wb") as fh:
+                np.savez(
+                    fh,
+                    __meta__=np.frombuffer(blob, dtype=np.uint8),
+                    **arrays,
+                )
+            os.replace(tmp, path)
+        finally:
+            if tmp.exists():
+                tmp.unlink()
+        nbytes = path.stat().st_size
+        self.stats.saves += 1
+        self.stats.bytes_written += nbytes
+        return nbytes
+
+    # ------------------------------------------------------------------
+    # load
+    # ------------------------------------------------------------------
+    def load(self, key: tuple):
+        """Load one entry, or None on miss/stale/corrupt (never raises).
+
+        The embedded key must match ``key`` exactly (content addressing
+        plus verification), and the format version must be current.
+        """
+        path = self.path_for(key)
+        if not path.exists():
+            return None
+        try:
+            with np.load(path, allow_pickle=False) as npz:
+                meta = json.loads(bytes(npz["__meta__"].tobytes()).decode())
+                if meta.get("format") != FORMAT_VERSION:
+                    self.stats.stale += 1
+                    return None
+                if meta.get("key") != json.loads(canonical_key(key)):
+                    self.stats.stale += 1
+                    return None
+                kind = meta.get("kind")
+                if kind == _KIND_EMBEDDING:
+                    value = self._load_embedding(npz, meta)
+                elif kind == _KIND_MODEL:
+                    value = self._load_model(npz, meta)
+                else:
+                    self.stats.stale += 1
+                    return None
+        except (OSError, ValueError, KeyError, json.JSONDecodeError):
+            self.stats.errors += 1
+            return None
+        self.stats.loads += 1
+        return value
+
+    @staticmethod
+    def _load_embedding(npz, meta) -> EmbeddingResult:
+        timings = StageTimings(
+            simulated={
+                str(k): float(v)
+                for k, v in meta.get("timings_simulated", {}).items()
+            },
+        )
+        return EmbeddingResult(
+            embedding=npz["embedding"],
+            eigenvalues=npz["eigenvalues"],
+            kept=npz["kept"],
+            n_total=int(meta["n_total"]),
+            timings=timings,
+            # device profile and wall timings are process-local
+            # observations; a disk-warm entry reports an empty profile
+            profile=ProfileReport(communication=0.0, computation=0.0),
+            eig_stats=dict(meta.get("eig_stats", {})),
+            resilience={},
+        )
+
+    @staticmethod
+    def _load_model(npz, meta):
+        from repro.core.model import FittedSpectralModel
+
+        graph = CSRMatrix(
+            indptr=npz["graph_indptr"],
+            indices=npz["graph_indices"],
+            data=npz["graph_data"],
+            shape=tuple(meta["graph_shape"]),
+            check=False,
+        )
+        return FittedSpectralModel(
+            basis=npz["basis"],
+            eigenvalues=npz["eigenvalues"],
+            degrees=npz["degrees"],
+            centroids=npz["centroids"],
+            labels=npz["labels"],
+            embedding=npz["embedding"],
+            kept=npz["kept"],
+            n_total=int(meta["n_total"]),
+            graph=graph,
+            anchors=npz["anchors"] if meta.get("has_anchors") else None,
+            params=dict(meta.get("params", {})),
+            resilience={},
+            drift_scale=float(meta.get("drift_scale", 1.0)),
+            n_refits=int(meta.get("n_refits", 0)),
+            _accumulated_drift=float(meta.get("accumulated_drift", 0.0)),
+        )

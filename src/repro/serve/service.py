@@ -64,6 +64,7 @@ from repro.hw.spec import GPUSpec, K20C, PCIE_X16_GEN2, PCIeSpec
 from repro.serve.batcher import Batch, MicroBatcher
 from repro.serve.cache import EmbeddingCache
 from repro.serve.metrics import ServiceReport, build_report
+from repro.serve.persist import PersistentStore
 from repro.serve.queue import AdmissionQueue
 from repro.serve.request import (
     STATUS_FAILED,
@@ -74,7 +75,7 @@ from repro.serve.request import (
     PredictRequest,
     PredictResponse,
 )
-from repro.serve.scheduler import StreamScheduler
+from repro.serve.scheduler import DEFAULT_CTX_SWITCH_S, StreamScheduler
 
 
 @dataclass
@@ -88,6 +89,16 @@ class ServiceConfig:
     cache_entries: int = 32
     spec: GPUSpec = K20C
     pcie: PCIeSpec = PCIE_X16_GEN2
+    #: EDF preemption at stage boundaries (off = observational deadlines)
+    preemption: bool = True
+    #: simulated cost of one context save / restore on a preemption split
+    ctx_switch_s: float = DEFAULT_CTX_SWITCH_S
+    #: max simulated seconds to hold an under-full batch open when the
+    #: arrival predictor expects a compatible request; 0 disables
+    speculation_window: float = 0.0
+    #: directory for the persistent cache tier; None keeps the cache
+    #: in-process only
+    cache_dir: str | None = None
 
 
 @dataclass
@@ -124,9 +135,15 @@ class ClusterService:
             streams_per_device=self.config.streams_per_device,
             spec=self.config.spec,
             pcie=self.config.pcie,
+            preemption=self.config.preemption,
+            ctx_switch_s=self.config.ctx_switch_s,
         )
         self.queue = AdmissionQueue(self.config.queue_capacity)
-        self.cache = EmbeddingCache(self.config.cache_entries)
+        store = (
+            PersistentStore(self.config.cache_dir)
+            if self.config.cache_dir is not None else None
+        )
+        self.cache = EmbeddingCache(self.config.cache_entries, store=store)
         self.batcher = MicroBatcher(
             self.config.max_batch,
             key_of=lambda req: req.operator_key(self._fingerprint(req)),
@@ -141,6 +158,12 @@ class ClusterService:
         self._fp_by_ref: dict[tuple, str] = {}
         #: embedding key -> simulated time its cached entry became available
         self._cache_ready: dict[tuple, float] = {}
+        #: response finalizers for units whose placement may still be
+        #: rewritten by a preemption; run once the schedule is final
+        self._deferred: list = []
+        #: active speculative hold: (operator key, compatible count at
+        #: hold start, hold deadline on the simulated clock)
+        self._hold: tuple | None = None
 
     # ------------------------------------------------------------------
     # workload resolution
@@ -206,6 +229,62 @@ class ClusterService:
         return wrapped
 
     # ------------------------------------------------------------------
+    # speculative batch formation
+    # ------------------------------------------------------------------
+    def _spec_hold(self, clock: float, next_arrival: float | None):
+        """Decide whether to hold the head batch open; returns the clock
+        to advance to while holding, or None to dispatch now.
+
+        Strictly causal: the decision reads only the arrival predictor's
+        history (admitted arrivals so far), never the future trace.
+        Advancing the clock to ``min(hold deadline, next arrival)`` is
+        ordinary discrete-event stepping — the arrival merely ends the
+        wait early, it does not inform the decision to wait.
+        """
+        window = self.config.speculation_window
+        stats = self.batcher.stats
+        if window <= 0.0 or self.batcher.max_batch <= 1:
+            return None
+        key, count = self.batcher.compatible_queued(self.queue)
+        if self._hold is not None:
+            hkey, hcount, hdeadline = self._hold
+            if hkey != key:  # defensive: the held head was dispatched
+                self._hold = None
+                stats.spec_misses += 1
+            elif count > hcount:
+                # the prediction came true: a compatible request joined
+                self._hold = None
+                stats.spec_hits += 1
+            elif clock >= hdeadline:
+                # window expired with no compatible arrival
+                self._hold = None
+                stats.spec_misses += 1
+            else:
+                target = hdeadline
+                if next_arrival is not None:
+                    target = min(target, next_arrival)
+                if target <= clock:
+                    return None
+                stats.spec_hold_s += target - clock
+                return target
+        if count >= self.batcher.max_batch:
+            return None  # batch already full: nothing to speculate for
+        predicted = self.batcher.predictor.predict_next(key, clock)
+        if predicted is None or predicted > clock + window:
+            return None
+        stats.spec_holds += 1
+        self._hold = (key, count, clock + window)
+        target = clock + window
+        if next_arrival is not None:
+            target = min(target, next_arrival)
+        if target <= clock:
+            self._hold = None
+            stats.spec_holds -= 1
+            return None
+        stats.spec_hold_s += target - clock
+        return target
+
+    # ------------------------------------------------------------------
     # the replay loop
     # ------------------------------------------------------------------
     def process(
@@ -226,8 +305,10 @@ class ClusterService:
             raise ServiceError(
                 "requests must be ClusterRequest or PredictRequest instances"
             )
-        pending = sorted(fits, key=lambda r: (r.arrival, r.request_id))
-        ppending = sorted(preds, key=lambda r: (r.arrival, r.request_id))
+        # stable sorts: equal arrivals keep submission order (arrival
+        # index), never request-id lexicography
+        pending = sorted(fits, key=lambda r: r.arrival)
+        ppending = sorted(preds, key=lambda r: r.arrival)
         seen: set[str] = set()
         for req in pending + ppending:
             if req.request_id in seen:
@@ -251,6 +332,7 @@ class ClusterService:
                 try:
                     self._fingerprint(req)  # resolve + fingerprint up front
                     self.queue.submit(req)
+                    self.batcher.observe(req)
                 except AdmissionError as err:
                     responses[req.request_id] = ClusterResponse(
                         request_id=req.request_id,
@@ -269,22 +351,36 @@ class ClusterService:
                         completed=req.arrival,
                         error=f"{type(err).__name__}: {err}",
                     )
+            upcoming = []
+            if i < len(pending):
+                upcoming.append(pending[i].arrival)
+            if j < len(ppending):
+                upcoming.append(ppending[j].arrival)
+            next_arrival = min(upcoming) if upcoming else None
             if not self.queue:
-                upcoming = []
-                if i < len(pending):
-                    upcoming.append(pending[i].arrival)
-                if j < len(ppending):
-                    upcoming.append(ppending[j].arrival)
-                if upcoming:
-                    clock = max(clock, min(upcoming))
+                if next_arrival is not None:
+                    clock = max(clock, next_arrival)
                     continue
                 break
+            held = self._spec_hold(clock, next_arrival)
+            if held is not None:
+                # holding the head batch open for a predicted compatible
+                # arrival: advance the clock (to the arrival or the hold
+                # deadline, whichever first) and re-evaluate
+                clock = held
+                continue
             batch = self.batcher.form(self.queue)
             self._serve_batch(batch, clock, responses)
             # dispatch the next batch as soon as any lane frees up (or
             # immediately, if a lane is already idle) — batches are
             # independent, so a multi-stream pool drains them concurrently
             clock = max(clock, min(s.free_at for s in self.scheduler.lanes))
+
+        # the schedule is final: no more units will be placed, so no
+        # preemption can rewrite a span — finalize deferred responses
+        for finalize in self._deferred:
+            finalize()
+        self._deferred.clear()
 
         ordered = [responses[r.request_id] for r in requests]
         profile = merge_reports(
@@ -426,11 +522,19 @@ class ClusterService:
                         f"b{batch.batch_id}:kmeans[{req.request_id}]",
                         ready_at=ready[key],
                         fn=self._scoped(req, self._kmeans_fn(req, emb)),
+                        # the canonical preemption victim: a deadline
+                        # predict may suspend it at a Lloyd-iteration
+                        # boundary or jump in front of it before it starts
+                        preemptible=True,
                     )
                     batch_end = max(batch_end, unit.end)
                     if not unit.ok:
-                        self._fail(
-                            responses, req, unit.error, batch, t_batch, unit.end
+                        # preemption may still shift this unit: read its
+                        # end time only once the schedule is final
+                        self._deferred.append(
+                            lambda u=unit, r=req: self._fail(
+                                responses, r, u.error, batch, t_batch, u.end
+                            )
                         )
                         continue
                     km, km_timings, km_resil = unit.value
@@ -444,21 +548,31 @@ class ClusterService:
                     timings.wall.update(km_timings.wall)
                     resilience = dict(emb.resilience) if key in solved else {}
                     resilience.update(km_resil)
-                    responses[req.request_id] = ClusterResponse(
-                        request_id=req.request_id,
-                        status=STATUS_OK,
-                        labels=labels_full,
-                        eigenvalues=emb.eigenvalues,
-                        embedding=emb.embedding,
-                        cache_hit=key in cached,
-                        batch_id=batch.batch_id,
-                        batch_size=len(batch),
-                        arrival=req.arrival,
-                        batch_start=t_batch,
-                        completed=unit.end,
-                        timings=timings,
-                        resilience=resilience,
-                    )
+
+                    # results are final (arithmetic already executed), but
+                    # a later preemption may still push the placement —
+                    # defer only the completion-time read
+                    def _finish(
+                        u=unit, r=req, labels=labels_full, e=emb,
+                        hit=key in cached, tm=timings, rs=resilience,
+                    ):
+                        responses[r.request_id] = ClusterResponse(
+                            request_id=r.request_id,
+                            status=STATUS_OK,
+                            labels=labels,
+                            eigenvalues=e.eigenvalues,
+                            embedding=e.embedding,
+                            cache_hit=hit,
+                            batch_id=batch.batch_id,
+                            batch_size=len(batch),
+                            arrival=r.arrival,
+                            batch_start=t_batch,
+                            completed=u.end,
+                            timings=tm,
+                            resilience=rs,
+                        )
+
+                    self._deferred.append(_finish)
         finally:
             if op is not None:
                 op.dcsr.free()
@@ -570,37 +684,51 @@ class ClusterService:
         model = self.cache.get(key)
         model_hit = model is not None
         cold_fit = False
+        cold_unit = None
         cold_resilience: dict = {}
         ready = preq.arrival
         if model_hit:
             # piggyback on an entry whose fit may still be in flight
             ready = max(ready, self._cache_ready.get(key, ready))
         else:
-            unit = self.scheduler.run(
+            cold_unit = self.scheduler.run(
                 f"predict[{preq.request_id}]:coldfit",
                 ready_at=preq.arrival,
                 fn=self._scoped(preq, self._coldfit_fn(fit)),
                 priority=preq.priority,
+                # a cold fit suspends at its Lanczos-restart boundaries;
+                # on failure nothing consumes its end time, so it stays a
+                # live preemption victim — defer reading its times
+                preemptible=True,
             )
-            if not unit.ok:
-                self._fail_predict(responses, preq, unit.error, unit.end)
+            if not cold_unit.ok:
+                self._deferred.append(
+                    lambda u=cold_unit: self._fail_predict(
+                        responses, preq, u.error, u.end
+                    )
+                )
                 return
-            result = unit.value
+            result = cold_unit.value
             model = result.model
             if model is None:
                 err = ClusteringError(
                     "fit parameterization has no Nyström extension "
                     "(ratiocut objective or compressive embedding)"
                 )
-                self._fail_predict(responses, preq, err, unit.end)
+                # the response consumes the fit's end time: freeze it
+                self.scheduler.retire(cold_unit)
+                self._fail_predict(responses, preq, err, cold_unit.end)
                 return
             cold_fit = True
             cold_resilience = dict(result.resilience)
-            ready = unit.end
+            # downstream work consumes the fit's end time: freeze the
+            # span so no later preemption can rewrite it
+            self.scheduler.retire(cold_unit)
+            ready = cold_unit.end
             # taint rule: a fit that recovered from faults never caches
             if not result.resilience:
                 if self.cache.put(key, model):
-                    self._cache_ready[key] = unit.end
+                    self._cache_ready[key] = cold_unit.end
 
         try:
             payload = self._predict_payload(preq, model)
@@ -614,29 +742,46 @@ class ClusterService:
             fn=self._scoped(preq, self._predict_fn(preq, model, payload)),
             priority=preq.priority,
             deadline=preq.deadline,
+            # a predict with no deadline is a final-stage unit: nothing
+            # reads its times until response finalization, so an urgent
+            # deadline predict may jump the queue ahead of it
+            preemptible=preq.deadline is None,
+            depends_on=(cold_unit,) if cold_unit is not None else (),
         )
-        if not unit.ok:
-            self._fail_predict(responses, preq, unit.error, unit.end)
-            return
-        pres = unit.value
-        responses[preq.request_id] = PredictResponse(
-            request_id=preq.request_id,
-            status=STATUS_OK,
-            labels=pres.labels,
-            embedding=pres.embedding,
-            model_hit=model_hit,
-            cold_fit=cold_fit,
-            ledger_ok=pres.ledger_ok,
-            n_new=pres.n_new,
-            arrival=preq.arrival,
-            start=unit.start,
-            completed=unit.end,
-            deadline=preq.deadline,
-            priority=preq.priority,
-            # the cold fit's recovery record rides along: it explains why
-            # the model was (not) cached and flags the response degraded
-            resilience={**cold_resilience, **pres.resilience},
-        )
+
+        def _finish(
+            u=unit, r=preq, hit=model_hit, cold=cold_fit, rs=cold_resilience
+        ):
+            if not u.ok:
+                self._fail_predict(responses, r, u.error, u.end)
+                return
+            pres = u.value
+            responses[r.request_id] = PredictResponse(
+                request_id=r.request_id,
+                status=STATUS_OK,
+                labels=pres.labels,
+                embedding=pres.embedding,
+                model_hit=hit,
+                cold_fit=cold,
+                ledger_ok=pres.ledger_ok,
+                n_new=pres.n_new,
+                arrival=r.arrival,
+                start=u.start,
+                completed=u.end,
+                deadline=r.deadline,
+                priority=r.priority,
+                # the cold fit's recovery record rides along: it explains
+                # why the model was (not) cached and flags the response
+                # degraded
+                resilience={**rs, **pres.resilience},
+            )
+
+        if preq.deadline is None:
+            # the placement may still shift under later preemptions —
+            # finalize once the schedule is settled
+            self._deferred.append(_finish)
+        else:
+            _finish()
 
     def _coldfit_fn(self, fit: ClusterRequest):
         graph, X, edges = self._resolve(fit)

@@ -222,6 +222,7 @@ def synthetic_predict_trace(
     k_choices: tuple = (2, 3),
     n_new: int = 8,
     deadline_slack: float | None = 0.25,
+    deadline_every: int = 3,
     chaos_every: int = 0,
     seed: int = 0,
 ) -> list:
@@ -232,10 +233,13 @@ def synthetic_predict_trace(
     predicts cycle through the same small set of fit specs (``datasets``
     × ``k_choices``), so after one cold fit per spec the model cache
     serves every subsequent predict warm — the fit-once-predict-many
-    traffic shape the fast lane exists for.  Every third predict carries
-    a deadline (``arrival + deadline_slack``) and priorities cycle 0-2,
-    exercising the deadline/priority dispatch order; ``chaos_every > 0``
-    arms every n-th predict with a deterministic fault seed.
+    traffic shape the fast lane exists for.  Every ``deadline_every``-th
+    predict carries a deadline (``arrival + deadline_slack``; the default
+    of 3 matches the historical trace byte-for-byte, 1 makes every
+    predict deadline-carrying — the deadline-heavy workload the
+    preemption bench uses) and priorities cycle 0-2, exercising the
+    deadline/priority dispatch order; ``chaos_every > 0`` arms every
+    n-th predict with a deterministic fault seed.
     """
     import numpy as np
 
@@ -277,7 +281,9 @@ def synthetic_predict_trace(
                 new_seed=p,
                 deadline=(
                     float(arrivals[i] + deadline_slack)
-                    if deadline_slack is not None and p % 3 == 0 else None
+                    if deadline_slack is not None
+                    and deadline_every > 0
+                    and p % deadline_every == 0 else None
                 ),
                 priority=p % 3,
                 chaos=chaos,

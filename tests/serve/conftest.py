@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.datasets.sbm import stochastic_block_model
-from repro.serve.request import ClusterRequest
+from repro.serve.request import ClusterRequest, PredictRequest
 from repro.sparse.construct import from_edge_list
 
 
@@ -38,6 +38,28 @@ def make_request(small_graph):
             request_id=kw.pop("request_id", f"q{counter['n']:03d}"),
             arrival=arrival,
             graph=graph if graph is not None else small_graph,
+            **kw,
+        )
+
+    return factory
+
+
+@pytest.fixture
+def make_predict(make_request):
+    """Factory for synthetic-payload predicts sharing one fit spec."""
+    counter = {"n": 0}
+    shared = {}
+
+    def factory(arrival=0.0, fit=None, **kw):
+        counter["n"] += 1
+        if fit is None:
+            fit = shared.setdefault(
+                "fit", make_request(request_id="fitspec")
+            )
+        return PredictRequest(
+            request_id=kw.pop("request_id", f"p{counter['n']:03d}"),
+            fit=fit,
+            arrival=arrival,
             **kw,
         )
 

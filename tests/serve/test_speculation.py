@@ -1,0 +1,163 @@
+"""Speculative batch formation: the arrival predictor and the hold loop."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ServiceError
+from repro.serve.batcher import ArrivalPredictor
+from repro.serve.service import ClusterService, ServiceConfig
+
+
+class TestArrivalPredictor:
+    def test_no_history_no_prediction(self):
+        p = ArrivalPredictor()
+        assert p.mean_gap(("k",)) is None
+        assert p.predict_next(("k",), now=0.0) is None
+        p.observe(("k",), 1.0)
+        assert p.predict_next(("k",), now=1.0) is None  # one arrival
+
+    def test_regular_stream_predicts_the_gap(self):
+        p = ArrivalPredictor()
+        for t in (0.0, 2.0, 4.0, 6.0):
+            p.observe(("k",), t)
+        assert p.mean_gap(("k",)) == pytest.approx(2.0)
+        assert p.predict_next(("k",), now=6.5) == pytest.approx(8.0)
+
+    def test_overdue_prediction_is_none(self):
+        """An overdue prediction means the stream ended, not 'wait more'."""
+        p = ArrivalPredictor()
+        p.observe(("k",), 0.0)
+        p.observe(("k",), 2.0)
+        assert p.predict_next(("k",), now=10.0) is None
+
+    def test_history_window_slides(self):
+        p = ArrivalPredictor(history=2)
+        for t in (0.0, 100.0, 101.0, 102.0):
+            p.observe(("k",), t)
+        # the burst at t=0 has aged out of the 2-gap window
+        assert p.mean_gap(("k",)) == pytest.approx(1.0)
+
+    def test_keys_are_independent(self):
+        p = ArrivalPredictor()
+        p.observe(("a",), 0.0)
+        p.observe(("a",), 1.0)
+        assert p.predict_next(("a",), now=1.5) == pytest.approx(2.0)
+        assert p.predict_next(("b",), now=1.5) is None
+
+    def test_bad_history_rejected(self):
+        with pytest.raises(ServiceError):
+            ArrivalPredictor(history=0)
+
+
+class TestSpeculativeHold:
+    def _run(self, requests, window):
+        svc = ClusterService(ServiceConfig(
+            n_devices=1, streams_per_device=1, max_batch=4,
+            speculation_window=window,
+        ))
+        return svc.process(requests)
+
+    def _recurring_trace(self, make_request, gap, n):
+        """Identical fit specs arriving on a metronome — the recurring-
+        fingerprint workload speculation exists for."""
+        return [
+            make_request(arrival=i * gap, request_id=f"r{i}") for i in range(n)
+        ]
+
+    def _calibrated_gap(self, make_request):
+        """A gap comfortably larger than one request's service time, so
+        without speculation every request dispatches as a lone batch."""
+        _, report = self._run(self._recurring_trace(make_request, 0.0, 1), 0.0)
+        return 4.0 * report.makespan
+
+    def test_window_zero_never_holds(self, make_request):
+        gap = self._calibrated_gap(make_request)
+        _, report = self._run(
+            self._recurring_trace(make_request, gap, 5), 0.0
+        )
+        assert report.batches["spec_holds"] == 0
+        assert report.batches["n_batches"] == 5  # every batch is a singleton
+
+    def test_hold_coalesces_recurring_arrivals(self, make_request):
+        gap = self._calibrated_gap(make_request)
+        trace = self._recurring_trace(make_request, gap, 5)
+        _, base = self._run(trace, 0.0)
+        responses, spec = self._run(trace, window=1.5 * gap)
+        assert all(r.ok for r in responses)
+        assert spec.batches["spec_holds"] > 0
+        assert spec.batches["spec_hits"] > 0
+        assert spec.batches["spec_hold_s"] > 0.0
+        # the win: fewer, larger batches on the same trace
+        assert spec.batches["n_batches"] < base.batches["n_batches"]
+        assert (
+            spec.batches["mean_batch_size"] > base.batches["mean_batch_size"]
+        )
+
+    def test_hold_cost_is_honest(self, make_request):
+        """Held requests pay the wait: queue waits grow, win or lose."""
+        gap = self._calibrated_gap(make_request)
+        trace = self._recurring_trace(make_request, gap, 5)
+        r_base, base = self._run(trace, 0.0)
+        r_spec, spec = self._run(trace, window=1.5 * gap)
+        by_id = {r.request_id: r for r in r_base}
+        held_waits = [
+            r.queue_wait - by_id[r.request_id].queue_wait for r in r_spec
+        ]
+        assert max(held_waits) > 0.0  # somebody waited for a speculated peer
+
+    def test_window_shorter_than_gap_never_holds(self, make_request):
+        gap = self._calibrated_gap(make_request)
+        trace = self._recurring_trace(make_request, gap, 5)
+        _, spec = self._run(trace, window=0.4 * gap)
+        # the predicted arrival lands outside the window every time, so
+        # the service never gambles at all
+        assert spec.batches["spec_holds"] == 0
+        assert spec.batches["n_batches"] == 5
+
+    def test_ended_stream_expires_as_miss(self, make_request):
+        gap = self._calibrated_gap(make_request)
+        # two arrivals train the predictor; the stream then ends, so the
+        # second request's hold waits the full window for nobody
+        trace = self._recurring_trace(make_request, gap, 2)
+        _, spec = self._run(trace, window=1.5 * gap)
+        assert spec.batches["spec_holds"] == 1
+        assert spec.batches["spec_misses"] == 1
+        assert spec.batches["spec_hits"] == 0
+        assert spec.batches["spec_hold_s"] == pytest.approx(1.5 * gap)
+
+    def test_results_identical_with_and_without_speculation(
+        self, make_request
+    ):
+        gap = self._calibrated_gap(make_request)
+        trace = self._recurring_trace(make_request, gap, 5)
+        r_base, _ = self._run(trace, 0.0)
+        r_spec, _ = self._run(trace, window=1.5 * gap)
+        for a, b in zip(r_base, r_spec):
+            assert a.request_id == b.request_id
+            assert np.array_equal(a.labels, b.labels)
+            assert np.array_equal(a.embedding, b.embedding)
+
+    def test_unpredictable_key_never_holds(self, make_request, other_graph):
+        """Alternating fingerprints give each key too little history."""
+        gap = self._calibrated_gap(make_request)
+        trace = []
+        for i in range(4):
+            graph = other_graph if i % 2 else None
+            kw = {"graph": graph} if graph is not None else {}
+            trace.append(
+                make_request(arrival=i * gap, request_id=f"r{i}", **kw)
+            )
+        _, report = self._run(trace, window=1.5 * gap)
+        # each key recurs with gap 2*gap; predictions land outside the
+        # window measured from each dispatch decision, so holds that do
+        # start never pay off across keys
+        assert report.batches["spec_hits"] == 0
+
+    def test_max_batch_one_disables_speculation(self, make_request):
+        gap = self._calibrated_gap(make_request)
+        svc = ClusterService(ServiceConfig(
+            n_devices=1, streams_per_device=1, max_batch=1,
+            speculation_window=10.0 * gap,
+        ))
+        _, report = svc.process(self._recurring_trace(make_request, gap, 4))
+        assert report.batches["spec_holds"] == 0

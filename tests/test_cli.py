@@ -90,3 +90,57 @@ class TestCLIFailureModes:
         out = capsys.readouterr().out
         assert "injected faults fired" in out
         assert "resilience[" in out
+
+
+class TestCLIServe:
+    def _serve_json(self, tmp_path, extra, name="out.json"):
+        import json
+
+        out = tmp_path / name
+        argv = [
+            "serve", "--synthetic", "6", "--workload-mix", "0.5",
+            "--seed", "0", "--json", str(out),
+        ] + extra
+        assert main(argv) == 0
+        return json.loads(out.read_text())
+
+    def test_serve_synthetic_text_report(self, capsys):
+        assert main(["serve", "--synthetic", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "requests" in out
+
+    def test_serve_json_carries_labels_digest(self, tmp_path):
+        payload = self._serve_json(tmp_path, [])
+        digests = [r["labels_sha256"] for r in payload["responses"]
+                   if r["status"] == "ok"]
+        assert digests and all(
+            isinstance(d, str) and len(d) == 64 for d in digests
+        )
+
+    def test_serve_no_preemption_flag(self, tmp_path):
+        payload = self._serve_json(tmp_path, ["--no-preemption"])
+        assert payload["scheduler"]["preemptions"] == 0
+
+    def test_serve_speculation_window_flag(self, tmp_path):
+        payload = self._serve_json(
+            tmp_path, ["--speculation-window", "0.5"]
+        )
+        assert "spec_holds" in payload["batches"]
+
+    def test_serve_cache_dir_warm_restart(self, tmp_path):
+        """Two processes over one trace: the second warms from disk and
+        reproduces the first's labels bit for bit."""
+        store = str(tmp_path / "store")
+        cold = self._serve_json(
+            tmp_path, ["--cache-dir", store], name="cold.json"
+        )
+        warm = self._serve_json(
+            tmp_path, ["--cache-dir", store], name="warm.json"
+        )
+        assert cold["cache"]["disk_writes"] > 0
+        assert warm["cache"]["disk_hits"] > 0
+        assert warm["predict"]["cold_fits"] == 0
+        digest = lambda p: {
+            r["request_id"]: r["labels_sha256"] for r in p["responses"]
+        }
+        assert digest(warm) == digest(cold)
